@@ -1,0 +1,43 @@
+"""Helpers shared by the benchmark modules (imported, not a conftest)."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Sequence
+
+#: Attribute counts of the paper's Figs. 9 and 10.
+PAPER_ATTRIBUTE_SWEEP = (40, 80, 120, 160)
+
+#: Record multipliers of Fig. 11 (the paper duplicates 2M up to 8M).
+PAPER_RECORD_MULTIPLIERS = (1, 2, 3, 4)
+
+#: Base record count for the scaling benchmarks (scaled down from 2M).
+BASE_RECORDS = 20_000
+
+
+def measure(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Best-of-N wall-clock seconds for a callable."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def growth_ratios(times: Sequence[float]) -> List[float]:
+    """Consecutive ratios t[i+1]/t[i] of a timing series."""
+    return [
+        times[i + 1] / times[i] if times[i] > 0 else float("inf")
+        for i in range(len(times) - 1)
+    ]
+
+
+def print_series(
+    title: str, xs: Sequence, ys: Sequence[float], unit: str = "s"
+) -> None:
+    """Emit a paper-style series as plain rows (visible with -s; the
+    same numbers go into benchmark extra_info)."""
+    print(f"\n{title}")
+    for x, y in zip(xs, ys):
+        print(f"  {x:>10}  {y:.4f} {unit}")

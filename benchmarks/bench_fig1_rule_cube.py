@@ -1,0 +1,75 @@
+"""Fig. 1 — the rule-cube example (24 rules over 1158 records).
+
+The paper's worked example: attributes A1 (a, b, c, d) and A2
+(e, f, g) with class C (yes, no); the cube holds 24 rules; the rule
+``A1=a, A2=e -> yes`` has support 100/1158 and confidence 100/150; the
+rule ``A1=a, A2=f -> yes`` has support and confidence 0.
+
+The benchmark times cube construction and rule materialisation at the
+figure's exact scale, asserting the spelled-out cell values.
+"""
+
+import numpy as np
+
+from repro.cube import build_cube
+from repro.dataset import Attribute, Dataset, Schema
+
+# The same count tensor the test suite uses (tests/conftest.py):
+# only the (a, e) and (a, f) cells are fixed by the paper.
+FIG1_COUNTS = np.array(
+    [
+        [[50, 100], [60, 0], [30, 20]],
+        [[40, 40], [10, 50], [0, 0]],
+        [[110, 90], [20, 30], [25, 25]],
+        [[100, 100], [58, 50], [80, 70]],
+    ],
+    dtype=np.int64,
+)
+
+
+def make_dataset():
+    a1_codes, a2_codes, c_codes = [], [], []
+    for i in range(4):
+        for j in range(3):
+            for c in range(2):
+                n = int(FIG1_COUNTS[i, j, c])
+                a1_codes.extend([i] * n)
+                a2_codes.extend([j] * n)
+                c_codes.extend([c] * n)
+    schema = Schema(
+        [
+            Attribute("A1", values=("a", "b", "c", "d")),
+            Attribute("A2", values=("e", "f", "g")),
+            Attribute("C", values=("no", "yes")),
+        ],
+        class_attribute="C",
+    )
+    return Dataset.from_columns(
+        schema,
+        {
+            "A1": np.asarray(a1_codes),
+            "A2": np.asarray(a2_codes),
+            "C": np.asarray(c_codes),
+        },
+    )
+
+
+def build_and_materialise(dataset):
+    cube = build_cube(dataset, ("A1", "A2"))
+    return cube, list(cube.rules())
+
+
+def test_fig1_rule_cube(benchmark):
+    dataset = make_dataset()
+    cube, rules = benchmark(build_and_materialise, dataset)
+
+    assert dataset.n_rows == 1158
+    assert cube.n_rules == 24
+    assert len(rules) == 24
+    assert cube.support({"A1": "a", "A2": "e"}, "yes") == 100 / 1158
+    assert cube.confidence({"A1": "a", "A2": "e"}, "yes") == 100 / 150
+    assert cube.support({"A1": "a", "A2": "f"}, "yes") == 0.0
+    assert cube.confidence({"A1": "a", "A2": "f"}, "yes") == 0.0
+
+    benchmark.extra_info["n_rules"] = len(rules)
+    benchmark.extra_info["total_records"] = cube.total()

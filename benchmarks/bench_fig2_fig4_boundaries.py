@@ -1,0 +1,103 @@
+"""Figs. 2 and 4 — the interestingness measure's boundary situations.
+
+Fig. 2/4 (A), "Situation 1": ph2's drop rate is exactly twice ph1's for
+every Time-of-Call value — completely uninteresting, M = 0 (the proven
+minimum).
+
+Fig. 4 (B), "Situation 2": every dropped ph2 call happens in the
+evening with 100% drop rate, and the evening is ph1's best period —
+the proven maximum, where the winning value's N_2k equals
+cf_2 |D_2|.
+
+The benchmark times the measure on both situations and asserts the
+boundary values analytically.
+"""
+
+import numpy as np
+
+from repro.core import contributions, interestingness, per_value_stats
+
+
+def situation_1():
+    """Three values; cf ratio identical everywhere (2% vs 4%)."""
+    n = 1000
+    counts1 = np.array(
+        [[n - 20, 20]] * 3, dtype=np.int64
+    )  # 2% each value
+    counts2 = np.array(
+        [[n - 40, 40]] * 3, dtype=np.int64
+    )  # 4% each value
+    return counts1, counts2, 0.02, 0.04
+
+
+def situation_2():
+    """All D_2 drops concentrated on one 100%-confidence value that is
+    D_1's lowest-confidence value."""
+    counts1 = np.array(
+        [[975, 25], [975, 25], [990, 10]], dtype=np.int64
+    )  # evening is ph1's best (1%)
+    counts2 = np.array(
+        [[460, 0], [460, 0], [0, 80]], dtype=np.int64
+    )  # every evening call drops; 80 = cf2 * |D2| = 0.08 * 1000
+    cf1 = 60 / 3000
+    cf2 = 80 / 1000
+    return counts1, counts2, cf1, cf2
+
+
+def score(counts1, counts2, cf1, cf2):
+    stats = per_value_stats(counts1, counts2, 1, confidence_level=None)
+    return interestingness(stats, cf1, cf2)
+
+
+def test_fig2_situation1_minimum(benchmark):
+    """Situation 1 scores exactly 0 — the measure's minimum."""
+    c1, c2, cf1, cf2 = situation_1()
+    m = benchmark(score, c1, c2, cf1, cf2)
+    assert m == 0.0
+    benchmark.extra_info["M"] = m
+
+
+def test_fig4_situation2_maximum(benchmark):
+    """Situation 2 attains the analytic maximum: the concentrated
+    value contributes (1 - cf_1k/cf_1 ratio adjustment) * N_2k, and
+    N_2k = cf_2 |D_2| exactly."""
+    c1, c2, cf1, cf2 = situation_2()
+    m = benchmark(score, c1, c2, cf1, cf2)
+
+    stats = per_value_stats(c1, c2, 1, confidence_level=None)
+    w = contributions(stats, cf1, cf2)
+    # Only the evening contributes.
+    assert w[0] == 0.0 and w[1] == 0.0 and w[2] > 0
+    # N_2k = cf_2 |D_2| = 80: the paper's maximum-case identity.
+    assert stats.n2[2] == 80
+    # W = (1 - expected) * 80 with expected = cf_1k * cf2/cf1.
+    expected = (10 / 1000) * (cf2 / cf1)
+    assert m == (1.0 - expected) * 80
+
+    benchmark.extra_info["M"] = m
+
+
+def test_fig4_maximum_dominates_everything_else(benchmark):
+    """No redistribution of D_2's 80 drops across values scores higher
+    than full concentration on D_1's best value (spot-checked over a
+    grid of alternatives)."""
+    c1, _, cf1, cf2 = situation_2()
+
+    def best_alternative():
+        best = 0.0
+        for a in range(0, 81, 16):
+            for b in range(0, 81 - a, 16):
+                c = 80 - a - b
+                counts2 = np.array(
+                    [[460, a], [460 - b, b], [0, c]], dtype=np.int64
+                )
+                if counts2.min() < 0:
+                    continue
+                best = max(best, score(c1, counts2, cf1, cf2))
+        return best
+
+    alternative = benchmark(best_alternative)
+    maximum = score(*situation_2())
+    assert maximum >= alternative - 1e-9
+    benchmark.extra_info["max_M"] = maximum
+    benchmark.extra_info["best_alternative_M"] = alternative

@@ -1,0 +1,53 @@
+"""Fig. 6 — the detailed visualization of the phone-model attribute.
+
+"Fig. 6 visualizes the phone model attribute (on the X axis) with all
+classes (the Y axis).  This is simply a 2-dimensional rule cube.  It
+reveals ... the exact drop rates of individual phones [and] the exact
+counts and percentages."
+
+The benchmark renders the detailed view in both modes (focused on the
+dropped class and as the all-classes table) and asserts the exact
+rates/counts appear.
+"""
+
+from repro.viz import render_detailed
+
+
+def test_fig6_detailed_view_focused(benchmark, workbench):
+    cube = workbench.store.single_cube("PhoneModel")
+    text = benchmark(render_detailed, cube, "dropped")
+
+    # Exact counts and rates per phone (the figure's red boxes).
+    for phone in ("ph1", "ph2", "ph3", "ph4"):
+        assert phone in text
+    cf2 = cube.confidence({"PhoneModel": "ph2"}, "dropped")
+    assert f"{cf2 * 100:5.2f}%" in text
+    drops_ph2 = cube.cell_count({"PhoneModel": "ph2"}, "dropped")
+    total_ph2 = cube.condition_count({"PhoneModel": "ph2"})
+    assert f"({drops_ph2}/{total_ph2})" in text
+    benchmark.extra_info["ph2_drop_rate"] = cf2
+
+
+def test_fig6_detailed_view_all_classes(benchmark, workbench):
+    cube = workbench.store.single_cube("PhoneModel")
+    text = benchmark(render_detailed, cube, None)
+    for label in ("ended-ok", "dropped", "setup-failed"):
+        assert label in text
+    assert "total" in text
+
+
+def test_fig6_reveals_rate_difference(benchmark, workbench):
+    """The user-visible finding that triggers the comparison: the two
+    focal phones have very different drop rates."""
+    cube = workbench.store.single_cube("PhoneModel")
+
+    def rates():
+        return (
+            cube.confidence({"PhoneModel": "ph1"}, "dropped"),
+            cube.confidence({"PhoneModel": "ph2"}, "dropped"),
+        )
+
+    cf1, cf2 = benchmark(rates)
+    assert cf2 > 1.5 * cf1
+    benchmark.extra_info["cf_ph1"] = cf1
+    benchmark.extra_info["cf_ph2"] = cf2

@@ -1,0 +1,70 @@
+"""Supplementary benchmark: fleet-wide pairwise comparison scaling.
+
+"Imagine in the application, many pairs of phones need to be
+compared" (Section III.C) — the sweep over a k-model fleet runs
+k(k-1)/2 cube-backed comparisons.  This benchmark verifies the sweep
+stays interactive at realistic fleet sizes and that its cost tracks
+the pair count (each comparison re-reads the same pre-built cubes).
+"""
+
+import pytest
+
+from repro.core import Comparator, compare_all_pairs
+from repro.cube import CubeStore
+from repro.synth import CallLogConfig, generate_call_logs
+
+from _helpers import measure
+
+FLEET_SIZES = (4, 8, 12)
+
+
+def make_store(n_models):
+    data = generate_call_logs(
+        CallLogConfig(
+            n_records=30_000,
+            n_phone_models=n_models,
+            n_noise_attributes=4,
+            include_signal_strength=False,
+            include_hardware_version=False,
+            seed=37,
+        )
+    )
+    store = CubeStore(data)
+    store.precompute()
+    return store
+
+
+@pytest.fixture(scope="module")
+def stores():
+    return {k: make_store(k) for k in FLEET_SIZES}
+
+
+def sweep(store):
+    return compare_all_pairs(
+        Comparator(store), "PhoneModel", "dropped"
+    )
+
+
+@pytest.mark.parametrize("n_models", FLEET_SIZES)
+def test_fleet_sweep_at_size(benchmark, stores, n_models):
+    report = benchmark(sweep, stores[n_models])
+    benchmark.extra_info["n_models"] = n_models
+    benchmark.extra_info["n_pairs"] = len(report)
+    assert len(report) == n_models * (n_models - 1) // 2
+
+
+def test_fleet_sweep_tracks_pair_count(benchmark, stores):
+    """Cost per pair is flat: the 12-model sweep (66 pairs) costs
+    roughly 11x the 4-model sweep (6 pairs), not more."""
+    times = {k: measure(lambda s=stores[k]: sweep(s)) for k in
+             FLEET_SIZES}
+    pairs = {k: k * (k - 1) // 2 for k in FLEET_SIZES}
+    per_pair = {k: times[k] / pairs[k] for k in FLEET_SIZES}
+    # Per-pair cost within a loose constant band across fleet sizes.
+    assert max(per_pair.values()) < 5 * min(per_pair.values())
+    # Interactive even at 66 pairs.
+    assert times[12] < 2.0
+    benchmark.extra_info["seconds"] = {
+        str(k): times[k] for k in FLEET_SIZES
+    }
+    benchmark(sweep, stores[4])

@@ -1,0 +1,69 @@
+"""Table I — the z-value table.
+
+| Confidence level | z     |
+|------------------|-------|
+| 0.90             | 1.645 |
+| 0.95             | 1.960 |
+| 0.99             | 2.576 |
+
+The benchmark regenerates the table analytically (from the inverse
+normal quantile) and asserts every entry matches the paper, then times
+the interval computation that consumes it.
+"""
+
+import math
+
+import pytest
+
+from repro.core import Z_TABLE, interval_margin, z_value
+
+PAPER_TABLE = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}
+
+
+def regenerate_table():
+    """Recompute every Table I row from first principles."""
+    return {
+        level: round(math.sqrt(2.0) * _erfinv(level), 3)
+        for level in PAPER_TABLE
+    }
+
+
+def _erfinv(x, lo=0.0, hi=6.0):
+    for _ in range(60):
+        mid = (lo + hi) / 2
+        if math.erf(mid) < x:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2
+
+
+def test_table1_zvalues(benchmark):
+    table = benchmark(regenerate_table)
+    print("\nTable I: z values")
+    for level, z in sorted(table.items()):
+        print(f"  {level:.2f}  {z:.3f}")
+        assert z == pytest.approx(PAPER_TABLE[level], abs=2e-3)
+        assert Z_TABLE[level] == pytest.approx(
+            PAPER_TABLE[level], abs=1e-3
+        )
+    benchmark.extra_info["table"] = {
+        str(k): v for k, v in table.items()
+    }
+
+
+def test_table1_margin_throughput(benchmark):
+    """Time the downstream consumer: one Wald margin per call, the
+    operation performed for every (attribute value, sub-population)
+    pair during a comparison."""
+
+    def margins_for_sweep():
+        total = 0.0
+        for n in (10, 100, 1000, 10000):
+            for cf in (0.01, 0.05, 0.2, 0.5):
+                total += interval_margin(cf, n, 0.95)
+        return total
+
+    total = benchmark(margins_for_sweep)
+    assert total > 0
+    assert z_value(0.95) == pytest.approx(1.96, abs=1e-3)

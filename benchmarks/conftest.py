@@ -1,0 +1,70 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper's
+evaluation (Section V).  Absolute timings differ from the 2008 Dell PC
+the authors used; what must reproduce is the *shape*: which curves are
+linear, which grow faster, who wins and by roughly what factor.  Shape
+assertions are embedded in the benchmarks; the numeric rows land in the
+pytest-benchmark table and in ``extra_info``.
+
+Scaling note: the paper's data is 2M records x 160 attributes.  The
+benchmarks default to the same attribute counts but fewer records so
+the whole harness runs in minutes; the record sweep uses the paper's
+own duplication protocol (x1..x4).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cube import CubeStore
+from repro.synth import generate_call_logs, paper_example_config, synthetic_dataset
+from repro.workbench import OpportunityMap
+
+from _helpers import BASE_RECORDS, PAPER_ATTRIBUTE_SWEEP
+
+
+@pytest.fixture(scope="session")
+def call_log():
+    """The 41-attribute case-study data set (Section V.B's size)."""
+    cfg = paper_example_config(n_records=40_000)
+    # 41 condition attributes + class: PhoneModel + 6 domain attrs +
+    # HardwareVersion + SignalStrength + 32 noise = 41.
+    cfg.n_noise_attributes = 32
+    return generate_call_logs(cfg)
+
+
+@pytest.fixture(scope="session")
+def workbench(call_log):
+    om = OpportunityMap(call_log)
+    om.precompute_cubes(include_pairs=False)
+    return om
+
+
+@pytest.fixture(scope="session")
+def sweep_datasets():
+    """One synthetic data set per paper attribute count, all with the
+    same record count and distribution."""
+    return {
+        n: synthetic_dataset(
+            n_records=BASE_RECORDS, n_attributes=n, arity=4, seed=11
+        )
+        for n in PAPER_ATTRIBUTE_SWEEP
+    }
+
+
+@pytest.fixture(scope="session")
+def sweep_stores(sweep_datasets):
+    """Cube stores with every pair cube the comparison needs already
+    materialised (comparison benchmarks must not pay build cost —
+    the paper's comparison runs against pre-built cubes)."""
+    stores = {}
+    for n, ds in sweep_datasets.items():
+        store = CubeStore(ds)
+        pivot = "A001"
+        for name in store.attributes:
+            if name != pivot:
+                store.cube((pivot, name))
+        store.cube((pivot,))
+        stores[n] = store
+    return stores

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Head-to-head: the comparator vs the related-work approaches.
+
+Reproduces the paper's Section II arguments as a runnable experiment.
+On a data set with a planted interaction and a property artifact:
+
+1. *individual-rule ranking* (confidence / lift / chi-square) returns
+   scattered rule fragments — "almost all top ranked rules represent
+   some artifacts of the data";
+2. *discovery-driven cube exceptions* (Sarawagi-style) point at
+   surprising cells but not at the analyst's question;
+3. *classification learners* (decision tree) find a tiny fraction of
+   the rule space — the "completeness problem";
+4. the *automated comparator* answers the analyst's actual question
+   ("why is ph2 worse than ph1?") in one shot, with the property
+   artifact set aside.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+from repro import OpportunityMap
+from repro.baselines import (
+    rank_attributes_by_surprise,
+    rank_rules,
+)
+from repro.rules import DecisionTree, mine_cars
+from repro.synth import (
+    CallLogConfig,
+    PlantedEffect,
+    generate_call_logs,
+)
+
+
+def main() -> None:
+    data = generate_call_logs(
+        CallLogConfig(
+            n_records=40_000,
+            n_noise_attributes=6,
+            include_signal_strength=False,
+            effects=[
+                PlantedEffect(
+                    {"PhoneModel": "ph2", "TimeOfCall": "morning"},
+                    "dropped",
+                    6.0,
+                )
+            ],
+            seed=5,
+        )
+    )
+    workbench = OpportunityMap(data)
+    print(f"Data: {data}")
+    print("Planted ground truth: PhoneModel=ph2 & TimeOfCall=morning "
+          "-> dropped x6; HardwareVersion is a property artifact.\n")
+
+    # ------------------------------------------------------------------
+    print("=" * 72)
+    print("1. Individual-rule ranking (related work)")
+    print("=" * 72)
+    rules = mine_cars(data, min_support=0.0005, max_length=2)
+    dist = data.class_distribution()
+    priors = {
+        label: dist[i] / dist.sum()
+        for i, label in enumerate(data.schema.classes)
+    }
+    drop_rules = [r for r in rules if r.class_label == "dropped"]
+    for measure in ("confidence", "lift"):
+        print(f"\nTop 5 'dropped' rules by {measure}:")
+        for rule, score in rank_rules(drop_rules, measure, priors,
+                                      top=5):
+            print(f"  {score:10.3f}  {rule}")
+    print("\n-> fragments; the analyst must still assemble the story "
+          "and nothing relates the two phones being compared.")
+
+    # ------------------------------------------------------------------
+    print()
+    print("=" * 72)
+    print("2. Discovery-driven cube exceptions (Sarawagi-style)")
+    print("=" * 72)
+    surprise = rank_attributes_by_surprise(
+        workbench.store, "PhoneModel", "dropped"
+    )
+    print("Attributes by maximum cell surprise:")
+    for name, score in surprise[:5]:
+        print(f"  {score:8.2f}  {name}")
+    print("\n-> points at surprising cells in the whole cube, not at "
+          "what distinguishes ph1 from ph2 specifically.")
+
+    # ------------------------------------------------------------------
+    print()
+    print("=" * 72)
+    print("3. Decision tree (the completeness problem)")
+    print("=" * 72)
+    tree = DecisionTree(max_depth=3, min_leaf=100).fit(data)
+    tree_rules = tree.extract_rules()
+    names = [a.name for a in data.schema.condition_attributes]
+    space = 0
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            space += (
+                data.schema[a].arity
+                * data.schema[b].arity
+                * data.schema.n_classes
+            )
+    print(f"Tree rules discovered: {len(tree_rules)}")
+    print(f"Complete 2-condition rule space: {space}")
+    print(f"Coverage: {len(tree_rules) / space:.1%}")
+    print("\n-> most of the knowledge space is never surfaced.")
+
+    # ------------------------------------------------------------------
+    print()
+    print("=" * 72)
+    print("4. The automated comparator (this paper)")
+    print("=" * 72)
+    result = workbench.compare("PhoneModel", "ph1", "ph2", "dropped")
+    print(result.summary())
+    top = result.ranked[0]
+    print(
+        f"\n-> one operation, one answer: {top.attribute} "
+        f"(worst value {top.top_values(1)[0].value!r}), with the "
+        f"property artifact "
+        f"{[p.attribute for p in result.property_attributes]} "
+        f"set aside automatically."
+    )
+
+
+if __name__ == "__main__":
+    main()

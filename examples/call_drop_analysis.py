@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""The full Section V.B case study, reproduced step by step.
+
+A 41-attribute call-log data set (the case study's size) with three
+pieces of planted structure:
+
+* ph2 drops ~6x more often in the morning (the actionable cause);
+* ph4 fails call setup more often on high network load (a second,
+  independent finding);
+* HardwareVersion is deterministically tied to the phone model (the
+  Fig. 8 property attribute).
+
+The script walks the analyst workflow of the paper — overall view,
+detailed view, automated comparison, property list — and finishes with
+the second comparison the paper says generalises the tool beyond
+products (morning vs evening calls).
+
+Run:  python examples/call_drop_analysis.py
+"""
+
+from repro import OpportunityMap
+from repro.synth import (
+    CallLogConfig,
+    PlantedEffect,
+    generate_call_logs,
+    paper_example_config,
+)
+from repro.workbench import Session
+
+
+def make_data():
+    cfg = paper_example_config(n_records=60_000, seed=101)
+    cfg.n_noise_attributes = 32  # 41 condition attributes total
+    cfg.effects.append(
+        PlantedEffect(
+            {"PhoneModel": "ph4", "NetworkLoad": "high"},
+            "setup-failed",
+            5.0,
+        )
+    )
+    return generate_call_logs(cfg)
+
+
+def main() -> None:
+    data = make_data()
+    workbench = OpportunityMap(data)
+    session = Session(workbench)
+
+    print("=" * 72)
+    print("STEP 1 - Overall visualization (Fig. 5): all 2-D rule cubes")
+    print("=" * 72)
+    shown = [
+        "PhoneModel", "TimeOfCall", "NetworkLoad", "Mobility",
+        "SignalStrength", "HardwareVersion", "Noise01", "Noise02",
+    ]
+    print(session.overall_view(attributes=shown))
+
+    print()
+    print("=" * 72)
+    print("STEP 2 - Detailed view of PhoneModel (Fig. 6)")
+    print("=" * 72)
+    print(session.detailed_view("PhoneModel", class_label="dropped"))
+
+    print()
+    print("=" * 72)
+    print("STEP 3 - Automated comparison: ph1 vs ph2 on 'dropped'")
+    print("=" * 72)
+    result = session.compare("PhoneModel", "ph1", "ph2", "dropped")
+    print(workbench.comparison_view(result, top=2))
+
+    print("=" * 72)
+    print("STEP 4 - Second finding: ph3 vs ph4 on 'setup-failed'")
+    print("=" * 72)
+    result2 = session.compare("PhoneModel", "ph3", "ph4", "setup-failed")
+    print(result2.summary())
+
+    print()
+    print("=" * 72)
+    print("STEP 5 - Beyond products: morning vs evening on 'dropped'")
+    print("=" * 72)
+    result3 = session.compare(
+        "TimeOfCall", "evening", "morning", "dropped"
+    )
+    print(result3.summary())
+
+    print()
+    print("=" * 72)
+    print("STEP 6 - Export a shareable HTML report")
+    print("=" * 72)
+    import tempfile
+    from pathlib import Path
+
+    from repro.viz import comparison_html
+
+    refinements = workbench.explain(result, top=5)
+    html = comparison_html(result, refinements=refinements)
+    out = Path(tempfile.gettempdir()) / "call_drop_report.html"
+    out.write_text(html)
+    print(f"Self-contained report written to {out}")
+
+    print()
+    print("=" * 72)
+    print("Workflow cost")
+    print("=" * 72)
+    n_candidates = len(workbench.store.attributes) - 1
+    print(
+        f"This session used {session.n_operations} operations for "
+        f"three findings.\n"
+        f"The pre-comparator manual workflow would have needed "
+        f"~{3 * n_candidates} operations per finding "
+        f"(3 per candidate attribute x {n_candidates} candidates)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Applying the comparator to a different engineering domain.
+
+The paper argues its comparison function "is generic and is likely to
+be applicable to engineering applications in other domains".  This
+example builds a semiconductor-fab yield data set from scratch — two
+production lines with different defect rates, the cause hidden in an
+interaction with one process step's temperature band — and analyses
+it with the identical pipeline used for call logs.
+
+It also demonstrates the dataset plumbing on non-generator data: the
+table is assembled by hand (as if loaded from a fab's MES export),
+includes a continuous attribute that the MDL discretiser must cut,
+and is written to / re-read from CSV.
+
+Run:  python examples/manufacturing_yield.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import OpportunityMap, read_csv, write_csv
+from repro.dataset import Attribute, CATEGORICAL, CONTINUOUS, Dataset, Schema
+
+
+def make_fab_data(n: int = 50_000, seed: int = 7) -> Dataset:
+    """Wafer lots from two lines; line B's defects concentrate in the
+    high-temperature band of the anneal step."""
+    rng = np.random.default_rng(seed)
+
+    line = rng.integers(0, 2, n)  # 0 = A, 1 = B
+    tool = rng.integers(0, 4, n)
+    shift = rng.integers(0, 3, n)
+    resist = rng.integers(0, 3, n)
+    # Anneal temperature: continuous, roughly 580-620 C.
+    temperature = rng.normal(600.0, 8.0, n)
+    humidity = rng.integers(0, 3, n)
+
+    p_defect = np.full(n, 0.03)
+    p_defect *= np.where(line == 1, 1.3, 1.0)  # line B slightly worse
+    # The planted interaction: line B above 610 C is 6x worse.
+    p_defect *= np.where((line == 1) & (temperature > 610.0), 6.0, 1.0)
+    defect = (rng.random(n) < np.clip(p_defect, 0, 0.9)).astype(int)
+
+    schema = Schema(
+        [
+            Attribute("Line", CATEGORICAL, ("A", "B")),
+            Attribute("Tool", CATEGORICAL, ("T1", "T2", "T3", "T4")),
+            Attribute("Shift", CATEGORICAL, ("day", "swing", "night")),
+            Attribute("Resist", CATEGORICAL, ("R1", "R2", "R3")),
+            Attribute("AnnealTemp", CONTINUOUS),
+            Attribute("Humidity", CATEGORICAL, ("low", "med", "high")),
+            Attribute("Outcome", CATEGORICAL, ("pass", "defect")),
+        ],
+        class_attribute="Outcome",
+    )
+    return Dataset.from_columns(
+        schema,
+        {
+            "Line": line,
+            "Tool": tool,
+            "Shift": shift,
+            "Resist": resist,
+            "AnnealTemp": temperature,
+            "Humidity": humidity,
+            "Outcome": defect,
+        },
+    )
+
+
+def main() -> None:
+    data = make_fab_data()
+
+    # Round-trip through CSV, as a fab's export would arrive.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "lots.csv"
+        write_csv(data, path)
+        data = read_csv(path, class_attribute="Outcome",
+                        schema=data.schema)
+    print(f"Loaded {data.n_rows} lots, "
+          f"{len(data.schema.condition_attributes)} attributes")
+
+    # The supervised MDL discretiser finds the temperature cut on its
+    # own — no domain knowledge supplied.
+    workbench = OpportunityMap(data, discretize_method="mdl")
+    temp_attr = workbench.dataset.schema["AnnealTemp"]
+    print(f"\nMDL discretisation of AnnealTemp: {temp_attr.values}")
+
+    print("\nDefect rate by line:")
+    print(workbench.detailed_view("Line", class_label="defect"))
+
+    result = workbench.compare("Line", "A", "B", "defect")
+    print()
+    print(result.summary())
+
+    top = result.ranked[0]
+    worst = top.top_values(1)[0]
+    print()
+    print(
+        f"Actionable finding: line B's excess defects concentrate at "
+        f"{top.attribute} = {worst.value!r} "
+        f"({worst.cf2:.1%} vs {worst.cf1:.1%} on line A)."
+    )
+    assert top.attribute == "AnnealTemp", "planted cause not found!"
+    print("Process engineers should audit line B's anneal step above "
+          "the detected temperature cut.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""repro — reproduction of *Finding Actionable Knowledge via Automated
+Comparison* (Zhang, Liu, Benkler, Zhou; ICDE 2009).
+
+The package rebuilds Motorola's Opportunity Map system from scratch:
+
+* ``repro.dataset`` — columnar classification data, discretisation,
+  class-aware sampling, IO;
+* ``repro.rules`` — class association rules, Apriori, restricted
+  mining, and the selective learners the paper contrasts against;
+* ``repro.cube`` — rule cubes, vectorised construction, OLAP
+  operations (slice / dice / roll-up / drill-down), the cube store;
+* ``repro.core`` — **the paper's contribution**: the automated
+  comparator ranking attributes by how well they distinguish two
+  sub-populations (Section IV's interestingness measure, confidence
+  intervals, property-attribute detection);
+* ``repro.gi`` — general impressions: trends, exceptions, influence;
+* ``repro.baselines`` — related-work baselines (rule ranking,
+  discovery-driven cube exceptions, naive comparison);
+* ``repro.viz`` — text/SVG renderings of the paper's views;
+* ``repro.synth`` — synthetic call logs with planted ground truth;
+* ``repro.workbench`` — the end-to-end ``OpportunityMap`` facade.
+
+Quickstart::
+
+    from repro import OpportunityMap
+    from repro.synth import generate_call_logs, paper_example_config
+
+    data = generate_call_logs(paper_example_config())
+    om = OpportunityMap(data)
+    result = om.compare("PhoneModel", "ph1", "ph2", "dropped")
+    print(om.comparison_view(result))
+"""
+
+from .dataset import (
+    Attribute,
+    Dataset,
+    Schema,
+    discretize_dataset,
+    read_csv,
+    unbalanced_sample,
+    write_csv,
+)
+from .rules import (
+    ClassAssociationRule,
+    Condition,
+    mine_cars,
+    restricted_mine,
+)
+from .cube import (
+    CubeStore,
+    RuleCube,
+    build_cube,
+    dice_cube,
+    drill_down,
+    rollup,
+    slice_cube,
+)
+from .core import (
+    AttributeInterest,
+    Comparator,
+    ComparisonResult,
+    PairwiseReport,
+    ValueContribution,
+    compare_all_pairs,
+    compare_from_data,
+    interestingness,
+)
+from .rules import RuleQuery
+from .synth import (
+    CallLogConfig,
+    PlantedEffect,
+    generate_call_logs,
+    paper_example_config,
+    synthetic_dataset,
+)
+from .workbench import OpportunityMap, Session
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # dataset
+    "Attribute",
+    "Schema",
+    "Dataset",
+    "discretize_dataset",
+    "unbalanced_sample",
+    "read_csv",
+    "write_csv",
+    # rules
+    "Condition",
+    "ClassAssociationRule",
+    "mine_cars",
+    "restricted_mine",
+    # cube
+    "RuleCube",
+    "CubeStore",
+    "build_cube",
+    "slice_cube",
+    "dice_cube",
+    "rollup",
+    "drill_down",
+    # core
+    "Comparator",
+    "ComparisonResult",
+    "AttributeInterest",
+    "ValueContribution",
+    "compare_from_data",
+    "compare_all_pairs",
+    "PairwiseReport",
+    "interestingness",
+    "RuleQuery",
+    # synth
+    "PlantedEffect",
+    "CallLogConfig",
+    "generate_call_logs",
+    "paper_example_config",
+    "synthetic_dataset",
+    # workbench
+    "OpportunityMap",
+    "Session",
+]

@@ -1,0 +1,24 @@
+"""Baselines from the related work (paper Section II) and reference
+implementations used for verification and ablation.
+"""
+
+from .rule_ranking import MEASURES, rank_rules, rule_measure
+from .cube_exceptions import (
+    SurpriseCell,
+    ipf_expected,
+    rank_attributes_by_surprise,
+    surprising_cells,
+)
+from .naive import naive_compare, python_reference_scores
+
+__all__ = [
+    "MEASURES",
+    "rank_rules",
+    "rule_measure",
+    "SurpriseCell",
+    "ipf_expected",
+    "surprising_cells",
+    "rank_attributes_by_surprise",
+    "naive_compare",
+    "python_reference_scores",
+]

@@ -1,0 +1,255 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A thin operational wrapper around the library for analysts who live in
+a shell:
+
+* ``demo`` — generate the paper's running example and run the full
+  case-study workflow (views + comparison + drill);
+* ``compare`` — load a CSV, compare two values of an attribute on a
+  class, print the ranked report (optionally write the Fig. 7 SVG);
+* ``impressions`` — load a CSV and print the general-impressions
+  digest;
+* ``cubes`` — off-line cube generation: load a CSV, precompute all
+  2-D/3-D cubes and persist them to an ``.npz`` archive.
+
+Every command is deterministic given its inputs; exit status is 0 on
+success, 2 on usage errors (argparse) and 1 on data errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .cube.persist import save_cubes
+from .dataset import read_csv
+from .synth import generate_call_logs, paper_example_config
+from .viz import comparison_svg
+from .workbench import OpportunityMap
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Opportunity Map reproduction: rule cubes and automated "
+            "sub-population comparison (ICDE 2009)."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser(
+        "demo", help="run the built-in case study on synthetic data"
+    )
+    demo.add_argument(
+        "--records", type=int, default=40_000,
+        help="synthetic record count (default 40000)",
+    )
+    demo.add_argument(
+        "--seed", type=int, default=7, help="generator seed"
+    )
+
+    compare = sub.add_parser(
+        "compare", help="compare two attribute values on a class"
+    )
+    compare.add_argument("csv", help="input CSV file")
+    compare.add_argument("--class-attribute", required=True,
+                         dest="class_attribute")
+    compare.add_argument("--pivot", required=True,
+                         help="the attribute whose values are compared")
+    compare.add_argument("--values", required=True, nargs=2,
+                         metavar=("A", "B"))
+    compare.add_argument("--target", required=True,
+                         help="the class of interest")
+    compare.add_argument("--top", type=int, default=5)
+    compare.add_argument(
+        "--svg", default=None,
+        help="write the top attribute's Fig.7-style chart here",
+    )
+    compare.add_argument(
+        "--interval", choices=("wald", "wilson"), default="wald",
+        help="confidence-interval method (default: the paper's wald)",
+    )
+    compare.add_argument(
+        "--cubes", default=None,
+        help="warm-start from a cube archive written by `repro cubes`",
+    )
+
+    impressions = sub.add_parser(
+        "impressions", help="print the general-impressions digest"
+    )
+    impressions.add_argument("csv")
+    impressions.add_argument("--class-attribute", required=True,
+                             dest="class_attribute")
+
+    cubes = sub.add_parser(
+        "cubes", help="off-line cube generation to an .npz archive"
+    )
+    cubes.add_argument("csv")
+    cubes.add_argument("--class-attribute", required=True,
+                       dest="class_attribute")
+    cubes.add_argument("--out", required=True,
+                       help="output .npz archive path")
+
+    report = sub.add_parser(
+        "report",
+        help="write a self-contained HTML comparison report",
+    )
+    report.add_argument("csv")
+    report.add_argument("--class-attribute", required=True,
+                        dest="class_attribute")
+    report.add_argument("--pivot", required=True)
+    report.add_argument("--values", required=True, nargs=2,
+                        metavar=("A", "B"))
+    report.add_argument("--target", required=True)
+    report.add_argument("--out", required=True,
+                        help="output .html path")
+    report.add_argument(
+        "--no-refinements", action="store_true",
+        help="skip the restricted-mining drill section",
+    )
+
+    shell = sub.add_parser(
+        "shell", help="interactive explorer over a data set"
+    )
+    shell.add_argument(
+        "csv", nargs="?", default=None,
+        help="input CSV (omit for the built-in synthetic demo data)",
+    )
+    shell.add_argument("--class-attribute", default=None,
+                       dest="class_attribute")
+    shell.add_argument(
+        "--records", type=int, default=40_000,
+        help="demo-data record count when no CSV is given",
+    )
+    return parser
+
+
+def _load_workbench(args: argparse.Namespace, **kwargs) -> OpportunityMap:
+    data = read_csv(args.csv, class_attribute=args.class_attribute)
+    return OpportunityMap(data, **kwargs)
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    data = generate_call_logs(
+        paper_example_config(n_records=args.records, seed=args.seed)
+    )
+    om = OpportunityMap(data)
+    print(om.detailed_view("PhoneModel", class_label="dropped"))
+    print()
+    result = om.compare("PhoneModel", "ph1", "ph2", "dropped")
+    print(om.comparison_view(result, top=2))
+    refinements = om.explain(result, top=3)
+    if refinements:
+        print("Refinements (restricted mining one level deeper):")
+        for rule in refinements:
+            print(f"  {rule}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    om = _load_workbench(
+        args, confidence_level=0.95, interval_method=args.interval
+    )
+    if args.cubes:
+        from .cube.persist import load_store_cubes
+
+        injected = load_store_cubes(om.store, args.cubes)
+        print(f"Warm-started {injected} cubes from {args.cubes}")
+    result = om.compare(
+        args.pivot, args.values[0], args.values[1], args.target
+    )
+    print(om.comparison_view(result, top=args.top))
+    if args.svg and result.ranked:
+        svg = comparison_svg(result, result.ranked[0])
+        with open(args.svg, "w") as handle:
+            handle.write(svg)
+        print(f"SVG written to {args.svg}")
+    return 0
+
+
+def _cmd_impressions(args: argparse.Namespace) -> int:
+    om = _load_workbench(args)
+    print(om.general_impressions().to_text())
+    return 0
+
+
+def _cmd_cubes(args: argparse.Namespace) -> int:
+    om = _load_workbench(args)
+    built = om.precompute_cubes()
+    written = save_cubes(om.store, args.out)
+    print(f"Built {built} cubes; wrote {written} to {args.out}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .viz import comparison_html
+
+    om = _load_workbench(args)
+    result = om.compare(
+        args.pivot, args.values[0], args.values[1], args.target
+    )
+    refinements = None
+    if not args.no_refinements:
+        try:
+            refinements = om.explain(result, top=5)
+        except ValueError:
+            refinements = None  # nothing contributing to drill into
+    html = comparison_html(result, refinements=refinements)
+    with open(args.out, "w") as handle:
+        handle.write(html)
+    print(f"Report written to {args.out}")
+    return 0
+
+
+def _cmd_shell(args: argparse.Namespace) -> int:
+    from .workbench import OpportunityShell
+
+    if args.csv:
+        if not args.class_attribute:
+            print(
+                "error: --class-attribute is required with a CSV",
+                file=sys.stderr,
+            )
+            return 1
+        om = _load_workbench(args)
+    else:
+        data = generate_call_logs(
+            paper_example_config(n_records=args.records)
+        )
+        om = OpportunityMap(data)
+    OpportunityShell(om).cmdloop()
+    return 0
+
+
+_COMMANDS = {
+    "demo": _cmd_demo,
+    "compare": _cmd_compare,
+    "impressions": _cmd_impressions,
+    "cubes": _cmd_cubes,
+    "report": _cmd_report,
+    "shell": _cmd_shell,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

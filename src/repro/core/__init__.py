@@ -1,0 +1,64 @@
+"""The paper's contribution: the automated sub-population comparator.
+
+Given two values of one attribute and a class of interest, rank every
+other attribute by how well it distinguishes the two sub-populations —
+equations (1)-(3) of Section IV, the confidence-interval guard of
+Section IV.B and the property-attribute detector of Section IV.C.
+"""
+
+from .comparator import Comparator, ComparatorError, compare_from_data
+from .confidence import (
+    Z_TABLE,
+    interval_margin,
+    margins,
+    revise_high_side,
+    revise_low_side,
+    wilson_bounds,
+    wilson_interval,
+    z_value,
+)
+from .pairwise import PairwiseReport, compare_all_pairs
+from .interestingness import (
+    PerValueStats,
+    contributions,
+    excess_confidences,
+    expected_confidences,
+    interestingness,
+    per_value_stats,
+)
+from .property_attrs import (
+    DEFAULT_TAU,
+    PropertyStats,
+    is_property_attribute,
+    property_stats,
+)
+from .results import AttributeInterest, ComparisonResult, ValueContribution
+
+__all__ = [
+    "Comparator",
+    "ComparatorError",
+    "compare_from_data",
+    "Z_TABLE",
+    "z_value",
+    "interval_margin",
+    "margins",
+    "wilson_interval",
+    "wilson_bounds",
+    "revise_low_side",
+    "revise_high_side",
+    "PairwiseReport",
+    "compare_all_pairs",
+    "PerValueStats",
+    "per_value_stats",
+    "expected_confidences",
+    "excess_confidences",
+    "contributions",
+    "interestingness",
+    "DEFAULT_TAU",
+    "PropertyStats",
+    "property_stats",
+    "is_property_attribute",
+    "AttributeInterest",
+    "ComparisonResult",
+    "ValueContribution",
+]

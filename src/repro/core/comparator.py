@@ -1,0 +1,436 @@
+"""The automated comparator — the paper's primary contribution.
+
+Problem (Section III.C): the user selects two values ``v_ij``, ``v_ik``
+of one attribute ``A_i`` (two cells of a rule cube, e.g. two phone
+models) and a class of interest ``c_a`` (e.g. ``dropped``).  The system
+must rank every *other* attribute by how well it distinguishes the two
+sub-populations ``D_1 = {d : A_i(d) = v_ij}`` and
+``D_2 = {d : A_i(d) = v_ik}`` with respect to ``c_a``, replacing the
+"daunting task" of manually slicing and visually comparing hundreds of
+attributes.
+
+Algorithm (Fig. 3 of the paper)::
+
+    for each A_i in {A_2, ..., A_n}:
+        M_i = M(D_1, D_2, A_i)
+    rank A_2 ... A_n by M_i
+
+The measure ``M`` is implemented in :mod:`repro.core.interestingness`;
+this module supplies the data plumbing.  Two implementations share it:
+
+* :class:`Comparator` — the production path.  It reads *only rule
+  cubes* from a :class:`~repro.cube.CubeStore`: the 3-D cube
+  ``(A_pivot, A_i, C)`` sliced at the two pivot values yields the two
+  count matrices for each candidate.  Because cubes are pre-computed,
+  comparison cost depends only on the number of attributes and their
+  arities, never on the raw record count — the paper's Fig. 9
+  interactivity claim, reproduced in ``benchmarks/``.
+* :func:`compare_from_data` — a reference implementation that recounts
+  from raw records, used to cross-check the cube path and as the naive
+  baseline whose cost *does* grow with data size.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cube.store import CubeStore
+from ..dataset.table import Dataset
+from .interestingness import (
+    contributions,
+    excess_confidences,
+    per_value_stats,
+)
+from .property_attrs import DEFAULT_TAU, property_stats
+from .results import AttributeInterest, ComparisonResult, ValueContribution
+
+__all__ = ["Comparator", "ComparatorError", "compare_from_data"]
+
+
+class ComparatorError(ValueError):
+    """Raised for invalid comparison requests."""
+
+
+class Comparator:
+    """Rank attributes by how strongly they distinguish two
+    sub-populations with respect to a target class.
+
+    Parameters
+    ----------
+    store:
+        Cube store over the analysed data set.
+    confidence_level:
+        Statistical confidence level for the interval guard of
+        Section IV.B; ``None`` disables the guard (ablation).
+    interval_method:
+        ``"wald"`` (the paper's formula) or ``"wilson"`` (robust to
+        confidences of exactly 0/1; see
+        :func:`repro.core.confidence.wilson_interval`).
+    property_tau:
+        Threshold of the property-attribute detector (Section IV.C);
+        the deployed system uses 0.9.  ``None`` disables detection and
+        keeps every attribute in the main ranking (ablation).
+    weight_by_count:
+        Whether ``W_k`` multiplies by ``N_2k`` (the paper's formula);
+        ``False`` is the unweighted ablation.
+    min_support_count:
+        Minimum record count each pivot sub-population must have.  The
+        paper leaves the "large enough" judgement to the user; the
+        default of 1 merely rejects empty sub-populations.
+    """
+
+    def __init__(
+        self,
+        store: CubeStore,
+        confidence_level: Optional[float] = 0.95,
+        property_tau: Optional[float] = DEFAULT_TAU,
+        weight_by_count: bool = True,
+        min_support_count: int = 1,
+        interval_method: str = "wald",
+    ) -> None:
+        if interval_method not in ("wald", "wilson"):
+            raise ComparatorError(
+                f"unknown interval method {interval_method!r}; "
+                "expected 'wald' or 'wilson'"
+            )
+        self._store = store
+        self._confidence_level = confidence_level
+        self._property_tau = property_tau
+        self._weight_by_count = weight_by_count
+        self._min_support_count = min_support_count
+        self._interval_method = interval_method
+
+    @property
+    def store(self) -> CubeStore:
+        """The cube store the comparator reads from."""
+        return self._store
+
+    def compare(
+        self,
+        pivot_attribute: str,
+        value_a: str,
+        value_b: str,
+        target_class: str,
+        attributes: Optional[Sequence[str]] = None,
+    ) -> ComparisonResult:
+        """Run the automated comparison.
+
+        Parameters
+        ----------
+        pivot_attribute:
+            The attribute ``A_i`` both rules condition on.
+        value_a, value_b:
+            The two values to compare.  The comparator orients them so
+            the *worse* value (higher confidence of ``target_class``)
+            plays ``D_2``; ``ComparisonResult.swapped`` records whether
+            re-orientation happened.
+        target_class:
+            The class of interest ``c_a``.
+        attributes:
+            Candidate attributes to rank (default: every store
+            attribute except the pivot).
+
+        Returns
+        -------
+        ComparisonResult
+            Ranked attributes plus the separate property-attribute
+            list.
+        """
+        started = time.perf_counter()
+        schema = self._store.dataset.schema
+        pivot = schema[pivot_attribute]
+        if pivot_attribute == schema.class_name:
+            raise ComparatorError(
+                "the class attribute cannot be the comparison pivot"
+            )
+        if value_a == value_b:
+            raise ComparatorError(
+                "the two compared values must be different"
+            )
+        class_attr = schema.class_attribute
+        target_code = class_attr.code_of(target_class)
+        code_a = pivot.code_of(value_a)
+        code_b = pivot.code_of(value_b)
+
+        # Overall confidences of the two pivot rules, from the 2-D cube.
+        pivot_cube = self._store.single_cube(pivot_attribute)
+        counts = pivot_cube.counts  # (|pivot|, |C|)
+        n_a = int(counts[code_a].sum())
+        n_b = int(counts[code_b].sum())
+        if n_a < self._min_support_count or n_b < self._min_support_count:
+            raise ComparatorError(
+                f"pivot sub-populations too small for meaningful "
+                f"analysis ({value_a}: {n_a} records, {value_b}: {n_b} "
+                f"records; minimum {self._min_support_count})"
+            )
+        cf_a = counts[code_a, target_code] / n_a
+        cf_b = counts[code_b, target_code] / n_b
+
+        # Orient so D_1 is the lower-confidence ("good") population.
+        swapped = cf_a > cf_b
+        if swapped:
+            value_good, value_bad = value_b, value_a
+            code_good, code_bad = code_b, code_a
+            cf_good, cf_bad = cf_b, cf_a
+            sup_good, sup_bad = n_b, n_a
+        else:
+            value_good, value_bad = value_a, value_b
+            code_good, code_bad = code_a, code_b
+            cf_good, cf_bad = cf_a, cf_b
+            sup_good, sup_bad = n_a, n_b
+
+        if attributes is None:
+            attributes = [
+                name
+                for name in self._store.attributes
+                if name != pivot_attribute
+            ]
+        else:
+            if pivot_attribute in attributes:
+                raise ComparatorError(
+                    "the pivot attribute cannot rank itself"
+                )
+
+        ranked: List[AttributeInterest] = []
+        properties: List[AttributeInterest] = []
+        for name in attributes:
+            cube = self._store.cube((pivot_attribute, name))
+            plane = cube.counts  # (|pivot|, |A|, |C|)
+            entry = self._score_attribute(
+                name,
+                plane[code_good],
+                plane[code_bad],
+                target_code,
+                float(cf_good),
+                float(cf_bad),
+                schema[name].values,
+            )
+            if entry.is_property:
+                properties.append(entry)
+            else:
+                ranked.append(entry)
+
+        ranked.sort(key=lambda e: (-e.score, e.attribute))
+        properties.sort(key=lambda e: (-e.score, e.attribute))
+        return ComparisonResult(
+            pivot_attribute=pivot_attribute,
+            value_good=value_good,
+            value_bad=value_bad,
+            swapped=swapped,
+            target_class=target_class,
+            cf_good=float(cf_good),
+            cf_bad=float(cf_bad),
+            sup_good=sup_good,
+            sup_bad=sup_bad,
+            ranked=ranked,
+            property_attributes=properties,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    def compare_vs_rest(
+        self,
+        pivot_attribute: str,
+        value: str,
+        target_class: str,
+        attributes: Optional[Sequence[str]] = None,
+        rest_label: Optional[str] = None,
+    ) -> ComparisonResult:
+        """Compare one pivot value against all of its peers combined.
+
+        A screening complement to :meth:`compare`: "is ph2 worse than
+        the rest of the fleet, and why?"  The rest population is the
+        union of every other pivot value; its count planes come from
+        the same cubes (roll-up minus the value's plane), so the cost
+        is identical to a two-value comparison.
+
+        The synthetic rest population is labelled ``rest_label``
+        (default ``"not-<value>"``) in the result.
+        """
+        started = time.perf_counter()
+        schema = self._store.dataset.schema
+        pivot = schema[pivot_attribute]
+        if pivot_attribute == schema.class_name:
+            raise ComparatorError(
+                "the class attribute cannot be the comparison pivot"
+            )
+        if pivot.arity < 2:
+            raise ComparatorError(
+                "one-vs-rest needs a pivot with at least two values"
+            )
+        class_attr = schema.class_attribute
+        target_code = class_attr.code_of(target_class)
+        code = pivot.code_of(value)
+        if rest_label is None:
+            rest_label = f"not-{value}"
+
+        pivot_cube = self._store.single_cube(pivot_attribute)
+        counts = pivot_cube.counts
+        n_v = int(counts[code].sum())
+        n_rest = int(counts.sum() - n_v)
+        if n_v < self._min_support_count or (
+            n_rest < self._min_support_count
+        ):
+            raise ComparatorError(
+                f"sub-populations too small for meaningful analysis "
+                f"({value}: {n_v} records, rest: {n_rest} records)"
+            )
+        hits_total = int(counts[:, target_code].sum())
+        cf_v = counts[code, target_code] / n_v
+        cf_rest = (hits_total - counts[code, target_code]) / n_rest
+
+        swapped = cf_v < cf_rest  # the named value plays the bad side
+        if swapped:
+            value_good, value_bad = value, rest_label
+            cf_good, cf_bad = cf_v, cf_rest
+            sup_good, sup_bad = n_v, n_rest
+        else:
+            value_good, value_bad = rest_label, value
+            cf_good, cf_bad = cf_rest, cf_v
+            sup_good, sup_bad = n_rest, n_v
+
+        if attributes is None:
+            attributes = [
+                name
+                for name in self._store.attributes
+                if name != pivot_attribute
+            ]
+        elif pivot_attribute in attributes:
+            raise ComparatorError("the pivot attribute cannot rank "
+                                  "itself")
+
+        ranked: List[AttributeInterest] = []
+        properties: List[AttributeInterest] = []
+        for name in attributes:
+            cube = self._store.cube((pivot_attribute, name))
+            plane = cube.counts
+            counts_value = plane[code]
+            counts_rest = plane.sum(axis=0) - counts_value
+            if swapped:
+                counts_good, counts_bad = counts_value, counts_rest
+            else:
+                counts_good, counts_bad = counts_rest, counts_value
+            entry = self._score_attribute(
+                name,
+                counts_good,
+                counts_bad,
+                target_code,
+                float(cf_good),
+                float(cf_bad),
+                schema[name].values,
+            )
+            if entry.is_property:
+                properties.append(entry)
+            else:
+                ranked.append(entry)
+
+        ranked.sort(key=lambda e: (-e.score, e.attribute))
+        properties.sort(key=lambda e: (-e.score, e.attribute))
+        return ComparisonResult(
+            pivot_attribute=pivot_attribute,
+            value_good=value_good,
+            value_bad=value_bad,
+            swapped=swapped,
+            target_class=target_class,
+            cf_good=float(cf_good),
+            cf_bad=float(cf_bad),
+            sup_good=sup_good,
+            sup_bad=sup_bad,
+            ranked=ranked,
+            property_attributes=properties,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _score_attribute(
+        self,
+        name: str,
+        counts_good: np.ndarray,
+        counts_bad: np.ndarray,
+        target_code: int,
+        cf_good: float,
+        cf_bad: float,
+        values: Tuple[str, ...],
+    ) -> AttributeInterest:
+        stats = per_value_stats(
+            counts_good,
+            counts_bad,
+            target_code,
+            confidence_level=self._confidence_level,
+            interval_method=self._interval_method,
+        )
+        f = excess_confidences(stats, cf_good, cf_bad)
+        w = contributions(
+            stats, cf_good, cf_bad, weight_by_count=self._weight_by_count
+        )
+        detail = [
+            ValueContribution(
+                value=values[k],
+                n1=int(stats.n1[k]),
+                n2=int(stats.n2[k]),
+                cf1=float(stats.cf1[k]),
+                cf2=float(stats.cf2[k]),
+                e1=float(stats.e1[k]),
+                e2=float(stats.e2[k]),
+                rcf1=float(stats.rcf1[k]),
+                rcf2=float(stats.rcf2[k]),
+                excess=float(f[k]),
+                contribution=float(w[k]),
+            )
+            for k in range(len(values))
+        ]
+        pstats = property_stats(stats.n1, stats.n2)
+        is_property = (
+            self._property_tau is not None
+            and pstats.ratio > self._property_tau
+        )
+        return AttributeInterest(
+            attribute=name,
+            score=float(w.sum()),
+            contributions=detail,
+            is_property=is_property,
+            property_p=pstats.disjoint,
+            property_t=pstats.shared,
+            property_ratio=pstats.ratio,
+        )
+
+
+def compare_from_data(
+    dataset: Dataset,
+    pivot_attribute: str,
+    value_a: str,
+    value_b: str,
+    target_class: str,
+    attributes: Optional[Sequence[str]] = None,
+    confidence_level: Optional[float] = 0.95,
+    property_tau: Optional[float] = DEFAULT_TAU,
+    weight_by_count: bool = True,
+) -> ComparisonResult:
+    """Reference comparison recounted directly from raw records.
+
+    Semantically identical to :meth:`Comparator.compare` (the test
+    suite asserts agreement) but rebuilds every per-value count from
+    the rows on each call, so its cost grows with the data-set size.
+    It doubles as the "no pre-computation" baseline in the ablation
+    benchmarks.
+    """
+    store = CubeStore(dataset, attributes=None)
+    # Restrict the store to the pivot + requested candidates so the
+    # lazy cube builds only what this one comparison needs.
+    if attributes is not None:
+        wanted = [pivot_attribute] + [
+            a for a in attributes if a != pivot_attribute
+        ]
+        store = CubeStore(dataset, attributes=wanted)
+    comparator = Comparator(
+        store,
+        confidence_level=confidence_level,
+        property_tau=property_tau,
+        weight_by_count=weight_by_count,
+    )
+    return comparator.compare(
+        pivot_attribute, value_a, value_b, target_class, attributes
+    )

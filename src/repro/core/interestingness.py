@@ -1,0 +1,205 @@
+"""The interestingness measure of Section IV — pure numerics.
+
+Given two sub-populations ``D_1`` (lower overall confidence ``cf_1``,
+the "good" one) and ``D_2`` (higher overall confidence ``cf_2``, the
+"bad" one), the contribution of value ``v_k`` of a candidate attribute
+``A_i`` is (equations 1-2 of Section IV.A):
+
+    ``F_k = cf_2k - cf_1k * (cf_2 / cf_1)``
+    ``W_k = F_k * N_2k``   if ``F_k > 0`` else ``0``
+
+``cf_1k * (cf_2 / cf_1)`` is the *expected* confidence of ``v_k`` in
+``D_2`` under proportionality: if the bad population were uniformly
+``cf_2 / cf_1`` times worse everywhere (the paper's Fig. 2(A)
+"Situation 1"), every ``F_k`` would be 0.  ``F_k . N_2k`` converts the
+excess confidence into the number of *excess bad records* value ``v_k``
+contributes.  The attribute's interestingness is their sum
+(equation 3):
+
+    ``M_i = sum_k W_k``
+
+With the statistical guard of Section IV.B enabled, the revised
+confidences ``rcf_1k = cf_1k + e_1k`` and ``rcf_2k = cf_2k - e_2k``
+replace the raw ones inside ``F_k``.
+
+Boundary behaviour proven in the paper (Section IV.A) and verified by
+the property-based tests:
+
+* minimum: ``M_i = 0`` exactly when every ``cf_2k / cf_1k`` equals
+  ``cf_2 / cf_1``;
+* maximum: ``M_i`` peaks when all of ``D_2``'s bad records concentrate
+  on a single value with 100% confidence that also has the lowest
+  confidence in ``D_1`` — then ``N_2k = cf_2 |D_2|`` for that value.
+
+This module is deliberately free of data-set or cube types: it operates
+on aligned per-value count arrays so the cube-backed comparator, the
+naive raw-data baseline and the tests all share one implementation.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+import numpy as np
+
+from .confidence import (
+    margins,
+    revise_high_side,
+    revise_low_side,
+    wilson_bounds,
+)
+
+__all__ = [
+    "PerValueStats",
+    "per_value_stats",
+    "expected_confidences",
+    "excess_confidences",
+    "contributions",
+    "interestingness",
+]
+
+
+class PerValueStats(NamedTuple):
+    """Aligned per-value statistics for one candidate attribute.
+
+    All arrays have one entry per value of the candidate attribute, in
+    domain order.
+    """
+
+    n1: np.ndarray  #: records with value v_k in D_1
+    n2: np.ndarray  #: records with value v_k in D_2 (the paper's N_2k)
+    cf1: np.ndarray  #: confidence of ``A = v_k -> c_a`` within D_1
+    cf2: np.ndarray  #: confidence of ``A = v_k -> c_a`` within D_2
+    e1: np.ndarray  #: interval margin on cf1 (zeros when disabled)
+    e2: np.ndarray  #: interval margin on cf2 (zeros when disabled)
+    rcf1: np.ndarray  #: revised cf1 (== cf1 when intervals disabled)
+    rcf2: np.ndarray  #: revised cf2 (== cf2 when intervals disabled)
+
+
+def per_value_stats(
+    counts1: np.ndarray,
+    counts2: np.ndarray,
+    target_class: int,
+    confidence_level: Optional[float] = 0.95,
+    interval_method: str = "wald",
+) -> PerValueStats:
+    """Derive :class:`PerValueStats` from two count matrices.
+
+    Parameters
+    ----------
+    counts1, counts2:
+        Integer matrices of shape ``(n_values, n_classes)``: the
+        ``(A_i, C)`` rule-cube planes of the two sub-populations.
+    target_class:
+        Class code of the class of interest ``c_a``.
+    confidence_level:
+        Statistical confidence level for the interval guard, or ``None``
+        to disable the guard (raw confidences are then used, which the
+        ablation benchmark exercises).
+    interval_method:
+        ``"wald"`` — the paper's normal-approximation interval
+        (Section IV.B); ``"wilson"`` — the Wilson score interval, which
+        keeps non-zero width at confidences of exactly 0 or 1 and
+        treats values unobserved in D_1 as fully uncertain (revised
+        bound 1.0 -> contribution 0) instead of certainly safe.
+    """
+    if interval_method not in ("wald", "wilson"):
+        raise ValueError(
+            f"unknown interval method {interval_method!r}; expected "
+            "'wald' or 'wilson'"
+        )
+    counts1 = np.asarray(counts1, dtype=np.int64)
+    counts2 = np.asarray(counts2, dtype=np.int64)
+    if counts1.shape != counts2.shape or counts1.ndim != 2:
+        raise ValueError(
+            "count matrices must share one (n_values, n_classes) shape"
+        )
+    n_classes = counts1.shape[1]
+    if not 0 <= target_class < n_classes:
+        raise ValueError(
+            f"target class code {target_class} out of range for "
+            f"{n_classes} classes"
+        )
+
+    n1 = counts1.sum(axis=1)
+    n2 = counts2.sum(axis=1)
+    cf1 = np.zeros(len(n1), dtype=np.float64)
+    cf2 = np.zeros(len(n2), dtype=np.float64)
+    np.divide(counts1[:, target_class], n1, out=cf1, where=n1 > 0)
+    np.divide(counts2[:, target_class], n2, out=cf2, where=n2 > 0)
+
+    if confidence_level is None:
+        e1 = np.zeros_like(cf1)
+        e2 = np.zeros_like(cf2)
+        rcf1 = cf1.copy()
+        rcf2 = cf2.copy()
+    elif interval_method == "wilson":
+        lo1, hi1 = wilson_bounds(cf1, n1, confidence_level)
+        lo2, hi2 = wilson_bounds(cf2, n2, confidence_level)
+        rcf1 = hi1  # good population pushed up
+        rcf2 = lo2  # bad population pushed down
+        e1 = hi1 - cf1
+        e2 = cf2 - lo2
+    else:
+        e1 = margins(cf1, n1, confidence_level)
+        e2 = margins(cf2, n2, confidence_level)
+        rcf1 = revise_low_side(cf1, e1)
+        rcf2 = revise_high_side(cf2, e2)
+    return PerValueStats(n1, n2, cf1, cf2, e1, e2, rcf1, rcf2)
+
+
+def expected_confidences(
+    cf1_values: np.ndarray, overall_cf1: float, overall_cf2: float
+) -> np.ndarray:
+    """Expected per-value confidence in D_2 under proportionality.
+
+    ``expected_k = cf_1k * (cf_2 / cf_1)``, the second term of the
+    paper's equation for ``F_k``.  When the good population has zero
+    overall confidence (``cf_1 = 0``), every per-value confidence in
+    ``D_1`` is also zero, so the expectation is zero.
+    """
+    cf1_values = np.asarray(cf1_values, dtype=np.float64)
+    if overall_cf1 <= 0.0:
+        return np.zeros_like(cf1_values)
+    return cf1_values * (overall_cf2 / overall_cf1)
+
+
+def excess_confidences(
+    stats: PerValueStats, overall_cf1: float, overall_cf2: float
+) -> np.ndarray:
+    """``F_k``: revised confidence in D_2 beyond the expectation."""
+    expected = expected_confidences(stats.rcf1, overall_cf1, overall_cf2)
+    return stats.rcf2 - expected
+
+
+def contributions(
+    stats: PerValueStats,
+    overall_cf1: float,
+    overall_cf2: float,
+    weight_by_count: bool = True,
+) -> np.ndarray:
+    """``W_k = max(F_k, 0) * N_2k`` per value.
+
+    ``weight_by_count=False`` drops the ``N_2k`` factor (the ablation of
+    Section 5 of DESIGN.md): without it, a large excess on a
+    two-record value outranks a modest excess on a million-record one.
+    """
+    f = excess_confidences(stats, overall_cf1, overall_cf2)
+    positive = np.maximum(f, 0.0)
+    if weight_by_count:
+        return positive * stats.n2
+    return positive
+
+
+def interestingness(
+    stats: PerValueStats,
+    overall_cf1: float,
+    overall_cf2: float,
+    weight_by_count: bool = True,
+) -> float:
+    """``M_i = sum_k W_k`` — equation (3), the attribute's score."""
+    return float(
+        contributions(
+            stats, overall_cf1, overall_cf2, weight_by_count
+        ).sum()
+    )

@@ -1,0 +1,184 @@
+"""Fleet-wide pairwise comparison.
+
+The paper's motivation scales beyond one pair: "Imagine in the
+application, many pairs of phones need to be compared; this becomes an
+even harder, if not impossible, task."  This module runs the automated
+comparison over *every* pair of values of the pivot attribute (or a
+chosen subset) and aggregates the results:
+
+* :func:`compare_all_pairs` — one :class:`ComparisonResult` per
+  ordered-by-badness pair;
+* :class:`PairwiseReport` — ranks the pairs by how different they are
+  (the gap between the two overall confidences), tallies which
+  attributes explain the fleet's differences most often, and exposes
+  each pair's full result.
+
+Because every comparison reads the same pre-built cubes, the whole
+sweep over k values costs k(k-1)/2 cube-speed comparisons — still
+interactive for realistic fleets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .comparator import Comparator, ComparatorError
+from .results import ComparisonResult
+
+__all__ = ["PairwiseReport", "compare_all_pairs"]
+
+
+class PairwiseReport:
+    """Aggregated outcome of a fleet-wide pairwise sweep."""
+
+    def __init__(
+        self,
+        pivot_attribute: str,
+        target_class: str,
+        results: Dict[Tuple[str, str], ComparisonResult],
+    ) -> None:
+        self.pivot_attribute = pivot_attribute
+        self.target_class = target_class
+        self._results = dict(results)
+
+    @property
+    def pairs(self) -> List[Tuple[str, str]]:
+        """All compared (good, bad) pairs."""
+        return list(self._results)
+
+    def result(self, value_a: str, value_b: str) -> ComparisonResult:
+        """The result for one pair, in either value order."""
+        for key in ((value_a, value_b), (value_b, value_a)):
+            if key in self._results:
+                return self._results[key]
+        raise KeyError(
+            f"pair ({value_a!r}, {value_b!r}) was not compared"
+        )
+
+    def most_different(
+        self, n: int = 5
+    ) -> List[Tuple[Tuple[str, str], float]]:
+        """Pairs by descending confidence gap ``cf_bad - cf_good``.
+
+        The biggest gaps are where the engineers' attention pays off
+        first.
+        """
+        gaps = [
+            (pair, result.cf_bad - result.cf_good)
+            for pair, result in self._results.items()
+        ]
+        gaps.sort(key=lambda item: (-item[1], item[0]))
+        return gaps[:n]
+
+    def explaining_attributes(
+        self, top_per_pair: int = 1
+    ) -> List[Tuple[str, int]]:
+        """Attributes by how many pairs they top-explain.
+
+        An attribute that tops the ranking for many pairs points at a
+        systemic cause (e.g. one radio band misbehaving fleet-wide)
+        rather than a single bad model.
+        """
+        tally: Dict[str, int] = {}
+        for result in self._results.values():
+            for entry in result.top(top_per_pair):
+                if entry.score > 0:
+                    tally[entry.attribute] = (
+                        tally.get(entry.attribute, 0) + 1
+                    )
+        ranked = sorted(tally.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked
+
+    def summary(self, n: int = 5) -> str:
+        """Human-readable fleet report."""
+        lines = [
+            f"Pairwise comparison of {self.pivot_attribute!r} on "
+            f"class {self.target_class!r} "
+            f"({len(self._results)} pairs)"
+        ]
+        lines.append("Most different pairs:")
+        for (good, bad), gap in self.most_different(n):
+            result = self._results[(good, bad)]
+            top = result.ranked[0] if result.ranked else None
+            explain = (
+                f"; top attribute: {top.attribute}"
+                if top and top.score > 0
+                else "; no distinguishing attribute"
+            )
+            lines.append(
+                f"  {good} vs {bad}: gap "
+                f"{gap * 100:.2f} points{explain}"
+            )
+        explaining = self.explaining_attributes()
+        if explaining:
+            lines.append("Attributes explaining the most pairs:")
+            for name, count in explaining[:n]:
+                lines.append(f"  {name}: tops {count} pair(s)")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __repr__(self) -> str:
+        return (
+            f"PairwiseReport({self.pivot_attribute!r}, "
+            f"{len(self._results)} pairs)"
+        )
+
+
+def compare_all_pairs(
+    comparator: Comparator,
+    pivot_attribute: str,
+    target_class: str,
+    values: Optional[Sequence[str]] = None,
+    attributes: Optional[Sequence[str]] = None,
+    min_gap: float = 0.0,
+) -> PairwiseReport:
+    """Compare every pair of pivot values and aggregate the results.
+
+    Parameters
+    ----------
+    comparator:
+        A configured :class:`Comparator`.
+    pivot_attribute:
+        The attribute whose values form the fleet (e.g. phone models).
+    target_class:
+        The class of interest.
+    values:
+        The fleet subset to sweep (default: the attribute's whole
+        domain).  Values whose sub-population is empty are skipped.
+    attributes:
+        Candidate attributes to rank per pair (default: all).
+    min_gap:
+        Pairs whose confidence gap is below this are skipped — tiny
+        gaps make the "why is one worse?" question meaningless.
+
+    Returns
+    -------
+    PairwiseReport
+        Keyed by the oriented (good, bad) pair.
+    """
+    schema = comparator.store.dataset.schema
+    pivot = schema[pivot_attribute]
+    if values is None:
+        values = list(pivot.values)
+    else:
+        for v in values:
+            pivot.code_of(v)  # validate
+        if len(set(values)) != len(values):
+            raise ComparatorError("duplicate values in the fleet sweep")
+
+    results: Dict[Tuple[str, str], ComparisonResult] = {}
+    for i, a in enumerate(values):
+        for b in values[i + 1:]:
+            try:
+                result = comparator.compare(
+                    pivot_attribute, a, b, target_class,
+                    attributes=attributes,
+                )
+            except ComparatorError:
+                continue  # empty sub-population etc.
+            if result.cf_bad - result.cf_good < min_gap:
+                continue
+            results[(result.value_good, result.value_bad)] = result
+    return PairwiseReport(pivot_attribute, target_class, results)

@@ -1,0 +1,75 @@
+"""Property-attribute detection (paper Section IV.C).
+
+Some attributes rank high only because a value occurs in one
+sub-population and never in the other — e.g. ``Phone-Hardware-Version``
+when phone 1 only ships version 1 and phone 2 only version 2.  Such
+*property attributes* are "artefacts of the data, rather than true
+patterns": with ``cf_1k = 0`` their ``F_k`` is the full confidence of
+the other side, inflating ``M_i``.
+
+Detection, verbatim from the paper: over the values ``v_1..v_m`` of a
+candidate attribute, with ``p_1k``/``p_2k`` the record counts of value
+``v_k`` in ``D_1``/``D_2``,
+
+    ``P = |{ k : (p_1k = 0 and p_2k > 0) or (p_1k > 0 and p_2k = 0) }|``
+    ``T = |{ k : p_1k > 0 and p_2k > 0 }|``
+
+and the attribute is a property attribute when ``P / (P + T) > tau``
+with ``tau = 0.9`` in the deployed system.  Values absent from *both*
+sub-populations count toward neither ``P`` nor ``T``.
+
+Property attributes are "not physically removed.  They are simply
+stored in another list, which can still be viewed by the user" — the
+comparator honours that by returning them in a separate ranked list.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+__all__ = ["PropertyStats", "property_stats", "is_property_attribute",
+           "DEFAULT_TAU"]
+
+#: The deployed system's threshold tau.
+DEFAULT_TAU = 0.9
+
+
+class PropertyStats(NamedTuple):
+    """Counts behind the property-attribute decision."""
+
+    disjoint: int  #: P — values supported on exactly one side
+    shared: int  #: T — values supported on both sides
+    ratio: float  #: P / (P + T); 0.0 when P + T = 0
+
+
+def property_stats(n1: np.ndarray, n2: np.ndarray) -> PropertyStats:
+    """Compute ``P``, ``T`` and their ratio for one attribute.
+
+    Parameters
+    ----------
+    n1, n2:
+        Per-value record counts in the two sub-populations (the
+        ``p_1k`` / ``p_2k`` of the paper), aligned on the attribute's
+        value domain.
+    """
+    n1 = np.asarray(n1)
+    n2 = np.asarray(n2)
+    if n1.shape != n2.shape or n1.ndim != 1:
+        raise ValueError("count vectors must share one 1-D shape")
+    has1 = n1 > 0
+    has2 = n2 > 0
+    p = int(np.count_nonzero(has1 ^ has2))
+    t = int(np.count_nonzero(has1 & has2))
+    ratio = p / (p + t) if (p + t) > 0 else 0.0
+    return PropertyStats(p, t, ratio)
+
+
+def is_property_attribute(
+    n1: np.ndarray, n2: np.ndarray, tau: float = DEFAULT_TAU
+) -> bool:
+    """True when ``P / (P + T) > tau`` for the given per-value counts."""
+    if not 0.0 <= tau <= 1.0:
+        raise ValueError(f"tau must be in [0, 1]; got {tau}")
+    return property_stats(n1, n2).ratio > tau

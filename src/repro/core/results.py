@@ -1,0 +1,324 @@
+"""Result objects returned by the automated comparator.
+
+The comparator's output is "a ranked list of attributes" (problem
+definition, Section III.C) plus the separately-listed property
+attributes (Section IV.C).  These classes carry everything the
+visualizer needs to render the paper's Fig. 7 (paired bars with
+confidence-interval whiskers) without re-touching the cubes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["ValueContribution", "AttributeInterest", "ComparisonResult"]
+
+
+class ValueContribution:
+    """Per-value detail behind one attribute's interestingness score.
+
+    One instance per value ``v_k`` of the candidate attribute, holding
+    the quantities of Section IV: the sub-population counts, raw and
+    revised confidences, interval margins, the excess ``F_k`` and the
+    contribution ``W_k``.
+    """
+
+    __slots__ = (
+        "value",
+        "n1",
+        "n2",
+        "cf1",
+        "cf2",
+        "e1",
+        "e2",
+        "rcf1",
+        "rcf2",
+        "excess",
+        "contribution",
+    )
+
+    def __init__(
+        self,
+        value: str,
+        n1: int,
+        n2: int,
+        cf1: float,
+        cf2: float,
+        e1: float,
+        e2: float,
+        rcf1: float,
+        rcf2: float,
+        excess: float,
+        contribution: float,
+    ) -> None:
+        self.value = value
+        self.n1 = int(n1)
+        self.n2 = int(n2)
+        self.cf1 = float(cf1)
+        self.cf2 = float(cf2)
+        self.e1 = float(e1)
+        self.e2 = float(e2)
+        self.rcf1 = float(rcf1)
+        self.rcf2 = float(rcf2)
+        self.excess = float(excess)
+        self.contribution = float(contribution)
+
+    @property
+    def interval1(self) -> Tuple[float, float]:
+        """The (low, high) confidence interval around ``cf1``."""
+        return (max(self.cf1 - self.e1, 0.0), min(self.cf1 + self.e1, 1.0))
+
+    @property
+    def interval2(self) -> Tuple[float, float]:
+        """The (low, high) confidence interval around ``cf2``."""
+        return (max(self.cf2 - self.e2, 0.0), min(self.cf2 + self.e2, 1.0))
+
+    @property
+    def disjoint_support(self) -> bool:
+        """True when the value occurs in exactly one sub-population
+        (counts toward the property statistic ``P``)."""
+        return (self.n1 == 0) != (self.n2 == 0)
+
+    def __repr__(self) -> str:
+        return (
+            f"ValueContribution({self.value!r}, cf1={self.cf1:.4f}, "
+            f"cf2={self.cf2:.4f}, W={self.contribution:.2f})"
+        )
+
+
+class AttributeInterest:
+    """One attribute's position in the comparator's ranking."""
+
+    __slots__ = (
+        "attribute",
+        "score",
+        "contributions",
+        "is_property",
+        "property_p",
+        "property_t",
+        "property_ratio",
+    )
+
+    def __init__(
+        self,
+        attribute: str,
+        score: float,
+        contributions: Sequence[ValueContribution],
+        is_property: bool,
+        property_p: int,
+        property_t: int,
+        property_ratio: float,
+    ) -> None:
+        self.attribute = attribute
+        self.score = float(score)
+        self.contributions = tuple(contributions)
+        self.is_property = bool(is_property)
+        self.property_p = int(property_p)
+        self.property_t = int(property_t)
+        self.property_ratio = float(property_ratio)
+
+    def top_values(self, n: int = 3) -> List[ValueContribution]:
+        """The values contributing most to the score, best first."""
+        ordered = sorted(
+            self.contributions, key=lambda c: -c.contribution
+        )
+        return ordered[:n]
+
+    def value(self, name: str) -> ValueContribution:
+        """The contribution record for a specific value."""
+        for c in self.contributions:
+            if c.value == name:
+                return c
+        raise KeyError(
+            f"attribute {self.attribute!r} has no value {name!r}"
+        )
+
+    def __repr__(self) -> str:
+        tag = " [property]" if self.is_property else ""
+        return (
+            f"AttributeInterest({self.attribute!r}, "
+            f"M={self.score:.2f}{tag})"
+        )
+
+
+class ComparisonResult:
+    """Full outcome of one automated comparison.
+
+    Attributes
+    ----------
+    pivot_attribute:
+        The attribute whose two values define the sub-populations
+        (``PhoneModel`` in the running example).
+    value_good, value_bad:
+        The two compared values, oriented so that ``value_bad`` has the
+        higher overall confidence for the target class (``cf_good <=
+        cf_bad``, the paper's ``cf_1 < cf_2`` convention).
+    swapped:
+        True when the caller supplied the values in the opposite order
+        and the comparator re-oriented them.
+    target_class:
+        The class of interest ``c_a`` (e.g. ``dropped``).
+    cf_good, cf_bad / sup_good, sup_bad:
+        Overall confidences and support counts of the two pivot rules.
+    ranked:
+        Non-property attributes by descending interestingness ``M_i``.
+    property_attributes:
+        The separate list of Section IV.C, also by descending score.
+    """
+
+    __slots__ = (
+        "pivot_attribute",
+        "value_good",
+        "value_bad",
+        "swapped",
+        "target_class",
+        "cf_good",
+        "cf_bad",
+        "sup_good",
+        "sup_bad",
+        "ranked",
+        "property_attributes",
+        "elapsed_seconds",
+    )
+
+    def __init__(
+        self,
+        pivot_attribute: str,
+        value_good: str,
+        value_bad: str,
+        swapped: bool,
+        target_class: str,
+        cf_good: float,
+        cf_bad: float,
+        sup_good: int,
+        sup_bad: int,
+        ranked: Sequence[AttributeInterest],
+        property_attributes: Sequence[AttributeInterest],
+        elapsed_seconds: float = 0.0,
+    ) -> None:
+        self.pivot_attribute = pivot_attribute
+        self.value_good = value_good
+        self.value_bad = value_bad
+        self.swapped = bool(swapped)
+        self.target_class = target_class
+        self.cf_good = float(cf_good)
+        self.cf_bad = float(cf_bad)
+        self.sup_good = int(sup_good)
+        self.sup_bad = int(sup_bad)
+        self.ranked = tuple(ranked)
+        self.property_attributes = tuple(property_attributes)
+        self.elapsed_seconds = float(elapsed_seconds)
+
+    def top(self, n: int = 5) -> Tuple[AttributeInterest, ...]:
+        """The ``n`` most distinguishing non-property attributes."""
+        return self.ranked[:n]
+
+    def attribute(self, name: str) -> AttributeInterest:
+        """Look up one attribute in either list."""
+        for entry in self.ranked + self.property_attributes:
+            if entry.attribute == name:
+                return entry
+        raise KeyError(f"attribute {name!r} not present in the result")
+
+    def rank_of(self, name: str) -> int:
+        """1-based rank of an attribute in the main list."""
+        for i, entry in enumerate(self.ranked, start=1):
+            if entry.attribute == name:
+                return i
+        raise KeyError(
+            f"attribute {name!r} is not in the main ranking "
+            "(it may be a property attribute)"
+        )
+
+    def __iter__(self) -> Iterator[AttributeInterest]:
+        return iter(self.ranked)
+
+    def __len__(self) -> int:
+        return len(self.ranked)
+
+    def summary(self, n: int = 5) -> str:
+        """A short human-readable report of the comparison."""
+        lines = [
+            (
+                f"Comparison of {self.pivot_attribute}="
+                f"{self.value_good} (cf={self.cf_good:.4f}) vs "
+                f"{self.pivot_attribute}={self.value_bad} "
+                f"(cf={self.cf_bad:.4f}) on class "
+                f"{self.target_class!r}"
+            )
+        ]
+        for i, entry in enumerate(self.top(n), start=1):
+            best = entry.top_values(1)
+            where = (
+                f"; worst value: {best[0].value}"
+                if best and best[0].contribution > 0
+                else ""
+            )
+            lines.append(
+                f"  {i}. {entry.attribute}  M={entry.score:.2f}{where}"
+            )
+        if self.property_attributes:
+            names = ", ".join(
+                p.attribute for p in self.property_attributes
+            )
+            lines.append(f"  property attributes (set aside): {names}")
+        return "\n".join(lines)
+
+    def to_dict(self, top: Optional[int] = None) -> dict:
+        """JSON-safe dictionary of the full result.
+
+        ``top`` truncates the main ranking (property attributes are
+        always included in full — there are few).  The inverse
+        operation is intentionally absent: results are derived data;
+        re-run the comparison to regenerate them.
+        """
+        ranked = self.ranked if top is None else self.ranked[:top]
+
+        def value_dict(c: "ValueContribution") -> dict:
+            return {
+                "value": c.value,
+                "n1": c.n1,
+                "n2": c.n2,
+                "cf1": c.cf1,
+                "cf2": c.cf2,
+                "e1": c.e1,
+                "e2": c.e2,
+                "excess": c.excess,
+                "contribution": c.contribution,
+            }
+
+        def entry_dict(e: "AttributeInterest") -> dict:
+            return {
+                "attribute": e.attribute,
+                "score": e.score,
+                "is_property": e.is_property,
+                "property_p": e.property_p,
+                "property_t": e.property_t,
+                "property_ratio": e.property_ratio,
+                "values": [value_dict(c) for c in e.contributions],
+            }
+
+        return {
+            "pivot_attribute": self.pivot_attribute,
+            "value_good": self.value_good,
+            "value_bad": self.value_bad,
+            "swapped": self.swapped,
+            "target_class": self.target_class,
+            "cf_good": self.cf_good,
+            "cf_bad": self.cf_bad,
+            "sup_good": self.sup_good,
+            "sup_bad": self.sup_bad,
+            "elapsed_seconds": self.elapsed_seconds,
+            "ranked": [entry_dict(e) for e in ranked],
+            "property_attributes": [
+                entry_dict(e) for e in self.property_attributes
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ComparisonResult({self.pivot_attribute!r}: "
+            f"{self.value_good!r} vs {self.value_bad!r} on "
+            f"{self.target_class!r}, {len(self.ranked)} ranked, "
+            f"{len(self.property_attributes)} property)"
+        )

@@ -1,0 +1,31 @@
+"""Rule cubes and OLAP operations — the knowledge-space substrate.
+
+A rule cube is a data cube whose cells are class-association-rule
+support counts (paper, Section III.B).  This package provides the cube
+object, vectorised construction from columnar data, the OLAP operations
+(slice / dice / roll-up / drill-down, no hierarchies), and the cube
+store that materialises all 2-D and 3-D cubes the deployed system keeps.
+"""
+
+from .rulecube import CubeError, RuleCube
+from .builder import build_all_2d, build_all_3d, build_cube, class_cube
+from .olap import dice_cube, drill_down, rollup, slice_cube
+from .store import CubeStore
+from .persist import load_cubes, load_store_cubes, save_cubes
+
+__all__ = [
+    "RuleCube",
+    "CubeError",
+    "build_cube",
+    "build_all_2d",
+    "build_all_3d",
+    "class_cube",
+    "slice_cube",
+    "dice_cube",
+    "rollup",
+    "drill_down",
+    "CubeStore",
+    "save_cubes",
+    "load_cubes",
+    "load_store_cubes",
+]

@@ -1,0 +1,98 @@
+"""OLAP operations on rule cubes.
+
+"The operations on rule cubes are basically the same as those in OLAP,
+but without multiple levels of aggregations" (Section III.B): the
+paper's cubes have no dimension hierarchies, so roll-up simply
+marginalises an attribute away and drill-down re-introduces one.
+
+All operations are pure: they return new :class:`RuleCube` objects.
+
+* :func:`slice_cube` — fix one attribute to a single value, dropping
+  the axis.  Slicing the (PhoneModel, A, C) cube at ``PhoneModel=ph1``
+  yields the (A, C) cube of the ph1 sub-population — exactly the
+  sub-population cube the comparator consumes.
+* :func:`dice_cube` — restrict one attribute to a subset of its values,
+  keeping the axis (with a reduced domain).
+* :func:`rollup` — sum an attribute out (one aggregation level only).
+* :func:`drill_down` — add an attribute back; since the finer counts
+  cannot be recovered from the coarse cube, this recounts from the
+  data, mirroring how the deployed system materialises cubes on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..dataset.schema import Attribute
+from ..dataset.table import Dataset
+from .builder import build_cube
+from .rulecube import CubeError, RuleCube
+
+__all__ = ["slice_cube", "dice_cube", "rollup", "drill_down"]
+
+
+def slice_cube(cube: RuleCube, attribute: str, value: str) -> RuleCube:
+    """Fix ``attribute = value``; the axis disappears from the result.
+
+    The resulting cube counts only the records of the selected
+    sub-population.
+    """
+    axis = cube.axis_of(attribute)
+    attr = cube.attribute(attribute)
+    code = attr.code_of(value)
+    counts = np.take(cube.counts, code, axis=axis)
+    attrs = [a for a in cube.attributes if a.name != attribute]
+    return RuleCube(attrs, cube.class_attribute, counts)
+
+
+def dice_cube(
+    cube: RuleCube, attribute: str, values: Sequence[str]
+) -> RuleCube:
+    """Restrict ``attribute`` to ``values``; the axis stays (smaller).
+
+    The paper's comparison workflow starts with "a slice operation by
+    selecting two values, i.e., ph1 and ph2" — in OLAP terms a dice to
+    the two-value domain; both views are provided.
+    """
+    values = list(values)
+    if not values:
+        raise CubeError("dice requires at least one value")
+    if len(set(values)) != len(values):
+        raise CubeError(f"duplicate values in dice: {values}")
+    axis = cube.axis_of(attribute)
+    attr = cube.attribute(attribute)
+    codes = [attr.code_of(v) for v in values]
+    counts = np.take(cube.counts, codes, axis=axis)
+    new_attr = Attribute(attr.name, values=values)
+    attrs = [
+        new_attr if a.name == attribute else a for a in cube.attributes
+    ]
+    return RuleCube(attrs, cube.class_attribute, counts)
+
+
+def rollup(cube: RuleCube, attribute: str) -> RuleCube:
+    """Aggregate ``attribute`` away by summing over its axis."""
+    axis = cube.axis_of(attribute)
+    counts = cube.counts.sum(axis=axis)
+    attrs = [a for a in cube.attributes if a.name != attribute]
+    return RuleCube(attrs, cube.class_attribute, counts)
+
+
+def drill_down(
+    cube: RuleCube, dataset: Dataset, attribute: str
+) -> RuleCube:
+    """Add ``attribute`` as a new leading axis by recounting from data.
+
+    ``dataset`` must be the data the cube was built from; the result has
+    dimensions ``(attribute,) + cube.names + (class,)`` and rolls back
+    up to ``cube`` exactly (an invariant the test suite checks).
+    """
+    if attribute in cube.names:
+        raise CubeError(
+            f"attribute {attribute!r} is already a cube dimension"
+        )
+    if attribute == cube.class_attribute.name:
+        raise CubeError("cannot drill down into the class attribute")
+    return build_cube(dataset, (attribute,) + cube.names)

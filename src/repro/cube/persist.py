@@ -1,0 +1,112 @@
+"""Rule-cube persistence.
+
+The deployed system splits work into an off-line generation phase
+("done off-line, e.g., in the evening") and an interactive exploration
+phase.  That split only pays off if the generated cubes survive the
+process boundary; this module serialises a :class:`CubeStore`'s
+materialised cubes — plus enough schema to rebuild them — into a
+single compressed ``.npz`` archive.
+
+Format (one flat npz):
+
+* ``__meta__`` — a JSON document with the class attribute, every
+  attribute's value domain, and the ordered list of cube keys;
+* one array per cube, named ``cube_<i>`` in key-list order, holding
+  the count tensor.
+
+Loading returns plain :class:`RuleCube` objects keyed like the store
+cache; :func:`load_store_cubes` injects them into a fresh store so the
+interactive phase starts warm without touching the raw records.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+import numpy as np
+
+from ..dataset.schema import Attribute
+from .rulecube import CubeError, RuleCube
+from .store import CubeStore
+
+__all__ = ["save_cubes", "load_cubes", "load_store_cubes"]
+
+PathLike = Union[str, Path]
+
+_META_KEY = "__meta__"
+
+
+def save_cubes(store: CubeStore, path: PathLike) -> int:
+    """Write every cube materialised in ``store`` to ``path``.
+
+    Returns the number of cubes written.  Call
+    :meth:`CubeStore.precompute` first to persist the full 2-D/3-D
+    inventory.
+    """
+    path = Path(path)
+    schema = store.dataset.schema
+    cubes: Dict[str, np.ndarray] = {}
+    keys = []
+    for i, (key_tuple, cube) in enumerate(
+        sorted(store.cached_items().items())
+    ):
+        cubes[f"cube_{i}"] = cube.counts
+        keys.append(list(key_tuple))
+
+    domains = {}
+    for attr in schema:
+        if attr.is_categorical:
+            domains[attr.name] = list(attr.values)
+    meta = {
+        "class_attribute": schema.class_name,
+        "domains": domains,
+        "keys": keys,
+        "format": 1,
+    }
+    arrays = dict(cubes)
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+    return len(cubes)
+
+
+def load_cubes(path: PathLike) -> Dict[Tuple[str, ...], RuleCube]:
+    """Load cubes from an archive written by :func:`save_cubes`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        if _META_KEY not in archive:
+            raise CubeError(f"{path} is not a rule-cube archive")
+        meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+        domains = meta["domains"]
+        class_name = meta["class_attribute"]
+        class_attr = Attribute(class_name, values=domains[class_name])
+
+        out: Dict[Tuple[str, ...], RuleCube] = {}
+        for i, key_list in enumerate(meta["keys"]):
+            key_tuple = tuple(key_list)
+            counts = archive[f"cube_{i}"]
+            attrs = [
+                Attribute(name, values=domains[name])
+                for name in key_tuple
+            ]
+            out[key_tuple] = RuleCube(attrs, class_attr, counts)
+        return out
+
+
+def load_store_cubes(store: CubeStore, path: PathLike) -> int:
+    """Warm a store's cache from an archive.
+
+    The archive's schema must agree with the store's data set (same
+    class attribute and value domains); mismatches raise
+    :class:`CubeError` rather than silently mixing incompatible
+    counts.  Returns the number of cubes injected.
+    """
+    cubes = load_cubes(path)
+    injected = 0
+    for key_tuple, cube in cubes.items():
+        store.inject(key_tuple, cube)
+        injected += 1
+    return injected

@@ -1,0 +1,343 @@
+"""Rule cubes: data cubes whose cells are rule support counts.
+
+A rule cube (paper, Section III.B) is "like a data cube but stores
+rules".  For a chosen attribute subset ``{A_i1, ..., A_ip}`` and the
+class attribute ``C``, the cube has ``p + 1`` dimensions; the cell
+
+    ``<A_i1 = v_1, ..., A_ip = v_p, C = c_k>``
+
+holds the number of records matching the full assignment, which is the
+support count of the class association rule
+
+    ``A_i1 = v_1, ..., A_ip = v_p  ->  C = c_k``.
+
+Confidence follows the paper's equation (1):
+
+    ``conf = sup(X, c_k) / sum_j sup(X, c_j)``.
+
+Crucially, cubes are built with minimum support and confidence both 0,
+so *every* cell is populated — the paper argues this removes the "holes
+in the knowledge space" that ordinary rule mining leaves behind.
+
+The cube is stored as a dense ``numpy`` integer tensor whose last axis
+is always the class axis.  OLAP-style operations (slice, dice, roll-up)
+live in :mod:`repro.cube.olap` and return new cubes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..dataset.schema import Attribute
+from ..rules.car import ClassAssociationRule, Condition
+
+__all__ = ["RuleCube", "CubeError"]
+
+
+class CubeError(ValueError):
+    """Raised for malformed cube constructions or cell addresses."""
+
+
+class RuleCube:
+    """Dense count tensor over condition attributes plus the class axis.
+
+    Parameters
+    ----------
+    attributes:
+        The condition attributes, in axis order.  May be empty (the
+        0-condition cube is just the class distribution).
+    class_attribute:
+        The class attribute; always the final axis.
+    counts:
+        Integer tensor of shape ``(*arities, n_classes)``.
+
+    Examples
+    --------
+    Recreating the paper's Fig. 1 cube is a matter of filling the count
+    tensor; see ``tests/test_fig1_example.py`` for the full figure.
+    """
+
+    __slots__ = ("_attributes", "_class_attribute", "_counts", "_index")
+
+    def __init__(
+        self,
+        attributes: Sequence[Attribute],
+        class_attribute: Attribute,
+        counts: np.ndarray,
+    ) -> None:
+        attributes = tuple(attributes)
+        for attr in attributes:
+            if not attr.is_categorical:
+                raise CubeError(
+                    f"cube attribute {attr.name!r} must be categorical "
+                    "(discretise first)"
+                )
+        if not class_attribute.is_categorical:
+            raise CubeError("class attribute must be categorical")
+        names = [a.name for a in attributes] + [class_attribute.name]
+        if len(set(names)) != len(names):
+            raise CubeError(f"duplicate attributes in cube: {names}")
+        expected = tuple(a.arity for a in attributes) + (
+            class_attribute.arity,
+        )
+        counts = np.asarray(counts)
+        if counts.shape != expected:
+            raise CubeError(
+                f"count tensor shape {counts.shape} does not match "
+                f"attribute arities {expected}"
+            )
+        if counts.size and counts.min() < 0:
+            raise CubeError("cube counts must be non-negative")
+        counts = counts.astype(np.int64, copy=False)
+        counts.setflags(write=False)
+        self._attributes = attributes
+        self._class_attribute = class_attribute
+        self._counts = counts
+        self._index = {a.name: i for i, a in enumerate(attributes)}
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        """Condition attributes, in axis order."""
+        return self._attributes
+
+    @property
+    def class_attribute(self) -> Attribute:
+        """The class attribute (always the last axis)."""
+        return self._class_attribute
+
+    @property
+    def counts(self) -> np.ndarray:
+        """The read-only count tensor (last axis = class)."""
+        return self._counts
+
+    @property
+    def n_dims(self) -> int:
+        """Total dimensionality including the class axis (``p + 1``)."""
+        return len(self._attributes) + 1
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Condition attribute names, in axis order."""
+        return tuple(a.name for a in self._attributes)
+
+    @property
+    def n_rules(self) -> int:
+        """Number of rules (= cells) the cube represents."""
+        return int(self._counts.size)
+
+    def axis_of(self, name: str) -> int:
+        """Axis index of the named condition attribute."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise CubeError(
+                f"attribute {name!r} is not a dimension of this cube "
+                f"(dimensions: {self.names})"
+            ) from None
+
+    def attribute(self, name: str) -> Attribute:
+        """The condition attribute with the given name."""
+        return self._attributes[self.axis_of(name)]
+
+    # ------------------------------------------------------------------
+    # Cell addressing
+    # ------------------------------------------------------------------
+
+    def _codes_for(self, conditions: Mapping[str, str]) -> Tuple[int, ...]:
+        if set(conditions) != set(self._index):
+            raise CubeError(
+                f"cell address must bind every cube dimension "
+                f"{self.names}; got {tuple(conditions)}"
+            )
+        codes = [0] * len(self._attributes)
+        for name, value in conditions.items():
+            attr = self._attributes[self._index[name]]
+            codes[self._index[name]] = attr.code_of(value)
+        return tuple(codes)
+
+    def cell_count(
+        self, conditions: Mapping[str, str], class_label: str
+    ) -> int:
+        """Support count of the cell (= support count of its rule)."""
+        codes = self._codes_for(conditions)
+        c = self._class_attribute.code_of(class_label)
+        return int(self._counts[codes + (c,)])
+
+    def condition_count(self, conditions: Mapping[str, str]) -> int:
+        """Number of records matching the conditions (any class).
+
+        This is the denominator of equation (1).
+        """
+        codes = self._codes_for(conditions)
+        return int(self._counts[codes].sum())
+
+    def total(self) -> int:
+        """Total number of records the cube was built from."""
+        return int(self._counts.sum())
+
+    def class_totals(self) -> np.ndarray:
+        """Record count per class (roll-up over all condition axes)."""
+        axes = tuple(range(len(self._attributes)))
+        return self._counts.sum(axis=axes) if axes else self._counts.copy()
+
+    # ------------------------------------------------------------------
+    # Rule measures (paper eq. 1)
+    # ------------------------------------------------------------------
+
+    def support(
+        self, conditions: Mapping[str, str], class_label: str
+    ) -> float:
+        """Rule support = cell count / total records."""
+        total = self.total()
+        if total == 0:
+            return 0.0
+        return self.cell_count(conditions, class_label) / total
+
+    def confidence(
+        self, conditions: Mapping[str, str], class_label: str
+    ) -> float:
+        """Rule confidence per equation (1).
+
+        Returns 0.0 for empty condition cells (no matching records),
+        matching the paper's convention that an unsupported rule has
+        confidence 0 (Fig. 1 example).
+        """
+        denom = self.condition_count(conditions)
+        if denom == 0:
+            return 0.0
+        return self.cell_count(conditions, class_label) / denom
+
+    def confidences(self) -> np.ndarray:
+        """Confidence of every cell, vectorised.
+
+        Shape matches :attr:`counts`; cells whose condition count is
+        zero get confidence 0.
+        """
+        denom = self._counts.sum(axis=-1, keepdims=True)
+        out = np.zeros(self._counts.shape, dtype=np.float64)
+        np.divide(self._counts, denom, out=out, where=denom > 0)
+        return out
+
+    def supports(self) -> np.ndarray:
+        """Support of every cell, vectorised."""
+        total = self.total()
+        if total == 0:
+            return np.zeros(self._counts.shape, dtype=np.float64)
+        return self._counts / total
+
+    # ------------------------------------------------------------------
+    # Rule materialisation
+    # ------------------------------------------------------------------
+
+    def rules(
+        self, min_support_count: int = 0, min_confidence: float = 0.0
+    ) -> Iterator[ClassAssociationRule]:
+        """Materialise cells as :class:`ClassAssociationRule` objects.
+
+        With the default thresholds every cell — including empty ones —
+        becomes a rule, exactly as the paper requires ("we need to set
+        both the minimum support and minimum confidence in rule mining
+        to 0").
+        """
+        total = self.total()
+        conf = self.confidences()
+        it = np.ndindex(*self._counts.shape)
+        for idx in it:
+            count = int(self._counts[idx])
+            confidence = float(conf[idx])
+            if count < min_support_count or confidence < min_confidence:
+                continue
+            conditions = tuple(
+                Condition(attr.name, attr.value_of(code))
+                for attr, code in zip(self._attributes, idx[:-1])
+            )
+            yield ClassAssociationRule(
+                conditions=conditions,
+                class_label=self._class_attribute.value_of(idx[-1]),
+                support_count=count,
+                support=count / total if total else 0.0,
+                confidence=confidence,
+            )
+
+    def rule(
+        self, conditions: Mapping[str, str], class_label: str
+    ) -> ClassAssociationRule:
+        """Materialise a single cell as a rule object."""
+        count = self.cell_count(conditions, class_label)
+        total = self.total()
+        return ClassAssociationRule(
+            conditions=tuple(
+                Condition(name, value)
+                for name, value in sorted(conditions.items())
+            ),
+            class_label=class_label,
+            support_count=count,
+            support=count / total if total else 0.0,
+            confidence=self.confidence(conditions, class_label),
+        )
+
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "RuleCube") -> "RuleCube":
+        """Add another cube's counts cell-by-cell.
+
+        Rule cubes are pure count tensors, so absorbing a new batch of
+        records (the paper's data arrives monthly) is tensor addition —
+        no rescan of the old data.  Both cubes must have identical
+        structure (same attributes, same domains, same class).
+        """
+        if (
+            self._attributes != other._attributes
+            or self._class_attribute != other._class_attribute
+        ):
+            raise CubeError(
+                "cannot merge cubes with different structure"
+            )
+        return RuleCube(
+            self._attributes,
+            self._class_attribute,
+            self._counts + other._counts,
+        )
+
+    def __add__(self, other: "RuleCube") -> "RuleCube":
+        if not isinstance(other, RuleCube):
+            return NotImplemented
+        return self.merge(other)
+
+    def transpose(self, names: Sequence[str]) -> "RuleCube":
+        """Reorder the condition axes to the given name order."""
+        if sorted(names) != sorted(self.names):
+            raise CubeError(
+                f"transpose order {tuple(names)} must be a permutation "
+                f"of {self.names}"
+            )
+        perm = [self.axis_of(n) for n in names] + [len(self._attributes)]
+        counts = np.transpose(self._counts, perm)
+        attrs = [self.attribute(n) for n in names]
+        return RuleCube(attrs, self._class_attribute, counts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RuleCube):
+            return NotImplemented
+        return (
+            self._attributes == other._attributes
+            and self._class_attribute == other._class_attribute
+            and np.array_equal(self._counts, other._counts)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - cubes are not hashed
+        raise TypeError("RuleCube objects are unhashable")
+
+    def __repr__(self) -> str:
+        dims = " x ".join(
+            f"{a.name}({a.arity})" for a in self._attributes
+        )
+        cls = f"{self._class_attribute.name}({self._class_attribute.arity})"
+        dims = f"{dims} x {cls}" if dims else cls
+        return f"RuleCube({dims}, {self.total()} records)"

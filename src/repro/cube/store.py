@@ -1,0 +1,247 @@
+"""Cube store: the system's materialised cube layer.
+
+"In our current implementation, we store all 3-dimensional rule cubes.
+For each cube, one of the dimensions is always the class attribute"
+(Section III.B).  The store offers exactly that contract:
+
+* :meth:`CubeStore.precompute` materialises every pair cube up front
+  (the off-line, "in the evening" phase);
+* :meth:`CubeStore.cube` returns any requested cube, serving from the
+  cache when possible (a pair cube requested in either attribute order
+  is served by transposing the cached one) and counting lazily
+  otherwise;
+* once cubes exist, downstream consumers (the comparator, the GI miner,
+  the visualizer) never touch the raw records — which is why the
+  comparison time in Fig. 9 is independent of the data-set size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..dataset.table import Dataset
+from .builder import build_cube
+from .rulecube import CubeError, RuleCube
+
+__all__ = ["CubeStore"]
+
+
+class CubeStore:
+    """Cache of rule cubes over one data set.
+
+    Parameters
+    ----------
+    dataset:
+        The (fully categorical) data set cubes are counted from.
+    attributes:
+        The condition attributes the store manages; defaults to all.
+        The paper's analysts restricted the 600+ raw attributes to the
+        ~200 performance-related ones — pass that subset here.
+    max_cells:
+        Upper bound on a single cube's cell count.  Dense cubes over
+        high-arity attributes (cell ids, serial numbers) explode
+        quadratically; requests beyond the bound raise
+        :class:`CubeError` with a pointer to
+        :func:`repro.dataset.reduce_arity` instead of silently eating
+        memory.  ``None`` disables the guard.
+    """
+
+    #: Default per-cube cell budget (~80 MB of int64 counts).
+    DEFAULT_MAX_CELLS = 10_000_000
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        attributes: Optional[Sequence[str]] = None,
+        max_cells: Optional[int] = DEFAULT_MAX_CELLS,
+    ) -> None:
+        schema = dataset.schema
+        if attributes is None:
+            attributes = [a.name for a in schema.condition_attributes]
+        else:
+            for name in attributes:
+                attr = schema[name]  # raises on unknown names
+                if name == schema.class_name:
+                    raise CubeError(
+                        "the class attribute cannot be a condition "
+                        "attribute of the store"
+                    )
+                if not attr.is_categorical:
+                    raise CubeError(
+                        f"store attribute {name!r} is continuous; "
+                        "discretise the data set first"
+                    )
+        if max_cells is not None and max_cells < 1:
+            raise CubeError("max_cells must be positive or None")
+        self._dataset = dataset
+        self._attributes: Tuple[str, ...] = tuple(attributes)
+        self._max_cells = max_cells
+        self._cache: Dict[Tuple[str, ...], RuleCube] = {}
+
+    def cube_cells(self, attributes: Sequence[str]) -> int:
+        """Cell count of the (hypothetical) cube over ``attributes``."""
+        schema = self._dataset.schema
+        cells = schema.n_classes
+        for name in attributes:
+            cells *= schema[name].arity
+        return cells
+
+    def _check_budget(self, attributes: Sequence[str]) -> None:
+        if self._max_cells is None:
+            return
+        cells = self.cube_cells(attributes)
+        if cells > self._max_cells:
+            raise CubeError(
+                f"cube over {tuple(attributes)} would have {cells} "
+                f"cells (budget: {self._max_cells}); reduce the "
+                "arity of high-cardinality attributes first "
+                "(repro.dataset.reduce_arity) or raise max_cells"
+            )
+
+    @property
+    def dataset(self) -> Dataset:
+        """The backing data set."""
+        return self._dataset
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """Condition attributes the store manages."""
+        return self._attributes
+
+    @property
+    def n_cached(self) -> int:
+        """Number of cubes currently materialised."""
+        return len(self._cache)
+
+    def cube(self, attributes: Sequence[str]) -> RuleCube:
+        """The rule cube over ``attributes`` (+ class), cached.
+
+        Cubes are cached under the sorted attribute tuple; a request in
+        a different axis order is served by transposing the cached cube
+        (counts are order-independent).
+        """
+        requested = tuple(attributes)
+        for name in requested:
+            if name not in self._attributes:
+                raise CubeError(
+                    f"attribute {name!r} is not managed by this store"
+                )
+        if len(set(requested)) != len(requested):
+            raise CubeError(f"duplicate attributes: {requested}")
+        canonical = tuple(sorted(requested))
+        cube = self._cache.get(canonical)
+        if cube is None:
+            self._check_budget(canonical)
+            cube = build_cube(self._dataset, canonical)
+            self._cache[canonical] = cube
+        if requested != canonical:
+            cube = cube.transpose(requested)
+        return cube
+
+    def pair_cube(self, a: str, b: str) -> RuleCube:
+        """Convenience for the 3-dimensional cube over ``(a, b, class)``."""
+        return self.cube((a, b))
+
+    def single_cube(self, a: str) -> RuleCube:
+        """Convenience for the 2-dimensional cube over ``(a, class)``."""
+        return self.cube((a,))
+
+    def class_distribution_cube(self) -> RuleCube:
+        """The 1-dimensional class-only cube."""
+        key: Tuple[str, ...] = ()
+        cube = self._cache.get(key)
+        if cube is None:
+            cube = build_cube(self._dataset, ())
+            self._cache[key] = cube
+        return cube
+
+    def precompute(self, include_pairs: bool = True) -> int:
+        """Materialise all 2-D and (optionally) all 3-D cubes.
+
+        Returns the number of cubes built.  This is the system's
+        off-line generation phase benchmarked in Figs. 10 and 11.
+        """
+        built = 0
+        for name in self._attributes:
+            key = (name,)
+            if key not in self._cache:
+                self._cache[key] = build_cube(self._dataset, key)
+                built += 1
+        if include_pairs:
+            for i, a in enumerate(self._attributes):
+                for b in self._attributes[i + 1:]:
+                    key = tuple(sorted((a, b)))
+                    if key not in self._cache:
+                        self._cache[key] = build_cube(self._dataset, key)
+                        built += 1
+        return built
+
+    def absorb(self, batch: Dataset) -> int:
+        """Fold a new batch of records into every materialised cube.
+
+        The paper's data arrives monthly; because cubes are count
+        tensors, absorbing a batch is one counting pass over the batch
+        plus a tensor addition per cached cube — the historical records
+        are never rescanned.  The store's backing data set becomes the
+        concatenation (so lazily built cubes stay consistent).
+
+        Returns the number of cubes updated.
+        """
+        if batch.schema != self._dataset.schema:
+            raise CubeError(
+                "batch schema does not match the store's data set"
+            )
+        updated = 0
+        for key in list(self._cache):
+            delta = build_cube(batch, key)
+            self._cache[key] = self._cache[key].merge(delta)
+            updated += 1
+        self._dataset = self._dataset.concat(batch)
+        return updated
+
+    def cached_items(self) -> Dict[Tuple[str, ...], RuleCube]:
+        """Snapshot of the materialised cubes, keyed by the canonical
+        (sorted) attribute tuple.  Used by persistence."""
+        return dict(self._cache)
+
+    def inject(self, attributes: Tuple[str, ...], cube: RuleCube) -> None:
+        """Place an externally built cube into the cache.
+
+        The key must be the canonical sorted attribute tuple and the
+        cube's structure must match the store's schema — this is how
+        persisted off-line cubes warm a fresh store.
+        """
+        if tuple(sorted(attributes)) != tuple(attributes):
+            raise CubeError(
+                "injection key must be the sorted attribute tuple"
+            )
+        schema = self._dataset.schema
+        if cube.class_attribute != schema.class_attribute:
+            raise CubeError(
+                "cube class attribute does not match the store's "
+                "data set"
+            )
+        for attr in cube.attributes:
+            if attr.name not in self._attributes:
+                raise CubeError(
+                    f"cube attribute {attr.name!r} is not managed by "
+                    "this store"
+                )
+            if schema[attr.name] != attr:
+                raise CubeError(
+                    f"cube attribute {attr.name!r} does not match the "
+                    "store's schema"
+                )
+        if cube.names != tuple(attributes):
+            raise CubeError("cube axes do not match the injection key")
+        self._cache[tuple(attributes)] = cube
+
+    def invalidate(self) -> None:
+        """Drop every cached cube (e.g. after swapping the data set)."""
+        self._cache.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"CubeStore({len(self._attributes)} attributes, "
+            f"{len(self._cache)} cubes cached)"
+        )

@@ -1,0 +1,62 @@
+"""Tabular data substrate: schemas, columnar tables, discretisation,
+sampling and IO.
+
+This package is the foundation every other subsystem builds on.  It
+models the paper's input — "like any classification data set" with
+categorical and continuous attributes and a categorical class — as an
+immutable columnar :class:`Dataset` over an explicit :class:`Schema`.
+"""
+
+from .schema import (
+    CATEGORICAL,
+    CONTINUOUS,
+    MISSING,
+    Attribute,
+    Schema,
+    SchemaError,
+)
+from .table import Dataset, DatasetError
+from .discretize import (
+    ChiMergeDiscretizer,
+    Discretizer,
+    EntropyMDLDiscretizer,
+    EqualFrequencyDiscretizer,
+    EqualWidthDiscretizer,
+    ManualDiscretizer,
+    discretize_dataset,
+    interval_labels,
+)
+from .sampling import random_sample, stratified_sample, unbalanced_sample
+from .io import infer_schema, read_csv, write_csv
+from .arff import read_arff, write_arff
+from .ops import drop_attributes, merge_values, reduce_arity
+
+__all__ = [
+    "CATEGORICAL",
+    "CONTINUOUS",
+    "MISSING",
+    "Attribute",
+    "Schema",
+    "SchemaError",
+    "Dataset",
+    "DatasetError",
+    "Discretizer",
+    "EqualWidthDiscretizer",
+    "EqualFrequencyDiscretizer",
+    "EntropyMDLDiscretizer",
+    "ChiMergeDiscretizer",
+    "ManualDiscretizer",
+    "discretize_dataset",
+    "interval_labels",
+    "unbalanced_sample",
+    "random_sample",
+    "stratified_sample",
+    "infer_schema",
+    "read_csv",
+    "write_csv",
+    "read_arff",
+    "write_arff",
+    "reduce_arity",
+    "merge_values",
+    "drop_attributes",
+]

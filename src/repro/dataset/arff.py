@@ -1,0 +1,199 @@
+"""ARFF (Attribute-Relation File Format) reader and writer.
+
+ARFF is the lingua franca of classification data sets (Weka's native
+format) and maps 1:1 onto this library's schema model: ``@attribute``
+declarations are :class:`Attribute` objects (nominal -> categorical,
+``numeric``/``real`` -> continuous), ``?`` is the missing marker, and
+``@data`` rows are records.
+
+Supported subset (deliberately — the full grammar includes sparse rows
+and date types that classification data rarely uses):
+
+* ``@relation <name>``
+* ``@attribute <name> {v1, v2, ...}`` — nominal
+* ``@attribute <name> numeric|real|integer`` — continuous
+* ``%`` comments, blank lines, ``?`` missing values
+* dense ``@data`` rows, with optional single-quoted tokens
+
+The class attribute defaults to the *last* declared attribute (the
+Weka convention) but can be named explicitly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from .schema import Attribute, CATEGORICAL, CONTINUOUS, Schema
+from .table import Dataset, DatasetError
+
+__all__ = ["read_arff", "write_arff"]
+
+PathLike = Union[str, Path]
+
+_NUMERIC_TYPES = {"numeric", "real", "integer"}
+
+
+def _strip_quotes(token: str) -> str:
+    token = token.strip()
+    if len(token) >= 2 and token[0] == token[-1] and token[0] in "'\"":
+        return token[1:-1]
+    return token
+
+
+def _split_csvish(line: str) -> List[str]:
+    """Split a data row on commas, honouring single/double quotes."""
+    fields: List[str] = []
+    current: List[str] = []
+    quote: Optional[str] = None
+    for ch in line:
+        if quote:
+            if ch == quote:
+                quote = None
+            else:
+                current.append(ch)
+        elif ch in "'\"":
+            quote = ch
+        elif ch == ",":
+            fields.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    fields.append("".join(current).strip())
+    return fields
+
+
+def _parse_attribute_line(line: str) -> Attribute:
+    body = line[len("@attribute"):].strip()
+    if not body:
+        raise DatasetError("malformed @attribute line (empty)")
+    # Name may be quoted and may contain spaces when quoted.
+    if body[0] in "'\"":
+        quote = body[0]
+        end = body.find(quote, 1)
+        if end < 0:
+            raise DatasetError(f"unterminated quote in: {line!r}")
+        name = body[1:end]
+        rest = body[end + 1:].strip()
+    else:
+        parts = body.split(None, 1)
+        if len(parts) != 2:
+            raise DatasetError(f"malformed @attribute line: {line!r}")
+        name, rest = parts[0], parts[1].strip()
+
+    if rest.startswith("{"):
+        if not rest.endswith("}"):
+            raise DatasetError(
+                f"unterminated nominal domain in: {line!r}"
+            )
+        values = [
+            _strip_quotes(v) for v in _split_csvish(rest[1:-1])
+        ]
+        values = [v for v in values if v != ""]
+        if not values:
+            raise DatasetError(
+                f"empty nominal domain in: {line!r}"
+            )
+        return Attribute(name, CATEGORICAL, values)
+    type_name = rest.split()[0].lower()
+    if type_name in _NUMERIC_TYPES:
+        return Attribute(name, CONTINUOUS)
+    raise DatasetError(
+        f"unsupported ARFF attribute type {type_name!r} for "
+        f"{name!r} (supported: nominal, numeric/real/integer)"
+    )
+
+
+def read_arff(
+    path: PathLike, class_attribute: Optional[str] = None
+) -> Dataset:
+    """Load an ARFF file into a :class:`Dataset`.
+
+    Parameters
+    ----------
+    path:
+        The ``.arff`` file.
+    class_attribute:
+        Name of the class attribute; defaults to the last declared
+        attribute (the Weka convention).  It must be nominal.
+    """
+    path = Path(path)
+    attributes: List[Attribute] = []
+    rows: List[Tuple[str, ...]] = []
+    in_data = False
+
+    with path.open() as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line or line.startswith("%"):
+                continue
+            lowered = line.lower()
+            if in_data:
+                fields = [_strip_quotes(f) for f in _split_csvish(line)]
+                if len(fields) != len(attributes):
+                    raise DatasetError(
+                        f"data row has {len(fields)} fields; expected "
+                        f"{len(attributes)}"
+                    )
+                rows.append(tuple(fields))
+            elif lowered.startswith("@relation"):
+                continue
+            elif lowered.startswith("@attribute"):
+                attributes.append(_parse_attribute_line(line))
+            elif lowered.startswith("@data"):
+                if not attributes:
+                    raise DatasetError(
+                        "@data before any @attribute declarations"
+                    )
+                in_data = True
+            else:
+                raise DatasetError(f"unrecognised ARFF line: {line!r}")
+
+    if not in_data:
+        raise DatasetError(f"{path} has no @data section")
+    if class_attribute is None:
+        class_attribute = attributes[-1].name
+    schema = Schema(attributes, class_attribute=class_attribute)
+    return Dataset.from_rows(schema, rows, missing_token="?")
+
+
+def _quote_if_needed(token: str) -> str:
+    if any(ch in token for ch in " ,{}%'\""):
+        escaped = token.replace("'", "\\'")
+        return f"'{escaped}'"
+    return token
+
+
+def write_arff(
+    dataset: Dataset, path: PathLike, relation: str = "repro"
+) -> None:
+    """Write a data set as a dense ARFF file."""
+    path = Path(path)
+    schema = dataset.schema
+    lines = [f"@relation {_quote_if_needed(relation)}", ""]
+    for attr in schema:
+        if attr.is_categorical:
+            domain = ", ".join(
+                _quote_if_needed(v) for v in attr.values
+            )
+            lines.append(
+                f"@attribute {_quote_if_needed(attr.name)} "
+                f"{{{domain}}}"
+            )
+        else:
+            lines.append(
+                f"@attribute {_quote_if_needed(attr.name)} numeric"
+            )
+    lines.append("")
+    lines.append("@data")
+    for row in dataset.iter_rows():
+        fields = []
+        for cell in row:
+            if cell is None:
+                fields.append("?")
+            elif isinstance(cell, float):
+                fields.append(f"{cell:g}")
+            else:
+                fields.append(_quote_if_needed(str(cell)))
+        lines.append(",".join(fields))
+    path.write_text("\n".join(lines) + "\n")

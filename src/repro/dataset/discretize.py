@@ -1,0 +1,502 @@
+"""Discretisation of continuous attributes into intervals.
+
+Class-association-rule mining "requires every attribute in the data to be
+discrete ... there are many existing discretization algorithms that can be
+used to discretize each continuous attribute into intervals" (paper,
+Section III.A).  The deployed Opportunity Map system ships a discretiser
+component with a manual option (Section V.A).
+
+This module provides the standard algorithms:
+
+* :class:`EqualWidthDiscretizer` — fixed number of equal-width bins.
+* :class:`EqualFrequencyDiscretizer` — quantile bins with roughly equal
+  populations.
+* :class:`EntropyMDLDiscretizer` — the supervised Fayyad & Irani (1993)
+  recursive entropy minimisation with the MDL stopping criterion, the
+  classic choice for classification data.
+* :class:`ChiMergeDiscretizer` — Kerber's (1992) bottom-up chi-square
+  merging, the other classic supervised method.
+* :class:`ManualDiscretizer` — user-supplied cut points, mirroring the
+  "manual discretization option" of the deployed system.
+
+All discretisers share the same protocol: :meth:`fit` learns cut points
+from a data set, :meth:`transform` rewrites the continuous column as a
+categorical interval column, and :func:`discretize_dataset` applies a
+discretiser to every continuous attribute at once.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .table import Dataset, DatasetError
+
+__all__ = [
+    "Discretizer",
+    "EqualWidthDiscretizer",
+    "EqualFrequencyDiscretizer",
+    "EntropyMDLDiscretizer",
+    "ChiMergeDiscretizer",
+    "ManualDiscretizer",
+    "interval_labels",
+    "discretize_dataset",
+]
+
+
+def interval_labels(cuts: Sequence[float]) -> Tuple[str, ...]:
+    """Human-readable labels for the intervals induced by ``cuts``.
+
+    ``k`` cut points induce ``k + 1`` intervals:
+    ``(-inf, c0]``, ``(c0, c1]``, ..., ``(c_{k-1}, +inf)``.
+
+    >>> interval_labels([10.0, 20.0])
+    ('(-inf, 10]', '(10, 20]', '(20, +inf)')
+    """
+
+    def fmt(x: float) -> str:
+        if float(x).is_integer():
+            return str(int(x))
+        return f"{x:g}"
+
+    cuts = list(cuts)
+    if not cuts:
+        return ("(-inf, +inf)",)
+    labels = [f"(-inf, {fmt(cuts[0])}]"]
+    for lo, hi in zip(cuts, cuts[1:]):
+        labels.append(f"({fmt(lo)}, {fmt(hi)}]")
+    labels.append(f"({fmt(cuts[-1])}, +inf)")
+    return tuple(labels)
+
+
+class Discretizer:
+    """Base class for all discretisers.
+
+    Subclasses implement :meth:`find_cuts`; fitting, coding and data-set
+    rewriting are shared.  After :meth:`fit`, :attr:`cuts_` maps attribute
+    names to their learned ascending cut points.
+    """
+
+    def __init__(self) -> None:
+        self.cuts_: Dict[str, Tuple[float, ...]] = {}
+
+    # -- subclass hook --------------------------------------------------
+
+    def find_cuts(
+        self, values: np.ndarray, class_codes: np.ndarray, n_classes: int
+    ) -> Tuple[float, ...]:
+        """Return ascending cut points for one column (no NaNs)."""
+        raise NotImplementedError
+
+    # -- shared machinery -----------------------------------------------
+
+    def fit(
+        self, dataset: Dataset, attributes: Optional[Sequence[str]] = None
+    ) -> "Discretizer":
+        """Learn cut points for the given (default: all) continuous
+        attributes of ``dataset``."""
+        schema = dataset.schema
+        if attributes is None:
+            attributes = [
+                a.name for a in schema.condition_attributes if a.is_continuous
+            ]
+        class_codes = dataset.class_codes
+        n_classes = schema.n_classes
+        for name in attributes:
+            attr = schema[name]
+            if not attr.is_continuous:
+                raise DatasetError(
+                    f"cannot discretise categorical attribute {name!r}"
+                )
+            col = dataset.column(name)
+            keep = ~np.isnan(col)
+            self.cuts_[name] = tuple(
+                self.find_cuts(col[keep], class_codes[keep], n_classes)
+            )
+        return self
+
+    def transform(self, dataset: Dataset) -> Dataset:
+        """Rewrite every fitted attribute as a categorical interval
+        column, returning a new data set."""
+        out = dataset
+        for name, cuts in self.cuts_.items():
+            out = self._transform_one(out, name, cuts)
+        return out
+
+    def fit_transform(
+        self, dataset: Dataset, attributes: Optional[Sequence[str]] = None
+    ) -> Dataset:
+        """Convenience: :meth:`fit` then :meth:`transform`."""
+        return self.fit(dataset, attributes).transform(dataset)
+
+    @staticmethod
+    def _transform_one(
+        dataset: Dataset, name: str, cuts: Sequence[float]
+    ) -> Dataset:
+        attr = dataset.schema[name]
+        labels = interval_labels(cuts)
+        new_attr = attr.with_values(labels)
+        col = dataset.column(name)
+        codes = np.searchsorted(np.asarray(cuts, dtype=float), col, side="left")
+        codes = codes.astype(np.int64)
+        codes[np.isnan(col)] = -1
+        return dataset.replace_column(new_attr, codes)
+
+
+class EqualWidthDiscretizer(Discretizer):
+    """Split the observed range into ``n_bins`` equal-width intervals."""
+
+    def __init__(self, n_bins: int = 5) -> None:
+        super().__init__()
+        if n_bins < 1:
+            raise DatasetError("n_bins must be >= 1")
+        self.n_bins = n_bins
+
+    def find_cuts(
+        self, values: np.ndarray, class_codes: np.ndarray, n_classes: int
+    ) -> Tuple[float, ...]:
+        if values.size == 0 or self.n_bins == 1:
+            return ()
+        lo = float(values.min())
+        hi = float(values.max())
+        if lo == hi:
+            return ()
+        edges = np.linspace(lo, hi, self.n_bins + 1)[1:-1]
+        return tuple(float(e) for e in edges)
+
+
+class EqualFrequencyDiscretizer(Discretizer):
+    """Split at quantiles so each interval holds ~``n_bins``-th of rows."""
+
+    def __init__(self, n_bins: int = 5) -> None:
+        super().__init__()
+        if n_bins < 1:
+            raise DatasetError("n_bins must be >= 1")
+        self.n_bins = n_bins
+
+    def find_cuts(
+        self, values: np.ndarray, class_codes: np.ndarray, n_classes: int
+    ) -> Tuple[float, ...]:
+        if values.size == 0 or self.n_bins == 1:
+            return ()
+        qs = np.linspace(0.0, 1.0, self.n_bins + 1)[1:-1]
+        cuts = np.quantile(values, qs)
+        # Deduplicate: heavy ties can collapse adjacent quantiles.
+        unique: List[float] = []
+        for c in cuts:
+            c = float(c)
+            if not unique or c > unique[-1]:
+                unique.append(c)
+        hi = float(values.max())
+        return tuple(c for c in unique if c < hi)
+
+
+def _entropy(counts: np.ndarray) -> float:
+    """Shannon entropy (bits) of a count vector."""
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts[counts > 0] / total
+    return float(-(p * np.log2(p)).sum())
+
+
+class EntropyMDLDiscretizer(Discretizer):
+    """Fayyad & Irani (1993) supervised entropy/MDL discretisation.
+
+    Recursively picks the boundary that minimises the class-entropy of
+    the induced split, and accepts the split only when the information
+    gain clears the MDL Principle threshold:
+
+    ``gain > (log2(N - 1) + log2(3^k - 2) - k*E + k1*E1 + k2*E2) / N``
+
+    where ``k``/``k1``/``k2`` are the class counts present in the parent
+    and children and ``E``/``E1``/``E2`` their entropies.  Attributes
+    with no accepted split fall back to a single interval (and a
+    ``fallback`` equal-frequency split when requested).
+    """
+
+    def __init__(
+        self, max_depth: int = 8, fallback_bins: int = 0
+    ) -> None:
+        super().__init__()
+        self.max_depth = max_depth
+        self.fallback_bins = fallback_bins
+
+    def find_cuts(
+        self, values: np.ndarray, class_codes: np.ndarray, n_classes: int
+    ) -> Tuple[float, ...]:
+        order = np.argsort(values, kind="stable")
+        v = values[order]
+        y = class_codes[order]
+        cuts: List[float] = []
+        self._split(v, y, n_classes, cuts, self.max_depth)
+        if not cuts and self.fallback_bins > 1:
+            return EqualFrequencyDiscretizer(self.fallback_bins).find_cuts(
+                values, class_codes, n_classes
+            )
+        return tuple(sorted(cuts))
+
+    def _split(
+        self,
+        v: np.ndarray,
+        y: np.ndarray,
+        n_classes: int,
+        cuts: List[float],
+        depth: int,
+    ) -> None:
+        n = v.size
+        if depth <= 0 or n < 4:
+            return
+        parent_counts = np.bincount(y[y >= 0], minlength=n_classes)
+        parent_entropy = _entropy(parent_counts)
+        if parent_entropy == 0.0:
+            return
+
+        # Candidate boundaries: points where the value changes.  (Fayyad
+        # showed optimal cuts lie on class-boundary points; value-change
+        # points are a superset and simpler to enumerate.)
+        change = np.nonzero(v[1:] != v[:-1])[0]
+        if change.size == 0:
+            return
+
+        # Prefix class counts allow O(1) entropy per candidate.
+        onehot = np.zeros((n, n_classes), dtype=np.int64)
+        mask = y >= 0
+        onehot[np.nonzero(mask)[0], y[mask]] = 1
+        prefix = np.cumsum(onehot, axis=0)
+
+        best_gain = -1.0
+        best_idx = -1
+        best_stats: Tuple[float, float, int, int] = (0.0, 0.0, 0, 0)
+        total = parent_counts.sum()
+        for idx in change:
+            left = prefix[idx]
+            right = parent_counts - left
+            nl = left.sum()
+            nr = right.sum()
+            if nl == 0 or nr == 0:
+                continue
+            e1 = _entropy(left)
+            e2 = _entropy(right)
+            gain = parent_entropy - (nl / total) * e1 - (nr / total) * e2
+            if gain > best_gain:
+                best_gain = gain
+                best_idx = int(idx)
+                best_stats = (
+                    e1,
+                    e2,
+                    int(np.count_nonzero(left)),
+                    int(np.count_nonzero(right)),
+                )
+
+        if best_idx < 0:
+            return
+        e1, e2, k1, k2 = best_stats
+        k = int(np.count_nonzero(parent_counts))
+        delta = (
+            math.log2(3**k - 2)
+            - (k * parent_entropy - k1 * e1 - k2 * e2)
+        )
+        threshold = (math.log2(max(n - 1, 1)) + delta) / n
+        if best_gain <= threshold:
+            return
+
+        cut = (float(v[best_idx]) + float(v[best_idx + 1])) / 2.0
+        cuts.append(cut)
+        self._split(v[: best_idx + 1], y[: best_idx + 1], n_classes, cuts,
+                    depth - 1)
+        self._split(v[best_idx + 1:], y[best_idx + 1:], n_classes, cuts,
+                    depth - 1)
+
+
+class ChiMergeDiscretizer(Discretizer):
+    """Kerber's ChiMerge (1992): bottom-up chi-square interval merging.
+
+    Start with one interval per distinct value and repeatedly merge the
+    adjacent pair whose class distributions are most similar (lowest
+    chi-square), until every adjacent pair differs significantly
+    (chi-square above the threshold for the chosen significance level)
+    or the interval count reaches ``min_intervals``.  ``max_intervals``
+    forces further merging for very noisy columns.
+
+    The chi-square of two adjacent intervals with class count rows
+    ``a`` and ``b`` is the standard 2 x k statistic; intervals with
+    expected counts of zero contribute nothing (the usual ChiMerge
+    convention).
+    """
+
+    #: chi-square critical values at df = n_classes - 1 for the 0.95
+    #: significance level (df 1..6; larger dfs fall back to Wilson-
+    #: Hilferty approximation).
+    _CHI2_95 = {1: 3.841, 2: 5.991, 3: 7.815, 4: 9.488, 5: 11.070,
+                6: 12.592}
+
+    def __init__(
+        self,
+        max_intervals: int = 8,
+        min_intervals: int = 2,
+        significance: float = 0.95,
+    ) -> None:
+        super().__init__()
+        if min_intervals < 1 or max_intervals < min_intervals:
+            raise DatasetError(
+                "need 1 <= min_intervals <= max_intervals"
+            )
+        if significance != 0.95:
+            raise DatasetError(
+                "this implementation tabulates the 0.95 significance "
+                "level only"
+            )
+        self.max_intervals = max_intervals
+        self.min_intervals = min_intervals
+
+    @classmethod
+    def _critical_value(cls, df: int) -> float:
+        if df in cls._CHI2_95:
+            return cls._CHI2_95[df]
+        # Wilson-Hilferty: chi2_p(df) ~ df (1 - 2/(9 df) + z sqrt(2/(9 df)))^3
+        z = 1.645  # one-sided 0.95
+        term = 1.0 - 2.0 / (9.0 * df) + z * math.sqrt(2.0 / (9.0 * df))
+        return df * term**3
+
+    @staticmethod
+    def _pair_chi2(a: np.ndarray, b: np.ndarray) -> float:
+        total = a.sum() + b.sum()
+        if total == 0:
+            return 0.0
+        col = a + b
+        chi2 = 0.0
+        for row in (a, b):
+            row_total = row.sum()
+            for j in range(len(col)):
+                expected = row_total * col[j] / total
+                if expected > 0:
+                    chi2 += (row[j] - expected) ** 2 / expected
+        return float(chi2)
+
+    def find_cuts(
+        self, values: np.ndarray, class_codes: np.ndarray, n_classes: int
+    ) -> Tuple[float, ...]:
+        if values.size == 0:
+            return ()
+        order = np.argsort(values, kind="stable")
+        v = values[order]
+        y = class_codes[order]
+
+        # One initial interval per distinct value, with class counts.
+        boundaries: List[float] = []
+        tables: List[np.ndarray] = []
+        start = 0
+        for i in range(1, v.size + 1):
+            if i == v.size or v[i] != v[start]:
+                seg = y[start:i]
+                counts = np.bincount(
+                    seg[seg >= 0], minlength=n_classes
+                ).astype(float)
+                tables.append(counts)
+                if i < v.size:
+                    boundaries.append(
+                        (float(v[i - 1]) + float(v[i])) / 2.0
+                    )
+                start = i
+        if len(tables) <= 1:
+            return ()
+
+        threshold = self._critical_value(max(n_classes - 1, 1))
+        while len(tables) > self.min_intervals:
+            chi2s = [
+                self._pair_chi2(tables[i], tables[i + 1])
+                for i in range(len(tables) - 1)
+            ]
+            best = int(np.argmin(chi2s))
+            if (
+                chi2s[best] > threshold
+                and len(tables) <= self.max_intervals
+            ):
+                break
+            tables[best] = tables[best] + tables[best + 1]
+            del tables[best + 1]
+            del boundaries[best]
+        return tuple(boundaries)
+
+
+class ManualDiscretizer(Discretizer):
+    """User-supplied cut points per attribute.
+
+    Mirrors the "manual discretization option" of the deployed system:
+    domain experts often know the meaningful breakpoints (e.g. signal
+    strength bands).
+
+    >>> d = ManualDiscretizer({"SignalStrength": (-100.0, -85.0)})
+    """
+
+    def __init__(self, cuts: Dict[str, Sequence[float]]) -> None:
+        super().__init__()
+        for name, points in cuts.items():
+            ordered = tuple(float(p) for p in points)
+            if list(ordered) != sorted(set(ordered)):
+                raise DatasetError(
+                    f"cut points for {name!r} must be strictly ascending"
+                )
+            self.cuts_[name] = ordered
+
+    def find_cuts(
+        self, values: np.ndarray, class_codes: np.ndarray, n_classes: int
+    ) -> Tuple[float, ...]:
+        raise DatasetError(
+            "ManualDiscretizer takes its cuts from the constructor; "
+            "call transform() directly"
+        )
+
+    def fit(
+        self, dataset: Dataset, attributes: Optional[Sequence[str]] = None
+    ) -> "Discretizer":
+        for name in self.cuts_:
+            if not dataset.schema[name].is_continuous:
+                raise DatasetError(
+                    f"manual cuts given for non-continuous attribute "
+                    f"{name!r}"
+                )
+        return self
+
+
+def discretize_dataset(
+    dataset: Dataset,
+    method: str = "mdl",
+    n_bins: int = 5,
+    manual_cuts: Optional[Dict[str, Sequence[float]]] = None,
+) -> Dataset:
+    """Discretise every continuous condition attribute of ``dataset``.
+
+    Parameters
+    ----------
+    method:
+        ``"width"``, ``"frequency"``, ``"mdl"``, ``"chimerge"`` or
+        ``"manual"``.
+    n_bins:
+        Bin count for the unsupervised methods (also the MDL fallback).
+    manual_cuts:
+        Required for ``method="manual"``.
+
+    Returns the fully categorical data set ready for rule mining.
+    """
+    if method == "width":
+        disc: Discretizer = EqualWidthDiscretizer(n_bins)
+    elif method == "frequency":
+        disc = EqualFrequencyDiscretizer(n_bins)
+    elif method == "mdl":
+        disc = EntropyMDLDiscretizer(fallback_bins=n_bins)
+    elif method == "chimerge":
+        disc = ChiMergeDiscretizer(max_intervals=max(n_bins, 2))
+    elif method == "manual":
+        if manual_cuts is None:
+            raise DatasetError("manual discretisation requires manual_cuts")
+        disc = ManualDiscretizer(dict(manual_cuts))
+    else:
+        raise DatasetError(
+            f"unknown discretisation method {method!r}; expected one of "
+            "'width', 'frequency', 'mdl', 'chimerge', 'manual'"
+        )
+    return disc.fit_transform(dataset)

@@ -1,0 +1,154 @@
+"""Reading and writing data sets as delimited text.
+
+The deployed system consumed monthly call-log extracts; this module
+provides the equivalent plumbing for the reproduction: a small, strict
+CSV reader/writer plus schema inference for files without a declared
+schema.
+
+The format is ordinary CSV with a header row of attribute names.  A
+cell equal to the ``missing_token`` (default ``"?"``) is treated as a
+missing value.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from .schema import Attribute, CATEGORICAL, CONTINUOUS, Schema
+from .table import Dataset, DatasetError
+
+__all__ = ["read_csv", "write_csv", "infer_schema"]
+
+PathLike = Union[str, Path]
+
+
+def _is_float(token: str) -> bool:
+    try:
+        float(token)
+    except ValueError:
+        return False
+    return True
+
+
+def infer_schema(
+    header: Sequence[str],
+    rows: Iterable[Sequence[str]],
+    class_attribute: str,
+    missing_token: str = "?",
+    max_categorical_arity: int = 64,
+) -> Schema:
+    """Infer a :class:`Schema` from string rows.
+
+    A column is continuous when every non-missing cell parses as a float
+    *and* the number of distinct cells exceeds ``max_categorical_arity``
+    (small integer-coded columns such as 0/1 flags stay categorical).
+    The class attribute is always categorical.
+    """
+    header = list(header)
+    if class_attribute not in header:
+        raise DatasetError(
+            f"class attribute {class_attribute!r} not found in header"
+        )
+    n_cols = len(header)
+    numeric = [True] * n_cols
+    domains: List[dict] = [dict() for _ in range(n_cols)]
+    for row in rows:
+        if len(row) != n_cols:
+            raise DatasetError(
+                f"row with {len(row)} fields does not match header of "
+                f"{n_cols} columns"
+            )
+        for i, cell in enumerate(row):
+            if cell == missing_token:
+                continue
+            if cell not in domains[i]:
+                domains[i][cell] = None
+            if numeric[i] and not _is_float(cell):
+                numeric[i] = False
+
+    attributes = []
+    for i, name in enumerate(header):
+        distinct = list(domains[i])
+        is_class = name == class_attribute
+        if (
+            not is_class
+            and numeric[i]
+            and len(distinct) > max_categorical_arity
+        ):
+            attributes.append(Attribute(name, CONTINUOUS))
+        else:
+            # Sort numerically when possible so interval-ish columns
+            # keep a meaningful order for trend mining.
+            if distinct and all(_is_float(v) for v in distinct):
+                distinct.sort(key=float)
+            else:
+                distinct.sort()
+            if not distinct:
+                distinct = ["<empty>"]
+            attributes.append(Attribute(name, CATEGORICAL, distinct))
+    return Schema(attributes, class_attribute)
+
+
+def read_csv(
+    path: PathLike,
+    class_attribute: str,
+    schema: Optional[Schema] = None,
+    missing_token: str = "?",
+    delimiter: str = ",",
+    max_categorical_arity: int = 64,
+) -> Dataset:
+    """Load a delimited text file into a :class:`Dataset`.
+
+    When ``schema`` is omitted the file is scanned once to infer one
+    (see :func:`infer_schema`) and once more to code the rows.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DatasetError(f"{path} is empty") from None
+        rows = [tuple(r) for r in reader]
+
+    if schema is None:
+        schema = infer_schema(
+            header,
+            rows,
+            class_attribute,
+            missing_token=missing_token,
+            max_categorical_arity=max_categorical_arity,
+        )
+    else:
+        if list(header) != list(schema.names):
+            raise DatasetError(
+                "file header does not match the provided schema"
+            )
+        if schema.class_name != class_attribute:
+            raise DatasetError(
+                "class_attribute disagrees with the provided schema"
+            )
+
+    # Reorder row fields to schema order (they match header order here).
+    order = [header.index(name) for name in schema.names]
+    reordered = ([row[i] for i in order] for row in rows)
+    return Dataset.from_rows(schema, reordered, missing_token=missing_token)
+
+
+def write_csv(
+    dataset: Dataset,
+    path: PathLike,
+    missing_token: str = "?",
+    delimiter: str = ",",
+) -> None:
+    """Write a data set as delimited text with a header row."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(dataset.schema.names)
+        for row in dataset.iter_rows():
+            writer.writerow(
+                missing_token if cell is None else cell for cell in row
+            )

@@ -1,0 +1,148 @@
+"""Schema-reshaping operations on data sets.
+
+Dense rule cubes are quadratic in the attribute arities: a pair cube
+over two 1000-value attributes has three million cells per class.  The
+paper's analysts handled this upstream — the 600+ raw attributes were
+curated to ~200 performance-related ones, and high-cardinality fields
+(cell ids, handset serials) were either dropped or bucketed.  This
+module provides those preparation steps:
+
+* :func:`reduce_arity` — keep an attribute's top-k most frequent
+  values and bucket the tail into a single ``<other>`` value (rule
+  confidences for the kept values are unchanged; the tail is still
+  countable);
+* :func:`merge_values` — collapse an explicit set of values into one
+  (e.g. fold sparse firmware builds into families);
+* :func:`drop_attributes` — remove columns wholesale (the curation
+  step).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from .schema import Attribute, MISSING
+from .table import Dataset, DatasetError
+
+__all__ = ["reduce_arity", "merge_values", "drop_attributes"]
+
+
+def reduce_arity(
+    dataset: Dataset,
+    attribute: str,
+    max_values: int,
+    other_label: str = "<other>",
+) -> Dataset:
+    """Keep the ``max_values - 1`` most frequent values; bucket the
+    rest into ``other_label``.
+
+    The kept values' per-value class confidences are untouched (their
+    records are unchanged); only the tail loses per-value resolution.
+    When the attribute already fits, the data set is returned as-is.
+
+    Kept values preserve their original relative order, and the bucket
+    goes last, so interval-ish orderings survive for trend mining.
+    """
+    attr = dataset.schema[attribute]
+    if not attr.is_categorical:
+        raise DatasetError(
+            f"reduce_arity requires a categorical attribute; "
+            f"{attribute!r} is continuous"
+        )
+    if max_values < 2:
+        raise DatasetError("max_values must be >= 2 (top values + "
+                           "the bucket)")
+    if attr.arity <= max_values:
+        return dataset
+    if other_label in attr.values:
+        raise DatasetError(
+            f"bucket label {other_label!r} collides with an existing "
+            "value"
+        )
+
+    counts = dataset.value_counts(attribute)
+    keep_n = max_values - 1
+    # Most frequent values, ties broken by original order.
+    order = np.argsort(-counts, kind="stable")
+    kept_codes = np.sort(order[:keep_n])
+
+    new_values = [attr.values[c] for c in kept_codes] + [other_label]
+    new_attr = Attribute(attribute, values=new_values)
+
+    remap = np.full(attr.arity, keep_n, dtype=np.int64)  # -> bucket
+    for new_code, old_code in enumerate(kept_codes):
+        remap[old_code] = new_code
+
+    col = dataset.column(attribute)
+    new_col = np.where(col == MISSING, MISSING, remap[col])
+    return dataset.replace_column(new_attr, new_col)
+
+
+def merge_values(
+    dataset: Dataset,
+    attribute: str,
+    groups: Dict[str, Sequence[str]],
+) -> Dataset:
+    """Collapse named groups of values into single values.
+
+    ``groups`` maps each new value to the old values it absorbs; old
+    values not mentioned keep their identity.  New values appear after
+    the surviving originals, in ``groups`` order.
+
+    >>> # merge_values(ds, "Firmware", {"v1.x": ["v1.0", "v1.1"]})
+    """
+    attr = dataset.schema[attribute]
+    if not attr.is_categorical:
+        raise DatasetError(
+            f"merge_values requires a categorical attribute; "
+            f"{attribute!r} is continuous"
+        )
+    absorbed: Dict[str, str] = {}
+    for new_value, olds in groups.items():
+        for old in olds:
+            if old not in attr.values:
+                raise DatasetError(
+                    f"{old!r} is not a value of {attribute!r}"
+                )
+            if old in absorbed:
+                raise DatasetError(
+                    f"value {old!r} appears in two groups"
+                )
+            absorbed[old] = new_value
+
+    survivors = [v for v in attr.values if v not in absorbed]
+    new_values: List[str] = list(survivors)
+    for new_value in groups:
+        if new_value in new_values:
+            raise DatasetError(
+                f"merged value {new_value!r} collides with a "
+                "surviving original"
+            )
+        new_values.append(new_value)
+    new_attr = Attribute(attribute, values=new_values)
+
+    index = {v: i for i, v in enumerate(new_values)}
+    remap = np.empty(attr.arity, dtype=np.int64)
+    for code, value in enumerate(attr.values):
+        remap[code] = index[absorbed.get(value, value)]
+
+    col = dataset.column(attribute)
+    new_col = np.where(col == MISSING, MISSING, remap[col])
+    return dataset.replace_column(new_attr, new_col)
+
+
+def drop_attributes(
+    dataset: Dataset, names: Iterable[str]
+) -> Dataset:
+    """Remove condition attributes (the analysts' curation step)."""
+    names = set(names)
+    schema = dataset.schema
+    if schema.class_name in names:
+        raise DatasetError("cannot drop the class attribute")
+    unknown = names - set(schema.names)
+    if unknown:
+        raise DatasetError(f"unknown attributes: {sorted(unknown)}")
+    keep = [n for n in schema.names if n not in names]
+    return dataset.project(keep)

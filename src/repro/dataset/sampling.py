@@ -1,0 +1,129 @@
+"""Class-aware sampling for heavily skewed classification data.
+
+The paper notes (Section I) that "the classes are highly skewed in the
+data because successfully ended calls represent a very large proportion
+of the data and the failure cases are rare ... Unbalanced sampling is
+used before mining, which has been shown to work quite well", and that
+"for huge data sets, sampling is applied" before cube generation
+(Section V.C).
+
+Two samplers are provided:
+
+* :func:`unbalanced_sample` — keep all records of the rare (interesting)
+  classes and down-sample the dominant class to a target ratio.
+* :func:`random_sample` — plain uniform row sampling used before
+  off-line cube generation on huge data.
+
+Both are deterministic given a seed and return new :class:`Dataset`
+objects; the input is never mutated.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .table import Dataset, DatasetError
+
+__all__ = ["unbalanced_sample", "random_sample", "stratified_sample"]
+
+
+def unbalanced_sample(
+    dataset: Dataset,
+    majority_class: Optional[str] = None,
+    ratio: float = 1.0,
+    seed: Optional[int] = None,
+) -> Dataset:
+    """Down-sample the majority class, keeping all minority records.
+
+    Parameters
+    ----------
+    dataset:
+        The input data set.
+    majority_class:
+        Label of the dominant class.  When omitted, the most frequent
+        class is used.
+    ratio:
+        Target ratio of (sampled majority count) / (total minority
+        count).  ``ratio=1.0`` balances the majority against all other
+        classes combined; larger values keep more majority records.
+    seed:
+        Seed for the pseudo-random generator (reproducible sampling).
+
+    Returns
+    -------
+    Dataset
+        All minority rows plus the sampled majority rows, in original
+        row order.
+    """
+    if ratio <= 0:
+        raise DatasetError("sampling ratio must be positive")
+    class_attr = dataset.schema.class_attribute
+    counts = dataset.class_distribution()
+    if majority_class is None:
+        majority_code = int(np.argmax(counts))
+    else:
+        majority_code = class_attr.code_of(majority_class)
+    codes = dataset.class_codes
+    majority_idx = np.nonzero(codes == majority_code)[0]
+    minority_idx = np.nonzero(
+        (codes != majority_code) & (codes >= 0)
+    )[0]
+
+    target = int(round(ratio * minority_idx.size))
+    target = min(target, majority_idx.size)
+    if target == majority_idx.size:
+        keep_majority = majority_idx
+    else:
+        rng = np.random.default_rng(seed)
+        keep_majority = rng.choice(majority_idx, size=target, replace=False)
+
+    keep = np.sort(np.concatenate([minority_idx, keep_majority]))
+    return dataset.take(keep)
+
+
+def random_sample(
+    dataset: Dataset, fraction: float, seed: Optional[int] = None
+) -> Dataset:
+    """Uniformly sample a fraction of rows (without replacement)."""
+    if not 0.0 < fraction <= 1.0:
+        raise DatasetError("sampling fraction must be in (0, 1]")
+    n = dataset.n_rows
+    k = int(round(fraction * n))
+    if k >= n:
+        return dataset
+    rng = np.random.default_rng(seed)
+    keep = np.sort(rng.choice(n, size=k, replace=False))
+    return dataset.take(keep)
+
+
+def stratified_sample(
+    dataset: Dataset,
+    per_class: Sequence[int],
+    seed: Optional[int] = None,
+) -> Dataset:
+    """Sample a fixed number of rows from each class.
+
+    ``per_class`` lists the target count per class label, in domain
+    order.  Classes with fewer records than requested contribute all of
+    their rows.
+    """
+    class_attr = dataset.schema.class_attribute
+    if len(per_class) != class_attr.arity:
+        raise DatasetError(
+            f"per_class must list one count per class "
+            f"({class_attr.arity} classes)"
+        )
+    rng = np.random.default_rng(seed)
+    codes = dataset.class_codes
+    pieces = []
+    for code, want in enumerate(per_class):
+        if want < 0:
+            raise DatasetError("per-class counts must be non-negative")
+        idx = np.nonzero(codes == code)[0]
+        if idx.size > want:
+            idx = rng.choice(idx, size=want, replace=False)
+        pieces.append(idx)
+    keep = np.sort(np.concatenate(pieces)) if pieces else np.empty(0, int)
+    return dataset.take(keep)

@@ -1,0 +1,356 @@
+"""Attribute and schema descriptions for classification data sets.
+
+The paper's data sets are "like any classification data set" (Section I):
+a collection of records over named attributes, one of which is the class
+(target) attribute.  Attributes are either *categorical* (a finite set of
+symbolic values) or *continuous* (real-valued; must be discretised before
+rule mining, Section III.A).
+
+This module defines the immutable metadata objects used throughout the
+library:
+
+* :class:`Attribute` — one column: name, kind, and (for categorical
+  attributes) the ordered tuple of possible values.
+* :class:`Schema` — an ordered collection of attributes plus the identity
+  of the class attribute.
+
+Values of a categorical attribute are referred to elsewhere by their
+*code*: the integer index into :attr:`Attribute.values`.  The special code
+:data:`MISSING` (``-1``) marks an absent value.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+__all__ = [
+    "MISSING",
+    "CATEGORICAL",
+    "CONTINUOUS",
+    "Attribute",
+    "Schema",
+    "SchemaError",
+]
+
+#: Integer code used to mark a missing value in a coded column.
+MISSING = -1
+
+#: Kind tag for categorical (symbolic, finite-domain) attributes.
+CATEGORICAL = "categorical"
+
+#: Kind tag for continuous (real-valued) attributes.
+CONTINUOUS = "continuous"
+
+_KINDS = (CATEGORICAL, CONTINUOUS)
+
+
+class SchemaError(ValueError):
+    """Raised for inconsistent attribute or schema definitions."""
+
+
+class Attribute:
+    """Description of a single data-set column.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within a schema.
+    kind:
+        Either :data:`CATEGORICAL` or :data:`CONTINUOUS`.
+    values:
+        For categorical attributes, the ordered domain.  The order is
+        meaningful: trend mining (``repro.gi``) reads confidences along
+        this order, and discretised attributes keep their intervals in
+        ascending order.  Must be ``None`` for continuous attributes.
+
+    Examples
+    --------
+    >>> phone = Attribute("PhoneModel", CATEGORICAL, ("ph1", "ph2", "ph3"))
+    >>> phone.arity
+    3
+    >>> phone.code_of("ph2")
+    1
+    >>> phone.value_of(1)
+    'ph2'
+    """
+
+    __slots__ = ("_name", "_kind", "_values", "_index")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str = CATEGORICAL,
+        values: Optional[Sequence[str]] = None,
+    ) -> None:
+        if not name or not isinstance(name, str):
+            raise SchemaError("attribute name must be a non-empty string")
+        if kind not in _KINDS:
+            raise SchemaError(
+                f"unknown attribute kind {kind!r}; expected one of {_KINDS}"
+            )
+        if kind == CONTINUOUS:
+            if values is not None:
+                raise SchemaError(
+                    f"continuous attribute {name!r} cannot declare values"
+                )
+            self._values: Optional[Tuple[str, ...]] = None
+            self._index = {}
+        else:
+            if values is None:
+                raise SchemaError(
+                    f"categorical attribute {name!r} must declare its values"
+                )
+            vals = tuple(str(v) for v in values)
+            if not vals:
+                raise SchemaError(
+                    f"categorical attribute {name!r} must have at least one value"
+                )
+            if len(set(vals)) != len(vals):
+                raise SchemaError(
+                    f"categorical attribute {name!r} has duplicate values"
+                )
+            self._values = vals
+            self._index = {v: i for i, v in enumerate(vals)}
+        self._name = name
+        self._kind = kind
+
+    @property
+    def name(self) -> str:
+        """Column name."""
+        return self._name
+
+    @property
+    def kind(self) -> str:
+        """Attribute kind tag (categorical or continuous)."""
+        return self._kind
+
+    @property
+    def values(self) -> Tuple[str, ...]:
+        """Ordered value domain (categorical attributes only)."""
+        if self._values is None:
+            raise SchemaError(
+                f"continuous attribute {self._name!r} has no value domain"
+            )
+        return self._values
+
+    @property
+    def is_categorical(self) -> bool:
+        """True when the attribute is categorical."""
+        return self._kind == CATEGORICAL
+
+    @property
+    def is_continuous(self) -> bool:
+        """True when the attribute is continuous."""
+        return self._kind == CONTINUOUS
+
+    @property
+    def arity(self) -> int:
+        """Number of possible values (categorical attributes only)."""
+        return len(self.values)
+
+    def code_of(self, value: str) -> int:
+        """Return the integer code of ``value`` within this attribute.
+
+        Raises :class:`SchemaError` when the value is not in the domain.
+        """
+        try:
+            return self._index[str(value)]
+        except KeyError:
+            raise SchemaError(
+                f"value {value!r} is not in the domain of attribute "
+                f"{self._name!r} (domain: {self._values})"
+            ) from None
+
+    def value_of(self, code: int) -> str:
+        """Return the symbolic value for an integer ``code``."""
+        values = self.values
+        if not 0 <= code < len(values):
+            raise SchemaError(
+                f"code {code} out of range for attribute {self._name!r} "
+                f"with arity {len(values)}"
+            )
+        return values[code]
+
+    def with_values(self, values: Sequence[str]) -> "Attribute":
+        """Return a categorical copy of this attribute with a new domain.
+
+        Used by discretisers to turn a continuous attribute into a
+        categorical one whose values are interval labels.
+        """
+        return Attribute(self._name, CATEGORICAL, values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Attribute):
+            return NotImplemented
+        return (
+            self._name == other._name
+            and self._kind == other._kind
+            and self._values == other._values
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._kind, self._values))
+
+    def __repr__(self) -> str:
+        if self.is_continuous:
+            return f"Attribute({self._name!r}, continuous)"
+        return f"Attribute({self._name!r}, values={self._values!r})"
+
+
+class Schema:
+    """Ordered attribute collection with a designated class attribute.
+
+    The class attribute (called *C* in the paper) must be categorical: its
+    values are the classes, e.g. ``failed-during-setup``,
+    ``dropped-while-in-progress``, ``ended-successfully``.
+
+    Parameters
+    ----------
+    attributes:
+        All attributes, in column order, *including* the class attribute.
+    class_attribute:
+        Name of the class attribute.
+
+    Examples
+    --------
+    >>> schema = Schema(
+    ...     [
+    ...         Attribute("PhoneModel", values=("ph1", "ph2")),
+    ...         Attribute("Outcome", values=("ok", "drop")),
+    ...     ],
+    ...     class_attribute="Outcome",
+    ... )
+    >>> schema.class_attribute.name
+    'Outcome'
+    >>> [a.name for a in schema.condition_attributes]
+    ['PhoneModel']
+    """
+
+    __slots__ = ("_attributes", "_by_name", "_class_name")
+
+    def __init__(
+        self, attributes: Iterable[Attribute], class_attribute: str
+    ) -> None:
+        attrs = tuple(attributes)
+        if not attrs:
+            raise SchemaError("a schema needs at least one attribute")
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate attribute names: {dupes}")
+        by_name = {a.name: a for a in attrs}
+        if class_attribute not in by_name:
+            raise SchemaError(
+                f"class attribute {class_attribute!r} is not in the schema"
+            )
+        cls = by_name[class_attribute]
+        if not cls.is_categorical:
+            raise SchemaError(
+                f"class attribute {class_attribute!r} must be categorical"
+            )
+        self._attributes = attrs
+        self._by_name = by_name
+        self._class_name = class_attribute
+
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        """All attributes in column order, including the class."""
+        return self._attributes
+
+    @property
+    def class_attribute(self) -> Attribute:
+        """The designated class (target) attribute."""
+        return self._by_name[self._class_name]
+
+    @property
+    def class_name(self) -> str:
+        """Name of the class attribute."""
+        return self._class_name
+
+    @property
+    def classes(self) -> Tuple[str, ...]:
+        """The class labels, i.e. the domain of the class attribute."""
+        return self.class_attribute.values
+
+    @property
+    def n_classes(self) -> int:
+        """Number of class labels."""
+        return self.class_attribute.arity
+
+    @property
+    def condition_attributes(self) -> Tuple[Attribute, ...]:
+        """All attributes except the class, in column order.
+
+        These are the attributes rules may condition on and the
+        comparator may rank.
+        """
+        return tuple(a for a in self._attributes if a.name != self._class_name)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """All attribute names in column order."""
+        return tuple(a.name for a in self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Attribute:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"no attribute named {name!r} in schema") from None
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return (
+            self._attributes == other._attributes
+            and self._class_name == other._class_name
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._attributes, self._class_name))
+
+    def index_of(self, name: str) -> int:
+        """Column index of the named attribute."""
+        for i, attr in enumerate(self._attributes):
+            if attr.name == name:
+                return i
+        raise SchemaError(f"no attribute named {name!r} in schema")
+
+    def replace(self, attribute: Attribute) -> "Schema":
+        """Return a schema with the same-named attribute replaced.
+
+        Used when a discretiser converts a continuous attribute to a
+        categorical one.
+        """
+        if attribute.name not in self._by_name:
+            raise SchemaError(
+                f"cannot replace unknown attribute {attribute.name!r}"
+            )
+        attrs = tuple(
+            attribute if a.name == attribute.name else a
+            for a in self._attributes
+        )
+        return Schema(attrs, self._class_name)
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Return a schema restricted to ``names`` (class must be kept)."""
+        if self._class_name not in names:
+            raise SchemaError("a projection must retain the class attribute")
+        missing = [n for n in names if n not in self._by_name]
+        if missing:
+            raise SchemaError(f"unknown attributes in projection: {missing}")
+        return Schema([self._by_name[n] for n in names], self._class_name)
+
+    def __repr__(self) -> str:
+        return (
+            f"Schema({len(self._attributes)} attributes, "
+            f"class={self._class_name!r})"
+        )

@@ -1,0 +1,328 @@
+"""Columnar data set backing the rule-cube machinery.
+
+The paper's call-log data is very large (hundreds of attributes, millions
+of records per month).  Rule-cube construction only ever needs *counts of
+co-occurring attribute values*, so the natural in-memory layout is
+columnar: each categorical attribute is one :class:`numpy.ndarray` of
+integer codes (indices into :attr:`Attribute.values`), and each continuous
+attribute is one float array awaiting discretisation.
+
+:class:`Dataset` is deliberately small: selection (boolean masks),
+projection, stacking and per-column access.  Mining logic lives in the
+packages layered on top (``repro.rules``, ``repro.cube``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .schema import MISSING, Attribute, Schema
+
+__all__ = ["Dataset", "DatasetError"]
+
+
+class DatasetError(ValueError):
+    """Raised for malformed or inconsistent data-set operations."""
+
+
+class Dataset:
+    """Immutable columnar table of coded records over a :class:`Schema`.
+
+    Categorical columns hold ``int64`` codes (``MISSING`` = ``-1`` marks an
+    absent value); continuous columns hold ``float64`` (``NaN`` marks an
+    absent value).
+
+    Construct with :meth:`from_columns` (already-coded arrays),
+    :meth:`from_rows` (symbolic rows) or via ``repro.dataset.io``.
+
+    Examples
+    --------
+    >>> schema = Schema(
+    ...     [
+    ...         Attribute("A", values=("x", "y")),
+    ...         Attribute("C", values=("no", "yes")),
+    ...     ],
+    ...     class_attribute="C",
+    ... )
+    >>> ds = Dataset.from_rows(schema, [("x", "yes"), ("y", "no")])
+    >>> len(ds)
+    2
+    >>> ds.column("A").tolist()
+    [0, 1]
+    """
+
+    __slots__ = ("_schema", "_columns", "_n_rows")
+
+    def __init__(
+        self, schema: Schema, columns: Mapping[str, np.ndarray]
+    ) -> None:
+        if set(columns) != set(schema.names):
+            missing = set(schema.names) - set(columns)
+            extra = set(columns) - set(schema.names)
+            raise DatasetError(
+                f"column/schema mismatch (missing: {sorted(missing)}, "
+                f"unexpected: {sorted(extra)})"
+            )
+        normalised: Dict[str, np.ndarray] = {}
+        n_rows: Optional[int] = None
+        for attr in schema:
+            col = np.asarray(columns[attr.name])
+            if col.ndim != 1:
+                raise DatasetError(
+                    f"column {attr.name!r} must be one-dimensional"
+                )
+            if n_rows is None:
+                n_rows = col.shape[0]
+            elif col.shape[0] != n_rows:
+                raise DatasetError(
+                    f"column {attr.name!r} has {col.shape[0]} rows; "
+                    f"expected {n_rows}"
+                )
+            if attr.is_categorical:
+                col = col.astype(np.int64, copy=False)
+                if col.size:
+                    lo = int(col.min())
+                    hi = int(col.max())
+                    if lo < MISSING or hi >= attr.arity:
+                        raise DatasetError(
+                            f"column {attr.name!r} contains codes outside "
+                            f"[{MISSING}, {attr.arity - 1}]"
+                        )
+            else:
+                col = col.astype(np.float64, copy=False)
+            col.setflags(write=False)
+            normalised[attr.name] = col
+        self._schema = schema
+        self._columns = normalised
+        self._n_rows = int(n_rows or 0)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_columns(
+        cls, schema: Schema, columns: Mapping[str, np.ndarray]
+    ) -> "Dataset":
+        """Build a data set from already-coded column arrays."""
+        return cls(schema, columns)
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: Schema,
+        rows: Iterable[Sequence[object]],
+        missing_token: str = "?",
+    ) -> "Dataset":
+        """Build a data set from symbolic row tuples.
+
+        Each row lists one entry per schema attribute, in schema order.
+        Categorical entries are looked up in the attribute domain;
+        ``missing_token`` (default ``"?"``) codes as missing.  Continuous
+        entries are parsed as floats (``missing_token`` becomes NaN).
+        """
+        attrs = schema.attributes
+        buffers: List[List[float]] = [[] for _ in attrs]
+        for row_number, row in enumerate(rows):
+            row = tuple(row)
+            if len(row) != len(attrs):
+                raise DatasetError(
+                    f"row {row_number} has {len(row)} fields; "
+                    f"expected {len(attrs)}"
+                )
+            for buf, attr, raw in zip(buffers, attrs, row):
+                if attr.is_categorical:
+                    if raw is None or str(raw) == missing_token:
+                        buf.append(MISSING)
+                    else:
+                        buf.append(attr.code_of(str(raw)))
+                else:
+                    if raw is None or str(raw) == missing_token:
+                        buf.append(float("nan"))
+                    else:
+                        buf.append(float(raw))
+        columns = {}
+        for attr, buf in zip(attrs, buffers):
+            dtype = np.int64 if attr.is_categorical else np.float64
+            columns[attr.name] = np.asarray(buf, dtype=dtype)
+        return cls(schema, columns)
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Dataset":
+        """An empty (zero-row) data set over ``schema``."""
+        columns = {}
+        for attr in schema:
+            dtype = np.int64 if attr.is_categorical else np.float64
+            columns[attr.name] = np.empty(0, dtype=dtype)
+        return cls(schema, columns)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """The schema describing this data set's columns."""
+        return self._schema
+
+    @property
+    def n_rows(self) -> int:
+        """Number of records."""
+        return self._n_rows
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def column(self, name: str) -> np.ndarray:
+        """The (read-only) coded array for the named attribute."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise DatasetError(f"no column named {name!r}") from None
+
+    @property
+    def class_codes(self) -> np.ndarray:
+        """The coded class column."""
+        return self._columns[self._schema.class_name]
+
+    def row(self, index: int) -> Tuple[object, ...]:
+        """Materialise one record as a tuple of symbolic values."""
+        if not 0 <= index < self._n_rows:
+            raise DatasetError(
+                f"row index {index} out of range for {self._n_rows} rows"
+            )
+        out: List[object] = []
+        for attr in self._schema:
+            raw = self._columns[attr.name][index]
+            if attr.is_categorical:
+                code = int(raw)
+                out.append(None if code == MISSING else attr.value_of(code))
+            else:
+                value = float(raw)
+                out.append(None if np.isnan(value) else value)
+        return tuple(out)
+
+    def iter_rows(self) -> Iterator[Tuple[object, ...]]:
+        """Iterate over records as symbolic tuples (slow; for tests/IO)."""
+        for i in range(self._n_rows):
+            yield self.row(i)
+
+    # ------------------------------------------------------------------
+    # Relational operations
+    # ------------------------------------------------------------------
+
+    def select(self, mask: np.ndarray) -> "Dataset":
+        """Return the subset of rows where ``mask`` is true."""
+        mask = np.asarray(mask)
+        if mask.dtype != np.bool_ or mask.shape != (self._n_rows,):
+            raise DatasetError(
+                "selection mask must be a boolean array with one entry "
+                "per row"
+            )
+        columns = {name: col[mask] for name, col in self._columns.items()}
+        return Dataset(self._schema, columns)
+
+    def where(self, attribute: str, value: str) -> "Dataset":
+        """Rows whose categorical ``attribute`` equals ``value``.
+
+        This is the sub-population operator of the paper's problem
+        statement: ``D_j = { d in D | A_i(d) = v_ij }``.
+        """
+        attr = self._schema[attribute]
+        code = attr.code_of(value)
+        return self.select(self._columns[attribute] == code)
+
+    def project(self, names: Sequence[str]) -> "Dataset":
+        """Restrict to the named attributes (class must be retained)."""
+        schema = self._schema.project(names)
+        columns = {n: self._columns[n] for n in schema.names}
+        return Dataset(schema, columns)
+
+    def take(self, indices: np.ndarray) -> "Dataset":
+        """Return the rows at ``indices`` (with repetition allowed)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (
+            indices.min() < 0 or indices.max() >= self._n_rows
+        ):
+            raise DatasetError("row indices out of range")
+        columns = {name: col[indices] for name, col in self._columns.items()}
+        return Dataset(self._schema, columns)
+
+    def concat(self, other: "Dataset") -> "Dataset":
+        """Stack another data set with an identical schema below this one."""
+        if other.schema != self._schema:
+            raise DatasetError("cannot concatenate data sets with "
+                               "different schemas")
+        columns = {
+            name: np.concatenate([col, other._columns[name]])
+            for name, col in self._columns.items()
+        }
+        return Dataset(self._schema, columns)
+
+    def duplicate(self, times: int) -> "Dataset":
+        """Repeat all rows ``times`` times.
+
+        The paper scales its record-count experiment (Fig. 11) by
+        duplicating the 2M-record data set up to 8M records; this method
+        reproduces that protocol.
+        """
+        if times < 1:
+            raise DatasetError("duplication factor must be >= 1")
+        columns = {
+            name: np.tile(col, times) for name, col in self._columns.items()
+        }
+        return Dataset(self._schema, columns)
+
+    def replace_column(
+        self, attribute: Attribute, codes: np.ndarray
+    ) -> "Dataset":
+        """Swap in a new definition and coded column for one attribute.
+
+        Used by discretisers: the continuous column is replaced by a
+        categorical interval-coded column under the same name.
+        """
+        schema = self._schema.replace(attribute)
+        columns = dict(self._columns)
+        columns[attribute.name] = np.asarray(codes)
+        return Dataset(schema, columns)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def value_counts(self, attribute: str) -> np.ndarray:
+        """Occurrence count of each value of a categorical attribute.
+
+        Missing values are excluded.  The result has one entry per domain
+        value, in domain order.
+        """
+        attr = self._schema[attribute]
+        if not attr.is_categorical:
+            raise DatasetError(
+                f"value_counts requires a categorical attribute, and "
+                f"{attribute!r} is continuous"
+            )
+        col = self._columns[attribute]
+        present = col[col >= 0]
+        return np.bincount(present, minlength=attr.arity).astype(np.int64)
+
+    def class_distribution(self) -> np.ndarray:
+        """Occurrence count of each class label."""
+        return self.value_counts(self._schema.class_name)
+
+    def missing_count(self, attribute: str) -> int:
+        """Number of rows with a missing value for ``attribute``."""
+        attr = self._schema[attribute]
+        col = self._columns[attribute]
+        if attr.is_categorical:
+            return int(np.count_nonzero(col == MISSING))
+        return int(np.count_nonzero(np.isnan(col)))
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset({self._n_rows} rows, "
+            f"{len(self._schema)} attributes, "
+            f"class={self._schema.class_name!r})"
+        )

@@ -1,0 +1,29 @@
+"""General-impressions (GI) miner: trends, exceptions and influential
+attributes — the automated findings layer the system had before the
+comparator (paper Section III.B / V.A).
+"""
+
+from .trends import Trend, TrendKind, cube_trends, detect_trend
+from .exceptions import CellException, find_exceptions
+from .influence import (
+    chi_square_influence,
+    chi_square_statistic,
+    information_gain,
+    rank_influential,
+)
+from .report import Findings, general_impressions
+
+__all__ = [
+    "Trend",
+    "TrendKind",
+    "detect_trend",
+    "cube_trends",
+    "CellException",
+    "find_exceptions",
+    "chi_square_statistic",
+    "chi_square_influence",
+    "information_gain",
+    "rank_influential",
+    "Findings",
+    "general_impressions",
+]

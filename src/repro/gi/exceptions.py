@@ -1,0 +1,115 @@
+"""Exception (outlier cell) mining on rule cubes.
+
+Part of the general-impressions layer the system already had before the
+comparator was added: "Enhanced with several methods to automatically
+find exceptions, trends and influential attributes" (Section III.B).
+
+An exception is a cube cell "with dramatically larger or smaller values
+than other cells".  We flag cells whose count deviates from the
+expectation under attribute/class independence by a large standardised
+(Pearson) residual:
+
+    ``expected = row_total * column_total / grand_total``
+    ``residual = (observed - expected) / sqrt(expected)``
+
+For cubes with two condition attributes the expectation is the
+product of the three 1-way marginals (the log-linear independence
+model), the same family of model Sarawagi's discovery-driven
+exploration uses — the full iterative-scaling variant lives in
+:mod:`repro.baselines.cube_exceptions` as the related-work baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Tuple
+
+import numpy as np
+
+from ..cube.rulecube import RuleCube
+
+__all__ = ["CellException", "find_exceptions"]
+
+
+class CellException(NamedTuple):
+    """One flagged cube cell."""
+
+    conditions: Tuple[Tuple[str, str], ...]  #: ((attribute, value), ...)
+    class_label: str
+    observed: int
+    expected: float
+    residual: float  #: signed standardised residual
+
+    @property
+    def direction(self) -> str:
+        """``"high"`` for excess counts, ``"low"`` for deficits."""
+        return "high" if self.residual >= 0 else "low"
+
+
+def _independence_expectation(counts: np.ndarray) -> np.ndarray:
+    """Expected counts under full independence of all axes."""
+    total = counts.sum()
+    if total == 0:
+        return np.zeros_like(counts, dtype=float)
+    expected = np.ones_like(counts, dtype=float)
+    ndim = counts.ndim
+    for axis in range(ndim):
+        other = tuple(a for a in range(ndim) if a != axis)
+        marginal = counts.sum(axis=other) / total
+        shape = [1] * ndim
+        shape[axis] = counts.shape[axis]
+        expected = expected * marginal.reshape(shape)
+    return expected * total
+
+
+def find_exceptions(
+    cube: RuleCube,
+    threshold: float = 3.0,
+    min_expected: float = 1.0,
+    top: int = 0,
+) -> List[CellException]:
+    """Flag cells whose standardised residual exceeds ``threshold``.
+
+    Parameters
+    ----------
+    cube:
+        Any rule cube (the class axis participates in the model).
+    threshold:
+        Minimum ``|residual|``; 3.0 is roughly the 99.7% band.
+    min_expected:
+        Cells expected to hold fewer records than this are skipped —
+        the normal approximation is meaningless there.
+    top:
+        When positive, keep only the ``top`` largest-|residual|
+        exceptions.
+
+    Returns
+    -------
+    list of CellException, sorted by descending ``|residual|``.
+    """
+    counts = cube.counts.astype(float)
+    expected = _independence_expectation(cube.counts)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        residual = (counts - expected) / np.sqrt(expected)
+    residual[~np.isfinite(residual)] = 0.0
+
+    flags = (np.abs(residual) >= threshold) & (expected >= min_expected)
+    out: List[CellException] = []
+    for idx in np.argwhere(flags):
+        idx = tuple(int(i) for i in idx)
+        conditions = tuple(
+            (attr.name, attr.value_of(code))
+            for attr, code in zip(cube.attributes, idx[:-1])
+        )
+        out.append(
+            CellException(
+                conditions=conditions,
+                class_label=cube.class_attribute.value_of(idx[-1]),
+                observed=int(cube.counts[idx]),
+                expected=float(expected[idx]),
+                residual=float(residual[idx]),
+            )
+        )
+    out.sort(key=lambda e: -abs(e.residual))
+    if top > 0:
+        out = out[:top]
+    return out

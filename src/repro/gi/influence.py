@@ -1,0 +1,113 @@
+"""Influential-attribute scoring (general impressions).
+
+The third general impression the system mines alongside trends and
+exceptions: which attributes *matter* for the class at all.  An
+attribute is influential when the class distribution varies strongly
+across its values; we provide the two standard measures:
+
+* :func:`chi_square_influence` — the chi-square statistic of the
+  (attribute x class) contingency table, normalised to Cramer's V so
+  attributes of different arities are comparable.
+* :func:`information_gain` — mutual information between attribute and
+  class (the decision-tree split criterion), in bits.
+
+Both read a 2-dimensional rule cube, so they run at cube speed
+regardless of the raw data size, and both return 0 for attributes
+independent of the class.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cube.rulecube import RuleCube
+from ..cube.store import CubeStore
+
+__all__ = [
+    "chi_square_statistic",
+    "chi_square_influence",
+    "information_gain",
+    "rank_influential",
+]
+
+
+def _contingency(cube: RuleCube) -> np.ndarray:
+    if len(cube.attributes) != 1:
+        raise ValueError(
+            "influence measures expect a 2-dimensional "
+            "(attribute x class) cube"
+        )
+    return cube.counts.astype(float)
+
+
+def chi_square_statistic(cube: RuleCube) -> float:
+    """Pearson chi-square of the attribute/class contingency table."""
+    table = _contingency(cube)
+    total = table.sum()
+    if total == 0:
+        return 0.0
+    row = table.sum(axis=1, keepdims=True)
+    col = table.sum(axis=0, keepdims=True)
+    expected = row @ col / total
+    mask = expected > 0
+    return float(
+        (((table - expected) ** 2)[mask] / expected[mask]).sum()
+    )
+
+
+def chi_square_influence(cube: RuleCube) -> float:
+    """Cramer's V in [0, 1]: arity-normalised chi-square."""
+    table = _contingency(cube)
+    total = table.sum()
+    if total == 0:
+        return 0.0
+    chi2 = chi_square_statistic(cube)
+    r = int((table.sum(axis=1) > 0).sum())
+    c = int((table.sum(axis=0) > 0).sum())
+    k = min(r - 1, c - 1)
+    if k <= 0:
+        return 0.0
+    return float(np.sqrt(chi2 / (total * k)))
+
+
+def information_gain(cube: RuleCube) -> float:
+    """Mutual information I(attribute; class) in bits."""
+    table = _contingency(cube)
+    total = table.sum()
+    if total == 0:
+        return 0.0
+    p = table / total
+    px = p.sum(axis=1, keepdims=True)
+    py = p.sum(axis=0, keepdims=True)
+    outer = px @ py
+    mask = (p > 0) & (outer > 0)
+    return float((p[mask] * np.log2(p[mask] / outer[mask])).sum())
+
+
+def rank_influential(
+    store: CubeStore,
+    attributes: Optional[Sequence[str]] = None,
+    measure: str = "cramers_v",
+) -> List[Tuple[str, float]]:
+    """Rank attributes by influence on the class, strongest first.
+
+    ``measure`` is ``"cramers_v"``, ``"chi2"`` or ``"info_gain"``.
+    """
+    measures = {
+        "cramers_v": chi_square_influence,
+        "chi2": chi_square_statistic,
+        "info_gain": information_gain,
+    }
+    if measure not in measures:
+        raise ValueError(
+            f"unknown influence measure {measure!r}; expected one of "
+            f"{sorted(measures)}"
+        )
+    fn = measures[measure]
+    if attributes is None:
+        attributes = store.attributes
+    scored = [(name, fn(store.single_cube(name))) for name in attributes]
+    scored.sort(key=lambda pair: (-pair[1], pair[0]))
+    return scored

@@ -1,0 +1,123 @@
+"""Automatic findings digest over a whole data set.
+
+The GI miner's pieces — trends, exceptions, influential attributes —
+each answer one question about one cube.  Analysts start from a
+higher-level question: "what should I look at first?".  This module
+composes the pieces into a single ranked digest:
+
+1. the most influential attributes on the class (where to drill);
+2. the strongest unit trends (the green/red arrows of Fig. 5 worth
+   reading);
+3. the most surprising attribute-pair cells (candidate interactions —
+   the kind of structure the comparator then pins down).
+
+The digest is deliberately bounded (top-k per section) and rendered as
+plain text, mirroring how the deployed system surfaces "general
+impressions" before any user-driven exploration.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Sequence, Tuple
+
+from ..cube.store import CubeStore
+from .exceptions import CellException, find_exceptions
+from .influence import rank_influential
+from .trends import Trend, TrendKind, cube_trends
+
+__all__ = ["Findings", "general_impressions"]
+
+
+class Findings(NamedTuple):
+    """The structured digest behind :func:`general_impressions`."""
+
+    influential: List[Tuple[str, float]]
+    trends: List[Tuple[str, str, Trend]]  #: (attribute, class, trend)
+    exceptions: List[CellException]
+
+    def to_text(self) -> str:
+        """Render the digest as a plain-text report."""
+        lines: List[str] = ["General impressions", "=" * 19]
+        lines.append("")
+        lines.append("Most influential attributes (Cramer's V):")
+        for name, score in self.influential:
+            lines.append(f"  {score:6.3f}  {name}")
+
+        lines.append("")
+        lines.append("Strongest trends (attribute, class):")
+        if not self.trends:
+            lines.append("  (none above threshold)")
+        for attribute, label, trend in self.trends:
+            lines.append(
+                f"  {trend.arrow} {attribute} / {label}: "
+                f"{trend.kind}, spread "
+                f"{trend.spread * 100:.2f} points"
+            )
+
+        lines.append("")
+        lines.append("Most surprising attribute-pair cells:")
+        if not self.exceptions:
+            lines.append("  (none above threshold)")
+        for cell in self.exceptions:
+            conds = " & ".join(f"{a}={v}" for a, v in cell.conditions)
+            lines.append(
+                f"  {conds} -> {cell.class_label}: observed "
+                f"{cell.observed} vs expected {cell.expected:.1f} "
+                f"(residual {cell.residual:+.1f})"
+            )
+        return "\n".join(lines)
+
+
+def general_impressions(
+    store: CubeStore,
+    top_influential: int = 5,
+    top_trends: int = 5,
+    top_exceptions: int = 5,
+    pair_attributes: Optional[Sequence[str]] = None,
+    exception_threshold: float = 4.0,
+) -> Findings:
+    """Mine the three general impressions and compose the digest.
+
+    Parameters
+    ----------
+    store:
+        Cube store over the analysed data set.
+    top_influential / top_trends / top_exceptions:
+        Section sizes.
+    pair_attributes:
+        Attributes whose pair cubes are scanned for exceptions.  The
+        default uses the ``top_influential`` attributes — scanning all
+        n(n-1)/2 pairs is the off-line job, not the digest's.
+    exception_threshold:
+        Minimum |standardised residual| for an exception.
+    """
+    influential = rank_influential(store)[:top_influential]
+
+    trends: List[Tuple[str, str, Trend]] = []
+    for name in store.attributes:
+        for label, trend in cube_trends(
+            store.single_cube(name)
+        ).items():
+            if trend.kind in (TrendKind.INCREASING,
+                              TrendKind.DECREASING):
+                trends.append((name, label, trend))
+    trends.sort(key=lambda item: -item[2].spread)
+    trends = trends[:top_trends]
+
+    if pair_attributes is None:
+        pair_attributes = [name for name, _ in influential]
+    exceptions: List[CellException] = []
+    pair_attributes = list(pair_attributes)
+    for i, a in enumerate(pair_attributes):
+        for b in pair_attributes[i + 1:]:
+            exceptions.extend(
+                find_exceptions(
+                    store.cube((a, b)),
+                    threshold=exception_threshold,
+                    min_expected=5.0,
+                )
+            )
+    exceptions.sort(key=lambda cell: -abs(cell.residual))
+    exceptions = exceptions[:top_exceptions]
+
+    return Findings(list(influential), trends, exceptions)

@@ -1,0 +1,125 @@
+"""Unit-trend detection on rule-cube columns.
+
+The overall visualization (paper Fig. 5) annotates each attribute/class
+grid with trend arrows: "red for decreasing, green for increasing and
+gray for stable trends".  A *unit trend* is the behaviour of the rule
+confidences of one class as the attribute's values are read in domain
+order — meaningful for ordered domains such as discretised intervals or
+times of day.
+
+Detection is deliberately simple and robust, in the spirit of the
+general-impressions work the system embeds: a trend is *increasing*
+(resp. *decreasing*) when the fraction of strictly rising (falling)
+consecutive steps reaches ``min_monotonicity`` and the total movement
+exceeds ``min_range``; otherwise the column is *stable* when its spread
+is small, else *mixed*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple
+
+import numpy as np
+
+from ..cube.rulecube import RuleCube
+
+__all__ = ["Trend", "TrendKind", "detect_trend", "cube_trends"]
+
+
+class TrendKind:
+    """Enumeration of trend labels."""
+
+    INCREASING = "increasing"
+    DECREASING = "decreasing"
+    STABLE = "stable"
+    MIXED = "mixed"
+
+    ALL = (INCREASING, DECREASING, STABLE, MIXED)
+
+
+class Trend(NamedTuple):
+    """Result of trend detection on one confidence sequence."""
+
+    kind: str  #: one of :class:`TrendKind`
+    slope: float  #: least-squares slope of confidence vs value index
+    spread: float  #: max - min confidence
+    confidences: tuple  #: the sequence examined (values with data only)
+
+    @property
+    def arrow(self) -> str:
+        """The Fig. 5 arrow glyph for this trend."""
+        return {
+            TrendKind.INCREASING: "↑",
+            TrendKind.DECREASING: "↓",
+            TrendKind.STABLE: "→",
+            TrendKind.MIXED: "↕",
+        }[self.kind]
+
+
+def detect_trend(
+    confidences: np.ndarray,
+    min_monotonicity: float = 0.7,
+    min_range: float = 0.005,
+) -> Trend:
+    """Classify one confidence sequence.
+
+    Parameters
+    ----------
+    confidences:
+        Rule confidences in attribute-value order (values without data
+        should be excluded by the caller).
+    min_monotonicity:
+        Minimum fraction of consecutive steps that must move in the
+        trend direction.
+    min_range:
+        Minimum (max - min) movement for a non-stable verdict.
+    """
+    conf = np.asarray(confidences, dtype=float)
+    if conf.size <= 1:
+        return Trend(TrendKind.STABLE, 0.0, 0.0, tuple(conf))
+    spread = float(conf.max() - conf.min())
+    x = np.arange(conf.size, dtype=float)
+    slope = float(np.polyfit(x, conf, 1)[0])
+    if spread < min_range:
+        return Trend(TrendKind.STABLE, slope, spread, tuple(conf))
+    steps = np.diff(conf)
+    moving = steps[steps != 0]
+    if moving.size == 0:
+        return Trend(TrendKind.STABLE, slope, spread, tuple(conf))
+    up_share = float((moving > 0).mean())
+    if up_share >= min_monotonicity:
+        kind = TrendKind.INCREASING
+    elif (1.0 - up_share) >= min_monotonicity:
+        kind = TrendKind.DECREASING
+    else:
+        kind = TrendKind.MIXED
+    return Trend(kind, slope, spread, tuple(conf))
+
+
+def cube_trends(
+    cube: RuleCube,
+    min_monotonicity: float = 0.7,
+    min_range: float = 0.005,
+) -> Dict[str, Trend]:
+    """Trend of every class along a 2-dimensional cube's attribute.
+
+    ``cube`` must be an (attribute, class) cube.  Returns a map from
+    class label to its :class:`Trend`; attribute values with no data
+    are skipped so empty cells don't read as drops to zero.
+    """
+    if len(cube.attributes) != 1:
+        raise ValueError(
+            "cube_trends expects a 2-dimensional (attribute x class) cube"
+        )
+    counts = cube.counts
+    totals = counts.sum(axis=1)
+    conf = cube.confidences()
+    present = totals > 0
+    out: Dict[str, Trend] = {}
+    for c, label in enumerate(cube.class_attribute.values):
+        out[label] = detect_trend(
+            conf[present, c],
+            min_monotonicity=min_monotonicity,
+            min_range=min_range,
+        )
+    return out

@@ -1,0 +1,28 @@
+"""Rule mining substrate: class association rules, Apriori, and the
+selective classification learners the paper contrasts against.
+"""
+
+from .car import ClassAssociationRule, Condition, RuleError
+from .apriori import FrequentItemsets, Item, apriori
+from .miner import enumerate_cars, mine_cars, restricted_mine
+from .tree import DecisionTree, TreeNode, sequential_covering
+from .query import RuleQuery, group_by_attribute
+from .cba import CBAClassifier
+
+__all__ = [
+    "ClassAssociationRule",
+    "Condition",
+    "RuleError",
+    "FrequentItemsets",
+    "Item",
+    "apriori",
+    "mine_cars",
+    "enumerate_cars",
+    "restricted_mine",
+    "DecisionTree",
+    "TreeNode",
+    "sequential_covering",
+    "RuleQuery",
+    "group_by_attribute",
+    "CBAClassifier",
+]

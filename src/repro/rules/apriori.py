@@ -1,0 +1,190 @@
+"""Apriori frequent-itemset mining over coded categorical data.
+
+The paper's rule generator is a class-association-rule miner in the
+style of Liu et al. (CBA); its itemset engine is the classic Apriori
+level-wise search (Agrawal & Srikant 1994): candidate ``k``-itemsets are
+joined from frequent ``(k-1)``-itemsets, pruned by the downward-closure
+property, and counted against the data.
+
+Items here are ``(attribute_index, value_code)`` pairs.  An itemset may
+use each attribute at most once (a record can't have two values for one
+attribute), which substantially shrinks the candidate space relative to
+market-basket mining.
+
+Counting is vectorised: each candidate's matching-row mask is built by
+AND-ing per-item numpy comparisons, with memoisation of the masks of the
+frequent itemsets from the previous level.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..dataset.table import Dataset
+
+__all__ = ["Item", "apriori", "FrequentItemsets"]
+
+#: An item is an (attribute name, value) pair.
+Item = Tuple[str, str]
+
+
+class FrequentItemsets:
+    """Result of an Apriori run: itemsets with their support counts.
+
+    Maps frozensets of :data:`Item` to absolute support counts; exposes
+    helpers to iterate by level.
+    """
+
+    def __init__(self, counts: Dict[frozenset, int], n_records: int) -> None:
+        self._counts = counts
+        self._n_records = n_records
+
+    @property
+    def n_records(self) -> int:
+        """Number of records the itemsets were counted against."""
+        return self._n_records
+
+    def count(self, itemset: Iterable[Item]) -> int:
+        """Absolute support count of an itemset (0 when not frequent)."""
+        return self._counts.get(frozenset(itemset), 0)
+
+    def support(self, itemset: Iterable[Item]) -> float:
+        """Relative support of an itemset."""
+        if self._n_records == 0:
+            return 0.0
+        return self.count(itemset) / self._n_records
+
+    def itemsets(self, size: Optional[int] = None) -> List[frozenset]:
+        """All frequent itemsets, optionally filtered by size."""
+        if size is None:
+            return list(self._counts)
+        return [s for s in self._counts if len(s) == size]
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, itemset: object) -> bool:
+        return frozenset(itemset) in self._counts  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:
+        return f"FrequentItemsets({len(self._counts)} itemsets)"
+
+
+def _item_masks(
+    dataset: Dataset, attributes: Sequence[str]
+) -> Dict[Item, np.ndarray]:
+    """Boolean row mask for every (attribute, value) item."""
+    masks: Dict[Item, np.ndarray] = {}
+    for name in attributes:
+        attr = dataset.schema[name]
+        col = dataset.column(name)
+        for code, value in enumerate(attr.values):
+            masks[(name, value)] = col == code
+    return masks
+
+
+def apriori(
+    dataset: Dataset,
+    min_support: float = 0.01,
+    max_length: int = 3,
+    attributes: Optional[Sequence[str]] = None,
+) -> FrequentItemsets:
+    """Mine frequent itemsets with the level-wise Apriori search.
+
+    Parameters
+    ----------
+    dataset:
+        Fully categorical data set.
+    min_support:
+        Relative minimum support in ``[0, 1]``.
+    max_length:
+        Maximum itemset size.  The paper observes that "practical
+        applications seldom need long rules (with three or more
+        conditions)", so the default stops at 3.
+    attributes:
+        Attribute names items may be drawn from (default: all condition
+        attributes).
+
+    Returns
+    -------
+    FrequentItemsets
+    """
+    if not 0.0 <= min_support <= 1.0:
+        raise ValueError("min_support must be in [0, 1]")
+    if max_length < 1:
+        raise ValueError("max_length must be >= 1")
+    schema = dataset.schema
+    if attributes is None:
+        attributes = [a.name for a in schema.condition_attributes]
+    for name in attributes:
+        if not schema[name].is_categorical:
+            raise ValueError(
+                f"apriori requires categorical attributes; {name!r} is "
+                "continuous (discretise first)"
+            )
+
+    n = dataset.n_rows
+    # An itemset must occur at least once even at min_support 0 —
+    # zero-support "rules" are the cube layer's job, not Apriori's.
+    min_count = max(int(np.ceil(min_support * n)), 1)
+
+    item_masks = _item_masks(dataset, attributes)
+    counts: Dict[frozenset, int] = {}
+
+    # Level 1.
+    level_masks: Dict[frozenset, np.ndarray] = {}
+    for item, mask in item_masks.items():
+        c = int(mask.sum())
+        if c >= min_count:
+            key = frozenset([item])
+            counts[key] = c
+            level_masks[key] = mask
+
+    k = 1
+    while level_masks and k < max_length:
+        k += 1
+        frequent_prev = sorted(level_masks, key=lambda s: sorted(s))
+        candidates = _generate_candidates(frequent_prev, k)
+        next_masks: Dict[frozenset, np.ndarray] = {}
+        for cand, (parent, extra_item) in candidates.items():
+            mask = level_masks[parent] & item_masks[extra_item]
+            c = int(mask.sum())
+            if c >= min_count:
+                counts[cand] = c
+                next_masks[cand] = mask
+        level_masks = next_masks
+
+    return FrequentItemsets(counts, n)
+
+
+def _generate_candidates(
+    frequent: List[frozenset], k: int
+) -> Dict[frozenset, Tuple[frozenset, Item]]:
+    """Join step with attribute-distinctness and subset pruning.
+
+    Returns a map from candidate itemset to one (parent, extra item)
+    decomposition used for incremental mask counting.
+    """
+    frequent_set = set(frequent)
+    candidates: Dict[frozenset, Tuple[frozenset, Item]] = {}
+    sorted_sets = [tuple(sorted(s)) for s in frequent]
+    for i, a in enumerate(sorted_sets):
+        for b in sorted_sets[i + 1:]:
+            if a[:-1] != b[:-1]:
+                continue
+            extra = b[-1]
+            if any(item[0] == extra[0] for item in a):
+                continue  # two values of the same attribute
+            cand = frozenset(a) | {extra}
+            if len(cand) != k or cand in candidates:
+                continue
+            # Downward closure: every (k-1)-subset must be frequent.
+            if all(
+                frozenset(sub) in frequent_set
+                for sub in combinations(cand, k - 1)
+            ):
+                candidates[cand] = (frozenset(a), extra)
+    return candidates

@@ -1,0 +1,199 @@
+"""Class association rules (CARs).
+
+The paper works exclusively with rules of the form ``X -> y`` where
+``X`` is a set of attribute-value conditions (each on a distinct
+attribute) and ``y`` is a class label (Section III.A).  Such rules give
+the conditional probabilities ``Pr(y | X)`` that diagnostic data mining
+needs, and are "easily understood by the user".
+
+:class:`Condition` and :class:`ClassAssociationRule` are small immutable
+value objects shared by the miner (:mod:`repro.rules.miner`), the rule
+cubes (:mod:`repro.cube`) and the baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Tuple
+
+__all__ = ["Condition", "ClassAssociationRule", "RuleError"]
+
+
+class RuleError(ValueError):
+    """Raised for malformed rules."""
+
+
+class Condition:
+    """A single ``attribute = value`` test.
+
+    >>> Condition("PhoneModel", "ph1")
+    Condition(PhoneModel=ph1)
+    """
+
+    __slots__ = ("_attribute", "_value")
+
+    def __init__(self, attribute: str, value: str) -> None:
+        if not attribute:
+            raise RuleError("condition attribute must be non-empty")
+        self._attribute = attribute
+        self._value = str(value)
+
+    @property
+    def attribute(self) -> str:
+        """Attribute name the condition tests."""
+        return self._attribute
+
+    @property
+    def value(self) -> str:
+        """Value the attribute must equal."""
+        return self._value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Condition):
+            return NotImplemented
+        return (
+            self._attribute == other._attribute
+            and self._value == other._value
+        )
+
+    def __lt__(self, other: "Condition") -> bool:
+        return (self._attribute, self._value) < (
+            other._attribute,
+            other._value,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._attribute, self._value))
+
+    def __repr__(self) -> str:
+        return f"Condition({self._attribute}={self._value})"
+
+    def __str__(self) -> str:
+        return f"{self._attribute} = {self._value}"
+
+
+class ClassAssociationRule:
+    """An ``X -> y`` rule with its support and confidence.
+
+    Parameters
+    ----------
+    conditions:
+        The antecedent: conditions on pairwise-distinct attributes.
+    class_label:
+        The consequent class value.
+    support_count:
+        Number of records matching both antecedent and consequent.
+    support:
+        ``support_count / |D|``.
+    confidence:
+        ``Pr(y | X)`` per the paper's equation (1).
+
+    The object is immutable and usable as a dictionary key.
+    """
+
+    __slots__ = (
+        "_conditions",
+        "_class_label",
+        "_support_count",
+        "_support",
+        "_confidence",
+    )
+
+    def __init__(
+        self,
+        conditions: Iterable[Condition],
+        class_label: str,
+        support_count: int,
+        support: float,
+        confidence: float,
+    ) -> None:
+        conditions = tuple(conditions)
+        attrs = [c.attribute for c in conditions]
+        if len(set(attrs)) != len(attrs):
+            raise RuleError(
+                f"rule conditions must use distinct attributes: {attrs}"
+            )
+        if support_count < 0:
+            raise RuleError("support count must be non-negative")
+        if not 0.0 <= support <= 1.0:
+            raise RuleError(f"support {support} outside [0, 1]")
+        if not 0.0 <= confidence <= 1.0 + 1e-12:
+            raise RuleError(f"confidence {confidence} outside [0, 1]")
+        self._conditions = conditions
+        self._class_label = str(class_label)
+        self._support_count = int(support_count)
+        self._support = float(support)
+        self._confidence = min(float(confidence), 1.0)
+
+    @property
+    def conditions(self) -> Tuple[Condition, ...]:
+        """The antecedent conditions."""
+        return self._conditions
+
+    @property
+    def class_label(self) -> str:
+        """The consequent class value."""
+        return self._class_label
+
+    @property
+    def support_count(self) -> int:
+        """Absolute number of records matching antecedent and class."""
+        return self._support_count
+
+    @property
+    def support(self) -> float:
+        """Relative support within the full data set."""
+        return self._support
+
+    @property
+    def confidence(self) -> float:
+        """Conditional probability of the class given the antecedent."""
+        return self._confidence
+
+    @property
+    def length(self) -> int:
+        """Number of antecedent conditions."""
+        return len(self._conditions)
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """Names of the attributes used in the antecedent."""
+        return tuple(c.attribute for c in self._conditions)
+
+    def condition_on(self, attribute: str) -> Optional[Condition]:
+        """The condition on ``attribute``, or None when absent."""
+        for cond in self._conditions:
+            if cond.attribute == attribute:
+                return cond
+        return None
+
+    def matches(self, record: Mapping[str, str]) -> bool:
+        """True when a symbolic record satisfies every condition."""
+        return all(
+            record.get(c.attribute) == c.value for c in self._conditions
+        )
+
+    def key(self) -> Tuple:
+        """Canonical identity: sorted conditions plus the class."""
+        return (tuple(sorted(self._conditions)), self._class_label)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ClassAssociationRule):
+            return NotImplemented
+        return (
+            self.key() == other.key()
+            and self._support_count == other._support_count
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        return f"CAR({self!s})"
+
+    def __str__(self) -> str:
+        lhs = ", ".join(str(c) for c in self._conditions) or "TRUE"
+        return (
+            f"{lhs} -> {self._class_label} "
+            f"[sup={self._support:.4f} ({self._support_count}), "
+            f"conf={self._confidence:.4f}]"
+        )

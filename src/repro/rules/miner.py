@@ -1,0 +1,196 @@
+"""Class association rule (CAR) mining.
+
+Two mining modes, matching the deployed system (paper Sections III-V):
+
+* :func:`mine_cars` — classic threshold-based CAR mining (Liu et al.):
+  frequent condition sets via Apriori, extended with each class label;
+  rules below the confidence threshold are dropped.
+
+* :func:`enumerate_cars` — threshold-0 enumeration used to fill rule
+  cubes: *every* combination of values of a fixed attribute subset
+  becomes a rule, including zero-support ones, "because it removes
+  holes in the knowledge space".  This is delegated to cube counting
+  and is what :mod:`repro.cube.builder` uses internally.
+
+* :func:`restricted_mine` — the system's "restricted mining" for longer
+  rules: fix some conditions (slice the data) and mine within the
+  matching sub-population, avoiding the combinatorial explosion of
+  unrestricted long-rule mining.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..dataset.table import Dataset
+from .apriori import FrequentItemsets, apriori
+from .car import ClassAssociationRule, Condition, RuleError
+
+__all__ = ["mine_cars", "enumerate_cars", "restricted_mine"]
+
+
+def mine_cars(
+    dataset: Dataset,
+    min_support: float = 0.01,
+    min_confidence: float = 0.0,
+    max_length: int = 2,
+    attributes: Optional[Sequence[str]] = None,
+) -> List[ClassAssociationRule]:
+    """Mine class association rules ``X -> y`` above both thresholds.
+
+    ``max_length`` bounds the number of antecedent conditions; the paper
+    stores two-condition rules by default.  Support and confidence are
+    measured as in the paper's equation (1): the support of ``X -> y``
+    is ``sup(X, y) / |D|`` and the confidence ``sup(X, y) / sup(X)``.
+
+    Rules are returned sorted by (confidence, support) descending with a
+    deterministic tie-break on the rule key.
+    """
+    if not 0.0 <= min_confidence <= 1.0:
+        raise RuleError("min_confidence must be in [0, 1]")
+    schema = dataset.schema
+    class_attr = schema.class_attribute
+    class_codes = dataset.class_codes
+    n = dataset.n_rows
+
+    itemsets: FrequentItemsets = apriori(
+        dataset,
+        min_support=min_support,
+        max_length=max_length,
+        attributes=attributes,
+    )
+
+    rules: List[ClassAssociationRule] = []
+    for itemset in itemsets.itemsets():
+        antecedent_count = itemsets.count(itemset)
+        if antecedent_count == 0:
+            continue
+        mask = _mask_for(dataset, itemset)
+        per_class = np.bincount(
+            class_codes[mask & (class_codes >= 0)],
+            minlength=class_attr.arity,
+        )
+        conditions = tuple(
+            Condition(a, v) for a, v in sorted(itemset)
+        )
+        for code, count in enumerate(per_class):
+            count = int(count)
+            support = count / n if n else 0.0
+            if support < min_support:
+                continue
+            confidence = count / antecedent_count
+            if confidence < min_confidence:
+                continue
+            rules.append(
+                ClassAssociationRule(
+                    conditions=conditions,
+                    class_label=class_attr.value_of(code),
+                    support_count=count,
+                    support=support,
+                    confidence=confidence,
+                )
+            )
+    rules.sort(
+        key=lambda r: (-r.confidence, -r.support, r.key())
+    )
+    return rules
+
+
+def _mask_for(dataset: Dataset, itemset: Iterable[Tuple[str, str]]):
+    mask = np.ones(dataset.n_rows, dtype=bool)
+    for name, value in itemset:
+        attr = dataset.schema[name]
+        mask &= dataset.column(name) == attr.code_of(value)
+    return mask
+
+
+def enumerate_cars(
+    dataset: Dataset, attributes: Sequence[str]
+) -> List[ClassAssociationRule]:
+    """Enumerate every rule over a fixed attribute subset (thresholds 0).
+
+    This is the rule-cube fill: all ``|dom(A_1)| x ... x |dom(A_p)| x
+    |dom(C)|`` rules, including empty cells with support and confidence
+    0.  For anything beyond inspection/testing, prefer building a
+    :class:`repro.cube.RuleCube` and calling its ``rules()`` method —
+    this function is the reference implementation it is tested against.
+    """
+    from ..cube.builder import build_cube  # local import breaks the cycle
+
+    cube = build_cube(dataset, attributes)
+    return list(cube.rules())
+
+
+def restricted_mine(
+    dataset: Dataset,
+    fixed: Sequence[Condition],
+    min_support: float = 0.01,
+    min_confidence: float = 0.0,
+    extra_length: int = 2,
+    attributes: Optional[Sequence[str]] = None,
+) -> List[ClassAssociationRule]:
+    """Mine longer rules with some conditions fixed ("restricted mining").
+
+    The paper: "When longer rules for some attributes or values are
+    needed, a restricted mining can be carried out".  The fixed
+    conditions slice the data; mining proceeds within the slice and the
+    fixed conditions are prepended to every returned rule.  Support is
+    still measured against the *full* data set so the returned rules are
+    directly comparable with unrestricted ones.
+    """
+    if not fixed:
+        raise RuleError("restricted mining needs at least one fixed "
+                        "condition")
+    fixed = tuple(fixed)
+    fixed_attrs = [c.attribute for c in fixed]
+    if len(set(fixed_attrs)) != len(fixed_attrs):
+        raise RuleError("fixed conditions must use distinct attributes")
+
+    sub = dataset
+    for cond in fixed:
+        sub = sub.where(cond.attribute, cond.value)
+
+    schema = dataset.schema
+    if attributes is None:
+        attributes = [
+            a.name
+            for a in schema.condition_attributes
+            if a.name not in fixed_attrs
+        ]
+    else:
+        overlap = set(attributes) & set(fixed_attrs)
+        if overlap:
+            raise RuleError(
+                f"attributes {sorted(overlap)} are already fixed"
+            )
+
+    n_full = dataset.n_rows
+    n_sub = sub.n_rows
+    if n_sub == 0:
+        return []
+    # Support threshold within the slice that corresponds to min_support
+    # over the full data set.
+    local_support = min(min_support * n_full / n_sub, 1.0)
+
+    inner = mine_cars(
+        sub,
+        min_support=local_support,
+        min_confidence=min_confidence,
+        max_length=extra_length,
+        attributes=attributes,
+    )
+    out: List[ClassAssociationRule] = []
+    for rule in inner:
+        out.append(
+            ClassAssociationRule(
+                conditions=tuple(sorted(fixed + rule.conditions)),
+                class_label=rule.class_label,
+                support_count=rule.support_count,
+                support=rule.support_count / n_full if n_full else 0.0,
+                confidence=rule.confidence,
+            )
+        )
+    out.sort(key=lambda r: (-r.confidence, -r.support, r.key()))
+    return out

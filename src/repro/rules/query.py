@@ -1,0 +1,145 @@
+"""Rule post-processing operators: filter, select, sort, group.
+
+The related work the paper builds on ([33] in its bibliography)
+defines "a set of rule postprocessing operators ... to allow the user
+to filter unwanted rules, select rules of interest to him/her and
+group rules".  The paper judges them "useful but not sufficient" —
+they still leave the finding-the-needle work to the user — but the
+deployed system keeps them as utilities, and so do we.
+
+:class:`RuleQuery` is a small fluent, immutable query builder over an
+in-memory rule list:
+
+>>> q = (RuleQuery(rules)
+...      .for_class("dropped")
+...      .with_condition("PhoneModel", "ph2")
+...      .min_confidence(0.05)
+...      .order_by("confidence"))
+>>> top = q.take(10)
+
+Each operator returns a *new* query; nothing mutates the source list.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from .car import ClassAssociationRule
+
+__all__ = ["RuleQuery", "group_by_attribute"]
+
+_SORT_KEYS: Dict[str, Callable[[ClassAssociationRule], float]] = {
+    "confidence": lambda r: r.confidence,
+    "support": lambda r: r.support,
+    "support_count": lambda r: float(r.support_count),
+    "length": lambda r: float(r.length),
+}
+
+
+class RuleQuery:
+    """Immutable fluent query over a list of class association rules."""
+
+    def __init__(self, rules: Iterable[ClassAssociationRule]) -> None:
+        self._rules: Tuple[ClassAssociationRule, ...] = tuple(rules)
+
+    # -- selection ------------------------------------------------------
+
+    def filter(
+        self, predicate: Callable[[ClassAssociationRule], bool]
+    ) -> "RuleQuery":
+        """Keep rules satisfying an arbitrary predicate."""
+        return RuleQuery(r for r in self._rules if predicate(r))
+
+    def for_class(self, class_label: str) -> "RuleQuery":
+        """Keep rules concluding the given class."""
+        return self.filter(lambda r: r.class_label == class_label)
+
+    def with_attribute(self, attribute: str) -> "RuleQuery":
+        """Keep rules whose antecedent mentions the attribute."""
+        return self.filter(
+            lambda r: r.condition_on(attribute) is not None
+        )
+
+    def with_condition(self, attribute: str, value: str) -> "RuleQuery":
+        """Keep rules containing the exact ``attribute = value`` test."""
+
+        def has(rule: ClassAssociationRule) -> bool:
+            cond = rule.condition_on(attribute)
+            return cond is not None and cond.value == value
+
+        return self.filter(has)
+
+    def without_attribute(self, attribute: str) -> "RuleQuery":
+        """Drop rules whose antecedent mentions the attribute (e.g. a
+        known property attribute)."""
+        return self.filter(lambda r: r.condition_on(attribute) is None)
+
+    def min_support(self, threshold: float) -> "RuleQuery":
+        """Keep rules with support >= threshold."""
+        return self.filter(lambda r: r.support >= threshold)
+
+    def min_confidence(self, threshold: float) -> "RuleQuery":
+        """Keep rules with confidence >= threshold."""
+        return self.filter(lambda r: r.confidence >= threshold)
+
+    def max_length(self, length: int) -> "RuleQuery":
+        """Keep rules with at most ``length`` conditions."""
+        return self.filter(lambda r: r.length <= length)
+
+    # -- ordering & extraction -------------------------------------------
+
+    def order_by(
+        self, key: str = "confidence", ascending: bool = False
+    ) -> "RuleQuery":
+        """Sort by a named measure (confidence, support,
+        support_count, length)."""
+        try:
+            key_fn = _SORT_KEYS[key]
+        except KeyError:
+            raise ValueError(
+                f"unknown sort key {key!r}; expected one of "
+                f"{sorted(_SORT_KEYS)}"
+            ) from None
+        ordered = sorted(
+            self._rules,
+            key=lambda r: (key_fn(r), r.key()),
+            reverse=not ascending,
+        )
+        return RuleQuery(ordered)
+
+    def take(self, n: int) -> List[ClassAssociationRule]:
+        """Materialise the first ``n`` rules."""
+        return list(self._rules[:n])
+
+    def all(self) -> List[ClassAssociationRule]:
+        """Materialise every remaining rule."""
+        return list(self._rules)
+
+    def count(self) -> int:
+        """Number of rules currently selected."""
+        return len(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self):
+        return iter(self._rules)
+
+    def __repr__(self) -> str:
+        return f"RuleQuery({len(self._rules)} rules)"
+
+
+def group_by_attribute(
+    rules: Iterable[ClassAssociationRule],
+) -> Dict[Tuple[str, ...], List[ClassAssociationRule]]:
+    """Group rules by the (sorted) attribute set of their antecedent.
+
+    The classic "divide a large rule set into smaller ones" operator:
+    all rules over the same attribute combination land together,
+    which is exactly one rule cube's worth of rules.
+    """
+    groups: Dict[Tuple[str, ...], List[ClassAssociationRule]] = {}
+    for rule in rules:
+        key = tuple(sorted(rule.attributes))
+        groups.setdefault(key, []).append(rule)
+    return groups

@@ -1,0 +1,354 @@
+"""Classification baselines: decision tree and sequential-covering rules.
+
+The paper argues (Section III.A) that "traditional classification
+techniques such as decision trees and rule induction are not suitable
+for the task" because "a typical classification algorithm only finds a
+very small subset of the rules that exist in data ... We call this the
+completeness problem".
+
+To make that argument testable we implement both learners from scratch:
+
+* :class:`DecisionTree` — an ID3-style tree on categorical data with
+  information-gain splits, depth and minimum-leaf controls, and rule
+  extraction (one rule per leaf).
+* :func:`sequential_covering` — a CN2-lite rule inducer: greedily grow
+  one high-precision rule per iteration, remove covered records,
+  repeat.
+
+The ``benchmarks/bench_ablations.py`` harness counts the rules these
+produce versus the complete rule space a rule cube stores, reproducing
+the completeness gap the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..dataset.schema import MISSING
+from ..dataset.table import Dataset
+from .car import ClassAssociationRule, Condition
+
+__all__ = ["DecisionTree", "TreeNode", "sequential_covering"]
+
+
+def _entropy_from_counts(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts[counts > 0] / total
+    return float(-(p * np.log2(p)).sum())
+
+
+class TreeNode:
+    """One node of a :class:`DecisionTree`.
+
+    Internal nodes carry the split attribute and one child per value;
+    leaves carry the class counts observed during training.
+    """
+
+    __slots__ = ("attribute", "children", "class_counts", "depth")
+
+    def __init__(
+        self,
+        class_counts: np.ndarray,
+        depth: int,
+        attribute: Optional[str] = None,
+        children: Optional[Dict[str, "TreeNode"]] = None,
+    ) -> None:
+        self.class_counts = class_counts
+        self.depth = depth
+        self.attribute = attribute
+        self.children = children or {}
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no split."""
+        return self.attribute is None
+
+    @property
+    def prediction(self) -> int:
+        """Majority class code at this node."""
+        return int(np.argmax(self.class_counts))
+
+    def size(self) -> int:
+        """Number of nodes in the subtree rooted here."""
+        return 1 + sum(child.size() for child in self.children.values())
+
+    def n_leaves(self) -> int:
+        """Number of leaves in the subtree rooted here."""
+        if self.is_leaf:
+            return 1
+        return sum(child.n_leaves() for child in self.children.values())
+
+
+class DecisionTree:
+    """ID3-style decision tree over fully categorical data.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum number of splits on any root-to-leaf path.
+    min_leaf:
+        Minimum number of records a node must hold to be split.
+    """
+
+    def __init__(self, max_depth: int = 6, min_leaf: int = 2) -> None:
+        if max_depth < 0:
+            raise ValueError("max_depth must be >= 0")
+        if min_leaf < 1:
+            raise ValueError("min_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_leaf = min_leaf
+        self.root_: Optional[TreeNode] = None
+        self._schema = None
+
+    # ------------------------------------------------------------------
+
+    def fit(self, dataset: Dataset) -> "DecisionTree":
+        """Grow the tree on ``dataset`` (must be fully categorical)."""
+        schema = dataset.schema
+        for attr in schema.condition_attributes:
+            if not attr.is_categorical:
+                raise ValueError(
+                    f"decision tree requires categorical attributes; "
+                    f"{attr.name!r} is continuous"
+                )
+        self._schema = schema
+        columns = {
+            a.name: dataset.column(a.name)
+            for a in schema.condition_attributes
+        }
+        y = dataset.class_codes
+        rows = np.arange(dataset.n_rows)
+        available = [a.name for a in schema.condition_attributes]
+        self.root_ = self._grow(columns, y, rows, available, depth=0)
+        return self
+
+    def _grow(
+        self,
+        columns: Dict[str, np.ndarray],
+        y: np.ndarray,
+        rows: np.ndarray,
+        available: List[str],
+        depth: int,
+    ) -> TreeNode:
+        n_classes = self._schema.n_classes
+        sub_y = y[rows]
+        counts = np.bincount(
+            sub_y[sub_y >= 0], minlength=n_classes
+        ).astype(np.int64)
+        node = TreeNode(counts, depth)
+        if (
+            depth >= self.max_depth
+            or rows.size < self.min_leaf
+            or not available
+            or _entropy_from_counts(counts) == 0.0
+        ):
+            return node
+
+        # Classic ID3 takes the maximum-gain attribute even when every
+        # gain is zero (XOR-style interactions only pay off one level
+        # deeper); depth and leaf-size limits bound the tree instead.
+        base = _entropy_from_counts(counts)
+        best_gain = -1.0
+        best_attr: Optional[str] = None
+        for name in available:
+            col = columns[name][rows]
+            gain = base
+            for code in np.unique(col):
+                if code == MISSING:
+                    continue
+                part = sub_y[col == code]
+                part_counts = np.bincount(
+                    part[part >= 0], minlength=n_classes
+                )
+                gain -= (
+                    part.size / rows.size
+                ) * _entropy_from_counts(part_counts)
+            if gain > best_gain + 1e-12:
+                best_gain = gain
+                best_attr = name
+
+        if best_attr is None:
+            return node
+
+        node.attribute = best_attr
+        attr = self._schema[best_attr]
+        col = columns[best_attr][rows]
+        remaining = [a for a in available if a != best_attr]
+        for code, value in enumerate(attr.values):
+            child_rows = rows[col == code]
+            if child_rows.size == 0:
+                continue
+            node.children[value] = self._grow(
+                columns, y, child_rows, remaining, depth + 1
+            )
+        return node
+
+    # ------------------------------------------------------------------
+
+    def predict(self, dataset: Dataset) -> np.ndarray:
+        """Predict class codes for every row of ``dataset``."""
+        if self.root_ is None:
+            raise ValueError("fit() must be called before predict()")
+        out = np.empty(dataset.n_rows, dtype=np.int64)
+        columns = {
+            a.name: dataset.column(a.name)
+            for a in dataset.schema.condition_attributes
+        }
+        for i in range(dataset.n_rows):
+            node = self.root_
+            while not node.is_leaf:
+                attr = dataset.schema[node.attribute]
+                code = int(columns[node.attribute][i])
+                value = (
+                    attr.value_of(code) if code != MISSING else None
+                )
+                child = node.children.get(value)
+                if child is None:
+                    break
+                node = child
+            out[i] = node.prediction
+        return out
+
+    def accuracy(self, dataset: Dataset) -> float:
+        """Fraction of rows whose class the tree predicts correctly."""
+        pred = self.predict(dataset)
+        truth = dataset.class_codes
+        mask = truth >= 0
+        if not mask.any():
+            return 0.0
+        return float((pred[mask] == truth[mask]).mean())
+
+    def extract_rules(self) -> List[ClassAssociationRule]:
+        """One rule per leaf: the root-to-leaf conditions imply the
+        leaf's majority class.
+
+        The returned set is *exactly* what the paper's completeness
+        argument is about: it is a small subset of the full rule space
+        and loses the context of sibling values that never formed a
+        leaf.
+        """
+        if self.root_ is None:
+            raise ValueError("fit() must be called before extract_rules()")
+        total = int(self.root_.class_counts.sum())
+        class_attr = self._schema.class_attribute
+        rules: List[ClassAssociationRule] = []
+
+        def walk(node: TreeNode, conditions: Tuple[Condition, ...]) -> None:
+            if node.is_leaf:
+                count = int(node.class_counts[node.prediction])
+                node_total = int(node.class_counts.sum())
+                rules.append(
+                    ClassAssociationRule(
+                        conditions=conditions,
+                        class_label=class_attr.value_of(node.prediction),
+                        support_count=count,
+                        support=count / total if total else 0.0,
+                        confidence=(
+                            count / node_total if node_total else 0.0
+                        ),
+                    )
+                )
+                return
+            for value, child in node.children.items():
+                walk(
+                    child,
+                    conditions + (Condition(node.attribute, value),),
+                )
+
+        walk(self.root_, ())
+        return rules
+
+
+def sequential_covering(
+    dataset: Dataset,
+    target_class: str,
+    min_coverage: int = 5,
+    min_precision: float = 0.6,
+    max_conditions: int = 3,
+    max_rules: int = 50,
+) -> List[ClassAssociationRule]:
+    """CN2-lite sequential covering for one target class.
+
+    Greedily grows a conjunctive rule maximising precision on the
+    uncovered records, emits it, removes the covered records and
+    repeats until no rule clears ``min_precision``/``min_coverage``.
+    Like the decision tree, this is a *selective* learner and is used to
+    demonstrate the completeness problem.
+    """
+    schema = dataset.schema
+    class_attr = schema.class_attribute
+    target_code = class_attr.code_of(target_class)
+    y = dataset.class_codes
+    n_total = dataset.n_rows
+
+    columns = {
+        a.name: dataset.column(a.name) for a in schema.condition_attributes
+    }
+    uncovered = np.ones(n_total, dtype=bool)
+    rules: List[ClassAssociationRule] = []
+
+    while len(rules) < max_rules:
+        conditions: List[Condition] = []
+        mask = uncovered.copy()
+        used = set()
+        improved = True
+        while improved and len(conditions) < max_conditions:
+            improved = False
+            best: Optional[Tuple[float, int, Condition, np.ndarray]] = None
+            for attr in schema.condition_attributes:
+                if attr.name in used:
+                    continue
+                col = columns[attr.name]
+                for code, value in enumerate(attr.values):
+                    cand = mask & (col == code)
+                    pos = int((y[cand] == target_code).sum())
+                    cov = int(cand.sum())
+                    if cov < min_coverage or pos == 0:
+                        continue
+                    precision = pos / cov
+                    key = (precision, pos)
+                    if best is None or key > (best[0], best[1]):
+                        best = (
+                            precision,
+                            pos,
+                            Condition(attr.name, value),
+                            cand,
+                        )
+            if best is None:
+                break
+            current_pos = int((y[mask] == target_code).sum())
+            current_cov = int(mask.sum())
+            current_precision = (
+                current_pos / current_cov if current_cov else 0.0
+            )
+            if conditions and best[0] <= current_precision + 1e-12:
+                break
+            conditions.append(best[2])
+            used.add(best[2].attribute)
+            mask = best[3]
+            improved = True
+
+        if not conditions:
+            break
+        pos = int((y[mask] == target_code).sum())
+        cov = int(mask.sum())
+        precision = pos / cov if cov else 0.0
+        if precision < min_precision or cov < min_coverage:
+            break
+        rules.append(
+            ClassAssociationRule(
+                conditions=tuple(sorted(conditions)),
+                class_label=target_class,
+                support_count=pos,
+                support=pos / n_total if n_total else 0.0,
+                confidence=precision,
+            )
+        )
+        uncovered &= ~mask
+        if not uncovered.any():
+            break
+    return rules

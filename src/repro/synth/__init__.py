@@ -1,0 +1,25 @@
+"""Synthetic data generators — the substitute for the paper's
+proprietary Motorola call logs (see DESIGN.md, "Substitutions").
+"""
+
+from .planted import PlantedEffect
+from .calllogs import (
+    CLASSES,
+    CallLogConfig,
+    generate_call_logs,
+    paper_example_config,
+)
+from .generator import attribute_sweep_dataset, synthetic_dataset
+from .drift import ScheduledEffect, monthly_batches
+
+__all__ = [
+    "PlantedEffect",
+    "CLASSES",
+    "CallLogConfig",
+    "generate_call_logs",
+    "paper_example_config",
+    "synthetic_dataset",
+    "attribute_sweep_dataset",
+    "ScheduledEffect",
+    "monthly_batches",
+]

@@ -1,0 +1,100 @@
+"""Temporal drift: monthly batches with effects that come and go.
+
+The paper's data arrives monthly and its findings change over time —
+a firmware update fixes one problem, a new network configuration
+introduces another.  :func:`monthly_batches` generates a sequence of
+call-log batches over a shared schema where each planted effect is
+active only during a window of months, enabling:
+
+* incremental cube maintenance tests (``CubeStore.absorb`` month by
+  month);
+* monitoring workflows: re-run the same comparison each month and
+  detect when the ranked cause changes (``examples/
+  monthly_monitoring.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..dataset.table import Dataset
+from .calllogs import CallLogConfig, generate_call_logs
+from .planted import PlantedEffect
+
+__all__ = ["ScheduledEffect", "monthly_batches"]
+
+
+@dataclass(frozen=True)
+class ScheduledEffect:
+    """A planted effect active during ``[first_month, last_month]``
+    (0-based, inclusive)."""
+
+    effect: PlantedEffect
+    first_month: int
+    last_month: int
+
+    def __post_init__(self) -> None:
+        if self.first_month < 0 or self.last_month < self.first_month:
+            raise ValueError(
+                "need 0 <= first_month <= last_month"
+            )
+
+    def active_in(self, month: int) -> bool:
+        """True when the effect applies to the given month."""
+        return self.first_month <= month <= self.last_month
+
+
+def monthly_batches(
+    n_months: int,
+    records_per_month: int,
+    scheduled: Sequence[ScheduledEffect],
+    base_config: CallLogConfig = None,
+    seed: int = 7,
+) -> List[Dataset]:
+    """Generate one call-log batch per month over a shared schema.
+
+    Every batch uses the same attribute domains (so cubes merge), the
+    same base rates, and a month-specific seed; each month's active
+    effects are those whose window covers it.
+
+    Parameters
+    ----------
+    n_months:
+        Number of batches.
+    records_per_month:
+        Rows per batch.
+    scheduled:
+        The effect timetable.
+    base_config:
+        Template config (effects and n_records fields are overridden
+        per month); defaults to a plain :class:`CallLogConfig`.
+    seed:
+        Base seed; month ``m`` uses ``seed + m``.
+    """
+    if n_months < 1:
+        raise ValueError("need at least one month")
+    template = base_config if base_config is not None else CallLogConfig()
+    batches: List[Dataset] = []
+    for month in range(n_months):
+        effects = [
+            s.effect for s in scheduled if s.active_in(month)
+        ]
+        config = CallLogConfig(
+            n_records=records_per_month,
+            n_phone_models=template.n_phone_models,
+            n_noise_attributes=template.n_noise_attributes,
+            noise_arity=template.noise_arity,
+            base_drop_rate=template.base_drop_rate,
+            base_setup_failure_rate=template.base_setup_failure_rate,
+            phone_drop_factors=template.phone_drop_factors,
+            effects=effects,
+            include_signal_strength=template.include_signal_strength,
+            include_hardware_version=(
+                template.include_hardware_version
+            ),
+            missing_rate=template.missing_rate,
+            seed=seed + month,
+        )
+        batches.append(generate_call_logs(config))
+    return batches

@@ -1,0 +1,129 @@
+"""Planted-effect specifications for synthetic data.
+
+The paper's evaluation is qualitative: analysts recognised the findings
+as real.  A reproduction needs ground truth instead, so our generators
+*plant* known causal structure — "phone ph2 drops six times more often
+in the morning" — and the experiment harness verifies the comparator
+recovers exactly the planted attributes.
+
+A :class:`PlantedEffect` multiplies the probability of one class by
+``factor`` for every record matching all of its conditions.  Effects
+with two or more conditions are *interactions*: they are invisible in
+any single attribute's marginal and only surface when comparing
+sub-populations — the structure the comparator is built to find.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+__all__ = ["PlantedEffect"]
+
+
+class PlantedEffect:
+    """Multiplicative risk factor on one class for matching records.
+
+    Parameters
+    ----------
+    conditions:
+        ``attribute -> value`` pairs a record must all match.
+    class_label:
+        The class whose probability is scaled.
+    factor:
+        Multiplier (> 0).  Values above 1 make the class more likely
+        for matching records; values below 1 protect them.
+
+    Examples
+    --------
+    >>> PlantedEffect(
+    ...     {"PhoneModel": "ph2", "TimeOfCall": "morning"},
+    ...     "dropped",
+    ...     6.0,
+    ... )
+    PlantedEffect(PhoneModel=ph2 & TimeOfCall=morning -> dropped x6)
+    """
+
+    __slots__ = ("_conditions", "_class_label", "_factor")
+
+    def __init__(
+        self,
+        conditions: Mapping[str, str],
+        class_label: str,
+        factor: float,
+    ) -> None:
+        if not conditions:
+            raise ValueError("a planted effect needs at least one "
+                             "condition")
+        if factor <= 0:
+            raise ValueError(f"factor must be positive; got {factor}")
+        self._conditions: Tuple[Tuple[str, str], ...] = tuple(
+            sorted((str(a), str(v)) for a, v in conditions.items())
+        )
+        self._class_label = str(class_label)
+        self._factor = float(factor)
+
+    @property
+    def conditions(self) -> Dict[str, str]:
+        """The matching conditions as a dict."""
+        return dict(self._conditions)
+
+    @property
+    def class_label(self) -> str:
+        """Class whose probability the effect scales."""
+        return self._class_label
+
+    @property
+    def factor(self) -> float:
+        """The multiplicative factor."""
+        return self._factor
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """Attributes the effect conditions on."""
+        return tuple(a for a, _ in self._conditions)
+
+    @property
+    def is_interaction(self) -> bool:
+        """True when the effect spans two or more attributes."""
+        return len(self._conditions) >= 2
+
+    def mask(self, columns: Mapping[str, np.ndarray],
+             codes: Mapping[str, Mapping[str, int]]) -> np.ndarray:
+        """Boolean row mask of matching records.
+
+        ``columns`` maps attribute name to its coded array; ``codes``
+        maps attribute name to its value -> code dictionary.
+        """
+        mask: np.ndarray = None  # type: ignore[assignment]
+        for attr, value in self._conditions:
+            try:
+                code = codes[attr][value]
+            except KeyError:
+                raise ValueError(
+                    f"effect conditions on unknown attribute/value "
+                    f"{attr}={value}"
+                ) from None
+            part = columns[attr] == code
+            mask = part if mask is None else (mask & part)
+        return mask
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PlantedEffect):
+            return NotImplemented
+        return (
+            self._conditions == other._conditions
+            and self._class_label == other._class_label
+            and self._factor == other._factor
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._conditions, self._class_label, self._factor))
+
+    def __repr__(self) -> str:
+        conds = " & ".join(f"{a}={v}" for a, v in self._conditions)
+        return (
+            f"PlantedEffect({conds} -> {self._class_label} "
+            f"x{self._factor:g})"
+        )

@@ -1,0 +1,31 @@
+"""Visualizer: text and SVG renderings of the paper's four views —
+overall matrix (Fig. 5), detailed cube (Fig. 6), comparison with
+confidence intervals (Fig. 7) and property attributes (Fig. 8).
+"""
+
+from .bars import BLOCKS, format_pct, hbar, spark_column
+from .overall import render_overall
+from .detailed import (
+    render_comparison,
+    render_comparison_attribute,
+    render_detailed,
+    render_property_attribute,
+)
+from .svg import comparison_svg
+from .html import comparison_html
+from .pairmatrix import render_pair_matrix
+
+__all__ = [
+    "BLOCKS",
+    "hbar",
+    "spark_column",
+    "format_pct",
+    "render_overall",
+    "render_detailed",
+    "render_comparison",
+    "render_comparison_attribute",
+    "render_property_attribute",
+    "comparison_svg",
+    "comparison_html",
+    "render_pair_matrix",
+]

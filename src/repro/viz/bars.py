@@ -1,0 +1,71 @@
+"""Text bar-chart primitives shared by all views.
+
+The Opportunity Map GUI renders rules as bars whose height is the rule
+confidence.  The reproduction renders to monospace text (assertable in
+tests, usable in any terminal) and to SVG (:mod:`repro.viz.svg`); this
+module provides the shared primitives: horizontal bars, vertical
+mini-column blocks, and percentage formatting.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["hbar", "spark_column", "format_pct", "BLOCKS"]
+
+#: Eighth-step block characters used for fractional bar ends.
+BLOCKS = (" ", "▏", "▎", "▍", "▌", "▋", "▊", "▉", "█")
+
+
+def format_pct(value: float, digits: int = 2) -> str:
+    """Render a proportion as a fixed-width percentage string.
+
+    >>> format_pct(0.0213)
+    ' 2.13%'
+    """
+    return f"{value * 100:5.{digits}f}%"
+
+
+def hbar(value: float, width: int = 20, maximum: float = 1.0) -> str:
+    """A horizontal bar of ``width`` cells filled to ``value/maximum``.
+
+    Uses eighth-block characters for sub-cell resolution, so small
+    confidences (the paper's 2% drop rates) remain visible.
+
+    >>> hbar(0.5, width=4)
+    '██  '
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if maximum <= 0:
+        return " " * width
+    frac = min(max(value / maximum, 0.0), 1.0)
+    eighths = round(frac * width * 8)
+    full, rem = divmod(eighths, 8)
+    bar = BLOCKS[8] * full
+    if rem and full < width:
+        bar += BLOCKS[rem]
+    return bar.ljust(width)
+
+
+def spark_column(
+    values: Sequence[float], maximum: Optional[float] = None
+) -> str:
+    """One-line sparkline: one block glyph per value.
+
+    Used for the Fig. 5 thumbnail grids, where each attribute value's
+    rule confidence becomes one tiny bar.
+
+    >>> spark_column([0.0, 0.5, 1.0])
+    ' ▌█'
+    """
+    vals = [max(float(v), 0.0) for v in values]
+    if maximum is None:
+        maximum = max(vals) if vals else 0.0
+    if maximum <= 0:
+        return " " * len(vals)
+    glyphs: List[str] = []
+    for v in vals:
+        frac = min(v / maximum, 1.0)
+        glyphs.append(BLOCKS[round(frac * 8)])
+    return "".join(glyphs)

@@ -1,0 +1,169 @@
+"""The detailed visualization mode (paper Figs. 6-8).
+
+A detailed view shows one 2-dimensional rule cube at full size with
+"the exact drop rates of individual phones" and "the exact counts and
+percentages" (Fig. 6), or the comparator's output: the two selected
+sub-populations side by side per value with confidence-interval
+whiskers (Fig. 7), and the property-attribute view (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.results import AttributeInterest, ComparisonResult
+from ..cube.rulecube import RuleCube
+from .bars import format_pct, hbar
+
+__all__ = [
+    "render_detailed",
+    "render_comparison_attribute",
+    "render_comparison",
+    "render_property_attribute",
+]
+
+
+def render_detailed(
+    cube: RuleCube,
+    class_label: Optional[str] = None,
+    bar_width: int = 24,
+) -> str:
+    """Fig. 6: one attribute's rules with exact counts and percentages.
+
+    ``cube`` must be 2-dimensional (attribute x class).  With
+    ``class_label`` the view focuses one class (one bar per value, the
+    phone-drop-rate layout); without it, all classes are tabulated.
+    """
+    if len(cube.attributes) != 1:
+        raise ValueError("detailed view expects a 2-dimensional cube")
+    attr = cube.attributes[0]
+    classes = cube.class_attribute.values
+    counts = cube.counts
+    totals = counts.sum(axis=1)
+    conf = cube.confidences()
+    total_records = int(counts.sum())
+
+    lines: List[str] = [
+        f"Detailed view: {attr.name} x {cube.class_attribute.name} "
+        f"({total_records} records)"
+    ]
+    value_width = max([len(v) for v in attr.values] + [5])
+
+    if class_label is not None:
+        c = cube.class_attribute.code_of(class_label)
+        maximum = float(conf[:, c].max()) if conf.size else 0.0
+        lines.append(
+            f"confidence of class {class_label!r} per {attr.name} value:"
+        )
+        for k, value in enumerate(attr.values):
+            bar = hbar(conf[k, c], width=bar_width,
+                       maximum=maximum or 1.0)
+            lines.append(
+                f"  {value.ljust(value_width)} |{bar}| "
+                f"{format_pct(conf[k, c])}  "
+                f"({int(counts[k, c])}/{int(totals[k])})"
+            )
+        return "\n".join(lines)
+
+    header = "  " + "value".ljust(value_width) + "  " + "  ".join(
+        label.rjust(max(len(label), 12)) for label in classes
+    ) + "     total"
+    lines.append(header)
+    for k, value in enumerate(attr.values):
+        cells = []
+        for c, label in enumerate(classes):
+            w = max(len(label), 12)
+            cells.append(
+                f"{int(counts[k, c])} ({format_pct(conf[k, c]).strip()})"
+                .rjust(w)
+            )
+        lines.append(
+            "  " + value.ljust(value_width) + "  "
+            + "  ".join(cells) + f"  {int(totals[k]):8d}"
+        )
+    return "\n".join(lines)
+
+
+def render_comparison_attribute(
+    result: ComparisonResult,
+    entry: AttributeInterest,
+    bar_width: int = 20,
+) -> str:
+    """Fig. 7: one ranked attribute, both sub-populations per value.
+
+    For each attribute value, the good phone's and the bad phone's
+    confidences are drawn side by side; the ``±`` figure is the
+    confidence-interval margin (the grey region of Fig. 7) and the
+    right-most column is the value's contribution ``W_k``.
+    """
+    lines: List[str] = [
+        f"{entry.attribute}  (M = {entry.score:.2f}"
+        + (", PROPERTY" if entry.is_property else "")
+        + ")"
+    ]
+    good = result.value_good
+    bad = result.value_bad
+    value_width = max(
+        [len(c.value) for c in entry.contributions] + [5]
+    )
+    maximum = max(
+        [c.cf1 + c.e1 for c in entry.contributions]
+        + [c.cf2 + c.e2 for c in entry.contributions]
+        + [1e-9]
+    )
+    for c in entry.contributions:
+        bar1 = hbar(c.cf1, width=bar_width, maximum=maximum)
+        bar2 = hbar(c.cf2, width=bar_width, maximum=maximum)
+        flag = "  <-- main contributor" if (
+            c.contribution > 0
+            and c.contribution == max(
+                x.contribution for x in entry.contributions
+            )
+        ) else ""
+        lines.append(
+            f"  {c.value.ljust(value_width)}"
+            f"  {good}:|{bar1}| {format_pct(c.cf1)} ±{c.e1 * 100:.2f}"
+            f" (n={c.n1})"
+            f"  {bad}:|{bar2}| {format_pct(c.cf2)} ±{c.e2 * 100:.2f}"
+            f" (n={c.n2})"
+            f"  W={c.contribution:8.2f}{flag}"
+        )
+    return "\n".join(lines)
+
+
+def render_comparison(
+    result: ComparisonResult, top: int = 3, bar_width: int = 20
+) -> str:
+    """The comparator's report: header plus the top attributes in the
+    Fig. 7 layout and the Fig. 8 property list."""
+    lines: List[str] = [
+        f"Automated comparison on {result.pivot_attribute}: "
+        f"{result.value_good} (cf={format_pct(result.cf_good).strip()}) "
+        f"vs {result.value_bad} "
+        f"(cf={format_pct(result.cf_bad).strip()}), class "
+        f"{result.target_class!r}",
+        "",
+    ]
+    for i, entry in enumerate(result.top(top), start=1):
+        lines.append(f"#{i} " + render_comparison_attribute(
+            result, entry, bar_width=bar_width
+        ))
+        lines.append("")
+    if result.property_attributes:
+        lines.append("Property attributes (separate list, Fig. 8):")
+        for entry in result.property_attributes:
+            lines.append("  " + render_property_attribute(entry))
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_property_attribute(entry: AttributeInterest) -> str:
+    """Fig. 8: a property attribute with its disjoint-support counts."""
+    disjoint = [
+        c.value for c in entry.contributions if c.disjoint_support
+    ]
+    shown = ", ".join(disjoint[:4]) + ("…" if len(disjoint) > 4 else "")
+    return (
+        f"{entry.attribute}: P={entry.property_p}, "
+        f"T={entry.property_t}, ratio="
+        f"{entry.property_ratio:.2f}; one-sided values: {shown}"
+    )

@@ -1,0 +1,181 @@
+"""Self-contained HTML report of an analysis session.
+
+The deployed Opportunity Map is a GUI application; analysts share
+findings as screenshots.  The reproduction's equivalent deliverable is
+a single static HTML file — no external assets, no JavaScript
+dependencies — containing:
+
+* the header facts (data set size, pivot rule confidences);
+* the Fig. 7 comparison chart (inline SVG) for the top attributes;
+* the full ranking table with per-value details for the winner;
+* the Fig. 8 property-attribute list;
+* optional restricted-mining refinements.
+
+Everything is plain string templating over already-computed result
+objects, so the writer is trivially testable and the output opens in
+any browser.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.results import AttributeInterest, ComparisonResult
+from ..rules.car import ClassAssociationRule
+from .svg import comparison_svg
+
+__all__ = ["comparison_html"]
+
+_STYLE = """
+body { font-family: sans-serif; margin: 2em auto; max-width: 60em;
+       color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #ccc; padding: 0.3em 0.8em;
+         text-align: right; }
+th { background: #f0f0f0; }
+td.name, th.name { text-align: left; }
+.property { color: #888; }
+.figure { margin: 1em 0; }
+.note { color: #666; font-size: 0.9em; }
+"""
+
+
+def _esc(text: str) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+    )
+
+
+def _ranking_table(result: ComparisonResult, top: int) -> str:
+    rows = []
+    for i, entry in enumerate(result.top(top), start=1):
+        best = entry.top_values(1)
+        worst = (
+            _esc(best[0].value)
+            if best and best[0].contribution > 0
+            else "—"
+        )
+        rows.append(
+            f"<tr><td>{i}</td>"
+            f"<td class='name'>{_esc(entry.attribute)}</td>"
+            f"<td>{entry.score:.2f}</td>"
+            f"<td class='name'>{worst}</td></tr>"
+        )
+    return (
+        "<table><tr><th>#</th><th class='name'>attribute</th>"
+        "<th>M</th><th class='name'>worst value</th></tr>"
+        + "".join(rows)
+        + "</table>"
+    )
+
+
+def _value_table(entry: AttributeInterest, good: str, bad: str) -> str:
+    rows = []
+    for c in entry.contributions:
+        rows.append(
+            "<tr>"
+            f"<td class='name'>{_esc(c.value)}</td>"
+            f"<td>{c.cf1 * 100:.2f}% ± {c.e1 * 100:.2f}</td>"
+            f"<td>{c.n1}</td>"
+            f"<td>{c.cf2 * 100:.2f}% ± {c.e2 * 100:.2f}</td>"
+            f"<td>{c.n2}</td>"
+            f"<td>{c.contribution:.2f}</td>"
+            "</tr>"
+        )
+    return (
+        "<table><tr><th class='name'>value</th>"
+        f"<th>{_esc(good)} rate</th><th>n</th>"
+        f"<th>{_esc(bad)} rate</th><th>n</th>"
+        "<th>W</th></tr>" + "".join(rows) + "</table>"
+    )
+
+
+def comparison_html(
+    result: ComparisonResult,
+    title: Optional[str] = None,
+    top: int = 10,
+    charts: int = 2,
+    refinements: Optional[Sequence[ClassAssociationRule]] = None,
+) -> str:
+    """Render a comparison result as one self-contained HTML page.
+
+    Parameters
+    ----------
+    result:
+        The comparison to report.
+    title:
+        Page title (defaults to a sentence naming the pivot values).
+    top:
+        Rows in the ranking table.
+    charts:
+        How many top attributes get an inline Fig. 7 SVG chart.
+    refinements:
+        Optional restricted-mining rules (from
+        :meth:`OpportunityMap.explain`) appended as a drill-down
+        section.
+    """
+    if title is None:
+        title = (
+            f"Why is {result.pivot_attribute} = {result.value_bad} "
+            f"worse than {result.value_good} on "
+            f"{result.target_class!r}?"
+        )
+
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        "<p class='note'>Automated comparison (Opportunity Map "
+        "reproduction, ICDE 2009).</p>",
+        "<table>",
+        "<tr><th class='name'>sub-population</th>"
+        "<th>records</th><th>rate</th></tr>",
+        f"<tr><td class='name'>{_esc(result.value_good)}</td>"
+        f"<td>{result.sup_good}</td>"
+        f"<td>{result.cf_good * 100:.2f}%</td></tr>",
+        f"<tr><td class='name'>{_esc(result.value_bad)}</td>"
+        f"<td>{result.sup_bad}</td>"
+        f"<td>{result.cf_bad * 100:.2f}%</td></tr>",
+        "</table>",
+        "<h2>Attribute ranking</h2>",
+        _ranking_table(result, top),
+    ]
+
+    for entry in result.top(charts):
+        if not entry.contributions:
+            continue
+        parts.append(f"<h2>{_esc(entry.attribute)}</h2>")
+        parts.append(
+            "<div class='figure'>"
+            + comparison_svg(result, entry)
+            + "</div>"
+        )
+        parts.append(
+            _value_table(entry, result.value_good, result.value_bad)
+        )
+
+    if result.property_attributes:
+        parts.append("<h2>Property attributes (set aside)</h2>")
+        parts.append("<ul>")
+        for entry in result.property_attributes:
+            parts.append(
+                f"<li class='property'>{_esc(entry.attribute)} "
+                f"(P={entry.property_p}, T={entry.property_t})</li>"
+            )
+        parts.append("</ul>")
+
+    if refinements:
+        parts.append("<h2>Refinements (restricted mining)</h2>")
+        parts.append("<ul>")
+        for rule in refinements:
+            parts.append(f"<li><code>{_esc(str(rule))}</code></li>")
+        parts.append("</ul>")
+
+    parts.append("</body></html>")
+    return "\n".join(parts)

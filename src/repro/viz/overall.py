@@ -1,0 +1,126 @@
+"""The overall visualization mode (paper Fig. 5).
+
+"In the overall visualization mode, the X axis is associated with all
+attributes in the data.  The Y axis is associated with all the classes.
+For each attribute (a column), each grid shows all one-conditional
+rules of the corresponding class value ... this screen simply shows all
+the 2-dimensional rule cubes."
+
+The text rendering keeps every element the paper calls out:
+
+* one column per attribute, one row per class;
+* each grid is a sparkline of the class's rule confidences across the
+  attribute's values;
+* per-class automatic scaling to "address the class imbalance issue"
+  (each row is scaled to its own maximum, so minority-class structure
+  is visible);
+* the class-proportion bar on the left;
+* the data-distribution bar at the top of each column;
+* the Fig. 5 trend arrow per grid (via :mod:`repro.gi.trends`);
+* a clipping marker (``…``) when an attribute has more values than the
+  grid width, standing in for the paper's light-blue hint.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..cube.store import CubeStore
+from ..gi.trends import cube_trends
+from .bars import format_pct, spark_column
+
+__all__ = ["render_overall"]
+
+
+def render_overall(
+    store: CubeStore,
+    attributes: Optional[Sequence[str]] = None,
+    max_values: int = 8,
+    scale_per_class: bool = True,
+    show_trends: bool = True,
+) -> str:
+    """Render the overall matrix view as monospace text.
+
+    Parameters
+    ----------
+    store:
+        Cube store over the analysed data set.
+    attributes:
+        Attributes (columns) to show; defaults to all store attributes.
+    max_values:
+        Grid width in values; wider domains are clipped with ``…``.
+    scale_per_class:
+        The paper's automatic scaling among classes.  When off, bars
+        show absolute confidence on the [0, 1] scale and minority
+        classes all but vanish — the behaviour the paper's scaling
+        fixes ("Otherwise, we will not see anything for the minority
+        classes").
+    show_trends:
+        Append the trend arrow to each grid.
+    """
+    if attributes is None:
+        attributes = list(store.attributes)
+    schema = store.dataset.schema
+    classes = schema.classes
+    class_counts = store.dataset.class_distribution()
+    total = int(class_counts.sum())
+
+    cubes = {name: store.single_cube(name) for name in attributes}
+    trends = (
+        {name: cube_trends(cubes[name]) for name in attributes}
+        if show_trends
+        else {}
+    )
+
+    col_width = max_values + (2 if show_trends else 0) + 1
+    name_width = max(
+        [len("class | attr:")]
+        + [len(label) for label in classes]
+    )
+
+    lines: List[str] = []
+    # Header: attribute names, vertical-ish (truncated to column width).
+    header = " " * (name_width + 9) + "".join(
+        name[: col_width - 1].ljust(col_width) for name in attributes
+    )
+    lines.append(header.rstrip())
+
+    # Data-distribution row (top of each column in the GUI).
+    dist_cells = []
+    for name in attributes:
+        counts = cubes[name].counts.sum(axis=1)
+        cell = spark_column(counts[:max_values].tolist())
+        if len(counts) > max_values:
+            cell = cell[: max_values - 1] + "…"
+        dist_cells.append(cell.ljust(col_width))
+    lines.append(
+        "distribution".ljust(name_width + 9) + "".join(dist_cells).rstrip()
+    )
+    lines.append("")
+
+    for c, label in enumerate(classes):
+        share = class_counts[c] / total if total else 0.0
+        prefix = f"{label.ljust(name_width)} {format_pct(share)} "
+        cells = []
+        for name in attributes:
+            conf = cubes[name].confidences()[:, c]
+            shown = conf[:max_values].tolist()
+            # Per-class scaling stretches each row to its own maximum;
+            # without it, bars are absolute confidences in [0, 1].
+            maximum = None if scale_per_class else 1.0
+            cell = spark_column(shown, maximum=maximum)
+            if len(conf) > max_values:
+                cell = cell[: max_values - 1] + "…"
+            if show_trends:
+                cell += " " + trends[name][label].arrow
+            cells.append(cell.ljust(col_width))
+        lines.append((prefix + "".join(cells)).rstrip())
+
+    lines.append("")
+    lines.append(
+        f"{len(attributes)} attributes x {len(classes)} classes; "
+        f"{total} records"
+        + ("; per-class scaling ON" if scale_per_class else
+           "; per-class scaling OFF")
+    )
+    return "\n".join(lines)

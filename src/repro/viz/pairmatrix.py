@@ -1,0 +1,81 @@
+"""Text matrix view of a fleet-wide pairwise comparison.
+
+The natural visualization of :class:`repro.core.PairwiseReport`: a
+triangular matrix whose cell (row, column) shows the confidence gap
+between the two values — the fleet's "who is worse than whom, and by
+how much" at a glance — plus the attribute that tops each pair's
+ranking.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.pairwise import PairwiseReport
+
+__all__ = ["render_pair_matrix"]
+
+
+def render_pair_matrix(
+    report: PairwiseReport, show_explainers: bool = True
+) -> str:
+    """Render the pairwise gaps as a triangular text matrix.
+
+    Cell (row r, column c) shows the gap ``|cf(r) - cf(c)|`` in
+    percentage points; rows/columns are the pivot values in domain
+    order.  Pairs skipped by the sweep (empty sub-population or below
+    ``min_gap``) show ``--``.  With ``show_explainers``, a legend lists
+    each pair's top-ranked attribute.
+    """
+    values: List[str] = []
+    for good, bad in report.pairs:
+        for v in (good, bad):
+            if v not in values:
+                values.append(v)
+    values.sort()
+    if not values:
+        return (
+            f"Pairwise comparison of {report.pivot_attribute!r}: "
+            "no comparable pairs"
+        )
+
+    width = max(len(v) for v in values)
+    cell_w = max(width, 6)
+    lines = [
+        f"Pairwise gaps on {report.pivot_attribute!r} / class "
+        f"{report.target_class!r} (percentage points):"
+    ]
+    header = " " * (width + 2) + " ".join(
+        v.rjust(cell_w) for v in values
+    )
+    lines.append(header)
+    for r in values:
+        cells = []
+        for c in values:
+            if r == c:
+                cells.append("·".rjust(cell_w))
+                continue
+            try:
+                result = report.result(r, c)
+            except KeyError:
+                cells.append("--".rjust(cell_w))
+                continue
+            gap = (result.cf_bad - result.cf_good) * 100
+            marker = "*" if result.value_bad == r else " "
+            cells.append(f"{gap:5.2f}{marker}".rjust(cell_w))
+        lines.append(f"{r.ljust(width)}  " + " ".join(cells))
+    lines.append(
+        "(* marks the row value being the worse of the pair)"
+    )
+
+    if show_explainers:
+        lines.append("")
+        lines.append("Top explaining attribute per pair:")
+        for good, bad in sorted(report.pairs):
+            result = report.result(good, bad)
+            top = result.ranked[0] if result.ranked else None
+            name = (
+                top.attribute if top and top.score > 0 else "(none)"
+            )
+            lines.append(f"  {good} vs {bad}: {name}")
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""SVG export of the comparison view (the Fig. 7 rendering).
+
+The deployed system is a GUI; for a library reproduction we emit
+self-contained SVG so the same figure the paper shows — per-value
+paired bars with the confidence interval drawn as a grey region on top
+of each bar, red lines for the measured rates — can be written to disk
+by the examples and checked structurally by the tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.results import AttributeInterest, ComparisonResult
+
+__all__ = ["comparison_svg"]
+
+_BAR_GOOD = "#4a7ab5"
+_BAR_BAD = "#c0504d"
+_CI_FILL = "#bbbbbb"
+_TEXT = "#222222"
+
+
+def _esc(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def comparison_svg(
+    result: ComparisonResult,
+    entry: AttributeInterest,
+    width: int = 640,
+    height: int = 320,
+) -> str:
+    """Render one ranked attribute as an SVG paired-bar chart.
+
+    Layout follows Fig. 7: one group per attribute value; within each
+    group the good sub-population's bar on the left and the bad one's
+    on the right; the interval margin drawn as a grey cap; the measured
+    confidence as a horizontal red line.
+    """
+    margin = 40
+    plot_w = width - 2 * margin
+    plot_h = height - 2 * margin
+    values = entry.contributions
+    if not values:
+        raise ValueError("attribute has no values to draw")
+    maximum = max(
+        [c.cf1 + c.e1 for c in values] + [c.cf2 + c.e2 for c in values]
+    )
+    maximum = max(maximum, 1e-9)
+    group_w = plot_w / len(values)
+    bar_w = group_w * 0.3
+
+    def y_of(v: float) -> float:
+        return margin + plot_h * (1.0 - min(v / maximum, 1.0))
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{margin}" y="{margin - 16}" font-size="13" '
+        f'fill="{_TEXT}" font-family="sans-serif">'
+        f"{_esc(entry.attribute)} — {_esc(result.value_good)} vs "
+        f"{_esc(result.value_bad)} on {_esc(result.target_class)} "
+        f"(M={entry.score:.2f})</text>",
+        # Axes.
+        f'<line x1="{margin}" y1="{margin}" x2="{margin}" '
+        f'y2="{margin + plot_h}" stroke="{_TEXT}"/>',
+        f'<line x1="{margin}" y1="{margin + plot_h}" '
+        f'x2="{margin + plot_w}" y2="{margin + plot_h}" '
+        f'stroke="{_TEXT}"/>',
+    ]
+
+    for i, c in enumerate(values):
+        gx = margin + i * group_w
+        for j, (cf, e, color) in enumerate(
+            ((c.cf1, c.e1, _BAR_GOOD), (c.cf2, c.e2, _BAR_BAD))
+        ):
+            x = gx + group_w * (0.15 + 0.4 * j)
+            top = y_of(cf)
+            # Bar body.
+            parts.append(
+                f'<rect x="{x:.1f}" y="{top:.1f}" width="{bar_w:.1f}" '
+                f'height="{margin + plot_h - top:.1f}" fill="{color}" '
+                f'fill-opacity="0.85"/>'
+            )
+            # Confidence-interval grey region (cf .. cf + e).
+            ci_top = y_of(min(cf + e, maximum))
+            parts.append(
+                f'<rect x="{x:.1f}" y="{ci_top:.1f}" '
+                f'width="{bar_w:.1f}" '
+                f'height="{max(top - ci_top, 0.0):.1f}" '
+                f'fill="{_CI_FILL}" fill-opacity="0.9"/>'
+            )
+            # Measured-rate red line.
+            parts.append(
+                f'<line x1="{x:.1f}" y1="{top:.1f}" '
+                f'x2="{x + bar_w:.1f}" y2="{top:.1f}" '
+                f'stroke="red" stroke-width="1.5"/>'
+            )
+        parts.append(
+            f'<text x="{gx + group_w / 2:.1f}" '
+            f'y="{margin + plot_h + 14}" font-size="10" fill="{_TEXT}" '
+            f'text-anchor="middle" font-family="sans-serif">'
+            f"{_esc(c.value)}</text>"
+        )
+
+    parts.append(
+        f'<text x="{margin - 6}" y="{margin + 4}" font-size="10" '
+        f'fill="{_TEXT}" text-anchor="end" font-family="sans-serif">'
+        f"{maximum * 100:.1f}%</text>"
+    )
+    parts.append(
+        f'<text x="{margin - 6}" y="{margin + plot_h + 4}" '
+        f'font-size="10" fill="{_TEXT}" text-anchor="end" '
+        f'font-family="sans-serif">0%</text>'
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,8 @@
+"""The Opportunity Map workbench: the six-component pipeline facade and
+the operation-logging analysis session."""
+
+from .opportunity_map import OpportunityMap
+from .session import Operation, Session
+from .shell import OpportunityShell
+
+__all__ = ["OpportunityMap", "Session", "Operation", "OpportunityShell"]

@@ -1,0 +1,366 @@
+"""The Opportunity Map facade.
+
+"The Opportunity Map system consists of six main components: a
+discretizer, a class association rule (CAR) generator, a general
+impression (GI) miner, a comparator and a visualizer" (Section V.A,
+with the rule-cube layer between the CAR generator and the consumers).
+This class wires the reproduction's subsystems into that pipeline and
+is the primary entry point of the library:
+
+>>> from repro import OpportunityMap, paper_example_config
+>>> from repro.synth import generate_call_logs
+>>> om = OpportunityMap(generate_call_logs(paper_example_config(5000)))
+>>> result = om.compare("PhoneModel", "ph1", "ph2", "dropped")
+>>> result.ranked[0].attribute
+'TimeOfCall'
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.comparator import Comparator, ComparatorError
+from ..core.pairwise import PairwiseReport, compare_all_pairs
+from ..core.property_attrs import DEFAULT_TAU
+from ..core.results import ComparisonResult
+from ..cube.rulecube import RuleCube
+from ..cube.store import CubeStore
+from ..dataset.discretize import discretize_dataset
+from ..dataset.sampling import unbalanced_sample
+from ..dataset.table import Dataset
+from ..gi.exceptions import CellException, find_exceptions
+from ..gi.influence import rank_influential
+from ..gi.report import Findings, general_impressions
+from ..gi.trends import Trend, cube_trends
+from ..rules.car import ClassAssociationRule, Condition
+from ..rules.miner import mine_cars, restricted_mine
+from ..viz.detailed import render_comparison, render_detailed
+from ..viz.overall import render_overall
+
+__all__ = ["OpportunityMap"]
+
+
+class OpportunityMap:
+    """End-to-end analysis workbench over one classification data set.
+
+    Parameters
+    ----------
+    dataset:
+        The input data.  Continuous attributes are discretised on
+        construction (the system's first pipeline stage).
+    discretize_method / discretize_bins / manual_cuts:
+        Passed to :func:`repro.dataset.discretize_dataset`; ``manual``
+        reproduces the deployed system's manual option.
+    sample_majority_ratio:
+        When set, the paper's unbalanced sampling runs first: the
+        majority class is down-sampled to ``ratio x`` the minority
+        total before any mining.
+    attributes:
+        The condition attributes to manage (the analysts' curated
+        ~200-of-600 subset); defaults to all.
+    confidence_level / property_tau / weight_by_count /
+    interval_method:
+        Comparator settings (see :class:`repro.core.Comparator`).
+    seed:
+        Seed for the sampling stage.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        discretize_method: str = "mdl",
+        discretize_bins: int = 5,
+        manual_cuts: Optional[Dict[str, Sequence[float]]] = None,
+        sample_majority_ratio: Optional[float] = None,
+        attributes: Optional[Sequence[str]] = None,
+        confidence_level: Optional[float] = 0.95,
+        property_tau: Optional[float] = DEFAULT_TAU,
+        weight_by_count: bool = True,
+        interval_method: str = "wald",
+        seed: Optional[int] = 0,
+    ) -> None:
+        self._raw = dataset
+        if sample_majority_ratio is not None:
+            dataset = unbalanced_sample(
+                dataset, ratio=sample_majority_ratio, seed=seed
+            )
+        has_continuous = any(
+            a.is_continuous for a in dataset.schema.condition_attributes
+        )
+        if has_continuous:
+            dataset = discretize_dataset(
+                dataset,
+                method=discretize_method,
+                n_bins=discretize_bins,
+                manual_cuts=manual_cuts,
+            )
+        self._dataset = dataset
+        self._store = CubeStore(dataset, attributes=attributes)
+        self._comparator = Comparator(
+            self._store,
+            confidence_level=confidence_level,
+            property_tau=property_tau,
+            weight_by_count=weight_by_count,
+            interval_method=interval_method,
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def dataset(self) -> Dataset:
+        """The analysed (sampled + discretised) data set."""
+        return self._dataset
+
+    @property
+    def raw_dataset(self) -> Dataset:
+        """The data set as supplied, before sampling/discretisation."""
+        return self._raw
+
+    @property
+    def store(self) -> CubeStore:
+        """The cube store (for direct OLAP work)."""
+        return self._store
+
+    @property
+    def comparator(self) -> Comparator:
+        """The configured comparator."""
+        return self._comparator
+
+    # ------------------------------------------------------------------
+    # Pipeline stages
+    # ------------------------------------------------------------------
+
+    def precompute_cubes(self, include_pairs: bool = True) -> int:
+        """The off-line cube generation phase; returns cubes built."""
+        return self._store.precompute(include_pairs=include_pairs)
+
+    def cube(self, attributes: Sequence[str]) -> RuleCube:
+        """Any rule cube over the managed attributes."""
+        return self._store.cube(attributes)
+
+    def mine_rules(
+        self,
+        min_support: float = 0.01,
+        min_confidence: float = 0.0,
+        max_length: int = 2,
+    ) -> List[ClassAssociationRule]:
+        """Threshold-based CAR mining over the analysed data."""
+        return mine_cars(
+            self._dataset,
+            min_support=min_support,
+            min_confidence=min_confidence,
+            max_length=max_length,
+            attributes=list(self._store.attributes),
+        )
+
+    def mine_longer_rules(
+        self,
+        fixed: Sequence[Condition],
+        min_support: float = 0.01,
+        min_confidence: float = 0.0,
+        extra_length: int = 2,
+    ) -> List[ClassAssociationRule]:
+        """The system's restricted mining for rules beyond 2 conditions."""
+        return restricted_mine(
+            self._dataset,
+            fixed,
+            min_support=min_support,
+            min_confidence=min_confidence,
+            extra_length=extra_length,
+        )
+
+    # ------------------------------------------------------------------
+    # General impressions
+    # ------------------------------------------------------------------
+
+    def trends(self, attribute: str) -> Dict[str, Trend]:
+        """Per-class unit trends of one attribute (Fig. 5 arrows)."""
+        return cube_trends(self._store.single_cube(attribute))
+
+    def exceptions(
+        self, attributes: Sequence[str], threshold: float = 3.0,
+        top: int = 10
+    ) -> List[CellException]:
+        """Outlier cells of the cube over ``attributes``."""
+        return find_exceptions(
+            self._store.cube(tuple(attributes)),
+            threshold=threshold,
+            top=top,
+        )
+
+    def influential_attributes(
+        self, measure: str = "cramers_v"
+    ) -> List[Tuple[str, float]]:
+        """Attributes ranked by influence on the class."""
+        return rank_influential(self._store, measure=measure)
+
+    def general_impressions(self, **kwargs) -> Findings:
+        """The combined GI digest (influence + trends + exceptions).
+
+        See :func:`repro.gi.general_impressions` for the knobs.
+        """
+        return general_impressions(self._store, **kwargs)
+
+    # ------------------------------------------------------------------
+    # The comparator (the paper's contribution)
+    # ------------------------------------------------------------------
+
+    def compare(
+        self,
+        pivot_attribute: str,
+        value_a: str,
+        value_b: str,
+        target_class: str,
+        attributes: Optional[Sequence[str]] = None,
+    ) -> ComparisonResult:
+        """Automated comparison of two sub-populations.
+
+        See :meth:`repro.core.Comparator.compare`.
+        """
+        return self._comparator.compare(
+            pivot_attribute, value_a, value_b, target_class,
+            attributes=attributes,
+        )
+
+    def compare_vs_rest(
+        self,
+        pivot_attribute: str,
+        value: str,
+        target_class: str,
+        attributes: Optional[Sequence[str]] = None,
+    ) -> ComparisonResult:
+        """One-vs-rest screening comparison.
+
+        See :meth:`repro.core.Comparator.compare_vs_rest`.
+        """
+        return self._comparator.compare_vs_rest(
+            pivot_attribute, value, target_class, attributes=attributes
+        )
+
+    def compare_all_pairs(
+        self,
+        pivot_attribute: str,
+        target_class: str,
+        values: Optional[Sequence[str]] = None,
+        min_gap: float = 0.0,
+    ) -> PairwiseReport:
+        """Fleet-wide sweep: compare every pair of pivot values.
+
+        See :func:`repro.core.compare_all_pairs`.
+        """
+        return compare_all_pairs(
+            self._comparator,
+            pivot_attribute,
+            target_class,
+            values=values,
+            min_gap=min_gap,
+        )
+
+    def explain(
+        self,
+        result: ComparisonResult,
+        attribute: Optional[str] = None,
+        value: Optional[str] = None,
+        min_support: float = 0.001,
+        min_confidence: float = 0.0,
+        extra_length: int = 1,
+        top: int = 10,
+    ) -> List[ClassAssociationRule]:
+        """Drill one level below a comparison finding.
+
+        Given a comparison result (e.g. "TimeOfCall distinguishes ph1
+        from ph2, worst at morning"), run the system's *restricted
+        mining* inside the bad sub-population at the flagged value —
+        fixing ``pivot = value_bad`` and ``attribute = value`` — to
+        surface the longer rules that refine the finding (e.g. which
+        network load makes ph2's mornings worst).
+
+        Parameters
+        ----------
+        result:
+            The comparison to drill into.
+        attribute / value:
+            The finding to refine; defaults to the top-ranked
+            attribute and its highest-contribution value.
+        top:
+            Keep the ``top`` refinements of the target class, by
+            confidence.
+        """
+        if attribute is None:
+            if not result.ranked:
+                raise ComparatorError(
+                    "the comparison ranked no attributes to explain"
+                )
+            entry = result.ranked[0]
+            attribute = entry.attribute
+        else:
+            entry = result.attribute(attribute)
+        if value is None:
+            best = entry.top_values(1)
+            if not best or best[0].contribution <= 0:
+                raise ComparatorError(
+                    f"attribute {attribute!r} has no contributing "
+                    "value to explain"
+                )
+            value = best[0].value
+
+        fixed = [
+            Condition(result.pivot_attribute, result.value_bad),
+            Condition(attribute, value),
+        ]
+        rules = restricted_mine(
+            self._dataset,
+            fixed,
+            min_support=min_support,
+            min_confidence=min_confidence,
+            extra_length=extra_length,
+        )
+        refinements = [
+            r for r in rules
+            if r.class_label == result.target_class
+            and r.length > len(fixed)
+        ]
+        refinements.sort(
+            key=lambda r: (-r.confidence, -r.support, r.key())
+        )
+        return refinements[:top]
+
+    # ------------------------------------------------------------------
+    # Visualization
+    # ------------------------------------------------------------------
+
+    def overall_view(
+        self,
+        attributes: Optional[Sequence[str]] = None,
+        max_values: int = 8,
+        scale_per_class: bool = True,
+    ) -> str:
+        """The Fig. 5 overall matrix as text."""
+        return render_overall(
+            self._store,
+            attributes=attributes,
+            max_values=max_values,
+            scale_per_class=scale_per_class,
+        )
+
+    def detailed_view(
+        self, attribute: str, class_label: Optional[str] = None
+    ) -> str:
+        """The Fig. 6 detailed view of one attribute."""
+        return render_detailed(
+            self._store.single_cube(attribute), class_label=class_label
+        )
+
+    def comparison_view(
+        self, result: ComparisonResult, top: int = 3
+    ) -> str:
+        """The Fig. 7/8 rendering of a comparison result."""
+        return render_comparison(result, top=top)
+
+    def __repr__(self) -> str:
+        return (
+            f"OpportunityMap({self._dataset.n_rows} records, "
+            f"{len(self._store.attributes)} attributes)"
+        )

@@ -1,0 +1,221 @@
+"""Scriptable analysis sessions.
+
+The paper's key usability observation is that "finding a piece of
+actionable knowledge typically involves a large number of operations
+and extensive visual inspection".  The :class:`Session` records every
+operation an analyst performs against an :class:`OpportunityMap`, so a
+workflow — like the Section V.B case study — can be measured (how many
+primitive operations did it take?), replayed, and exported as an audit
+trail.  The operation counter is what the examples use to contrast the
+manual attribute-by-attribute workflow with the single automated
+comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from .opportunity_map import OpportunityMap
+
+__all__ = ["Operation", "Session"]
+
+
+class Operation(NamedTuple):
+    """One logged analyst operation."""
+
+    kind: str  #: e.g. "overall_view", "slice", "compare"
+    detail: Dict[str, Any]
+    elapsed_seconds: float
+
+
+class Session:
+    """An operation-logging wrapper around :class:`OpportunityMap`."""
+
+    def __init__(self, workbench: OpportunityMap) -> None:
+        self._wb = workbench
+        self._log: List[Operation] = []
+
+    @property
+    def workbench(self) -> OpportunityMap:
+        """The wrapped workbench."""
+        return self._wb
+
+    @property
+    def log(self) -> Tuple[Operation, ...]:
+        """All operations performed so far, in order."""
+        return tuple(self._log)
+
+    @property
+    def n_operations(self) -> int:
+        """Number of primitive operations performed."""
+        return len(self._log)
+
+    def _record(self, kind: str, detail: Dict[str, Any],
+                started: float) -> None:
+        self._log.append(
+            Operation(kind, detail, time.perf_counter() - started)
+        )
+
+    # ------------------------------------------------------------------
+    # Logged operations (one per primitive the GUI offers)
+    # ------------------------------------------------------------------
+
+    def overall_view(self, **kwargs: Any) -> str:
+        """Open the overall view (logged)."""
+        started = time.perf_counter()
+        out = self._wb.overall_view(**kwargs)
+        self._record("overall_view", dict(kwargs), started)
+        return out
+
+    def detailed_view(self, attribute: str,
+                      class_label: Optional[str] = None) -> str:
+        """Open a detailed view (logged)."""
+        started = time.perf_counter()
+        out = self._wb.detailed_view(attribute, class_label=class_label)
+        self._record(
+            "detailed_view",
+            {"attribute": attribute, "class": class_label},
+            started,
+        )
+        return out
+
+    def slice(self, attributes: Sequence[str], at: Dict[str, str]):
+        """Slice a cube (logged); returns the sliced cube."""
+        from ..cube.olap import slice_cube
+
+        started = time.perf_counter()
+        cube = self._wb.cube(tuple(attributes))
+        for name, value in at.items():
+            cube = slice_cube(cube, name, value)
+        self._record(
+            "slice", {"attributes": list(attributes), "at": dict(at)},
+            started,
+        )
+        return cube
+
+    def dice(self, attributes: Sequence[str], attribute: str,
+             values: Sequence[str]):
+        """Dice a cube (logged); returns the diced cube."""
+        from ..cube.olap import dice_cube
+
+        started = time.perf_counter()
+        cube = dice_cube(
+            self._wb.cube(tuple(attributes)), attribute, values
+        )
+        self._record(
+            "dice",
+            {
+                "attributes": list(attributes),
+                "attribute": attribute,
+                "values": list(values),
+            },
+            started,
+        )
+        return cube
+
+    def trends(self, attribute: str):
+        """Run the GI trend miner (logged)."""
+        started = time.perf_counter()
+        out = self._wb.trends(attribute)
+        self._record("trends", {"attribute": attribute}, started)
+        return out
+
+    def compare(
+        self,
+        pivot_attribute: str,
+        value_a: str,
+        value_b: str,
+        target_class: str,
+        **kwargs: Any,
+    ):
+        """Run the automated comparator (logged, one operation)."""
+        started = time.perf_counter()
+        out = self._wb.compare(
+            pivot_attribute, value_a, value_b, target_class, **kwargs
+        )
+        self._record(
+            "compare",
+            {
+                "pivot": pivot_attribute,
+                "values": (value_a, value_b),
+                "class": target_class,
+            },
+            started,
+        )
+        return out
+
+    # ------------------------------------------------------------------
+
+    def manual_comparison_workflow(
+        self,
+        pivot_attribute: str,
+        value_a: str,
+        value_b: str,
+        target_class: str,
+        attributes: Optional[Sequence[str]] = None,
+    ) -> int:
+        """Simulate the pre-comparator manual workflow.
+
+        What the third author "literally went through" for one data
+        set: for *every* candidate attribute, slice the 3-D cube at the
+        two pivot values and open the comparison visual.  Returns the
+        number of primitive operations it took (2 slices + 1 view per
+        attribute), for contrast with ``compare``'s single operation.
+        """
+        if attributes is None:
+            attributes = [
+                a
+                for a in self._wb.store.attributes
+                if a != pivot_attribute
+            ]
+        before = self.n_operations
+        for name in attributes:
+            self.slice((pivot_attribute, name),
+                       {pivot_attribute: value_a})
+            self.slice((pivot_attribute, name),
+                       {pivot_attribute: value_b})
+            self.detailed_view(name, class_label=target_class)
+        return self.n_operations - before
+
+    def report(self) -> str:
+        """Human-readable audit trail of the session."""
+        lines = [f"Session with {self.n_operations} operations:"]
+        for i, op in enumerate(self._log, start=1):
+            lines.append(
+                f"  {i:3d}. {op.kind}  {op.detail}  "
+                f"({op.elapsed_seconds * 1000:.1f} ms)"
+            )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Machine-readable audit trail (one JSON document).
+
+        Each operation becomes ``{kind, detail, elapsed_ms}``; details
+        are coerced to JSON-safe types.  Suitable for diffing sessions
+        or feeding usage analytics — the kind of instrumentation the
+        paper's authors used informally ("from our observations and
+        monthly interactions with our users").
+        """
+
+        def safe(value: Any) -> Any:
+            if isinstance(value, (str, int, float, bool)) or value is None:
+                return value
+            if isinstance(value, dict):
+                return {str(k): safe(v) for k, v in value.items()}
+            if isinstance(value, (list, tuple)):
+                return [safe(v) for v in value]
+            return repr(value)
+
+        payload = [
+            {
+                "kind": op.kind,
+                "detail": safe(op.detail),
+                "elapsed_ms": round(op.elapsed_seconds * 1000, 3),
+            }
+            for op in self._log
+        ]
+        return json.dumps(
+            {"operations": payload, "count": len(payload)}, indent=2
+        )

@@ -1,0 +1,192 @@
+"""Interactive text shell over an Opportunity Map.
+
+The deployed system is an interactive GUI; the reproduction's terminal
+equivalent is a small ``cmd``-based explorer.  Every GUI primitive has
+a command:
+
+=============  ======================================================
+``overview``   the Fig. 5 overall matrix (optionally: attribute names)
+``detail``     the Fig. 6 detailed view: ``detail PhoneModel [class]``
+``trends``     GI trends for one attribute
+``impressions``the combined GI digest
+``compare``    the automated comparison:
+               ``compare PhoneModel ph1 ph2 dropped``
+``vsrest``     one-vs-rest: ``vsrest PhoneModel ph2 dropped``
+``pairs``      fleet sweep: ``pairs PhoneModel dropped``
+``explain``    drill the last comparison one level deeper
+``log``        the session's operation audit trail
+``quit``       leave
+=============  ======================================================
+
+The shell is fully scriptable (``cmdqueue`` / piped stdin), which is
+how the test suite drives it.
+"""
+
+from __future__ import annotations
+
+import cmd
+from typing import IO, Optional
+
+from ..core.results import ComparisonResult
+from ..viz.pairmatrix import render_pair_matrix
+from .opportunity_map import OpportunityMap
+from .session import Session
+
+__all__ = ["OpportunityShell"]
+
+
+class OpportunityShell(cmd.Cmd):
+    """A line-oriented explorer over one :class:`OpportunityMap`."""
+
+    intro = (
+        "Opportunity Map shell — type 'help' for commands, "
+        "'quit' to leave."
+    )
+    prompt = "om> "
+
+    def __init__(
+        self,
+        workbench: OpportunityMap,
+        stdout: Optional[IO[str]] = None,
+    ) -> None:
+        super().__init__(stdout=stdout)
+        self.session = Session(workbench)
+        self.last_result: Optional[ComparisonResult] = None
+
+    # -- helpers ----------------------------------------------------------
+
+    def _say(self, text: str) -> None:
+        self.stdout.write(text + "\n")
+
+    def _fail(self, message: str) -> None:
+        self._say(f"error: {message}")
+
+    # -- commands ---------------------------------------------------------
+
+    def do_overview(self, arg: str) -> None:
+        """overview [attr ...] — the Fig. 5 overall matrix."""
+        attributes = arg.split() or None
+        try:
+            self._say(self.session.overall_view(attributes=attributes))
+        except Exception as exc:  # noqa: BLE001 - surfaced to the user
+            self._fail(str(exc))
+
+    def do_detail(self, arg: str) -> None:
+        """detail <attribute> [class] — the Fig. 6 detailed view."""
+        parts = arg.split()
+        if not parts:
+            self._fail("usage: detail <attribute> [class]")
+            return
+        class_label = parts[1] if len(parts) > 1 else None
+        try:
+            self._say(
+                self.session.detailed_view(
+                    parts[0], class_label=class_label
+                )
+            )
+        except Exception as exc:  # noqa: BLE001
+            self._fail(str(exc))
+
+    def do_trends(self, arg: str) -> None:
+        """trends <attribute> — per-class unit trends."""
+        if not arg.strip():
+            self._fail("usage: trends <attribute>")
+            return
+        try:
+            trends = self.session.trends(arg.strip())
+        except Exception as exc:  # noqa: BLE001
+            self._fail(str(exc))
+            return
+        for label, trend in trends.items():
+            self._say(
+                f"  {trend.arrow} {label}: {trend.kind} "
+                f"(spread {trend.spread * 100:.2f} points)"
+            )
+
+    def do_impressions(self, arg: str) -> None:
+        """impressions — the combined GI digest."""
+        try:
+            self._say(
+                self.session.workbench.general_impressions().to_text()
+            )
+        except Exception as exc:  # noqa: BLE001
+            self._fail(str(exc))
+
+    def do_compare(self, arg: str) -> None:
+        """compare <attr> <valueA> <valueB> <class> — the comparator."""
+        parts = arg.split()
+        if len(parts) != 4:
+            self._fail(
+                "usage: compare <attribute> <valueA> <valueB> <class>"
+            )
+            return
+        try:
+            result = self.session.compare(*parts)
+        except Exception as exc:  # noqa: BLE001
+            self._fail(str(exc))
+            return
+        self.last_result = result
+        self._say(
+            self.session.workbench.comparison_view(result, top=3)
+        )
+
+    def do_vsrest(self, arg: str) -> None:
+        """vsrest <attr> <value> <class> — one-vs-rest comparison."""
+        parts = arg.split()
+        if len(parts) != 3:
+            self._fail("usage: vsrest <attribute> <value> <class>")
+            return
+        try:
+            result = self.session.workbench.compare_vs_rest(*parts)
+        except Exception as exc:  # noqa: BLE001
+            self._fail(str(exc))
+            return
+        self.last_result = result
+        self._say(result.summary())
+
+    def do_pairs(self, arg: str) -> None:
+        """pairs <attr> <class> — fleet-wide pairwise sweep."""
+        parts = arg.split()
+        if len(parts) != 2:
+            self._fail("usage: pairs <attribute> <class>")
+            return
+        try:
+            report = self.session.workbench.compare_all_pairs(*parts)
+        except Exception as exc:  # noqa: BLE001
+            self._fail(str(exc))
+            return
+        self._say(render_pair_matrix(report, show_explainers=False))
+
+    def do_explain(self, arg: str) -> None:
+        """explain — restricted-mining drill into the last compare."""
+        if self.last_result is None:
+            self._fail("run a compare (or vsrest) first")
+            return
+        try:
+            rules = self.session.workbench.explain(
+                self.last_result, top=5
+            )
+        except Exception as exc:  # noqa: BLE001
+            self._fail(str(exc))
+            return
+        if not rules:
+            self._say("no refinements above the thresholds")
+            return
+        for rule in rules:
+            self._say(f"  {rule}")
+
+    def do_log(self, arg: str) -> None:
+        """log — the session's operation audit trail."""
+        self._say(self.session.report())
+
+    def do_quit(self, arg: str) -> bool:
+        """quit — leave the shell."""
+        return True
+
+    do_EOF = do_quit
+
+    def emptyline(self) -> None:  # don't repeat the last command
+        pass
+
+    def default(self, line: str) -> None:
+        self._fail(f"unknown command {line.split()[0]!r}; try 'help'")

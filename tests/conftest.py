@@ -1,0 +1,125 @@
+"""Shared fixtures for the test suite.
+
+The central fixtures are:
+
+* ``fig1_dataset`` / ``fig1_cube`` — a full materialisation of the
+  paper's Fig. 1 rule-cube example (A1 x A2 x C, 1158 records, 24
+  rules) including the two cells the paper spells out:
+  ``A1=a, A2=e -> yes`` with count 100 of 150, and
+  ``A1=a, A2=f -> yes`` with support and confidence 0.
+* ``call_log`` — the running example: synthetic call logs with the
+  morning-drop effect planted on ph2 and the hardware-version property
+  attribute, generated once per session.
+* ``workbench`` — an :class:`OpportunityMap` over ``call_log``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cube import RuleCube, build_cube
+from repro.dataset import Attribute, Dataset, Schema
+from repro.synth import generate_call_logs, paper_example_config
+from repro.workbench import OpportunityMap
+
+# ----------------------------------------------------------------------
+# Fig. 1: counts[A1][A2][C] with C = (no, yes), A1 = (a, b, c, d),
+# A2 = (e, f, g).  The paper fixes: 1158 records total;
+# (a, e): yes=100, no=50; (a, f): support 0 for yes.
+# The remaining cells are chosen freely but summed to 1158.
+# ----------------------------------------------------------------------
+FIG1_COUNTS = np.array(
+    [
+        # A2=e        A2=f        A2=g       (each cell: [no, yes])
+        [[50, 100], [60, 0], [30, 20]],  # A1 = a
+        [[40, 40], [10, 50], [0, 0]],  # A1 = b
+        [[110, 90], [20, 30], [25, 25]],  # A1 = c
+        [[100, 100], [58, 50], [80, 70]],  # A1 = d
+    ],
+    dtype=np.int64,
+)
+
+FIG1_A1 = Attribute("A1", values=("a", "b", "c", "d"))
+FIG1_A2 = Attribute("A2", values=("e", "f", "g"))
+FIG1_CLASS = Attribute("C", values=("no", "yes"))
+
+
+def fig1_rows():
+    """Expand FIG1_COUNTS into one coded row per record."""
+    a1_codes = []
+    a2_codes = []
+    c_codes = []
+    for i in range(4):
+        for j in range(3):
+            for c in range(2):
+                n = int(FIG1_COUNTS[i, j, c])
+                a1_codes.extend([i] * n)
+                a2_codes.extend([j] * n)
+                c_codes.extend([c] * n)
+    return (
+        np.asarray(a1_codes, dtype=np.int64),
+        np.asarray(a2_codes, dtype=np.int64),
+        np.asarray(c_codes, dtype=np.int64),
+    )
+
+
+@pytest.fixture(scope="session")
+def fig1_dataset() -> Dataset:
+    a1, a2, c = fig1_rows()
+    schema = Schema([FIG1_A1, FIG1_A2, FIG1_CLASS], class_attribute="C")
+    return Dataset.from_columns(
+        schema, {"A1": a1, "A2": a2, "C": c}
+    )
+
+
+@pytest.fixture(scope="session")
+def fig1_cube(fig1_dataset: Dataset) -> RuleCube:
+    return build_cube(fig1_dataset, ("A1", "A2"))
+
+
+# ----------------------------------------------------------------------
+# A tiny fully-categorical data set for unit tests that need exact,
+# hand-checkable numbers.
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def tiny_dataset() -> Dataset:
+    schema = Schema(
+        [
+            Attribute("Color", values=("red", "green", "blue")),
+            Attribute("Size", values=("small", "large")),
+            Attribute("Label", values=("neg", "pos")),
+        ],
+        class_attribute="Label",
+    )
+    rows = [
+        ("red", "small", "pos"),
+        ("red", "small", "pos"),
+        ("red", "large", "neg"),
+        ("green", "small", "neg"),
+        ("green", "large", "neg"),
+        ("green", "large", "pos"),
+        ("blue", "small", "neg"),
+        ("blue", "small", "neg"),
+        ("blue", "large", "neg"),
+        ("red", "small", "neg"),
+    ]
+    return Dataset.from_rows(schema, rows)
+
+
+# ----------------------------------------------------------------------
+# The running example: planted call logs, one per session (generation
+# is cheap but shared state keeps the suite fast).
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def call_log() -> Dataset:
+    return generate_call_logs(paper_example_config(n_records=30_000))
+
+
+@pytest.fixture(scope="session")
+def workbench(call_log: Dataset) -> OpportunityMap:
+    return OpportunityMap(call_log)

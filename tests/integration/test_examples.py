@@ -1,0 +1,56 @@
+"""Smoke tests: the example scripts run end-to-end and find what they
+promise.
+
+Each example module is imported from ``examples/`` and its ``main()``
+executed with stdout captured; the assertions check the headline
+output, not formatting details.  (The two biggest examples are
+exercised at their natural size — they take a few seconds each.)
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "TimeOfCall" in out
+        assert "morning" in out
+        assert "Actionable finding" in out
+
+    def test_manufacturing_yield(self, capsys):
+        load_example("manufacturing_yield").main()
+        out = capsys.readouterr().out
+        assert "AnnealTemp" in out
+        assert "line B" in out
+
+    def test_baseline_comparison(self, capsys):
+        load_example("baseline_comparison").main()
+        out = capsys.readouterr().out
+        assert "Individual-rule ranking" in out
+        assert "completeness problem" in out
+        assert "one operation, one answer" in out
+
+    def test_monthly_monitoring(self, capsys):
+        load_example("monthly_monitoring").main()
+        out = capsys.readouterr().out
+        assert "Month 1" in out
+        assert "CHANGE" in out
+        assert "without any" in out

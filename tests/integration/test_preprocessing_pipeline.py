@@ -1,0 +1,104 @@
+"""Integration: the preprocessing operators feed the comparator.
+
+Realistic deployments curate and bucket before analysis — these tests
+run the full chain: high-cardinality data -> arity reduction / value
+merging / attribute dropping -> cube store (within budget) ->
+comparison that still recovers the planted cause.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Comparator
+from repro.cube import CubeError, CubeStore
+from repro.dataset import (
+    Attribute,
+    Dataset,
+    Schema,
+    drop_attributes,
+    merge_values,
+    reduce_arity,
+)
+
+
+@pytest.fixture(scope="module")
+def raw():
+    """A call log with a 500-value CellId column and a planted
+    morning effect."""
+    rng = np.random.default_rng(111)
+    n = 40_000
+    phone = rng.integers(0, 2, n)
+    time = rng.integers(0, 3, n)
+    # Zipf-ish cell popularity.
+    weights = 1.0 / np.arange(1, 501)
+    weights /= weights.sum()
+    cell = rng.choice(500, size=n, p=weights)
+    serial = rng.integers(0, 400, n)  # junk identifier column
+    p = np.where((phone == 1) & (time == 0), 0.15, 0.02)
+    cls = (rng.random(n) < p).astype(np.int64)
+    schema = Schema(
+        [
+            Attribute("Phone", values=("ph1", "ph2")),
+            Attribute("Time", values=("am", "noon", "pm")),
+            Attribute(
+                "CellId",
+                values=tuple(f"cell{i}" for i in range(500)),
+            ),
+            Attribute(
+                "Serial",
+                values=tuple(f"sn{i}" for i in range(400)),
+            ),
+            Attribute("C", values=("ok", "drop")),
+        ],
+        class_attribute="C",
+    )
+    return Dataset.from_columns(
+        schema,
+        {
+            "Phone": phone,
+            "Time": time,
+            "CellId": cell,
+            "Serial": serial,
+            "C": cls,
+        },
+    )
+
+
+class TestPreprocessingPipeline:
+    def test_budget_blocks_raw_high_arity_pair(self, raw):
+        store = CubeStore(raw, max_cells=100_000)
+        with pytest.raises(CubeError, match="budget"):
+            store.cube(("CellId", "Serial"))  # 500*400*2 = 400k cells
+
+    def test_curated_pipeline_recovers_cause(self, raw):
+        prepared = drop_attributes(raw, ["Serial"])
+        prepared = reduce_arity(prepared, "CellId", max_values=20)
+        store = CubeStore(prepared, max_cells=100_000)
+        result = Comparator(store).compare(
+            "Phone", "ph1", "ph2", "drop"
+        )
+        assert result.ranked[0].attribute == "Time"
+        assert result.ranked[0].top_values(1)[0].value == "am"
+
+    def test_bucketed_attribute_still_comparable(self, raw):
+        prepared = reduce_arity(raw, "CellId", max_values=10)
+        attr = prepared.schema["CellId"]
+        assert attr.arity == 10
+        assert "<other>" in attr.values
+        # The bucket holds the tail mass.
+        counts = prepared.value_counts("CellId")
+        assert counts[attr.code_of("<other>")] > 0
+        assert counts.sum() == raw.value_counts("CellId").sum()
+
+    def test_merge_then_compare(self, raw):
+        """Merging time bands into day/evening keeps the signal."""
+        prepared = drop_attributes(raw, ["Serial", "CellId"])
+        merged = merge_values(
+            prepared, "Time", {"daytime": ["am", "noon"]}
+        )
+        result = Comparator(CubeStore(merged)).compare(
+            "Phone", "ph1", "ph2", "drop"
+        )
+        entry = result.attribute("Time")
+        # The planted morning effect now shows on the merged value.
+        assert entry.top_values(1)[0].value == "daytime"

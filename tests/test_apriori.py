@@ -1,0 +1,154 @@
+"""Unit tests for repro.rules.apriori."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import Attribute, Dataset, Schema
+from repro.rules import apriori
+
+
+def make_dataset():
+    """10 records over two attributes; counts are easy to verify."""
+    schema = Schema(
+        [
+            Attribute("A", values=("x", "y")),
+            Attribute("B", values=("p", "q")),
+            Attribute("C", values=("no", "yes")),
+        ],
+        class_attribute="C",
+    )
+    rows = [
+        ("x", "p", "yes"),
+        ("x", "p", "yes"),
+        ("x", "p", "no"),
+        ("x", "q", "yes"),
+        ("x", "q", "no"),
+        ("y", "p", "no"),
+        ("y", "p", "no"),
+        ("y", "q", "no"),
+        ("y", "q", "yes"),
+        ("y", "q", "no"),
+    ]
+    return Dataset.from_rows(schema, rows)
+
+
+class TestApriori:
+    def test_singleton_counts(self):
+        result = apriori(make_dataset(), min_support=0.0, max_length=1)
+        assert result.count([("A", "x")]) == 5
+        assert result.count([("A", "y")]) == 5
+        assert result.count([("B", "p")]) == 5
+        assert result.count([("B", "q")]) == 5
+
+    def test_pair_counts(self):
+        result = apriori(make_dataset(), min_support=0.0, max_length=2)
+        assert result.count([("A", "x"), ("B", "p")]) == 3
+        assert result.count([("A", "x"), ("B", "q")]) == 2
+        assert result.count([("A", "y"), ("B", "q")]) == 3
+
+    def test_support_relative(self):
+        result = apriori(make_dataset(), min_support=0.0, max_length=1)
+        assert result.support([("A", "x")]) == pytest.approx(0.5)
+
+    def test_min_support_prunes(self):
+        result = apriori(make_dataset(), min_support=0.35, max_length=2)
+        # 3/10 pairs fail min_support 0.35; only singletons (0.5) stay.
+        assert len(result.itemsets(2)) == 0
+        assert len(result.itemsets(1)) == 4
+
+    def test_no_same_attribute_pairs(self):
+        result = apriori(make_dataset(), min_support=0.0, max_length=2)
+        for itemset in result.itemsets(2):
+            attrs = [a for a, _ in itemset]
+            assert len(set(attrs)) == 2
+
+    def test_max_length_respected(self):
+        schema = Schema(
+            [
+                Attribute("A", values=("x",)),
+                Attribute("B", values=("p",)),
+                Attribute("D", values=("m",)),
+                Attribute("C", values=("no", "yes")),
+            ],
+            class_attribute="C",
+        )
+        ds = Dataset.from_rows(
+            schema, [("x", "p", "m", "yes")] * 10
+        )
+        result = apriori(ds, min_support=0.5, max_length=2)
+        assert result.itemsets(2)
+        assert not result.itemsets(3)
+        result3 = apriori(ds, min_support=0.5, max_length=3)
+        assert len(result3.itemsets(3)) == 1
+        assert result3.count(
+            [("A", "x"), ("B", "p"), ("D", "m")]
+        ) == 10
+
+    def test_downward_closure(self):
+        """Every subset of a frequent itemset is frequent."""
+        result = apriori(make_dataset(), min_support=0.2, max_length=3)
+        for itemset in result.itemsets():
+            for item in itemset:
+                sub = itemset - {item}
+                if sub:
+                    assert sub in result
+
+    def test_attribute_restriction(self):
+        result = apriori(
+            make_dataset(), min_support=0.0, attributes=["A"]
+        )
+        assert result.count([("A", "x")]) == 5
+        assert result.count([("B", "p")]) == 0
+
+    def test_continuous_attribute_rejected(self):
+        schema = Schema(
+            [
+                Attribute("X", kind="continuous"),
+                Attribute("C", values=("no", "yes")),
+            ],
+            class_attribute="C",
+        )
+        ds = Dataset.from_columns(
+            schema,
+            {"X": np.array([1.0]), "C": np.array([0])},
+        )
+        with pytest.raises(ValueError, match="categorical"):
+            apriori(ds)
+
+    def test_invalid_parameters_rejected(self):
+        ds = make_dataset()
+        with pytest.raises(ValueError):
+            apriori(ds, min_support=-0.1)
+        with pytest.raises(ValueError):
+            apriori(ds, min_support=1.1)
+        with pytest.raises(ValueError):
+            apriori(ds, max_length=0)
+
+    def test_missing_values_not_counted(self):
+        schema = Schema(
+            [
+                Attribute("A", values=("x", "y")),
+                Attribute("C", values=("no", "yes")),
+            ],
+            class_attribute="C",
+        )
+        ds = Dataset.from_columns(
+            schema,
+            {
+                "A": np.array([0, 0, -1, 1]),
+                "C": np.array([0, 1, 1, 0]),
+            },
+        )
+        result = apriori(ds, min_support=0.0, max_length=1)
+        assert result.count([("A", "x")]) == 2
+        assert result.count([("A", "y")]) == 1
+
+    def test_empty_dataset(self):
+        ds = Dataset.empty(make_dataset().schema)
+        result = apriori(ds, min_support=0.5)
+        assert len(result) == 0
+        assert result.support([("A", "x")]) == 0.0
+
+    def test_repr(self):
+        result = apriori(make_dataset(), min_support=0.0, max_length=1)
+        assert "itemsets" in repr(result)

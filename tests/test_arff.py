@@ -1,0 +1,165 @@
+"""Unit tests for the ARFF reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import (
+    Attribute,
+    Dataset,
+    DatasetError,
+    Schema,
+    read_arff,
+    write_arff,
+)
+
+SAMPLE = """\
+% A sample classification data set.
+@relation calls
+
+@attribute PhoneModel {ph1, ph2}
+@attribute 'Time Of Call' {morning, afternoon, evening}
+@attribute SignalStrength numeric
+@attribute Disposition {ok, drop}
+
+@data
+ph1, morning, -85.5, ok
+ph2, evening, ?, drop
+% trailing comment
+ph1, 'afternoon', -90, ok
+"""
+
+
+class TestReadArff:
+    def test_basic_parse(self, tmp_path):
+        path = tmp_path / "calls.arff"
+        path.write_text(SAMPLE)
+        ds = read_arff(path)
+        assert ds.n_rows == 3
+        schema = ds.schema
+        assert schema.class_name == "Disposition"  # last attribute
+        assert schema["PhoneModel"].values == ("ph1", "ph2")
+        assert schema["Time Of Call"].values == (
+            "morning", "afternoon", "evening"
+        )
+        assert schema["SignalStrength"].is_continuous
+
+    def test_values_coded(self, tmp_path):
+        path = tmp_path / "calls.arff"
+        path.write_text(SAMPLE)
+        ds = read_arff(path)
+        assert ds.column("PhoneModel").tolist() == [0, 1, 0]
+        assert np.isnan(ds.column("SignalStrength")[1])
+        assert ds.class_codes.tolist() == [0, 1, 0]
+
+    def test_quoted_tokens_in_data(self, tmp_path):
+        path = tmp_path / "calls.arff"
+        path.write_text(SAMPLE)
+        ds = read_arff(path)
+        assert ds.column("Time Of Call").tolist() == [0, 2, 1]
+
+    def test_explicit_class_attribute(self, tmp_path):
+        path = tmp_path / "calls.arff"
+        path.write_text(SAMPLE)
+        ds = read_arff(path, class_attribute="PhoneModel")
+        assert ds.schema.class_name == "PhoneModel"
+
+    def test_integer_and_real_types(self, tmp_path):
+        path = tmp_path / "t.arff"
+        path.write_text(
+            "@relation t\n"
+            "@attribute A integer\n"
+            "@attribute B real\n"
+            "@attribute C {x, y}\n"
+            "@data\n1, 2.5, x\n"
+        )
+        ds = read_arff(path)
+        assert ds.schema["A"].is_continuous
+        assert ds.schema["B"].is_continuous
+
+    def test_unsupported_type_rejected(self, tmp_path):
+        path = tmp_path / "t.arff"
+        path.write_text(
+            "@relation t\n"
+            "@attribute D date yyyy-MM-dd\n"
+            "@attribute C {x}\n@data\n"
+        )
+        with pytest.raises(DatasetError, match="unsupported"):
+            read_arff(path)
+
+    def test_missing_data_section_rejected(self, tmp_path):
+        path = tmp_path / "t.arff"
+        path.write_text("@relation t\n@attribute C {x}\n")
+        with pytest.raises(DatasetError, match="no @data"):
+            read_arff(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "t.arff"
+        path.write_text(
+            "@relation t\n@attribute A {x}\n@attribute C {y}\n"
+            "@data\nx\n"
+        )
+        with pytest.raises(DatasetError, match="fields"):
+            read_arff(path)
+
+    def test_garbage_line_rejected(self, tmp_path):
+        path = tmp_path / "t.arff"
+        path.write_text("@relation t\nnot a directive\n")
+        with pytest.raises(DatasetError, match="unrecognised"):
+            read_arff(path)
+
+
+class TestWriteArff:
+    def make_dataset(self):
+        schema = Schema(
+            [
+                Attribute("A", values=("x", "y y")),  # space in value
+                Attribute("B", kind="continuous"),
+                Attribute("C", values=("no", "yes")),
+            ],
+            class_attribute="C",
+        )
+        return Dataset.from_columns(
+            schema,
+            {
+                "A": np.array([0, 1, -1]),
+                "B": np.array([1.5, np.nan, -3.25]),
+                "C": np.array([0, 1, 1]),
+            },
+        )
+
+    def test_round_trip(self, tmp_path):
+        ds = self.make_dataset()
+        path = tmp_path / "out.arff"
+        write_arff(ds, path)
+        back = read_arff(path, class_attribute="C")
+        assert back.schema["A"].values == ds.schema["A"].values
+        assert back.column("A").tolist() == ds.column("A").tolist()
+        assert back.class_codes.tolist() == ds.class_codes.tolist()
+        assert np.isnan(back.column("B")[1])
+        assert back.column("B")[2] == pytest.approx(-3.25)
+
+    def test_values_with_spaces_quoted(self, tmp_path):
+        path = tmp_path / "out.arff"
+        write_arff(self.make_dataset(), path)
+        text = path.read_text()
+        assert "'y y'" in text
+
+    def test_missing_written_as_question_mark(self, tmp_path):
+        path = tmp_path / "out.arff"
+        write_arff(self.make_dataset(), path)
+        data_lines = path.read_text().split("@data\n")[1].splitlines()
+        assert data_lines[2].startswith("?")  # missing A in row 3
+        assert "?" in data_lines[1]  # NaN B in row 2
+
+    def test_comparison_pipeline_from_arff(self, tmp_path):
+        """ARFF in -> OpportunityMap -> finding out."""
+        from repro.synth import generate_call_logs, paper_example_config
+        from repro.workbench import OpportunityMap
+
+        data = generate_call_logs(paper_example_config(8000))
+        path = tmp_path / "calls.arff"
+        write_arff(data, path)
+        back = read_arff(path, class_attribute="Disposition")
+        om = OpportunityMap(back)
+        result = om.compare("PhoneModel", "ph1", "ph2", "dropped")
+        assert result.ranked[0].attribute == "TimeOfCall"

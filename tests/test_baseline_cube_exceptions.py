@@ -1,0 +1,132 @@
+"""Unit tests for repro.baselines.cube_exceptions (Sarawagi-style)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ipf_expected,
+    rank_attributes_by_surprise,
+    surprising_cells,
+)
+from repro.cube import CubeStore, RuleCube
+from repro.dataset import Attribute, Dataset, Schema
+
+
+class TestIpfExpected:
+    def test_2d_matches_independence(self):
+        counts = np.array([[30, 10], [20, 40]], dtype=float)
+        expected = ipf_expected(counts)
+        total = counts.sum()
+        row = counts.sum(axis=1, keepdims=True)
+        col = counts.sum(axis=0, keepdims=True)
+        assert np.allclose(expected, row @ col / total)
+
+    def test_marginals_preserved_3d(self):
+        rng = np.random.default_rng(2)
+        counts = rng.integers(1, 50, size=(3, 4, 2)).astype(float)
+        fitted = ipf_expected(counts, iterations=100)
+        # Every 2-way marginal of the fit matches the data.
+        for axis in range(3):
+            assert np.allclose(
+                fitted.sum(axis=axis), counts.sum(axis=axis),
+                rtol=1e-6,
+            )
+
+    def test_no_three_way_interaction_model_fits_exactly(self):
+        """A tensor generated without three-way interaction is
+        reproduced exactly by IPF."""
+        a = np.array([1.0, 2.0])
+        b = np.array([1.0, 3.0])
+        c = np.array([2.0, 1.0])
+        # counts = outer product (pure independence, a special case).
+        counts = np.einsum("i,j,k->ijk", a, b, c) * 10
+        fitted = ipf_expected(counts, iterations=50)
+        assert np.allclose(fitted, counts, rtol=1e-6)
+
+    def test_zero_tensor(self):
+        assert ipf_expected(np.zeros((2, 2))).sum() == 0.0
+
+    def test_1d_identity(self):
+        counts = np.array([3.0, 7.0])
+        assert np.allclose(ipf_expected(counts), counts)
+
+
+class TestSurprisingCells:
+    def make_cube(self):
+        """A pure three-way (XOR-style) interaction.
+
+        The no-three-way-interaction model absorbs any single-cell
+        spike into its two-way margins, so the planted structure must
+        be a genuine 3-way pattern: class c1 is frequent exactly when
+        A and B agree.
+        """
+        counts = np.full((2, 2, 2), 100, dtype=np.int64)
+        for i in range(2):
+            for j in range(2):
+                counts[i, j, 1] = 300 if i == j else 30
+        attr_a = Attribute("A", values=("a0", "a1"))
+        attr_b = Attribute("B", values=("b0", "b1"))
+        cls = Attribute("C", values=("c0", "c1"))
+        return RuleCube([attr_a, attr_b], cls, counts)
+
+    def test_planted_interaction_is_surprising(self):
+        cells = surprising_cells(self.make_cube(), threshold=3.0)
+        assert cells
+        agree = [
+            c
+            for c in cells
+            if c.class_label == "c1"
+            and c.conditions[0][1][1:] == c.conditions[1][1][1:]
+        ]
+        assert agree  # the agreeing (a==b) c1 cells deviate upward
+        assert all(c.surprise > 0 for c in agree)
+
+    def test_threshold_filters(self):
+        loose = surprising_cells(self.make_cube(), threshold=1.0)
+        strict = surprising_cells(self.make_cube(), threshold=10.0)
+        assert len(strict) <= len(loose)
+
+    def test_top_truncation(self):
+        cells = surprising_cells(
+            self.make_cube(), threshold=0.5, top=3
+        )
+        assert len(cells) == 3
+
+
+class TestRankAttributesBySurprise:
+    def make_store(self):
+        rng = np.random.default_rng(7)
+        n = 6000
+        phone = rng.integers(0, 2, n)
+        time = rng.integers(0, 3, n)
+        noise = rng.integers(0, 3, n)
+        p = np.full(n, 0.03)
+        p[(phone == 1) & (time == 0)] = 0.25
+        cls = (rng.random(n) < p).astype(np.int64)
+        schema = Schema(
+            [
+                Attribute("Phone", values=("ph1", "ph2")),
+                Attribute("Time", values=("am", "noon", "pm")),
+                Attribute("Noise", values=("x", "y", "z")),
+                Attribute("C", values=("ok", "drop")),
+            ],
+            class_attribute="C",
+        )
+        ds = Dataset.from_columns(
+            schema,
+            {"Phone": phone, "Time": time, "Noise": noise, "C": cls},
+        )
+        return CubeStore(ds)
+
+    def test_interaction_attribute_ranks_first(self):
+        ranked = rank_attributes_by_surprise(
+            self.make_store(), "Phone", "drop"
+        )
+        assert ranked[0][0] == "Time"
+        assert ranked[0][1] > ranked[1][1]
+
+    def test_attribute_subset(self):
+        ranked = rank_attributes_by_surprise(
+            self.make_store(), "Phone", "drop", attributes=["Noise"]
+        )
+        assert [name for name, _ in ranked] == ["Noise"]

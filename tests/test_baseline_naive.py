@@ -1,0 +1,146 @@
+"""Cross-validation of the three comparator implementations.
+
+The vectorised cube-backed comparator, the raw-data comparator and the
+pure-Python loop transliteration of Section IV must agree exactly —
+this is the strongest correctness check in the suite because the
+Python oracle was written independently from the numpy code.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import naive_compare, python_reference_scores
+from repro.core import Comparator
+from repro.cube import CubeStore
+from repro.dataset import Attribute, Dataset, Schema
+
+
+def make_dataset(seed=13, n=3000):
+    rng = np.random.default_rng(seed)
+    phone = rng.integers(0, 2, n)
+    time = rng.integers(0, 3, n)
+    load = rng.integers(0, 4, n)
+    p = np.full(n, 0.05)
+    p[(phone == 1) & (time == 2)] = 0.3
+    p[load == 3] += 0.05
+    cls = (rng.random(n) < p).astype(np.int64)
+    schema = Schema(
+        [
+            Attribute("Phone", values=("ph1", "ph2")),
+            Attribute("Time", values=("am", "noon", "pm")),
+            Attribute("Load", values=("l0", "l1", "l2", "l3")),
+            Attribute("C", values=("ok", "drop")),
+        ],
+        class_attribute="C",
+    )
+    return Dataset.from_columns(
+        schema, {"Phone": phone, "Time": time, "Load": load, "C": cls}
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_dataset()
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("confidence_level", [None, 0.95, 0.99])
+    def test_cube_comparator_matches_python_oracle(
+        self, dataset, confidence_level
+    ):
+        comparator = Comparator(
+            CubeStore(dataset),
+            confidence_level=confidence_level,
+            property_tau=None,
+        )
+        result = comparator.compare("Phone", "ph1", "ph2", "drop")
+        oracle = python_reference_scores(
+            dataset,
+            "Phone",
+            result.value_good,
+            result.value_bad,
+            "drop",
+            confidence_level=confidence_level,
+        )
+        for entry in result.ranked:
+            assert entry.score == pytest.approx(
+                oracle[entry.attribute], rel=1e-9, abs=1e-9
+            )
+
+    def test_naive_compare_matches_cube_comparator(self, dataset):
+        via_cubes = Comparator(CubeStore(dataset)).compare(
+            "Phone", "ph1", "ph2", "drop"
+        )
+        via_naive = naive_compare(
+            dataset, "Phone", "ph1", "ph2", "drop"
+        )
+        assert [e.attribute for e in via_naive.ranked] == [
+            e.attribute for e in via_cubes.ranked
+        ]
+        for a, b in zip(via_naive.ranked, via_cubes.ranked):
+            assert a.score == pytest.approx(b.score)
+
+    def test_unweighted_agreement(self, dataset):
+        comparator = Comparator(
+            CubeStore(dataset),
+            confidence_level=None,
+            property_tau=None,
+            weight_by_count=False,
+        )
+        result = comparator.compare("Phone", "ph1", "ph2", "drop")
+        oracle = python_reference_scores(
+            dataset,
+            "Phone",
+            result.value_good,
+            result.value_bad,
+            "drop",
+            confidence_level=None,
+            weight_by_count=False,
+        )
+        for entry in result.ranked:
+            assert entry.score == pytest.approx(
+                oracle[entry.attribute]
+            )
+
+    def test_oracle_rejects_empty_subpopulation(self):
+        schema = Schema(
+            [
+                Attribute("Phone", values=("ph1", "ph2")),
+                Attribute("X", values=("a",)),
+                Attribute("C", values=("ok", "drop")),
+            ],
+            class_attribute="C",
+        )
+        ds = Dataset.from_rows(schema, [("ph1", "a", "ok")])
+        with pytest.raises(ValueError, match="empty"):
+            python_reference_scores(
+                ds, "Phone", "ph1", "ph2", "drop"
+            )
+
+    def test_oracle_handles_missing_values(self):
+        schema = Schema(
+            [
+                Attribute("Phone", values=("ph1", "ph2")),
+                Attribute("X", values=("a", "b")),
+                Attribute("C", values=("ok", "drop")),
+            ],
+            class_attribute="C",
+        )
+        ds = Dataset.from_columns(
+            schema,
+            {
+                "Phone": np.array([0, 0, 1, 1, 1]),
+                "X": np.array([0, -1, 0, 1, 1]),
+                "C": np.array([0, 1, 1, 0, 1]),
+            },
+        )
+        scores = python_reference_scores(
+            ds, "Phone", "ph1", "ph2", "drop", confidence_level=None
+        )
+        comparator = Comparator(
+            CubeStore(ds), confidence_level=None, property_tau=None
+        )
+        result = comparator.compare("Phone", "ph1", "ph2", "drop")
+        assert result.attribute("X").score == pytest.approx(
+            scores["X"]
+        )

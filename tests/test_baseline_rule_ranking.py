@@ -1,0 +1,122 @@
+"""Unit tests for repro.baselines.rule_ranking."""
+
+import pytest
+
+from repro.baselines import MEASURES, rank_rules, rule_measure
+from repro.rules import ClassAssociationRule, Condition
+
+
+def make_rule(support=0.05, confidence=0.5, class_label="drop",
+              support_count=50, attr="A", value="x"):
+    return ClassAssociationRule(
+        conditions=(Condition(attr, value),),
+        class_label=class_label,
+        support_count=support_count,
+        support=support,
+        confidence=confidence,
+    )
+
+
+PRIORS = {"drop": 0.1, "ok": 0.9}
+
+
+class TestMeasures:
+    def test_confidence_measure(self):
+        rule = make_rule(confidence=0.42)
+        assert rule_measure(rule, "confidence", PRIORS) == 0.42
+
+    def test_support_measure(self):
+        rule = make_rule(support=0.07)
+        assert rule_measure(rule, "support", PRIORS) == 0.07
+
+    def test_lift(self):
+        rule = make_rule(confidence=0.3)
+        assert rule_measure(rule, "lift", PRIORS) == pytest.approx(3.0)
+
+    def test_lift_one_means_independent(self):
+        rule = make_rule(confidence=0.1)
+        assert rule_measure(rule, "lift", PRIORS) == pytest.approx(1.0)
+
+    def test_leverage_zero_under_independence(self):
+        # P(X) = 0.2, conf = prior -> leverage 0.
+        rule = make_rule(support=0.02, confidence=0.1)
+        assert rule_measure(rule, "leverage", PRIORS) == (
+            pytest.approx(0.0)
+        )
+
+    def test_leverage_positive_for_association(self):
+        rule = make_rule(support=0.05, confidence=0.5)
+        assert rule_measure(rule, "leverage", PRIORS) > 0
+
+    def test_conviction_infinite_at_full_confidence(self):
+        rule = make_rule(confidence=1.0)
+        assert rule_measure(rule, "conviction", PRIORS) == float("inf")
+
+    def test_conviction_one_under_independence(self):
+        rule = make_rule(confidence=0.1)
+        assert rule_measure(rule, "conviction", PRIORS) == (
+            pytest.approx(1.0)
+        )
+
+    def test_chi2_zero_under_independence(self):
+        rule = make_rule(support=0.02, confidence=0.1)
+        assert rule_measure(rule, "chi2", PRIORS) == pytest.approx(0.0)
+
+    def test_chi2_positive_for_association(self):
+        rule = make_rule(support=0.05, confidence=0.5)
+        assert rule_measure(rule, "chi2", PRIORS) > 0
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(ValueError, match="unknown measure"):
+            rule_measure(make_rule(), "novelty", PRIORS)
+
+    def test_missing_prior_rejected(self):
+        with pytest.raises(ValueError, match="prior"):
+            rule_measure(make_rule(class_label="other"), "lift", PRIORS)
+
+    def test_all_measures_registered(self):
+        assert set(MEASURES) == {
+            "confidence", "support", "lift", "leverage",
+            "conviction", "chi2",
+        }
+
+
+class TestRankRules:
+    def test_descending_order(self):
+        rules = [
+            make_rule(confidence=0.2, value="x"),
+            make_rule(confidence=0.9, value="y"),
+            make_rule(confidence=0.5, value="z"),
+        ]
+        ranked = rank_rules(rules, "confidence", PRIORS)
+        assert [r.confidence for r, _ in ranked] == [0.9, 0.5, 0.2]
+
+    def test_top_truncation(self):
+        rules = [
+            make_rule(confidence=c, value=f"v{i}")
+            for i, c in enumerate((0.1, 0.2, 0.3, 0.4))
+        ]
+        assert len(rank_rules(rules, "confidence", PRIORS, top=2)) == 2
+
+    def test_deterministic_tie_break(self):
+        rules = [
+            make_rule(confidence=0.5, value="b"),
+            make_rule(confidence=0.5, value="a"),
+        ]
+        ranked = rank_rules(rules, "confidence", PRIORS)
+        values = [r.conditions[0].value for r, _ in ranked]
+        assert values == sorted(values)
+
+    def test_artifact_rule_tops_lift_ranking(self):
+        """The paper's complaint: a rare artifact rule (tiny support,
+        perfect confidence) outranks the broadly useful one under
+        individual-rule measures."""
+        artifact = make_rule(
+            support=0.001, support_count=2, confidence=1.0, value="rare"
+        )
+        useful = make_rule(
+            support=0.05, support_count=500, confidence=0.3,
+            value="broad",
+        )
+        ranked = rank_rules([useful, artifact], "lift", PRIORS)
+        assert ranked[0][0] is artifact

@@ -1,0 +1,151 @@
+"""Unit tests for repro.cube.builder."""
+
+import numpy as np
+import pytest
+
+from repro.cube import (
+    CubeError,
+    build_all_2d,
+    build_all_3d,
+    build_cube,
+    class_cube,
+)
+from repro.dataset import Attribute, Dataset, Schema
+
+
+def make_dataset():
+    schema = Schema(
+        [
+            Attribute("A", values=("x", "y")),
+            Attribute("B", values=("p", "q", "r")),
+            Attribute("C", values=("no", "yes")),
+        ],
+        class_attribute="C",
+    )
+    rows = [
+        ("x", "p", "yes"),
+        ("x", "q", "no"),
+        ("x", "q", "yes"),
+        ("y", "p", "no"),
+        ("y", "r", "no"),
+        ("y", "r", "yes"),
+        ("y", "r", "yes"),
+    ]
+    return Dataset.from_rows(schema, rows)
+
+
+class TestBuildCube:
+    def test_counts_match_manual_tally(self):
+        cube = build_cube(make_dataset(), ("A", "B"))
+        assert cube.cell_count({"A": "x", "B": "p"}, "yes") == 1
+        assert cube.cell_count({"A": "x", "B": "q"}, "no") == 1
+        assert cube.cell_count({"A": "y", "B": "r"}, "yes") == 2
+        assert cube.cell_count({"A": "x", "B": "r"}, "yes") == 0
+        assert cube.total() == 7
+
+    def test_axis_order_follows_request(self):
+        cube = build_cube(make_dataset(), ("B", "A"))
+        assert cube.names == ("B", "A")
+        assert cube.counts.shape == (3, 2, 2)
+
+    def test_single_attribute_cube(self):
+        cube = build_cube(make_dataset(), ("A",))
+        assert cube.counts.shape == (2, 2)
+        assert cube.cell_count({"A": "y"}, "no") == 2
+
+    def test_class_cube(self):
+        cube = class_cube(make_dataset())
+        assert cube.counts.tolist() == [3, 4]
+
+    def test_class_attribute_as_condition_rejected(self):
+        with pytest.raises(CubeError, match="final cube axis"):
+            build_cube(make_dataset(), ("C",))
+
+    def test_continuous_attribute_rejected(self):
+        schema = Schema(
+            [
+                Attribute("X", kind="continuous"),
+                Attribute("C", values=("no", "yes")),
+            ],
+            class_attribute="C",
+        )
+        ds = Dataset.from_columns(
+            schema, {"X": np.array([1.0]), "C": np.array([0])}
+        )
+        with pytest.raises(CubeError, match="continuous"):
+            build_cube(ds, ("X",))
+
+    def test_missing_values_excluded(self):
+        schema = Schema(
+            [
+                Attribute("A", values=("x", "y")),
+                Attribute("C", values=("no", "yes")),
+            ],
+            class_attribute="C",
+        )
+        ds = Dataset.from_columns(
+            schema,
+            {
+                "A": np.array([0, -1, 1, 0]),
+                "C": np.array([0, 0, -1, 1]),
+            },
+        )
+        cube = build_cube(ds, ("A",))
+        # Row 1 (missing A) and row 2 (missing class) are dropped.
+        assert cube.total() == 2
+        assert cube.cell_count({"A": "x"}, "no") == 1
+        assert cube.cell_count({"A": "x"}, "yes") == 1
+
+    def test_empty_dataset_cube(self):
+        ds = Dataset.empty(make_dataset().schema)
+        cube = build_cube(ds, ("A", "B"))
+        assert cube.total() == 0
+        assert cube.counts.shape == (2, 3, 2)
+
+    def test_duplicated_data_scales_counts_linearly(self):
+        """The Fig. 11 protocol: duplication multiplies every count."""
+        ds = make_dataset()
+        cube1 = build_cube(ds, ("A", "B"))
+        cube3 = build_cube(ds.duplicate(3), ("A", "B"))
+        assert (cube3.counts == 3 * cube1.counts).all()
+
+
+class TestBuildAll:
+    def test_all_2d_one_per_attribute(self):
+        cubes = build_all_2d(make_dataset())
+        assert set(cubes) == {"A", "B"}
+        assert cubes["A"].names == ("A",)
+
+    def test_all_3d_one_per_pair(self):
+        cubes = build_all_3d(make_dataset())
+        assert set(cubes) == {("A", "B")}
+
+    def test_all_3d_count_is_quadratic(self):
+        """n attributes -> n(n-1)/2 pair cubes (Fig. 10's growth)."""
+        schema = Schema(
+            [Attribute(f"A{i}", values=("0", "1")) for i in range(6)]
+            + [Attribute("C", values=("no", "yes"))],
+            class_attribute="C",
+        )
+        ds = Dataset.from_columns(
+            schema,
+            {name: np.zeros(1, dtype=np.int64)
+             for name in schema.names},
+        )
+        cubes = build_all_3d(ds)
+        assert len(cubes) == 6 * 5 // 2
+
+    def test_attribute_subset(self):
+        cubes = build_all_2d(make_dataset(), attributes=["B"])
+        assert set(cubes) == {"B"}
+
+    def test_consistency_between_2d_and_3d(self):
+        """Rolling the 3-D cube up over either attribute must equal
+        the corresponding 2-D cube."""
+        from repro.cube import rollup
+
+        ds = make_dataset()
+        pair = build_all_3d(ds)[("A", "B")]
+        singles = build_all_2d(ds)
+        assert rollup(pair, "B") == singles["A"]
+        assert rollup(pair, "A") == singles["B"]

@@ -1,0 +1,109 @@
+"""Unit tests for repro.rules.car."""
+
+import pytest
+
+from repro.rules import ClassAssociationRule, Condition, RuleError
+
+
+class TestCondition:
+    def test_basics(self):
+        c = Condition("PhoneModel", "ph1")
+        assert c.attribute == "PhoneModel"
+        assert c.value == "ph1"
+        assert str(c) == "PhoneModel = ph1"
+
+    def test_value_stringified(self):
+        assert Condition("A", 5).value == "5"
+
+    def test_empty_attribute_rejected(self):
+        with pytest.raises(RuleError):
+            Condition("", "x")
+
+    def test_equality_and_hash(self):
+        assert Condition("A", "x") == Condition("A", "x")
+        assert Condition("A", "x") != Condition("A", "y")
+        assert hash(Condition("A", "x")) == hash(Condition("A", "x"))
+
+    def test_ordering(self):
+        assert Condition("A", "x") < Condition("B", "a")
+        assert Condition("A", "x") < Condition("A", "y")
+
+
+def make_rule(**overrides):
+    kwargs = dict(
+        conditions=(Condition("A", "x"), Condition("B", "y")),
+        class_label="pos",
+        support_count=30,
+        support=0.03,
+        confidence=0.6,
+    )
+    kwargs.update(overrides)
+    return ClassAssociationRule(**kwargs)
+
+
+class TestClassAssociationRule:
+    def test_basics(self):
+        rule = make_rule()
+        assert rule.class_label == "pos"
+        assert rule.support_count == 30
+        assert rule.support == 0.03
+        assert rule.confidence == 0.6
+        assert rule.length == 2
+        assert rule.attributes == ("A", "B")
+
+    def test_zero_condition_rule_allowed(self):
+        rule = make_rule(conditions=())
+        assert rule.length == 0
+        assert "TRUE" in str(rule)
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(RuleError, match="distinct"):
+            make_rule(
+                conditions=(Condition("A", "x"), Condition("A", "y"))
+            )
+
+    def test_negative_support_count_rejected(self):
+        with pytest.raises(RuleError):
+            make_rule(support_count=-1)
+
+    def test_out_of_range_support_rejected(self):
+        with pytest.raises(RuleError):
+            make_rule(support=1.5)
+
+    def test_out_of_range_confidence_rejected(self):
+        with pytest.raises(RuleError):
+            make_rule(confidence=-0.1)
+
+    def test_confidence_rounding_tolerance(self):
+        # Floating arithmetic may land a hair above 1.0.
+        rule = make_rule(confidence=1.0 + 1e-13)
+        assert rule.confidence == 1.0
+
+    def test_condition_on(self):
+        rule = make_rule()
+        assert rule.condition_on("A") == Condition("A", "x")
+        assert rule.condition_on("Z") is None
+
+    def test_matches(self):
+        rule = make_rule()
+        assert rule.matches({"A": "x", "B": "y", "C": "z"})
+        assert not rule.matches({"A": "x", "B": "other"})
+        assert not rule.matches({"A": "x"})  # B absent
+
+    def test_key_is_order_insensitive(self):
+        r1 = make_rule(
+            conditions=(Condition("B", "y"), Condition("A", "x"))
+        )
+        r2 = make_rule()
+        assert r1.key() == r2.key()
+        assert r1 == r2
+        assert hash(r1) == hash(r2)
+
+    def test_equality_includes_counts(self):
+        assert make_rule() != make_rule(support_count=31)
+
+    def test_str_format(self):
+        text = str(make_rule())
+        assert "A = x, B = y -> pos" in text
+        assert "sup=0.0300 (30)" in text
+        assert "conf=0.6000" in text

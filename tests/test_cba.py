@@ -1,0 +1,113 @@
+"""Unit tests for the CBA-style associative classifier."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import Attribute, Dataset, Schema
+from repro.rules import CBAClassifier, DecisionTree
+
+
+def simple_dataset():
+    """A deterministically separable data set."""
+    schema = Schema(
+        [
+            Attribute("A", values=("x", "y")),
+            Attribute("B", values=("p", "q")),
+            Attribute("C", values=("neg", "pos")),
+        ],
+        class_attribute="C",
+    )
+    rows = (
+        [("x", "p", "pos")] * 20
+        + [("x", "q", "pos")] * 15
+        + [("y", "p", "neg")] * 20
+        + [("y", "q", "neg")] * 15
+    )
+    return Dataset.from_rows(schema, rows)
+
+
+def noisy_dataset(seed=5, n=2000, flip=0.1):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 2, n)
+    b = rng.integers(0, 3, n)
+    y = a.copy()
+    noise = rng.random(n) < flip
+    y[noise] = 1 - y[noise]
+    schema = Schema(
+        [
+            Attribute("A", values=("a0", "a1")),
+            Attribute("B", values=("b0", "b1", "b2")),
+            Attribute("C", values=("c0", "c1")),
+        ],
+        class_attribute="C",
+    )
+    return Dataset.from_columns(schema, {"A": a, "B": b, "C": y})
+
+
+class TestCBAClassifier:
+    def test_perfect_on_separable_data(self):
+        ds = simple_dataset()
+        clf = CBAClassifier(min_support=0.05, min_confidence=0.6).fit(ds)
+        assert clf.accuracy(ds) == 1.0
+        assert clf.n_rules >= 1
+
+    def test_rule_list_sorted_by_confidence(self):
+        ds = noisy_dataset()
+        clf = CBAClassifier().fit(ds)
+        confs = [r.confidence for r in clf.rules_]
+        assert confs == sorted(confs, reverse=True)
+
+    def test_beats_majority_baseline_on_noisy_data(self):
+        ds = noisy_dataset()
+        clf = CBAClassifier().fit(ds)
+        majority = max(
+            ds.class_distribution() / ds.n_rows
+        )
+        assert clf.accuracy(ds) > majority + 0.2
+
+    def test_generalises_to_fresh_sample(self):
+        train = noisy_dataset(seed=5)
+        test = noisy_dataset(seed=6)
+        clf = CBAClassifier().fit(train)
+        # Bayes rate is 0.9 (10% flips); CBA should be close.
+        assert clf.accuracy(test) > 0.85
+
+    def test_default_class_set(self):
+        clf = CBAClassifier().fit(noisy_dataset())
+        assert clf.default_class_ in ("c0", "c1")
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(ValueError, match="fit"):
+            CBAClassifier().predict(simple_dataset())
+
+    def test_no_rules_falls_back_to_majority(self):
+        ds = noisy_dataset()
+        clf = CBAClassifier(min_support=0.99).fit(ds)  # nothing mined
+        assert clf.n_rules == 0
+        counts = ds.class_distribution()
+        majority = ds.schema.class_attribute.value_of(
+            int(np.argmax(counts))
+        )
+        assert clf.default_class_ == majority
+        assert set(clf.predict(ds)) == {majority}
+
+    def test_explicit_rule_list(self):
+        from repro.rules import mine_cars
+
+        ds = simple_dataset()
+        rules = mine_cars(ds, min_support=0.1, max_length=1)
+        clf = CBAClassifier().fit(ds, rules=rules)
+        assert clf.accuracy(ds) == 1.0
+
+    def test_comparable_to_decision_tree(self):
+        """On simple noisy data, CBA matches the tree's accuracy —
+        CARs carry the classification signal even though the system
+        uses them diagnostically."""
+        ds = noisy_dataset()
+        cba = CBAClassifier().fit(ds)
+        tree = DecisionTree(max_depth=3).fit(ds)
+        assert cba.accuracy(ds) >= tree.accuracy(ds) - 0.02
+
+    def test_repr(self):
+        clf = CBAClassifier().fit(simple_dataset())
+        assert "CBAClassifier" in repr(clf)

@@ -1,0 +1,139 @@
+"""Unit tests for the ChiMerge discretiser."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import (
+    Attribute,
+    ChiMergeDiscretizer,
+    Dataset,
+    DatasetError,
+    Schema,
+    discretize_dataset,
+)
+
+
+def make_dataset(values, classes):
+    schema = Schema(
+        [
+            Attribute("X", kind="continuous"),
+            Attribute("C", values=("no", "yes")),
+        ],
+        class_attribute="C",
+    )
+    return Dataset.from_columns(
+        schema,
+        {
+            "X": np.asarray(values, dtype=float),
+            "C": np.asarray(classes, dtype=np.int64),
+        },
+    )
+
+
+class TestChiMerge:
+    def test_clear_boundary_found(self):
+        values = list(range(200))
+        classes = [0 if v < 100 else 1 for v in values]
+        disc = ChiMergeDiscretizer(max_intervals=6).fit(
+            make_dataset(values, classes)
+        )
+        cuts = disc.cuts_["X"]
+        assert cuts
+        assert any(95 <= c <= 105 for c in cuts)
+
+    def test_pure_class_single_interval(self):
+        ds = make_dataset(list(range(60)), [1] * 60)
+        disc = ChiMergeDiscretizer(max_intervals=5).fit(ds)
+        # No class difference anywhere: everything merges down to the
+        # minimum interval count.
+        assert len(disc.cuts_["X"]) <= disc.min_intervals - 1 + 1
+
+    def test_max_intervals_enforced(self):
+        rng = np.random.default_rng(5)
+        values = rng.random(500) * 100
+        classes = (values // 10 % 2).astype(int)  # many boundaries
+        disc = ChiMergeDiscretizer(max_intervals=4).fit(
+            make_dataset(values, classes)
+        )
+        assert len(disc.cuts_["X"]) <= 3  # k cuts = k+1 intervals
+
+    def test_min_intervals_stops_merging(self):
+        values = list(range(100))
+        classes = [v % 2 for v in values]  # pure noise
+        disc = ChiMergeDiscretizer(
+            max_intervals=8, min_intervals=3
+        ).fit(make_dataset(values, classes))
+        # Merging stops at min_intervals even though nothing is
+        # significant.
+        assert len(disc.cuts_["X"]) >= 2
+
+    def test_three_class_boundaries(self):
+        schema = Schema(
+            [
+                Attribute("X", kind="continuous"),
+                Attribute("C", values=("a", "b", "c")),
+            ],
+            class_attribute="C",
+        )
+        values = list(range(300))
+        classes = [v // 100 for v in values]
+        ds = Dataset.from_columns(
+            schema,
+            {
+                "X": np.asarray(values, dtype=float),
+                "C": np.asarray(classes, dtype=np.int64),
+            },
+        )
+        disc = ChiMergeDiscretizer(max_intervals=6).fit(ds)
+        cuts = disc.cuts_["X"]
+        assert len(cuts) >= 2
+        assert any(90 <= c <= 110 for c in cuts)
+        assert any(190 <= c <= 210 for c in cuts)
+
+    def test_empty_column(self):
+        disc = ChiMergeDiscretizer()
+        assert disc.find_cuts(
+            np.array([]), np.array([], dtype=int), 2
+        ) == ()
+
+    def test_single_distinct_value(self):
+        ds = make_dataset([5.0] * 20, [0, 1] * 10)
+        disc = ChiMergeDiscretizer().fit(ds)
+        assert disc.cuts_["X"] == ()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatasetError):
+            ChiMergeDiscretizer(max_intervals=1, min_intervals=2)
+        with pytest.raises(DatasetError):
+            ChiMergeDiscretizer(min_intervals=0)
+        with pytest.raises(DatasetError, match="0.95"):
+            ChiMergeDiscretizer(significance=0.99)
+
+    def test_critical_value_approximation(self):
+        """Wilson-Hilferty fallback tracks the table at tabulated dfs
+        and is sane beyond them."""
+        for df, exact in ((1, 3.841), (4, 9.488), (6, 12.592)):
+            approx = ChiMergeDiscretizer._critical_value(df)
+            assert approx == pytest.approx(exact, rel=0.03)
+        assert ChiMergeDiscretizer._critical_value(10) > (
+            ChiMergeDiscretizer._critical_value(6)
+        )
+
+    def test_via_discretize_dataset(self):
+        values = list(range(200))
+        classes = [0 if v < 100 else 1 for v in values]
+        out = discretize_dataset(
+            make_dataset(values, classes), method="chimerge", n_bins=4
+        )
+        attr = out.schema["X"]
+        assert attr.is_categorical
+        assert 2 <= attr.arity <= 5
+
+    def test_transform_codes_valid(self):
+        values = list(np.linspace(0, 50, 120))
+        classes = [0 if v < 25 else 1 for v in values]
+        ds = make_dataset(values, classes)
+        out = ChiMergeDiscretizer(max_intervals=4).fit_transform(ds)
+        codes = out.column("X")
+        assert (codes >= 0).all()
+        assert (codes < out.schema["X"].arity).all()

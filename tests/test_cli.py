@@ -1,0 +1,223 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.cube import load_cubes
+from repro.dataset import Attribute, Dataset, Schema, write_csv
+
+
+@pytest.fixture()
+def csv_path(tmp_path):
+    rng = np.random.default_rng(71)
+    n = 3000
+    phone = rng.integers(0, 2, n)
+    time = rng.integers(0, 3, n)
+    p = np.where((phone == 1) & (time == 0), 0.2, 0.02)
+    cls = (rng.random(n) < p).astype(np.int64)
+    schema = Schema(
+        [
+            Attribute("Phone", values=("ph1", "ph2")),
+            Attribute("Time", values=("am", "noon", "pm")),
+            Attribute("C", values=("ok", "drop")),
+        ],
+        class_attribute="C",
+    )
+    ds = Dataset.from_columns(
+        schema, {"Phone": phone, "Time": time, "C": cls}
+    )
+    path = tmp_path / "calls.csv"
+    write_csv(ds, path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_compare_args(self):
+        args = build_parser().parse_args(
+            [
+                "compare", "data.csv",
+                "--class-attribute", "C",
+                "--pivot", "Phone",
+                "--values", "ph1", "ph2",
+                "--target", "drop",
+            ]
+        )
+        assert args.command == "compare"
+        assert args.values == ["ph1", "ph2"]
+        assert args.interval == "wald"
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [
+                    "compare", "data.csv",
+                    "--class-attribute", "C",
+                    "--pivot", "P",
+                    "--values", "a", "b",
+                    "--target", "t",
+                    "--interval", "exact",
+                ]
+            )
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo", "--records", "5000", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "PhoneModel" in out
+        assert "TimeOfCall" in out
+
+    def test_compare(self, csv_path, capsys):
+        status = main(
+            [
+                "compare", str(csv_path),
+                "--class-attribute", "C",
+                "--pivot", "Phone",
+                "--values", "ph1", "ph2",
+                "--target", "drop",
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "Time" in out
+        assert "am" in out
+
+    def test_compare_wilson(self, csv_path, capsys):
+        status = main(
+            [
+                "compare", str(csv_path),
+                "--class-attribute", "C",
+                "--pivot", "Phone",
+                "--values", "ph1", "ph2",
+                "--target", "drop",
+                "--interval", "wilson",
+            ]
+        )
+        assert status == 0
+
+    def test_compare_writes_svg(self, csv_path, tmp_path, capsys):
+        svg_path = tmp_path / "fig7.svg"
+        status = main(
+            [
+                "compare", str(csv_path),
+                "--class-attribute", "C",
+                "--pivot", "Phone",
+                "--values", "ph1", "ph2",
+                "--target", "drop",
+                "--svg", str(svg_path),
+            ]
+        )
+        assert status == 0
+        assert svg_path.read_text().startswith("<svg")
+
+    def test_impressions(self, csv_path, capsys):
+        status = main(
+            ["impressions", str(csv_path), "--class-attribute", "C"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "General impressions" in out
+
+    def test_cubes(self, csv_path, tmp_path, capsys):
+        out_path = tmp_path / "cubes.npz"
+        status = main(
+            [
+                "cubes", str(csv_path),
+                "--class-attribute", "C",
+                "--out", str(out_path),
+            ]
+        )
+        assert status == 0
+        cubes = load_cubes(out_path)
+        # 2 singles + 1 pair.
+        assert len(cubes) == 3
+
+    def test_compare_warm_start_from_cubes(self, csv_path, tmp_path,
+                                           capsys):
+        archive = tmp_path / "cubes.npz"
+        assert main(
+            [
+                "cubes", str(csv_path),
+                "--class-attribute", "C",
+                "--out", str(archive),
+            ]
+        ) == 0
+        status = main(
+            [
+                "compare", str(csv_path),
+                "--class-attribute", "C",
+                "--pivot", "Phone",
+                "--values", "ph1", "ph2",
+                "--target", "drop",
+                "--cubes", str(archive),
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "Warm-started" in out
+        assert "Time" in out
+
+    def test_report_writes_html(self, csv_path, tmp_path, capsys):
+        out = tmp_path / "report.html"
+        status = main(
+            [
+                "report", str(csv_path),
+                "--class-attribute", "C",
+                "--pivot", "Phone",
+                "--values", "ph1", "ph2",
+                "--target", "drop",
+                "--out", str(out),
+            ]
+        )
+        assert status == 0
+        html = out.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Time" in html
+
+    def test_report_no_refinements_flag(self, csv_path, tmp_path):
+        out = tmp_path / "report.html"
+        status = main(
+            [
+                "report", str(csv_path),
+                "--class-attribute", "C",
+                "--pivot", "Phone",
+                "--values", "ph1", "ph2",
+                "--target", "drop",
+                "--out", str(out),
+                "--no-refinements",
+            ]
+        )
+        assert status == 0
+        assert "Refinements" not in out.read_text()
+
+    def test_missing_file_returns_error(self, capsys):
+        status = main(
+            [
+                "impressions", "/nonexistent.csv",
+                "--class-attribute", "C",
+            ]
+        )
+        assert status == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_value_returns_error(self, csv_path, capsys):
+        status = main(
+            [
+                "compare", str(csv_path),
+                "--class-attribute", "C",
+                "--pivot", "Phone",
+                "--values", "ph1", "ph9",
+                "--target", "drop",
+            ]
+        )
+        assert status == 1

@@ -1,0 +1,231 @@
+"""Unit tests for repro.core.comparator — the paper's contribution."""
+
+import numpy as np
+import pytest
+
+from repro.core import Comparator, ComparatorError, compare_from_data
+from repro.cube import CubeStore
+from repro.dataset import Attribute, Dataset, Schema
+
+
+def planted_dataset(n_per_cell=500, seed=0):
+    """PhoneModel x TimeOfCall x Noise with a planted morning effect.
+
+    ph1 drops at 2% everywhere.  ph2 drops at 2% except mornings,
+    where it drops at 12%.  Noise is independent of everything.
+    A Version attribute is deterministically tied to the phone
+    (property attribute).
+    """
+    rng = np.random.default_rng(seed)
+    phones, times, noises = 2, 3, 3
+    rows_phone, rows_time, rows_noise, rows_class = [], [], [], []
+    for p in range(phones):
+        for t in range(times):
+            drop = 0.12 if (p == 1 and t == 0) else 0.02
+            k = n_per_cell
+            rows_phone.extend([p] * k)
+            rows_time.extend([t] * k)
+            rows_noise.extend(rng.integers(0, noises, k).tolist())
+            rows_class.extend(
+                (rng.random(k) < drop).astype(int).tolist()
+            )
+    phone = np.asarray(rows_phone)
+    schema = Schema(
+        [
+            Attribute("PhoneModel", values=("ph1", "ph2")),
+            Attribute("TimeOfCall",
+                      values=("morning", "afternoon", "evening")),
+            Attribute("Noise", values=("n1", "n2", "n3")),
+            Attribute("Version", values=("v1", "v2")),
+            Attribute("C", values=("ok", "drop")),
+        ],
+        class_attribute="C",
+    )
+    return Dataset.from_columns(
+        schema,
+        {
+            "PhoneModel": phone,
+            "TimeOfCall": np.asarray(rows_time),
+            "Noise": np.asarray(rows_noise),
+            "Version": phone.copy(),  # v1 iff ph1 -> disjoint
+            "C": np.asarray(rows_class),
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return planted_dataset()
+
+
+@pytest.fixture(scope="module")
+def comparator(dataset):
+    return Comparator(CubeStore(dataset))
+
+
+class TestCompare:
+    def test_planted_attribute_ranks_first(self, comparator):
+        result = comparator.compare(
+            "PhoneModel", "ph1", "ph2", "drop"
+        )
+        assert result.ranked[0].attribute == "TimeOfCall"
+
+    def test_noise_scores_below_planted(self, comparator):
+        result = comparator.compare("PhoneModel", "ph1", "ph2", "drop")
+        planted = result.attribute("TimeOfCall").score
+        noise = result.attribute("Noise").score
+        assert planted > noise
+
+    def test_morning_is_top_contributor(self, comparator):
+        result = comparator.compare("PhoneModel", "ph1", "ph2", "drop")
+        entry = result.attribute("TimeOfCall")
+        best = entry.top_values(1)[0]
+        assert best.value == "morning"
+        assert best.contribution > 0
+
+    def test_property_attribute_set_aside(self, comparator):
+        result = comparator.compare("PhoneModel", "ph1", "ph2", "drop")
+        names = [p.attribute for p in result.property_attributes]
+        assert names == ["Version"]
+        with pytest.raises(KeyError):
+            result.rank_of("Version")
+
+    def test_orientation_automatic(self, comparator):
+        """Supplying the bad phone first swaps the orientation."""
+        forward = comparator.compare(
+            "PhoneModel", "ph1", "ph2", "drop"
+        )
+        backward = comparator.compare(
+            "PhoneModel", "ph2", "ph1", "drop"
+        )
+        assert not forward.swapped
+        assert backward.swapped
+        assert backward.value_good == forward.value_good == "ph1"
+        assert backward.value_bad == forward.value_bad == "ph2"
+        assert backward.ranked[0].attribute == (
+            forward.ranked[0].attribute
+        )
+        assert backward.ranked[0].score == pytest.approx(
+            forward.ranked[0].score
+        )
+
+    def test_overall_confidences_reported(self, comparator, dataset):
+        result = comparator.compare("PhoneModel", "ph1", "ph2", "drop")
+        sub1 = dataset.where("PhoneModel", "ph1")
+        expected_cf1 = (
+            sub1.class_distribution()[1] / sub1.n_rows
+        )
+        assert result.cf_good == pytest.approx(expected_cf1)
+        assert result.cf_bad > result.cf_good
+        assert result.sup_good == sub1.n_rows
+
+    def test_candidate_subset(self, comparator):
+        result = comparator.compare(
+            "PhoneModel", "ph1", "ph2", "drop",
+            attributes=["Noise"],
+        )
+        assert len(result.ranked) == 1
+        assert result.ranked[0].attribute == "Noise"
+
+    def test_scores_are_non_negative(self, comparator):
+        result = comparator.compare("PhoneModel", "ph1", "ph2", "drop")
+        for entry in list(result.ranked) + list(
+            result.property_attributes
+        ):
+            assert entry.score >= 0.0
+
+    def test_ranking_is_descending(self, comparator):
+        result = comparator.compare("PhoneModel", "ph1", "ph2", "drop")
+        scores = [e.score for e in result.ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_elapsed_time_recorded(self, comparator):
+        result = comparator.compare("PhoneModel", "ph1", "ph2", "drop")
+        assert result.elapsed_seconds > 0
+
+
+class TestValidation:
+    def test_same_value_rejected(self, comparator):
+        with pytest.raises(ComparatorError, match="different"):
+            comparator.compare("PhoneModel", "ph1", "ph1", "drop")
+
+    def test_class_pivot_rejected(self, comparator):
+        with pytest.raises(ComparatorError, match="class attribute"):
+            comparator.compare("C", "ok", "drop", "drop")
+
+    def test_pivot_in_candidates_rejected(self, comparator):
+        with pytest.raises(ComparatorError, match="rank itself"):
+            comparator.compare(
+                "PhoneModel", "ph1", "ph2", "drop",
+                attributes=["PhoneModel"],
+            )
+
+    def test_unknown_value_rejected(self, comparator):
+        with pytest.raises(Exception):
+            comparator.compare("PhoneModel", "ph9", "ph2", "drop")
+
+    def test_min_support_enforced(self, dataset):
+        strict = Comparator(
+            CubeStore(dataset), min_support_count=10**9
+        )
+        with pytest.raises(ComparatorError, match="too small"):
+            strict.compare("PhoneModel", "ph1", "ph2", "drop")
+
+
+class TestConfigurations:
+    def test_intervals_off_scores_higher(self, dataset):
+        on = Comparator(CubeStore(dataset), confidence_level=0.95)
+        off = Comparator(CubeStore(dataset), confidence_level=None)
+        m_on = on.compare(
+            "PhoneModel", "ph1", "ph2", "drop"
+        ).attribute("TimeOfCall").score
+        m_off = off.compare(
+            "PhoneModel", "ph1", "ph2", "drop"
+        ).attribute("TimeOfCall").score
+        assert m_off >= m_on
+
+    def test_property_detection_disabled(self, dataset):
+        comp = Comparator(CubeStore(dataset), property_tau=None)
+        result = comp.compare("PhoneModel", "ph1", "ph2", "drop")
+        assert result.property_attributes == ()
+        assert "Version" in [e.attribute for e in result.ranked]
+
+    def test_property_attribute_would_outrank_without_detection(
+        self, dataset
+    ):
+        """Section IV.C's motivation: with cf_1k = 0 the disjoint
+        attribute ranks very high; detection shunts it aside."""
+        comp = Comparator(
+            CubeStore(dataset), property_tau=None,
+        )
+        result = comp.compare("PhoneModel", "ph1", "ph2", "drop")
+        version_rank = result.rank_of("Version")
+        assert version_rank <= 2  # spuriously near the top
+
+    def test_unweighted_variant(self, dataset):
+        comp = Comparator(CubeStore(dataset), weight_by_count=False)
+        result = comp.compare("PhoneModel", "ph1", "ph2", "drop")
+        # Scores are now excess-confidence sums: bounded by arity.
+        assert result.attribute("TimeOfCall").score < 3.0
+
+
+class TestCompareFromData:
+    def test_matches_cube_backed_comparator(self, dataset, comparator):
+        via_cubes = comparator.compare(
+            "PhoneModel", "ph1", "ph2", "drop"
+        )
+        via_data = compare_from_data(
+            dataset, "PhoneModel", "ph1", "ph2", "drop"
+        )
+        assert [e.attribute for e in via_data.ranked] == [
+            e.attribute for e in via_cubes.ranked
+        ]
+        for a, b in zip(via_data.ranked, via_cubes.ranked):
+            assert a.score == pytest.approx(b.score)
+
+    def test_attribute_subset(self, dataset):
+        result = compare_from_data(
+            dataset, "PhoneModel", "ph1", "ph2", "drop",
+            attributes=["TimeOfCall"],
+        )
+        assert [e.attribute for e in result.ranked] == ["TimeOfCall"]

@@ -1,0 +1,127 @@
+"""Unit tests for repro.core.confidence (Section IV.B, Table I)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Z_TABLE,
+    interval_margin,
+    margins,
+    revise_high_side,
+    revise_low_side,
+    z_value,
+)
+
+
+class TestZTable:
+    """The paper's Table I: confidence level -> z value."""
+
+    def test_table_entries(self):
+        assert Z_TABLE[0.90] == pytest.approx(1.645, abs=1e-3)
+        assert Z_TABLE[0.95] == pytest.approx(1.960, abs=1e-3)
+        assert Z_TABLE[0.99] == pytest.approx(2.576, abs=1e-3)
+
+    @pytest.mark.parametrize("level", [0.90, 0.95, 0.99])
+    def test_table_consistent_with_normal_quantile(self, level):
+        """The tabulated constants match the analytic two-sided normal
+        quantile to three decimals."""
+        analytic = math.sqrt(2.0) * _erfinv_ref(level)
+        assert Z_TABLE[level] == pytest.approx(analytic, abs=5e-4)
+
+    def test_non_table_level_computed(self):
+        z = z_value(0.80)
+        assert z == pytest.approx(1.2816, abs=1e-3)
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            z_value(0.0)
+        with pytest.raises(ValueError):
+            z_value(1.0)
+        with pytest.raises(ValueError):
+            z_value(1.5)
+
+    def test_monotone_in_level(self):
+        assert z_value(0.90) < z_value(0.95) < z_value(0.99)
+
+
+def _erfinv_ref(level: float) -> float:
+    """Bisection reference for the inverse error function."""
+    lo, hi = 0.0, 6.0
+    for _ in range(200):
+        mid = (lo + hi) / 2
+        if math.erf(mid) < level:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2
+
+
+class TestIntervalMargin:
+    def test_formula(self):
+        """e = z sqrt(cf (1 - cf) / N)."""
+        e = interval_margin(0.1, 400, confidence_level=0.95)
+        assert e == pytest.approx(1.96 * math.sqrt(0.1 * 0.9 / 400))
+
+    def test_zero_sample_gives_zero_margin(self):
+        assert interval_margin(0.5, 0) == 0.0
+
+    def test_degenerate_confidences_give_zero_margin(self):
+        assert interval_margin(0.0, 100) == 0.0
+        assert interval_margin(1.0, 100) == 0.0
+
+    def test_margin_shrinks_with_n(self):
+        assert interval_margin(0.3, 1000) < interval_margin(0.3, 100)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            interval_margin(1.5, 10)
+        with pytest.raises(ValueError):
+            interval_margin(0.5, -1)
+
+    def test_paper_example_magnitude(self):
+        """cf=10% on 1000 records: the 95% margin is ~1.86 points,
+        so a 10% vs 12% difference is borderline — the motivating
+        case of Section IV.B."""
+        e = interval_margin(0.10, 1000)
+        assert 0.015 < e < 0.025
+
+
+class TestVectorisedMargins:
+    def test_matches_scalar(self):
+        cf = np.array([0.0, 0.1, 0.5, 1.0])
+        n = np.array([10, 400, 0, 50])
+        vec = margins(cf, n)
+        for i in range(4):
+            assert vec[i] == pytest.approx(
+                interval_margin(float(cf[i]), int(n[i]))
+            )
+
+    def test_zero_counts_zero_margin(self):
+        assert margins(np.array([0.5]), np.array([0]))[0] == 0.0
+
+
+class TestRevisedConfidences:
+    def test_low_side_pushes_up(self):
+        rcf = revise_low_side(np.array([0.5]), np.array([0.1]))
+        assert rcf[0] == pytest.approx(0.6)
+
+    def test_high_side_pushes_down(self):
+        rcf = revise_high_side(np.array([0.5]), np.array([0.1]))
+        assert rcf[0] == pytest.approx(0.4)
+
+    def test_clipping(self):
+        assert revise_low_side(np.array([0.95]), np.array([0.1]))[0] == 1.0
+        assert revise_high_side(np.array([0.05]), np.array([0.1]))[0] == 0.0
+
+    def test_revision_narrows_the_gap(self):
+        """The guard is pessimistic: it can only shrink the apparent
+        difference between the two sub-populations."""
+        cf1, e1 = np.array([0.02]), np.array([0.005])
+        cf2, e2 = np.array([0.08]), np.array([0.01])
+        gap_raw = cf2[0] - cf1[0]
+        gap_revised = (
+            revise_high_side(cf2, e2)[0] - revise_low_side(cf1, e1)[0]
+        )
+        assert gap_revised < gap_raw

@@ -1,0 +1,240 @@
+"""Unit tests for repro.dataset.discretize."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import (
+    Attribute,
+    Dataset,
+    DatasetError,
+    EntropyMDLDiscretizer,
+    EqualFrequencyDiscretizer,
+    EqualWidthDiscretizer,
+    ManualDiscretizer,
+    Schema,
+    discretize_dataset,
+    interval_labels,
+)
+
+
+def make_dataset(values, classes=None):
+    n = len(values)
+    if classes is None:
+        classes = [0] * n
+    schema = Schema(
+        [
+            Attribute("X", kind="continuous"),
+            Attribute("C", values=("no", "yes")),
+        ],
+        class_attribute="C",
+    )
+    return Dataset.from_columns(
+        schema,
+        {
+            "X": np.asarray(values, dtype=float),
+            "C": np.asarray(classes, dtype=np.int64),
+        },
+    )
+
+
+class TestIntervalLabels:
+    def test_no_cuts_single_interval(self):
+        assert interval_labels([]) == ("(-inf, +inf)",)
+
+    def test_two_cuts_three_intervals(self):
+        assert interval_labels([10.0, 20.0]) == (
+            "(-inf, 10]",
+            "(10, 20]",
+            "(20, +inf)",
+        )
+
+    def test_fractional_cut_formatting(self):
+        labels = interval_labels([0.5])
+        assert labels == ("(-inf, 0.5]", "(0.5, +inf)")
+
+
+class TestEqualWidth:
+    def test_cuts_are_evenly_spaced(self):
+        ds = make_dataset([0.0, 10.0, 5.0, 2.5, 7.5])
+        disc = EqualWidthDiscretizer(n_bins=4).fit(ds)
+        assert disc.cuts_["X"] == (2.5, 5.0, 7.5)
+
+    def test_transform_codes_intervals(self):
+        ds = make_dataset([0.0, 3.0, 6.0, 10.0])
+        out = EqualWidthDiscretizer(n_bins=2).fit_transform(ds)
+        attr = out.schema["X"]
+        assert attr.is_categorical
+        assert attr.arity == 2
+        # cut at 5.0: values <=5 -> bin 0, >5 -> bin 1.
+        assert out.column("X").tolist() == [0, 0, 1, 1]
+
+    def test_constant_column_yields_single_bin(self):
+        ds = make_dataset([3.0, 3.0, 3.0])
+        out = EqualWidthDiscretizer(n_bins=5).fit_transform(ds)
+        assert out.schema["X"].arity == 1
+        assert out.column("X").tolist() == [0, 0, 0]
+
+    def test_single_bin(self):
+        ds = make_dataset([1.0, 2.0])
+        disc = EqualWidthDiscretizer(n_bins=1).fit(ds)
+        assert disc.cuts_["X"] == ()
+
+    def test_invalid_bins_rejected(self):
+        with pytest.raises(DatasetError):
+            EqualWidthDiscretizer(n_bins=0)
+
+    def test_nan_becomes_missing(self):
+        ds = make_dataset([1.0, np.nan, 3.0])
+        out = EqualWidthDiscretizer(n_bins=2).fit_transform(ds)
+        assert out.column("X")[1] == -1
+
+    def test_fit_categorical_rejected(self):
+        schema = Schema(
+            [
+                Attribute("X", values=("a", "b")),
+                Attribute("C", values=("no", "yes")),
+            ],
+            class_attribute="C",
+        )
+        ds = Dataset.from_columns(
+            schema, {"X": np.array([0, 1]), "C": np.array([0, 1])}
+        )
+        with pytest.raises(DatasetError, match="categorical"):
+            EqualWidthDiscretizer().fit(ds, attributes=["X"])
+
+
+class TestEqualFrequency:
+    def test_balanced_bins(self):
+        values = list(range(100))
+        ds = make_dataset(values)
+        out = EqualFrequencyDiscretizer(n_bins=4).fit_transform(ds)
+        counts = out.value_counts("X")
+        assert counts.sum() == 100
+        assert counts.min() >= 20  # roughly balanced
+
+    def test_heavy_ties_deduplicate_cuts(self):
+        ds = make_dataset([1.0] * 90 + [2.0] * 10)
+        disc = EqualFrequencyDiscretizer(n_bins=4).fit(ds)
+        # All quantiles collapse onto 1.0 -> at most one cut.
+        assert len(disc.cuts_["X"]) <= 1
+
+    def test_cut_below_maximum(self):
+        ds = make_dataset([1.0, 1.0, 1.0, 1.0])
+        disc = EqualFrequencyDiscretizer(n_bins=2).fit(ds)
+        assert disc.cuts_["X"] == ()
+
+
+class TestEntropyMDL:
+    def test_finds_clear_class_boundary(self):
+        # X < 50 -> class no, X >= 50 -> class yes; 200 records.
+        values = list(range(100)) * 2
+        classes = [0 if v < 50 else 1 for v in values]
+        ds = make_dataset(values, classes)
+        disc = EntropyMDLDiscretizer().fit(ds)
+        cuts = disc.cuts_["X"]
+        assert len(cuts) >= 1
+        assert any(45 <= c <= 55 for c in cuts)
+
+    def test_pure_class_no_cut(self):
+        ds = make_dataset(list(range(50)), [1] * 50)
+        disc = EntropyMDLDiscretizer().fit(ds)
+        assert disc.cuts_["X"] == ()
+
+    def test_random_noise_mostly_no_cut(self):
+        rng = np.random.default_rng(0)
+        values = rng.random(200)
+        classes = rng.integers(0, 2, 200)
+        ds = make_dataset(values, classes)
+        disc = EntropyMDLDiscretizer().fit(ds)
+        # MDL should refuse to split on noise (or split very little).
+        assert len(disc.cuts_["X"]) <= 1
+
+    def test_fallback_bins_when_no_split(self):
+        ds = make_dataset(list(range(100)), [0] * 100)
+        disc = EntropyMDLDiscretizer(fallback_bins=4).fit(ds)
+        assert len(disc.cuts_["X"]) == 3
+
+    def test_two_boundaries(self):
+        # Middle band is class yes.
+        values = list(range(300))
+        classes = [1 if 100 <= v < 200 else 0 for v in values]
+        ds = make_dataset(values, classes)
+        cuts = EntropyMDLDiscretizer().fit(ds).cuts_["X"]
+        assert len(cuts) >= 2
+
+
+class TestManual:
+    def test_manual_cuts_applied(self):
+        ds = make_dataset([-100.0, -90.0, -80.0, -70.0])
+        disc = ManualDiscretizer({"X": (-95.0, -75.0)})
+        out = disc.fit(ds).transform(ds)
+        assert out.schema["X"].arity == 3
+        assert out.column("X").tolist() == [0, 1, 1, 2]
+
+    def test_unsorted_cuts_rejected(self):
+        with pytest.raises(DatasetError, match="ascending"):
+            ManualDiscretizer({"X": (5.0, 1.0)})
+
+    def test_duplicate_cuts_rejected(self):
+        with pytest.raises(DatasetError, match="ascending"):
+            ManualDiscretizer({"X": (1.0, 1.0)})
+
+    def test_manual_on_categorical_rejected(self):
+        schema = Schema(
+            [
+                Attribute("X", values=("a",)),
+                Attribute("C", values=("no", "yes")),
+            ],
+            class_attribute="C",
+        )
+        ds = Dataset.from_columns(
+            schema, {"X": np.array([0]), "C": np.array([0])}
+        )
+        with pytest.raises(DatasetError, match="non-continuous"):
+            ManualDiscretizer({"X": (1.0,)}).fit(ds)
+
+    def test_find_cuts_not_supported(self):
+        disc = ManualDiscretizer({"X": (1.0,)})
+        with pytest.raises(DatasetError, match="constructor"):
+            disc.find_cuts(np.array([1.0]), np.array([0]), 2)
+
+
+class TestDiscretizeDataset:
+    @pytest.mark.parametrize("method", ["width", "frequency", "mdl"])
+    def test_all_methods_produce_categorical(self, method):
+        ds = make_dataset(
+            list(range(60)), [v % 2 for v in range(60)]
+        )
+        out = discretize_dataset(ds, method=method, n_bins=3)
+        assert out.schema["X"].is_categorical
+
+    def test_manual_requires_cuts(self):
+        ds = make_dataset([1.0, 2.0])
+        with pytest.raises(DatasetError, match="manual_cuts"):
+            discretize_dataset(ds, method="manual")
+
+    def test_unknown_method_rejected(self):
+        ds = make_dataset([1.0])
+        with pytest.raises(DatasetError, match="unknown"):
+            discretize_dataset(ds, method="kmeans")
+
+    def test_categorical_attributes_untouched(self):
+        schema = Schema(
+            [
+                Attribute("K", values=("a", "b")),
+                Attribute("X", kind="continuous"),
+                Attribute("C", values=("no", "yes")),
+            ],
+            class_attribute="C",
+        )
+        ds = Dataset.from_columns(
+            schema,
+            {
+                "K": np.array([0, 1, 0, 1]),
+                "X": np.array([1.0, 2.0, 3.0, 4.0]),
+                "C": np.array([0, 1, 0, 1]),
+            },
+        )
+        out = discretize_dataset(ds, method="width", n_bins=2)
+        assert out.schema["K"] == schema["K"]
+        assert out.column("K").tolist() == [0, 1, 0, 1]

@@ -1,0 +1,122 @@
+"""Unit tests for repro.synth.drift (monthly batches with scheduled
+effects) and the month-over-month monitoring workflow."""
+
+import pytest
+
+from repro.cube import CubeStore, build_cube
+from repro.synth import (
+    CallLogConfig,
+    PlantedEffect,
+    ScheduledEffect,
+    monthly_batches,
+)
+from repro.workbench import OpportunityMap
+
+MORNING_BUG = PlantedEffect(
+    {"PhoneModel": "ph2", "TimeOfCall": "morning"}, "dropped", 6.0
+)
+DRIVING_BUG = PlantedEffect(
+    {"PhoneModel": "ph2", "Mobility": "driving"}, "dropped", 6.0
+)
+
+
+class TestScheduledEffect:
+    def test_window(self):
+        s = ScheduledEffect(MORNING_BUG, 1, 3)
+        assert not s.active_in(0)
+        assert s.active_in(1)
+        assert s.active_in(3)
+        assert not s.active_in(4)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduledEffect(MORNING_BUG, 2, 1)
+        with pytest.raises(ValueError):
+            ScheduledEffect(MORNING_BUG, -1, 1)
+
+
+class TestMonthlyBatches:
+    def test_shared_schema(self):
+        batches = monthly_batches(
+            3, 2000, [ScheduledEffect(MORNING_BUG, 0, 2)]
+        )
+        assert len(batches) == 3
+        assert all(b.schema == batches[0].schema for b in batches)
+        assert all(b.n_rows == 2000 for b in batches)
+
+    def test_effect_active_only_in_window(self):
+        batches = monthly_batches(
+            3,
+            30_000,
+            [ScheduledEffect(MORNING_BUG, 1, 1)],
+            seed=13,
+        )
+
+        def morning_rate(batch):
+            sub = batch.where("PhoneModel", "ph2").where(
+                "TimeOfCall", "morning"
+            )
+            return sub.class_distribution()[1] / sub.n_rows
+
+        assert morning_rate(batches[1]) > 2.5 * morning_rate(batches[0])
+        assert morning_rate(batches[1]) > 2.5 * morning_rate(batches[2])
+
+    def test_batches_mergeable_into_cubes(self):
+        batches = monthly_batches(
+            3,
+            3000,
+            [ScheduledEffect(MORNING_BUG, 0, 2)],
+            base_config=CallLogConfig(include_signal_strength=False),
+        )
+        store = CubeStore(batches[0])
+        store.precompute(include_pairs=False)
+        for batch in batches[1:]:
+            store.absorb(batch)
+        combined = batches[0].concat(batches[1]).concat(batches[2])
+        assert store.cube(("PhoneModel",)) == build_cube(
+            combined, ("PhoneModel",)
+        )
+
+    def test_template_respected(self):
+        template = CallLogConfig(
+            n_phone_models=6,
+            n_noise_attributes=2,
+            include_signal_strength=False,
+        )
+        batches = monthly_batches(
+            2, 1000, [], base_config=template
+        )
+        schema = batches[0].schema
+        assert schema["PhoneModel"].arity == 6
+        assert "SignalStrength" not in schema
+        noise = [n for n in schema.names if n.startswith("Noise")]
+        assert len(noise) == 2
+
+    def test_invalid_months_rejected(self):
+        with pytest.raises(ValueError):
+            monthly_batches(0, 100, [])
+
+
+class TestMonitoringWorkflow:
+    def test_cause_change_detected_month_over_month(self):
+        """Re-running the same comparison per month tracks the drift:
+        the morning bug in months 0-1, the driving bug from month 2."""
+        batches = monthly_batches(
+            4,
+            40_000,
+            [
+                ScheduledEffect(MORNING_BUG, 0, 1),
+                ScheduledEffect(DRIVING_BUG, 2, 3),
+            ],
+            base_config=CallLogConfig(include_signal_strength=False),
+            seed=29,
+        )
+        causes = []
+        for batch in batches:
+            om = OpportunityMap(batch)
+            result = om.compare("PhoneModel", "ph1", "ph2", "dropped")
+            causes.append(result.ranked[0].attribute)
+        assert causes[0] == "TimeOfCall"
+        assert causes[1] == "TimeOfCall"
+        assert causes[2] == "Mobility"
+        assert causes[3] == "Mobility"

@@ -1,0 +1,177 @@
+"""Edge-case and failure-injection tests across the stack.
+
+Degenerate inputs a deployed system meets: empty data, single-class
+data, all-missing columns, zero-confidence pivots, unicode names,
+and serialisation of results.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import Comparator, ComparatorError
+from repro.cube import CubeStore, build_cube
+from repro.dataset import Attribute, Dataset, Schema
+from repro.gi import cube_trends, find_exceptions, rank_influential
+from repro.viz import render_detailed, render_overall
+
+
+def build(schema, **cols):
+    return Dataset.from_columns(schema, cols)
+
+
+SCHEMA = Schema(
+    [
+        Attribute("Phone", values=("ph1", "ph2")),
+        Attribute("Time", values=("am", "pm")),
+        Attribute("C", values=("ok", "drop")),
+    ],
+    class_attribute="C",
+)
+
+
+class TestDegenerateData:
+    def test_empty_dataset_comparison_rejected(self):
+        ds = Dataset.empty(SCHEMA)
+        comparator = Comparator(CubeStore(ds))
+        with pytest.raises(ComparatorError, match="too small"):
+            comparator.compare("Phone", "ph1", "ph2", "drop")
+
+    def test_single_class_dataset_scores_zero(self):
+        """If nothing ever drops, nothing distinguishes anything."""
+        n = 100
+        ds = build(
+            SCHEMA,
+            Phone=np.tile([0, 1], n // 2),
+            Time=np.tile([0, 1], n // 2),
+            C=np.zeros(n, dtype=np.int64),
+        )
+        result = Comparator(CubeStore(ds)).compare(
+            "Phone", "ph1", "ph2", "drop"
+        )
+        assert all(e.score == 0.0 for e in result.ranked)
+        assert result.cf_good == 0.0 and result.cf_bad == 0.0
+
+    def test_zero_confidence_good_population(self):
+        """cf_1 = 0 (the good phone never drops): the expected
+        confidence is 0 everywhere and the measure reduces to the bad
+        phone's own mass — no division by zero."""
+        rng = np.random.default_rng(3)
+        n = 2000
+        phone = rng.integers(0, 2, n)
+        time = rng.integers(0, 2, n)
+        cls = np.where(
+            (phone == 1) & (time == 0) & (rng.random(n) < 0.4), 1, 0
+        )
+        ds = build(SCHEMA, Phone=phone, Time=time, C=cls)
+        result = Comparator(CubeStore(ds)).compare(
+            "Phone", "ph1", "ph2", "drop"
+        )
+        assert result.cf_good == 0.0
+        assert result.ranked[0].attribute == "Time"
+        assert np.isfinite(result.ranked[0].score)
+
+    def test_all_missing_candidate_column(self):
+        n = 200
+        ds = build(
+            SCHEMA,
+            Phone=np.tile([0, 1], n // 2),
+            Time=np.full(n, -1, dtype=np.int64),
+            C=np.tile([0, 0, 0, 1], n // 4),
+        )
+        result = Comparator(CubeStore(ds)).compare(
+            "Phone", "ph1", "ph2", "drop"
+        )
+        entry = result.attribute("Time")
+        assert entry.score == 0.0
+        assert all(c.n1 == 0 and c.n2 == 0
+                   for c in entry.contributions)
+
+    def test_one_row_per_population(self):
+        ds = Dataset.from_rows(
+            SCHEMA,
+            [("ph1", "am", "ok"), ("ph2", "pm", "drop")],
+        )
+        result = Comparator(CubeStore(ds)).compare(
+            "Phone", "ph1", "ph2", "drop"
+        )
+        # Time is fully disjoint between the two rows -> property.
+        assert [p.attribute for p in result.property_attributes] == [
+            "Time"
+        ]
+
+    def test_unicode_attribute_names_and_values(self):
+        schema = Schema(
+            [
+                Attribute("telefono", values=("teléfono-1", "电话2")),
+                Attribute("período", values=("mañana", "tarde")),
+                Attribute("C", values=("bien", "caída")),
+            ],
+            class_attribute="C",
+        )
+        rng = np.random.default_rng(5)
+        n = 400
+        phone = rng.integers(0, 2, n)
+        period = rng.integers(0, 2, n)
+        cls = np.where(
+            (phone == 1) & (period == 0) & (rng.random(n) < 0.5), 1, 0
+        )
+        ds = Dataset.from_columns(
+            schema, {"telefono": phone, "período": period, "C": cls}
+        )
+        result = Comparator(CubeStore(ds)).compare(
+            "telefono", "teléfono-1", "电话2", "caída"
+        )
+        assert result.ranked[0].attribute == "período"
+
+
+class TestDegenerateGI:
+    def test_trends_on_empty_cube(self):
+        cube = build_cube(Dataset.empty(SCHEMA), ("Time",))
+        trends = cube_trends(cube)
+        assert trends["drop"].kind == "stable"
+
+    def test_exceptions_on_empty_cube(self):
+        cube = build_cube(Dataset.empty(SCHEMA), ("Phone", "Time"))
+        assert find_exceptions(cube) == []
+
+    def test_influence_on_empty_store(self):
+        store = CubeStore(Dataset.empty(SCHEMA))
+        ranked = rank_influential(store)
+        assert all(score == 0.0 for _, score in ranked)
+
+
+class TestDegenerateViz:
+    def test_overall_view_on_empty_data(self):
+        store = CubeStore(Dataset.empty(SCHEMA))
+        text = render_overall(store)
+        assert "0 records" in text
+
+    def test_detailed_view_on_empty_cube(self):
+        cube = build_cube(Dataset.empty(SCHEMA), ("Phone",))
+        text = render_detailed(cube, class_label="drop")
+        assert "ph1" in text
+
+
+class TestResultSerialisation:
+    def test_to_dict_round_trips_through_json(self, workbench):
+        result = workbench.compare(
+            "PhoneModel", "ph1", "ph2", "dropped"
+        )
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["value_bad"] == "ph2"
+        assert payload["target_class"] == "dropped"
+        assert payload["ranked"][0]["attribute"] == "TimeOfCall"
+        values = payload["ranked"][0]["values"]
+        assert any(v["value"] == "morning" for v in values)
+        assert payload["property_attributes"][0]["attribute"] == (
+            "HardwareVersion"
+        )
+
+    def test_to_dict_top_truncates(self, workbench):
+        result = workbench.compare(
+            "PhoneModel", "ph1", "ph2", "dropped"
+        )
+        payload = result.to_dict(top=2)
+        assert len(payload["ranked"]) == 2

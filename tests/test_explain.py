@@ -1,0 +1,104 @@
+"""Unit tests for OpportunityMap.explain (restricted-mining drill)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ComparatorError
+from repro.dataset import Attribute, Dataset, Schema
+from repro.workbench import OpportunityMap
+
+
+def make_workbench(seed=61, n=30_000):
+    """ph2 drops in the morning; within ph2's mornings, high network
+    load is the deeper refinement (the 3-condition rule the drill
+    should surface)."""
+    rng = np.random.default_rng(seed)
+    phone = rng.integers(0, 2, n)
+    time = rng.integers(0, 3, n)
+    load = rng.integers(0, 3, n)
+    noise = rng.integers(0, 3, n)
+    p = np.full(n, 0.02)
+    morning_ph2 = (phone == 1) & (time == 0)
+    p[morning_ph2] = 0.06
+    p[morning_ph2 & (load == 2)] = 0.30
+    cls = (rng.random(n) < p).astype(np.int64)
+    schema = Schema(
+        [
+            Attribute("Phone", values=("ph1", "ph2")),
+            Attribute("Time", values=("morning", "noon", "evening")),
+            Attribute("Load", values=("low", "med", "high")),
+            Attribute("Noise", values=("a", "b", "c")),
+            Attribute("C", values=("ok", "drop")),
+        ],
+        class_attribute="C",
+    )
+    ds = Dataset.from_columns(
+        schema,
+        {"Phone": phone, "Time": time, "Load": load, "Noise": noise,
+         "C": cls},
+    )
+    return OpportunityMap(ds)
+
+
+@pytest.fixture(scope="module")
+def workbench_and_result():
+    wb = make_workbench()
+    result = wb.compare("Phone", "ph1", "ph2", "drop")
+    return wb, result
+
+
+class TestExplain:
+    def test_comparison_finds_time(self, workbench_and_result):
+        _, result = workbench_and_result
+        assert result.ranked[0].attribute == "Time"
+        assert result.ranked[0].top_values(1)[0].value == "morning"
+
+    def test_drill_surfaces_the_refinement(self, workbench_and_result):
+        wb, result = workbench_and_result
+        refinements = wb.explain(result, top=5)
+        assert refinements
+        top = refinements[0]
+        # The refinement is a 3-condition rule fixing the finding and
+        # adding the deeper cause.
+        assert top.length == 3
+        assert top.condition_on("Phone").value == "ph2"
+        assert top.condition_on("Time").value == "morning"
+        assert top.condition_on("Load").value == "high"
+        assert top.confidence > 0.2
+
+    def test_refinements_are_target_class_only(
+        self, workbench_and_result
+    ):
+        wb, result = workbench_and_result
+        for rule in wb.explain(result, top=10):
+            assert rule.class_label == "drop"
+            assert rule.length == 3
+
+    def test_explicit_attribute_and_value(self, workbench_and_result):
+        wb, result = workbench_and_result
+        refinements = wb.explain(
+            result, attribute="Time", value="morning", top=3
+        )
+        assert refinements
+        assert all(
+            r.condition_on("Time").value == "morning"
+            for r in refinements
+        )
+
+    def test_non_contributing_attribute_rejected(
+        self, workbench_and_result
+    ):
+        wb, result = workbench_and_result
+        # Noise contributes nothing; no value to explain.
+        with pytest.raises(ComparatorError, match="no contributing"):
+            wb.explain(result, attribute="Noise")
+
+    def test_top_bound_respected(self, workbench_and_result):
+        wb, result = workbench_and_result
+        assert len(wb.explain(result, top=2)) <= 2
+
+    def test_confidence_sorted(self, workbench_and_result):
+        wb, result = workbench_and_result
+        refinements = wb.explain(result, top=10)
+        confs = [r.confidence for r in refinements]
+        assert confs == sorted(confs, reverse=True)

@@ -1,0 +1,64 @@
+"""Reproduction of the paper's Fig. 1 rule-cube example.
+
+"We have a data set with three attributes.  One of them is the class
+attribute C, which has two values, yes and no.  The other two
+attributes are A1 and A2.  A1 has four possible values a, b, c, d, and
+A2 has three possible values e, f, g.  Assume that the data set has
+1158 data points.  The rule cube ... represents 24 rules (3 x 4 x 2).
+As an example, the rule A1 = a, A2 = e -> C = yes has the support of
+100/1158 and the confidence of 100/(100+50).  The rule
+A1 = a, A2 = f -> C = yes has the support of 0 and the confidence of
+0."
+"""
+
+import pytest
+
+from repro.cube import build_cube
+
+
+class TestFig1:
+    def test_total_records(self, fig1_dataset):
+        assert fig1_dataset.n_rows == 1158
+
+    def test_cube_represents_24_rules(self, fig1_cube):
+        assert fig1_cube.n_rules == 24
+        assert len(list(fig1_cube.rules())) == 24
+
+    def test_cube_dimensionality(self, fig1_cube):
+        assert fig1_cube.n_dims == 3
+        assert fig1_cube.attributes[0].arity == 4
+        assert fig1_cube.attributes[1].arity == 3
+        assert fig1_cube.class_attribute.arity == 2
+
+    def test_rule_a_e_yes(self, fig1_cube):
+        """A1=a, A2=e -> yes: support 100/1158, confidence 100/150."""
+        conditions = {"A1": "a", "A2": "e"}
+        assert fig1_cube.cell_count(conditions, "yes") == 100
+        assert fig1_cube.support(conditions, "yes") == pytest.approx(
+            100 / 1158
+        )
+        assert fig1_cube.confidence(conditions, "yes") == (
+            pytest.approx(100 / 150)
+        )
+
+    def test_rule_a_f_yes_zero(self, fig1_cube):
+        """A1=a, A2=f -> yes: support 0 and confidence 0."""
+        conditions = {"A1": "a", "A2": "f"}
+        assert fig1_cube.support(conditions, "yes") == 0.0
+        assert fig1_cube.confidence(conditions, "yes") == 0.0
+
+    def test_total_is_1158(self, fig1_cube):
+        assert fig1_cube.total() == 1158
+
+    def test_mining_thresholds_zero_fill_every_cell(self, fig1_cube):
+        """min-sup = min-conf = 0 keeps zero-support cells as rules —
+        the paper's no-holes-in-the-knowledge-space requirement."""
+        rules = list(fig1_cube.rules(min_support_count=0,
+                                     min_confidence=0.0))
+        zero_rules = [r for r in rules if r.support_count == 0]
+        assert zero_rules  # (b, g) cells and (a, f, yes) are empty
+
+    def test_cube_from_rebuilt_dataset_matches(self, fig1_dataset,
+                                               fig1_cube):
+        again = build_cube(fig1_dataset, ("A1", "A2"))
+        assert again == fig1_cube

@@ -1,0 +1,88 @@
+"""Unit tests for repro.gi.exceptions."""
+
+import numpy as np
+import pytest
+
+from repro.cube import RuleCube
+from repro.dataset import Attribute
+from repro.gi import find_exceptions
+
+
+def make_cube(counts):
+    counts = np.asarray(counts, dtype=np.int64)
+    attr = Attribute(
+        "X", values=tuple(f"v{k}" for k in range(counts.shape[0]))
+    )
+    cls = Attribute(
+        "C", values=tuple(f"c{k}" for k in range(counts.shape[1]))
+    )
+    return RuleCube([attr], cls, counts)
+
+
+class TestFindExceptions:
+    def test_independent_table_has_no_exceptions(self):
+        # Perfectly independent: each cell = row*col/total exactly.
+        counts = np.outer([100, 200, 300], [2, 8]) // 10
+        cube = make_cube(counts)
+        assert find_exceptions(cube, threshold=2.0) == []
+
+    def test_planted_outlier_found(self):
+        counts = np.array(
+            [[100, 10], [100, 10], [100, 80]], dtype=np.int64
+        )
+        exceptions = find_exceptions(make_cube(counts), threshold=3.0)
+        assert exceptions
+        top = exceptions[0]
+        assert top.conditions == (("X", "v2"),)
+        assert top.class_label == "c1"
+        assert top.direction == "high"
+
+    def test_low_outlier_direction(self):
+        counts = np.array(
+            [[100, 50], [100, 50], [100, 1]], dtype=np.int64
+        )
+        exceptions = find_exceptions(make_cube(counts), threshold=3.0)
+        lows = [e for e in exceptions if e.direction == "low"]
+        assert any(e.conditions == (("X", "v2"),) for e in lows)
+
+    def test_sorted_by_absolute_residual(self):
+        counts = np.array(
+            [[100, 10], [100, 100], [100, 10]], dtype=np.int64
+        )
+        exceptions = find_exceptions(make_cube(counts), threshold=1.0)
+        residuals = [abs(e.residual) for e in exceptions]
+        assert residuals == sorted(residuals, reverse=True)
+
+    def test_top_truncates(self):
+        counts = np.array(
+            [[100, 10], [100, 100], [10, 100]], dtype=np.int64
+        )
+        assert len(
+            find_exceptions(make_cube(counts), threshold=0.5, top=2)
+        ) == 2
+
+    def test_min_expected_skips_sparse_cells(self):
+        counts = np.array([[1, 0], [0, 1]], dtype=np.int64)
+        assert find_exceptions(
+            make_cube(counts), threshold=0.1, min_expected=5.0
+        ) == []
+
+    def test_empty_cube(self):
+        counts = np.zeros((2, 2), dtype=np.int64)
+        assert find_exceptions(make_cube(counts)) == []
+
+    def test_3d_cube_supported(self):
+        """Exceptions work on pair cubes too (independence across all
+        three axes)."""
+        rng = np.random.default_rng(0)
+        counts = rng.integers(50, 60, size=(3, 3, 2))
+        counts[1, 1, 1] = 600  # planted three-way cell
+        attr_a = Attribute("A", values=("a0", "a1", "a2"))
+        attr_b = Attribute("B", values=("b0", "b1", "b2"))
+        cls = Attribute("C", values=("c0", "c1"))
+        cube = RuleCube([attr_a, attr_b], cls, counts)
+        exceptions = find_exceptions(cube, threshold=3.0)
+        assert exceptions
+        assert exceptions[0].conditions == (
+            ("A", "a1"), ("B", "b1")
+        )

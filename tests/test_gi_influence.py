@@ -1,0 +1,119 @@
+"""Unit tests for repro.gi.influence."""
+
+import numpy as np
+import pytest
+
+from repro.cube import CubeStore, RuleCube, build_cube
+from repro.dataset import Attribute, Dataset, Schema
+from repro.gi import (
+    chi_square_influence,
+    chi_square_statistic,
+    information_gain,
+    rank_influential,
+)
+
+
+def make_cube(counts):
+    counts = np.asarray(counts, dtype=np.int64)
+    attr = Attribute(
+        "X", values=tuple(f"v{k}" for k in range(counts.shape[0]))
+    )
+    cls = Attribute(
+        "C", values=tuple(f"c{k}" for k in range(counts.shape[1]))
+    )
+    return RuleCube([attr], cls, counts)
+
+
+class TestMeasures:
+    def test_independent_scores_zero(self):
+        counts = np.outer([10, 20, 30], [5, 5])
+        cube = make_cube(counts)
+        assert chi_square_statistic(cube) == pytest.approx(0.0)
+        assert chi_square_influence(cube) == pytest.approx(0.0)
+        assert information_gain(cube) == pytest.approx(0.0, abs=1e-12)
+
+    def test_deterministic_association_maximal(self):
+        counts = np.array([[100, 0], [0, 100]], dtype=np.int64)
+        cube = make_cube(counts)
+        assert chi_square_influence(cube) == pytest.approx(1.0)
+        # I(X; C) = H(C) = 1 bit for a balanced binary class.
+        assert information_gain(cube) == pytest.approx(1.0)
+
+    def test_chi_square_known_value(self):
+        # 2x2 table: [[10, 20], [20, 10]]; chi2 = 60*(10*10-20*20)^2/
+        # (30*30*30*30) = 6.666...
+        counts = np.array([[10, 20], [20, 10]], dtype=np.int64)
+        assert chi_square_statistic(make_cube(counts)) == (
+            pytest.approx(60 * (100 - 400) ** 2 / 30**4)
+        )
+
+    def test_partial_association_between_extremes(self):
+        weak = make_cube([[55, 45], [45, 55]])
+        strong = make_cube([[90, 10], [10, 90]])
+        assert 0 < chi_square_influence(weak) < chi_square_influence(
+            strong
+        ) <= 1.0
+        assert 0 < information_gain(weak) < information_gain(strong)
+
+    def test_empty_cube_zero(self):
+        cube = make_cube(np.zeros((2, 2), dtype=np.int64))
+        assert chi_square_statistic(cube) == 0.0
+        assert chi_square_influence(cube) == 0.0
+        assert information_gain(cube) == 0.0
+
+    def test_3d_cube_rejected(self):
+        schema = Schema(
+            [
+                Attribute("A", values=("x",)),
+                Attribute("B", values=("y",)),
+                Attribute("C", values=("no", "yes")),
+            ],
+            class_attribute="C",
+        )
+        ds = Dataset.from_rows(schema, [("x", "y", "no")])
+        cube = build_cube(ds, ("A", "B"))
+        with pytest.raises(ValueError, match="2-dimensional"):
+            chi_square_statistic(cube)
+
+
+class TestRankInfluential:
+    def make_store(self):
+        rng = np.random.default_rng(1)
+        n = 2000
+        informative = rng.integers(0, 2, n)
+        noise = rng.integers(0, 2, n)
+        # Class follows the informative attribute 85% of the time.
+        cls = np.where(
+            rng.random(n) < 0.85, informative, 1 - informative
+        )
+        schema = Schema(
+            [
+                Attribute("Informative", values=("0", "1")),
+                Attribute("Noise", values=("0", "1")),
+                Attribute("C", values=("c0", "c1")),
+            ],
+            class_attribute="C",
+        )
+        ds = Dataset.from_columns(
+            schema,
+            {"Informative": informative, "Noise": noise, "C": cls},
+        )
+        return CubeStore(ds)
+
+    @pytest.mark.parametrize(
+        "measure", ["cramers_v", "chi2", "info_gain"]
+    )
+    def test_informative_ranks_first(self, measure):
+        ranked = rank_influential(self.make_store(), measure=measure)
+        assert ranked[0][0] == "Informative"
+        assert ranked[0][1] > ranked[1][1]
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            rank_influential(self.make_store(), measure="gini")
+
+    def test_attribute_subset(self):
+        ranked = rank_influential(
+            self.make_store(), attributes=["Noise"]
+        )
+        assert [name for name, _ in ranked] == ["Noise"]

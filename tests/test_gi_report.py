@@ -1,0 +1,134 @@
+"""Unit tests for repro.gi.report (the general-impressions digest)."""
+
+import numpy as np
+import pytest
+
+from repro.cube import CubeStore
+from repro.dataset import Attribute, Dataset, Schema
+from repro.gi import Findings, general_impressions
+
+
+def make_store(seed=51, n=12_000):
+    """One influential attribute with a monotone trend, one planted
+    interaction, plus noise."""
+    rng = np.random.default_rng(seed)
+    severity = rng.integers(0, 4, n)  # monotone risk driver
+    phone = rng.integers(0, 2, n)
+    time = rng.integers(0, 3, n)
+    noise = rng.integers(0, 3, n)
+    p = 0.01 * (1 + severity)  # 1%..4%, increasing trend
+    p = p + np.where((phone == 1) & (time == 0), 0.15, 0.0)
+    cls = (rng.random(n) < p).astype(np.int64)
+    schema = Schema(
+        [
+            Attribute("Severity", values=("s0", "s1", "s2", "s3")),
+            Attribute("Phone", values=("ph1", "ph2")),
+            Attribute("Time", values=("am", "noon", "pm")),
+            Attribute("Noise", values=("a", "b", "c")),
+            Attribute("C", values=("ok", "fail")),
+        ],
+        class_attribute="C",
+    )
+    return CubeStore(
+        Dataset.from_columns(
+            schema,
+            {
+                "Severity": severity,
+                "Phone": phone,
+                "Time": time,
+                "Noise": noise,
+                "C": cls,
+            },
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def findings():
+    return general_impressions(make_store())
+
+
+class TestGeneralImpressions:
+    def test_returns_findings(self, findings):
+        assert isinstance(findings, Findings)
+
+    def test_influential_attributes_ranked(self, findings):
+        names = [name for name, _ in findings.influential]
+        # The trend driver and the interaction parties beat noise.
+        assert names[0] in ("Severity", "Time", "Phone")
+        scores = [score for _, score in findings.influential]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_trend_found_on_severity(self, findings):
+        trended = [
+            (attr, label)
+            for attr, label, trend in findings.trends
+        ]
+        assert ("Severity", "fail") in trended
+
+    def test_trend_direction(self, findings):
+        for attr, label, trend in findings.trends:
+            if attr == "Severity" and label == "fail":
+                assert trend.kind == "increasing"
+                break
+        else:  # pragma: no cover
+            pytest.fail("severity trend missing")
+
+    def test_interaction_surfaces_as_exception(self, findings):
+        assert any(
+            dict(cell.conditions).get("Phone") == "ph2"
+            and dict(cell.conditions).get("Time") == "am"
+            and cell.class_label == "fail"
+            for cell in findings.exceptions
+        )
+
+    def test_sections_bounded(self):
+        findings = general_impressions(
+            make_store(), top_influential=2, top_trends=1,
+            top_exceptions=1,
+        )
+        assert len(findings.influential) <= 2
+        assert len(findings.trends) <= 1
+        assert len(findings.exceptions) <= 1
+
+    def test_text_rendering(self, findings):
+        text = findings.to_text()
+        assert "General impressions" in text
+        assert "Most influential attributes" in text
+        assert "Strongest trends" in text
+        assert "Most surprising" in text
+        assert "Severity" in text
+
+    def test_explicit_pair_attributes(self):
+        findings = general_impressions(
+            make_store(), pair_attributes=["Phone", "Time"]
+        )
+        assert findings.exceptions  # the planted pair is scanned
+
+    def test_empty_sections_render(self):
+        # Pure noise: no trends or exceptions above threshold.
+        rng = np.random.default_rng(0)
+        n = 2000
+        schema = Schema(
+            [
+                Attribute("X", values=("a", "b")),
+                Attribute("Y", values=("p", "q")),
+                Attribute("C", values=("no", "yes")),
+            ],
+            class_attribute="C",
+        )
+        store = CubeStore(
+            Dataset.from_columns(
+                schema,
+                {
+                    "X": rng.integers(0, 2, n),
+                    "Y": rng.integers(0, 2, n),
+                    "C": rng.integers(0, 2, n),
+                },
+            )
+        )
+        findings = general_impressions(
+            store, exception_threshold=10.0
+        )
+        text = findings.to_text()
+        assert "(none above threshold)" in text

@@ -1,0 +1,102 @@
+"""Unit tests for repro.gi.trends."""
+
+import numpy as np
+import pytest
+
+from repro.cube import RuleCube, build_cube
+from repro.dataset import Attribute, Dataset, Schema
+from repro.gi import Trend, TrendKind, cube_trends, detect_trend
+
+
+class TestDetectTrend:
+    def test_increasing(self):
+        t = detect_trend(np.array([0.1, 0.2, 0.3, 0.4]))
+        assert t.kind == TrendKind.INCREASING
+        assert t.slope > 0
+        assert t.arrow == "↑"
+
+    def test_decreasing(self):
+        t = detect_trend(np.array([0.4, 0.3, 0.2, 0.1]))
+        assert t.kind == TrendKind.DECREASING
+        assert t.arrow == "↓"
+
+    def test_stable_small_spread(self):
+        t = detect_trend(np.array([0.100, 0.101, 0.1005, 0.1002]))
+        assert t.kind == TrendKind.STABLE
+        assert t.arrow == "→"
+
+    def test_mixed(self):
+        t = detect_trend(np.array([0.1, 0.5, 0.1, 0.5, 0.1]))
+        assert t.kind == TrendKind.MIXED
+        assert t.arrow == "↕"
+
+    def test_single_point_stable(self):
+        assert detect_trend(np.array([0.3])).kind == TrendKind.STABLE
+
+    def test_empty_stable(self):
+        assert detect_trend(np.array([])).kind == TrendKind.STABLE
+
+    def test_constant_stable(self):
+        assert detect_trend(
+            np.array([0.2, 0.2, 0.2])
+        ).kind == TrendKind.STABLE
+
+    def test_monotonicity_threshold(self):
+        # 3 of 4 steps rise: passes 0.7, fails 0.8.
+        values = np.array([0.1, 0.2, 0.3, 0.25, 0.4])
+        assert detect_trend(
+            values, min_monotonicity=0.7
+        ).kind == TrendKind.INCREASING
+        assert detect_trend(
+            values, min_monotonicity=0.8
+        ).kind == TrendKind.MIXED
+
+    def test_spread_recorded(self):
+        t = detect_trend(np.array([0.1, 0.4]))
+        assert t.spread == pytest.approx(0.3)
+
+
+class TestCubeTrends:
+    def make_cube(self, yes_confidences, n=1000):
+        """2-D cube whose 'yes' confidence follows the given series."""
+        arity = len(yes_confidences)
+        counts = np.zeros((arity, 2), dtype=np.int64)
+        for k, cf in enumerate(yes_confidences):
+            yes = int(round(cf * n))
+            counts[k] = (n - yes, yes)
+        attr = Attribute(
+            "X", values=tuple(f"v{k}" for k in range(arity))
+        )
+        cls = Attribute("C", values=("no", "yes"))
+        return RuleCube([attr], cls, counts)
+
+    def test_per_class_trends(self):
+        cube = self.make_cube([0.1, 0.2, 0.3, 0.4])
+        trends = cube_trends(cube)
+        assert trends["yes"].kind == TrendKind.INCREASING
+        assert trends["no"].kind == TrendKind.DECREASING
+
+    def test_empty_values_skipped(self):
+        counts = np.array(
+            [[90, 10], [0, 0], [70, 30]], dtype=np.int64
+        )
+        attr = Attribute("X", values=("a", "b", "c"))
+        cls = Attribute("C", values=("no", "yes"))
+        cube = RuleCube([attr], cls, counts)
+        trends = cube_trends(cube)
+        # Value b has no data; only (0.1, 0.3) remain -> increasing.
+        assert trends["yes"].confidences == pytest.approx((0.1, 0.3))
+
+    def test_3d_cube_rejected(self):
+        schema = Schema(
+            [
+                Attribute("A", values=("x",)),
+                Attribute("B", values=("y",)),
+                Attribute("C", values=("no", "yes")),
+            ],
+            class_attribute="C",
+        )
+        ds = Dataset.from_rows(schema, [("x", "y", "no")])
+        cube = build_cube(ds, ("A", "B"))
+        with pytest.raises(ValueError, match="2-dimensional"):
+            cube_trends(cube)

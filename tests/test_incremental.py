@@ -1,0 +1,132 @@
+"""Unit tests for incremental cube updates (merge / absorb).
+
+The paper's data arrives monthly (200 GB/month); because rule cubes
+are count tensors, a new batch folds in by tensor addition without
+rescanning history.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cube import CubeError, CubeStore, build_cube
+from repro.dataset import Attribute, Dataset, Schema
+
+
+def make_dataset(seed, n=800):
+    rng = np.random.default_rng(seed)
+    schema = Schema(
+        [
+            Attribute("A", values=("x", "y")),
+            Attribute("B", values=("p", "q", "r")),
+            Attribute("C", values=("no", "yes")),
+        ],
+        class_attribute="C",
+    )
+    return Dataset.from_columns(
+        schema,
+        {
+            "A": rng.integers(0, 2, n),
+            "B": rng.integers(0, 3, n),
+            "C": rng.integers(0, 2, n),
+        },
+    )
+
+
+class TestCubeMerge:
+    def test_merge_equals_concat_build(self):
+        jan = make_dataset(1)
+        feb = make_dataset(2)
+        merged = build_cube(jan, ("A", "B")).merge(
+            build_cube(feb, ("A", "B"))
+        )
+        direct = build_cube(jan.concat(feb), ("A", "B"))
+        assert merged == direct
+
+    def test_add_operator(self):
+        jan = make_dataset(1)
+        feb = make_dataset(2)
+        a = build_cube(jan, ("A",))
+        b = build_cube(feb, ("A",))
+        assert (a + b) == a.merge(b)
+
+    def test_merge_is_commutative(self):
+        a = build_cube(make_dataset(1), ("A",))
+        b = build_cube(make_dataset(2), ("A",))
+        assert a.merge(b) == b.merge(a)
+
+    def test_merge_identity_with_empty(self):
+        ds = make_dataset(1)
+        cube = build_cube(ds, ("A", "B"))
+        empty = build_cube(Dataset.empty(ds.schema), ("A", "B"))
+        assert cube.merge(empty) == cube
+
+    def test_structure_mismatch_rejected(self):
+        ds = make_dataset(1)
+        a = build_cube(ds, ("A",))
+        b = build_cube(ds, ("B",))
+        with pytest.raises(CubeError, match="different structure"):
+            a.merge(b)
+
+    def test_add_non_cube_not_implemented(self):
+        cube = build_cube(make_dataset(1), ("A",))
+        with pytest.raises(TypeError):
+            cube + 5
+
+
+class TestStoreAbsorb:
+    def test_absorb_updates_all_cached_cubes(self):
+        jan = make_dataset(1)
+        feb = make_dataset(2)
+        store = CubeStore(jan)
+        store.precompute()
+        n_cubes = store.n_cached
+
+        updated = store.absorb(feb)
+        assert updated == n_cubes
+
+        fresh = CubeStore(jan.concat(feb))
+        fresh.precompute()
+        for key, cube in fresh.cached_items().items():
+            assert store.cached_items()[key] == cube
+
+    def test_absorb_keeps_lazy_builds_consistent(self):
+        jan = make_dataset(1)
+        feb = make_dataset(2)
+        store = CubeStore(jan)
+        store.cube(("A",))  # only one cube cached
+        store.absorb(feb)
+        # A cube built lazily *after* the absorb counts both batches.
+        lazy = store.cube(("A", "B"))
+        assert lazy == build_cube(jan.concat(feb), ("A", "B"))
+
+    def test_absorb_schema_mismatch_rejected(self):
+        store = CubeStore(make_dataset(1))
+        other_schema = Schema(
+            [
+                Attribute("A", values=("x", "y", "z")),
+                Attribute("B", values=("p", "q", "r")),
+                Attribute("C", values=("no", "yes")),
+            ],
+            class_attribute="C",
+        )
+        bad = Dataset.from_columns(
+            other_schema,
+            {
+                "A": np.zeros(1, dtype=np.int64),
+                "B": np.zeros(1, dtype=np.int64),
+                "C": np.zeros(1, dtype=np.int64),
+            },
+        )
+        with pytest.raises(CubeError, match="schema"):
+            store.absorb(bad)
+
+    def test_repeated_absorption(self):
+        """Three months of batches equal one combined build."""
+        months = [make_dataset(seed) for seed in (1, 2, 3)]
+        store = CubeStore(months[0])
+        store.precompute(include_pairs=False)
+        for batch in months[1:]:
+            store.absorb(batch)
+        combined = months[0].concat(months[1]).concat(months[2])
+        assert store.cube(("A",)) == build_cube(combined, ("A",))
+        assert store.dataset.n_rows == combined.n_rows

@@ -1,0 +1,209 @@
+"""Unit tests for repro.core.interestingness (Section IV.A).
+
+Includes the paper's two boundary situations (Figs. 2 and 4):
+Situation 1 — proportional confidences -> M = 0;
+Situation 2 — all bad records concentrated on one 100%-confidence
+value -> the analytic maximum.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    contributions,
+    excess_confidences,
+    expected_confidences,
+    interestingness,
+    per_value_stats,
+)
+
+
+def stats_from_confidences(cf1, cf2, n1, n2, confidence_level=None):
+    """Build count matrices realising the requested per-value
+    confidences exactly (counts are chosen integer-friendly)."""
+    cf1 = np.asarray(cf1, dtype=float)
+    cf2 = np.asarray(cf2, dtype=float)
+    n1 = np.asarray(n1, dtype=np.int64)
+    n2 = np.asarray(n2, dtype=np.int64)
+    pos1 = np.round(cf1 * n1).astype(np.int64)
+    pos2 = np.round(cf2 * n2).astype(np.int64)
+    counts1 = np.stack([n1 - pos1, pos1], axis=1)
+    counts2 = np.stack([n2 - pos2, pos2], axis=1)
+    return per_value_stats(
+        counts1, counts2, target_class=1,
+        confidence_level=confidence_level,
+    )
+
+
+class TestPerValueStats:
+    def test_confidences_computed(self):
+        stats = stats_from_confidences(
+            [0.2, 0.4], [0.5, 0.1], [10, 10], [20, 20]
+        )
+        assert stats.cf1.tolist() == pytest.approx([0.2, 0.4])
+        assert stats.cf2.tolist() == pytest.approx([0.5, 0.1])
+        assert stats.n1.tolist() == [10, 10]
+        assert stats.n2.tolist() == [20, 20]
+
+    def test_empty_value_zero_confidence(self):
+        stats = stats_from_confidences([0.5], [0.5], [0], [10])
+        assert stats.cf1[0] == 0.0
+        assert stats.n1[0] == 0
+
+    def test_intervals_disabled_copies_raw(self):
+        stats = stats_from_confidences(
+            [0.2], [0.4], [100], [100], confidence_level=None
+        )
+        assert stats.rcf1[0] == stats.cf1[0]
+        assert stats.rcf2[0] == stats.cf2[0]
+        assert stats.e1[0] == 0.0
+
+    def test_intervals_enabled_revise(self):
+        stats = stats_from_confidences(
+            [0.2], [0.4], [100], [100], confidence_level=0.95
+        )
+        assert stats.rcf1[0] > stats.cf1[0]
+        assert stats.rcf2[0] < stats.cf2[0]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            per_value_stats(
+                np.zeros((2, 2), dtype=int),
+                np.zeros((3, 2), dtype=int),
+                0,
+            )
+
+    def test_bad_target_class_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            per_value_stats(
+                np.zeros((2, 2), dtype=int),
+                np.zeros((2, 2), dtype=int),
+                5,
+            )
+
+
+class TestExpectedConfidences:
+    def test_proportional_scaling(self):
+        """expected_k = cf_1k (cf_2 / cf_1)."""
+        expected = expected_confidences(
+            np.array([0.01, 0.02]), 0.02, 0.04
+        )
+        assert expected.tolist() == pytest.approx([0.02, 0.04])
+
+    def test_zero_overall_cf1(self):
+        expected = expected_confidences(np.array([0.0, 0.0]), 0.0, 0.04)
+        assert expected.tolist() == [0.0, 0.0]
+
+
+class TestBoundarySituations:
+    """The paper's Figs. 2 and 4."""
+
+    def test_situation_1_uninteresting_m_is_zero(self):
+        """Fig. 2(A)/4(A): ph2 exactly twice as bad for every value of
+        Time-of-Call -> F_k = 0 everywhere -> M = 0."""
+        cf1 = [0.02, 0.02, 0.02]  # ph1: morning, afternoon, evening
+        cf2 = [0.04, 0.04, 0.04]  # ph2 exactly double everywhere
+        stats = stats_from_confidences(
+            cf1, cf2, [1000, 1000, 1000], [1000, 1000, 1000]
+        )
+        m = interestingness(stats, overall_cf1=0.02, overall_cf2=0.04)
+        assert m == pytest.approx(0.0, abs=1e-12)
+
+    def test_situation_2_interesting_morning_only(self):
+        """Fig. 2(B): same in afternoon/evening, much worse in the
+        morning -> only the morning contributes."""
+        cf1 = [0.02, 0.02, 0.02]
+        cf2 = [0.08, 0.02, 0.02]
+        stats = stats_from_confidences(
+            cf1, cf2, [1000] * 3, [1000] * 3
+        )
+        w = contributions(stats, 0.02, 0.04)
+        assert w[0] > 0
+        assert w[1] == 0.0
+        assert w[2] == 0.0
+
+    def test_situation_2_maximum_concentration(self):
+        """Fig. 4(B): all D_2 failures on one value at 100% confidence
+        which has the lowest D_1 confidence -> the analytic maximum
+        N_2k = cf_2 |D_2| is attained."""
+        n2 = [460, 460, 80]  # evening holds all 80 drops of 2000*0.04
+        cf2 = [0.0, 0.0, 1.0]
+        cf1 = [0.025, 0.025, 0.01]  # evening lowest for ph1
+        stats = stats_from_confidences(
+            cf1, cf2, [1000] * 3, n2
+        )
+        overall_cf2 = 80 / 1000  # 80 drops over |D_2| = 1000 records
+        overall_cf1 = 0.02
+        w = contributions(stats, overall_cf1, overall_cf2)
+        # Contribution of the concentrated value dominates and equals
+        # (1 - cf_1k ratio) * N_2k, close to N_2k.
+        assert w[2] > 0.9 * 80
+        assert w[0] == 0.0 and w[1] == 0.0
+
+    def test_minimum_only_at_proportionality(self):
+        """Any deviation from the proportional pattern yields M > 0
+        (the minimum is attained only in Situation 1)."""
+        cf1 = [0.02, 0.02, 0.02]
+        cf2 = [0.05, 0.04, 0.03]  # perturbed around 2x
+        stats = stats_from_confidences(
+            cf1, cf2, [1000] * 3, [1000] * 3
+        )
+        m = interestingness(stats, 0.02, 0.04)
+        assert m > 0.0
+
+
+class TestContributions:
+    def test_negative_excess_clamped_to_zero(self):
+        """F_k <= 0 -> W_k = 0 (the paper's max(F, 0) rule)."""
+        stats = stats_from_confidences([0.5], [0.1], [100], [100])
+        w = contributions(stats, 0.2, 0.4)
+        assert w[0] == 0.0
+
+    def test_weighting_by_count(self):
+        stats = stats_from_confidences(
+            [0.0, 0.0], [0.5, 0.5], [100, 100], [10, 1000]
+        )
+        w = contributions(stats, 0.01, 0.02)
+        # Same excess confidence; 100x the records -> 100x the weight.
+        assert w[1] == pytest.approx(100 * w[0])
+
+    def test_unweighted_ablation(self):
+        stats = stats_from_confidences(
+            [0.0, 0.0], [0.5, 0.5], [100, 100], [10, 1000]
+        )
+        w = contributions(stats, 0.01, 0.02, weight_by_count=False)
+        assert w[0] == pytest.approx(w[1])
+
+    def test_excess_formula(self):
+        """F_k = rcf_2k - rcf_1k (cf_2/cf_1), intervals disabled."""
+        stats = stats_from_confidences(
+            [0.03], [0.10], [100], [100], confidence_level=None
+        )
+        f = excess_confidences(stats, 0.02, 0.04)
+        assert f[0] == pytest.approx(0.10 - 0.03 * 2.0)
+
+    def test_interestingness_is_sum(self):
+        stats = stats_from_confidences(
+            [0.02, 0.02], [0.06, 0.08], [500, 500], [500, 500]
+        )
+        w = contributions(stats, 0.02, 0.04)
+        assert interestingness(stats, 0.02, 0.04) == (
+            pytest.approx(float(w.sum()))
+        )
+
+    def test_confidence_guard_suppresses_small_samples(self):
+        """A 10-record value with an extreme confidence should not
+        dominate once intervals are on (Section IV.B's purpose).
+        (Note: the paper's Wald margin degenerates to 0 at cf = 1.0
+        exactly, so the guard bites at 0.9, not 1.0.)"""
+        raw = stats_from_confidences(
+            [0.02, 0.02], [0.04, 0.9], [1000, 1000], [1000, 10],
+            confidence_level=None,
+        )
+        guarded = stats_from_confidences(
+            [0.02, 0.02], [0.04, 0.9], [1000, 1000], [1000, 10],
+            confidence_level=0.95,
+        )
+        m_raw = interestingness(raw, 0.02, 0.04)
+        m_guarded = interestingness(guarded, 0.02, 0.04)
+        assert m_guarded < m_raw

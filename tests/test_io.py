@@ -1,0 +1,129 @@
+"""Unit tests for repro.dataset.io."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import (
+    Attribute,
+    Dataset,
+    DatasetError,
+    Schema,
+    infer_schema,
+    read_csv,
+    write_csv,
+)
+
+
+def make_dataset():
+    schema = Schema(
+        [
+            Attribute("A", values=("x", "y")),
+            Attribute("B", kind="continuous"),
+            Attribute("C", values=("no", "yes")),
+        ],
+        class_attribute="C",
+    )
+    return Dataset.from_columns(
+        schema,
+        {
+            "A": np.array([0, 1, -1]),
+            "B": np.array([1.5, np.nan, 3.0]),
+            "C": np.array([0, 1, 1]),
+        },
+    )
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        ds = make_dataset()
+        path = tmp_path / "data.csv"
+        write_csv(ds, path)
+        back = read_csv(path, class_attribute="C", schema=ds.schema)
+        assert back.column("A").tolist() == ds.column("A").tolist()
+        assert back.class_codes.tolist() == ds.class_codes.tolist()
+        assert np.isnan(back.column("B")[1])
+
+    def test_missing_tokens_written(self, tmp_path):
+        ds = make_dataset()
+        path = tmp_path / "data.csv"
+        write_csv(ds, path)
+        text = path.read_text()
+        assert "?" in text
+        assert text.splitlines()[0] == "A,B,C"
+
+    def test_header_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("X,Y\nx,1\n")
+        with pytest.raises(DatasetError, match="header"):
+            read_csv(
+                path, class_attribute="C", schema=make_dataset().schema
+            )
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DatasetError, match="empty"):
+            read_csv(path, class_attribute="C")
+
+
+class TestInference:
+    def test_small_numeric_column_stays_categorical(self):
+        header = ["Flag", "C"]
+        rows = [["0", "no"], ["1", "yes"], ["0", "no"]]
+        schema = infer_schema(header, rows, class_attribute="C")
+        assert schema["Flag"].is_categorical
+        assert schema["Flag"].values == ("0", "1")
+
+    def test_large_numeric_column_becomes_continuous(self):
+        header = ["X", "C"]
+        rows = [[str(i * 0.5), "yes" if i % 2 else "no"]
+                for i in range(200)]
+        schema = infer_schema(
+            header, rows, class_attribute="C", max_categorical_arity=64
+        )
+        assert schema["X"].is_continuous
+
+    def test_text_column_always_categorical(self):
+        header = ["T", "C"]
+        rows = [[f"token{i}", "no"] for i in range(100)]
+        schema = infer_schema(
+            header, rows, class_attribute="C", max_categorical_arity=10
+        )
+        assert schema["T"].is_categorical
+        assert schema["T"].arity == 100
+
+    def test_class_always_categorical_even_when_numeric(self):
+        header = ["A", "C"]
+        rows = [["x", str(i)] for i in range(100)]
+        schema = infer_schema(
+            header, rows, class_attribute="C", max_categorical_arity=10
+        )
+        assert schema["C"].is_categorical
+
+    def test_numeric_domains_sorted_numerically(self):
+        header = ["N", "C"]
+        rows = [["10", "no"], ["2", "no"], ["1", "yes"]]
+        schema = infer_schema(header, rows, class_attribute="C")
+        assert schema["N"].values == ("1", "2", "10")
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(DatasetError, match="not found"):
+            infer_schema(["A"], [], class_attribute="C")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(DatasetError, match="does not match"):
+            infer_schema(
+                ["A", "C"], [["x", "no"], ["y"]], class_attribute="C"
+            )
+
+    def test_read_with_inference(self, tmp_path):
+        path = tmp_path / "infer.csv"
+        lines = ["Color,Score,C"]
+        for i in range(100):
+            lines.append(f"red,{i * 1.1:.2f},{'yes' if i % 3 else 'no'}")
+        path.write_text("\n".join(lines) + "\n")
+        ds = read_csv(path, class_attribute="C",
+                      max_categorical_arity=20)
+        assert ds.schema["Color"].is_categorical
+        assert ds.schema["Score"].is_continuous
+        assert len(ds) == 100

@@ -1,0 +1,219 @@
+"""Unit tests for repro.rules.miner."""
+
+import pytest
+
+from repro.cube import build_cube
+from repro.dataset import Attribute, Dataset, Schema
+from repro.rules import (
+    Condition,
+    RuleError,
+    enumerate_cars,
+    mine_cars,
+    restricted_mine,
+)
+
+
+def make_dataset():
+    schema = Schema(
+        [
+            Attribute("A", values=("x", "y")),
+            Attribute("B", values=("p", "q")),
+            Attribute("C", values=("no", "yes")),
+        ],
+        class_attribute="C",
+    )
+    rows = [
+        ("x", "p", "yes"),
+        ("x", "p", "yes"),
+        ("x", "p", "no"),
+        ("x", "q", "yes"),
+        ("x", "q", "no"),
+        ("y", "p", "no"),
+        ("y", "p", "no"),
+        ("y", "q", "no"),
+        ("y", "q", "yes"),
+        ("y", "q", "no"),
+    ]
+    return Dataset.from_rows(schema, rows)
+
+
+def find_rule(rules, conditions, class_label):
+    key = (tuple(sorted(conditions)), class_label)
+    for rule in rules:
+        if rule.key() == key:
+            return rule
+    return None
+
+
+class TestMineCars:
+    def test_one_condition_rule_measures(self):
+        rules = mine_cars(make_dataset(), min_support=0.0,
+                          max_length=1)
+        rule = find_rule(rules, [Condition("A", "x")], "yes")
+        assert rule is not None
+        assert rule.support_count == 3
+        assert rule.support == pytest.approx(0.3)
+        assert rule.confidence == pytest.approx(3 / 5)
+
+    def test_two_condition_rule_measures(self):
+        rules = mine_cars(make_dataset(), min_support=0.0,
+                          max_length=2)
+        rule = find_rule(
+            rules, [Condition("A", "x"), Condition("B", "p")], "yes"
+        )
+        assert rule is not None
+        assert rule.support_count == 2
+        assert rule.confidence == pytest.approx(2 / 3)
+
+    def test_min_confidence_filters(self):
+        rules = mine_cars(
+            make_dataset(), min_support=0.0, min_confidence=0.7
+        )
+        assert all(r.confidence >= 0.7 for r in rules)
+        assert rules  # something survives (y,p -> no has conf 1.0)
+
+    def test_min_support_filters(self):
+        rules = mine_cars(make_dataset(), min_support=0.25)
+        assert all(r.support >= 0.25 for r in rules)
+
+    def test_sorted_by_confidence(self):
+        rules = mine_cars(make_dataset(), min_support=0.0)
+        confs = [r.confidence for r in rules]
+        assert confs == sorted(confs, reverse=True)
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(RuleError):
+            mine_cars(make_dataset(), min_confidence=1.5)
+
+    def test_every_rule_is_class_rule(self):
+        rules = mine_cars(make_dataset(), min_support=0.0)
+        assert all(r.class_label in ("no", "yes") for r in rules)
+
+
+class TestEnumerateCars:
+    def test_enumeration_matches_cube(self):
+        ds = make_dataset()
+        rules = enumerate_cars(ds, ("A", "B"))
+        cube = build_cube(ds, ("A", "B"))
+        assert len(rules) == cube.n_rules == 2 * 2 * 2
+        for rule in rules:
+            conditions = {c.attribute: c.value for c in rule.conditions}
+            assert rule.support_count == cube.cell_count(
+                conditions, rule.class_label
+            )
+            assert rule.confidence == pytest.approx(
+                cube.confidence(conditions, rule.class_label)
+            )
+
+    def test_zero_support_rules_included(self):
+        """Thresholds are 0: even empty cells become rules (the
+        paper's no-holes requirement)."""
+        schema = Schema(
+            [
+                Attribute("A", values=("x", "y")),
+                Attribute("C", values=("no", "yes")),
+            ],
+            class_attribute="C",
+        )
+        ds = Dataset.from_rows(schema, [("x", "yes")])
+        rules = enumerate_cars(ds, ("A",))
+        assert len(rules) == 4
+        empty = [r for r in rules if r.support_count == 0]
+        assert len(empty) == 3
+
+
+class TestRestrictedMine:
+    def test_fixed_conditions_prepended(self):
+        rules = restricted_mine(
+            make_dataset(),
+            fixed=[Condition("A", "x")],
+            min_support=0.0,
+            extra_length=1,
+        )
+        assert rules
+        for rule in rules:
+            assert rule.condition_on("A") == Condition("A", "x")
+            assert rule.length == 2
+
+    def test_support_measured_against_full_dataset(self):
+        rules = restricted_mine(
+            make_dataset(),
+            fixed=[Condition("A", "x")],
+            min_support=0.0,
+            extra_length=1,
+        )
+        rule = find_rule(
+            rules, [Condition("A", "x"), Condition("B", "p")], "yes"
+        )
+        assert rule is not None
+        assert rule.support == pytest.approx(0.2)  # 2 of 10 overall
+
+    def test_confidence_measured_within_slice(self):
+        rules = restricted_mine(
+            make_dataset(),
+            fixed=[Condition("A", "x")],
+            min_support=0.0,
+            extra_length=1,
+        )
+        rule = find_rule(
+            rules, [Condition("A", "x"), Condition("B", "p")], "yes"
+        )
+        assert rule.confidence == pytest.approx(2 / 3)
+
+    def test_empty_fixed_rejected(self):
+        with pytest.raises(RuleError, match="at least one"):
+            restricted_mine(make_dataset(), fixed=[])
+
+    def test_duplicate_fixed_attribute_rejected(self):
+        with pytest.raises(RuleError, match="distinct"):
+            restricted_mine(
+                make_dataset(),
+                fixed=[Condition("A", "x"), Condition("A", "y")],
+            )
+
+    def test_overlapping_candidate_rejected(self):
+        with pytest.raises(RuleError, match="already fixed"):
+            restricted_mine(
+                make_dataset(),
+                fixed=[Condition("A", "x")],
+                attributes=["A", "B"],
+            )
+
+    def test_empty_slice_returns_nothing(self):
+        schema = Schema(
+            [
+                Attribute("A", values=("x", "y")),
+                Attribute("B", values=("p",)),
+                Attribute("C", values=("no", "yes")),
+            ],
+            class_attribute="C",
+        )
+        ds = Dataset.from_rows(schema, [("x", "p", "yes")])
+        rules = restricted_mine(
+            ds, fixed=[Condition("A", "y")], min_support=0.0
+        )
+        assert rules == []
+
+    def test_three_condition_rules(self):
+        """Restricted mining is how the system gets rules beyond the
+        stored two-condition cubes."""
+        schema = Schema(
+            [
+                Attribute("A", values=("x",)),
+                Attribute("B", values=("p", "q")),
+                Attribute("D", values=("m", "n")),
+                Attribute("C", values=("no", "yes")),
+            ],
+            class_attribute="C",
+        )
+        rows = [("x", "p", "m", "yes")] * 5 + [("x", "q", "n", "no")] * 5
+        ds = Dataset.from_rows(schema, rows)
+        rules = restricted_mine(
+            ds,
+            fixed=[Condition("A", "x")],
+            min_support=0.0,
+            extra_length=2,
+        )
+        three = [r for r in rules if r.length == 3]
+        assert three
+        assert all(r.condition_on("A") for r in three)

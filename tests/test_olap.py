@@ -1,0 +1,160 @@
+"""Unit tests for repro.cube.olap (slice / dice / roll-up / drill-down)."""
+
+import numpy as np
+import pytest
+
+from repro.cube import (
+    CubeError,
+    build_cube,
+    dice_cube,
+    drill_down,
+    rollup,
+    slice_cube,
+)
+from repro.dataset import Attribute, Dataset, Schema
+
+
+def make_dataset():
+    schema = Schema(
+        [
+            Attribute("Phone", values=("ph1", "ph2")),
+            Attribute("Time", values=("am", "pm")),
+            Attribute("Net", values=("2g", "3g")),
+            Attribute("C", values=("ok", "drop")),
+        ],
+        class_attribute="C",
+    )
+    rng = np.random.default_rng(5)
+    n = 200
+    return Dataset.from_columns(
+        schema,
+        {
+            "Phone": rng.integers(0, 2, n),
+            "Time": rng.integers(0, 2, n),
+            "Net": rng.integers(0, 2, n),
+            "C": rng.integers(0, 2, n),
+        },
+    )
+
+
+class TestSlice:
+    def test_slice_selects_subpopulation(self):
+        ds = make_dataset()
+        cube = build_cube(ds, ("Phone", "Time"))
+        sliced = slice_cube(cube, "Phone", "ph1")
+        direct = build_cube(ds.where("Phone", "ph1"), ("Time",))
+        assert sliced == direct
+
+    def test_slice_drops_axis(self):
+        cube = build_cube(make_dataset(), ("Phone", "Time"))
+        sliced = slice_cube(cube, "Time", "am")
+        assert sliced.names == ("Phone",)
+        assert sliced.n_dims == 2
+
+    def test_slice_unknown_attribute_rejected(self):
+        cube = build_cube(make_dataset(), ("Phone",))
+        with pytest.raises(CubeError):
+            slice_cube(cube, "Missing", "x")
+
+    def test_slice_totals(self):
+        ds = make_dataset()
+        cube = build_cube(ds, ("Phone", "Time"))
+        sliced = slice_cube(cube, "Phone", "ph2")
+        assert sliced.total() == len(ds.where("Phone", "ph2"))
+
+
+class TestDice:
+    def test_dice_restricts_domain(self):
+        cube = build_cube(make_dataset(), ("Phone", "Time"))
+        diced = dice_cube(cube, "Phone", ["ph2"])
+        assert diced.attribute("Phone").values == ("ph2",)
+        assert diced.names == ("Phone", "Time")
+
+    def test_dice_preserves_counts(self):
+        cube = build_cube(make_dataset(), ("Phone", "Time"))
+        diced = dice_cube(cube, "Phone", ["ph2", "ph1"])
+        assert diced.cell_count(
+            {"Phone": "ph1", "Time": "am"}, "drop"
+        ) == cube.cell_count({"Phone": "ph1", "Time": "am"}, "drop")
+
+    def test_dice_two_values_is_comparison_setup(self):
+        """The comparator's first step: restrict the pivot to the two
+        compared values."""
+        cube = build_cube(make_dataset(), ("Phone", "Time"))
+        diced = dice_cube(cube, "Phone", ["ph1", "ph2"])
+        assert diced.attribute("Phone").arity == 2
+
+    def test_dice_empty_rejected(self):
+        cube = build_cube(make_dataset(), ("Phone",))
+        with pytest.raises(CubeError, match="at least one"):
+            dice_cube(cube, "Phone", [])
+
+    def test_dice_duplicates_rejected(self):
+        cube = build_cube(make_dataset(), ("Phone",))
+        with pytest.raises(CubeError, match="duplicate"):
+            dice_cube(cube, "Phone", ["ph1", "ph1"])
+
+
+class TestRollup:
+    def test_rollup_marginalises(self):
+        ds = make_dataset()
+        pair = build_cube(ds, ("Phone", "Time"))
+        assert rollup(pair, "Time") == build_cube(ds, ("Phone",))
+
+    def test_rollup_preserves_total(self):
+        pair = build_cube(make_dataset(), ("Phone", "Time"))
+        assert rollup(pair, "Phone").total() == pair.total()
+
+    def test_rollup_to_class_only(self):
+        ds = make_dataset()
+        single = build_cube(ds, ("Phone",))
+        zero = rollup(single, "Phone")
+        assert zero.names == ()
+        assert zero.class_totals().tolist() == (
+            ds.class_distribution().tolist()
+        )
+
+
+class TestDrillDown:
+    def test_drill_down_recounts(self):
+        ds = make_dataset()
+        single = build_cube(ds, ("Time",))
+        drilled = drill_down(single, ds, "Phone")
+        assert drilled.names == ("Phone", "Time")
+        assert drilled == build_cube(ds, ("Phone", "Time"))
+
+    def test_drill_down_then_rollup_round_trips(self):
+        """Drill-down is the inverse of roll-up (the invariant the
+        module docstring promises)."""
+        ds = make_dataset()
+        single = build_cube(ds, ("Time",))
+        drilled = drill_down(single, ds, "Net")
+        assert rollup(drilled, "Net") == single
+
+    def test_drill_down_existing_dimension_rejected(self):
+        ds = make_dataset()
+        cube = build_cube(ds, ("Time",))
+        with pytest.raises(CubeError, match="already"):
+            drill_down(cube, ds, "Time")
+
+    def test_drill_down_class_rejected(self):
+        ds = make_dataset()
+        cube = build_cube(ds, ("Time",))
+        with pytest.raises(CubeError, match="class"):
+            drill_down(cube, ds, "C")
+
+
+class TestComposition:
+    def test_slice_then_rollup_commutes(self):
+        ds = make_dataset()
+        cube = build_cube(ds, ("Phone", "Time", "Net"))
+        a = rollup(slice_cube(cube, "Phone", "ph1"), "Net")
+        b = slice_cube(rollup(cube, "Net"), "Phone", "ph1")
+        assert a == b
+
+    def test_dice_then_slice(self):
+        ds = make_dataset()
+        cube = build_cube(ds, ("Phone", "Time"))
+        diced = dice_cube(cube, "Phone", ["ph1", "ph2"])
+        sliced = slice_cube(diced, "Phone", "ph1")
+        assert sliced == slice_cube(cube, "Phone", "ph1")

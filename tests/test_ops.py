@@ -1,0 +1,189 @@
+"""Unit tests for repro.dataset.ops and the store's cell budget."""
+
+import numpy as np
+import pytest
+
+from repro.cube import CubeError, CubeStore
+from repro.dataset import (
+    Attribute,
+    Dataset,
+    DatasetError,
+    Schema,
+    drop_attributes,
+    merge_values,
+    reduce_arity,
+)
+
+
+def make_dataset():
+    schema = Schema(
+        [
+            Attribute("Cell", values=tuple(f"c{i}" for i in range(6))),
+            Attribute("Fw", values=("v1.0", "v1.1", "v2.0", "v2.1")),
+            Attribute("C", values=("ok", "drop")),
+        ],
+        class_attribute="C",
+    )
+    # Cell frequencies: c0 x8, c1 x4, c2 x2, c3 x1, c4 x1, c5 x0.
+    cells = [0] * 8 + [1] * 4 + [2] * 2 + [3] + [4]
+    fw = ([0, 1, 2, 3] * 4)[: len(cells)]
+    cls = ([0, 1] * 8)[: len(cells)]
+    return Dataset.from_columns(
+        schema,
+        {
+            "Cell": np.asarray(cells),
+            "Fw": np.asarray(fw),
+            "C": np.asarray(cls),
+        },
+    )
+
+
+class TestReduceArity:
+    def test_keeps_most_frequent(self):
+        out = reduce_arity(make_dataset(), "Cell", max_values=3)
+        attr = out.schema["Cell"]
+        assert attr.values == ("c0", "c1", "<other>")
+
+    def test_tail_bucketed(self):
+        ds = make_dataset()
+        out = reduce_arity(ds, "Cell", max_values=3)
+        counts = out.value_counts("Cell")
+        assert counts.tolist() == [8, 4, 4]  # c2+c3+c4 -> bucket
+
+    def test_kept_value_rows_unchanged(self):
+        ds = make_dataset()
+        out = reduce_arity(ds, "Cell", max_values=3)
+        # Rows that had c0 still have c0.
+        before = ds.column("Cell") == 0
+        after = out.column("Cell") == out.schema["Cell"].code_of("c0")
+        assert (before == after).all()
+
+    def test_noop_when_already_small(self):
+        ds = make_dataset()
+        assert reduce_arity(ds, "Cell", max_values=10) is ds
+
+    def test_missing_preserved(self):
+        schema = Schema(
+            [
+                Attribute("A", values=("x", "y", "z")),
+                Attribute("C", values=("no", "yes")),
+            ],
+            class_attribute="C",
+        )
+        ds = Dataset.from_columns(
+            schema,
+            {"A": np.array([0, 0, 1, 2, -1]), "C": np.zeros(5, int)},
+        )
+        out = reduce_arity(ds, "A", max_values=2)
+        assert out.column("A")[4] == -1
+
+    def test_validation(self):
+        ds = make_dataset()
+        with pytest.raises(DatasetError):
+            reduce_arity(ds, "Cell", max_values=1)
+        with pytest.raises(DatasetError, match="collides"):
+            schema = Schema(
+                [
+                    Attribute("A", values=("x", "y", "<other>")),
+                    Attribute("C", values=("no", "yes")),
+                ],
+                class_attribute="C",
+            )
+            bad = Dataset.from_columns(
+                schema,
+                {"A": np.array([0, 1, 2]), "C": np.zeros(3, int)},
+            )
+            reduce_arity(bad, "A", max_values=2)
+
+    def test_continuous_rejected(self):
+        schema = Schema(
+            [
+                Attribute("X", kind="continuous"),
+                Attribute("C", values=("no", "yes")),
+            ],
+            class_attribute="C",
+        )
+        ds = Dataset.from_columns(
+            schema, {"X": np.array([1.0]), "C": np.array([0])}
+        )
+        with pytest.raises(DatasetError, match="categorical"):
+            reduce_arity(ds, "X", max_values=2)
+
+
+class TestMergeValues:
+    def test_merge_families(self):
+        ds = make_dataset()
+        out = merge_values(
+            ds, "Fw", {"v1.x": ["v1.0", "v1.1"], "v2.x": ["v2.0",
+                                                          "v2.1"]}
+        )
+        attr = out.schema["Fw"]
+        assert attr.values == ("v1.x", "v2.x")
+        counts = out.value_counts("Fw")
+        assert counts.sum() == ds.n_rows
+
+    def test_partial_merge_keeps_others(self):
+        ds = make_dataset()
+        out = merge_values(ds, "Fw", {"v1.x": ["v1.0", "v1.1"]})
+        assert out.schema["Fw"].values == ("v2.0", "v2.1", "v1.x")
+
+    def test_counts_add_up(self):
+        ds = make_dataset()
+        before = ds.value_counts("Fw")
+        out = merge_values(ds, "Fw", {"v1.x": ["v1.0", "v1.1"]})
+        after = out.value_counts("Fw")
+        assert after[out.schema["Fw"].code_of("v1.x")] == (
+            before[0] + before[1]
+        )
+
+    def test_validation(self):
+        ds = make_dataset()
+        with pytest.raises(DatasetError, match="not a value"):
+            merge_values(ds, "Fw", {"x": ["v9.9"]})
+        with pytest.raises(DatasetError, match="two groups"):
+            merge_values(
+                ds, "Fw", {"a": ["v1.0"], "b": ["v1.0"]}
+            )
+        with pytest.raises(DatasetError, match="collides"):
+            merge_values(ds, "Fw", {"v2.0": ["v1.0"]})
+
+
+class TestDropAttributes:
+    def test_drop(self):
+        out = drop_attributes(make_dataset(), ["Cell"])
+        assert "Cell" not in out.schema
+        assert out.schema.names == ("Fw", "C")
+
+    def test_cannot_drop_class(self):
+        with pytest.raises(DatasetError, match="class"):
+            drop_attributes(make_dataset(), ["C"])
+
+    def test_unknown_rejected(self):
+        with pytest.raises(DatasetError, match="unknown"):
+            drop_attributes(make_dataset(), ["Zed"])
+
+
+class TestStoreCellBudget:
+    def test_oversized_cube_rejected(self):
+        ds = make_dataset()
+        store = CubeStore(ds, max_cells=10)
+        with pytest.raises(CubeError, match="budget"):
+            store.cube(("Cell", "Fw"))  # 6*4*2 = 48 cells > 10
+
+    def test_reduced_attribute_fits(self):
+        ds = reduce_arity(make_dataset(), "Cell", max_values=2)
+        store = CubeStore(ds, max_cells=20)
+        cube = store.cube(("Cell", "Fw"))  # 2*4*2 = 16 cells
+        assert cube.n_rules == 16
+
+    def test_guard_disabled(self):
+        store = CubeStore(make_dataset(), max_cells=None)
+        assert store.cube(("Cell", "Fw")).n_rules == 48
+
+    def test_cube_cells_helper(self):
+        store = CubeStore(make_dataset())
+        assert store.cube_cells(("Cell", "Fw")) == 6 * 4 * 2
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(CubeError):
+            CubeStore(make_dataset(), max_cells=0)

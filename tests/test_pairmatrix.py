@@ -1,0 +1,101 @@
+"""Unit tests for repro.viz.pairmatrix and Session.to_json."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import Comparator, compare_all_pairs
+from repro.cube import CubeStore
+from repro.dataset import Attribute, Dataset, Schema
+from repro.viz import render_pair_matrix
+from repro.workbench import OpportunityMap, Session
+
+
+def make_report(min_gap=0.0):
+    rng = np.random.default_rng(101)
+    n = 9000
+    phone = rng.integers(0, 3, n)
+    time = rng.integers(0, 3, n)
+    p = np.full(n, 0.02) * np.array([1.0, 1.5, 3.0])[phone]
+    p[(phone == 2) & (time == 0)] *= 3.0
+    cls = (rng.random(n) < np.clip(p, 0, 0.9)).astype(np.int64)
+    schema = Schema(
+        [
+            Attribute("Phone", values=("ph1", "ph2", "ph3")),
+            Attribute("Time", values=("am", "noon", "pm")),
+            Attribute("C", values=("ok", "drop")),
+        ],
+        class_attribute="C",
+    )
+    store = CubeStore(
+        Dataset.from_columns(
+            schema, {"Phone": phone, "Time": time, "C": cls}
+        )
+    )
+    return compare_all_pairs(
+        Comparator(store), "Phone", "drop", min_gap=min_gap
+    )
+
+
+class TestRenderPairMatrix:
+    def test_all_values_appear(self):
+        text = render_pair_matrix(make_report())
+        for v in ("ph1", "ph2", "ph3"):
+            assert v in text
+
+    def test_diagonal_marked(self):
+        text = render_pair_matrix(make_report())
+        assert "·" in text
+
+    def test_gaps_rendered_as_points(self):
+        report = make_report()
+        text = render_pair_matrix(report)
+        (pair, gap) = report.most_different(1)[0]
+        assert f"{gap * 100:5.2f}" in text
+
+    def test_worse_side_starred(self):
+        text = render_pair_matrix(make_report())
+        # ph3 is the worst phone: its row cells carry the marker.
+        ph3_row = next(
+            line for line in text.splitlines()
+            if line.startswith("ph3")
+        )
+        assert "*" in ph3_row
+
+    def test_skipped_pairs_dashed(self):
+        report = make_report(min_gap=0.02)  # drops the closest pair
+        text = render_pair_matrix(report)
+        assert "--" in text
+
+    def test_explainers_listed(self):
+        text = render_pair_matrix(make_report(), show_explainers=True)
+        assert "Top explaining attribute per pair" in text
+        assert "Time" in text
+
+    def test_explainers_optional(self):
+        text = render_pair_matrix(
+            make_report(), show_explainers=False
+        )
+        assert "Top explaining attribute" not in text
+
+    def test_empty_report(self):
+        from repro.core.pairwise import PairwiseReport
+
+        empty = PairwiseReport("Phone", "drop", {})
+        assert "no comparable pairs" in render_pair_matrix(empty)
+
+
+class TestSessionToJson:
+    def test_round_trips_through_json(self, call_log):
+        session = Session(OpportunityMap(call_log))
+        session.trends("Band")
+        session.compare("PhoneModel", "ph1", "ph2", "dropped")
+        payload = json.loads(session.to_json())
+        assert payload["count"] == 2
+        kinds = [op["kind"] for op in payload["operations"]]
+        assert kinds == ["trends", "compare"]
+        assert payload["operations"][1]["detail"]["values"] == [
+            "ph1", "ph2"
+        ]
+        assert payload["operations"][0]["elapsed_ms"] >= 0

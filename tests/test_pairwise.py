@@ -1,0 +1,159 @@
+"""Unit tests for repro.core.pairwise (fleet-wide comparison)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Comparator, ComparatorError, compare_all_pairs
+from repro.cube import CubeStore
+from repro.dataset import Attribute, Dataset, Schema
+
+
+def make_store(seed=41, n=12_000):
+    """Four phone models with increasing drop rates; ph4's excess is
+    planted on morning calls, ph3's on driving."""
+    rng = np.random.default_rng(seed)
+    phone = rng.integers(0, 4, n)
+    time = rng.integers(0, 3, n)
+    mobility = rng.integers(0, 3, n)
+    p = np.full(n, 0.02)
+    p *= np.array([1.0, 1.2, 1.5, 2.0])[phone]
+    p[(phone == 3) & (time == 0)] *= 5.0
+    p[(phone == 2) & (mobility == 2)] *= 5.0
+    cls = (rng.random(n) < np.clip(p, 0, 0.9)).astype(np.int64)
+    schema = Schema(
+        [
+            Attribute("Phone", values=("ph1", "ph2", "ph3", "ph4")),
+            Attribute("Time", values=("am", "noon", "pm")),
+            Attribute("Mobility",
+                      values=("still", "walk", "drive")),
+            Attribute("C", values=("ok", "drop")),
+        ],
+        class_attribute="C",
+    )
+    return CubeStore(
+        Dataset.from_columns(
+            schema,
+            {"Phone": phone, "Time": time, "Mobility": mobility,
+             "C": cls},
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def report():
+    return compare_all_pairs(
+        Comparator(make_store()), "Phone", "drop"
+    )
+
+
+class TestCompareAllPairs:
+    def test_all_pairs_compared(self, report):
+        assert len(report) == 4 * 3 // 2
+
+    def test_pairs_oriented_good_bad(self, report):
+        for (good, bad) in report.pairs:
+            result = report.result(good, bad)
+            assert result.value_good == good
+            assert result.value_bad == bad
+            assert result.cf_good <= result.cf_bad
+
+    def test_result_lookup_either_order(self, report):
+        pair = report.pairs[0]
+        assert report.result(pair[0], pair[1]) is report.result(
+            pair[1], pair[0]
+        )
+        with pytest.raises(KeyError):
+            report.result("ph1", "ph9")
+
+    def test_most_different_sorted(self, report):
+        ranked = report.most_different(10)
+        gaps = [gap for _, gap in ranked]
+        assert gaps == sorted(gaps, reverse=True)
+        # ph1 vs ph4 has the largest planted spread.
+        top_pair = set(ranked[0][0])
+        assert "ph4" in top_pair
+
+    def test_explaining_attributes(self, report):
+        tally = dict(report.explaining_attributes())
+        # Both planted interactions surface across the pair sweep.
+        assert "Time" in tally or "Mobility" in tally
+
+    def test_ph3_ph4_explained_by_their_effects(self, report):
+        """Pairs involving the planted phones find their causes."""
+        r14 = report.result("ph1", "ph4")
+        assert r14.ranked[0].attribute == "Time"
+        r13 = report.result("ph1", "ph3")
+        assert r13.ranked[0].attribute == "Mobility"
+
+    def test_summary_text(self, report):
+        text = report.summary()
+        assert "pairs" in text
+        assert "Most different pairs" in text
+        assert "ph4" in text
+
+    def test_min_gap_filters(self):
+        full = compare_all_pairs(
+            Comparator(make_store()), "Phone", "drop"
+        )
+        filtered = compare_all_pairs(
+            Comparator(make_store()), "Phone", "drop", min_gap=0.02
+        )
+        assert len(filtered) < len(full)
+        for _, gap in filtered.most_different(100):
+            assert gap >= 0.02
+
+    def test_value_subset(self):
+        report = compare_all_pairs(
+            Comparator(make_store()),
+            "Phone",
+            "drop",
+            values=["ph1", "ph4"],
+        )
+        assert len(report) == 1
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ComparatorError, match="duplicate"):
+            compare_all_pairs(
+                Comparator(make_store()),
+                "Phone",
+                "drop",
+                values=["ph1", "ph1"],
+            )
+
+    def test_empty_subpopulations_skipped(self):
+        store = make_store()
+        # ph5 does not exist -> validation error; instead test a value
+        # with zero records by constructing a domain superset.
+        schema = store.dataset.schema
+        bigger = Attribute(
+            "Phone", values=("ph1", "ph2", "ph3", "ph4", "ph5")
+        )
+        columns = {
+            name: store.dataset.column(name) for name in schema.names
+        }
+        new_schema = Schema(
+            [bigger if a.name == "Phone" else a for a in schema],
+            class_attribute="C",
+        )
+        ds = Dataset.from_columns(new_schema, columns)
+        report = compare_all_pairs(
+            Comparator(CubeStore(ds)), "Phone", "drop"
+        )
+        # Pairs involving the empty ph5 are skipped, others kept.
+        assert len(report) == 4 * 3 // 2
+        assert all("ph5" not in pair for pair in report.pairs)
+
+    def test_repr(self, report):
+        assert "6 pairs" in repr(report)
+
+
+class TestWorkbenchIntegration:
+    def test_workbench_facade(self, workbench):
+        report = workbench.compare_all_pairs(
+            "PhoneModel", "dropped", values=["ph1", "ph2", "ph3"]
+        )
+        assert len(report) == 3
+        # The planted ph1-vs-ph2 pair is explained by TimeOfCall.
+        assert report.result("ph1", "ph2").ranked[0].attribute == (
+            "TimeOfCall"
+        )

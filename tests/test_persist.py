@@ -1,0 +1,141 @@
+"""Unit tests for repro.cube.persist (off-line cube archives)."""
+
+import numpy as np
+import pytest
+
+from repro.cube import (
+    CubeError,
+    CubeStore,
+    load_cubes,
+    load_store_cubes,
+    save_cubes,
+)
+from repro.dataset import Attribute, Dataset, Schema
+
+
+def make_dataset(seed=3, n=500):
+    rng = np.random.default_rng(seed)
+    schema = Schema(
+        [
+            Attribute("A", values=("x", "y")),
+            Attribute("B", values=("p", "q", "r")),
+            Attribute("C", values=("no", "yes")),
+        ],
+        class_attribute="C",
+    )
+    return Dataset.from_columns(
+        schema,
+        {
+            "A": rng.integers(0, 2, n),
+            "B": rng.integers(0, 3, n),
+            "C": rng.integers(0, 2, n),
+        },
+    )
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        ds = make_dataset()
+        store = CubeStore(ds)
+        store.precompute()
+        path = tmp_path / "cubes.npz"
+        written = save_cubes(store, path)
+        assert written == store.n_cached
+
+        cubes = load_cubes(path)
+        assert set(cubes) == set(store.cached_items())
+        for key, cube in cubes.items():
+            assert cube == store.cached_items()[key]
+
+    def test_warm_start_matches_fresh_counts(self, tmp_path):
+        ds = make_dataset()
+        offline = CubeStore(ds)
+        offline.precompute()
+        path = tmp_path / "cubes.npz"
+        save_cubes(offline, path)
+
+        # A fresh store warmed from disk serves identical cubes
+        # without recounting.
+        warm = CubeStore(ds)
+        injected = load_store_cubes(warm, path)
+        assert injected == offline.n_cached
+        assert warm.n_cached == offline.n_cached
+        assert warm.cube(("A", "B")) == offline.cube(("A", "B"))
+
+    def test_class_distribution_cube_round_trips(self, tmp_path):
+        ds = make_dataset()
+        store = CubeStore(ds)
+        store.class_distribution_cube()
+        path = tmp_path / "cubes.npz"
+        save_cubes(store, path)
+        cubes = load_cubes(path)
+        assert () in cubes
+        assert cubes[()].class_totals().tolist() == (
+            ds.class_distribution().tolist()
+        )
+
+    def test_empty_store_archive(self, tmp_path):
+        store = CubeStore(make_dataset())
+        path = tmp_path / "empty.npz"
+        assert save_cubes(store, path) == 0
+        assert load_cubes(path) == {}
+
+
+class TestValidation:
+    def test_not_an_archive(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(CubeError, match="not a rule-cube archive"):
+            load_cubes(path)
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        ds = make_dataset()
+        store = CubeStore(ds)
+        store.precompute(include_pairs=False)
+        path = tmp_path / "cubes.npz"
+        save_cubes(store, path)
+
+        other_schema = Schema(
+            [
+                Attribute("A", values=("x", "y", "z")),  # wider domain
+                Attribute("B", values=("p", "q", "r")),
+                Attribute("C", values=("no", "yes")),
+            ],
+            class_attribute="C",
+        )
+        other = CubeStore(
+            Dataset.from_columns(
+                other_schema,
+                {
+                    "A": np.zeros(1, dtype=np.int64),
+                    "B": np.zeros(1, dtype=np.int64),
+                    "C": np.zeros(1, dtype=np.int64),
+                },
+            )
+        )
+        with pytest.raises(CubeError):
+            load_store_cubes(other, path)
+
+
+class TestInject:
+    def test_inject_requires_sorted_key(self):
+        ds = make_dataset()
+        store = CubeStore(ds)
+        cube = store.cube(("A", "B"))
+        with pytest.raises(CubeError, match="sorted"):
+            store.inject(("B", "A"), cube)
+
+    def test_inject_axis_mismatch_rejected(self):
+        ds = make_dataset()
+        store = CubeStore(ds)
+        cube = store.cube(("A", "B")).transpose(("B", "A"))
+        with pytest.raises(CubeError, match="axes"):
+            store.inject(("A", "B"), cube)
+
+    def test_inject_unmanaged_attribute_rejected(self):
+        ds = make_dataset()
+        store = CubeStore(ds, attributes=["A"])
+        full = CubeStore(ds)
+        cube = full.cube(("B",))
+        with pytest.raises(CubeError, match="not managed"):
+            store.inject(("B",), cube)

@@ -1,0 +1,427 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These cover the algebraic properties the paper proves or relies on:
+
+* cube counting is a homomorphism (roll-up = marginalisation, slice =
+  sub-population restriction, duplication scales counts linearly);
+* confidences are proper conditional distributions;
+* the interestingness measure is non-negative, zero exactly at
+  proportionality, and invariant under the documented symmetries;
+* the property-attribute statistic is symmetric in the two
+  sub-populations;
+* the discretiser always produces valid codes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    interestingness,
+    interval_margin,
+    per_value_stats,
+    property_stats,
+)
+from repro.cube import RuleCube, build_cube, rollup, slice_cube
+from repro.dataset import Attribute, Dataset, Schema
+from repro.dataset.discretize import EqualFrequencyDiscretizer
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+count_matrices = arrays(
+    dtype=np.int64,
+    shape=st.tuples(
+        st.integers(1, 6),  # values
+        st.integers(2, 4),  # classes
+    ),
+    elements=st.integers(0, 500),
+)
+
+
+@st.composite
+def count_matrix_pairs(draw):
+    """Two count matrices over the same (values, classes) shape,
+    oriented so the first has the lower overall target-class
+    confidence (the comparator's D_1/D_2 convention)."""
+    shape = (draw(st.integers(1, 6)), draw(st.integers(2, 4)))
+    elements = st.integers(0, 500)
+    c1 = draw(arrays(dtype=np.int64, shape=shape, elements=elements))
+    c2 = draw(arrays(dtype=np.int64, shape=shape, elements=elements))
+    if overall_confidence(c1, 0) > overall_confidence(c2, 0):
+        c1, c2 = c2, c1
+    return c1, c2
+
+
+def overall_confidence(counts, target):
+    total = counts.sum()
+    return counts[:, target].sum() / total if total else 0.0
+
+
+@st.composite
+def datasets(draw, max_rows=60):
+    """Small random fully-categorical data sets."""
+    n_attrs = draw(st.integers(1, 3))
+    arities = [draw(st.integers(1, 4)) for _ in range(n_attrs)]
+    n_classes = draw(st.integers(2, 3))
+    n_rows = draw(st.integers(0, max_rows))
+    attrs = [
+        Attribute(
+            f"A{i}", values=tuple(f"v{j}" for j in range(arity))
+        )
+        for i, arity in enumerate(arities)
+    ]
+    cls = Attribute(
+        "C", values=tuple(f"c{j}" for j in range(n_classes))
+    )
+    schema = Schema(attrs + [cls], class_attribute="C")
+    columns = {}
+    for attr, arity in zip(attrs, arities):
+        columns[attr.name] = np.asarray(
+            draw(
+                st.lists(
+                    st.integers(-1, arity - 1),
+                    min_size=n_rows,
+                    max_size=n_rows,
+                )
+            ),
+            dtype=np.int64,
+        )
+    columns["C"] = np.asarray(
+        draw(
+            st.lists(
+                st.integers(0, n_classes - 1),
+                min_size=n_rows,
+                max_size=n_rows,
+            )
+        ),
+        dtype=np.int64,
+    )
+    return Dataset.from_columns(schema, columns)
+
+
+# ----------------------------------------------------------------------
+# Cube invariants
+# ----------------------------------------------------------------------
+
+
+class TestCubeInvariants:
+    @given(datasets())
+    @settings(max_examples=60, deadline=None)
+    def test_cube_total_bounded_by_rows(self, ds):
+        names = tuple(
+            a.name for a in ds.schema.condition_attributes
+        )
+        cube = build_cube(ds, names)
+        assert cube.total() <= ds.n_rows
+
+    @given(datasets())
+    @settings(max_examples=60, deadline=None)
+    def test_rollup_equals_direct_build(self, ds):
+        names = [a.name for a in ds.schema.condition_attributes]
+        assume(len(names) >= 2)
+        cube = build_cube(ds, tuple(names))
+        dropped = names[0]
+        # A cube excludes rows missing in its own attributes, so the
+        # roll-up matches a direct build only over the rows where the
+        # rolled-up attribute is present.
+        present = ds.select(ds.column(dropped) >= 0)
+        assert rollup(cube, dropped) == build_cube(
+            present, tuple(names[1:])
+        )
+
+    @given(datasets())
+    @settings(max_examples=60, deadline=None)
+    def test_slice_equals_subpopulation_build(self, ds):
+        names = [a.name for a in ds.schema.condition_attributes]
+        assume(len(names) >= 2)
+        cube = build_cube(ds, tuple(names))
+        attr = ds.schema[names[0]]
+        value = attr.values[0]
+        sliced = slice_cube(cube, names[0], value)
+        # Direct build over the sub-population can only differ by rows
+        # with missing values in names[0] (excluded in both).
+        direct = build_cube(ds.where(names[0], value), tuple(names[1:]))
+        assert sliced == direct
+
+    @given(datasets(), st.integers(2, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_duplication_scales_counts(self, ds, k):
+        assume(ds.n_rows > 0)
+        names = tuple(
+            a.name for a in ds.schema.condition_attributes
+        )
+        cube1 = build_cube(ds, names)
+        cubek = build_cube(ds.duplicate(k), names)
+        assert (cubek.counts == k * cube1.counts).all()
+
+    @given(count_matrices)
+    @settings(max_examples=80, deadline=None)
+    def test_confidences_are_conditional_distributions(self, counts):
+        attr = Attribute(
+            "X", values=tuple(f"v{i}" for i in range(counts.shape[0]))
+        )
+        cls = Attribute(
+            "C", values=tuple(f"c{i}" for i in range(counts.shape[1]))
+        )
+        cube = RuleCube([attr], cls, counts)
+        conf = cube.confidences()
+        assert (conf >= 0).all() and (conf <= 1).all()
+        sums = conf.sum(axis=-1)
+        nonempty = counts.sum(axis=-1) > 0
+        assert np.allclose(sums[nonempty], 1.0)
+        assert np.allclose(sums[~nonempty], 0.0)
+
+
+# ----------------------------------------------------------------------
+# Interestingness invariants
+# ----------------------------------------------------------------------
+
+
+class TestMeasureInvariants:
+    @given(count_matrix_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_non_negative(self, pair):
+        c1, c2 = pair
+        stats = per_value_stats(c1, c2, 0, confidence_level=None)
+        cf1 = overall_confidence(c1, 0)
+        cf2 = overall_confidence(c2, 0)
+        assert interestingness(stats, cf1, cf2) >= 0.0
+
+    @given(count_matrices)
+    @settings(max_examples=100, deadline=None)
+    def test_identical_populations_score_zero(self, counts):
+        """Comparing a population against itself is never
+        interesting."""
+        stats = per_value_stats(
+            counts, counts, 0, confidence_level=None
+        )
+        cf = overall_confidence(counts, 0)
+        assert interestingness(stats, cf, cf) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    @given(count_matrices, st.integers(2, 5))
+    @settings(max_examples=100, deadline=None)
+    def test_proportional_scaling_scores_zero(self, counts, k):
+        """Situation 1 generalised: if D_2 is D_1 duplicated k times,
+        confidences match everywhere and M = 0."""
+        scaled = counts * k
+        stats = per_value_stats(
+            counts, scaled, 0, confidence_level=None
+        )
+        cf1 = overall_confidence(counts, 0)
+        cf2 = overall_confidence(scaled, 0)
+        assert cf1 == pytest.approx(cf2)
+        assert interestingness(stats, cf1, cf2) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    @given(count_matrix_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_guard_never_increases_score(self, pair):
+        """The confidence-interval guard is pessimistic: for every
+        value it shrinks (rcf2 - expected), so M with the guard never
+        exceeds M without it."""
+        c1, c2 = pair
+        cf1 = overall_confidence(c1, 0)
+        cf2 = overall_confidence(c2, 0)
+        raw = per_value_stats(c1, c2, 0, confidence_level=None)
+        guarded = per_value_stats(c1, c2, 0, confidence_level=0.95)
+        assert interestingness(guarded, cf1, cf2) <= (
+            interestingness(raw, cf1, cf2) + 1e-9
+        )
+
+    @given(count_matrix_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_score_bounded_by_bad_population(self, pair):
+        """W_k <= N_2k, so M <= |D_2| always."""
+        c1, c2 = pair
+        cf1 = overall_confidence(c1, 0)
+        cf2 = overall_confidence(c2, 0)
+        stats = per_value_stats(c1, c2, 0, confidence_level=None)
+        assert interestingness(stats, cf1, cf2) <= c2.sum() + 1e-9
+
+    @given(count_matrix_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_value_permutation_invariance(self, pair):
+        """Reordering the attribute's values must not change M
+        (the measure sums over values)."""
+        c1, c2 = pair
+        cf1 = overall_confidence(c1, 0)
+        cf2 = overall_confidence(c2, 0)
+        perm = np.arange(c1.shape[0])[::-1]
+        stats_a = per_value_stats(c1, c2, 0, confidence_level=None)
+        stats_b = per_value_stats(
+            c1[perm], c2[perm], 0, confidence_level=None
+        )
+        assert interestingness(stats_a, cf1, cf2) == pytest.approx(
+            interestingness(stats_b, cf1, cf2)
+        )
+
+
+# ----------------------------------------------------------------------
+# Property-attribute and confidence-interval invariants
+# ----------------------------------------------------------------------
+
+count_vectors = arrays(
+    dtype=np.int64,
+    shape=st.integers(1, 10).map(lambda n: (n,)),
+    elements=st.integers(0, 100),
+)
+
+
+@st.composite
+def count_vector_pairs(draw):
+    n = draw(st.integers(1, 10))
+    elements = st.integers(0, 100)
+    make = arrays(dtype=np.int64, shape=(n,), elements=elements)
+    return draw(make), draw(make)
+
+
+class TestPropertyStatsInvariants:
+    @given(count_vector_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_symmetric(self, pair):
+        n1, n2 = pair
+        a = property_stats(n1, n2)
+        b = property_stats(n2, n1)
+        assert a == b
+
+    @given(count_vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_p_plus_t_bounded_by_arity(self, n):
+        stats = property_stats(n, n[::-1].copy())
+        assert 0 <= stats.disjoint + stats.shared <= n.shape[0]
+        assert 0.0 <= stats.ratio <= 1.0
+
+
+class TestIntervalInvariants:
+    @given(
+        st.floats(0.0, 1.0),
+        st.integers(0, 10_000),
+        st.sampled_from([0.90, 0.95, 0.99]),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_margin_non_negative_and_bounded(self, cf, n, level):
+        e = interval_margin(cf, n, level)
+        assert e >= 0.0
+        # Worst case at cf=0.5, n=1: e = z/2 < 1.3.
+        assert e <= 1.3
+
+    @given(st.floats(0.01, 0.99), st.integers(1, 1000))
+    @settings(max_examples=100, deadline=None)
+    def test_margin_monotone_in_level(self, cf, n):
+        assert interval_margin(cf, n, 0.90) <= interval_margin(
+            cf, n, 0.95
+        ) <= interval_margin(cf, n, 0.99)
+
+
+# ----------------------------------------------------------------------
+# Discretiser invariants
+# ----------------------------------------------------------------------
+
+
+class TestDiscretizerInvariants:
+    @given(
+        st.lists(
+            st.floats(
+                -1e6, 1e6, allow_nan=False, allow_infinity=False
+            ),
+            min_size=1,
+            max_size=200,
+        ),
+        st.integers(2, 8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_codes_always_valid(self, values, bins):
+        schema = Schema(
+            [
+                Attribute("X", kind="continuous"),
+                Attribute("C", values=("a", "b")),
+            ],
+            class_attribute="C",
+        )
+        ds = Dataset.from_columns(
+            schema,
+            {
+                "X": np.asarray(values, dtype=float),
+                "C": np.zeros(len(values), dtype=np.int64),
+            },
+        )
+        out = EqualFrequencyDiscretizer(bins).fit_transform(ds)
+        codes = out.column("X")
+        arity = out.schema["X"].arity
+        assert (codes >= 0).all()
+        assert (codes < arity).all()
+        # Order preservation: larger value -> same-or-later interval.
+        order = np.argsort(np.asarray(values))
+        assert (np.diff(codes[order]) >= 0).all()
+
+
+# ----------------------------------------------------------------------
+# Invariants of the extensions (merge, Wilson, one-vs-rest)
+# ----------------------------------------------------------------------
+
+
+class TestMergeInvariants:
+    @given(datasets(), st.integers(0, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_split_merge_round_trips(self, ds, split_at):
+        """Splitting a data set anywhere and merging the halves' cubes
+        reproduces the whole cube (and the merge commutes)."""
+        from repro.cube import build_cube
+
+        split_at = min(split_at, ds.n_rows)
+        head = ds.take(np.arange(split_at))
+        tail = ds.take(np.arange(split_at, ds.n_rows))
+        names = tuple(x.name for x in ds.schema.condition_attributes)
+        whole = build_cube(ds, names)
+        ch = build_cube(head, names)
+        ct = build_cube(tail, names)
+        assert ch.merge(ct) == whole
+        assert ct.merge(ch) == whole
+
+    @given(datasets())
+    @settings(max_examples=40, deadline=None)
+    def test_merge_total_adds(self, ds):
+        from repro.cube import build_cube
+
+        names = tuple(x.name for x in ds.schema.condition_attributes)
+        cube = build_cube(ds, names)
+        assert cube.merge(cube).total() == 2 * cube.total()
+
+
+class TestWilsonInvariants:
+    @given(
+        st.floats(0.0, 1.0),
+        st.integers(1, 100_000),
+        st.sampled_from([0.90, 0.95, 0.99]),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_bounds_contain_point_estimate(self, cf, n, level):
+        from repro.core import wilson_interval
+
+        low, high = wilson_interval(cf, n, level)
+        assert 0.0 <= low <= cf <= high <= 1.0
+
+    @given(st.floats(0.0, 1.0), st.integers(1, 1000))
+    @settings(max_examples=100, deadline=None)
+    def test_positive_width_everywhere(self, cf, n):
+        """The Wilson interval never degenerates (the Wald blind
+        spot)."""
+        from repro.core import wilson_interval
+
+        low, high = wilson_interval(cf, n, 0.95)
+        assert high - low > 0.0
+
+    @given(st.floats(0.01, 0.99), st.integers(1, 500))
+    @settings(max_examples=100, deadline=None)
+    def test_wilson_narrower_than_one(self, cf, n):
+        from repro.core import wilson_interval
+
+        low, high = wilson_interval(cf, n, 0.95)
+        assert high - low < 1.0

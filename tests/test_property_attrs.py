@@ -1,0 +1,98 @@
+"""Unit tests for repro.core.property_attrs (Section IV.C)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DEFAULT_TAU,
+    is_property_attribute,
+    property_stats,
+)
+
+
+class TestPropertyStats:
+    def test_fully_disjoint(self):
+        """The paper's hardware-version case: ph1 only v1, ph2 only
+        v2 -> P=2, T=0, ratio 1."""
+        stats = property_stats(np.array([500, 0]), np.array([0, 480]))
+        assert stats.disjoint == 2
+        assert stats.shared == 0
+        assert stats.ratio == 1.0
+
+    def test_fully_shared(self):
+        stats = property_stats(
+            np.array([10, 20, 30]), np.array([5, 5, 5])
+        )
+        assert stats.disjoint == 0
+        assert stats.shared == 3
+        assert stats.ratio == 0.0
+
+    def test_mixed(self):
+        stats = property_stats(
+            np.array([10, 0, 5, 0]), np.array([10, 5, 0, 0])
+        )
+        assert stats.disjoint == 2  # values 1 and 2
+        assert stats.shared == 1  # value 0
+        assert stats.ratio == pytest.approx(2 / 3)
+
+    def test_both_zero_counts_neither(self):
+        """Values absent from both sides count toward neither P nor
+        T (the (0, 0) case is excluded by both definitions)."""
+        stats = property_stats(np.array([0, 10]), np.array([0, 10]))
+        assert stats.disjoint == 0
+        assert stats.shared == 1
+
+    def test_all_empty_ratio_zero(self):
+        stats = property_stats(np.array([0, 0]), np.array([0, 0]))
+        assert stats.ratio == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            property_stats(np.array([1, 2]), np.array([1]))
+        with pytest.raises(ValueError):
+            property_stats(np.ones((2, 2)), np.ones((2, 2)))
+
+
+class TestIsPropertyAttribute:
+    def test_default_tau_is_paper_value(self):
+        assert DEFAULT_TAU == 0.9
+
+    def test_disjoint_attribute_detected(self):
+        assert is_property_attribute(
+            np.array([100, 0]), np.array([0, 100])
+        )
+
+    def test_shared_attribute_not_detected(self):
+        assert not is_property_attribute(
+            np.array([50, 50]), np.array([40, 60])
+        )
+
+    def test_ratio_exactly_tau_not_property(self):
+        """The paper requires strictly greater than tau."""
+        # P=9, T=1 -> ratio 0.9 == tau -> not a property attribute.
+        n1 = np.array([1] + [0] * 9)
+        n2 = np.array([1] + [1] * 9)
+        assert property_stats(n1, n2).ratio == pytest.approx(0.9)
+        assert not is_property_attribute(n1, n2, tau=0.9)
+
+    def test_one_disjoint_value_insufficient(self):
+        """One never-observed value alone must not condemn an
+        attribute whose other values are all comparable ("we cannot
+        prune an attribute simply because one such value is
+        detected")."""
+        n1 = np.array([100, 100, 100, 100, 0])
+        n2 = np.array([90, 110, 95, 105, 50])
+        assert not is_property_attribute(n1, n2)
+
+    def test_custom_tau(self):
+        n1 = np.array([10, 0])
+        n2 = np.array([10, 10])
+        # ratio = 1/2.
+        assert is_property_attribute(n1, n2, tau=0.4)
+        assert not is_property_attribute(n1, n2, tau=0.6)
+
+    def test_invalid_tau_rejected(self):
+        with pytest.raises(ValueError):
+            is_property_attribute(
+                np.array([1]), np.array([1]), tau=1.5
+            )

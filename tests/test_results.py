@@ -1,0 +1,139 @@
+"""Unit tests for repro.core.results."""
+
+import pytest
+
+from repro.core import (
+    AttributeInterest,
+    ComparisonResult,
+    ValueContribution,
+)
+
+
+def make_contribution(value="morning", n1=100, n2=120, cf1=0.02,
+                      cf2=0.15, e1=0.01, e2=0.02, excess=0.1,
+                      contribution=12.0):
+    return ValueContribution(
+        value=value, n1=n1, n2=n2, cf1=cf1, cf2=cf2, e1=e1, e2=e2,
+        rcf1=cf1 + e1, rcf2=cf2 - e2, excess=excess,
+        contribution=contribution,
+    )
+
+
+def make_entry(attribute="TimeOfCall", score=12.0, is_property=False):
+    return AttributeInterest(
+        attribute=attribute,
+        score=score,
+        contributions=[
+            make_contribution("morning", contribution=12.0),
+            make_contribution("afternoon", cf2=0.02, excess=-0.01,
+                              contribution=0.0),
+            make_contribution("evening", n1=0, n2=50,
+                              contribution=0.0),
+        ],
+        is_property=is_property,
+        property_p=1,
+        property_t=2,
+        property_ratio=1 / 3,
+    )
+
+
+def make_result():
+    return ComparisonResult(
+        pivot_attribute="PhoneModel",
+        value_good="ph1",
+        value_bad="ph2",
+        swapped=False,
+        target_class="drop",
+        cf_good=0.02,
+        cf_bad=0.04,
+        sup_good=1000,
+        sup_bad=900,
+        ranked=[
+            make_entry("TimeOfCall", 12.0),
+            make_entry("Mobility", 3.0),
+        ],
+        property_attributes=[
+            make_entry("Version", 40.0, is_property=True)
+        ],
+        elapsed_seconds=0.01,
+    )
+
+
+class TestValueContribution:
+    def test_intervals(self):
+        c = make_contribution()
+        lo1, hi1 = c.interval1
+        assert lo1 == pytest.approx(0.01)
+        assert hi1 == pytest.approx(0.03)
+        lo2, hi2 = c.interval2
+        assert lo2 == pytest.approx(0.13)
+        assert hi2 == pytest.approx(0.17)
+
+    def test_interval_clipping(self):
+        c = make_contribution(cf1=0.005, e1=0.02)
+        assert c.interval1[0] == 0.0
+
+    def test_disjoint_support(self):
+        assert make_contribution(n1=0, n2=50).disjoint_support
+        assert not make_contribution(n1=10, n2=50).disjoint_support
+        assert not make_contribution(n1=0, n2=0).disjoint_support
+
+    def test_repr(self):
+        assert "morning" in repr(make_contribution())
+
+
+class TestAttributeInterest:
+    def test_top_values_sorted(self):
+        entry = make_entry()
+        top = entry.top_values(2)
+        assert top[0].value == "morning"
+        assert top[0].contribution >= top[1].contribution
+
+    def test_value_lookup(self):
+        entry = make_entry()
+        assert entry.value("afternoon").cf2 == pytest.approx(0.02)
+        with pytest.raises(KeyError):
+            entry.value("midnight")
+
+    def test_repr_tags_property(self):
+        assert "[property]" in repr(make_entry(is_property=True))
+        assert "[property]" not in repr(make_entry())
+
+
+class TestComparisonResult:
+    def test_top(self):
+        result = make_result()
+        assert [e.attribute for e in result.top(1)] == ["TimeOfCall"]
+        assert len(result.top(10)) == 2
+
+    def test_attribute_lookup_spans_both_lists(self):
+        result = make_result()
+        assert result.attribute("Mobility").score == 3.0
+        assert result.attribute("Version").is_property
+        with pytest.raises(KeyError):
+            result.attribute("Missing")
+
+    def test_rank_of(self):
+        result = make_result()
+        assert result.rank_of("TimeOfCall") == 1
+        assert result.rank_of("Mobility") == 2
+        with pytest.raises(KeyError, match="property"):
+            result.rank_of("Version")
+
+    def test_iteration_and_len(self):
+        result = make_result()
+        assert len(result) == 2
+        assert [e.attribute for e in result] == [
+            "TimeOfCall", "Mobility"
+        ]
+
+    def test_summary_mentions_key_facts(self):
+        text = make_result().summary()
+        assert "ph1" in text and "ph2" in text
+        assert "TimeOfCall" in text
+        assert "morning" in text
+        assert "Version" in text  # property list
+
+    def test_repr(self):
+        text = repr(make_result())
+        assert "2 ranked" in text and "1 property" in text

@@ -1,0 +1,122 @@
+"""Unit tests for repro.rules.query (post-processing operators)."""
+
+import pytest
+
+from repro.rules import (
+    ClassAssociationRule,
+    Condition,
+    RuleQuery,
+    group_by_attribute,
+)
+
+
+def rule(conds, label, support=0.1, confidence=0.5, count=10):
+    return ClassAssociationRule(
+        conditions=tuple(Condition(a, v) for a, v in conds),
+        class_label=label,
+        support_count=count,
+        support=support,
+        confidence=confidence,
+    )
+
+
+@pytest.fixture()
+def rules():
+    return [
+        rule([("Phone", "ph1")], "drop", 0.05, 0.2, 50),
+        rule([("Phone", "ph2")], "drop", 0.08, 0.6, 80),
+        rule([("Phone", "ph2"), ("Time", "am")], "drop", 0.03, 0.9, 30),
+        rule([("Time", "am")], "ok", 0.4, 0.95, 400),
+        rule([("Time", "pm"), ("Load", "hi")], "drop", 0.01, 0.3, 10),
+    ]
+
+
+class TestSelection:
+    def test_for_class(self, rules):
+        q = RuleQuery(rules).for_class("drop")
+        assert q.count() == 4
+        assert all(r.class_label == "drop" for r in q)
+
+    def test_with_attribute(self, rules):
+        q = RuleQuery(rules).with_attribute("Time")
+        assert q.count() == 3
+
+    def test_with_condition(self, rules):
+        q = RuleQuery(rules).with_condition("Phone", "ph2")
+        assert q.count() == 2
+
+    def test_without_attribute(self, rules):
+        q = RuleQuery(rules).without_attribute("Phone")
+        assert q.count() == 2
+
+    def test_min_support(self, rules):
+        assert RuleQuery(rules).min_support(0.05).count() == 3
+
+    def test_min_confidence(self, rules):
+        assert RuleQuery(rules).min_confidence(0.6).count() == 3
+
+    def test_max_length(self, rules):
+        assert RuleQuery(rules).max_length(1).count() == 3
+
+    def test_custom_filter(self, rules):
+        q = RuleQuery(rules).filter(lambda r: r.support_count >= 50)
+        assert q.count() == 3
+
+    def test_chaining(self, rules):
+        q = (
+            RuleQuery(rules)
+            .for_class("drop")
+            .with_attribute("Phone")
+            .min_confidence(0.5)
+        )
+        assert q.count() == 2
+
+    def test_immutability(self, rules):
+        base = RuleQuery(rules)
+        base.for_class("drop")
+        assert base.count() == 5  # unchanged
+
+
+class TestOrderingAndExtraction:
+    def test_order_by_confidence_desc(self, rules):
+        ordered = RuleQuery(rules).order_by("confidence").all()
+        confs = [r.confidence for r in ordered]
+        assert confs == sorted(confs, reverse=True)
+
+    def test_order_by_support_asc(self, rules):
+        ordered = RuleQuery(rules).order_by(
+            "support", ascending=True
+        ).all()
+        sups = [r.support for r in ordered]
+        assert sups == sorted(sups)
+
+    def test_order_by_unknown_key(self, rules):
+        with pytest.raises(ValueError, match="unknown sort key"):
+            RuleQuery(rules).order_by("lift")
+
+    def test_take(self, rules):
+        top2 = RuleQuery(rules).order_by("confidence").take(2)
+        assert len(top2) == 2
+        assert top2[0].confidence >= top2[1].confidence
+
+    def test_len_iter_repr(self, rules):
+        q = RuleQuery(rules)
+        assert len(q) == 5
+        assert len(list(q)) == 5
+        assert "5 rules" in repr(q)
+
+
+class TestGroupByAttribute:
+    def test_groups_by_antecedent_attributes(self, rules):
+        groups = group_by_attribute(rules)
+        assert set(groups) == {
+            ("Phone",),
+            ("Phone", "Time"),
+            ("Time",),
+            ("Load", "Time"),
+        }
+        assert len(groups[("Phone",)]) == 2
+
+    def test_groups_partition_rules(self, rules):
+        groups = group_by_attribute(rules)
+        assert sum(len(g) for g in groups.values()) == len(rules)

@@ -1,0 +1,202 @@
+"""Unit tests for repro.cube.rulecube."""
+
+import numpy as np
+import pytest
+
+from repro.cube import CubeError, RuleCube
+from repro.dataset import Attribute
+
+
+A1 = Attribute("A1", values=("a", "b"))
+A2 = Attribute("A2", values=("e", "f", "g"))
+CLS = Attribute("C", values=("no", "yes"))
+
+
+def make_cube():
+    counts = np.array(
+        [
+            [[5, 10], [0, 0], [3, 2]],
+            [[4, 1], [7, 3], [2, 8]],
+        ],
+        dtype=np.int64,
+    )
+    return RuleCube([A1, A2], CLS, counts)
+
+
+class TestConstruction:
+    def test_shape_validation(self):
+        with pytest.raises(CubeError, match="shape"):
+            RuleCube([A1], CLS, np.zeros((3, 2), dtype=int))
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(CubeError, match="non-negative"):
+            RuleCube([A1], CLS, np.array([[-1, 0], [0, 0]]))
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(CubeError, match="duplicate"):
+            RuleCube([A1, A1], CLS, np.zeros((2, 2, 2), dtype=int))
+
+    def test_class_as_condition_rejected(self):
+        with pytest.raises(CubeError, match="duplicate"):
+            RuleCube([CLS], CLS, np.zeros((2, 2), dtype=int))
+
+    def test_continuous_attribute_rejected(self):
+        cont = Attribute("X", kind="continuous")
+        with pytest.raises(CubeError, match="categorical"):
+            RuleCube([cont], CLS, np.zeros((1, 2), dtype=int))
+
+    def test_counts_read_only(self):
+        cube = make_cube()
+        with pytest.raises(ValueError):
+            cube.counts[0, 0, 0] = 99
+
+    def test_zero_condition_cube(self):
+        cube = RuleCube([], CLS, np.array([30, 10]))
+        assert cube.n_dims == 1
+        assert cube.total() == 40
+        assert cube.class_totals().tolist() == [30, 10]
+
+
+class TestStructure:
+    def test_dimensions(self):
+        cube = make_cube()
+        assert cube.n_dims == 3
+        assert cube.names == ("A1", "A2")
+        assert cube.n_rules == 2 * 3 * 2
+
+    def test_axis_lookup(self):
+        cube = make_cube()
+        assert cube.axis_of("A2") == 1
+        assert cube.attribute("A1") is A1
+        with pytest.raises(CubeError, match="not a dimension"):
+            cube.axis_of("Z")
+
+    def test_totals(self):
+        cube = make_cube()
+        assert cube.total() == 45
+        assert cube.class_totals().tolist() == [21, 24]
+
+
+class TestMeasures:
+    def test_cell_count(self):
+        cube = make_cube()
+        assert cube.cell_count({"A1": "a", "A2": "e"}, "yes") == 10
+        assert cube.cell_count({"A1": "b", "A2": "g"}, "no") == 2
+
+    def test_condition_count(self):
+        cube = make_cube()
+        assert cube.condition_count({"A1": "a", "A2": "e"}) == 15
+
+    def test_partial_address_rejected(self):
+        cube = make_cube()
+        with pytest.raises(CubeError, match="every cube dimension"):
+            cube.cell_count({"A1": "a"}, "yes")
+
+    def test_support(self):
+        cube = make_cube()
+        assert cube.support({"A1": "a", "A2": "e"}, "yes") == (
+            pytest.approx(10 / 45)
+        )
+
+    def test_confidence_equation_1(self):
+        cube = make_cube()
+        assert cube.confidence({"A1": "a", "A2": "e"}, "yes") == (
+            pytest.approx(10 / 15)
+        )
+
+    def test_empty_cell_confidence_zero(self):
+        cube = make_cube()
+        assert cube.confidence({"A1": "a", "A2": "f"}, "yes") == 0.0
+        assert cube.support({"A1": "a", "A2": "f"}, "yes") == 0.0
+
+    def test_vectorised_confidences_match_scalar(self):
+        cube = make_cube()
+        conf = cube.confidences()
+        for i, v1 in enumerate(A1.values):
+            for j, v2 in enumerate(A2.values):
+                for c, label in enumerate(CLS.values):
+                    assert conf[i, j, c] == pytest.approx(
+                        cube.confidence(
+                            {"A1": v1, "A2": v2}, label
+                        )
+                    )
+
+    def test_confidences_sum_to_one_or_zero(self):
+        conf = make_cube().confidences()
+        sums = conf.sum(axis=-1)
+        assert np.all(
+            (np.isclose(sums, 1.0)) | (np.isclose(sums, 0.0))
+        )
+
+    def test_supports_sum_to_one(self):
+        sup = make_cube().supports()
+        assert sup.sum() == pytest.approx(1.0)
+
+    def test_empty_cube_measures(self):
+        cube = RuleCube([A1], CLS, np.zeros((2, 2), dtype=int))
+        assert cube.support({"A1": "a"}, "yes") == 0.0
+        assert cube.confidence({"A1": "a"}, "yes") == 0.0
+        assert cube.supports().sum() == 0.0
+
+
+class TestRules:
+    def test_rules_cover_all_cells(self):
+        cube = make_cube()
+        rules = list(cube.rules())
+        assert len(rules) == cube.n_rules
+
+    def test_rules_respect_thresholds(self):
+        cube = make_cube()
+        rules = list(
+            cube.rules(min_support_count=3, min_confidence=0.5)
+        )
+        assert all(r.support_count >= 3 for r in rules)
+        assert all(r.confidence >= 0.5 for r in rules)
+
+    def test_single_rule_materialisation(self):
+        cube = make_cube()
+        rule = cube.rule({"A1": "a", "A2": "e"}, "yes")
+        assert rule.support_count == 10
+        assert rule.confidence == pytest.approx(2 / 3)
+        assert rule.class_label == "yes"
+        assert {c.attribute for c in rule.conditions} == {"A1", "A2"}
+
+
+class TestTranspose:
+    def test_transpose_reorders_axes(self):
+        cube = make_cube()
+        flipped = cube.transpose(("A2", "A1"))
+        assert flipped.names == ("A2", "A1")
+        assert flipped.cell_count(
+            {"A1": "a", "A2": "e"}, "yes"
+        ) == 10
+        assert flipped.total() == cube.total()
+
+    def test_transpose_invalid_permutation(self):
+        with pytest.raises(CubeError, match="permutation"):
+            make_cube().transpose(("A1",))
+
+    def test_double_transpose_round_trips(self):
+        cube = make_cube()
+        assert cube.transpose(("A2", "A1")).transpose(
+            ("A1", "A2")
+        ) == cube
+
+
+class TestEquality:
+    def test_equal_cubes(self):
+        assert make_cube() == make_cube()
+
+    def test_unequal_counts(self):
+        other = RuleCube(
+            [A1, A2], CLS, np.zeros((2, 3, 2), dtype=int)
+        )
+        assert make_cube() != other
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(make_cube())
+
+    def test_repr(self):
+        text = repr(make_cube())
+        assert "A1(2)" in text and "C(2)" in text and "45" in text

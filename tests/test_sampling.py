@@ -1,0 +1,127 @@
+"""Unit tests for repro.dataset.sampling."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import (
+    Attribute,
+    Dataset,
+    DatasetError,
+    Schema,
+    random_sample,
+    stratified_sample,
+    unbalanced_sample,
+)
+
+
+def skewed_dataset(n_major=900, n_minor_a=80, n_minor_b=20):
+    schema = Schema(
+        [
+            Attribute("A", values=("x", "y")),
+            Attribute("C", values=("ok", "drop", "fail")),
+        ],
+        class_attribute="C",
+    )
+    c = np.concatenate(
+        [
+            np.zeros(n_major, dtype=np.int64),
+            np.ones(n_minor_a, dtype=np.int64),
+            np.full(n_minor_b, 2, dtype=np.int64),
+        ]
+    )
+    a = np.arange(c.size) % 2
+    return Dataset.from_columns(schema, {"A": a, "C": c})
+
+
+class TestUnbalancedSample:
+    def test_keeps_all_minority(self):
+        ds = skewed_dataset()
+        out = unbalanced_sample(ds, ratio=1.0, seed=1)
+        dist = out.class_distribution()
+        assert dist[1] == 80
+        assert dist[2] == 20
+
+    def test_majority_downsampled_to_ratio(self):
+        ds = skewed_dataset()
+        out = unbalanced_sample(ds, ratio=1.0, seed=1)
+        assert out.class_distribution()[0] == 100  # = minority total
+
+    def test_ratio_two(self):
+        ds = skewed_dataset()
+        out = unbalanced_sample(ds, ratio=2.0, seed=1)
+        assert out.class_distribution()[0] == 200
+
+    def test_ratio_larger_than_available_keeps_all(self):
+        ds = skewed_dataset(n_major=50)
+        out = unbalanced_sample(ds, ratio=5.0, seed=1)
+        assert out.class_distribution()[0] == 50
+
+    def test_explicit_majority_class(self):
+        ds = skewed_dataset()
+        out = unbalanced_sample(
+            ds, majority_class="ok", ratio=0.5, seed=2
+        )
+        assert out.class_distribution()[0] == 50
+
+    def test_deterministic_with_seed(self):
+        ds = skewed_dataset()
+        a = unbalanced_sample(ds, seed=42)
+        b = unbalanced_sample(ds, seed=42)
+        assert a.column("A").tolist() == b.column("A").tolist()
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(DatasetError):
+            unbalanced_sample(skewed_dataset(), ratio=0.0)
+
+    def test_row_order_preserved(self):
+        ds = skewed_dataset()
+        out = unbalanced_sample(ds, seed=3)
+        codes = out.class_codes
+        # All majority rows come before minority rows in the source;
+        # sorting indices keeps that order.
+        first_minor = int(np.argmax(codes > 0))
+        assert (codes[first_minor:] > 0).all()
+
+
+class TestRandomSample:
+    def test_fraction_size(self):
+        ds = skewed_dataset()
+        out = random_sample(ds, 0.1, seed=0)
+        assert len(out) == 100
+
+    def test_full_fraction_returns_same_object(self):
+        ds = skewed_dataset()
+        assert random_sample(ds, 1.0) is ds
+
+    def test_invalid_fraction_rejected(self):
+        ds = skewed_dataset()
+        with pytest.raises(DatasetError):
+            random_sample(ds, 0.0)
+        with pytest.raises(DatasetError):
+            random_sample(ds, 1.5)
+
+    def test_deterministic(self):
+        ds = skewed_dataset()
+        a = random_sample(ds, 0.2, seed=9)
+        b = random_sample(ds, 0.2, seed=9)
+        assert a.class_codes.tolist() == b.class_codes.tolist()
+
+
+class TestStratifiedSample:
+    def test_exact_counts(self):
+        ds = skewed_dataset()
+        out = stratified_sample(ds, [10, 20, 5], seed=0)
+        assert out.class_distribution().tolist() == [10, 20, 5]
+
+    def test_short_class_contributes_all(self):
+        ds = skewed_dataset(n_minor_b=3)
+        out = stratified_sample(ds, [10, 10, 10], seed=0)
+        assert out.class_distribution()[2] == 3
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(DatasetError, match="one count per class"):
+            stratified_sample(skewed_dataset(), [1, 2])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(DatasetError, match="non-negative"):
+            stratified_sample(skewed_dataset(), [1, -1, 1])

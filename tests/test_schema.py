@@ -1,0 +1,210 @@
+"""Unit tests for repro.dataset.schema."""
+
+import pytest
+
+from repro.dataset import (
+    CATEGORICAL,
+    CONTINUOUS,
+    Attribute,
+    Schema,
+    SchemaError,
+)
+
+
+class TestAttribute:
+    def test_categorical_basics(self):
+        attr = Attribute("PhoneModel", values=("ph1", "ph2", "ph3"))
+        assert attr.name == "PhoneModel"
+        assert attr.kind == CATEGORICAL
+        assert attr.is_categorical
+        assert not attr.is_continuous
+        assert attr.arity == 3
+        assert attr.values == ("ph1", "ph2", "ph3")
+
+    def test_code_round_trip(self):
+        attr = Attribute("A", values=("x", "y", "z"))
+        for code, value in enumerate(attr.values):
+            assert attr.code_of(value) == code
+            assert attr.value_of(code) == value
+
+    def test_code_of_unknown_value_raises(self):
+        attr = Attribute("A", values=("x",))
+        with pytest.raises(SchemaError, match="not in the domain"):
+            attr.code_of("nope")
+
+    def test_value_of_out_of_range_raises(self):
+        attr = Attribute("A", values=("x", "y"))
+        with pytest.raises(SchemaError, match="out of range"):
+            attr.value_of(2)
+        with pytest.raises(SchemaError, match="out of range"):
+            attr.value_of(-1)
+
+    def test_continuous_attribute(self):
+        attr = Attribute("Signal", kind=CONTINUOUS)
+        assert attr.is_continuous
+        with pytest.raises(SchemaError, match="no value domain"):
+            _ = attr.values
+        with pytest.raises(SchemaError):
+            _ = attr.arity
+
+    def test_continuous_with_values_rejected(self):
+        with pytest.raises(SchemaError, match="cannot declare values"):
+            Attribute("Signal", kind=CONTINUOUS, values=("a",))
+
+    def test_categorical_without_values_rejected(self):
+        with pytest.raises(SchemaError, match="must declare"):
+            Attribute("A", kind=CATEGORICAL)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(SchemaError, match="at least one value"):
+            Attribute("A", values=())
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Attribute("A", values=("x", "x"))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError, match="unknown attribute kind"):
+            Attribute("A", kind="ordinal", values=("x",))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError, match="non-empty"):
+            Attribute("", values=("x",))
+
+    def test_values_are_stringified(self):
+        attr = Attribute("A", values=(1, 2, 3))
+        assert attr.values == ("1", "2", "3")
+        assert attr.code_of("2") == 1
+
+    def test_with_values_converts_to_categorical(self):
+        cont = Attribute("Signal", kind=CONTINUOUS)
+        cat = cont.with_values(("low", "high"))
+        assert cat.is_categorical
+        assert cat.name == "Signal"
+        assert cat.values == ("low", "high")
+
+    def test_equality_and_hash(self):
+        a = Attribute("A", values=("x", "y"))
+        b = Attribute("A", values=("x", "y"))
+        c = Attribute("A", values=("y", "x"))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "A"  # not an Attribute
+
+    def test_repr_mentions_name(self):
+        assert "Signal" in repr(Attribute("Signal", kind=CONTINUOUS))
+        assert "A" in repr(Attribute("A", values=("x",)))
+
+
+class TestSchema:
+    def make(self):
+        return Schema(
+            [
+                Attribute("A", values=("x", "y")),
+                Attribute("B", kind=CONTINUOUS),
+                Attribute("C", values=("no", "yes")),
+            ],
+            class_attribute="C",
+        )
+
+    def test_basics(self):
+        schema = self.make()
+        assert len(schema) == 3
+        assert schema.names == ("A", "B", "C")
+        assert schema.class_name == "C"
+        assert schema.class_attribute.name == "C"
+        assert schema.classes == ("no", "yes")
+        assert schema.n_classes == 2
+
+    def test_condition_attributes_exclude_class(self):
+        schema = self.make()
+        assert [a.name for a in schema.condition_attributes] == ["A", "B"]
+
+    def test_contains_and_getitem(self):
+        schema = self.make()
+        assert "A" in schema
+        assert "missing" not in schema
+        assert schema["B"].is_continuous
+        with pytest.raises(SchemaError, match="no attribute"):
+            schema["missing"]
+
+    def test_iteration_order(self):
+        schema = self.make()
+        assert [a.name for a in schema] == ["A", "B", "C"]
+
+    def test_index_of(self):
+        schema = self.make()
+        assert schema.index_of("B") == 1
+        with pytest.raises(SchemaError):
+            schema.index_of("missing")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema(
+                [
+                    Attribute("A", values=("x",)),
+                    Attribute("A", values=("y",)),
+                ],
+                class_attribute="A",
+            )
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(SchemaError, match="not in the schema"):
+            Schema([Attribute("A", values=("x",))], class_attribute="C")
+
+    def test_continuous_class_rejected(self):
+        with pytest.raises(SchemaError, match="must be categorical"):
+            Schema(
+                [
+                    Attribute("A", values=("x",)),
+                    Attribute("C", kind=CONTINUOUS),
+                ],
+                class_attribute="C",
+            )
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError, match="at least one attribute"):
+            Schema([], class_attribute="C")
+
+    def test_replace_swaps_attribute(self):
+        schema = self.make()
+        replaced = schema.replace(
+            Attribute("B", values=("low", "high"))
+        )
+        assert replaced["B"].is_categorical
+        assert replaced.names == schema.names
+        # Original untouched.
+        assert schema["B"].is_continuous
+
+    def test_replace_unknown_rejected(self):
+        schema = self.make()
+        with pytest.raises(SchemaError, match="unknown attribute"):
+            schema.replace(Attribute("Z", values=("q",)))
+
+    def test_project_keeps_class(self):
+        schema = self.make()
+        projected = schema.project(["A", "C"])
+        assert projected.names == ("A", "C")
+        assert projected.class_name == "C"
+
+    def test_project_requires_class(self):
+        schema = self.make()
+        with pytest.raises(SchemaError, match="retain the class"):
+            schema.project(["A", "B"])
+
+    def test_project_unknown_rejected(self):
+        schema = self.make()
+        with pytest.raises(SchemaError, match="unknown attributes"):
+            schema.project(["A", "Z", "C"])
+
+    def test_equality(self):
+        assert self.make() == self.make()
+        other = Schema(
+            [
+                Attribute("A", values=("x", "y")),
+                Attribute("C", values=("no", "yes")),
+            ],
+            class_attribute="C",
+        )
+        assert self.make() != other

@@ -1,0 +1,105 @@
+"""Unit tests for the interactive shell (repro.workbench.shell).
+
+The shell is driven programmatically: commands are queued into
+``cmdqueue`` and the output captured through a StringIO stdout.
+"""
+
+import io
+
+import pytest
+
+from repro.workbench import OpportunityMap, OpportunityShell
+
+
+def run_shell(workbench, commands):
+    out = io.StringIO()
+    shell = OpportunityShell(workbench, stdout=out)
+    shell.cmdqueue = list(commands) + ["quit"]
+    shell.cmdloop(intro="")
+    return out.getvalue(), shell
+
+
+@pytest.fixture(scope="module")
+def wb(call_log):
+    return OpportunityMap(call_log)
+
+
+class TestShellCommands:
+    def test_overview(self, wb):
+        out, _ = run_shell(wb, ["overview PhoneModel TimeOfCall"])
+        assert "PhoneModel" in out
+        assert "dropped" in out
+
+    def test_detail(self, wb):
+        out, _ = run_shell(wb, ["detail PhoneModel dropped"])
+        assert "ph2" in out
+        assert "%" in out
+
+    def test_detail_usage_error(self, wb):
+        out, _ = run_shell(wb, ["detail"])
+        assert "usage: detail" in out
+
+    def test_trends(self, wb):
+        out, _ = run_shell(wb, ["trends TimeOfCall"])
+        assert "dropped" in out
+        assert any(a in out for a in "↑↓→↕")
+
+    def test_compare_and_explain(self, wb):
+        out, shell = run_shell(
+            wb,
+            [
+                "compare PhoneModel ph1 ph2 dropped",
+                "explain",
+            ],
+        )
+        assert "TimeOfCall" in out
+        assert shell.last_result is not None
+        assert shell.last_result.value_bad == "ph2"
+
+    def test_compare_usage_error(self, wb):
+        out, _ = run_shell(wb, ["compare PhoneModel ph1"])
+        assert "usage: compare" in out
+
+    def test_compare_bad_value_reported(self, wb):
+        out, _ = run_shell(
+            wb, ["compare PhoneModel ph1 ph99 dropped"]
+        )
+        assert "error:" in out
+
+    def test_vsrest(self, wb):
+        out, shell = run_shell(wb, ["vsrest PhoneModel ph2 dropped"])
+        assert "not-ph2" in out
+        assert shell.last_result is not None
+
+    def test_pairs(self, wb):
+        out, _ = run_shell(wb, ["pairs PhoneModel dropped"])
+        assert "Pairwise gaps" in out
+        assert "ph1" in out
+
+    def test_explain_without_compare(self, wb):
+        out, _ = run_shell(wb, ["explain"])
+        assert "run a compare" in out
+
+    def test_impressions(self, wb):
+        out, _ = run_shell(wb, ["impressions"])
+        assert "General impressions" in out
+
+    def test_log_counts_operations(self, wb):
+        out, shell = run_shell(
+            wb, ["trends Band", "detail Band", "log"]
+        )
+        assert "2 operations" in out
+        assert shell.session.n_operations == 2
+
+    def test_unknown_command(self, wb):
+        out, _ = run_shell(wb, ["frobnicate now"])
+        assert "unknown command 'frobnicate'" in out
+
+    def test_empty_line_is_noop(self, wb):
+        out, shell = run_shell(wb, ["", "  "])
+        assert shell.session.n_operations == 0
+
+    def test_eof_quits(self, wb):
+        out = io.StringIO()
+        shell = OpportunityShell(wb, stdout=out)
+        assert shell.do_EOF("") is True

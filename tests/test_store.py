@@ -1,0 +1,115 @@
+"""Unit tests for repro.cube.store."""
+
+import numpy as np
+import pytest
+
+from repro.cube import CubeError, CubeStore, build_cube
+from repro.dataset import Attribute, Dataset, Schema
+
+
+def make_dataset(n_attrs=4, n=100):
+    attrs = [
+        Attribute(f"A{i}", values=("0", "1", "2")) for i in range(n_attrs)
+    ]
+    schema = Schema(
+        attrs + [Attribute("C", values=("no", "yes"))],
+        class_attribute="C",
+    )
+    rng = np.random.default_rng(3)
+    columns = {a.name: rng.integers(0, 3, n) for a in attrs}
+    columns["C"] = rng.integers(0, 2, n)
+    return Dataset.from_columns(schema, columns)
+
+
+class TestCubeStore:
+    def test_defaults_to_all_condition_attributes(self):
+        store = CubeStore(make_dataset())
+        assert store.attributes == ("A0", "A1", "A2", "A3")
+
+    def test_lazy_cube_matches_direct_build(self):
+        ds = make_dataset()
+        store = CubeStore(ds)
+        assert store.cube(("A0", "A1")) == build_cube(ds, ("A0", "A1"))
+
+    def test_cache_is_used(self):
+        store = CubeStore(make_dataset())
+        assert store.n_cached == 0
+        store.cube(("A0", "A1"))
+        assert store.n_cached == 1
+        store.cube(("A0", "A1"))
+        assert store.n_cached == 1
+
+    def test_reversed_order_served_by_transpose(self):
+        ds = make_dataset()
+        store = CubeStore(ds)
+        store.cube(("A0", "A1"))
+        flipped = store.cube(("A1", "A0"))
+        assert store.n_cached == 1  # no second count pass
+        assert flipped == build_cube(ds, ("A1", "A0"))
+
+    def test_single_and_pair_helpers(self):
+        ds = make_dataset()
+        store = CubeStore(ds)
+        assert store.single_cube("A2") == build_cube(ds, ("A2",))
+        assert store.pair_cube("A1", "A3") == build_cube(
+            ds, ("A1", "A3")
+        )
+
+    def test_class_distribution_cube(self):
+        ds = make_dataset()
+        store = CubeStore(ds)
+        cube = store.class_distribution_cube()
+        assert cube.class_totals().tolist() == (
+            ds.class_distribution().tolist()
+        )
+
+    def test_precompute_builds_all_pairs(self):
+        store = CubeStore(make_dataset(n_attrs=4))
+        built = store.precompute()
+        # 4 singles + C(4,2)=6 pairs.
+        assert built == 4 + 6
+        assert store.n_cached == 10
+        # Idempotent.
+        assert store.precompute() == 0
+
+    def test_precompute_singles_only(self):
+        store = CubeStore(make_dataset(n_attrs=3))
+        assert store.precompute(include_pairs=False) == 3
+
+    def test_unmanaged_attribute_rejected(self):
+        store = CubeStore(make_dataset(), attributes=["A0", "A1"])
+        with pytest.raises(CubeError, match="not managed"):
+            store.cube(("A2",))
+
+    def test_duplicate_request_rejected(self):
+        store = CubeStore(make_dataset())
+        with pytest.raises(CubeError, match="duplicate"):
+            store.cube(("A0", "A0"))
+
+    def test_class_attribute_not_allowed_in_subset(self):
+        with pytest.raises(CubeError, match="class attribute"):
+            CubeStore(make_dataset(), attributes=["A0", "C"])
+
+    def test_continuous_attribute_rejected(self):
+        schema = Schema(
+            [
+                Attribute("X", kind="continuous"),
+                Attribute("C", values=("no", "yes")),
+            ],
+            class_attribute="C",
+        )
+        ds = Dataset.from_columns(
+            schema, {"X": np.array([1.0]), "C": np.array([0])}
+        )
+        with pytest.raises(CubeError, match="continuous"):
+            CubeStore(ds, attributes=["X"])
+
+    def test_invalidate_clears_cache(self):
+        store = CubeStore(make_dataset())
+        store.precompute()
+        store.invalidate()
+        assert store.n_cached == 0
+
+    def test_repr(self):
+        store = CubeStore(make_dataset())
+        assert "4 attributes" in repr(store)

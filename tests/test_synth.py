@@ -1,0 +1,228 @@
+"""Unit tests for repro.synth (planted effects and generators)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import CONTINUOUS
+from repro.synth import (
+    CLASSES,
+    CallLogConfig,
+    PlantedEffect,
+    attribute_sweep_dataset,
+    generate_call_logs,
+    paper_example_config,
+    synthetic_dataset,
+)
+
+
+class TestPlantedEffect:
+    def test_basics(self):
+        effect = PlantedEffect(
+            {"PhoneModel": "ph2", "TimeOfCall": "morning"},
+            "dropped",
+            6.0,
+        )
+        assert effect.factor == 6.0
+        assert effect.class_label == "dropped"
+        assert effect.attributes == ("PhoneModel", "TimeOfCall")
+        assert effect.is_interaction
+
+    def test_single_condition_not_interaction(self):
+        effect = PlantedEffect({"A": "x"}, "dropped", 2.0)
+        assert not effect.is_interaction
+
+    def test_empty_conditions_rejected(self):
+        with pytest.raises(ValueError):
+            PlantedEffect({}, "dropped", 2.0)
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(ValueError):
+            PlantedEffect({"A": "x"}, "dropped", 0.0)
+        with pytest.raises(ValueError):
+            PlantedEffect({"A": "x"}, "dropped", -1.0)
+
+    def test_mask(self):
+        effect = PlantedEffect({"A": "x", "B": "p"}, "dropped", 2.0)
+        columns = {
+            "A": np.array([0, 0, 1, 0]),
+            "B": np.array([0, 1, 0, 0]),
+        }
+        codes = {"A": {"x": 0, "y": 1}, "B": {"p": 0, "q": 1}}
+        assert effect.mask(columns, codes).tolist() == [
+            True, False, False, True
+        ]
+
+    def test_mask_unknown_value_rejected(self):
+        effect = PlantedEffect({"A": "zzz"}, "dropped", 2.0)
+        with pytest.raises(ValueError, match="unknown"):
+            effect.mask({"A": np.array([0])}, {"A": {"x": 0}})
+
+    def test_equality_and_hash(self):
+        a = PlantedEffect({"A": "x", "B": "y"}, "dropped", 2.0)
+        b = PlantedEffect({"B": "y", "A": "x"}, "dropped", 2.0)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_repr(self):
+        text = repr(PlantedEffect({"A": "x"}, "dropped", 6.0))
+        assert "A=x" in text and "x6" in text
+
+
+class TestCallLogGenerator:
+    def test_record_count_and_schema(self):
+        ds = generate_call_logs(CallLogConfig(n_records=1000, seed=1))
+        assert ds.n_rows == 1000
+        assert ds.schema.class_name == "Disposition"
+        assert ds.schema.classes == CLASSES
+        assert "PhoneModel" in ds.schema
+        assert ds.schema["SignalStrength"].kind == CONTINUOUS
+
+    def test_deterministic(self):
+        cfg = CallLogConfig(n_records=500, seed=42)
+        a = generate_call_logs(cfg)
+        b = generate_call_logs(cfg)
+        assert a.class_codes.tolist() == b.class_codes.tolist()
+        assert a.column("PhoneModel").tolist() == (
+            b.column("PhoneModel").tolist()
+        )
+
+    def test_class_skew(self):
+        """Successful calls dominate, as in the paper's data."""
+        ds = generate_call_logs(CallLogConfig(n_records=20000, seed=2))
+        dist = ds.class_distribution()
+        assert dist[0] / dist.sum() > 0.85
+
+    def test_planted_effect_visible_in_rates(self):
+        ds = generate_call_logs(paper_example_config(30000, seed=3))
+        ph2 = ds.where("PhoneModel", "ph2")
+        morning = ph2.where("TimeOfCall", "morning")
+        evening = ph2.where("TimeOfCall", "evening")
+        rate = lambda d: d.class_distribution()[1] / d.n_rows
+        assert rate(morning) > 3 * rate(evening)
+
+    def test_hardware_version_tied_to_model(self):
+        ds = generate_call_logs(CallLogConfig(n_records=2000, seed=4))
+        phones = ds.column("PhoneModel")
+        versions = ds.column("HardwareVersion")
+        assert (versions == phones % 2).all()
+
+    def test_noise_attribute_count(self):
+        cfg = CallLogConfig(n_records=100, n_noise_attributes=3,
+                            seed=5)
+        ds = generate_call_logs(cfg)
+        noise = [n for n in ds.schema.names if n.startswith("Noise")]
+        assert len(noise) == 3
+
+    def test_optional_columns_removable(self):
+        cfg = CallLogConfig(
+            n_records=100,
+            include_signal_strength=False,
+            include_hardware_version=False,
+            seed=6,
+        )
+        ds = generate_call_logs(cfg)
+        assert "SignalStrength" not in ds.schema
+        assert "HardwareVersion" not in ds.schema
+
+    def test_missing_rate(self):
+        cfg = CallLogConfig(n_records=5000, missing_rate=0.1, seed=7)
+        ds = generate_call_logs(cfg)
+        frac = ds.missing_count("TimeOfCall") / ds.n_rows
+        assert 0.05 < frac < 0.15
+
+    def test_phone_factors_validation(self):
+        with pytest.raises(ValueError, match="one factor per"):
+            generate_call_logs(
+                CallLogConfig(
+                    n_records=10,
+                    n_phone_models=3,
+                    phone_drop_factors=(1.0, 2.0),
+                )
+            )
+        with pytest.raises(ValueError, match="positive"):
+            generate_call_logs(
+                CallLogConfig(
+                    n_records=10,
+                    n_phone_models=2,
+                    phone_drop_factors=(1.0, -2.0),
+                )
+            )
+
+    def test_effect_on_unknown_class_rejected(self):
+        cfg = CallLogConfig(
+            n_records=10,
+            effects=[PlantedEffect({"Band": "850MHz"}, "exploded", 2.0)],
+        )
+        with pytest.raises(ValueError, match="not one of"):
+            generate_call_logs(cfg)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            generate_call_logs(CallLogConfig(n_records=-1))
+        with pytest.raises(ValueError):
+            generate_call_logs(CallLogConfig(n_phone_models=0))
+        with pytest.raises(ValueError):
+            generate_call_logs(CallLogConfig(missing_rate=1.0))
+
+    def test_setup_failure_effects_supported(self):
+        cfg = CallLogConfig(
+            n_records=20000,
+            seed=8,
+            effects=[
+                PlantedEffect(
+                    {"NetworkLoad": "high"}, "setup-failed", 5.0
+                )
+            ],
+        )
+        ds = generate_call_logs(cfg)
+        high = ds.where("NetworkLoad", "high")
+        low = ds.where("NetworkLoad", "low")
+        rate = lambda d: d.class_distribution()[2] / d.n_rows
+        assert rate(high) > 2 * rate(low)
+
+
+class TestSyntheticDataset:
+    def test_shape(self):
+        ds = synthetic_dataset(1000, 10, arity=3, n_classes=4)
+        assert ds.n_rows == 1000
+        assert len(ds.schema.condition_attributes) == 10
+        assert ds.schema.n_classes == 4
+        assert all(
+            a.arity == 3 for a in ds.schema.condition_attributes
+        )
+
+    def test_majority_skew(self):
+        ds = synthetic_dataset(20000, 5, majority_share=0.9, seed=2)
+        dist = ds.class_distribution()
+        assert dist[0] / dist.sum() > 0.75
+
+    def test_informative_attributes_matter(self):
+        from repro.cube import CubeStore
+        from repro.gi import rank_influential
+
+        ds = synthetic_dataset(
+            20000, 6, n_informative=2, seed=3
+        )
+        ranked = rank_influential(CubeStore(ds))
+        top2 = {name for name, _ in ranked[:2]}
+        assert top2 == {"A001", "A002"}
+
+    def test_deterministic(self):
+        a = synthetic_dataset(500, 5, seed=9)
+        b = synthetic_dataset(500, 5, seed=9)
+        assert a.class_codes.tolist() == b.class_codes.tolist()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_dataset(10, 0)
+        with pytest.raises(ValueError):
+            synthetic_dataset(10, 2, arity=1)
+        with pytest.raises(ValueError):
+            synthetic_dataset(10, 2, n_classes=1)
+        with pytest.raises(ValueError):
+            synthetic_dataset(10, 2, majority_share=1.0)
+
+    def test_sweep_wrapper(self):
+        ds = attribute_sweep_dataset(12, n_records=100)
+        assert len(ds.schema.condition_attributes) == 12
+        assert ds.n_rows == 100

@@ -1,0 +1,245 @@
+"""Unit tests for repro.dataset.table."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import (
+    Attribute,
+    Dataset,
+    DatasetError,
+    MISSING,
+    Schema,
+)
+
+
+def make_schema():
+    return Schema(
+        [
+            Attribute("A", values=("x", "y")),
+            Attribute("B", kind="continuous"),
+            Attribute("C", values=("no", "yes")),
+        ],
+        class_attribute="C",
+    )
+
+
+def make_dataset():
+    schema = make_schema()
+    return Dataset.from_columns(
+        schema,
+        {
+            "A": np.array([0, 1, 0, 1, -1]),
+            "B": np.array([1.0, 2.0, np.nan, 4.0, 5.0]),
+            "C": np.array([0, 1, 1, 0, 1]),
+        },
+    )
+
+
+class TestConstruction:
+    def test_from_columns_basics(self):
+        ds = make_dataset()
+        assert len(ds) == 5
+        assert ds.n_rows == 5
+        assert ds.schema.class_name == "C"
+
+    def test_columns_are_read_only(self):
+        ds = make_dataset()
+        with pytest.raises(ValueError):
+            ds.column("A")[0] = 1
+
+    def test_missing_column_rejected(self):
+        schema = make_schema()
+        with pytest.raises(DatasetError, match="mismatch"):
+            Dataset.from_columns(schema, {"A": np.array([0])})
+
+    def test_extra_column_rejected(self):
+        schema = make_schema()
+        with pytest.raises(DatasetError, match="mismatch"):
+            Dataset.from_columns(
+                schema,
+                {
+                    "A": np.array([0]),
+                    "B": np.array([1.0]),
+                    "C": np.array([0]),
+                    "D": np.array([0]),
+                },
+            )
+
+    def test_ragged_columns_rejected(self):
+        schema = make_schema()
+        with pytest.raises(DatasetError, match="rows"):
+            Dataset.from_columns(
+                schema,
+                {
+                    "A": np.array([0, 1]),
+                    "B": np.array([1.0]),
+                    "C": np.array([0, 1]),
+                },
+            )
+
+    def test_out_of_range_codes_rejected(self):
+        schema = make_schema()
+        with pytest.raises(DatasetError, match="codes outside"):
+            Dataset.from_columns(
+                schema,
+                {
+                    "A": np.array([5]),
+                    "B": np.array([1.0]),
+                    "C": np.array([0]),
+                },
+            )
+
+    def test_two_dimensional_column_rejected(self):
+        schema = make_schema()
+        with pytest.raises(DatasetError, match="one-dimensional"):
+            Dataset.from_columns(
+                schema,
+                {
+                    "A": np.zeros((2, 2), dtype=int),
+                    "B": np.array([1.0, 2.0]),
+                    "C": np.array([0, 1]),
+                },
+            )
+
+    def test_from_rows(self):
+        schema = make_schema()
+        ds = Dataset.from_rows(
+            schema,
+            [("x", 1.5, "yes"), ("y", "?", "no"), ("?", 2.5, "yes")],
+        )
+        assert ds.column("A").tolist() == [0, 1, MISSING]
+        assert np.isnan(ds.column("B")[1])
+        assert ds.class_codes.tolist() == [1, 0, 1]
+
+    def test_from_rows_wrong_width_rejected(self):
+        schema = make_schema()
+        with pytest.raises(DatasetError, match="fields"):
+            Dataset.from_rows(schema, [("x", 1.0)])
+
+    def test_empty(self):
+        ds = Dataset.empty(make_schema())
+        assert len(ds) == 0
+        assert ds.class_distribution().tolist() == [0, 0]
+
+
+class TestAccessors:
+    def test_column_unknown_rejected(self):
+        with pytest.raises(DatasetError, match="no column"):
+            make_dataset().column("Z")
+
+    def test_row_materialisation(self):
+        ds = make_dataset()
+        assert ds.row(0) == ("x", 1.0, "no")
+        assert ds.row(4) == (None, 5.0, "yes")  # missing categorical
+        assert ds.row(2) == ("x", None, "yes")  # NaN continuous
+
+    def test_row_out_of_range(self):
+        with pytest.raises(DatasetError, match="out of range"):
+            make_dataset().row(5)
+
+    def test_iter_rows(self):
+        rows = list(make_dataset().iter_rows())
+        assert len(rows) == 5
+        assert rows[1] == ("y", 2.0, "yes")
+
+
+class TestRelationalOps:
+    def test_select(self):
+        ds = make_dataset()
+        sub = ds.select(ds.column("C") == 1)
+        assert len(sub) == 3
+        assert sub.column("A").tolist() == [1, 0, -1]
+
+    def test_select_bad_mask_rejected(self):
+        ds = make_dataset()
+        with pytest.raises(DatasetError, match="boolean"):
+            ds.select(np.array([1, 0, 1, 0, 1]))
+        with pytest.raises(DatasetError, match="boolean"):
+            ds.select(np.array([True, False]))
+
+    def test_where_subpopulation(self):
+        ds = make_dataset()
+        sub = ds.where("A", "x")
+        assert len(sub) == 2
+        assert set(sub.column("A").tolist()) == {0}
+
+    def test_project(self):
+        ds = make_dataset()
+        proj = ds.project(["A", "C"])
+        assert proj.schema.names == ("A", "C")
+        assert len(proj) == 5
+
+    def test_take_with_repetition(self):
+        ds = make_dataset()
+        taken = ds.take(np.array([0, 0, 3]))
+        assert len(taken) == 3
+        assert taken.column("A").tolist() == [0, 0, 1]
+
+    def test_take_out_of_range(self):
+        with pytest.raises(DatasetError, match="out of range"):
+            make_dataset().take(np.array([7]))
+
+    def test_concat(self):
+        ds = make_dataset()
+        both = ds.concat(ds)
+        assert len(both) == 10
+        assert both.column("C").tolist() == ds.column("C").tolist() * 2
+
+    def test_concat_schema_mismatch(self):
+        ds = make_dataset()
+        other_schema = Schema(
+            [Attribute("C", values=("no", "yes"))], class_attribute="C"
+        )
+        other = Dataset.from_columns(
+            other_schema, {"C": np.array([0])}
+        )
+        with pytest.raises(DatasetError, match="different schemas"):
+            ds.concat(other)
+
+    def test_duplicate_matches_paper_protocol(self):
+        """Fig. 11 scales records by duplicating the data set."""
+        ds = make_dataset()
+        big = ds.duplicate(4)
+        assert len(big) == 20
+        assert (
+            big.class_distribution() == 4 * ds.class_distribution()
+        ).all()
+
+    def test_duplicate_once_is_identity_sized(self):
+        ds = make_dataset()
+        assert len(ds.duplicate(1)) == len(ds)
+
+    def test_duplicate_zero_rejected(self):
+        with pytest.raises(DatasetError):
+            make_dataset().duplicate(0)
+
+    def test_replace_column(self):
+        ds = make_dataset()
+        new_attr = Attribute("B", values=("low", "high"))
+        replaced = ds.replace_column(
+            new_attr, np.array([0, 0, -1, 1, 1])
+        )
+        assert replaced.schema["B"].is_categorical
+        assert replaced.column("B").tolist() == [0, 0, -1, 1, 1]
+
+
+class TestStatistics:
+    def test_value_counts_excludes_missing(self):
+        ds = make_dataset()
+        assert ds.value_counts("A").tolist() == [2, 2]
+
+    def test_value_counts_continuous_rejected(self):
+        with pytest.raises(DatasetError, match="categorical"):
+            make_dataset().value_counts("B")
+
+    def test_class_distribution(self):
+        assert make_dataset().class_distribution().tolist() == [2, 3]
+
+    def test_missing_count(self):
+        ds = make_dataset()
+        assert ds.missing_count("A") == 1
+        assert ds.missing_count("B") == 1
+        assert ds.missing_count("C") == 0
+
+    def test_repr(self):
+        assert "5 rows" in repr(make_dataset())

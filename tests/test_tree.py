@@ -1,0 +1,167 @@
+"""Unit tests for repro.rules.tree (decision tree + sequential covering)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import Attribute, Dataset, Schema
+from repro.rules import DecisionTree, sequential_covering
+from repro.cube import build_cube
+
+
+def xor_dataset(n_copies=10):
+    """A XOR B determines the class; needs two levels of splits."""
+    schema = Schema(
+        [
+            Attribute("A", values=("0", "1")),
+            Attribute("B", values=("0", "1")),
+            Attribute("C", values=("neg", "pos")),
+        ],
+        class_attribute="C",
+    )
+    base = [
+        ("0", "0", "neg"),
+        ("0", "1", "pos"),
+        ("1", "0", "pos"),
+        ("1", "1", "neg"),
+    ]
+    return Dataset.from_rows(schema, base * n_copies)
+
+
+def simple_dataset():
+    schema = Schema(
+        [
+            Attribute("A", values=("x", "y")),
+            Attribute("B", values=("p", "q")),
+            Attribute("C", values=("neg", "pos")),
+        ],
+        class_attribute="C",
+    )
+    rows = (
+        [("x", "p", "pos")] * 8
+        + [("x", "q", "pos")] * 2
+        + [("y", "p", "neg")] * 7
+        + [("y", "q", "neg")] * 3
+    )
+    return Dataset.from_rows(schema, rows)
+
+
+class TestDecisionTree:
+    def test_learns_simple_split(self):
+        tree = DecisionTree().fit(simple_dataset())
+        assert tree.root_.attribute == "A"
+        assert tree.accuracy(simple_dataset()) == 1.0
+
+    def test_learns_xor(self):
+        tree = DecisionTree(max_depth=3).fit(xor_dataset())
+        assert tree.accuracy(xor_dataset()) == 1.0
+        assert tree.root_.size() >= 7  # root + 2 children + 4 leaves
+
+    def test_max_depth_zero_is_majority_stump(self):
+        ds = simple_dataset()
+        tree = DecisionTree(max_depth=0).fit(ds)
+        assert tree.root_.is_leaf
+        pred = tree.predict(ds)
+        assert set(pred.tolist()) == {tree.root_.prediction}
+
+    def test_min_leaf_prevents_split(self):
+        tree = DecisionTree(min_leaf=1000).fit(simple_dataset())
+        assert tree.root_.is_leaf
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(ValueError, match="fit"):
+            DecisionTree().predict(simple_dataset())
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTree(max_depth=-1)
+        with pytest.raises(ValueError):
+            DecisionTree(min_leaf=0)
+
+    def test_continuous_attribute_rejected(self):
+        schema = Schema(
+            [
+                Attribute("X", kind="continuous"),
+                Attribute("C", values=("no", "yes")),
+            ],
+            class_attribute="C",
+        )
+        ds = Dataset.from_columns(
+            schema, {"X": np.array([1.0]), "C": np.array([0])}
+        )
+        with pytest.raises(ValueError, match="categorical"):
+            DecisionTree().fit(ds)
+
+    def test_rule_extraction_covers_leaves(self):
+        tree = DecisionTree().fit(simple_dataset())
+        rules = tree.extract_rules()
+        assert len(rules) == tree.root_.n_leaves()
+        assert all(r.confidence > 0 for r in rules)
+
+    def test_completeness_problem(self):
+        """The paper's Section III.A argument: the tree discovers far
+        fewer rules than the full rule space a cube stores."""
+        ds = xor_dataset()
+        tree = DecisionTree().fit(ds)
+        tree_rules = tree.extract_rules()
+        cube_rules = list(build_cube(ds, ("A", "B")).rules())
+        assert len(tree_rules) < len(cube_rules)
+
+    def test_node_helpers(self):
+        tree = DecisionTree().fit(simple_dataset())
+        root = tree.root_
+        assert root.size() == 1 + sum(
+            c.size() for c in root.children.values()
+        )
+        assert root.n_leaves() >= 2
+
+
+class TestSequentialCovering:
+    def test_finds_high_precision_rule(self):
+        rules = sequential_covering(
+            simple_dataset(), "pos", min_coverage=2, min_precision=0.8
+        )
+        assert rules
+        top = rules[0]
+        assert top.class_label == "pos"
+        assert top.confidence >= 0.8
+        assert top.condition_on("A").value == "x"
+
+    def test_covering_removes_records(self):
+        rules = sequential_covering(
+            simple_dataset(), "pos", min_coverage=1, min_precision=0.5
+        )
+        # Covered positives across rules never exceed the total.
+        total_pos = 10
+        assert sum(r.support_count for r in rules) <= total_pos
+
+    def test_max_rules_cap(self):
+        rules = sequential_covering(
+            simple_dataset(),
+            "pos",
+            min_coverage=1,
+            min_precision=0.0,
+            max_rules=1,
+        )
+        assert len(rules) <= 1
+
+    def test_impossible_precision_yields_nothing(self):
+        rules = sequential_covering(
+            xor_dataset(1), "pos", min_coverage=2, min_precision=1.01
+        )
+        assert rules == []
+
+    def test_rules_respect_max_conditions(self):
+        rules = sequential_covering(
+            xor_dataset(), "pos", min_coverage=2, min_precision=0.9,
+            max_conditions=2,
+        )
+        assert all(r.length <= 2 for r in rules)
+
+    def test_selective_vs_complete(self):
+        """Sequential covering is also a selective learner."""
+        ds = simple_dataset()
+        rules = sequential_covering(
+            ds, "pos", min_coverage=2, min_precision=0.6
+        )
+        cube_rules = list(build_cube(ds, ("A", "B")).rules())
+        assert len(rules) < len(cube_rules)

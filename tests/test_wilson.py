@@ -1,0 +1,145 @@
+"""Unit tests for the Wilson-interval option (extension beyond the
+paper's Wald interval; see repro.core.confidence.wilson_interval)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Comparator,
+    ComparatorError,
+    interestingness,
+    per_value_stats,
+    wilson_bounds,
+    wilson_interval,
+)
+from repro.cube import CubeStore
+from repro.dataset import Attribute, Dataset, Schema
+
+
+class TestWilsonInterval:
+    def test_known_value(self):
+        """cf=0.5, n=100, 95%: the classic Wilson interval is
+        approximately (0.404, 0.596)."""
+        low, high = wilson_interval(0.5, 100, 0.95)
+        assert low == pytest.approx(0.404, abs=2e-3)
+        assert high == pytest.approx(0.596, abs=2e-3)
+
+    def test_nonzero_width_at_extremes(self):
+        """The whole point: Wald collapses at cf of 0 or 1; Wilson
+        does not."""
+        low, high = wilson_interval(1.0, 2, 0.95)
+        assert low < 1.0  # a 2-record 100% rate is NOT certainly 100%
+        low0, high0 = wilson_interval(0.0, 2, 0.95)
+        assert high0 > 0.0
+
+    def test_contains_point_estimate(self):
+        for cf in (0.0, 0.1, 0.5, 0.9, 1.0):
+            low, high = wilson_interval(cf, 50)
+            assert low <= cf <= high
+
+    def test_zero_sample_uninformative(self):
+        assert wilson_interval(0.3, 0) == (0.0, 1.0)
+
+    def test_narrows_with_n(self):
+        w10 = wilson_interval(0.3, 10)
+        w1000 = wilson_interval(0.3, 1000)
+        assert (w1000[1] - w1000[0]) < (w10[1] - w10[0])
+
+    def test_bounds_in_unit_interval(self):
+        for cf in (0.0, 0.01, 0.99, 1.0):
+            for n in (1, 5, 100):
+                low, high = wilson_interval(cf, n)
+                assert 0.0 <= low <= high <= 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1.5, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(0.5, -1)
+
+    def test_vectorised_matches_scalar(self):
+        cf = np.array([0.0, 0.25, 1.0, 0.5])
+        n = np.array([5, 40, 2, 0])
+        lows, highs = wilson_bounds(cf, n)
+        for i in range(4):
+            lo, hi = wilson_interval(float(cf[i]), int(n[i]))
+            assert lows[i] == pytest.approx(lo)
+            assert highs[i] == pytest.approx(hi)
+
+
+class TestWilsonInMeasure:
+    def test_suppresses_degenerate_artifact(self):
+        """A 2-record 100%-failure value: Wald gives it zero margin
+        (full contribution); Wilson discounts it heavily."""
+        counts1 = np.array([[980, 20], [10, 0]], dtype=np.int64)
+        counts2 = np.array([[960, 40], [0, 2]], dtype=np.int64)
+        cf1, cf2 = 20 / 1010, 42 / 1002
+
+        wald = per_value_stats(
+            counts1, counts2, 1, 0.95, interval_method="wald"
+        )
+        wilson = per_value_stats(
+            counts1, counts2, 1, 0.95, interval_method="wilson"
+        )
+        # Wald leaves the degenerate value's rcf2 at 1.0.
+        assert wald.rcf2[1] == 1.0
+        # Wilson pulls it far below 1.
+        assert wilson.rcf2[1] < 0.7
+        assert interestingness(wilson, cf1, cf2) < interestingness(
+            wald, cf1, cf2
+        )
+
+    def test_unknown_method_rejected(self):
+        counts = np.zeros((2, 2), dtype=np.int64)
+        with pytest.raises(ValueError, match="interval method"):
+            per_value_stats(counts, counts, 0,
+                            interval_method="jeffreys")
+
+
+class TestWilsonComparator:
+    def make_store(self):
+        rng = np.random.default_rng(31)
+        n = 4000
+        phone = rng.integers(0, 2, n)
+        time = rng.integers(0, 3, n)
+        p = np.full(n, 0.03)
+        p[(phone == 1) & (time == 0)] = 0.15
+        cls = (rng.random(n) < p).astype(np.int64)
+        schema = Schema(
+            [
+                Attribute("Phone", values=("ph1", "ph2")),
+                Attribute("Time", values=("am", "noon", "pm")),
+                Attribute("C", values=("ok", "drop")),
+            ],
+            class_attribute="C",
+        )
+        return CubeStore(
+            Dataset.from_columns(
+                schema, {"Phone": phone, "Time": time, "C": cls}
+            )
+        )
+
+    def test_comparator_accepts_wilson(self):
+        comparator = Comparator(
+            self.make_store(), interval_method="wilson"
+        )
+        result = comparator.compare("Phone", "ph1", "ph2", "drop")
+        assert result.ranked[0].attribute == "Time"
+
+    def test_comparator_rejects_unknown_method(self):
+        with pytest.raises(ComparatorError, match="interval method"):
+            Comparator(self.make_store(), interval_method="exact")
+
+    def test_wilson_is_more_conservative(self):
+        store = self.make_store()
+        wald = Comparator(store, interval_method="wald").compare(
+            "Phone", "ph1", "ph2", "drop"
+        )
+        wilson = Comparator(store, interval_method="wilson").compare(
+            "Phone", "ph1", "ph2", "drop"
+        )
+        assert wilson.attribute("Time").score <= (
+            wald.attribute("Time").score + 1e-9
+        )

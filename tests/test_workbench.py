@@ -1,0 +1,167 @@
+"""Unit tests for repro.workbench (OpportunityMap facade + Session)."""
+
+import pytest
+
+from repro.rules import Condition
+from repro.synth import (
+    CallLogConfig,
+    PlantedEffect,
+    generate_call_logs,
+    paper_example_config,
+)
+from repro.workbench import OpportunityMap, Session
+
+
+class TestOpportunityMap:
+    def test_continuous_attributes_discretised(self, workbench):
+        assert workbench.dataset.schema["SignalStrength"].is_categorical
+        # The raw input is preserved.
+        assert workbench.raw_dataset.schema[
+            "SignalStrength"
+        ].is_continuous
+
+    def test_compare_finds_planted_cause(self, workbench):
+        result = workbench.compare(
+            "PhoneModel", "ph1", "ph2", "dropped"
+        )
+        assert result.ranked[0].attribute == "TimeOfCall"
+        assert result.ranked[0].top_values(1)[0].value == "morning"
+
+    def test_property_attribute_in_separate_list(self, workbench):
+        result = workbench.compare(
+            "PhoneModel", "ph1", "ph2", "dropped"
+        )
+        assert "HardwareVersion" in [
+            p.attribute for p in result.property_attributes
+        ]
+
+    def test_precompute_counts_cubes(self, call_log):
+        om = OpportunityMap(call_log)
+        n_attrs = len(om.store.attributes)
+        built = om.precompute_cubes()
+        assert built == n_attrs + n_attrs * (n_attrs - 1) // 2
+
+    def test_cube_access(self, workbench):
+        cube = workbench.cube(("PhoneModel", "TimeOfCall"))
+        assert cube.names == ("PhoneModel", "TimeOfCall")
+
+    def test_mine_rules(self, workbench):
+        rules = workbench.mine_rules(min_support=0.01, max_length=1)
+        assert rules
+        assert all(r.length <= 1 for r in rules)
+
+    def test_mine_longer_rules(self, workbench):
+        rules = workbench.mine_longer_rules(
+            fixed=[Condition("PhoneModel", "ph2")],
+            min_support=0.001,
+            extra_length=2,
+        )
+        assert rules
+        assert all(
+            r.condition_on("PhoneModel") is not None for r in rules
+        )
+
+    def test_trends(self, workbench):
+        trends = workbench.trends("TimeOfCall")
+        assert set(trends) == {"ended-ok", "dropped", "setup-failed"}
+
+    def test_exceptions(self, workbench):
+        cells = workbench.exceptions(
+            ("PhoneModel", "TimeOfCall"), threshold=3.0
+        )
+        # The planted ph2-morning interaction shows up as exceptional.
+        assert any(
+            dict(c.conditions).get("TimeOfCall") == "morning"
+            and c.class_label == "dropped"
+            for c in cells
+        )
+
+    def test_influential_attributes(self, workbench):
+        ranked = workbench.influential_attributes()
+        names = [name for name, _ in ranked]
+        assert "TimeOfCall" in names[:4]  # strongly class-linked
+
+    def test_views_render(self, workbench):
+        result = workbench.compare(
+            "PhoneModel", "ph1", "ph2", "dropped"
+        )
+        assert "PhoneModel" in workbench.overall_view(
+            attributes=["PhoneModel", "TimeOfCall"]
+        )
+        assert "ph2" in workbench.detailed_view(
+            "PhoneModel", class_label="dropped"
+        )
+        assert "TimeOfCall" in workbench.comparison_view(result)
+
+    def test_unbalanced_sampling_stage(self, call_log):
+        om = OpportunityMap(call_log, sample_majority_ratio=1.0)
+        dist = om.dataset.class_distribution()
+        assert dist[0] <= dist[1] + dist[2]
+        # Raw data untouched.
+        raw = om.raw_dataset.class_distribution()
+        assert raw[0] > raw[1] + raw[2]
+
+    def test_attribute_subset(self, call_log):
+        om = OpportunityMap(
+            call_log, attributes=["PhoneModel", "TimeOfCall"]
+        )
+        assert om.store.attributes == ("PhoneModel", "TimeOfCall")
+
+    def test_repr(self, workbench):
+        assert "OpportunityMap" in repr(workbench)
+
+
+class TestSession:
+    def make_session(self, call_log):
+        return Session(OpportunityMap(call_log))
+
+    def test_operations_logged(self, call_log):
+        session = self.make_session(call_log)
+        session.overall_view(attributes=["PhoneModel"])
+        session.detailed_view("PhoneModel", class_label="dropped")
+        session.compare("PhoneModel", "ph1", "ph2", "dropped")
+        assert session.n_operations == 3
+        kinds = [op.kind for op in session.log]
+        assert kinds == ["overall_view", "detailed_view", "compare"]
+
+    def test_slice_and_dice_logged(self, call_log):
+        session = self.make_session(call_log)
+        sliced = session.slice(
+            ("PhoneModel", "TimeOfCall"), {"PhoneModel": "ph1"}
+        )
+        assert sliced.names == ("TimeOfCall",)
+        diced = session.dice(
+            ("PhoneModel", "TimeOfCall"), "PhoneModel",
+            ["ph1", "ph2"],
+        )
+        assert diced.attribute("PhoneModel").arity == 2
+        assert session.n_operations == 2
+
+    def test_trends_logged(self, call_log):
+        session = self.make_session(call_log)
+        session.trends("TimeOfCall")
+        assert session.log[0].kind == "trends"
+
+    def test_manual_workflow_operation_count(self, call_log):
+        """The paper's pain point, quantified: the manual workflow
+        needs 3 ops per candidate attribute; the comparator needs 1."""
+        session = self.make_session(call_log)
+        candidates = [
+            a for a in session.workbench.store.attributes
+            if a != "PhoneModel"
+        ]
+        manual_ops = session.manual_comparison_workflow(
+            "PhoneModel", "ph1", "ph2", "dropped"
+        )
+        assert manual_ops == 3 * len(candidates)
+        before = session.n_operations
+        session.compare("PhoneModel", "ph1", "ph2", "dropped")
+        assert session.n_operations == before + 1
+
+    def test_report_lists_operations(self, call_log):
+        session = self.make_session(call_log)
+        session.trends("Band")
+        text = session.report()
+        assert "1 operations" in text
+        assert "trends" in text
+        assert "ms" in text
