@@ -1,0 +1,187 @@
+"""Service throughput — requests/sec and latency percentiles for the
+comparison engine behind the HTTP surface.
+
+The paper's system is interactive for a single analyst (Fig. 9: 0.8 s
+at 160 attributes); the service layer must hold that latency while a
+fleet of engineers hits it concurrently.  This harness drives the real
+``ThreadingHTTPServer`` + ``ComparisonEngine`` stack over a loopback
+socket with a pool of client threads and reports:
+
+* requests/sec for cached vs uncached ``/compare`` at 1/4/8 workers;
+* p50/p99 client-observed latency (measured per request, not from the
+  server's own histogram).
+
+Shape expectations embedded below: the cached path must beat the
+uncached path on the same pool, and more workers must not make the
+uncached path slower (no lock convoy around the store).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.cube import CubeStore
+from repro.service import (
+    ComparisonEngine,
+    ComparisonHTTPServer,
+    ServiceConfig,
+)
+from repro.synth import CallLogConfig, generate_call_logs
+
+from _helpers import print_series
+
+WORKER_SWEEP = (1, 4, 8)
+N_REQUESTS = 120
+N_CLIENTS = 8
+
+COMPARE = {
+    "pivot": "PhoneModel",
+    "value_a": "ph1",
+    "value_b": "ph2",
+    "target_class": "dropped",
+    "top": 3,
+}
+
+
+@pytest.fixture(scope="module")
+def service_dataset():
+    """A moderate store: 20 attributes so one comparison has real work."""
+    return generate_call_logs(
+        CallLogConfig(
+            n_records=30_000,
+            n_phone_models=4,
+            n_noise_attributes=12,
+            include_signal_strength=False,
+            seed=23,
+        )
+    )
+
+
+def start_service(dataset, workers: int, cache_size: int):
+    store = CubeStore(dataset)
+    store.precompute(include_pairs=True)
+    engine = ComparisonEngine(
+        ServiceConfig(workers=workers, cache_size=cache_size)
+    )
+    engine.add_store(store)
+    server = ComparisonHTTPServer(engine, port=0).start_background()
+    return engine, server
+
+
+def drive(url: str, n_requests: int, n_clients: int):
+    """Fire ``n_requests`` at /compare from ``n_clients`` threads;
+    returns (elapsed_seconds, sorted per-request latencies)."""
+    payload = json.dumps(COMPARE).encode("utf-8")
+    latencies = []
+    lock = threading.Lock()
+    counter = iter(range(n_requests))
+
+    def worker():
+        while True:
+            with lock:
+                try:
+                    next(counter)
+                except StopIteration:
+                    return
+            request = urllib.request.Request(
+                url + "/compare",
+                data=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            started = time.perf_counter()
+            with urllib.request.urlopen(request) as response:
+                response.read()
+            elapsed = time.perf_counter() - started
+            with lock:
+                latencies.append(elapsed)
+
+    threads = [
+        threading.Thread(target=worker) for _ in range(n_clients)
+    ]
+    started = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return time.perf_counter() - started, sorted(latencies)
+
+
+def percentile(sorted_values, q: float) -> float:
+    index = min(
+        len(sorted_values) - 1, int(q * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]
+
+
+@pytest.mark.parametrize("workers", WORKER_SWEEP)
+@pytest.mark.parametrize("mode", ("cached", "uncached"))
+def test_compare_throughput(
+    benchmark, service_dataset, workers, mode
+):
+    """One table row: rps + p50/p99 at this pool size and cache mode."""
+    cache_size = 64 if mode == "cached" else 0
+    engine, server = start_service(service_dataset, workers, cache_size)
+    try:
+        # Warm: first request builds nothing (cubes precomputed) but
+        # primes the cache in cached mode.
+        drive(server.url, 4, 1)
+        elapsed, latencies = drive(server.url, N_REQUESTS, N_CLIENTS)
+        rps = N_REQUESTS / elapsed
+        benchmark.extra_info["mode"] = mode
+        benchmark.extra_info["workers"] = workers
+        benchmark.extra_info["rps"] = round(rps, 1)
+        benchmark.extra_info["p50_ms"] = round(
+            percentile(latencies, 0.50) * 1000, 3
+        )
+        benchmark.extra_info["p99_ms"] = round(
+            percentile(latencies, 0.99) * 1000, 3
+        )
+        print_series(
+            f"/compare {mode}, {workers} workers "
+            f"({N_CLIENTS} clients)",
+            ("rps", "p50_ms", "p99_ms"),
+            (
+                rps,
+                percentile(latencies, 0.50) * 1000,
+                percentile(latencies, 0.99) * 1000,
+            ),
+            unit="",
+        )
+        # The benchmark row itself: one request end-to-end.
+        benchmark(lambda: drive(server.url, 1, 1))
+    finally:
+        server.stop()
+        engine.shutdown()
+
+
+def test_cache_beats_recompute_shape(benchmark, service_dataset):
+    """Shape claim: at the same pool size, the cached path sustains
+    strictly higher throughput than recompute-every-time."""
+    results = {}
+    for mode, cache_size in (("cached", 64), ("uncached", 0)):
+        engine, server = start_service(service_dataset, 4, cache_size)
+        try:
+            drive(server.url, 4, 1)  # warm
+            elapsed, latencies = drive(
+                server.url, N_REQUESTS, N_CLIENTS
+            )
+            results[mode] = {
+                "rps": N_REQUESTS / elapsed,
+                "p50": percentile(latencies, 0.50),
+                "p99": percentile(latencies, 0.99),
+            }
+        finally:
+            server.stop()
+            engine.shutdown()
+    benchmark.extra_info["results"] = {
+        mode: {k: round(v, 5) for k, v in row.items()}
+        for mode, row in results.items()
+    }
+    assert results["cached"]["rps"] > results["uncached"]["rps"]
+    assert results["cached"]["p50"] < results["uncached"]["p50"]
+    benchmark(lambda: None)

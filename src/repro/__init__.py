@@ -18,7 +18,10 @@ The package rebuilds Motorola's Opportunity Map system from scratch:
   discovery-driven cube exceptions, naive comparison);
 * ``repro.viz`` — text/SVG renderings of the paper's views;
 * ``repro.synth`` — synthetic call logs with planted ground truth;
-* ``repro.workbench`` — the end-to-end ``OpportunityMap`` facade.
+* ``repro.workbench`` — the end-to-end ``OpportunityMap`` facade;
+* ``repro.service`` — the serving layer: a concurrent comparison
+  engine with a generation-aware result cache, a stdlib JSON/HTTP
+  API, parallel fleet screening, and Prometheus-format metrics.
 
 Quickstart::
 
@@ -74,6 +77,13 @@ from .synth import (
     synthetic_dataset,
 )
 from .workbench import OpportunityMap, Session
+from .service import (
+    ComparisonEngine,
+    ComparisonHTTPServer,
+    DeadlineExceeded,
+    ServiceConfig,
+    screen_fleet,
+)
 
 __version__ = "1.0.0"
 
@@ -119,4 +129,10 @@ __all__ = [
     # workbench
     "OpportunityMap",
     "Session",
+    # service
+    "ComparisonEngine",
+    "ComparisonHTTPServer",
+    "ServiceConfig",
+    "DeadlineExceeded",
+    "screen_fleet",
 ]

@@ -10,7 +10,10 @@ a shell:
 * ``impressions`` — load a CSV and print the general-impressions
   digest;
 * ``cubes`` — off-line cube generation: load a CSV, precompute all
-  2-D/3-D cubes and persist them to an ``.npz`` archive.
+  2-D/3-D cubes and persist them to an ``.npz`` archive;
+* ``serve`` — run the comparison HTTP service over a CSV and/or a
+  persisted cube archive (the interactive phase as a long-running
+  process; see :mod:`repro.service`).
 
 Every command is deterministic given its inputs; exit status is 0 on
 success, 2 on usage errors (argparse) and 1 on data errors.
@@ -117,6 +120,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the restricted-mining drill section",
     )
 
+    serve = sub.add_parser(
+        "serve", help="run the comparison HTTP service"
+    )
+    serve.add_argument(
+        "csv", nargs="?", default=None,
+        help="input CSV (optional when --store provides the cubes)",
+    )
+    serve.add_argument("--class-attribute", default=None,
+                       dest="class_attribute",
+                       help="class attribute (required with a CSV)")
+    serve.add_argument(
+        "--store", default=None, metavar="NPZ",
+        help="warm-start from a cube archive written by `repro cubes`",
+    )
+    serve.add_argument(
+        "--name", default="default",
+        help="name the store is served under (default: 'default')",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8023)
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="comparison thread-pool size (default 4)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=256, dest="cache_size",
+        help="LRU result-cache capacity; 0 disables (default 256)",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=int, default=5000, dest="deadline_ms",
+        help="per-request deadline; 0 disables (default 5000)",
+    )
+    serve.add_argument(
+        "--no-precompute", action="store_true",
+        help="skip materialising pair cubes from a CSV before serving",
+    )
+
     shell = sub.add_parser(
         "shell", help="interactive explorer over a data set"
     )
@@ -210,6 +250,48 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_serve_engine(args: argparse.Namespace):
+    """Engine construction for ``repro serve`` (exposed for tests)."""
+    from .service import ComparisonEngine, ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_size=args.cache_size,
+        deadline_ms=args.deadline_ms or None,
+        default_store=args.name,
+    )
+    engine = ComparisonEngine(config)
+    if args.csv:
+        if not args.class_attribute:
+            raise ValueError("--class-attribute is required with a CSV")
+        om = _load_workbench(args)
+        if args.store:
+            from .cube.persist import load_store_cubes
+
+            injected = load_store_cubes(om.store, args.store)
+            print(f"Warm-started {injected} cubes from {args.store}")
+        elif not args.no_precompute:
+            built = om.precompute_cubes()
+            print(f"Precomputed {built} cubes")
+        engine.add_store(om.store, name=args.name)
+    elif args.store:
+        engine.load_archive(args.store, name=args.name)
+        print(f"Serving cube archive {args.store} as {args.name!r}")
+    else:
+        raise ValueError(
+            "serve needs a CSV, a --store cube archive, or both"
+        )
+    return engine, config, serve
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    engine, config, serve = _build_serve_engine(args)
+    serve(engine, config)
+    return 0
+
+
 def _cmd_shell(args: argparse.Namespace) -> int:
     from .workbench import OpportunityShell
 
@@ -236,6 +318,7 @@ _COMMANDS = {
     "impressions": _cmd_impressions,
     "cubes": _cmd_cubes,
     "report": _cmd_report,
+    "serve": _cmd_serve,
     "shell": _cmd_shell,
 }
 

@@ -27,11 +27,16 @@ from typing import Dict, Tuple, Union
 
 import numpy as np
 
-from ..dataset.schema import Attribute
+from ..dataset.schema import Attribute, Schema
 from .rulecube import CubeError, RuleCube
 from .store import CubeStore
 
-__all__ = ["save_cubes", "load_cubes", "load_store_cubes"]
+__all__ = [
+    "save_cubes",
+    "load_cubes",
+    "load_store_cubes",
+    "archive_schema",
+]
 
 PathLike = Union[str, Path]
 
@@ -94,6 +99,27 @@ def load_cubes(path: PathLike) -> Dict[Tuple[str, ...], RuleCube]:
             ]
             out[key_tuple] = RuleCube(attrs, class_attr, counts)
         return out
+
+
+def archive_schema(path: PathLike) -> "Schema":
+    """Rebuild a :class:`~repro.dataset.Schema` from archive metadata.
+
+    The archive stores every categorical attribute's value domain plus
+    the class designation — enough to reconstruct the (categorical)
+    schema without the raw records.  This is how the serving layer
+    warm-starts a store in a process that never saw the data:
+    ``repro serve --store cubes.npz``.
+    """
+    path = Path(path)
+    with np.load(path) as archive:
+        if _META_KEY not in archive:
+            raise CubeError(f"{path} is not a rule-cube archive")
+        meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+    attrs = [
+        Attribute(name, values=tuple(values))
+        for name, values in meta["domains"].items()
+    ]
+    return Schema(attrs, class_attribute=meta["class_attribute"])
 
 
 def load_store_cubes(store: CubeStore, path: PathLike) -> int:

@@ -13,10 +13,21 @@ For each cube, one of the dimensions is always the class attribute"
 * once cubes exist, downstream consumers (the comparator, the GI miner,
   the visualizer) never touch the raw records — which is why the
   comparison time in Fig. 9 is independent of the data-set size.
+
+Thread-safety: every access to the cube cache — the lazy fill in
+:meth:`CubeStore.cube`, :meth:`CubeStore.precompute`,
+:meth:`CubeStore.absorb`, :meth:`CubeStore.inject` — is guarded by an
+internal re-entrant lock, so concurrent readers (the comparison
+service's worker pool) can hammer one store safely.  The lock makes
+individual operations atomic; *sequences* spanning a data-set swap
+(absorb + subsequent reads that must see the new counts) are the
+caller's responsibility — the service engine enforces single-writer
+semantics with a readers–writer lock on top.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..dataset.table import Dataset
@@ -77,6 +88,9 @@ class CubeStore:
         self._attributes: Tuple[str, ...] = tuple(attributes)
         self._max_cells = max_cells
         self._cache: Dict[Tuple[str, ...], RuleCube] = {}
+        # Guards _cache and the _dataset swap in absorb(); re-entrant
+        # because absorb -> merge happens under the same lock.
+        self._lock = threading.RLock()
 
     def cube_cells(self, attributes: Sequence[str]) -> int:
         """Cell count of the (hypothetical) cube over ``attributes``."""
@@ -111,7 +125,8 @@ class CubeStore:
     @property
     def n_cached(self) -> int:
         """Number of cubes currently materialised."""
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)
 
     def cube(self, attributes: Sequence[str]) -> RuleCube:
         """The rule cube over ``attributes`` (+ class), cached.
@@ -129,11 +144,12 @@ class CubeStore:
         if len(set(requested)) != len(requested):
             raise CubeError(f"duplicate attributes: {requested}")
         canonical = tuple(sorted(requested))
-        cube = self._cache.get(canonical)
-        if cube is None:
-            self._check_budget(canonical)
-            cube = build_cube(self._dataset, canonical)
-            self._cache[canonical] = cube
+        with self._lock:
+            cube = self._cache.get(canonical)
+            if cube is None:
+                self._check_budget(canonical)
+                cube = build_cube(self._dataset, canonical)
+                self._cache[canonical] = cube
         if requested != canonical:
             cube = cube.transpose(requested)
         return cube
@@ -149,11 +165,12 @@ class CubeStore:
     def class_distribution_cube(self) -> RuleCube:
         """The 1-dimensional class-only cube."""
         key: Tuple[str, ...] = ()
-        cube = self._cache.get(key)
-        if cube is None:
-            cube = build_cube(self._dataset, ())
-            self._cache[key] = cube
-        return cube
+        with self._lock:
+            cube = self._cache.get(key)
+            if cube is None:
+                cube = build_cube(self._dataset, ())
+                self._cache[key] = cube
+            return cube
 
     def precompute(self, include_pairs: bool = True) -> int:
         """Materialise all 2-D and (optionally) all 3-D cubes.
@@ -162,18 +179,21 @@ class CubeStore:
         off-line generation phase benchmarked in Figs. 10 and 11.
         """
         built = 0
-        for name in self._attributes:
-            key = (name,)
-            if key not in self._cache:
-                self._cache[key] = build_cube(self._dataset, key)
-                built += 1
-        if include_pairs:
-            for i, a in enumerate(self._attributes):
-                for b in self._attributes[i + 1:]:
-                    key = tuple(sorted((a, b)))
-                    if key not in self._cache:
-                        self._cache[key] = build_cube(self._dataset, key)
-                        built += 1
+        with self._lock:
+            for name in self._attributes:
+                key = (name,)
+                if key not in self._cache:
+                    self._cache[key] = build_cube(self._dataset, key)
+                    built += 1
+            if include_pairs:
+                for i, a in enumerate(self._attributes):
+                    for b in self._attributes[i + 1:]:
+                        key = tuple(sorted((a, b)))
+                        if key not in self._cache:
+                            self._cache[key] = build_cube(
+                                self._dataset, key
+                            )
+                            built += 1
         return built
 
     def absorb(self, batch: Dataset) -> int:
@@ -192,17 +212,19 @@ class CubeStore:
                 "batch schema does not match the store's data set"
             )
         updated = 0
-        for key in list(self._cache):
-            delta = build_cube(batch, key)
-            self._cache[key] = self._cache[key].merge(delta)
-            updated += 1
-        self._dataset = self._dataset.concat(batch)
+        with self._lock:
+            for key in list(self._cache):
+                delta = build_cube(batch, key)
+                self._cache[key] = self._cache[key].merge(delta)
+                updated += 1
+            self._dataset = self._dataset.concat(batch)
         return updated
 
     def cached_items(self) -> Dict[Tuple[str, ...], RuleCube]:
         """Snapshot of the materialised cubes, keyed by the canonical
         (sorted) attribute tuple.  Used by persistence."""
-        return dict(self._cache)
+        with self._lock:
+            return dict(self._cache)
 
     def inject(self, attributes: Tuple[str, ...], cube: RuleCube) -> None:
         """Place an externally built cube into the cache.
@@ -234,11 +256,13 @@ class CubeStore:
                 )
         if cube.names != tuple(attributes):
             raise CubeError("cube axes do not match the injection key")
-        self._cache[tuple(attributes)] = cube
+        with self._lock:
+            self._cache[tuple(attributes)] = cube
 
     def invalidate(self) -> None:
         """Drop every cached cube (e.g. after swapping the data set)."""
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     def __repr__(self) -> str:
         return (

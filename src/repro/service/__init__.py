@@ -1,0 +1,71 @@
+"""The comparison service — the library grown into a serving system.
+
+The paper describes a deployed split: cubes are generated off-line
+("in the evening") and engineers then issue interactive comparison
+queries against the warm store all day.  This package is that serving
+layer:
+
+* :mod:`repro.service.config` — one dataclass of engine/server
+  settings;
+* :mod:`repro.service.engine` — a thread-safe
+  :class:`ComparisonEngine` owning named cube stores, a worker pool
+  with per-request deadlines, and a generation-aware LRU result cache
+  that the incremental-ingest path invalidates;
+* :mod:`repro.service.batch` — :func:`screen_fleet`, the fleet-wide
+  pairwise sweep fanned out across the pool;
+* :mod:`repro.service.http` — a stdlib ``ThreadingHTTPServer`` with
+  JSON endpoints (``/compare``, ``/rank``, ``/ingest``, ``/cubes``,
+  ``/healthz``, ``/metrics``) and a no-tracebacks error contract;
+* :mod:`repro.service.metrics` — counters and latency histograms in
+  Prometheus text format.
+
+Quickstart::
+
+    from repro import OpportunityMap, ComparisonEngine
+    from repro.service import ComparisonHTTPServer
+
+    om = OpportunityMap(dataset)
+    om.precompute_cubes()
+    engine = ComparisonEngine()
+    engine.add_store(om.store)
+    server = ComparisonHTTPServer(engine, port=0).start_background()
+    print(server.url)   # POST /compare here
+"""
+
+from .config import ConfigError, ServiceConfig
+from .engine import (
+    CompareOutcome,
+    ComparisonEngine,
+    DeadlineExceeded,
+    EngineError,
+    IngestOutcome,
+    UnknownStoreError,
+)
+from .batch import screen_fleet
+from .http import ComparisonHTTPServer, serve
+from .metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    ServiceMetrics,
+    service_metrics,
+)
+
+__all__ = [
+    "ServiceConfig",
+    "ConfigError",
+    "ComparisonEngine",
+    "CompareOutcome",
+    "IngestOutcome",
+    "EngineError",
+    "UnknownStoreError",
+    "DeadlineExceeded",
+    "screen_fleet",
+    "ComparisonHTTPServer",
+    "serve",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "ServiceMetrics",
+    "service_metrics",
+]

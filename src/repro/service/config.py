@@ -1,0 +1,70 @@
+"""Configuration of the comparison service.
+
+One frozen dataclass carries every tunable of the serving layer —
+thread-pool width, result-cache capacity, the per-request deadline and
+the bind address — so the engine, the HTTP server and the ``repro
+serve`` CLI all agree on defaults and validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ServiceConfig", "ConfigError"]
+
+
+class ConfigError(ValueError):
+    """Raised for invalid service configuration."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Engine and server settings.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address of the HTTP server.  Port 0 asks the OS for an
+        ephemeral port (tests and the in-process example use this).
+    workers:
+        Size of the engine's thread pool.  Comparisons are
+        numpy-dominated and release the GIL in the counting kernels,
+        so a few workers genuinely overlap.
+    cache_size:
+        Capacity (entry count) of the LRU result cache.  ``0``
+        disables caching entirely — every request recomputes.
+    deadline_ms:
+        Per-request deadline in milliseconds.  A comparison that does
+        not finish inside the deadline raises
+        :class:`~repro.service.engine.DeadlineExceeded` (HTTP 503).
+        ``None`` disables the deadline.
+    default_store:
+        Name requests fall back to when they do not name a store.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8023
+    workers: int = 4
+    cache_size: int = 256
+    deadline_ms: Optional[int] = 5_000
+    default_store: str = "default"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigError("workers must be at least 1")
+        if self.cache_size < 0:
+            raise ConfigError("cache_size must be non-negative")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ConfigError("deadline_ms must be positive or None")
+        if not (0 <= self.port <= 65535):
+            raise ConfigError("port must be in [0, 65535]")
+        if not self.default_store:
+            raise ConfigError("default_store must be non-empty")
+
+    @property
+    def deadline_seconds(self) -> Optional[float]:
+        """The deadline converted to seconds (``None`` when disabled)."""
+        if self.deadline_ms is None:
+            return None
+        return self.deadline_ms / 1000.0

@@ -1,0 +1,517 @@
+"""The concurrent comparison engine.
+
+The paper splits the system into an off-line generation phase ("done
+off-line, e.g., in the evening") and an interactive exploration phase
+engineers hit all day.  This module is the interactive side grown into
+a multi-tenant engine:
+
+* it owns one or more named :class:`~repro.cube.CubeStore`\\ s, each
+  fronted by a configured :class:`~repro.core.Comparator` (warm-started
+  from a persisted cube archive when available);
+* comparisons run on a shared :class:`~concurrent.futures.\
+ThreadPoolExecutor` with a per-request deadline — an overrun surfaces
+  as the typed :class:`DeadlineExceeded`, never a hung client;
+* results flow through a size-bounded LRU cache keyed by the full
+  request tuple.  Every entry carries the store *generation* it was
+  computed against; absorbing a new monthly batch (the incremental
+  merge path) bumps the generation, so stale entries die on their next
+  lookup instead of being served.
+
+Concurrency contract: comparisons are readers, ingest is the single
+writer.  A readers–writer lock per store lets any number of
+comparisons overlap while an ``absorb`` waits for the store to go
+quiet and then runs exclusively — a comparison can never observe a
+half-merged store.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from contextlib import contextmanager
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..core.comparator import Comparator
+from ..core.results import ComparisonResult
+from ..cube.persist import archive_schema, load_store_cubes
+from ..cube.store import CubeStore
+from ..dataset.table import Dataset
+from .config import ServiceConfig
+from .metrics import ServiceMetrics, service_metrics
+
+__all__ = [
+    "ComparisonEngine",
+    "CompareOutcome",
+    "IngestOutcome",
+    "EngineError",
+    "UnknownStoreError",
+    "DeadlineExceeded",
+]
+
+_UNSET = object()
+
+
+class EngineError(ValueError):
+    """Raised for invalid engine requests (HTTP 400)."""
+
+
+class UnknownStoreError(EngineError):
+    """Raised when a request names a store the engine does not own."""
+
+
+class DeadlineExceeded(RuntimeError):
+    """Raised when a comparison overruns its deadline (HTTP 503)."""
+
+
+class CompareOutcome(NamedTuple):
+    """A comparison result plus its serving provenance."""
+
+    result: ComparisonResult
+    store: str
+    generation: int
+    cache_hit: bool
+
+
+class IngestOutcome(NamedTuple):
+    """Outcome of absorbing one record batch."""
+
+    store: str
+    records: int
+    cubes_updated: int
+    generation: int
+
+
+class _RWLock:
+    """Readers–writer lock: many concurrent readers, one exclusive
+    writer.  Comparisons read, ``ingest`` writes."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writing = False
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        with self._cond:
+            while self._writing:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        with self._cond:
+            while self._writing or self._readers:
+                self._cond.wait()
+            self._writing = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writing = False
+                self._cond.notify_all()
+
+
+class _CacheEntry(NamedTuple):
+    result: ComparisonResult
+    generation: int
+
+
+class _LRUCache:
+    """Size-bounded LRU of comparison results with generation checks."""
+
+    def __init__(self, capacity: int, metrics: ServiceMetrics) -> None:
+        self._capacity = capacity
+        self._entries: "OrderedDict[tuple, _CacheEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._metrics = metrics
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: tuple, generation: int) -> Optional[_CacheEntry]:
+        """The live entry for ``key``, or ``None``.
+
+        An entry computed against an older store generation is stale:
+        it is evicted, never returned.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            if entry.generation != generation:
+                del self._entries[key]
+                self._metrics.cache_evictions.inc(reason="stale")
+                return None
+            self._entries.move_to_end(key)
+            return entry
+
+    def put(
+        self, key: tuple, generation: int, result: ComparisonResult
+    ) -> None:
+        if self._capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = _CacheEntry(result, generation)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._metrics.cache_evictions.inc(reason="capacity")
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+class _ManagedStore:
+    """A named store with its comparator, generation and write lock."""
+
+    __slots__ = ("name", "store", "comparator", "generation", "rwlock")
+
+    def __init__(
+        self, name: str, store: CubeStore, comparator: Comparator
+    ) -> None:
+        self.name = name
+        self.store = store
+        self.comparator = comparator
+        self.generation = 0
+        self.rwlock = _RWLock()
+
+
+Row = Union[Sequence[object], Mapping[str, object]]
+
+
+class ComparisonEngine:
+    """Thread-safe comparison serving over named cube stores.
+
+    Parameters
+    ----------
+    config:
+        Pool size, cache capacity, default deadline (see
+        :class:`~repro.service.config.ServiceConfig`).
+    metrics:
+        A :class:`~repro.service.metrics.ServiceMetrics` panel to
+        update; a private one is created when omitted (the HTTP server
+        passes a shared panel so engine and transport metrics land in
+        one exposition).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        metrics: Optional[ServiceMetrics] = None,
+    ) -> None:
+        self._config = config or ServiceConfig()
+        self._metrics = metrics or service_metrics()
+        self._stores: Dict[str, _ManagedStore] = {}
+        self._stores_lock = threading.Lock()
+        self._cache = _LRUCache(self._config.cache_size, self._metrics)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._config.workers,
+            thread_name_prefix="repro-compare",
+        )
+
+    # ------------------------------------------------------------------
+    # Store management
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> ServiceConfig:
+        return self._config
+
+    @property
+    def metrics(self) -> ServiceMetrics:
+        return self._metrics
+
+    def add_store(
+        self,
+        store: CubeStore,
+        name: Optional[str] = None,
+        **comparator_options: object,
+    ) -> str:
+        """Register a store under ``name`` (default: the config's
+        default store name).  ``comparator_options`` are forwarded to
+        :class:`~repro.core.Comparator`."""
+        name = name or self._config.default_store
+        comparator = Comparator(store, **comparator_options)  # type: ignore[arg-type]
+        with self._stores_lock:
+            if name in self._stores:
+                raise EngineError(f"store {name!r} already registered")
+            self._stores[name] = _ManagedStore(name, store, comparator)
+        return name
+
+    def load_archive(
+        self,
+        path: object,
+        name: Optional[str] = None,
+        **comparator_options: object,
+    ) -> str:
+        """Warm-start a store from a cube archive written by
+        :func:`repro.cube.save_cubes`.
+
+        The store's schema is rebuilt from the archive metadata and its
+        backing data set starts empty, so every answer comes from the
+        persisted cubes — the off-line/interactive split of Section
+        III.B across a process boundary.  Cubes absent from the archive
+        would lazily count from the empty backing set (all zeros), so
+        persist with ``precompute(include_pairs=True)``.
+        """
+        schema = archive_schema(path)
+        dataset = Dataset.empty(schema)
+        store = CubeStore(dataset)
+        load_store_cubes(store, path)
+        return self.add_store(store, name=name, **comparator_options)
+
+    def store_names(self) -> List[str]:
+        with self._stores_lock:
+            return sorted(self._stores)
+
+    def describe_stores(self) -> List[Dict[str, object]]:
+        """JSON-safe description of every registered store."""
+        with self._stores_lock:
+            managed = list(self._stores.values())
+        out = []
+        for m in sorted(managed, key=lambda m: m.name):
+            schema = m.store.dataset.schema
+            out.append(
+                {
+                    "name": m.name,
+                    "generation": m.generation,
+                    "n_cached_cubes": m.store.n_cached,
+                    "n_rows": m.store.dataset.n_rows,
+                    "class_attribute": schema.class_name,
+                    "classes": list(schema.class_attribute.values),
+                    "attributes": list(m.store.attributes),
+                }
+            )
+        return out
+
+    def generation(self, store: Optional[str] = None) -> int:
+        """Current generation counter of a store."""
+        return self._resolve(store).generation
+
+    def _resolve(self, name: Optional[str]) -> _ManagedStore:
+        with self._stores_lock:
+            if not self._stores:
+                raise UnknownStoreError("no stores registered")
+            if name is None:
+                if len(self._stores) == 1:
+                    return next(iter(self._stores.values()))
+                name = self._config.default_store
+            managed = self._stores.get(name)
+        if managed is None:
+            raise UnknownStoreError(
+                f"unknown store {name!r} (registered: "
+                f"{', '.join(self.store_names())})"
+            )
+        return managed
+
+    # ------------------------------------------------------------------
+    # Comparison serving
+    # ------------------------------------------------------------------
+
+    def compare(
+        self,
+        pivot_attribute: str,
+        value_a: str,
+        value_b: str,
+        target_class: str,
+        attributes: Optional[Sequence[str]] = None,
+        store: Optional[str] = None,
+        deadline_ms: object = _UNSET,
+    ) -> CompareOutcome:
+        """Run (or serve from cache) one comparison, under a deadline.
+
+        Raises :class:`DeadlineExceeded` when the result is not ready
+        within ``deadline_ms`` (default: the engine config's deadline).
+        The underlying computation is not cancelled — a later identical
+        request may find it cached.
+        """
+        future = self.compare_async(
+            pivot_attribute, value_a, value_b, target_class,
+            attributes=attributes, store=store,
+        )
+        if deadline_ms is _UNSET:
+            timeout = self._config.deadline_seconds
+        elif deadline_ms is None:
+            timeout = None
+        else:
+            timeout = float(deadline_ms) / 1000.0  # type: ignore[arg-type]
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            self._metrics.deadline_exceeded.inc()
+            raise DeadlineExceeded(
+                f"comparison did not finish within {deadline_ms if deadline_ms is not _UNSET else self._config.deadline_ms} ms"
+            ) from None
+
+    def compare_async(
+        self,
+        pivot_attribute: str,
+        value_a: str,
+        value_b: str,
+        target_class: str,
+        attributes: Optional[Sequence[str]] = None,
+        store: Optional[str] = None,
+    ) -> "Future[CompareOutcome]":
+        """Submit a comparison to the pool; returns immediately.
+
+        A cache hit resolves the returned future synchronously.  Used
+        by :func:`repro.service.batch.screen_fleet` to fan a whole
+        fleet out across the pool.
+        """
+        managed = self._resolve(store)
+        key = (
+            managed.name,
+            pivot_attribute,
+            value_a,
+            value_b,
+            target_class,
+            tuple(attributes) if attributes is not None else None,
+        )
+        generation = managed.generation
+        entry = self._cache.get(key, generation)
+        if entry is not None:
+            self._metrics.cache_hits.inc(store=managed.name)
+            done: "Future[CompareOutcome]" = Future()
+            done.set_result(
+                CompareOutcome(
+                    entry.result, managed.name, entry.generation, True
+                )
+            )
+            return done
+        self._metrics.cache_misses.inc(store=managed.name)
+        return self._pool.submit(
+            self._compute, managed, key, pivot_attribute, value_a,
+            value_b, target_class, attributes,
+        )
+
+    def _compute(
+        self,
+        managed: _ManagedStore,
+        key: tuple,
+        pivot_attribute: str,
+        value_a: str,
+        value_b: str,
+        target_class: str,
+        attributes: Optional[Sequence[str]],
+    ) -> CompareOutcome:
+        with managed.rwlock.read_locked():
+            generation = managed.generation
+            result = managed.comparator.compare(
+                pivot_attribute, value_a, value_b, target_class,
+                attributes=attributes,
+            )
+        self._cache.put(key, generation, result)
+        return CompareOutcome(result, managed.name, generation, False)
+
+    # ------------------------------------------------------------------
+    # Ingest (the single writer)
+    # ------------------------------------------------------------------
+
+    def ingest(
+        self, rows: Sequence[Row], store: Optional[str] = None
+    ) -> IngestOutcome:
+        """Absorb a batch of records into a store.
+
+        ``rows`` are either sequences in schema column order or
+        mappings keyed by attribute name (missing attributes code as
+        missing values).  The batch merges into every materialised
+        cube via :meth:`~repro.cube.CubeStore.absorb` while the store
+        is write-locked, then the generation counter bumps — from that
+        point every cached result computed against the old counts is
+        stale and will be recomputed on demand.
+        """
+        managed = self._resolve(store)
+        schema = managed.store.dataset.schema
+        batch = self._rows_to_dataset(schema, rows)
+        with managed.rwlock.write_locked():
+            updated = managed.store.absorb(batch)
+            managed.generation += 1
+            generation = managed.generation
+        self._metrics.ingested_records.inc(
+            batch.n_rows, store=managed.name
+        )
+        return IngestOutcome(
+            managed.name, batch.n_rows, updated, generation
+        )
+
+    @staticmethod
+    def _rows_to_dataset(schema, rows: Sequence[Row]) -> Dataset:
+        if not isinstance(rows, Sequence) or isinstance(rows, (str, bytes)):
+            raise EngineError("rows must be a list of records")
+        names = schema.names
+        normalised: List[Tuple[object, ...]] = []
+        for i, row in enumerate(rows):
+            if isinstance(row, Mapping):
+                unknown = set(row) - set(names)
+                if unknown:
+                    raise EngineError(
+                        f"row {i} has unknown attributes: "
+                        f"{sorted(unknown)}"
+                    )
+                normalised.append(
+                    tuple(row.get(name, "?") for name in names)
+                )
+            elif isinstance(row, Sequence) and not isinstance(
+                row, (str, bytes)
+            ):
+                if len(row) != len(names):
+                    raise EngineError(
+                        f"row {i} has {len(row)} fields; expected "
+                        f"{len(names)} ({', '.join(names)})"
+                    )
+                normalised.append(tuple(row))
+            else:
+                raise EngineError(
+                    f"row {i} must be a list or an object, not "
+                    f"{type(row).__name__}"
+                )
+        return Dataset.from_rows(schema, normalised)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def cache_len(self) -> int:
+        """Number of live entries in the result cache."""
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the worker pool.  The engine is unusable afterwards."""
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "ComparisonEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return (
+            f"ComparisonEngine({len(self.store_names())} stores, "
+            f"{self._config.workers} workers, "
+            f"cache {self.cache_len()}/{self._config.cache_size})"
+        )

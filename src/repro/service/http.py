@@ -1,0 +1,393 @@
+"""Stdlib HTTP front-end for the comparison engine.
+
+A :class:`ThreadingHTTPServer` exposing the engine as small JSON
+endpoints:
+
+========  =============  ==================================================
+method    path           purpose
+========  =============  ==================================================
+POST      ``/compare``   one comparison; full result (``top`` truncates)
+POST      ``/rank``      the full attribute ranking, scores only
+POST      ``/ingest``    absorb a record batch (bumps the generation)
+GET       ``/cubes``     registered stores and their cube inventories
+GET       ``/healthz``   liveness probe
+GET       ``/metrics``   Prometheus text exposition
+========  =============  ==================================================
+
+Error contract: clients never see a traceback.  Malformed requests and
+unknown attributes/values/stores return ``400`` with a JSON error
+body, a deadline overrun returns ``503``, unknown paths ``404``, wrong
+methods ``405``, and anything unexpected is a generic ``500`` whose
+detail stays in the server log.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from .config import ServiceConfig
+from .engine import ComparisonEngine, DeadlineExceeded
+
+__all__ = ["ComparisonHTTPServer", "serve"]
+
+logger = logging.getLogger("repro.service")
+
+#: Reject request bodies beyond this many bytes (64 MB) outright.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _BadRequest(ValueError):
+    """Internal: maps to a 400 with its message as the error body."""
+
+
+def _require(payload: Mapping[str, Any], *fields: str) -> Tuple[Any, ...]:
+    missing = [f for f in fields if f not in payload]
+    if missing:
+        raise _BadRequest(
+            f"missing required field(s): {', '.join(missing)}"
+        )
+    return tuple(payload[f] for f in fields)
+
+
+def _optional_str_list(payload: Mapping[str, Any], field: str):
+    value = payload.get(field)
+    if value is None:
+        return None
+    if not isinstance(value, list) or not all(
+        isinstance(v, str) for v in value
+    ):
+        raise _BadRequest(f"{field!r} must be a list of strings")
+    return value
+
+
+def _optional_deadline(payload: Mapping[str, Any]) -> Any:
+    if "deadline_ms" not in payload:
+        return _UNSET
+    value = payload["deadline_ms"]
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)) or value <= 0:
+        raise _BadRequest("'deadline_ms' must be a positive number")
+    return value
+
+
+_UNSET = object()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler; one instance per request, many threads."""
+
+    server: "ComparisonHTTPServer"
+    server_version = "repro-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        logger.debug("%s %s", self.address_string(), format % args)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict[str, Any]:
+        try:
+            length = int(self.headers.get("Content-Length", ""))
+        except ValueError:
+            raise _BadRequest(
+                "a JSON body with a Content-Length header is required"
+            ) from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise _BadRequest(
+                f"request body must be 0..{MAX_BODY_BYTES} bytes"
+            )
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _BadRequest(f"invalid JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _BadRequest("the JSON body must be an object")
+        return payload
+
+    def _dispatch(self, method: str) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        endpoint = path.lstrip("/") or "root"
+        routes = _ROUTES.get(path)
+        status = 500
+        started = time.perf_counter()
+        try:
+            if routes is None:
+                status = 404
+                self._send_json(
+                    status, {"error": f"unknown path {path!r}"}
+                )
+                return
+            handler_name = routes.get(method)
+            if handler_name is None:
+                status = 405
+                self._send_json(
+                    status,
+                    {
+                        "error": (
+                            f"{method} not allowed on {path}; use "
+                            f"{', '.join(sorted(routes))}"
+                        )
+                    },
+                )
+                return
+            status = getattr(self, handler_name)()
+        except _BadRequest as exc:
+            status = 400
+            self._send_json(status, {"error": str(exc)})
+        except DeadlineExceeded as exc:
+            status = 503
+            self._send_json(status, {"error": str(exc)})
+        except (ValueError, KeyError) as exc:
+            # Domain errors (ComparatorError, CubeError, SchemaError,
+            # EngineError, bad lookups) all derive from these.
+            status = 400
+            message = str(exc) or exc.__class__.__name__
+            if isinstance(exc, KeyError) and exc.args:
+                message = str(exc.args[0])
+            self._send_json(status, {"error": message})
+        except (BrokenPipeError, ConnectionResetError):
+            status = 499  # client went away; nothing to send
+        except Exception:
+            status = 500
+            logger.exception("internal error handling %s %s", method, path)
+            self._send_json(status, {"error": "internal server error"})
+        finally:
+            elapsed = time.perf_counter() - started
+            metrics = self.server.engine.metrics
+            metrics.requests.inc(endpoint=endpoint, status=str(status))
+            metrics.latency.observe(elapsed, endpoint=endpoint)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    # -- endpoints -----------------------------------------------------
+
+    def _handle_healthz(self) -> int:
+        engine = self.server.engine
+        self._send_json(
+            200,
+            {
+                "status": "ok",
+                "stores": engine.store_names(),
+                "workers": engine.config.workers,
+            },
+        )
+        return 200
+
+    def _handle_metrics(self) -> int:
+        self._send_text(200, self.server.engine.metrics.render())
+        return 200
+
+    def _handle_cubes(self) -> int:
+        self._send_json(
+            200, {"stores": self.server.engine.describe_stores()}
+        )
+        return 200
+
+    def _compare_outcome(self, payload: Mapping[str, Any]):
+        pivot, value_a, value_b, target = _require(
+            payload, "pivot", "value_a", "value_b", "target_class"
+        )
+        for name, value in (
+            ("pivot", pivot),
+            ("value_a", value_a),
+            ("value_b", value_b),
+            ("target_class", target),
+        ):
+            if not isinstance(value, str):
+                raise _BadRequest(f"{name!r} must be a string")
+        attributes = _optional_str_list(payload, "attributes")
+        store = payload.get("store")
+        if store is not None and not isinstance(store, str):
+            raise _BadRequest("'store' must be a string")
+        deadline = _optional_deadline(payload)
+        kwargs: Dict[str, Any] = {}
+        if deadline is not _UNSET:
+            kwargs["deadline_ms"] = deadline
+        return self.server.engine.compare(
+            pivot, value_a, value_b, target,
+            attributes=attributes, store=store, **kwargs,
+        )
+
+    def _handle_compare(self) -> int:
+        payload = self._read_json()
+        top = payload.get("top")
+        if top is not None and (
+            not isinstance(top, int) or top < 0
+        ):
+            raise _BadRequest("'top' must be a non-negative integer")
+        outcome = self._compare_outcome(payload)
+        body = outcome.result.to_dict(top=top)
+        body.update(
+            {
+                "store": outcome.store,
+                "generation": outcome.generation,
+                "cached": outcome.cache_hit,
+            }
+        )
+        self._send_json(200, body)
+        return 200
+
+    def _handle_rank(self) -> int:
+        payload = self._read_json()
+        outcome = self._compare_outcome(payload)
+        result = outcome.result
+        self._send_json(
+            200,
+            {
+                "store": outcome.store,
+                "generation": outcome.generation,
+                "cached": outcome.cache_hit,
+                "pivot_attribute": result.pivot_attribute,
+                "value_good": result.value_good,
+                "value_bad": result.value_bad,
+                "target_class": result.target_class,
+                "cf_good": result.cf_good,
+                "cf_bad": result.cf_bad,
+                "ranking": [
+                    {
+                        "rank": i,
+                        "attribute": e.attribute,
+                        "score": e.score,
+                    }
+                    for i, e in enumerate(result.ranked, start=1)
+                ],
+                "property_attributes": [
+                    {"attribute": e.attribute, "score": e.score}
+                    for e in result.property_attributes
+                ],
+            },
+        )
+        return 200
+
+    def _handle_ingest(self) -> int:
+        payload = self._read_json()
+        (rows,) = _require(payload, "rows")
+        if not isinstance(rows, list):
+            raise _BadRequest("'rows' must be a list of records")
+        store = payload.get("store")
+        if store is not None and not isinstance(store, str):
+            raise _BadRequest("'store' must be a string")
+        outcome = self.server.engine.ingest(rows, store=store)
+        self._send_json(
+            200,
+            {
+                "store": outcome.store,
+                "records": outcome.records,
+                "cubes_updated": outcome.cubes_updated,
+                "generation": outcome.generation,
+            },
+        )
+        return 200
+
+
+_ROUTES: Dict[str, Dict[str, str]] = {
+    "/healthz": {"GET": "_handle_healthz"},
+    "/metrics": {"GET": "_handle_metrics"},
+    "/cubes": {"GET": "_handle_cubes"},
+    "/compare": {"POST": "_handle_compare"},
+    "/rank": {"POST": "_handle_rank"},
+    "/ingest": {"POST": "_handle_ingest"},
+}
+
+
+class ComparisonHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`ComparisonEngine`.
+
+    >>> server = ComparisonHTTPServer(engine)     # doctest: +SKIP
+    >>> server.start_background()                 # doctest: +SKIP
+    >>> print(server.url)                         # doctest: +SKIP
+
+    Binding ``port=0`` (the test/example default path) picks a free
+    ephemeral port; read the actual address back from :attr:`url`.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        engine: ComparisonEngine,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+    ) -> None:
+        config = engine.config
+        address = (
+            host if host is not None else config.host,
+            port if port is not None else config.port,
+        )
+        super().__init__(address, _Handler)
+        self.engine = engine
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound socket (real port after bind)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start_background(self) -> "ComparisonHTTPServer":
+        """Run ``serve_forever`` on a daemon thread (tests, examples,
+        and the in-process benchmark harness)."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self.serve_forever,
+            name="repro-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the listener down and join the background thread."""
+        self.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.server_close()
+
+
+def serve(
+    engine: ComparisonEngine,
+    config: Optional[ServiceConfig] = None,
+) -> None:
+    """Blocking entry point used by ``repro serve``."""
+    config = config or engine.config
+    server = ComparisonHTTPServer(engine, config.host, config.port)
+    logger.info("serving on %s", server.url)
+    print(f"repro service listening on {server.url}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        engine.shutdown()

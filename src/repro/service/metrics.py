@@ -1,0 +1,297 @@
+"""Service metrics: counters and latency histograms.
+
+The serving layer needs the three classic signals — traffic, errors,
+latency — plus cache effectiveness, without pulling in a client
+library.  This module implements labelled counters and fixed-bucket
+histograms with a Prometheus text-format exposition
+(``GET /metrics``), stdlib only.
+
+All metric objects are thread-safe: the engine's worker pool and the
+HTTP server's handler threads update them concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "ServiceMetrics",
+    "DEFAULT_LATENCY_BUCKETS",
+    "service_metrics",
+]
+
+#: Latency buckets in seconds — spans sub-millisecond cache hits up to
+#: multi-second cold fleet screens.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, str]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _render_labels(key: _LabelKey, extra: str = "") -> str:
+    parts = [f'{name}="{_escape(value)}"' for name, value in key]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    as_int = int(value)
+    return str(as_int) if as_int == value else repr(value)
+
+
+class Counter:
+    """A monotonically increasing labelled counter."""
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help_text = help_text
+        self._values: Dict[_LabelKey, float] = {}
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (default 1) to the labelled series."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current value of one labelled series (0 when unseen)."""
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across every labelled series."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def render(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} counter",
+        ]
+        with self._lock:
+            items = sorted(self._values.items())
+        for key, value in items:
+            lines.append(
+                f"{self.name}{_render_labels(key)} {_format_value(value)}"
+            )
+        return lines
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.bucket_counts = [0] * n_buckets
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram:
+    """A labelled fixed-bucket histogram (cumulative on render).
+
+    Buckets are upper bounds in ascending order; an implicit ``+Inf``
+    bucket catches the tail, so ``observe`` never loses a sample.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                "buckets must be a non-empty strictly increasing sequence"
+            )
+        self.name = name
+        self.help_text = help_text
+        self.buckets = bounds
+        self._series: Dict[_LabelKey, _HistogramSeries] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one sample in the labelled series."""
+        key = _label_key(labels)
+        # Index of the first bucket whose bound holds the value; one
+        # past the end means the +Inf overflow bucket.
+        idx = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                idx = i
+                break
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = _HistogramSeries(len(self.buckets) + 1)
+                self._series[key] = series
+            series.bucket_counts[idx] += 1
+            series.total += value
+            series.count += 1
+
+    def count(self, **labels: str) -> int:
+        """Number of samples in one labelled series."""
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series.count if series else 0
+
+    def quantile(self, q: float, **labels: str) -> Optional[float]:
+        """Bucket-resolution quantile estimate (upper bound of the
+        bucket holding the q-th sample); ``None`` with no samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            if series is None or series.count == 0:
+                return None
+            rank = q * series.count
+            seen = 0
+            for i, n in enumerate(series.bucket_counts):
+                seen += n
+                if seen >= rank and n:
+                    if i < len(self.buckets):
+                        return self.buckets[i]
+                    return float("inf")
+            return float("inf")
+
+    def render(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} histogram",
+        ]
+        with self._lock:
+            items = sorted(
+                (key, list(s.bucket_counts), s.total, s.count)
+                for key, s in self._series.items()
+            )
+        for key, bucket_counts, total, count in items:
+            cumulative = 0
+            for bound, n in zip(
+                list(self.buckets) + [float("inf")], bucket_counts
+            ):
+                cumulative += n
+                le = _render_labels(
+                    key, f'le="{_format_value(bound)}"'
+                )
+                lines.append(
+                    f"{self.name}_bucket{le} {cumulative}"
+                )
+            labels = _render_labels(key)
+            lines.append(f"{self.name}_sum{labels} {repr(total)}")
+            lines.append(f"{self.name}_count{labels} {count}")
+        return lines
+
+
+class MetricsRegistry:
+    """A named collection of metrics with one text exposition."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str, help_text: str) -> Counter:
+        """Get or create the counter ``name``."""
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = Counter(name, help_text)
+                self._metrics[name] = metric
+            elif not isinstance(metric, Counter):
+                raise ValueError(f"{name!r} is already a non-counter")
+            return metric
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram ``name``."""
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = Histogram(name, help_text, buckets)
+                self._metrics[name] = metric
+            elif not isinstance(metric, Histogram):
+                raise ValueError(f"{name!r} is already a non-histogram")
+            return metric
+
+    def names(self) -> Iterable[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def render(self) -> str:
+        """The full Prometheus text exposition (``text/plain``)."""
+        with self._lock:
+            metrics = [self._metrics[n] for n in sorted(self._metrics)]
+        lines: List[str] = []
+        for metric in metrics:
+            lines.extend(metric.render())  # type: ignore[attr-defined]
+        return "\n".join(lines) + "\n"
+
+
+class ServiceMetrics:
+    """The serving layer's standard instrument panel."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry or MetricsRegistry()
+        self.requests = self.registry.counter(
+            "repro_requests_total",
+            "HTTP requests by endpoint and status code.",
+        )
+        self.latency = self.registry.histogram(
+            "repro_request_latency_seconds",
+            "Comparison latency by endpoint, seconds.",
+        )
+        self.cache_hits = self.registry.counter(
+            "repro_cache_hits_total",
+            "Comparison results served from the LRU cache.",
+        )
+        self.cache_misses = self.registry.counter(
+            "repro_cache_misses_total",
+            "Comparison results computed on a cache miss.",
+        )
+        self.cache_evictions = self.registry.counter(
+            "repro_cache_evictions_total",
+            "Cache entries evicted (capacity pressure or staleness).",
+        )
+        self.deadline_exceeded = self.registry.counter(
+            "repro_deadline_exceeded_total",
+            "Requests that overran the per-request deadline.",
+        )
+        self.ingested_records = self.registry.counter(
+            "repro_ingested_records_total",
+            "Records absorbed through /ingest, by store.",
+        )
+
+    def render(self) -> str:
+        return self.registry.render()
+
+
+def service_metrics(
+    registry: Optional[MetricsRegistry] = None,
+) -> ServiceMetrics:
+    """Build the standard metric set (optionally on a shared registry)."""
+    return ServiceMetrics(registry)

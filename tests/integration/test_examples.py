@@ -54,3 +54,10 @@ class TestExamples:
         assert "Month 1" in out
         assert "CHANGE" in out
         assert "without any" in out
+
+    def test_service_client(self, capsys):
+        load_example("service_client").main()
+        out = capsys.readouterr().out
+        assert "cached=True" in out
+        assert "generation 1" in out
+        assert "dominant cause moved" in out

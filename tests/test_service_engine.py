@@ -1,0 +1,307 @@
+"""Unit tests for the concurrent comparison engine
+(repro.service.engine): caching, generation invalidation, deadlines,
+and concurrent correctness against the sequential reference."""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core import Comparator, compare_all_pairs
+from repro.cube import CubeStore, save_cubes
+from repro.service import (
+    ComparisonEngine,
+    DeadlineExceeded,
+    ServiceConfig,
+    UnknownStoreError,
+    screen_fleet,
+)
+from repro.service.engine import EngineError
+from repro.synth import CallLogConfig, PlantedEffect, generate_call_logs
+
+MORNING_BUG = PlantedEffect(
+    {"PhoneModel": "ph2", "TimeOfCall": "morning"}, "dropped", 6.0
+)
+
+
+def make_data(seed: int = 11, n_records: int = 6000):
+    """Small, fully categorical call logs with a planted cause."""
+    return generate_call_logs(
+        CallLogConfig(
+            n_records=n_records,
+            n_phone_models=4,
+            n_noise_attributes=2,
+            include_signal_strength=False,
+            effects=[MORNING_BUG],
+            seed=seed,
+        )
+    )
+
+
+@pytest.fixture()
+def store():
+    return CubeStore(make_data())
+
+
+@pytest.fixture()
+def engine(store):
+    with ComparisonEngine(
+        ServiceConfig(workers=4, cache_size=32)
+    ) as eng:
+        eng.add_store(store)
+        yield eng
+
+
+def same_ranking(a, b) -> bool:
+    return [
+        (e.attribute, pytest.approx(e.score)) for e in a.ranked
+    ] == [(e.attribute, e.score) for e in b.ranked]
+
+
+class TestCache:
+    def test_miss_then_hit(self, engine):
+        first = engine.compare("PhoneModel", "ph1", "ph2", "dropped")
+        second = engine.compare("PhoneModel", "ph1", "ph2", "dropped")
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.result is first.result  # served object, not a copy
+        assert engine.metrics.cache_hits.total() == 1
+        assert engine.metrics.cache_misses.total() == 1
+
+    def test_distinct_requests_do_not_collide(self, engine):
+        a = engine.compare("PhoneModel", "ph1", "ph2", "dropped")
+        b = engine.compare("PhoneModel", "ph1", "ph3", "dropped")
+        assert not b.cache_hit
+        assert a.result.value_bad != b.result.value_bad or (
+            a.result is not b.result
+        )
+
+    def test_attributes_subset_is_part_of_the_key(self, engine):
+        engine.compare("PhoneModel", "ph1", "ph2", "dropped")
+        narrowed = engine.compare(
+            "PhoneModel", "ph1", "ph2", "dropped",
+            attributes=["TimeOfCall"],
+        )
+        assert not narrowed.cache_hit
+        assert len(narrowed.result.ranked) + len(
+            narrowed.result.property_attributes
+        ) == 1
+
+    def test_lru_eviction_at_capacity(self, store):
+        with ComparisonEngine(
+            ServiceConfig(workers=2, cache_size=2)
+        ) as eng:
+            eng.add_store(store)
+            eng.compare("PhoneModel", "ph1", "ph2", "dropped")
+            eng.compare("PhoneModel", "ph1", "ph3", "dropped")
+            eng.compare("PhoneModel", "ph1", "ph4", "dropped")
+            assert eng.cache_len() == 2
+            # The oldest entry fell out: asking again misses.
+            again = eng.compare("PhoneModel", "ph1", "ph2", "dropped")
+            assert not again.cache_hit
+            assert (
+                eng.metrics.cache_evictions.value(reason="capacity") >= 1
+            )
+
+    def test_cache_size_zero_disables_caching(self, store):
+        with ComparisonEngine(
+            ServiceConfig(workers=2, cache_size=0)
+        ) as eng:
+            eng.add_store(store)
+            eng.compare("PhoneModel", "ph1", "ph2", "dropped")
+            repeat = eng.compare("PhoneModel", "ph1", "ph2", "dropped")
+            assert not repeat.cache_hit
+            assert eng.cache_len() == 0
+
+
+class TestCorrectness:
+    def test_matches_direct_comparator(self, engine, store):
+        outcome = engine.compare("PhoneModel", "ph1", "ph2", "dropped")
+        direct = Comparator(store).compare(
+            "PhoneModel", "ph1", "ph2", "dropped"
+        )
+        assert same_ranking(outcome.result, direct)
+        assert outcome.result.cf_bad == pytest.approx(direct.cf_bad)
+
+    def test_planted_cause_tops_the_ranking(self, engine):
+        outcome = engine.compare("PhoneModel", "ph1", "ph2", "dropped")
+        assert outcome.result.ranked[0].attribute == "TimeOfCall"
+
+    def test_concurrent_matches_sequential(self, engine):
+        pairs = [
+            ("ph1", "ph2"), ("ph1", "ph3"), ("ph1", "ph4"),
+            ("ph2", "ph3"), ("ph2", "ph4"), ("ph3", "ph4"),
+        ]
+        reference_store = CubeStore(make_data())
+        reference = {
+            pair: Comparator(reference_store).compare(
+                "PhoneModel", pair[0], pair[1], "dropped"
+            )
+            for pair in pairs
+        }
+
+        def run(pair):
+            return pair, engine.compare(
+                "PhoneModel", pair[0], pair[1], "dropped"
+            )
+
+        with ThreadPoolExecutor(max_workers=8) as clients:
+            outcomes = list(clients.map(run, pairs * 5))
+        for pair, outcome in outcomes:
+            assert same_ranking(outcome.result, reference[pair])
+
+    def test_screen_fleet_matches_sequential_sweep(self, engine, store):
+        concurrent_report = screen_fleet(
+            engine, "PhoneModel", "dropped", min_gap=0.0
+        )
+        sequential_report = compare_all_pairs(
+            Comparator(store), "PhoneModel", "dropped", min_gap=0.0
+        )
+        assert sorted(concurrent_report.pairs) == sorted(
+            sequential_report.pairs
+        )
+        assert (
+            concurrent_report.most_different(3)
+            == sequential_report.most_different(3)
+        )
+        assert (
+            concurrent_report.explaining_attributes()
+            == sequential_report.explaining_attributes()
+        )
+
+    def test_screen_fleet_rejects_bad_input(self, engine):
+        with pytest.raises(EngineError):
+            screen_fleet(
+                engine, "PhoneModel", "dropped",
+                values=["ph1", "ph1"],
+            )
+
+
+class TestGenerations:
+    def test_ingest_bumps_generation_and_invalidates(self, engine, store):
+        before = engine.compare("PhoneModel", "ph1", "ph2", "dropped")
+        assert before.generation == 0
+
+        batch = make_data(seed=99, n_records=1500)
+        rows = [list(batch.row(i)) for i in range(batch.n_rows)]
+        outcome = engine.ingest(rows)
+        assert outcome.records == batch.n_rows
+        assert outcome.generation == 1
+        assert engine.generation() == 1
+
+        after = engine.compare("PhoneModel", "ph1", "ph2", "dropped")
+        assert not after.cache_hit  # the cached entry went stale
+        assert after.generation == 1
+        assert engine.metrics.cache_evictions.value(reason="stale") == 1
+
+        # The recomputed result reflects the merged counts exactly.
+        direct = Comparator(store).compare(
+            "PhoneModel", "ph1", "ph2", "dropped"
+        )
+        assert same_ranking(after.result, direct)
+        assert after.result.sup_good > before.result.sup_good
+
+        # And it is cacheable again at the new generation.
+        assert engine.compare(
+            "PhoneModel", "ph1", "ph2", "dropped"
+        ).cache_hit
+
+    def test_ingest_accepts_mapping_rows(self, engine, store):
+        schema = store.dataset.schema
+        batch = make_data(seed=5, n_records=40)
+        rows = [
+            dict(zip(schema.names, batch.row(i)))
+            for i in range(batch.n_rows)
+        ]
+        outcome = engine.ingest(rows)
+        assert outcome.records == 40
+        assert engine.metrics.ingested_records.total() == 40
+
+    def test_ingest_rejects_malformed_rows(self, engine):
+        with pytest.raises(EngineError):
+            engine.ingest([["too", "short"]])
+        with pytest.raises(EngineError):
+            engine.ingest([{"NoSuchAttribute": "x"}])
+        with pytest.raises(EngineError):
+            engine.ingest("not-a-list-of-rows")
+
+
+class SlowStore(CubeStore):
+    """A store whose cube reads stall — deterministic deadline misses."""
+
+    def __init__(self, dataset, delay: float) -> None:
+        super().__init__(dataset)
+        self._delay = delay
+
+    def cube(self, attributes):
+        time.sleep(self._delay)
+        return super().cube(attributes)
+
+
+class TestDeadlines:
+    def test_deadline_surfaces_as_typed_error(self):
+        slow = SlowStore(make_data(n_records=500), delay=0.25)
+        with ComparisonEngine(
+            ServiceConfig(workers=1, deadline_ms=30)
+        ) as eng:
+            eng.add_store(slow)
+            with pytest.raises(DeadlineExceeded):
+                eng.compare("PhoneModel", "ph1", "ph2", "dropped")
+            assert eng.metrics.deadline_exceeded.total() == 1
+
+    def test_per_request_deadline_override(self, engine):
+        outcome = engine.compare(
+            "PhoneModel", "ph1", "ph2", "dropped",
+            deadline_ms=60_000,
+        )
+        assert outcome.result.ranked
+
+
+class TestStores:
+    def test_unknown_store(self, engine):
+        with pytest.raises(UnknownStoreError):
+            engine.compare(
+                "PhoneModel", "ph1", "ph2", "dropped", store="nope"
+            )
+
+    def test_no_stores_registered(self):
+        with ComparisonEngine() as eng:
+            with pytest.raises(UnknownStoreError):
+                eng.compare("PhoneModel", "ph1", "ph2", "dropped")
+
+    def test_duplicate_registration_rejected(self, engine, store):
+        with pytest.raises(EngineError):
+            engine.add_store(store)
+
+    def test_single_store_is_the_implicit_default(self, store):
+        with ComparisonEngine() as eng:
+            eng.add_store(store, name="only")
+            outcome = eng.compare(
+                "PhoneModel", "ph1", "ph2", "dropped"
+            )
+            assert outcome.store == "only"
+
+    def test_describe_stores(self, engine):
+        (info,) = engine.describe_stores()
+        assert info["name"] == "default"
+        assert info["generation"] == 0
+        assert "PhoneModel" in info["attributes"]
+        assert info["class_attribute"] == "Disposition"
+
+    def test_archive_warm_start_matches_live_store(
+        self, engine, store, tmp_path
+    ):
+        store.precompute(include_pairs=True)
+        path = tmp_path / "cubes.npz"
+        save_cubes(store, path)
+        engine.load_archive(path, name="warm")
+        warm = engine.compare(
+            "PhoneModel", "ph1", "ph2", "dropped", store="warm"
+        )
+        live = engine.compare(
+            "PhoneModel", "ph1", "ph2", "dropped", store="default"
+        )
+        assert same_ranking(warm.result, live.result)
+        assert warm.store == "warm"

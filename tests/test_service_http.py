@@ -1,0 +1,286 @@
+"""Round-trip tests for the HTTP front-end (repro.service.http):
+endpoint behaviour over a real ephemeral-port socket, the structured
+error contract, and the /metrics exposition."""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import Comparator
+from repro.cube import CubeStore
+from repro.service import (
+    ComparisonEngine,
+    ComparisonHTTPServer,
+    ServiceConfig,
+)
+from repro.synth import CallLogConfig, PlantedEffect, generate_call_logs
+
+
+def make_data(seed: int = 11, n_records: int = 6000):
+    return generate_call_logs(
+        CallLogConfig(
+            n_records=n_records,
+            n_phone_models=4,
+            n_noise_attributes=2,
+            include_signal_strength=False,
+            effects=[
+                PlantedEffect(
+                    {"PhoneModel": "ph2", "TimeOfCall": "morning"},
+                    "dropped",
+                    6.0,
+                )
+            ],
+            seed=seed,
+        )
+    )
+
+
+def http_get(url: str):
+    try:
+        with urllib.request.urlopen(url) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8")
+
+
+def http_post(url: str, payload, raw: bytes = None):
+    body = raw if raw is not None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+@pytest.fixture()
+def service():
+    """A live server over a fresh store on an ephemeral port."""
+    store = CubeStore(make_data())
+    engine = ComparisonEngine(ServiceConfig(workers=2, cache_size=32))
+    engine.add_store(store)
+    server = ComparisonHTTPServer(engine, port=0).start_background()
+    try:
+        yield server.url, engine, store
+    finally:
+        server.stop()
+        engine.shutdown()
+
+
+COMPARE = {
+    "pivot": "PhoneModel",
+    "value_a": "ph1",
+    "value_b": "ph2",
+    "target_class": "dropped",
+}
+
+
+class TestEndpoints:
+    def test_healthz(self, service):
+        url, _, _ = service
+        status, body = http_get(url + "/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+    def test_cubes_inventory(self, service):
+        url, _, _ = service
+        status, body = http_get(url + "/cubes")
+        (info,) = json.loads(body)["stores"]
+        assert status == 200
+        assert info["name"] == "default"
+        assert "PhoneModel" in info["attributes"]
+
+    def test_compare_round_trip_matches_direct_api(self, service):
+        url, _, store = service
+        status, body = http_post(url + "/compare", COMPARE)
+        assert status == 200
+        direct = Comparator(store).compare(
+            "PhoneModel", "ph1", "ph2", "dropped"
+        )
+        assert body["cf_bad"] == pytest.approx(direct.cf_bad)
+        assert [e["attribute"] for e in body["ranked"]] == [
+            e.attribute for e in direct.ranked
+        ]
+        assert body["ranked"][0]["score"] == pytest.approx(
+            direct.ranked[0].score
+        )
+        assert body["generation"] == 0
+        assert body["cached"] is False
+
+    def test_compare_top_truncates(self, service):
+        url, _, _ = service
+        _, body = http_post(url + "/compare", {**COMPARE, "top": 2})
+        assert len(body["ranked"]) == 2
+
+    def test_repeat_compare_served_from_cache(self, service):
+        url, engine, _ = service
+        http_post(url + "/compare", COMPARE)
+        status, body = http_post(url + "/compare", COMPARE)
+        assert status == 200
+        assert body["cached"] is True
+        assert engine.metrics.cache_hits.total() == 1
+
+    def test_rank_returns_the_full_ranking(self, service):
+        url, _, store = service
+        status, body = http_post(url + "/rank", COMPARE)
+        assert status == 200
+        direct = Comparator(store).compare(
+            "PhoneModel", "ph1", "ph2", "dropped"
+        )
+        assert [e["attribute"] for e in body["ranking"]] == [
+            e.attribute for e in direct.ranked
+        ]
+        assert [e["rank"] for e in body["ranking"]] == list(
+            range(1, len(direct.ranked) + 1)
+        )
+        assert [e["attribute"] for e in body["property_attributes"]] == [
+            e.attribute for e in direct.property_attributes
+        ]
+
+    def test_ingest_bumps_generation_and_invalidates(self, service):
+        url, _, store = service
+        _, before = http_post(url + "/compare", COMPARE)
+        batch = make_data(seed=99, n_records=800)
+        rows = [list(batch.row(i)) for i in range(batch.n_rows)]
+        status, outcome = http_post(url + "/ingest", {"rows": rows})
+        assert status == 200
+        assert outcome["records"] == 800
+        assert outcome["generation"] == 1
+        _, after = http_post(url + "/compare", COMPARE)
+        assert after["cached"] is False
+        assert after["generation"] == 1
+        assert after["sup_good"] > before["sup_good"]
+
+
+class TestErrorContract:
+    def test_unknown_attribute_is_400(self, service):
+        url, _, _ = service
+        status, body = http_post(
+            url + "/compare", {**COMPARE, "pivot": "NoSuchAttr"}
+        )
+        assert status == 400
+        assert "NoSuchAttr" in body["error"]
+        assert "Traceback" not in body["error"]
+
+    def test_unknown_value_is_400(self, service):
+        url, _, _ = service
+        status, body = http_post(
+            url + "/compare", {**COMPARE, "value_a": "ph99"}
+        )
+        assert status == 400
+        assert "error" in body
+
+    def test_missing_fields_is_400(self, service):
+        url, _, _ = service
+        status, body = http_post(
+            url + "/compare", {"pivot": "PhoneModel"}
+        )
+        assert status == 400
+        assert "value_a" in body["error"]
+
+    def test_malformed_json_is_400(self, service):
+        url, _, _ = service
+        status, body = http_post(
+            url + "/compare", None, raw=b"{not json"
+        )
+        assert status == 400
+        assert "invalid JSON" in body["error"]
+
+    def test_non_object_body_is_400(self, service):
+        url, _, _ = service
+        status, body = http_post(url + "/compare", None, raw=b"[1, 2]")
+        assert status == 400
+
+    def test_unknown_store_is_400(self, service):
+        url, _, _ = service
+        status, body = http_post(
+            url + "/compare", {**COMPARE, "store": "nope"}
+        )
+        assert status == 400
+        assert "nope" in body["error"]
+
+    def test_unknown_path_is_404(self, service):
+        url, _, _ = service
+        status, body = http_get(url + "/nope")
+        assert status == 404
+        assert "error" in json.loads(body)
+
+    def test_wrong_method_is_405(self, service):
+        url, _, _ = service
+        status, body = http_get(url + "/compare")
+        assert status == 405
+        assert "POST" in json.loads(body)["error"]
+
+    def test_deadline_exceeded_is_503(self):
+        class SlowStore(CubeStore):
+            def cube(self, attributes):
+                time.sleep(0.25)
+                return super().cube(attributes)
+
+        engine = ComparisonEngine(
+            ServiceConfig(workers=1, deadline_ms=30)
+        )
+        engine.add_store(SlowStore(make_data(n_records=500)))
+        server = ComparisonHTTPServer(engine, port=0).start_background()
+        try:
+            status, body = http_post(server.url + "/compare", COMPARE)
+            assert status == 503
+            assert "error" in body
+        finally:
+            server.stop()
+            engine.shutdown()
+
+
+class TestMetricsExposition:
+    def test_metrics_render_parses(self, service):
+        url, _, _ = service
+        http_post(url + "/compare", COMPARE)
+        http_post(url + "/compare", COMPARE)
+        status, text = http_get(url + "/metrics")
+        assert status == 200
+        assert text.endswith("\n")
+        samples = {}
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            float(value)  # every sample value parses as a number
+            samples[name_part] = float(value)
+        assert (
+            samples['repro_cache_hits_total{store="default"}'] == 1.0
+        )
+        assert (
+            samples['repro_cache_misses_total{store="default"}'] == 1.0
+        )
+        request_lines = [
+            k for k in samples
+            if k.startswith("repro_requests_total")
+            and 'endpoint="compare"' in k
+        ]
+        assert request_lines, "request counter missing"
+        latency_counts = [
+            k for k in samples
+            if k.startswith("repro_request_latency_seconds_count")
+        ]
+        assert latency_counts, "latency histogram missing"
+
+    def test_histogram_buckets_are_cumulative(self, service):
+        url, _, _ = service
+        for _ in range(3):
+            http_post(url + "/compare", COMPARE)
+        _, text = http_get(url + "/metrics")
+        buckets = []
+        for line in text.splitlines():
+            if line.startswith(
+                "repro_request_latency_seconds_bucket"
+            ) and 'endpoint="compare"' in line:
+                buckets.append(float(line.rsplit(" ", 1)[1]))
+        assert buckets == sorted(buckets)
+        assert buckets[-1] == 3.0  # +Inf bucket holds every sample

@@ -113,3 +113,56 @@ class TestCubeStore:
     def test_repr(self):
         store = CubeStore(make_dataset())
         assert "4 attributes" in repr(store)
+
+
+class TestThreadSafety:
+    """Regression tests for the store's internal lock: the comparison
+    service hammers one store's lazy ``cube()`` fill from a whole
+    worker pool, which used to race on the cache dict."""
+
+    def test_concurrent_lazy_fill_is_consistent(self):
+        import itertools
+        from concurrent.futures import ThreadPoolExecutor
+
+        ds = make_dataset(n_attrs=6, n=400)
+        store = CubeStore(ds)
+        names = store.attributes
+        pairs = list(itertools.combinations(names, 2))
+        # Mix canonical and transposed orders plus single-attribute
+        # requests, repeated so threads collide on the same keys.
+        requests = (
+            pairs * 4
+            + [tuple(reversed(p)) for p in pairs] * 4
+            + [(n,) for n in names] * 8
+        )
+
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            cubes = list(pool.map(store.cube, requests))
+
+        for requested, cube in zip(requests, cubes):
+            assert cube.names == requested
+            assert cube == build_cube(ds, requested)
+        # Exactly one cache entry per canonical key — no duplicate or
+        # lost fills.
+        assert store.n_cached == len(pairs) + len(names)
+
+    def test_concurrent_absorb_and_reads_do_not_corrupt(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        ds = make_dataset(n_attrs=3, n=300)
+        batch = make_dataset(n_attrs=3, n=50)
+        store = CubeStore(ds)
+        store.precompute(include_pairs=True)
+
+        def read(_):
+            return int(store.cube(("A0", "A1")).counts.sum())
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            futures = [pool.submit(read, i) for i in range(20)]
+            store.absorb(batch)
+            totals = {f.result() for f in futures}
+
+        # Every read saw either the old or the new total — never a
+        # half-merged cube.
+        assert totals <= {300, 350}
+        assert int(store.cube(("A0", "A1")).counts.sum()) == 350
