@@ -153,6 +153,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request deadline; 0 disables (default 5000)",
     )
     serve.add_argument(
+        "--breaker-failures", type=int, default=5,
+        dest="breaker_failures", metavar="N",
+        help=(
+            "consecutive store failures before the circuit breaker "
+            "opens; 0 disables (default 5)"
+        ),
+    )
+    serve.add_argument(
+        "--breaker-reset-seconds", type=float, default=30.0,
+        dest="breaker_reset_seconds", metavar="SECONDS",
+        help="open-breaker cool-down before a half-open probe "
+             "(default 30)",
+    )
+    serve.add_argument(
+        "--fault-plan", default=None, dest="fault_plan", metavar="JSON",
+        help=(
+            "chaos testing: install the repro.testing fault plan in "
+            "this JSON file for the server's lifetime (deterministic "
+            "injected latency/failures at declared sites)"
+        ),
+    )
+    serve.add_argument(
         "--no-precompute", action="store_true",
         help="skip materialising pair cubes from a CSV before serving",
     )
@@ -261,6 +283,10 @@ def _build_serve_engine(args: argparse.Namespace):
         cache_size=args.cache_size,
         deadline_ms=args.deadline_ms or None,
         default_store=args.name,
+        breaker_failures=getattr(args, "breaker_failures", 5),
+        breaker_reset_seconds=getattr(
+            args, "breaker_reset_seconds", 30.0
+        ),
     )
     engine = ComparisonEngine(config)
     if args.csv:
@@ -288,7 +314,26 @@ def _build_serve_engine(args: argparse.Namespace):
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     engine, config, serve = _build_serve_engine(args)
-    serve(engine, config)
+    fault_plan = getattr(args, "fault_plan", None)
+    if fault_plan:
+        from .testing import FaultPlan
+        from .testing.sites import install, uninstall
+
+        plan = FaultPlan.from_file(fault_plan)
+        rules = ", ".join(
+            f"{r.site} p={r.probability}" for r in plan.rules
+        )
+        print(
+            f"CHAOS: fault plan {fault_plan} installed "
+            f"(seed {plan.seed}; {rules})"
+        )
+        install(plan)
+        try:
+            serve(engine, config)
+        finally:
+            uninstall(plan)
+    else:
+        serve(engine, config)
     return 0
 
 

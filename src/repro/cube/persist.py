@@ -28,6 +28,7 @@ from typing import Dict, Tuple, Union
 import numpy as np
 
 from ..dataset.schema import Attribute, Schema
+from ..testing.sites import SITE_PERSIST_LOAD, trip
 from .rulecube import CubeError, RuleCube
 from .store import CubeStore
 
@@ -79,8 +80,13 @@ def save_cubes(store: CubeStore, path: PathLike) -> int:
 
 
 def load_cubes(path: PathLike) -> Dict[Tuple[str, ...], RuleCube]:
-    """Load cubes from an archive written by :func:`save_cubes`."""
+    """Load cubes from an archive written by :func:`save_cubes`.
+
+    A declared fault site (``persist.load``): chaos runs can fail the
+    archive read mid-warm-start (see :mod:`repro.testing`).
+    """
     path = Path(path)
+    trip(SITE_PERSIST_LOAD, path=str(path))
     with np.load(path) as archive:
         if _META_KEY not in archive:
             raise CubeError(f"{path} is not a rule-cube archive")

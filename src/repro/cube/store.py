@@ -31,6 +31,7 @@ import threading
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..dataset.table import Dataset
+from ..testing.sites import SITE_STORE_CUBE, trip
 from .builder import build_cube
 from .rulecube import CubeError, RuleCube
 
@@ -134,7 +135,12 @@ class CubeStore:
         Cubes are cached under the sorted attribute tuple; a request in
         a different axis order is served by transposing the cached cube
         (counts are order-independent).
+
+        This is a declared fault site (``store.cube``): a chaos run
+        can make any cube read slow or fail here, standing in for a
+        sick disk or remote store (see :mod:`repro.testing`).
         """
+        trip(SITE_STORE_CUBE, attributes=tuple(attributes))
         requested = tuple(attributes)
         for name in requested:
             if name not in self._attributes:

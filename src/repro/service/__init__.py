@@ -9,13 +9,17 @@ layer:
   settings;
 * :mod:`repro.service.engine` — a thread-safe
   :class:`ComparisonEngine` owning named cube stores, a worker pool
-  with per-request deadlines, and a generation-aware LRU result cache
-  that the incremental-ingest path invalidates;
+  with per-request deadlines, a per-store circuit breaker, and a
+  generation-aware LRU result cache that the incremental-ingest path
+  invalidates;
 * :mod:`repro.service.batch` — :func:`screen_fleet`, the fleet-wide
-  pairwise sweep fanned out across the pool;
+  pairwise sweep fanned out across the pool, degrading per-pair
+  failures into a structured ledger instead of aborting;
 * :mod:`repro.service.http` — a stdlib ``ThreadingHTTPServer`` with
   JSON endpoints (``/compare``, ``/rank``, ``/ingest``, ``/cubes``,
   ``/healthz``, ``/metrics``) and a no-tracebacks error contract;
+* :mod:`repro.service.client` — a retrying client with exponential
+  backoff + jitter and per-call deadline budgets;
 * :mod:`repro.service.metrics` — counters and latency histograms in
   Prometheus text format.
 
@@ -34,14 +38,23 @@ Quickstart::
 
 from .config import ConfigError, ServiceConfig
 from .engine import (
+    CircuitBreaker,
     CompareOutcome,
     ComparisonEngine,
     DeadlineExceeded,
     EngineError,
     IngestOutcome,
+    StoreUnavailable,
     UnknownStoreError,
 )
-from .batch import screen_fleet
+from .batch import FleetScreenOutcome, PairFailure, screen_fleet
+from .client import (
+    BudgetExhausted,
+    ClientError,
+    RetryPolicy,
+    ServerError,
+    ServiceClient,
+)
 from .http import ComparisonHTTPServer, serve
 from .metrics import (
     Counter,
@@ -60,7 +73,16 @@ __all__ = [
     "EngineError",
     "UnknownStoreError",
     "DeadlineExceeded",
+    "StoreUnavailable",
+    "CircuitBreaker",
     "screen_fleet",
+    "FleetScreenOutcome",
+    "PairFailure",
+    "ServiceClient",
+    "RetryPolicy",
+    "ClientError",
+    "ServerError",
+    "BudgetExhausted",
     "ComparisonHTTPServer",
     "serve",
     "Counter",

@@ -10,18 +10,63 @@ The merge is deterministic: results are keyed by the oriented
 :class:`~repro.core.PairwiseReport`, whose rankings sort by
 (gap, pair) and (count, attribute) — the completion order of the
 workers never shows through.
+
+Degradation is graceful: one dying comparison must not abort a
+200-pair screen.  A pair whose compute fails (injected fault, broken
+store, deadline, open breaker) becomes a structured
+:class:`PairFailure` in the returned :class:`FleetScreenOutcome`
+instead of an exception, and every surviving pair's result is exactly
+what a fault-free screen would have produced — failures are dropped,
+never smeared.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from ..core.comparator import ComparatorError
 from ..core.pairwise import PairwiseReport
 from ..core.results import ComparisonResult
-from .engine import ComparisonEngine, EngineError
+from .engine import ComparisonEngine, EngineError, StoreUnavailable
 
-__all__ = ["screen_fleet"]
+__all__ = ["screen_fleet", "FleetScreenOutcome", "PairFailure"]
+
+
+class PairFailure(NamedTuple):
+    """One pair the screen could not compare, as structured data."""
+
+    value_a: str
+    value_b: str
+    error: str  #: exception type name, e.g. ``"FaultInjected"``
+    message: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "value_a": self.value_a,
+            "value_b": self.value_b,
+            "error": self.error,
+            "message": self.message,
+        }
+
+
+class FleetScreenOutcome(NamedTuple):
+    """A fleet screen's report plus its failure ledger.
+
+    ``attempted == len(report.pairs) + skipped + len(failures)``:
+    every pair is accounted for exactly once — compared, skipped
+    (empty sub-population or below ``min_gap``, as in the sequential
+    sweep), or failed.
+    """
+
+    report: PairwiseReport
+    failures: Tuple[PairFailure, ...]
+    attempted: int
+    skipped: int
+
+    @property
+    def complete(self) -> bool:
+        """True when no pair failed."""
+        return not self.failures
 
 
 def screen_fleet(
@@ -32,7 +77,7 @@ def screen_fleet(
     attributes: Optional[Sequence[str]] = None,
     min_gap: float = 0.0,
     store: Optional[str] = None,
-) -> PairwiseReport:
+) -> FleetScreenOutcome:
     """Compare every pair of pivot values concurrently.
 
     Semantics match :func:`repro.core.compare_all_pairs` — pairs with
@@ -41,8 +86,10 @@ def screen_fleet(
     task, so k values cost k(k-1)/2 comparisons spread over the pool
     (and repeated screens hit the result cache pair by pair).
 
-    Returns the same :class:`~repro.core.PairwiseReport` the
-    sequential sweep builds; the test suite asserts equality.
+    Invalid *requests* (unknown pivot, duplicate values) still raise:
+    they would fail every pair identically.  Per-pair infrastructure
+    failures degrade into :class:`PairFailure` entries; the test suite
+    asserts the surviving report equals the fault-free sweep's.
     """
     managed_store = engine._resolve(store)  # validates the store name
     schema = managed_store.store.dataset.schema
@@ -64,22 +111,53 @@ def screen_fleet(
         for i, a in enumerate(values)
         for b in values[i + 1:]
     ]
-    futures = [
-        engine.compare_async(
-            pivot_attribute, a, b, target_class,
-            attributes=attributes, store=store,
-        )
-        for a, b in pairs
-    ]
+    futures = []
+    failures: List[PairFailure] = []
+    for a, b in pairs:
+        try:
+            futures.append(
+                (
+                    (a, b),
+                    engine.compare_async(
+                        pivot_attribute, a, b, target_class,
+                        attributes=attributes, store=store,
+                    ),
+                )
+            )
+        except StoreUnavailable as exc:
+            # The breaker rejected the submission itself.
+            futures.append(((a, b), exc))
 
     results: Dict[Tuple[str, str], ComparisonResult] = {}
-    for future in futures:
+    skipped = 0
+    for (a, b), future in futures:
+        if isinstance(future, StoreUnavailable):
+            failures.append(
+                PairFailure(a, b, type(future).__name__, str(future))
+            )
+            continue
         try:
             outcome = future.result()
         except ComparatorError:
-            continue  # empty sub-population etc., as in the sweep
+            skipped += 1  # empty sub-population etc., as in the sweep
+            continue
+        except Exception as exc:
+            failures.append(
+                PairFailure(a, b, type(exc).__name__, str(exc))
+            )
+            continue
         result = outcome.result
         if result.cf_bad - result.cf_good < min_gap:
+            skipped += 1
             continue
         results[(result.value_good, result.value_bad)] = result
-    return PairwiseReport(pivot_attribute, target_class, results)
+    if failures:
+        engine.metrics.fleet_pair_failures.inc(
+            len(failures), store=managed_store.name
+        )
+    return FleetScreenOutcome(
+        report=PairwiseReport(pivot_attribute, target_class, results),
+        failures=tuple(failures),
+        attempted=len(pairs),
+        skipped=skipped,
+    )

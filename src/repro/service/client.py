@@ -1,0 +1,375 @@
+"""A retrying HTTP client for the comparison service.
+
+The paper's system is interactive — an engineer at a console — so a
+transient server-side hiccup (a deadline overrun, an open circuit
+breaker, a dropped connection) should cost a short, bounded wait, not
+a stack trace in the analyst's face and not a retry storm against an
+already-struggling store.  This client implements the standard
+discipline:
+
+* **exponential backoff with jitter** between attempts, so a fleet of
+  clients that failed together does not retry together;
+* **server hints win**: a ``Retry-After`` header or ``retry_after``
+  body field (the breaker's cool-down) replaces the computed backoff,
+  and the ``deadline_ms`` a 503 deadline-overrun body reports is used
+  to budget — a retry is only worth launching if the remaining budget
+  could actually absorb another full server-side deadline;
+* **deadline budgets**: every public call takes/inherits a total
+  budget in milliseconds; when backoff-plus-expected-work no longer
+  fits, the client stops early with :class:`BudgetExhausted` carrying
+  the full attempt history.
+
+Transport, clock and sleep are injectable, so the retry logic is unit
+tested deterministically without sockets; the default transport is
+stdlib ``urllib`` against a live server.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, NamedTuple, Optional
+
+__all__ = [
+    "RetryPolicy",
+    "Attempt",
+    "ClientError",
+    "ServerError",
+    "BudgetExhausted",
+    "ServiceClient",
+]
+
+#: Status codes worth retrying: overload/unavailability, never 4xx.
+RETRYABLE_STATUSES = frozenset({502, 503, 504})
+
+
+class ClientError(RuntimeError):
+    """A non-retryable (4xx) response; carries the parsed error body."""
+
+    def __init__(self, status: int, body: Dict[str, Any]) -> None:
+        super().__init__(
+            f"HTTP {status}: {body.get('error', 'request failed')}"
+        )
+        self.status = status
+        self.body = body
+
+
+class Attempt(NamedTuple):
+    """One attempt in a call's history (for errors and debugging)."""
+
+    status: Optional[int]  #: HTTP status, None for transport errors
+    error: str  #: short description of why the attempt failed
+    waited: float  #: seconds slept *before* this attempt
+
+
+class ServerError(RuntimeError):
+    """All attempts failed with retryable errors."""
+
+    def __init__(self, message: str, attempts: List[Attempt]) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class BudgetExhausted(ServerError):
+    """The deadline budget ran out before the attempts did."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff shape: ``base * multiplier**n``, capped, plus jitter.
+
+    ``jitter`` is the fraction of the delay drawn uniformly at random
+    and *added* (0.5 → delay in [d, 1.5 d]).  ``seed`` pins the jitter
+    stream for reproducible tests; ``None`` seeds from the OS.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        raw = min(
+            self.base_delay * (self.multiplier ** (attempt - 1)),
+            self.max_delay,
+        )
+        return raw * (1.0 + self.jitter * rng.random())
+
+
+def _urllib_transport(
+    method: str, url: str, body: Optional[bytes], timeout: float
+):
+    """Default transport: returns ``(status, headers, raw_body)``."""
+    request = urllib.request.Request(
+        url,
+        data=body,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers or {}), exc.read()
+
+
+class ServiceClient:
+    """Typed access to the comparison service with retries.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` of a running service.
+    policy:
+        The :class:`RetryPolicy`; the default retries 4 times over
+        ~±0.5 s.
+    budget_ms:
+        Default total budget per call (wall clock spent on attempts
+        plus waits); ``None`` means unbounded.  Every public method
+        accepts a per-call override.
+    transport / sleep / clock:
+        Injection points for tests.  ``transport(method, url, body,
+        timeout)`` must return ``(status, headers, raw_body)`` or
+        raise ``OSError``/``urllib.error.URLError`` for transport
+        failures (which are retryable).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        policy: Optional[RetryPolicy] = None,
+        budget_ms: Optional[float] = None,
+        transport: Callable = _urllib_transport,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.policy = policy or RetryPolicy()
+        self.budget_ms = budget_ms
+        self._transport = transport
+        self._sleep = sleep
+        self._clock = clock
+        self._rng = random.Random(self.policy.seed)
+        #: deadline_ms the server last reported in a 503 body; used to
+        #: decide whether a retry can still fit in the budget.
+        self.last_server_deadline_ms: Optional[float] = None
+
+    # -- core retry loop ------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        budget_ms: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """One logical call: retries retryable failures under budget."""
+        if budget_ms is None:
+            budget_ms = self.budget_ms
+        url = self.base_url + path
+        body = (
+            None
+            if payload is None
+            else json.dumps(payload).encode("utf-8")
+        )
+        started = self._clock()
+        attempts: List[Attempt] = []
+        wait = 0.0
+        for attempt in range(1, self.policy.max_attempts + 1):
+            if wait > 0:
+                self._sleep(wait)
+            # Per-attempt socket timeout: the remaining budget, else a
+            # generous constant.
+            if budget_ms is None:
+                timeout = 60.0
+            else:
+                remaining = budget_ms / 1000.0 - (
+                    self._clock() - started
+                )
+                if remaining <= 0:
+                    raise BudgetExhausted(
+                        f"budget of {budget_ms} ms exhausted after "
+                        f"{len(attempts)} attempt(s)",
+                        attempts,
+                    )
+                timeout = remaining
+            try:
+                status, headers, raw = self._transport(
+                    method, url, body, timeout
+                )
+            except (OSError, urllib.error.URLError) as exc:
+                attempts.append(Attempt(None, str(exc), wait))
+                wait = self._next_wait(
+                    attempt, None, {}, budget_ms, started, attempts
+                )
+                continue
+            parsed = self._parse(raw)
+            if status < 400:
+                return parsed
+            if status in RETRYABLE_STATUSES:
+                if "deadline_ms" in parsed:
+                    self.last_server_deadline_ms = float(
+                        parsed["deadline_ms"]
+                    )
+                attempts.append(
+                    Attempt(
+                        status,
+                        str(parsed.get("error", f"HTTP {status}")),
+                        wait,
+                    )
+                )
+                wait = self._next_wait(
+                    attempt, headers, parsed, budget_ms, started,
+                    attempts,
+                )
+                continue
+            raise ClientError(status, parsed)
+        raise ServerError(
+            f"{method} {path} failed after "
+            f"{self.policy.max_attempts} attempts "
+            f"(last: {attempts[-1].error})",
+            attempts,
+        )
+
+    def _next_wait(
+        self,
+        attempt: int,
+        headers: Optional[Dict[str, str]],
+        parsed: Dict[str, Any],
+        budget_ms: Optional[float],
+        started: float,
+        attempts: List[Attempt],
+    ) -> float:
+        """Delay before the next attempt; raises when it cannot fit."""
+        if attempt >= self.policy.max_attempts:
+            return 0.0  # no further attempt; the loop will exit
+        wait = self.policy.delay(attempt, self._rng)
+        # The server knows its own cool-down better than our backoff.
+        hinted = self._server_hint(headers, parsed)
+        if hinted is not None:
+            wait = max(wait, hinted)
+        if budget_ms is not None:
+            remaining = budget_ms / 1000.0 - (self._clock() - started)
+            # A retry only helps if, after waiting, a full server-side
+            # deadline could still elapse inside the budget.
+            needed = wait
+            if self.last_server_deadline_ms is not None:
+                needed += self.last_server_deadline_ms / 1000.0
+            if needed >= remaining:
+                raise BudgetExhausted(
+                    f"retry needs {needed * 1000:.0f} ms "
+                    f"(wait + server deadline) but only "
+                    f"{max(remaining, 0) * 1000:.0f} ms of the "
+                    f"{budget_ms} ms budget remain",
+                    attempts,
+                )
+        return wait
+
+    @staticmethod
+    def _server_hint(
+        headers: Optional[Dict[str, str]], parsed: Dict[str, Any]
+    ) -> Optional[float]:
+        if isinstance(parsed.get("retry_after"), (int, float)):
+            return float(parsed["retry_after"])
+        for name, value in (headers or {}).items():
+            if name.lower() == "retry-after":
+                try:
+                    return float(value)
+                except ValueError:
+                    return None
+        return None
+
+    @staticmethod
+    def _parse(raw: bytes) -> Dict[str, Any]:
+        try:
+            parsed = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return {"error": raw[:200].decode("utf-8", "replace")}
+        if not isinstance(parsed, dict):
+            return {"error": "non-object response body"}
+        return parsed
+
+    # -- endpoint wrappers ----------------------------------------------
+
+    def compare(
+        self,
+        pivot: str,
+        value_a: str,
+        value_b: str,
+        target_class: str,
+        budget_ms: Optional[float] = None,
+        **extra: Any,
+    ) -> Dict[str, Any]:
+        payload = {
+            "pivot": pivot,
+            "value_a": value_a,
+            "value_b": value_b,
+            "target_class": target_class,
+            **extra,
+        }
+        return self.request(
+            "POST", "/compare", payload, budget_ms=budget_ms
+        )
+
+    def rank(
+        self,
+        pivot: str,
+        value_a: str,
+        value_b: str,
+        target_class: str,
+        budget_ms: Optional[float] = None,
+        **extra: Any,
+    ) -> Dict[str, Any]:
+        payload = {
+            "pivot": pivot,
+            "value_a": value_a,
+            "value_b": value_b,
+            "target_class": target_class,
+            **extra,
+        }
+        return self.request(
+            "POST", "/rank", payload, budget_ms=budget_ms
+        )
+
+    def ingest(
+        self,
+        rows: List[Any],
+        store: Optional[str] = None,
+        budget_ms: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"rows": rows}
+        if store is not None:
+            payload["store"] = store
+        return self.request(
+            "POST", "/ingest", payload, budget_ms=budget_ms
+        )
+
+    def health(self, budget_ms: Optional[float] = None) -> Dict[str, Any]:
+        return self.request("GET", "/healthz", budget_ms=budget_ms)
+
+    def cubes(self, budget_ms: Optional[float] = None) -> Dict[str, Any]:
+        return self.request("GET", "/cubes", budget_ms=budget_ms)
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceClient({self.base_url!r}, "
+            f"{self.policy.max_attempts} attempts, "
+            f"budget={self.budget_ms} ms)"
+        )

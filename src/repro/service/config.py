@@ -41,6 +41,15 @@ class ServiceConfig:
         ``None`` disables the deadline.
     default_store:
         Name requests fall back to when they do not name a store.
+    breaker_failures:
+        Consecutive compute failures after which a store's circuit
+        breaker opens (requests are rejected immediately with
+        :class:`~repro.service.engine.StoreUnavailable` instead of
+        piling onto a failing store).  ``0`` disables the breaker.
+    breaker_reset_seconds:
+        How long an open breaker waits before letting one half-open
+        probe through; a successful probe closes the breaker, a failed
+        one re-opens it for another full window.
     """
 
     host: str = "127.0.0.1"
@@ -49,6 +58,8 @@ class ServiceConfig:
     cache_size: int = 256
     deadline_ms: Optional[int] = 5_000
     default_store: str = "default"
+    breaker_failures: int = 5
+    breaker_reset_seconds: float = 30.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -61,6 +72,12 @@ class ServiceConfig:
             raise ConfigError("port must be in [0, 65535]")
         if not self.default_store:
             raise ConfigError("default_store must be non-empty")
+        if self.breaker_failures < 0:
+            raise ConfigError(
+                "breaker_failures must be non-negative (0 disables)"
+            )
+        if self.breaker_reset_seconds <= 0:
+            raise ConfigError("breaker_reset_seconds must be positive")
 
     @property
     def deadline_seconds(self) -> Optional[float]:

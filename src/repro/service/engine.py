@@ -22,11 +22,23 @@ writer.  A readers–writer lock per store lets any number of
 comparisons overlap while an ``absorb`` waits for the store to go
 quiet and then runs exclusively — a comparison can never observe a
 half-merged store.
+
+Resilience contract: every store carries a :class:`CircuitBreaker`.
+Compute failures that are *not* the client's fault (anything other
+than a domain ``ValueError``/``KeyError``) count against a
+consecutive-failure budget; when it is exhausted the breaker opens and
+requests fail fast with the typed :class:`StoreUnavailable` (HTTP 503
+with ``Retry-After``) instead of queueing behind a dying store.  After
+a cool-down, a single half-open probe decides between closing the
+breaker and another full open window.  Cache hits are always served,
+breaker state notwithstanding — stale-free results we already have
+are exactly what graceful degradation should hand out.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -48,6 +60,7 @@ from ..core.results import ComparisonResult
 from ..cube.persist import archive_schema, load_store_cubes
 from ..cube.store import CubeStore
 from ..dataset.table import Dataset
+from ..testing.sites import SITE_ENGINE_COMPARE, trip
 from .config import ServiceConfig
 from .metrics import ServiceMetrics, service_metrics
 
@@ -58,6 +71,8 @@ __all__ = [
     "EngineError",
     "UnknownStoreError",
     "DeadlineExceeded",
+    "StoreUnavailable",
+    "CircuitBreaker",
 ]
 
 _UNSET = object()
@@ -72,7 +87,151 @@ class UnknownStoreError(EngineError):
 
 
 class DeadlineExceeded(RuntimeError):
-    """Raised when a comparison overruns its deadline (HTTP 503)."""
+    """Raised when a comparison overruns its deadline (HTTP 503).
+
+    ``deadline_ms`` carries the deadline that applied to the request
+    (the per-request override when given, else the engine config's),
+    so clients can budget their retries against it.
+    """
+
+    def __init__(
+        self, message: str, deadline_ms: Optional[float] = None
+    ) -> None:
+        super().__init__(message)
+        self.deadline_ms = deadline_ms
+
+
+class StoreUnavailable(RuntimeError):
+    """Raised when a store's circuit breaker rejects a request
+    (HTTP 503 with a ``Retry-After`` hint).
+
+    ``retry_after`` is the seconds until the breaker will next admit a
+    half-open probe — the earliest moment a retry can help.
+    """
+
+    def __init__(self, store: str, retry_after: float) -> None:
+        retry_after = max(float(retry_after), 0.0)
+        super().__init__(
+            f"store {store!r} is unavailable (circuit breaker open); "
+            f"retry in {retry_after:.1f}s"
+        )
+        self.store = store
+        self.retry_after = retry_after
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker guarding one store.
+
+    closed --(``threshold`` consecutive failures)--> open
+    open --(``reset_seconds`` elapse)--> half-open (one probe admitted)
+    half-open --(probe succeeds)--> closed
+    half-open --(probe fails)--> open (a fresh full window)
+
+    ``threshold=0`` disables the breaker entirely (``allow`` never
+    rejects).  ``clock`` is injectable so tests can drive the window
+    deterministically, and ``on_transition`` (new state name) feeds
+    the metrics panel.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        store: str,
+        threshold: int,
+        reset_seconds: float,
+        clock=time.monotonic,
+        on_transition=None,
+    ) -> None:
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        if reset_seconds <= 0:
+            raise ValueError("reset_seconds must be positive")
+        self._store = store
+        self._threshold = threshold
+        self._reset_seconds = float(reset_seconds)
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._failures
+
+    def _transition(self, state: str) -> None:
+        # Caller holds the lock.
+        self._state = state
+        if self._on_transition is not None:
+            self._on_transition(state)
+
+    def allow(self) -> None:
+        """Admit a request or raise :class:`StoreUnavailable`.
+
+        The call that moves an open breaker past its window becomes
+        the half-open probe; concurrent requests keep getting rejected
+        until that probe reports back.
+        """
+        if self._threshold == 0:
+            return
+        with self._lock:
+            if self._state == self.CLOSED:
+                return
+            if self._state == self.OPEN:
+                remaining = (
+                    self._opened_at + self._reset_seconds - self._clock()
+                )
+                if remaining > 0:
+                    raise StoreUnavailable(self._store, remaining)
+                self._transition(self.HALF_OPEN)
+                self._probing = True
+                return
+            # Half-open: one probe in flight at a time.
+            if self._probing:
+                raise StoreUnavailable(
+                    self._store, self._reset_seconds
+                )
+            self._probing = True
+
+    def record_success(self) -> None:
+        """A compute finished (or failed for client-side reasons)."""
+        if self._threshold == 0:
+            return
+        with self._lock:
+            self._failures = 0
+            self._probing = False
+            if self._state != self.CLOSED:
+                self._transition(self.CLOSED)
+
+    def record_failure(self) -> None:
+        """An infrastructure failure; may open the breaker."""
+        if self._threshold == 0:
+            return
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self._probing = False
+                self._failures = self._threshold
+                self._opened_at = self._clock()
+                self._transition(self.OPEN)
+                return
+            self._failures += 1
+            if (
+                self._state == self.CLOSED
+                and self._failures >= self._threshold
+            ):
+                self._opened_at = self._clock()
+                self._transition(self.OPEN)
 
 
 class CompareOutcome(NamedTuple):
@@ -183,18 +342,26 @@ class _LRUCache:
 
 
 class _ManagedStore:
-    """A named store with its comparator, generation and write lock."""
+    """A named store with its comparator, generation, write lock and
+    circuit breaker."""
 
-    __slots__ = ("name", "store", "comparator", "generation", "rwlock")
+    __slots__ = (
+        "name", "store", "comparator", "generation", "rwlock", "breaker"
+    )
 
     def __init__(
-        self, name: str, store: CubeStore, comparator: Comparator
+        self,
+        name: str,
+        store: CubeStore,
+        comparator: Comparator,
+        breaker: CircuitBreaker,
     ) -> None:
         self.name = name
         self.store = store
         self.comparator = comparator
         self.generation = 0
         self.rwlock = _RWLock()
+        self.breaker = breaker
 
 
 Row = Union[Sequence[object], Mapping[str, object]]
@@ -253,10 +420,24 @@ class ComparisonEngine:
         :class:`~repro.core.Comparator`."""
         name = name or self._config.default_store
         comparator = Comparator(store, **comparator_options)  # type: ignore[arg-type]
+        breaker = CircuitBreaker(
+            name,
+            self._config.breaker_failures,
+            self._config.breaker_reset_seconds,
+            on_transition=(
+                lambda state, _store=name: (
+                    self._metrics.breaker_transitions.inc(
+                        store=_store, state=state
+                    )
+                )
+            ),
+        )
         with self._stores_lock:
             if name in self._stores:
                 raise EngineError(f"store {name!r} already registered")
-            self._stores[name] = _ManagedStore(name, store, comparator)
+            self._stores[name] = _ManagedStore(
+                name, store, comparator, breaker
+            )
         return name
 
     def load_archive(
@@ -296,6 +477,7 @@ class ComparisonEngine:
                 {
                     "name": m.name,
                     "generation": m.generation,
+                    "breaker": m.breaker.state,
                     "n_cached_cubes": m.store.n_cached,
                     "n_rows": m.store.dataset.n_rows,
                     "class_attribute": schema.class_name,
@@ -308,6 +490,11 @@ class ComparisonEngine:
     def generation(self, store: Optional[str] = None) -> int:
         """Current generation counter of a store."""
         return self._resolve(store).generation
+
+    def breaker_state(self, store: Optional[str] = None) -> str:
+        """Current circuit-breaker state of a store
+        (``closed`` / ``open`` / ``half_open``)."""
+        return self._resolve(store).breaker.state
 
     def _resolve(self, name: Optional[str]) -> _ManagedStore:
         with self._stores_lock:
@@ -351,17 +538,23 @@ class ComparisonEngine:
             attributes=attributes, store=store,
         )
         if deadline_ms is _UNSET:
-            timeout = self._config.deadline_seconds
+            effective_ms: Optional[float] = (
+                None
+                if self._config.deadline_ms is None
+                else float(self._config.deadline_ms)
+            )
         elif deadline_ms is None:
-            timeout = None
+            effective_ms = None
         else:
-            timeout = float(deadline_ms) / 1000.0  # type: ignore[arg-type]
+            effective_ms = float(deadline_ms)  # type: ignore[arg-type]
+        timeout = None if effective_ms is None else effective_ms / 1000.0
         try:
             return future.result(timeout=timeout)
         except FutureTimeoutError:
             self._metrics.deadline_exceeded.inc()
             raise DeadlineExceeded(
-                f"comparison did not finish within {deadline_ms if deadline_ms is not _UNSET else self._config.deadline_ms} ms"
+                f"comparison did not finish within {effective_ms} ms",
+                deadline_ms=effective_ms,
             ) from None
 
     def compare_async(
@@ -375,9 +568,14 @@ class ComparisonEngine:
     ) -> "Future[CompareOutcome]":
         """Submit a comparison to the pool; returns immediately.
 
-        A cache hit resolves the returned future synchronously.  Used
-        by :func:`repro.service.batch.screen_fleet` to fan a whole
-        fleet out across the pool.
+        A cache hit resolves the returned future synchronously — even
+        while the store's circuit breaker is open, because a live
+        cached result is the one thing a degraded store can still
+        serve safely.  With the breaker open and no cached result the
+        call raises :class:`StoreUnavailable` immediately instead of
+        returning a future.  Used by
+        :func:`repro.service.batch.screen_fleet` to fan a whole fleet
+        out across the pool.
         """
         managed = self._resolve(store)
         key = (
@@ -399,6 +597,11 @@ class ComparisonEngine:
                 )
             )
             return done
+        try:
+            managed.breaker.allow()
+        except StoreUnavailable:
+            self._metrics.breaker_rejections.inc(store=managed.name)
+            raise
         self._metrics.cache_misses.inc(store=managed.name)
         return self._pool.submit(
             self._compute, managed, key, pivot_attribute, value_a,
@@ -415,12 +618,32 @@ class ComparisonEngine:
         target_class: str,
         attributes: Optional[Sequence[str]],
     ) -> CompareOutcome:
-        with managed.rwlock.read_locked():
-            generation = managed.generation
-            result = managed.comparator.compare(
-                pivot_attribute, value_a, value_b, target_class,
-                attributes=attributes,
+        try:
+            trip(
+                SITE_ENGINE_COMPARE,
+                store=managed.name,
+                pivot=pivot_attribute,
+                values=(value_a, value_b),
             )
+            with managed.rwlock.read_locked():
+                generation = managed.generation
+                result = managed.comparator.compare(
+                    pivot_attribute, value_a, value_b, target_class,
+                    attributes=attributes,
+                )
+        except (ValueError, KeyError):
+            # The client's fault (unknown attribute/value, empty
+            # sub-population): the store itself answered fine, so the
+            # failure streak resets.
+            managed.breaker.record_success()
+            raise
+        except Exception as exc:
+            managed.breaker.record_failure()
+            self._metrics.compare_failures.inc(
+                store=managed.name, error=type(exc).__name__
+            )
+            raise
+        managed.breaker.record_success()
         self._cache.put(key, generation, result)
         return CompareOutcome(result, managed.name, generation, False)
 

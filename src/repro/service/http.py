@@ -16,22 +16,27 @@ GET       ``/metrics``   Prometheus text exposition
 
 Error contract: clients never see a traceback.  Malformed requests and
 unknown attributes/values/stores return ``400`` with a JSON error
-body, a deadline overrun returns ``503``, unknown paths ``404``, wrong
-methods ``405``, and anything unexpected is a generic ``500`` whose
-detail stays in the server log.
+body, unknown paths ``404``, wrong methods ``405``, and anything
+unexpected is a generic ``500`` whose detail stays in the server log.
+Overload surfaces as ``503``: a deadline overrun carries the applied
+``deadline_ms`` in the body (so a retrying client can budget), and an
+open circuit breaker carries ``retry_after`` in the body plus a
+``Retry-After`` header.
 """
 
 from __future__ import annotations
 
 import json
 import logging
+import math
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Mapping, Optional, Tuple
 
+from ..testing.sites import SITE_HTTP_HANDLER, trip
 from .config import ServiceConfig
-from .engine import ComparisonEngine, DeadlineExceeded
+from .engine import ComparisonEngine, DeadlineExceeded, StoreUnavailable
 
 __all__ = ["ComparisonHTTPServer", "serve"]
 
@@ -91,11 +96,18 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:
         logger.debug("%s %s", self.address_string(), format % args)
 
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -136,6 +148,7 @@ class _Handler(BaseHTTPRequestHandler):
         status = 500
         started = time.perf_counter()
         try:
+            trip(SITE_HTTP_HANDLER, method=method, path=path)
             if routes is None:
                 status = 404
                 self._send_json(
@@ -161,7 +174,22 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(status, {"error": str(exc)})
         except DeadlineExceeded as exc:
             status = 503
-            self._send_json(status, {"error": str(exc)})
+            body: Dict[str, Any] = {"error": str(exc)}
+            if exc.deadline_ms is not None:
+                body["deadline_ms"] = exc.deadline_ms
+            self._send_json(status, body)
+        except StoreUnavailable as exc:
+            status = 503
+            retry_after = max(1, math.ceil(exc.retry_after))
+            self._send_json(
+                status,
+                {
+                    "error": str(exc),
+                    "store": exc.store,
+                    "retry_after": exc.retry_after,
+                },
+                headers={"Retry-After": str(retry_after)},
+            )
         except (ValueError, KeyError) as exc:
             # Domain errors (ComparatorError, CubeError, SchemaError,
             # EngineError, bad lookups) all derive from these.

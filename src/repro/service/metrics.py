@@ -285,6 +285,24 @@ class ServiceMetrics:
             "repro_ingested_records_total",
             "Records absorbed through /ingest, by store.",
         )
+        self.compare_failures = self.registry.counter(
+            "repro_compare_failures_total",
+            "Comparison computes that failed, by store and error type "
+            "(domain errors such as unknown attributes excluded).",
+        )
+        self.breaker_transitions = self.registry.counter(
+            "repro_breaker_transitions_total",
+            "Circuit-breaker state transitions, by store and new state.",
+        )
+        self.breaker_rejections = self.registry.counter(
+            "repro_breaker_rejections_total",
+            "Requests rejected because a store's breaker was open.",
+        )
+        self.fleet_pair_failures = self.registry.counter(
+            "repro_fleet_pair_failures_total",
+            "Fleet-screen pairs that failed and were reported as "
+            "structured errors instead of aborting the screen.",
+        )
 
     def render(self) -> str:
         return self.registry.render()

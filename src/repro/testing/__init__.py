@@ -1,0 +1,53 @@
+"""Deterministic fault injection and test-data generation.
+
+The serving layer's resilience claims (circuit breaking, graceful
+fleet degradation, no-traceback error contract) are only claims until
+faults actually happen.  This package makes them happen on demand:
+
+* :mod:`repro.testing.sites` — the registry of named fault sites the
+  production code exposes (``store.cube``, ``engine.compare``,
+  ``http.handler``, ``persist.load``);
+* :mod:`repro.testing.faults` — :class:`FaultPlan`, a seeded,
+  reproducible set of latency/exception injection rules installed via
+  a context manager (no monkeypatching);
+* :mod:`repro.testing.datagen` — seeded random data sets and count
+  matrices for the property-based and differential tests (imported
+  lazily; it needs numpy, the injection path must not).
+
+Chaos quickstart::
+
+    from repro.testing import FaultPlan, FaultRule
+
+    plan = FaultPlan(
+        [FaultRule("store.cube", probability=0.3)], seed=11
+    )
+    with plan.installed():
+        ...  # 30% of cube reads now raise FaultInjected
+    print(plan.stats())
+
+The same plan serialises to JSON for manual chaos against a live
+service: ``repro serve data.csv --class-attribute C --fault-plan
+plan.json``.
+"""
+
+from .faults import FaultInjected, FaultPlan, FaultRule
+from .sites import (
+    SITE_ENGINE_COMPARE,
+    SITE_HTTP_HANDLER,
+    SITE_PERSIST_LOAD,
+    SITE_STORE_CUBE,
+    SITES,
+)
+from . import sites
+
+__all__ = [
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "SITES",
+    "SITE_STORE_CUBE",
+    "SITE_ENGINE_COMPARE",
+    "SITE_HTTP_HANDLER",
+    "SITE_PERSIST_LOAD",
+    "sites",
+]

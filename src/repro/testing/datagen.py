@@ -1,0 +1,171 @@
+"""Seeded generators for property and differential tests.
+
+The paper's Section IV.A proves boundary behaviour of the
+interestingness measure; pinning those proofs needs many random —
+but reproducible — count matrices and data sets.  This module
+generates them from explicit seeds so a failing case can be replayed
+by number, and so CI can sweep several base seeds
+(``REPRO_TEST_SEED``) without flaking.
+
+Everything here is test support, but it ships inside the package:
+the differential harness is also useful operationally (validating a
+cube archive against a raw extract before promoting it to serving).
+
+Imported lazily (not via ``repro.testing.__init__``) because it pulls
+in numpy and the dataset layer, which the fault-injection hot path
+must not.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..dataset.schema import Attribute, Schema
+from ..dataset.table import Dataset
+
+__all__ = [
+    "random_count_matrices",
+    "proportional_count_matrices",
+    "concentrated_count_matrices",
+    "random_dataset",
+]
+
+
+def random_count_matrices(
+    seed: int,
+    n_values: Optional[int] = None,
+    n_classes: Optional[int] = None,
+    max_count: int = 400,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Two random ``(n_values, n_classes)`` count matrices.
+
+    The pair plays ``(D_1, D_2)`` planes of one candidate attribute.
+    Rows may be all-zero (values absent from a sub-population), which
+    is exactly the edge the property-attribute statistic cares about.
+    """
+    rng = np.random.default_rng(seed)
+    if n_values is None:
+        n_values = int(rng.integers(1, 7))
+    if n_classes is None:
+        n_classes = int(rng.integers(2, 5))
+    shape = (n_values, n_classes)
+    counts1 = rng.integers(0, max_count, size=shape, dtype=np.int64)
+    counts2 = rng.integers(0, max_count, size=shape, dtype=np.int64)
+    # Occasionally blank whole rows to exercise disjoint supports.
+    for counts in (counts1, counts2):
+        mask = rng.random(n_values) < 0.2
+        counts[mask] = 0
+    return counts1, counts2
+
+
+def proportional_count_matrices(
+    seed: int, ratio: int = 2
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A pair of matrices in *exact* proportionality.
+
+    Both sub-populations have the same per-value sizes; every value's
+    target-class hits in ``D_2`` are exactly ``ratio`` times those in
+    ``D_1``.  Then ``cf_2k / cf_1k == cf_2 / cf_1 == ratio`` for every
+    value with hits, which is the paper's "Situation 1" — the measure's
+    proven minimum ``M_i = 0`` (with the interval guard disabled).
+    """
+    if ratio < 1:
+        raise ValueError("ratio must be a positive integer")
+    rng = np.random.default_rng(seed)
+    n_values = int(rng.integers(1, 7))
+    sizes = rng.integers(20, 200, size=n_values, dtype=np.int64)
+    # hits1 small enough that ratio * hits1 still fits in the value.
+    hits1 = np.array(
+        [rng.integers(0, s // ratio + 1) for s in sizes],
+        dtype=np.int64,
+    )
+    hits2 = ratio * hits1
+    counts1 = np.stack([sizes - hits1, hits1], axis=1)
+    counts2 = np.stack([sizes - hits2, hits2], axis=1)
+    return counts1, counts2
+
+
+def concentrated_count_matrices(
+    seed: int,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """The measure's proven maximum configuration.
+
+    All of ``D_2``'s target-class records concentrate on one value with
+    100% confidence, and that value never carries the target class in
+    ``D_1`` — so its expected confidence is 0, its excess is 1, and
+    ``M_i`` attains the ceiling ``cf_2 · |D_2|`` (the concentrated
+    value's ``N_2k``).  Returns ``(counts1, counts2, bad_records)``.
+    """
+    rng = np.random.default_rng(seed)
+    n_values = int(rng.integers(2, 7))
+    bad = int(rng.integers(10, 200))
+    # D_1: the concentrated value (index 0) has support but zero hits;
+    # other values carry hits so the overall cf_1 is positive.
+    sizes1 = rng.integers(10, 200, size=n_values, dtype=np.int64)
+    hits1 = np.array(
+        [0] + [rng.integers(1, s + 1) for s in sizes1[1:]],
+        dtype=np.int64,
+    )
+    counts1 = np.stack([sizes1 - hits1, hits1], axis=1)
+    # D_2: value 0 holds every bad record at 100% confidence; the rest
+    # of the population spreads over the other values, all good.
+    sizes2 = np.zeros(n_values, dtype=np.int64)
+    hits2 = np.zeros(n_values, dtype=np.int64)
+    sizes2[0] = hits2[0] = bad
+    for k in range(1, n_values):
+        sizes2[k] = rng.integers(0, 100)
+    counts2 = np.stack([sizes2 - hits2, hits2], axis=1)
+    return counts1, counts2, bad
+
+
+def random_dataset(
+    seed: int,
+    n_rows: Optional[int] = None,
+    plant_property: bool = False,
+) -> Dataset:
+    """A random fully-categorical data set for differential testing.
+
+    Random attribute count/arities, a 2–3 class attribute, and a
+    guarantee that the first attribute (the conventional pivot) has at
+    least two populated values.  ``plant_property=True`` adds a
+    ``Prop`` attribute whose value is a function of the pivot value, so
+    the two pivot sub-populations have disjoint ``Prop`` supports and
+    the τ = 0.9 property detector must flag it.
+    """
+    rng = np.random.default_rng(seed)
+    if n_rows is None:
+        n_rows = int(rng.integers(150, 400))
+    n_attrs = int(rng.integers(3, 6))
+    n_classes = int(rng.integers(2, 4))
+
+    attrs = []
+    columns = {}
+    pivot_arity = int(rng.integers(2, 5))
+    for i in range(n_attrs):
+        arity = pivot_arity if i == 0 else int(rng.integers(2, 6))
+        name = f"A{i}"
+        attrs.append(
+            Attribute(name, values=tuple(f"v{j}" for j in range(arity)))
+        )
+        col = rng.integers(0, arity, size=n_rows).astype(np.int64)
+        columns[name] = col
+    # Both conventional pivot sub-populations must be non-empty.
+    columns["A0"][0] = 0
+    columns["A0"][1] = 1
+
+    if plant_property:
+        # Two property values partitioned by pivot parity — disjoint
+        # supports, the Section IV.C situation.
+        attrs.append(Attribute("Prop", values=("p0", "p1")))
+        columns["Prop"] = (columns["A0"] % 2).astype(np.int64)
+
+    attrs.append(
+        Attribute("C", values=tuple(f"c{j}" for j in range(n_classes)))
+    )
+    columns["C"] = rng.integers(0, n_classes, size=n_rows).astype(
+        np.int64
+    )
+    schema = Schema(attrs, class_attribute="C")
+    return Dataset.from_columns(schema, columns)

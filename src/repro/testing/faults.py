@@ -1,0 +1,293 @@
+"""Deterministic fault plans for chaos runs.
+
+A :class:`FaultPlan` is a seeded list of :class:`FaultRule`\\ s bound
+to the named sites of :mod:`repro.testing.sites`.  Each time
+production code trips a site, every matching rule draws from its own
+``random.Random`` stream and, when it triggers, injects latency
+(``time.sleep``) and/or raises the typed :class:`FaultInjected`.
+
+Reproducibility contract: each rule owns an independent PRNG seeded
+from ``(plan seed, rule index)``, and draws exactly one number per
+visit under a lock — so the decision sequence at a site is a pure
+function of the seed and the *visit order*.  Single-threaded runs are
+bit-reproducible; concurrent runs are reproducible as a multiset (the
+same number of triggers for the same number of visits, whichever
+threads make them).
+
+Plans also serialise to/from plain dictionaries, which is how
+``repro serve --fault-plan plan.json`` runs manual chaos against a
+live service::
+
+    {"seed": 7, "rules": [
+        {"site": "store.cube", "probability": 0.3, "fail": true},
+        {"site": "http.handler", "probability": 0.05,
+         "latency_ms": 40}]}
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from .sites import SITES, installed as _installed
+
+__all__ = ["FaultInjected", "FaultRule", "FaultPlan"]
+
+
+class FaultInjected(RuntimeError):
+    """The failure a fault rule raises — typed so chaos tests can tell
+    an injected fault from a genuine bug surfacing mid-test."""
+
+    def __init__(self, site: str, message: Optional[str] = None) -> None:
+        super().__init__(
+            message or f"injected fault at site {site!r}"
+        )
+        self.site = site
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule bound to a site.
+
+    Parameters
+    ----------
+    site:
+        A name from :data:`repro.testing.sites.SITES`.
+    probability:
+        Chance a visit triggers the rule (1.0 = every visit).
+    fail:
+        Whether a triggered visit raises :class:`FaultInjected`.
+    latency:
+        Seconds a triggered visit sleeps (before failing, if both).
+    after:
+        Skip the first ``after`` visits — "the store died mid-screen".
+    max_triggers:
+        Stop injecting after this many triggers — "and then recovered";
+        ``None`` keeps injecting forever.
+    """
+
+    site: str
+    probability: float = 1.0
+    fail: bool = True
+    latency: float = 0.0
+    after: int = 0
+    max_triggers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r} "
+                f"(declared sites: {', '.join(SITES)})"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+        if self.after < 0:
+            raise ValueError("after must be non-negative")
+        if self.max_triggers is not None and self.max_triggers < 0:
+            raise ValueError("max_triggers must be non-negative or None")
+        if not self.fail and self.latency == 0.0:
+            raise ValueError(
+                "a rule must fail, inject latency, or both"
+            )
+
+
+class _RuleState:
+    """Mutable per-rule bookkeeping: its PRNG stream and counters."""
+
+    __slots__ = ("rng", "visits", "triggers")
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self.visits = 0
+        self.triggers = 0
+
+
+class FaultPlan:
+    """A seeded, installable set of fault rules.
+
+    Use :meth:`installed` around the code under test::
+
+        plan = FaultPlan([FaultRule("store.cube", probability=0.3)],
+                         seed=11)
+        with plan.installed():
+            ...   # 30% of cube reads now raise FaultInjected
+
+    The plan records how often each rule fired; :meth:`stats` reports
+    visits/triggers per site so tests can assert the chaos actually
+    happened.
+    """
+
+    def __init__(
+        self, rules: Sequence[FaultRule], seed: int = 0
+    ) -> None:
+        self.rules = tuple(rules)
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self._states = [
+            _RuleState(self._rule_seed(i))
+            for i in range(len(self.rules))
+        ]
+
+    def _rule_seed(self, index: int) -> int:
+        # Independent of PYTHONHASHSEED: a plain affine mix of the plan
+        # seed and the rule index.
+        return (self.seed * 1_000_003 + index) & 0x7FFFFFFF
+
+    # -- the injection hook (called from production threads) -----------
+
+    def fire(self, site: str, **context: object) -> None:
+        """Apply every matching rule to one visit of ``site``."""
+        sleep_for = 0.0
+        failure: Optional[FaultInjected] = None
+        with self._lock:
+            for rule, state in zip(self.rules, self._states):
+                if rule.site != site:
+                    continue
+                state.visits += 1
+                if state.visits <= rule.after:
+                    continue
+                if (
+                    rule.max_triggers is not None
+                    and state.triggers >= rule.max_triggers
+                ):
+                    continue
+                # One draw per eligible visit keeps the stream aligned
+                # with the visit count even for probability-1 rules.
+                draw = state.rng.random()
+                if draw >= rule.probability:
+                    continue
+                state.triggers += 1
+                sleep_for = max(sleep_for, rule.latency)
+                if rule.fail and failure is None:
+                    failure = FaultInjected(site)
+        if sleep_for > 0.0:
+            time.sleep(sleep_for)
+        if failure is not None:
+            raise failure
+
+    # -- lifecycle ------------------------------------------------------
+
+    def installed(self):
+        """Context manager installing this plan in the global registry
+        (see :func:`repro.testing.sites.installed`)."""
+        return _installed(self)
+
+    def reset(self) -> None:
+        """Rewind every rule to its initial seeded state."""
+        with self._lock:
+            self._states = [
+                _RuleState(self._rule_seed(i))
+                for i in range(len(self.rules))
+            ]
+
+    # -- observability --------------------------------------------------
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-site totals: ``{site: {"visits": v, "triggers": t}}``."""
+        out: Dict[str, Dict[str, int]] = {}
+        with self._lock:
+            for rule, state in zip(self.rules, self._states):
+                entry = out.setdefault(
+                    rule.site, {"visits": 0, "triggers": 0}
+                )
+                entry["visits"] += state.visits
+                entry["triggers"] += state.triggers
+        return out
+
+    def triggers(self, site: Optional[str] = None) -> int:
+        """Total trigger count (optionally for one site)."""
+        with self._lock:
+            return sum(
+                state.triggers
+                for rule, state in zip(self.rules, self._states)
+                if site is None or rule.site == site
+            )
+
+    # -- (de)serialisation ---------------------------------------------
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "FaultPlan":
+        """Build a plan from the JSON shape documented above."""
+        if not isinstance(payload, Mapping):
+            raise ValueError("a fault plan must be a JSON object")
+        raw_rules = payload.get("rules")
+        if not isinstance(raw_rules, Sequence) or isinstance(
+            raw_rules, (str, bytes)
+        ):
+            raise ValueError("'rules' must be a list of rule objects")
+        rules: List[FaultRule] = []
+        for i, raw in enumerate(raw_rules):
+            if not isinstance(raw, Mapping):
+                raise ValueError(f"rule {i} must be an object")
+            known = {
+                "site", "probability", "fail", "latency_ms",
+                "after", "max_triggers",
+            }
+            unknown = set(raw) - known
+            if unknown:
+                raise ValueError(
+                    f"rule {i} has unknown keys: {sorted(unknown)}"
+                )
+            if "site" not in raw:
+                raise ValueError(f"rule {i} is missing 'site'")
+            rules.append(
+                FaultRule(
+                    site=str(raw["site"]),
+                    probability=float(raw.get("probability", 1.0)),
+                    fail=bool(raw.get("fail", True)),
+                    latency=float(raw.get("latency_ms", 0.0)) / 1000.0,
+                    after=int(raw.get("after", 0)),
+                    max_triggers=(
+                        None
+                        if raw.get("max_triggers") is None
+                        else int(raw["max_triggers"])  # type: ignore[arg-type]
+                    ),
+                )
+            )
+        seed = payload.get("seed", 0)
+        if not isinstance(seed, int):
+            raise ValueError("'seed' must be an integer")
+        return cls(rules, seed=seed)
+
+    @classmethod
+    def from_json(
+        cls, source: Union[str, bytes]
+    ) -> "FaultPlan":
+        """Parse a plan from a JSON string."""
+        return cls.from_dict(json.loads(source))
+
+    @classmethod
+    def from_file(cls, path: object) -> "FaultPlan":
+        """Load a plan from a JSON file (the CLI's ``--fault-plan``)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON-safe inverse of :meth:`from_dict`."""
+        return {
+            "seed": self.seed,
+            "rules": [
+                {
+                    "site": r.site,
+                    "probability": r.probability,
+                    "fail": r.fail,
+                    "latency_ms": r.latency * 1000.0,
+                    "after": r.after,
+                    "max_triggers": r.max_triggers,
+                }
+                for r in self.rules
+            ],
+        }
+
+    def __repr__(self) -> str:
+        sites = ", ".join(sorted({r.site for r in self.rules}))
+        return (
+            f"FaultPlan({len(self.rules)} rules at [{sites}], "
+            f"seed={self.seed})"
+        )

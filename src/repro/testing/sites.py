@@ -1,0 +1,107 @@
+"""Named fault sites the production code exposes.
+
+Resilience cannot be tested through interfaces that only exist in
+tests: monkeypatched failures exercise the patch, not the system.
+Instead, the production modules *declare* the places where the outside
+world can hurt them — a cube read, a comparison compute, an HTTP
+handler, an archive load — by calling :func:`trip` with a well-known
+site name.  When nothing is installed (the production default) a trip
+is a single list check, cheap enough to leave in every hot path.
+
+A chaos run installs one or more :class:`~repro.testing.faults
+.FaultPlan` objects (anything with a ``fire(site, **context)`` method
+works); every subsequent trip offers each installed plan the chance to
+inject latency or raise a typed failure at that site.
+
+The registry is process-global on purpose: the fault plan must reach
+code running on *other* threads (the engine's worker pool, the HTTP
+server's handler threads), which rules out anything scoped to the
+installing thread.  Install/uninstall are the only mutations and both
+are locked; :func:`installed` is the context-manager form chaos tests
+use so a failing test can never leak its faults into the next one.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, List, Tuple
+
+__all__ = [
+    "SITES",
+    "SITE_STORE_CUBE",
+    "SITE_ENGINE_COMPARE",
+    "SITE_HTTP_HANDLER",
+    "SITE_PERSIST_LOAD",
+    "trip",
+    "install",
+    "uninstall",
+    "installed",
+    "active_plans",
+]
+
+SITE_STORE_CUBE = "store.cube"
+SITE_ENGINE_COMPARE = "engine.compare"
+SITE_HTTP_HANDLER = "http.handler"
+SITE_PERSIST_LOAD = "persist.load"
+
+#: Every site the production code declares, for validation and docs.
+SITES: Tuple[str, ...] = (
+    SITE_STORE_CUBE,
+    SITE_ENGINE_COMPARE,
+    SITE_HTTP_HANDLER,
+    SITE_PERSIST_LOAD,
+)
+
+_lock = threading.Lock()
+_plans: List[object] = []
+
+
+def trip(site: str, **context: object) -> None:
+    """Offer every installed plan the chance to act at ``site``.
+
+    Production code calls this at each declared site.  With no plan
+    installed it returns immediately; with plans installed, each one's
+    ``fire`` runs in installation order on the *calling* thread, so an
+    injected exception propagates exactly like a real failure at that
+    site would.
+    """
+    if not _plans:
+        return
+    with _lock:
+        plans = list(_plans)
+    for plan in plans:
+        plan.fire(site, **context)  # type: ignore[attr-defined]
+
+
+def install(plan: object) -> None:
+    """Register ``plan`` so future trips consult it."""
+    if not callable(getattr(plan, "fire", None)):
+        raise TypeError("a fault plan must expose fire(site, **context)")
+    with _lock:
+        _plans.append(plan)
+
+
+def uninstall(plan: object) -> None:
+    """Remove ``plan``; unknown plans are ignored (idempotent)."""
+    with _lock:
+        try:
+            _plans.remove(plan)
+        except ValueError:
+            pass
+
+
+@contextmanager
+def installed(plan: object) -> Iterator[object]:
+    """Install ``plan`` for the duration of a ``with`` block."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        uninstall(plan)
+
+
+def active_plans() -> List[object]:
+    """Snapshot of the currently installed plans (outermost first)."""
+    with _lock:
+        return list(_plans)

@@ -69,6 +69,27 @@ class TestParser:
                 ]
             )
 
+    def test_serve_resilience_args(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "data.csv",
+                "--class-attribute", "C",
+                "--breaker-failures", "2",
+                "--breaker-reset-seconds", "0.5",
+                "--fault-plan", "plan.json",
+            ]
+        )
+        assert args.breaker_failures == 2
+        assert args.breaker_reset_seconds == 0.5
+        assert args.fault_plan == "plan.json"
+        # The resilience knobs default sensibly when omitted.
+        args = build_parser().parse_args(
+            ["serve", "data.csv", "--class-attribute", "C"]
+        )
+        assert args.breaker_failures == 5
+        assert args.breaker_reset_seconds == 30.0
+        assert args.fault_plan is None
+
 
 class TestCommands:
     def test_demo(self, capsys):
@@ -199,6 +220,47 @@ class TestCommands:
         )
         assert status == 0
         assert "Refinements" not in out.read_text()
+
+    def test_build_serve_engine_wires_breaker_config(self, csv_path):
+        from repro.cli import _build_serve_engine
+
+        args = build_parser().parse_args(
+            [
+                "serve", str(csv_path),
+                "--class-attribute", "C",
+                "--breaker-failures", "2",
+                "--breaker-reset-seconds", "0.5",
+                "--no-precompute",
+            ]
+        )
+        engine, config, _ = _build_serve_engine(args)
+        try:
+            assert config.breaker_failures == 2
+            assert config.breaker_reset_seconds == 0.5
+            assert engine.breaker_state("default") == "closed"
+        finally:
+            engine.shutdown()
+
+    def test_fault_plan_loads_from_file(self, tmp_path):
+        import json
+
+        from repro.testing import FaultPlan
+
+        path = tmp_path / "plan.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "seed": 3,
+                    "rules": [
+                        {"site": "store.cube", "probability": 0.25}
+                    ],
+                }
+            )
+        )
+        plan = FaultPlan.from_file(path)
+        assert plan.seed == 3
+        assert plan.rules[0].site == "store.cube"
+        assert plan.rules[0].probability == 0.25
 
     def test_missing_file_returns_error(self, capsys):
         status = main(

@@ -1,0 +1,218 @@
+"""Unit tests for the retrying service client
+(repro.service.client): backoff shape, server hints, deadline budgets
+— all against a scripted in-memory transport, no sockets."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import (
+    BudgetExhausted,
+    ClientError,
+    RetryPolicy,
+    ServerError,
+    ServiceClient,
+)
+
+
+class FakeTransport:
+    """Replays a scripted list of responses/exceptions in order."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.calls = []
+
+    def __call__(self, method, url, body, timeout):
+        self.calls.append((method, url, body, timeout))
+        step = self.script.pop(0)
+        if isinstance(step, Exception):
+            raise step
+        status, headers, payload = step
+        return status, headers, json.dumps(payload).encode()
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+def make_client(script, policy=None, budget_ms=None):
+    clock = FakeClock()
+    transport = FakeTransport(script)
+    client = ServiceClient(
+        "http://test",
+        policy=policy
+        or RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.0,
+                       seed=0),
+        budget_ms=budget_ms,
+        transport=transport,
+        sleep=clock.sleep,
+        clock=clock,
+    )
+    return client, transport, clock
+
+
+OK = (200, {}, {"result": "fine"})
+BUSY = (503, {}, {"error": "overloaded"})
+
+
+class TestRetryLoop:
+    def test_two_503s_then_success(self):
+        client, transport, clock = make_client([BUSY, BUSY, OK])
+        assert client.request("GET", "/healthz") == {"result": "fine"}
+        assert len(transport.calls) == 3
+        # Exponential backoff with jitter=0: 0.1s then 0.2s.
+        assert clock.sleeps == [
+            pytest.approx(0.1), pytest.approx(0.2),
+        ]
+
+    def test_transport_errors_retry_too(self):
+        client, transport, _ = make_client(
+            [OSError("connection refused"), OK]
+        )
+        assert client.health() == {"result": "fine"}
+        assert len(transport.calls) == 2
+
+    def test_exhausted_attempts_raise_with_history(self):
+        client, _, _ = make_client([BUSY] * 4)
+        with pytest.raises(ServerError) as info:
+            client.request("GET", "/healthz")
+        assert not isinstance(info.value, BudgetExhausted)
+        assert len(info.value.attempts) == 4
+        assert all(a.status == 503 for a in info.value.attempts)
+        assert "overloaded" in info.value.attempts[-1].error
+
+    def test_4xx_never_retries(self):
+        client, transport, _ = make_client(
+            [(400, {}, {"error": "unknown pivot"})]
+        )
+        with pytest.raises(ClientError) as info:
+            client.compare("Nope", "a", "b", "dropped")
+        assert info.value.status == 400
+        assert info.value.body["error"] == "unknown pivot"
+        assert len(transport.calls) == 1
+
+    def test_jitter_stays_within_the_declared_band(self):
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=0.1, jitter=0.5, seed=7
+        )
+        client, _, clock = make_client([BUSY, BUSY, BUSY, OK], policy)
+        client.request("GET", "/healthz")
+        for i, slept in enumerate(clock.sleeps):
+            base = 0.1 * (2 ** i)
+            assert base <= slept <= base * 1.5
+
+
+class TestServerHints:
+    def test_retry_after_header_overrides_backoff(self):
+        busy = (503, {"Retry-After": "3"}, {"error": "busy"})
+        client, _, clock = make_client([busy, OK])
+        client.request("GET", "/healthz")
+        assert clock.sleeps == [pytest.approx(3.0)]
+
+    def test_retry_after_body_field_overrides_backoff(self):
+        busy = (
+            503,
+            {},
+            {"error": "breaker open", "retry_after": 1.5},
+        )
+        client, _, clock = make_client([busy, OK])
+        client.request("GET", "/healthz")
+        assert clock.sleeps == [pytest.approx(1.5)]
+
+    def test_deadline_ms_from_body_is_remembered(self):
+        slow = (503, {}, {"error": "deadline", "deadline_ms": 800})
+        client, _, _ = make_client([slow, OK])
+        client.request("POST", "/compare", {"x": 1})
+        assert client.last_server_deadline_ms == 800
+
+
+class TestBudget:
+    def test_stops_early_when_retry_cannot_fit(self):
+        # Server reports an 800 ms deadline; after the first failure
+        # the remaining ~1 s budget cannot hold wait + another 800 ms
+        # server-side attempt, so the client gives up *before* sleeping.
+        slow = (503, {}, {"error": "deadline", "deadline_ms": 800})
+        client, transport, clock = make_client(
+            [slow] * 4, budget_ms=1000.0
+        )
+        clock.now = 0.0
+
+        def advancing_transport(method, url, body, timeout):
+            clock.now += 0.3  # each attempt burns 300 ms
+            return 503, {}, json.dumps(
+                {"error": "deadline", "deadline_ms": 800}
+            ).encode()
+
+        client._transport = advancing_transport
+        with pytest.raises(BudgetExhausted) as info:
+            client.request("GET", "/healthz")
+        assert "budget" in str(info.value)
+        assert clock.sleeps == []  # gave up instead of sleeping
+
+    def test_budget_caps_total_attempt_time(self):
+        client, _, clock = make_client([], budget_ms=500.0)
+
+        def advancing_transport(method, url, body, timeout):
+            # The per-attempt socket timeout always fits the budget.
+            assert timeout <= 0.5
+            clock.now += 0.2
+            return 503, {}, json.dumps({"error": "busy"}).encode()
+
+        client._transport = advancing_transport
+        with pytest.raises(BudgetExhausted):
+            client.request("GET", "/healthz")
+
+    def test_no_budget_means_all_attempts_run(self):
+        client, transport, _ = make_client([BUSY, BUSY, BUSY, OK])
+        assert client.request("GET", "/healthz") == {"result": "fine"}
+        assert len(transport.calls) == 4
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+
+
+class TestEndpointWrappers:
+    def test_compare_posts_the_documented_payload(self):
+        client, transport, _ = make_client([OK])
+        client.compare(
+            "PhoneModel", "ph1", "ph2", "dropped", deadline_ms=250
+        )
+        method, url, body, _ = transport.calls[0]
+        assert method == "POST"
+        assert url == "http://test/compare"
+        assert json.loads(body) == {
+            "pivot": "PhoneModel",
+            "value_a": "ph1",
+            "value_b": "ph2",
+            "target_class": "dropped",
+            "deadline_ms": 250,
+        }
+
+    def test_ingest_names_the_store(self):
+        client, transport, _ = make_client([OK])
+        client.ingest([["a", "b"]], store="fleet")
+        _, url, body, _ = transport.calls[0]
+        assert url == "http://test/ingest"
+        assert json.loads(body) == {
+            "rows": [["a", "b"]], "store": "fleet",
+        }

@@ -1,0 +1,175 @@
+"""Property-based tests for the Section IV interestingness measure.
+
+The paper proves boundary behaviour of ``M_i`` (Section IV.A): it is
+non-negative, it is 0 exactly under proportional confidences, and it
+peaks when all of D_2's bad records concentrate on a single value that
+is clean in D_1.  Section IV.B's interval guard must only ever *shrink*
+contributions.  These tests pin each proof over many seeded random
+count matrices — via hypothesis when it is installed, and always via
+deterministic seed sweeps (replay a failure by its seed number).
+
+``REPRO_TEST_SEED`` shifts the whole sweep so CI can run several
+disjoint seed ranges without flaking.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.interestingness import (
+    contributions,
+    excess_confidences,
+    interestingness,
+    per_value_stats,
+)
+from repro.testing.datagen import (
+    concentrated_count_matrices,
+    proportional_count_matrices,
+    random_count_matrices,
+)
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the image
+    HAVE_HYPOTHESIS = False
+
+BASE_SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
+SWEEP = 200  # seeds per property in the deterministic sweep
+TARGET = 1  # generators put target-class hits in column 1
+
+GUARDS = [
+    (None, "wald"),
+    (0.95, "wald"),
+    (0.95, "wilson"),
+]
+
+
+def _overall(counts: np.ndarray) -> float:
+    total = int(counts.sum())
+    if total == 0:
+        return 0.0
+    return float(counts[:, TARGET].sum()) / total
+
+
+def check_non_negative(seed: int) -> None:
+    """M_i >= 0 for arbitrary count matrices, any guard config."""
+    counts1, counts2 = random_count_matrices(seed)
+    cf1, cf2 = _overall(counts1), _overall(counts2)
+    for level, method in GUARDS:
+        stats = per_value_stats(
+            counts1, counts2, TARGET,
+            confidence_level=level, interval_method=method,
+        )
+        m = interestingness(stats, cf1, cf2)
+        assert m >= 0.0, (seed, level, method, m)
+        w = contributions(stats, cf1, cf2)
+        assert (w >= 0.0).all(), (seed, level, method)
+
+
+def check_proportional_zero(seed: int) -> None:
+    """Exact proportionality => M_i == 0 (guard disabled)."""
+    counts1, counts2 = proportional_count_matrices(seed)
+    cf1, cf2 = _overall(counts1), _overall(counts2)
+    stats = per_value_stats(
+        counts1, counts2, TARGET, confidence_level=None
+    )
+    m = interestingness(stats, cf1, cf2)
+    assert m == pytest.approx(0.0, abs=1e-9), (seed, m)
+
+
+def check_concentration_maximal(seed: int) -> None:
+    """Single-value concentration attains the ceiling cf_2 * |D_2|.
+
+    The ceiling also bounds every *random* configuration, so the
+    concentrated case is demonstrably the maximum, not just large.
+    """
+    counts1, counts2, bad = concentrated_count_matrices(seed)
+    cf1, cf2 = _overall(counts1), _overall(counts2)
+    stats = per_value_stats(
+        counts1, counts2, TARGET, confidence_level=None
+    )
+    m = interestingness(stats, cf1, cf2)
+    ceiling = cf2 * int(counts2.sum())
+    assert m == pytest.approx(float(bad), abs=1e-9), (seed, m, bad)
+    assert m == pytest.approx(ceiling, abs=1e-9), (seed, m, ceiling)
+
+    # ... and no random configuration exceeds its own ceiling.
+    r1, r2 = random_count_matrices(seed)
+    rcf1, rcf2 = _overall(r1), _overall(r2)
+    for level, method in GUARDS:
+        rstats = per_value_stats(
+            r1, r2, TARGET,
+            confidence_level=level, interval_method=method,
+        )
+        m_rand = interestingness(rstats, rcf1, rcf2)
+        r_ceiling = rcf2 * int(r2.sum())
+        assert m_rand <= r_ceiling + 1e-9, (seed, level, method)
+
+
+def check_guard_never_increases(seed: int) -> None:
+    """The interval guard only shrinks F_k (and hence M_i)."""
+    counts1, counts2 = random_count_matrices(seed)
+    cf1, cf2 = _overall(counts1), _overall(counts2)
+    raw = per_value_stats(
+        counts1, counts2, TARGET, confidence_level=None
+    )
+    f_raw = excess_confidences(raw, cf1, cf2)
+    m_raw = interestingness(raw, cf1, cf2)
+    for method in ("wald", "wilson"):
+        guarded = per_value_stats(
+            counts1, counts2, TARGET,
+            confidence_level=0.95, interval_method=method,
+        )
+        # The guard's defining inequalities: good pushed up, bad down.
+        assert (guarded.rcf1 >= raw.cf1 - 1e-12).all(), (seed, method)
+        assert (guarded.rcf2 <= raw.cf2 + 1e-12).all(), (seed, method)
+        f_guarded = excess_confidences(guarded, cf1, cf2)
+        assert (f_guarded <= f_raw + 1e-12).all(), (seed, method)
+        m_guarded = interestingness(guarded, cf1, cf2)
+        assert m_guarded <= m_raw + 1e-9, (seed, method)
+
+
+CHECKS = [
+    check_non_negative,
+    check_proportional_zero,
+    check_concentration_maximal,
+    check_guard_never_increases,
+]
+
+
+@pytest.mark.parametrize("check", CHECKS, ids=lambda c: c.__name__)
+def test_seeded_sweep(check) -> None:
+    """Deterministic sweep: always runs, replayable by seed number."""
+    for i in range(SWEEP):
+        check(BASE_SEED * 1_000_000 + i)
+
+
+@pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis not installed")
+class TestHypothesis:
+    """The same checks driven by hypothesis' shrinking search."""
+
+    @settings(max_examples=100, derandomize=True, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_non_negative(self, seed: int) -> None:
+        check_non_negative(seed)
+
+    @settings(max_examples=100, derandomize=True, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_proportional_zero(self, seed: int) -> None:
+        check_proportional_zero(seed)
+
+    @settings(max_examples=100, derandomize=True, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_concentration_maximal(self, seed: int) -> None:
+        check_concentration_maximal(seed)
+
+    @settings(max_examples=100, derandomize=True, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_guard_never_increases(self, seed: int) -> None:
+        check_guard_never_increases(seed)

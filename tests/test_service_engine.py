@@ -153,9 +153,12 @@ class TestCorrectness:
             assert same_ranking(outcome.result, reference[pair])
 
     def test_screen_fleet_matches_sequential_sweep(self, engine, store):
-        concurrent_report = screen_fleet(
+        outcome = screen_fleet(
             engine, "PhoneModel", "dropped", min_gap=0.0
         )
+        assert outcome.complete
+        assert outcome.failures == ()
+        concurrent_report = outcome.report
         sequential_report = compare_all_pairs(
             Comparator(store), "PhoneModel", "dropped", min_gap=0.0
         )

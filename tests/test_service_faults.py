@@ -1,0 +1,482 @@
+"""Chaos and resilience tests for the comparison service.
+
+These tests drive the production fault sites (:mod:`repro.testing`)
+against live engines and HTTP servers:
+
+* the fault plan itself is deterministic and accountable;
+* the circuit breaker walks closed → open → half-open → closed, with
+  every transition visible in ``/metrics``;
+* the HTTP error contract survives injected failures at every layer —
+  no response body ever carries a traceback;
+* the generation-aware cache never serves a stale result, faults or
+  not;
+* a 200+-pair fleet screen under 30% store failures completes with
+  structured per-pair errors, and every surviving pair's result is
+  identical to the fault-free run's.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cube import CubeStore
+from repro.service import (
+    ComparisonEngine,
+    ComparisonHTTPServer,
+    ServiceConfig,
+    StoreUnavailable,
+    screen_fleet,
+)
+from repro.service.engine import CircuitBreaker
+from repro.synth import CallLogConfig, PlantedEffect, generate_call_logs
+from repro.testing import FaultInjected, FaultPlan, FaultRule
+from repro.testing.sites import (
+    SITE_ENGINE_COMPARE,
+    SITE_HTTP_HANDLER,
+    SITE_STORE_CUBE,
+    active_plans,
+)
+
+MORNING_BUG = PlantedEffect(
+    {"PhoneModel": "ph2", "TimeOfCall": "morning"}, "dropped", 6.0
+)
+
+
+def make_data(seed: int = 11, n_records: int = 6000, n_models: int = 4):
+    return generate_call_logs(
+        CallLogConfig(
+            n_records=n_records,
+            n_phone_models=n_models,
+            n_noise_attributes=2,
+            include_signal_strength=False,
+            effects=[MORNING_BUG],
+            seed=seed,
+        )
+    )
+
+
+def http_call(url: str, payload=None):
+    """GET/POST returning ``(status, raw_text_body)`` — raw on purpose,
+    so the no-traceback contract is checked on the actual bytes."""
+    body = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, dict(response.headers), response.read(
+            ).decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers or {}), exc.read().decode(
+            "utf-8"
+        )
+
+
+COMPARE = {
+    "pivot": "PhoneModel",
+    "value_a": "ph1",
+    "value_b": "ph2",
+    "target_class": "dropped",
+}
+
+
+class TestFaultPlan:
+    def test_same_seed_same_decisions(self):
+        def run(plan):
+            fired = []
+            for _ in range(30):
+                try:
+                    plan.fire(SITE_STORE_CUBE)
+                    fired.append(0)
+                except FaultInjected as exc:
+                    assert exc.site == SITE_STORE_CUBE
+                    fired.append(1)
+            return fired
+
+        rule = FaultRule(SITE_STORE_CUBE, probability=0.4)
+        a = run(FaultPlan([rule], seed=123))
+        b = run(FaultPlan([rule], seed=123))
+        c = run(FaultPlan([rule], seed=124))
+        assert a == b
+        assert a != c  # a different seed changes the decision stream
+        assert 0 < sum(a) < 30
+
+    def test_after_and_max_triggers_window_the_faults(self):
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    SITE_ENGINE_COMPARE,
+                    probability=1.0,
+                    after=2,
+                    max_triggers=3,
+                )
+            ],
+            seed=0,
+        )
+        outcomes = []
+        for _ in range(8):
+            try:
+                plan.fire(SITE_ENGINE_COMPARE)
+                outcomes.append("ok")
+            except FaultInjected:
+                outcomes.append("boom")
+        assert outcomes == [
+            "ok", "ok", "boom", "boom", "boom", "ok", "ok", "ok",
+        ]
+        assert plan.triggers(SITE_ENGINE_COMPARE) == 3
+        stats = plan.stats()[SITE_ENGINE_COMPARE]
+        assert stats == {"visits": 8, "triggers": 3}
+
+    def test_reset_rewinds_the_streams(self):
+        plan = FaultPlan(
+            [FaultRule(SITE_STORE_CUBE, probability=0.5)], seed=42
+        )
+
+        def run():
+            out = []
+            for _ in range(20):
+                try:
+                    plan.fire(SITE_STORE_CUBE)
+                    out.append(0)
+                except FaultInjected:
+                    out.append(1)
+            return out
+
+        first = run()
+        plan.reset()
+        assert run() == first
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            [
+                FaultRule(SITE_STORE_CUBE, probability=0.3),
+                FaultRule(
+                    SITE_HTTP_HANDLER,
+                    probability=0.05,
+                    fail=False,
+                    latency=0.04,
+                    max_triggers=7,
+                ),
+            ],
+            seed=9,
+        )
+        clone = FaultPlan.from_json(json.dumps(plan.to_dict()))
+        assert clone.to_dict() == plan.to_dict()
+        assert clone.seed == 9
+        assert clone.rules == plan.rules
+
+    def test_rule_validation(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultRule("no.such.site")
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule(SITE_STORE_CUBE, probability=1.5)
+        with pytest.raises(ValueError, match="fail, inject latency"):
+            FaultRule(SITE_STORE_CUBE, fail=False, latency=0.0)
+        with pytest.raises(ValueError, match="missing 'site'"):
+            FaultPlan.from_dict({"rules": [{"probability": 0.1}]})
+
+    def test_installed_never_leaks(self):
+        plan = FaultPlan([FaultRule(SITE_STORE_CUBE)], seed=1)
+        before = len(active_plans())
+        with pytest.raises(RuntimeError):
+            with plan.installed():
+                assert plan in active_plans()
+                raise RuntimeError("test body blew up")
+        assert len(active_plans()) == before
+        assert plan not in active_plans()
+
+
+class TestCircuitBreaker:
+    def test_walks_the_full_state_machine(self):
+        now = [0.0]
+        transitions = []
+        breaker = CircuitBreaker(
+            "s", threshold=3, reset_seconds=10.0,
+            clock=lambda: now[0], on_transition=transitions.append,
+        )
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()  # third consecutive failure opens
+        assert breaker.state == CircuitBreaker.OPEN
+        assert transitions == ["open"]
+
+        with pytest.raises(StoreUnavailable) as info:
+            breaker.allow()
+        assert 0 < info.value.retry_after <= 10.0
+        assert "circuit breaker open" in str(info.value)
+
+        now[0] = 10.5  # past the window: next caller is the probe
+        breaker.allow()
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        with pytest.raises(StoreUnavailable):
+            breaker.allow()  # only one probe at a time
+
+        breaker.record_failure()  # probe failed: fresh open window
+        assert breaker.state == CircuitBreaker.OPEN
+        with pytest.raises(StoreUnavailable):
+            breaker.allow()
+
+        now[0] = 21.0
+        breaker.allow()  # second probe
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.consecutive_failures == 0
+        assert transitions == [
+            "open", "half_open", "open", "half_open", "closed",
+        ]
+
+    def test_threshold_zero_disables(self):
+        breaker = CircuitBreaker("s", threshold=0, reset_seconds=1.0)
+        for _ in range(100):
+            breaker.record_failure()
+        breaker.allow()  # never rejects
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_success_resets_the_failure_run(self):
+        breaker = CircuitBreaker("s", threshold=3, reset_seconds=1.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+
+@pytest.fixture()
+def chaos_service():
+    """A live server whose every layer can be hurt."""
+    store = CubeStore(make_data())
+    engine = ComparisonEngine(
+        ServiceConfig(workers=2, cache_size=0, breaker_failures=0)
+    )
+    engine.add_store(store)
+    server = ComparisonHTTPServer(engine, port=0).start_background()
+    try:
+        yield server.url, engine
+    finally:
+        server.stop()
+        engine.shutdown()
+
+
+class TestHTTPUnderChaos:
+    def test_no_response_ever_contains_a_traceback(self, chaos_service):
+        url, _ = chaos_service
+        # A compare touches store.cube once per candidate cube, so its
+        # per-request failure odds compound; keep probabilities low
+        # enough that both failures and successes appear in 40 calls.
+        plan = FaultPlan(
+            [
+                FaultRule(SITE_STORE_CUBE, probability=0.15),
+                FaultRule(SITE_ENGINE_COMPARE, probability=0.1),
+                FaultRule(SITE_HTTP_HANDLER, probability=0.1),
+            ],
+            seed=31,
+        )
+        statuses = []
+        with plan.installed():
+            for _ in range(40):
+                status, _, text = http_call(url + "/compare", COMPARE)
+                statuses.append(status)
+                assert status in (200, 500, 503), text
+                assert "Traceback" not in text
+                assert "FaultInjected" not in text
+                payload = json.loads(text)  # always well-formed JSON
+                if status != 200:
+                    assert set(payload) <= {
+                        "error", "store", "retry_after", "deadline_ms",
+                    }
+                    assert payload["error"]
+        # The chaos actually happened, and service survived some of it.
+        assert plan.triggers() > 0
+        assert statuses.count(500) > 0
+        assert statuses.count(200) > 0
+        # The server is perfectly healthy once the plan is gone.
+        status, _, text = http_call(url + "/compare", COMPARE)
+        assert status == 200
+
+    def test_cache_never_serves_a_stale_generation(self, chaos_service):
+        url, engine = chaos_service
+        warm = engine.compare(**{
+            "pivot_attribute": "PhoneModel", "value_a": "ph1",
+            "value_b": "ph2", "target_class": "dropped",
+        })
+        assert warm.generation == 0
+
+        batch = make_data(seed=77, n_records=800)
+        rows = [list(batch.row(i)) for i in range(batch.n_rows)]
+        engine.ingest(rows)
+
+        plan = FaultPlan(
+            [FaultRule(SITE_STORE_CUBE, probability=0.2)], seed=5
+        )
+        served = 0
+        with plan.installed():
+            for _ in range(20):
+                try:
+                    outcome = engine.compare(
+                        "PhoneModel", "ph1", "ph2", "dropped"
+                    )
+                except FaultInjected:
+                    continue
+                served += 1
+                # Post-ingest, generation-0 results must never appear.
+                assert outcome.generation == 1
+        assert served > 0
+        assert plan.triggers() > 0
+
+
+class TestBreakerOverHTTP:
+    def test_opens_rejects_and_recovers(self):
+        store = CubeStore(make_data())
+        engine = ComparisonEngine(
+            ServiceConfig(
+                workers=2,
+                cache_size=0,
+                breaker_failures=3,
+                breaker_reset_seconds=0.2,
+            )
+        )
+        engine.add_store(store)
+        server = ComparisonHTTPServer(engine, port=0).start_background()
+        url = server.url
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    SITE_ENGINE_COMPARE, probability=1.0, max_triggers=3
+                )
+            ],
+            seed=3,
+        )
+        try:
+            with plan.installed():
+                # Three injected failures -> three 500s; the third
+                # opens the breaker.
+                for _ in range(3):
+                    status, _, text = http_call(url + "/compare", COMPARE)
+                    assert status == 500
+                    assert "Traceback" not in text
+                assert engine.breaker_state() == "open"
+
+                # While open: immediate 503 with a Retry-After hint —
+                # the compute (and its faults) is never reached.
+                status, headers, text = http_call(
+                    url + "/compare", COMPARE
+                )
+                assert status == 503
+                payload = json.loads(text)
+                assert payload["store"] == "default"
+                assert payload["retry_after"] > 0
+                retry_after = {
+                    k.lower(): v for k, v in headers.items()
+                }["retry-after"]
+                assert int(retry_after) >= 1
+
+                # After the reset window the next request is the
+                # half-open probe; the fault budget is spent, so it
+                # succeeds and closes the breaker.
+                time.sleep(0.3)
+                status, _, text = http_call(url + "/compare", COMPARE)
+                assert status == 200
+                assert engine.breaker_state() == "closed"
+
+            # The whole journey is visible in the metrics exposition.
+            _, _, metrics = http_call(url + "/metrics")
+            assert (
+                'repro_breaker_transitions_total{state="open",'
+                'store="default"} 1' in metrics
+            )
+            assert (
+                'repro_breaker_transitions_total{state="half_open",'
+                'store="default"} 1' in metrics
+            )
+            assert (
+                'repro_breaker_transitions_total{state="closed",'
+                'store="default"} 1' in metrics
+            )
+            assert (
+                'repro_breaker_rejections_total{store="default"} 1'
+                in metrics
+            )
+            assert "repro_compare_failures_total" in metrics
+        finally:
+            server.stop()
+            engine.shutdown()
+
+
+class TestFleetScreenUnderFaults:
+    """The acceptance scenario: 210 pairs, 30% store failures."""
+
+    def test_structured_failures_and_identical_survivors(self):
+        data = make_data(seed=19, n_records=4000, n_models=21)
+        store = CubeStore(data)
+        engine = ComparisonEngine(
+            ServiceConfig(workers=4, cache_size=512, breaker_failures=0)
+        )
+        engine.add_store(store)
+        with engine:
+            clean = screen_fleet(engine, "PhoneModel", "dropped")
+            assert clean.attempted == 210  # 21 models -> C(21, 2)
+            assert clean.complete and clean.failures == ()
+
+            # Second engine over the identically-built store; its own
+            # cold cache, so every pair recomputes under fire.
+            chaotic = ComparisonEngine(
+                ServiceConfig(
+                    workers=4, cache_size=512, breaker_failures=0
+                )
+            )
+            chaotic.add_store(store)
+            plan = FaultPlan(
+                [FaultRule(SITE_ENGINE_COMPARE, probability=0.3)],
+                seed=29,
+            )
+            with chaotic, plan.installed():
+                outcome = screen_fleet(
+                    chaotic, "PhoneModel", "dropped"
+                )
+
+        assert outcome.attempted == 210
+        assert not outcome.complete
+        # Roughly 30% of pairs failed, each as structured data naming
+        # the injected fault — never a raised exception.
+        assert len(outcome.failures) == plan.triggers(
+            SITE_ENGINE_COMPARE
+        )
+        assert 30 <= len(outcome.failures) <= 100
+        for failure in outcome.failures:
+            assert failure.error == "FaultInjected"
+            assert "engine.compare" in failure.message
+            d = failure.to_dict()
+            assert set(d) == {"value_a", "value_b", "error", "message"}
+
+        # Accounting: every pair is exactly one of compared/failed.
+        assert (
+            len(outcome.report.pairs) + len(outcome.failures) == 210
+        )
+        failed_pairs = {
+            tuple(sorted((f.value_a, f.value_b)))
+            for f in outcome.failures
+        }
+        assert len(failed_pairs) == len(outcome.failures)
+
+        # Every surviving pair's result is *identical* to the
+        # fault-free run — failures are dropped, never smeared.
+        for good, bad in outcome.report.pairs:
+            assert tuple(sorted((good, bad))) not in failed_pairs
+            reference = clean.report.result(good, bad).to_dict()
+            mine = outcome.report.result(good, bad).to_dict()
+            reference.pop("elapsed_seconds")
+            mine.pop("elapsed_seconds")
+            assert mine == reference, (good, bad)
+
+        # The failure count also reached the metrics panel.
+        assert (
+            chaotic.metrics.fleet_pair_failures.value(store="default")
+            == len(outcome.failures)
+        )

@@ -233,6 +233,31 @@ class TestErrorContract:
             status, body = http_post(server.url + "/compare", COMPARE)
             assert status == 503
             assert "error" in body
+            # Regression: the body reports the deadline that applied,
+            # so clients can budget their retries against it.
+            assert body["deadline_ms"] == 30
+        finally:
+            server.stop()
+            engine.shutdown()
+
+    def test_deadline_body_reports_per_request_override(self):
+        class SlowStore(CubeStore):
+            def cube(self, attributes):
+                time.sleep(0.25)
+                return super().cube(attributes)
+
+        engine = ComparisonEngine(
+            ServiceConfig(workers=1, deadline_ms=5000)
+        )
+        engine.add_store(SlowStore(make_data(n_records=500)))
+        server = ComparisonHTTPServer(engine, port=0).start_background()
+        try:
+            status, body = http_post(
+                server.url + "/compare",
+                {**COMPARE, "deadline_ms": 40},
+            )
+            assert status == 503
+            assert body["deadline_ms"] == 40
         finally:
             server.stop()
             engine.shutdown()
