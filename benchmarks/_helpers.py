@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import json
+import os
 import time
-from typing import Callable, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 #: Attribute counts of the paper's Figs. 9 and 10.
 PAPER_ATTRIBUTE_SWEEP = (40, 80, 120, 160)
@@ -23,6 +25,56 @@ def measure(fn: Callable[[], object], repeats: int = 3) -> float:
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def sample_times(
+    fn: Callable[[], object], repeats: int = 5
+) -> List[float]:
+    """Wall-clock seconds for ``repeats`` calls, sorted ascending."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return sorted(samples)
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    index = min(
+        len(sorted_values) - 1, int(q * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]
+
+
+def summarize(samples: Sequence[float], label: str) -> Dict[str, object]:
+    """One old-vs-new row for the ``--json`` emitter: p50/p99/best in
+    milliseconds over a sorted sample."""
+    return {
+        "label": label,
+        "repeats": len(samples),
+        "best_ms": round(samples[0] * 1000, 3),
+        "p50_ms": round(percentile(samples, 0.50) * 1000, 3),
+        "p99_ms": round(percentile(samples, 0.99) * 1000, 3),
+    }
+
+
+def write_bench_json(
+    json_dir: Optional[str], filename: str, payload: Dict[str, object]
+) -> Optional[str]:
+    """Write an old-vs-new summary under ``--json DIR``.
+
+    No-op (returns ``None``) when the harness ran without ``--json``,
+    so the speedup benchmarks still assert without touching the tree.
+    """
+    if not json_dir:
+        return None
+    os.makedirs(json_dir, exist_ok=True)
+    path = os.path.join(json_dir, filename)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def growth_ratios(times: Sequence[float]) -> List[float]:

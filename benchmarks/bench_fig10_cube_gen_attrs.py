@@ -17,12 +17,27 @@ import pytest
 
 from repro.cube import CubeStore
 
-from _helpers import PAPER_ATTRIBUTE_SWEEP, measure, print_series
+from _helpers import (
+    BASE_RECORDS,
+    PAPER_ATTRIBUTE_SWEEP,
+    measure,
+    percentile,
+    print_series,
+    sample_times,
+    summarize,
+    write_bench_json,
+)
+
+#: Required advantage of ``precompute(workers=4)`` over the serial
+#: sweep at the paper's widest setting (160 attributes).
+PRECOMPUTE_SPEEDUP_FLOOR = 2.0
 
 
-def generate_all_cubes(dataset):
+def generate_all_cubes(dataset, workers=None):
     store = CubeStore(dataset)
-    return store.precompute(include_pairs=True)
+    if workers is None:
+        return store.precompute(include_pairs=True)
+    return store.precompute(include_pairs=True, workers=workers)
 
 
 @pytest.mark.parametrize("n_attrs", PAPER_ATTRIBUTE_SWEEP)
@@ -68,3 +83,39 @@ def test_fig10_shape_nonlinear(benchmark, sweep_datasets):
         rounds=2,
         iterations=1,
     )
+
+
+def test_fig10_parallel_precompute_speedup(sweep_datasets, json_dir):
+    """Old vs new: serial lazy ``cube()`` sweep against
+    ``precompute(workers=4)`` at 160 attributes.
+
+    ``workers=4`` routes the sweep through the shared
+    ``PairCubeBuilder`` (per-column codes hoisted, overflow-bin
+    bincount) on a thread pool; the serial path builds every cube from
+    scratch.  Before/after timings land in BENCH_precompute.json.
+    """
+    ds = sweep_datasets[160]
+    old = sample_times(lambda: generate_all_cubes(ds), repeats=3)
+    new = sample_times(
+        lambda: generate_all_cubes(ds, workers=4), repeats=3
+    )
+    speedup = percentile(old, 0.50) / percentile(new, 0.50)
+
+    print_series(
+        "Fig. 10 precompute speedup at 160 attributes",
+        ("serial_p50", "workers4_p50", "speedup"),
+        (percentile(old, 0.50), percentile(new, 0.50), speedup),
+        unit="",
+    )
+    write_bench_json(json_dir, "BENCH_precompute.json", {
+        "benchmark": "off-line cube generation: serial sweep vs "
+                     "precompute(workers=4)",
+        "figure": "fig10",
+        "n_attributes": 160,
+        "n_records": BASE_RECORDS,
+        "old": summarize(old, "serial per-cube build"),
+        "new": summarize(new, "shared-builder precompute, workers=4"),
+        "speedup_p50": round(speedup, 2),
+        "required_speedup": PRECOMPUTE_SPEEDUP_FLOOR,
+    })
+    assert speedup >= PRECOMPUTE_SPEEDUP_FLOOR

@@ -19,8 +19,27 @@ Reproduced shape:
 import pytest
 
 from repro.core import Comparator
+from repro.cube import CubeStore
+from repro.synth import synthetic_dataset
 
-from _helpers import PAPER_ATTRIBUTE_SWEEP, measure, print_series
+from _helpers import (
+    BASE_RECORDS,
+    PAPER_ATTRIBUTE_SWEEP,
+    measure,
+    percentile,
+    print_series,
+    sample_times,
+    summarize,
+    write_bench_json,
+)
+
+#: Width of the old-vs-new kernel speedup check (past the paper's
+#: 160-attribute ceiling, where per-attribute overhead dominates).
+SPEEDUP_ATTRS = 200
+
+#: Required advantage of the batched kernel over the per-attribute
+#: reference scorer for score-only comparisons.
+KERNEL_SPEEDUP_FLOOR = 3.0
 
 
 def run_comparison(store):
@@ -66,3 +85,54 @@ def test_fig9_comparison_shape(benchmark, sweep_stores):
     assert times[160] < 8 * max(times[40], 1e-4)
 
     benchmark(run_comparison, sweep_stores[160])
+
+
+def test_fig9_batched_kernel_vs_reference_speedup(json_dir):
+    """Old vs new: the batched kernel against the per-attribute
+    reference scorer on score-only comparisons at 200 attributes.
+
+    Both back ends read the same pre-built cubes and produce bit-equal
+    scores (``tests/test_kernel.py`` pins that); this check pins the
+    *point* of the kernel — fewer Python-level passes per comparison —
+    and records the before/after latencies in BENCH_comparator.json.
+    """
+    ds = synthetic_dataset(
+        n_records=BASE_RECORDS,
+        n_attributes=SPEEDUP_ATTRS,
+        arity=4,
+        seed=11,
+    )
+    store = CubeStore(ds)
+    pivot = "A001"
+    for name in store.attributes:
+        if name != pivot:
+            store.cube((pivot, name))
+    store.cube((pivot,))
+
+    batched = Comparator(store)  # scoring="batched" is the default
+    reference = Comparator(store, scoring="reference")
+    compare = lambda comp: comp.compare(pivot, "v1", "v2", "c2")  # noqa: E731
+
+    compare(batched), compare(reference)  # warm both paths once
+    new = sample_times(lambda: compare(batched), repeats=9)
+    old = sample_times(lambda: compare(reference), repeats=9)
+    speedup = percentile(old, 0.50) / percentile(new, 0.50)
+
+    print_series(
+        f"Fig. 9 kernel speedup at {SPEEDUP_ATTRS} attributes",
+        ("reference_p50", "batched_p50", "speedup"),
+        (percentile(old, 0.50), percentile(new, 0.50), speedup),
+        unit="",
+    )
+    write_bench_json(json_dir, "BENCH_comparator.json", {
+        "benchmark": "comparator score-only: batched kernel vs "
+                     "per-attribute reference scorer",
+        "figure": "fig9",
+        "n_attributes": SPEEDUP_ATTRS,
+        "n_records": BASE_RECORDS,
+        "old": summarize(old, "reference per-attribute scorer"),
+        "new": summarize(new, "batched kernel"),
+        "speedup_p50": round(speedup, 2),
+        "required_speedup": KERNEL_SPEEDUP_FLOOR,
+    })
+    assert speedup >= KERNEL_SPEEDUP_FLOOR

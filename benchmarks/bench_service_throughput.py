@@ -30,10 +30,17 @@ from repro.service import (
     ComparisonEngine,
     ComparisonHTTPServer,
     ServiceConfig,
+    screen_fleet,
 )
 from repro.synth import CallLogConfig, generate_call_logs
 
-from _helpers import print_series
+from _helpers import (
+    percentile,
+    print_series,
+    sample_times,
+    summarize,
+    write_bench_json,
+)
 
 WORKER_SWEEP = (1, 4, 8)
 N_REQUESTS = 120
@@ -111,13 +118,6 @@ def drive(url: str, n_requests: int, n_clients: int):
     return time.perf_counter() - started, sorted(latencies)
 
 
-def percentile(sorted_values, q: float) -> float:
-    index = min(
-        len(sorted_values) - 1, int(q * (len(sorted_values) - 1))
-    )
-    return sorted_values[index]
-
-
 @pytest.mark.parametrize("workers", WORKER_SWEEP)
 @pytest.mark.parametrize("mode", ("cached", "uncached"))
 def test_compare_throughput(
@@ -185,3 +185,77 @@ def test_cache_beats_recompute_shape(benchmark, service_dataset):
     assert results["cached"]["rps"] > results["uncached"]["rps"]
     assert results["cached"]["p50"] < results["uncached"]["p50"]
     benchmark(lambda: None)
+
+
+def test_fleet_screen_batch_vs_fanout(json_dir):
+    """Old vs new: per-pair fan-out screening against the shared-slice
+    batch path on the same engine and pre-built store.
+
+    The fan-out path submits ``k(k-1)/2`` independent engine tasks,
+    each slicing every ``(pivot, A_i)`` cube again; the batch path
+    fetches each cube once and scores all pairs through the kernel.
+    Both produce the identical report (asserted here and in the fault
+    suite); the latency gap lands in BENCH_service.json.
+
+    A wider fleet than the throughput rows (8 phone models -> 28
+    pairs over ~40 attributes): with only a handful of pairs the
+    shared fetch has nothing to amortise.
+    """
+    fleet = generate_call_logs(
+        CallLogConfig(
+            n_records=30_000,
+            n_phone_models=8,
+            n_noise_attributes=32,
+            include_signal_strength=False,
+            seed=23,
+        )
+    )
+    store = CubeStore(fleet)
+    store.precompute(include_pairs=True)
+    # cache_size=0 so repeated screens measure compute, not the
+    # result cache.
+    engine = ComparisonEngine(ServiceConfig(workers=4, cache_size=0))
+    engine.add_store(store)
+    try:
+        def fanout():
+            return screen_fleet(
+                engine, "PhoneModel", "dropped", batch=False
+            )
+
+        def batch():
+            return screen_fleet(
+                engine, "PhoneModel", "dropped", batch=True
+            )
+
+        old_report, new_report = fanout().report, batch().report
+        assert sorted(new_report.pairs) == sorted(old_report.pairs)
+        assert new_report.most_different() == (
+            old_report.most_different()
+        )
+
+        old = sample_times(fanout, repeats=9)
+        new = sample_times(batch, repeats=9)
+        print_series(
+            "Fleet screen: fan-out vs batch (28 pairs)",
+            ("fanout_p50", "batch_p50"),
+            (percentile(old, 0.50), percentile(new, 0.50)),
+            unit="",
+        )
+        write_bench_json(json_dir, "BENCH_service.json", {
+            "benchmark": "fleet screen: per-pair fan-out vs "
+                         "shared-slice batch",
+            "pivot_values": 8,
+            "pairs": len(new_report.pairs),
+            "n_records": 30_000,
+            "old": summarize(old, "per-pair fan-out"),
+            "new": summarize(new, "shared-slice batch kernel"),
+            "speedup_p50": round(
+                percentile(old, 0.50) / percentile(new, 0.50), 2
+            ),
+        })
+        # Informational floor: sharing the slices must never make a
+        # wide screen slower than fanning out pair by pair (10% slack
+        # for single-box timer noise).
+        assert percentile(new, 0.50) <= percentile(old, 0.50) * 1.1
+    finally:
+        engine.shutdown()

@@ -24,6 +24,25 @@ from repro.workbench import OpportunityMap
 from _helpers import BASE_RECORDS, PAPER_ATTRIBUTE_SWEEP
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory for the BENCH_*.json old-vs-new summaries "
+            "(comparator kernel, parallel precompute, batch screen)"
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def json_dir(request):
+    """Target directory of ``--json``, or ``None`` to skip emission."""
+    return request.config.getoption("--json")
+
+
 @pytest.fixture(scope="session")
 def call_log():
     """The 41-attribute case-study data set (Section V.B's size)."""

@@ -101,6 +101,13 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="class_attribute")
     cubes.add_argument("--out", required=True,
                        help="output .npz archive path")
+    cubes.add_argument(
+        "--workers", type=int, default=None,
+        help=(
+            "fan pair-cube builds across N threads with shared "
+            "column codes (default: serial)"
+        ),
+    )
 
     report = sub.add_parser(
         "report",
@@ -178,6 +185,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-precompute", action="store_true",
         help="skip materialising pair cubes from a CSV before serving",
     )
+    serve.add_argument(
+        "--precompute-workers", type=int, default=None,
+        dest="precompute_workers", metavar="N",
+        help=(
+            "fan the pre-serve pair-cube builds across N threads "
+            "with shared column codes (default: serial)"
+        ),
+    )
 
     shell = sub.add_parser(
         "shell", help="interactive explorer over a data set"
@@ -246,7 +261,7 @@ def _cmd_impressions(args: argparse.Namespace) -> int:
 
 def _cmd_cubes(args: argparse.Namespace) -> int:
     om = _load_workbench(args)
-    built = om.precompute_cubes()
+    built = om.precompute_cubes(workers=args.workers)
     written = save_cubes(om.store, args.out)
     print(f"Built {built} cubes; wrote {written} to {args.out}")
     return 0
@@ -299,7 +314,9 @@ def _build_serve_engine(args: argparse.Namespace):
             injected = load_store_cubes(om.store, args.store)
             print(f"Warm-started {injected} cubes from {args.store}")
         elif not args.no_precompute:
-            built = om.precompute_cubes()
+            built = om.precompute_cubes(
+                workers=getattr(args, "precompute_workers", None)
+            )
             print(f"Precomputed {built} cubes")
         engine.add_store(om.store, name=args.name)
     elif args.store:

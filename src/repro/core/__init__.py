@@ -6,7 +6,12 @@ equations (1)-(3) of Section IV, the confidence-interval guard of
 Section IV.B and the property-attribute detector of Section IV.C.
 """
 
-from .comparator import Comparator, ComparatorError, compare_from_data
+from .comparator import (
+    Comparator,
+    ComparatorError,
+    PairScreenOutcome,
+    compare_from_data,
+)
 from .confidence import (
     Z_TABLE,
     interval_margin,
@@ -32,12 +37,25 @@ from .property_attrs import (
     is_property_attribute,
     property_stats,
 )
+from .kernel import (
+    KernelTimings,
+    PlaneScore,
+    group_planes,
+    score_planes,
+    stack_planes,
+)
 from .results import AttributeInterest, ComparisonResult, ValueContribution
 
 __all__ = [
     "Comparator",
     "ComparatorError",
+    "PairScreenOutcome",
     "compare_from_data",
+    "PlaneScore",
+    "KernelTimings",
+    "score_planes",
+    "stack_planes",
+    "group_planes",
     "Z_TABLE",
     "z_value",
     "interval_margin",

@@ -28,15 +28,28 @@ this module supplies the data plumbing.  Two implementations share it:
 * :func:`compare_from_data` — a reference implementation that recounts
   from raw records, used to cross-check the cube path and as the naive
   baseline whose cost *does* grow with data size.
+
+Two scoring back ends share the plumbing.  The default (``"batched"``)
+fetches every candidate's planes in one bulk store read
+(:meth:`~repro.cube.CubeStore.planes`) and pushes them through the
+vectorized kernel of :mod:`repro.core.kernel` — a handful of array
+passes for the whole comparison instead of a dozen tiny numpy calls
+per attribute — and defers per-value detail materialisation until a
+caller actually inspects it.  The per-attribute path (``"reference"``)
+is kept verbatim as the differential reference; the test suite asserts
+the two are bit-for-bit identical.  Both paths read cubes in canonical
+(sorted) axis order and index the pivot axis directly, so the hot path
+never transposes (and never copies) a cached cube.
 """
 
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import List, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..cube.rulecube import RuleCube
 from ..cube.store import CubeStore
 from ..dataset.table import Dataset
 from .interestingness import (
@@ -44,14 +57,46 @@ from .interestingness import (
     excess_confidences,
     per_value_stats,
 )
+from .kernel import KernelClock, KernelTimings, PlaneScore, score_planes
 from .property_attrs import DEFAULT_TAU, property_stats
 from .results import AttributeInterest, ComparisonResult, ValueContribution
 
-__all__ = ["Comparator", "ComparatorError", "compare_from_data"]
+__all__ = [
+    "Comparator",
+    "ComparatorError",
+    "compare_from_data",
+    "PairScreenOutcome",
+]
 
 
 class ComparatorError(ValueError):
     """Raised for invalid comparison requests."""
+
+
+class PairScreenOutcome(NamedTuple):
+    """Result of a shared-slice batch screen over many value pairs.
+
+    ``outcomes`` pairs each requested ``(value_a, value_b)`` with
+    either its :class:`~repro.core.results.ComparisonResult` or the
+    :class:`ComparatorError` that disqualified it (empty
+    sub-population, identical values) — one bad pair never aborts the
+    screen.  ``timings`` splits the wall clock into time spent inside
+    the numpy scoring kernel vs everything around it.
+    """
+
+    outcomes: Tuple[
+        Tuple[Tuple[str, str], Union[ComparisonResult, ComparatorError]],
+        ...,
+    ]
+    timings: KernelTimings
+
+    def results(self) -> List[Tuple[Tuple[str, str], ComparisonResult]]:
+        """Only the pairs that compared successfully."""
+        return [
+            (pair, outcome)
+            for pair, outcome in self.outcomes
+            if isinstance(outcome, ComparisonResult)
+        ]
 
 
 class Comparator:
@@ -80,6 +125,11 @@ class Comparator:
         Minimum record count each pivot sub-population must have.  The
         paper leaves the "large enough" judgement to the user; the
         default of 1 merely rejects empty sub-populations.
+    scoring:
+        ``"batched"`` (default) scores all candidates through the
+        vectorized kernel with lazily materialised per-value details;
+        ``"reference"`` is the original per-attribute path, kept as
+        the differential baseline.  Results are bit-identical.
     """
 
     def __init__(
@@ -90,11 +140,17 @@ class Comparator:
         weight_by_count: bool = True,
         min_support_count: int = 1,
         interval_method: str = "wald",
+        scoring: str = "batched",
     ) -> None:
         if interval_method not in ("wald", "wilson"):
             raise ComparatorError(
                 f"unknown interval method {interval_method!r}; "
                 "expected 'wald' or 'wilson'"
+            )
+        if scoring not in ("batched", "reference"):
+            raise ComparatorError(
+                f"unknown scoring back end {scoring!r}; expected "
+                "'batched' or 'reference'"
             )
         self._store = store
         self._confidence_level = confidence_level
@@ -102,6 +158,7 @@ class Comparator:
         self._weight_by_count = weight_by_count
         self._min_support_count = min_support_count
         self._interval_method = interval_method
+        self._scoring = scoring
 
     @property
     def store(self) -> CubeStore:
@@ -182,39 +239,18 @@ class Comparator:
             cf_good, cf_bad = cf_a, cf_b
             sup_good, sup_bad = n_a, n_b
 
-        if attributes is None:
-            attributes = [
-                name
-                for name in self._store.attributes
-                if name != pivot_attribute
-            ]
-        else:
-            if pivot_attribute in attributes:
-                raise ComparatorError(
-                    "the pivot attribute cannot rank itself"
-                )
-
-        ranked: List[AttributeInterest] = []
-        properties: List[AttributeInterest] = []
-        for name in attributes:
-            cube = self._store.cube((pivot_attribute, name))
-            plane = cube.counts  # (|pivot|, |A|, |C|)
-            entry = self._score_attribute(
-                name,
-                plane[code_good],
-                plane[code_bad],
-                target_code,
-                float(cf_good),
-                float(cf_bad),
-                schema[name].values,
+        attributes = self._candidates(pivot_attribute, attributes)
+        cubes = self._fetch_cubes(pivot_attribute, attributes)
+        pairs = [
+            self._pivot_slices(
+                cube, pivot_attribute, code_good, code_bad
             )
-            if entry.is_property:
-                properties.append(entry)
-            else:
-                ranked.append(entry)
-
-        ranked.sort(key=lambda e: (-e.score, e.attribute))
-        properties.sort(key=lambda e: (-e.score, e.attribute))
+            for cube in cubes
+        ]
+        ranked, properties, detail_level = self._rank_pairs(
+            attributes, pairs, schema, target_code,
+            float(cf_good), float(cf_bad),
+        )
         return ComparisonResult(
             pivot_attribute=pivot_attribute,
             value_good=value_good,
@@ -228,6 +264,7 @@ class Comparator:
             ranked=ranked,
             property_attributes=properties,
             elapsed_seconds=time.perf_counter() - started,
+            detail_level=detail_level,
         )
 
     def compare_vs_rest(
@@ -291,43 +328,26 @@ class Comparator:
             cf_good, cf_bad = cf_rest, cf_v
             sup_good, sup_bad = n_rest, n_v
 
-        if attributes is None:
-            attributes = [
-                name
-                for name in self._store.attributes
-                if name != pivot_attribute
-            ]
-        elif pivot_attribute in attributes:
-            raise ComparatorError("the pivot attribute cannot rank "
-                                  "itself")
-
-        ranked: List[AttributeInterest] = []
-        properties: List[AttributeInterest] = []
-        for name in attributes:
-            cube = self._store.cube((pivot_attribute, name))
-            plane = cube.counts
-            counts_value = plane[code]
-            counts_rest = plane.sum(axis=0) - counts_value
+        attributes = self._candidates(pivot_attribute, attributes)
+        cubes = self._fetch_cubes(pivot_attribute, attributes)
+        pairs = []
+        for cube in cubes:
+            axis = cube.axis_of(pivot_attribute)
+            counts3 = cube.counts
+            if axis == 0:
+                counts_value = counts3[code]
+                counts_rest = counts3.sum(axis=0) - counts_value
+            else:
+                counts_value = counts3[:, code]
+                counts_rest = counts3.sum(axis=1) - counts_value
             if swapped:
-                counts_good, counts_bad = counts_value, counts_rest
+                pairs.append((counts_value, counts_rest))
             else:
-                counts_good, counts_bad = counts_rest, counts_value
-            entry = self._score_attribute(
-                name,
-                counts_good,
-                counts_bad,
-                target_code,
-                float(cf_good),
-                float(cf_bad),
-                schema[name].values,
-            )
-            if entry.is_property:
-                properties.append(entry)
-            else:
-                ranked.append(entry)
-
-        ranked.sort(key=lambda e: (-e.score, e.attribute))
-        properties.sort(key=lambda e: (-e.score, e.attribute))
+                pairs.append((counts_rest, counts_value))
+        ranked, properties, detail_level = self._rank_pairs(
+            attributes, pairs, schema, target_code,
+            float(cf_good), float(cf_bad),
+        )
         return ComparisonResult(
             pivot_attribute=pivot_attribute,
             value_good=value_good,
@@ -341,9 +361,275 @@ class Comparator:
             ranked=ranked,
             property_attributes=properties,
             elapsed_seconds=time.perf_counter() - started,
+            detail_level=detail_level,
+        )
+
+    def compare_value_pairs(
+        self,
+        pivot_attribute: str,
+        value_pairs: Sequence[Tuple[str, str]],
+        target_class: str,
+        attributes: Optional[Sequence[str]] = None,
+    ) -> PairScreenOutcome:
+        """Score many value pairs of one pivot from shared cube slices.
+
+        A fleet screen compares all ``k(k-1)/2`` pairs of one pivot's
+        values; running them as independent :meth:`compare` calls
+        fetches and slices every ``(pivot, A_i)`` cube once *per pair*.
+        This method fetches each cube exactly once (one bulk
+        :meth:`~repro.cube.CubeStore.planes` read) and scores every
+        pair from the shared planes through the batched kernel — the
+        per-pair work drops to index arithmetic plus the array passes.
+
+        Each pair's result is exactly what :meth:`compare` would have
+        returned for it (timing field aside).  Pairs that are invalid
+        on their own (identical values, a sub-population below the
+        support floor) surface as :class:`ComparatorError` entries in
+        the outcome instead of aborting the batch.  Requires the
+        batched scoring back end.
+        """
+        if self._scoring != "batched":
+            raise ComparatorError(
+                "compare_value_pairs requires the batched scoring "
+                "back end"
+            )
+        started = time.perf_counter()
+        clock = KernelClock()
+        schema = self._store.dataset.schema
+        pivot = schema[pivot_attribute]
+        if pivot_attribute == schema.class_name:
+            raise ComparatorError(
+                "the class attribute cannot be the comparison pivot"
+            )
+        class_attr = schema.class_attribute
+        target_code = class_attr.code_of(target_class)
+        attributes = self._candidates(pivot_attribute, attributes)
+
+        pivot_cube = self._store.single_cube(pivot_attribute)
+        counts = pivot_cube.counts
+        cubes = self._fetch_cubes(pivot_attribute, attributes)
+
+        outcomes: List[
+            Tuple[Tuple[str, str], Union[ComparisonResult, ComparatorError]]
+        ] = []
+        for value_a, value_b in value_pairs:
+            pair_started = time.perf_counter()
+            try:
+                if value_a == value_b:
+                    raise ComparatorError(
+                        "the two compared values must be different"
+                    )
+                code_a = pivot.code_of(value_a)
+                code_b = pivot.code_of(value_b)
+                n_a = int(counts[code_a].sum())
+                n_b = int(counts[code_b].sum())
+                if n_a < self._min_support_count or (
+                    n_b < self._min_support_count
+                ):
+                    raise ComparatorError(
+                        f"pivot sub-populations too small for "
+                        f"meaningful analysis ({value_a}: {n_a} "
+                        f"records, {value_b}: {n_b} records; minimum "
+                        f"{self._min_support_count})"
+                    )
+                cf_a = counts[code_a, target_code] / n_a
+                cf_b = counts[code_b, target_code] / n_b
+                swapped = cf_a > cf_b
+                if swapped:
+                    value_good, value_bad = value_b, value_a
+                    code_good, code_bad = code_b, code_a
+                    cf_good, cf_bad = cf_b, cf_a
+                    sup_good, sup_bad = n_b, n_a
+                else:
+                    value_good, value_bad = value_a, value_b
+                    code_good, code_bad = code_a, code_b
+                    cf_good, cf_bad = cf_a, cf_b
+                    sup_good, sup_bad = n_a, n_b
+                pairs = [
+                    self._pivot_slices(
+                        cube, pivot_attribute, code_good, code_bad
+                    )
+                    for cube in cubes
+                ]
+                ranked, properties, detail_level = self._rank_pairs(
+                    attributes, pairs, schema, target_code,
+                    float(cf_good), float(cf_bad), clock=clock,
+                )
+                result = ComparisonResult(
+                    pivot_attribute=pivot_attribute,
+                    value_good=value_good,
+                    value_bad=value_bad,
+                    swapped=swapped,
+                    target_class=target_class,
+                    cf_good=float(cf_good),
+                    cf_bad=float(cf_bad),
+                    sup_good=sup_good,
+                    sup_bad=sup_bad,
+                    ranked=ranked,
+                    property_attributes=properties,
+                    elapsed_seconds=time.perf_counter() - pair_started,
+                    detail_level=detail_level,
+                )
+            except ComparatorError as exc:
+                outcomes.append(((value_a, value_b), exc))
+                continue
+            outcomes.append(((value_a, value_b), result))
+        return PairScreenOutcome(
+            outcomes=tuple(outcomes),
+            timings=clock.timings(time.perf_counter() - started),
         )
 
     # ------------------------------------------------------------------
+    # Plumbing shared by the scoring back ends
+    # ------------------------------------------------------------------
+
+    def _candidates(
+        self,
+        pivot_attribute: str,
+        attributes: Optional[Sequence[str]],
+    ) -> List[str]:
+        if attributes is None:
+            return [
+                name
+                for name in self._store.attributes
+                if name != pivot_attribute
+            ]
+        if pivot_attribute in attributes:
+            raise ComparatorError(
+                "the pivot attribute cannot rank itself"
+            )
+        return list(attributes)
+
+    def _fetch_cubes(
+        self, pivot_attribute: str, attributes: Sequence[str]
+    ) -> List[RuleCube]:
+        """All ``(pivot, A_i)`` cubes, in canonical axis order.
+
+        Canonical (sorted) keys mean the store never transposes a
+        cached cube for us — callers index the pivot axis directly via
+        :meth:`_pivot_slices`.  The batched back end reads the whole
+        batch through :meth:`~repro.cube.CubeStore.planes` (one lock
+        acquisition when warm); the reference back end keeps the
+        historical cube-by-cube reads.  Both produce the same
+        ``store.cube`` fault-site trip sequence.
+        """
+        keys = [
+            tuple(sorted((pivot_attribute, name)))
+            for name in attributes
+        ]
+        if self._scoring == "batched":
+            return self._store.planes(keys)
+        return [self._store.cube(key) for key in keys]
+
+    @staticmethod
+    def _pivot_slices(
+        cube: RuleCube,
+        pivot_attribute: str,
+        code_good: int,
+        code_bad: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The two ``(|A_i|, |C|)`` count planes at the pivot codes,
+        indexed directly on whichever axis the pivot occupies — no
+        transpose, no copy."""
+        counts = cube.counts
+        if cube.axis_of(pivot_attribute) == 0:
+            return counts[code_good], counts[code_bad]
+        return counts[:, code_good], counts[:, code_bad]
+
+    def _rank_pairs(
+        self,
+        names: Sequence[str],
+        pairs: Sequence[Tuple[np.ndarray, np.ndarray]],
+        schema,
+        target_code: int,
+        cf_good: float,
+        cf_bad: float,
+        clock: Optional[KernelClock] = None,
+    ) -> Tuple[List[AttributeInterest], List[AttributeInterest], str]:
+        """Score aligned ``(counts_good, counts_bad)`` plane pairs and
+        split the entries into the main ranking and the property list.
+        Returns ``(ranked, properties, detail_level)``."""
+        ranked: List[AttributeInterest] = []
+        properties: List[AttributeInterest] = []
+        if self._scoring == "reference":
+            detail_level = "eager"
+            for name, (counts_good, counts_bad) in zip(names, pairs):
+                entry = self._score_attribute(
+                    name, counts_good, counts_bad, target_code,
+                    cf_good, cf_bad, schema[name].values,
+                )
+                (properties if entry.is_property else ranked).append(
+                    entry
+                )
+        else:
+            detail_level = "lazy"
+            score = (
+                clock.score_planes if clock is not None else score_planes
+            )
+            plane_scores = score(
+                [p[0] for p in pairs],
+                [p[1] for p in pairs],
+                target_code,
+                cf_good,
+                cf_bad,
+                self._confidence_level,
+                self._interval_method,
+                self._weight_by_count,
+            )
+            for name, plane_score in zip(names, plane_scores):
+                entry = self._entry_from_plane_score(
+                    name, plane_score, schema[name].values
+                )
+                (properties if entry.is_property else ranked).append(
+                    entry
+                )
+        ranked.sort(key=lambda e: (-e.score, e.attribute))
+        properties.sort(key=lambda e: (-e.score, e.attribute))
+        return ranked, properties, detail_level
+
+    def _entry_from_plane_score(
+        self,
+        name: str,
+        plane_score: PlaneScore,
+        values: Tuple[str, ...],
+    ) -> AttributeInterest:
+        """An :class:`AttributeInterest` whose per-value detail list is
+        built only if someone asks for it."""
+
+        def materialize(
+            ps: PlaneScore = plane_score,
+            values: Tuple[str, ...] = values,
+        ) -> List[ValueContribution]:
+            return [
+                ValueContribution(
+                    value=values[k],
+                    n1=int(ps.n1[k]),
+                    n2=int(ps.n2[k]),
+                    cf1=float(ps.cf1[k]),
+                    cf2=float(ps.cf2[k]),
+                    e1=float(ps.e1[k]),
+                    e2=float(ps.e2[k]),
+                    rcf1=float(ps.rcf1[k]),
+                    rcf2=float(ps.rcf2[k]),
+                    excess=float(ps.excess[k]),
+                    contribution=float(ps.contribution[k]),
+                )
+                for k in range(len(values))
+            ]
+
+        is_property = (
+            self._property_tau is not None
+            and plane_score.property_ratio > self._property_tau
+        )
+        return AttributeInterest(
+            attribute=name,
+            score=plane_score.score,
+            contributions=materialize,
+            is_property=is_property,
+            property_p=plane_score.property_p,
+            property_t=plane_score.property_t,
+            property_ratio=plane_score.property_ratio,
+        )
 
     def _score_attribute(
         self,

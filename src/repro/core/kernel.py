@@ -1,0 +1,310 @@
+"""Batched comparison kernel — every candidate attribute in a few
+numpy passes.
+
+The per-attribute scorer in :mod:`repro.core.comparator` evaluates the
+measure of Section IV with a dozen small numpy calls *per candidate*:
+at 200 attributes one comparison costs thousands of interpreter
+round-trips even though the arrays involved hold a handful of values
+each.  The rate-of-change analysis of interestingness measures
+(arXiv:1712.05193) and SHARQ's batched rule-explanation scoring
+(arXiv:2412.18522) both observe that these per-value statistics
+vectorize cleanly across candidates; this module exploits that.
+
+Given all candidate ``(counts_good, counts_bad)`` planes of one
+comparison, the kernel
+
+1. groups the planes by ``(arity, n_classes)`` (every plane in a group
+   shares one shape, so stacking is exact — no padding by default);
+2. stacks each group into a pair of ``(G, arity, n_classes)`` tensors;
+3. computes ``per_value_stats`` → ``F_k`` → ``W_k`` → ``M_i`` plus the
+   property-attribute ``P``/``T`` ratios for the *whole group* in one
+   pass of elementwise array ops — the Wald and Wilson interval guards
+   both vectorize over the leading group axis unchanged.
+
+Exactness contract: every elementwise operation is the same numpy
+ufunc the per-attribute path applies to a ``(arity, n_classes)``
+matrix, and the only reductions (count sums, ``W_k`` row sums) reduce
+over the same contiguous axis with the same pairwise algorithm — so
+the batched scores, margins and property statistics are *bit-equal* to
+the reference path.  ``tests/test_kernel.py`` pins this over 50 seeded
+datasets.
+
+Padding: :func:`stack_planes` can also pad a mixed-arity group up to a
+common arity with all-zero value rows.  Zero rows are provably neutral
+— an unobserved value has ``n_1k = n_2k = 0``, hence ``W_k = 0`` and
+no vote in ``P``/``T`` — and the hypothesis suite exercises that
+neutrality at arity 1 and with a single class.  The default path keeps
+exact same-shape groups; padding is for callers that want fewer, larger
+kernel launches and can tolerate re-associated float sums past arity
+128.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .confidence import (
+    margins,
+    revise_high_side,
+    revise_low_side,
+    wilson_bounds,
+)
+from .interestingness import expected_confidences
+
+__all__ = [
+    "PlaneScore",
+    "KernelTimings",
+    "score_planes",
+    "stack_planes",
+    "group_planes",
+]
+
+
+class PlaneScore(NamedTuple):
+    """One candidate attribute's batched scoring output.
+
+    The per-value arrays are row views into the group tensors — cheap
+    to hold, materialised into detail objects only on demand (see
+    :class:`~repro.core.results.AttributeInterest`).
+    """
+
+    score: float  #: M_i, the attribute's interestingness
+    n1: np.ndarray  #: per-value record counts in D_1
+    n2: np.ndarray  #: per-value record counts in D_2 (N_2k)
+    cf1: np.ndarray  #: per-value confidences in D_1
+    cf2: np.ndarray  #: per-value confidences in D_2
+    e1: np.ndarray  #: interval margins on cf1
+    e2: np.ndarray  #: interval margins on cf2
+    rcf1: np.ndarray  #: revised cf1
+    rcf2: np.ndarray  #: revised cf2
+    excess: np.ndarray  #: F_k per value
+    contribution: np.ndarray  #: W_k per value
+    property_p: int  #: values supported on exactly one side
+    property_t: int  #: values supported on both sides
+    property_ratio: float  #: P / (P + T); 0.0 when P + T = 0
+
+
+class KernelTimings(NamedTuple):
+    """Wall-clock split of a batched operation: time inside the numpy
+    kernel vs everything around it (locks, slicing, object assembly).
+    Feeds the service's kernel/plumbing metrics."""
+
+    kernel_seconds: float
+    plumbing_seconds: float
+
+
+def group_planes(
+    shapes: Sequence[Tuple[int, int]],
+) -> Dict[Tuple[int, int], List[int]]:
+    """Indices of the planes sharing each ``(arity, n_classes)`` shape.
+
+    Insertion order follows first occurrence, so the kernel's work
+    order — and therefore any injected-fault or PRNG visit order — is
+    a pure function of the input order.
+    """
+    groups: Dict[Tuple[int, int], List[int]] = {}
+    for i, shape in enumerate(shapes):
+        groups.setdefault(tuple(shape), []).append(i)
+    return groups
+
+
+def stack_planes(
+    planes: Sequence[np.ndarray], pad_to: Optional[int] = None
+) -> np.ndarray:
+    """Stack count planes into one ``(G, arity, n_classes)`` tensor.
+
+    With ``pad_to`` given, each plane is first extended to that arity
+    with all-zero value rows (an unobserved value: neutral for both
+    the measure and the property statistic).  Without it every plane
+    must already share one shape.
+    """
+    arrays = [np.asarray(p, dtype=np.int64) for p in planes]
+    if not arrays:
+        raise ValueError("cannot stack an empty plane list")
+    for a in arrays:
+        if a.ndim != 2:
+            raise ValueError(
+                "each plane must be a (n_values, n_classes) matrix"
+            )
+    if pad_to is not None:
+        widest = max(a.shape[0] for a in arrays)
+        if pad_to < widest:
+            raise ValueError(
+                f"pad_to={pad_to} is below the widest plane ({widest})"
+            )
+        arrays = [
+            a
+            if a.shape[0] == pad_to
+            else np.concatenate(
+                [a, np.zeros((pad_to - a.shape[0], a.shape[1]),
+                             dtype=np.int64)]
+            )
+            for a in arrays
+        ]
+    return np.stack(arrays)
+
+
+def _group_stats(
+    cg: np.ndarray,
+    cb: np.ndarray,
+    target_class: int,
+    cf_good: float,
+    cf_bad: float,
+    confidence_level: Optional[float],
+    interval_method: str,
+    weight_by_count: bool,
+):
+    """The measure over one stacked group: all arrays are (G, k)."""
+    n1 = cg.sum(axis=2)
+    n2 = cb.sum(axis=2)
+    cf1 = np.zeros(n1.shape, dtype=np.float64)
+    cf2 = np.zeros(n2.shape, dtype=np.float64)
+    np.divide(cg[:, :, target_class], n1, out=cf1, where=n1 > 0)
+    np.divide(cb[:, :, target_class], n2, out=cf2, where=n2 > 0)
+
+    if confidence_level is None:
+        e1 = np.zeros_like(cf1)
+        e2 = np.zeros_like(cf2)
+        rcf1 = cf1.copy()
+        rcf2 = cf2.copy()
+    elif interval_method == "wilson":
+        lo1, hi1 = wilson_bounds(cf1, n1, confidence_level)
+        lo2, hi2 = wilson_bounds(cf2, n2, confidence_level)
+        rcf1 = hi1
+        rcf2 = lo2
+        e1 = hi1 - cf1
+        e2 = cf2 - lo2
+    else:
+        e1 = margins(cf1, n1, confidence_level)
+        e2 = margins(cf2, n2, confidence_level)
+        rcf1 = revise_low_side(cf1, e1)
+        rcf2 = revise_high_side(cf2, e2)
+
+    expected = expected_confidences(rcf1, cf_good, cf_bad)
+    f = rcf2 - expected
+    positive = np.maximum(f, 0.0)
+    w = positive * n2 if weight_by_count else positive
+    scores = w.sum(axis=1)
+
+    has1 = n1 > 0
+    has2 = n2 > 0
+    p = np.count_nonzero(has1 ^ has2, axis=1)
+    t = np.count_nonzero(has1 & has2, axis=1)
+    pt = p + t
+    ratio = np.zeros(len(p), dtype=np.float64)
+    np.divide(p, pt, out=ratio, where=pt > 0)
+    return n1, n2, cf1, cf2, e1, e2, rcf1, rcf2, f, w, scores, p, t, ratio
+
+
+def score_planes(
+    planes_good: Sequence[np.ndarray],
+    planes_bad: Sequence[np.ndarray],
+    target_class: int,
+    cf_good: float,
+    cf_bad: float,
+    confidence_level: Optional[float] = 0.95,
+    interval_method: str = "wald",
+    weight_by_count: bool = True,
+) -> List[PlaneScore]:
+    """Score every candidate attribute's plane pair in batch.
+
+    Parameters
+    ----------
+    planes_good, planes_bad:
+        Aligned sequences of ``(arity_i, n_classes)`` integer count
+        matrices — the D_1/D_2 rule-cube planes of each candidate.
+    target_class:
+        Class code of the class of interest ``c_a``.
+    cf_good, cf_bad:
+        Overall confidences of the two pivot rules (``cf_1 < cf_2``).
+    confidence_level / interval_method / weight_by_count:
+        Exactly the knobs of the per-attribute reference path.
+
+    Returns
+    -------
+    list of PlaneScore, in input order.
+    """
+    if len(planes_good) != len(planes_bad):
+        raise ValueError("good/bad plane lists must be aligned")
+    if interval_method not in ("wald", "wilson"):
+        raise ValueError(
+            f"unknown interval method {interval_method!r}; expected "
+            "'wald' or 'wilson'"
+        )
+    if not planes_good:
+        return []
+    shapes = []
+    for g, b in zip(planes_good, planes_bad):
+        g = np.asarray(g)
+        b = np.asarray(b)
+        if g.ndim != 2 or g.shape != b.shape:
+            raise ValueError(
+                "count planes must share one (n_values, n_classes) "
+                "shape per candidate"
+            )
+        shapes.append(g.shape)
+    n_classes = shapes[0][1]
+    if not 0 <= target_class < n_classes:
+        raise ValueError(
+            f"target class code {target_class} out of range for "
+            f"{n_classes} classes"
+        )
+
+    out: List[Optional[PlaneScore]] = [None] * len(planes_good)
+    for shape, indices in group_planes(shapes).items():
+        cg = stack_planes([planes_good[i] for i in indices])
+        cb = stack_planes([planes_bad[i] for i in indices])
+        (
+            n1, n2, cf1, cf2, e1, e2, rcf1, rcf2, f, w,
+            scores, p, t, ratio,
+        ) = _group_stats(
+            cg, cb, target_class, cf_good, cf_bad,
+            confidence_level, interval_method, weight_by_count,
+        )
+        for row, i in enumerate(indices):
+            out[i] = PlaneScore(
+                score=float(scores[row]),
+                n1=n1[row],
+                n2=n2[row],
+                cf1=cf1[row],
+                cf2=cf2[row],
+                e1=e1[row],
+                e2=e2[row],
+                rcf1=rcf1[row],
+                rcf2=rcf2[row],
+                excess=f[row],
+                contribution=w[row],
+                property_p=int(p[row]),
+                property_t=int(t[row]),
+                property_ratio=float(ratio[row]),
+            )
+    return out  # type: ignore[return-value]
+
+
+class KernelClock:
+    """Accumulates kernel wall-clock inside a larger operation.
+
+    ``screen_fleet``'s batch mode wants "time in the numpy kernel" vs
+    "time in plumbing" without threading timer state through every
+    call; the clock wraps the kernel invocation and keeps the running
+    total.
+    """
+
+    __slots__ = ("kernel_seconds",)
+
+    def __init__(self) -> None:
+        self.kernel_seconds = 0.0
+
+    def score_planes(self, *args, **kwargs) -> List[PlaneScore]:
+        started = time.perf_counter()
+        try:
+            return score_planes(*args, **kwargs)
+        finally:
+            self.kernel_seconds += time.perf_counter() - started
+
+    def timings(self, total_seconds: float) -> KernelTimings:
+        kernel = min(self.kernel_seconds, total_seconds)
+        return KernelTimings(kernel, max(total_seconds - kernel, 0.0))

@@ -9,7 +9,15 @@ confidence-interval whiskers) without re-touching the cubes.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 __all__ = ["ValueContribution", "AttributeInterest", "ComparisonResult"]
 
@@ -87,12 +95,22 @@ class ValueContribution:
 
 
 class AttributeInterest:
-    """One attribute's position in the comparator's ranking."""
+    """One attribute's position in the comparator's ranking.
+
+    ``contributions`` may be given either as a materialised sequence of
+    :class:`ValueContribution` (the eager classic form) or as a zero-arg
+    factory that builds that sequence on first access.  The factory form
+    is what the batched kernel path uses: a score-only caller (the
+    serving hot path, fleet screening) never pays for thousands of
+    throwaway detail objects, while any caller that *does* inspect
+    ``.contributions`` sees exactly the same tuple as the eager path —
+    the factory result is cached after the first call.
+    """
 
     __slots__ = (
         "attribute",
         "score",
-        "contributions",
+        "_contributions",
         "is_property",
         "property_p",
         "property_t",
@@ -103,7 +121,10 @@ class AttributeInterest:
         self,
         attribute: str,
         score: float,
-        contributions: Sequence[ValueContribution],
+        contributions: Union[
+            Sequence[ValueContribution],
+            Callable[[], Sequence[ValueContribution]],
+        ],
         is_property: bool,
         property_p: int,
         property_t: int,
@@ -111,11 +132,28 @@ class AttributeInterest:
     ) -> None:
         self.attribute = attribute
         self.score = float(score)
-        self.contributions = tuple(contributions)
+        if callable(contributions):
+            self._contributions = contributions
+        else:
+            self._contributions = tuple(contributions)
         self.is_property = bool(is_property)
         self.property_p = int(property_p)
         self.property_t = int(property_t)
         self.property_ratio = float(property_ratio)
+
+    @property
+    def contributions(self) -> Tuple[ValueContribution, ...]:
+        """Per-value detail records (materialised on first access)."""
+        current = self._contributions
+        if callable(current):
+            current = tuple(current())
+            self._contributions = current
+        return current
+
+    @property
+    def details_materialized(self) -> bool:
+        """Whether the per-value detail tuple has been built yet."""
+        return not callable(self._contributions)
 
     def top_values(self, n: int = 3) -> List[ValueContribution]:
         """The values contributing most to the score, best first."""
@@ -164,6 +202,11 @@ class ComparisonResult:
         Non-property attributes by descending interestingness ``M_i``.
     property_attributes:
         The separate list of Section IV.C, also by descending score.
+    detail_level:
+        ``"eager"`` when every entry's per-value details were built
+        up-front (the classic path); ``"lazy"`` when the batched kernel
+        deferred them — each entry materialises its details on first
+        access, and :meth:`materialize_details` forces all of them.
     """
 
     __slots__ = (
@@ -179,6 +222,7 @@ class ComparisonResult:
         "ranked",
         "property_attributes",
         "elapsed_seconds",
+        "detail_level",
     )
 
     def __init__(
@@ -195,7 +239,13 @@ class ComparisonResult:
         ranked: Sequence[AttributeInterest],
         property_attributes: Sequence[AttributeInterest],
         elapsed_seconds: float = 0.0,
+        detail_level: str = "eager",
     ) -> None:
+        if detail_level not in ("eager", "lazy"):
+            raise ValueError(
+                f"detail_level must be 'eager' or 'lazy', "
+                f"not {detail_level!r}"
+            )
         self.pivot_attribute = pivot_attribute
         self.value_good = value_good
         self.value_bad = value_bad
@@ -208,6 +258,19 @@ class ComparisonResult:
         self.ranked = tuple(ranked)
         self.property_attributes = tuple(property_attributes)
         self.elapsed_seconds = float(elapsed_seconds)
+        self.detail_level = detail_level
+
+    def materialize_details(self) -> "ComparisonResult":
+        """Force every entry's per-value detail list into existence.
+
+        Touching ``entry.contributions`` materialises on demand anyway;
+        this is for callers that want to pay the cost at a chosen
+        moment (e.g. before handing the result to another thread).
+        Returns ``self`` for chaining.
+        """
+        for entry in self.ranked + self.property_attributes:
+            entry.contributions
+        return self
 
     def top(self, n: int = 5) -> Tuple[AttributeInterest, ...]:
         """The ``n`` most distinguishing non-property attributes."""

@@ -8,7 +8,13 @@ store that materialises all 2-D and 3-D cubes the deployed system keeps.
 """
 
 from .rulecube import CubeError, RuleCube
-from .builder import build_all_2d, build_all_3d, build_cube, class_cube
+from .builder import (
+    PairCubeBuilder,
+    build_all_2d,
+    build_all_3d,
+    build_cube,
+    class_cube,
+)
 from .olap import dice_cube, drill_down, rollup, slice_cube
 from .store import CubeStore
 from .persist import load_cubes, load_store_cubes, save_cubes
@@ -20,6 +26,7 @@ __all__ = [
     "build_all_2d",
     "build_all_3d",
     "class_cube",
+    "PairCubeBuilder",
     "slice_cube",
     "dice_cube",
     "rollup",

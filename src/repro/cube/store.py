@@ -18,21 +18,30 @@ Thread-safety: every access to the cube cache — the lazy fill in
 :meth:`CubeStore.cube`, :meth:`CubeStore.precompute`,
 :meth:`CubeStore.absorb`, :meth:`CubeStore.inject` — is guarded by an
 internal re-entrant lock, so concurrent readers (the comparison
-service's worker pool) can hammer one store safely.  The lock makes
-individual operations atomic; *sequences* spanning a data-set swap
-(absorb + subsequent reads that must see the new counts) are the
-caller's responsibility — the service engine enforces single-writer
-semantics with a readers–writer lock on top.
+service's worker pool) can hammer one store safely.  Cube *counting*
+itself happens outside the lock behind per-key singleflight build
+latches: the first requester of a missing cube becomes its builder,
+concurrent requesters of the same key wait on its latch, and readers
+of other (cached) cubes are never blocked by someone else's slow lazy
+build.  A data-set generation counter makes builds that raced an
+:meth:`absorb` harmless — the stale cube is returned to its requester
+(it is correct for the snapshot that requester saw) but not cached.
+
+The lock makes individual operations atomic; *sequences* spanning a
+data-set swap (absorb + subsequent reads that must see the new counts)
+are the caller's responsibility — the service engine enforces
+single-writer semantics with a readers–writer lock on top.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, Optional, Sequence, Tuple
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..dataset.table import Dataset
 from ..testing.sites import SITE_STORE_CUBE, trip
-from .builder import build_cube
+from .builder import PairCubeBuilder, build_cube
 from .rulecube import CubeError, RuleCube
 
 __all__ = ["CubeStore"]
@@ -89,9 +98,15 @@ class CubeStore:
         self._attributes: Tuple[str, ...] = tuple(attributes)
         self._max_cells = max_cells
         self._cache: Dict[Tuple[str, ...], RuleCube] = {}
-        # Guards _cache and the _dataset swap in absorb(); re-entrant
-        # because absorb -> merge happens under the same lock.
+        # Guards _cache, _building and the _dataset swap in absorb();
+        # re-entrant because absorb -> merge happens under the same
+        # lock.  Never held across build_cube — builds run behind the
+        # per-key latches in _building.
         self._lock = threading.RLock()
+        self._building: Dict[Tuple[str, ...], threading.Event] = {}
+        # Bumped whenever the backing data set changes; a build that
+        # started against an older generation must not enter the cache.
+        self._data_gen = 0
 
     def cube_cells(self, attributes: Sequence[str]) -> int:
         """Cell count of the (hypothetical) cube over ``attributes``."""
@@ -129,18 +144,7 @@ class CubeStore:
         with self._lock:
             return len(self._cache)
 
-    def cube(self, attributes: Sequence[str]) -> RuleCube:
-        """The rule cube over ``attributes`` (+ class), cached.
-
-        Cubes are cached under the sorted attribute tuple; a request in
-        a different axis order is served by transposing the cached cube
-        (counts are order-independent).
-
-        This is a declared fault site (``store.cube``): a chaos run
-        can make any cube read slow or fail here, standing in for a
-        sick disk or remote store (see :mod:`repro.testing`).
-        """
-        trip(SITE_STORE_CUBE, attributes=tuple(attributes))
+    def _validate_key(self, attributes: Sequence[str]) -> Tuple[str, ...]:
         requested = tuple(attributes)
         for name in requested:
             if name not in self._attributes:
@@ -149,16 +153,94 @@ class CubeStore:
                 )
         if len(set(requested)) != len(requested):
             raise CubeError(f"duplicate attributes: {requested}")
+        return requested
+
+    def _get_or_build(self, canonical: Tuple[str, ...]) -> RuleCube:
+        """Fetch a canonical-key cube, building it *outside* the lock.
+
+        Singleflight: the first thread to miss on a key registers a
+        build latch and counts the cube; every concurrent requester of
+        the same key waits on the latch instead of duplicating the
+        work (or blocking on the store lock, as the old
+        build-under-lock path did).  Waiters loop rather than sharing
+        the builder's result directly, so a failed build surfaces its
+        error in whichever thread retries, not a borrowed exception.
+        """
+        while True:
+            with self._lock:
+                cube = self._cache.get(canonical)
+                if cube is not None:
+                    return cube
+                latch = self._building.get(canonical)
+                if latch is None:
+                    self._check_budget(canonical)
+                    latch = threading.Event()
+                    self._building[canonical] = latch
+                    dataset = self._dataset
+                    generation = self._data_gen
+                    break
+            latch.wait()
+        try:
+            cube = build_cube(dataset, canonical)
+            with self._lock:
+                if generation == self._data_gen:
+                    self._cache[canonical] = cube
+            return cube
+        finally:
+            with self._lock:
+                self._building.pop(canonical, None)
+            latch.set()
+
+    def cube(self, attributes: Sequence[str]) -> RuleCube:
+        """The rule cube over ``attributes`` (+ class), cached.
+
+        Cubes are cached under the sorted attribute tuple; a request in
+        a different axis order is served by transposing the cached cube
+        (counts are order-independent).  Hot-path callers should
+        request the canonical sorted order (or use :meth:`planes`) and
+        index the axis they need directly — the transpose allocates.
+
+        This is a declared fault site (``store.cube``): a chaos run
+        can make any cube read slow or fail here, standing in for a
+        sick disk or remote store (see :mod:`repro.testing`).
+        """
+        trip(SITE_STORE_CUBE, attributes=tuple(attributes))
+        requested = self._validate_key(attributes)
         canonical = tuple(sorted(requested))
-        with self._lock:
-            cube = self._cache.get(canonical)
-            if cube is None:
-                self._check_budget(canonical)
-                cube = build_cube(self._dataset, canonical)
-                self._cache[canonical] = cube
+        cube = self._get_or_build(canonical)
         if requested != canonical:
             cube = cube.transpose(requested)
         return cube
+
+    def planes(
+        self, keys: Sequence[Sequence[str]]
+    ) -> List[RuleCube]:
+        """Bulk cube read: every requested cube in one cache pass.
+
+        Returns the cubes in **canonical (sorted) axis order**, one per
+        requested key, without transposing — batch consumers (the
+        comparison kernel) index the axis they need directly.  The
+        cached-cube lookup is a single lock acquisition for the whole
+        batch, rather than one per cube; only keys that miss fall back
+        to the singleflight build path.
+
+        Fault-site contract: trips ``store.cube`` once per requested
+        key, in request order, with the requested (pre-canonical)
+        attribute tuple as context — exactly the trip sequence a loop
+        of :meth:`cube` calls would produce, so chaos plans and their
+        seeded PRNG streams behave identically on both paths.
+        """
+        canonicals: List[Tuple[str, ...]] = []
+        for key in keys:
+            trip(SITE_STORE_CUBE, attributes=tuple(key))
+            requested = self._validate_key(key)
+            canonicals.append(tuple(sorted(requested)))
+        with self._lock:
+            cached = [self._cache.get(c) for c in canonicals]
+        return [
+            cube if cube is not None else self._get_or_build(canonical)
+            for canonical, cube in zip(canonicals, cached)
+        ]
 
     def pair_cube(self, a: str, b: str) -> RuleCube:
         """Convenience for the 3-dimensional cube over ``(a, b, class)``."""
@@ -169,38 +251,79 @@ class CubeStore:
         return self.cube((a,))
 
     def class_distribution_cube(self) -> RuleCube:
-        """The 1-dimensional class-only cube."""
-        key: Tuple[str, ...] = ()
-        with self._lock:
-            cube = self._cache.get(key)
-            if cube is None:
-                cube = build_cube(self._dataset, ())
-                self._cache[key] = cube
-            return cube
+        """The 1-dimensional class-only cube.
 
-    def precompute(self, include_pairs: bool = True) -> int:
+        Routed through :meth:`cube` with the empty key, so the
+        ``store.cube`` fault site and the cell budget apply to it like
+        to every other cube read (it used to bypass both).
+        """
+        return self.cube(())
+
+    def _missing_keys(
+        self, include_pairs: bool
+    ) -> List[Tuple[str, ...]]:
+        keys: List[Tuple[str, ...]] = [
+            (name,) for name in self._attributes
+        ]
+        if include_pairs:
+            for i, a in enumerate(self._attributes):
+                for b in self._attributes[i + 1:]:
+                    keys.append(tuple(sorted((a, b))))
+        with self._lock:
+            return [k for k in keys if k not in self._cache]
+
+    def precompute(
+        self,
+        include_pairs: bool = True,
+        workers: Optional[int] = None,
+    ) -> int:
         """Materialise all 2-D and (optionally) all 3-D cubes.
 
         Returns the number of cubes built.  This is the system's
         off-line generation phase benchmarked in Figs. 10 and 11.
+
+        With ``workers=N`` the pair-cube sweep is fanned across a
+        ``ThreadPoolExecutor`` whose builds share one
+        :class:`~repro.cube.builder.PairCubeBuilder` — per-column
+        validity masks and pre-multiplied mixed-radix codes are
+        computed once per attribute instead of once per cube, and the
+        store lock is only taken for the final cache inserts, so
+        concurrent readers keep being served while precompute runs.
+        The counts are bit-identical to the serial path's.
         """
-        built = 0
+        missing = self._missing_keys(include_pairs)
+        if not missing:
+            return 0
+        if workers is None or workers <= 1:
+            built = 0
+            for key in missing:
+                with self._lock:
+                    if key in self._cache:
+                        continue
+                self._get_or_build(key)
+                built += 1
+            return built
+
         with self._lock:
-            for name in self._attributes:
-                key = (name,)
-                if key not in self._cache:
-                    self._cache[key] = build_cube(self._dataset, key)
-                    built += 1
-            if include_pairs:
-                for i, a in enumerate(self._attributes):
-                    for b in self._attributes[i + 1:]:
-                        key = tuple(sorted((a, b)))
-                        if key not in self._cache:
-                            self._cache[key] = build_cube(
-                                self._dataset, key
-                            )
-                            built += 1
-        return built
+            dataset = self._dataset
+            generation = self._data_gen
+        shared = PairCubeBuilder(dataset, self._attributes)
+
+        def _build(key: Tuple[str, ...]) -> int:
+            with self._lock:
+                if key in self._cache:
+                    return 0
+            cube = shared.build(key)
+            with self._lock:
+                if generation == self._data_gen and (
+                    key not in self._cache
+                ):
+                    self._cache[key] = cube
+                    return 1
+            return 0
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return sum(pool.map(_build, missing))
 
     def absorb(self, batch: Dataset) -> int:
         """Fold a new batch of records into every materialised cube.
@@ -224,6 +347,7 @@ class CubeStore:
                 self._cache[key] = self._cache[key].merge(delta)
                 updated += 1
             self._dataset = self._dataset.concat(batch)
+            self._data_gen += 1
         return updated
 
     def cached_items(self) -> Dict[Tuple[str, ...], RuleCube]:
@@ -269,6 +393,7 @@ class CubeStore:
         """Drop every cached cube (e.g. after swapping the data set)."""
         with self._lock:
             self._cache.clear()
+            self._data_gen += 1
 
     def __repr__(self) -> str:
         return (

@@ -38,6 +38,7 @@ Quickstart::
 
 from .config import ConfigError, ServiceConfig
 from .engine import (
+    BatchScreenOutcome,
     CircuitBreaker,
     CompareOutcome,
     ComparisonEngine,
@@ -69,6 +70,7 @@ __all__ = [
     "ConfigError",
     "ComparisonEngine",
     "CompareOutcome",
+    "BatchScreenOutcome",
     "IngestOutcome",
     "EngineError",
     "UnknownStoreError",

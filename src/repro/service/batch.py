@@ -77,6 +77,7 @@ def screen_fleet(
     attributes: Optional[Sequence[str]] = None,
     min_gap: float = 0.0,
     store: Optional[str] = None,
+    batch: bool = False,
 ) -> FleetScreenOutcome:
     """Compare every pair of pivot values concurrently.
 
@@ -90,6 +91,16 @@ def screen_fleet(
     they would fail every pair identically.  Per-pair infrastructure
     failures degrade into :class:`PairFailure` entries; the test suite
     asserts the surviving report equals the fault-free sweep's.
+
+    With ``batch=True`` the screen runs as one
+    :meth:`~repro.service.engine.ComparisonEngine.screen_pairs_batch`
+    call: every ``(pivot, A_i)`` cube is fetched and sliced once and
+    all ``k(k-1)/2`` pairs are scored from the shared planes through
+    the vectorized kernel.  The outcome is identical to the fan-out
+    path (the suite asserts it); failure granularity differs — a store
+    fault during the shared fetch fails the whole screen's pairs
+    rather than one — because in batch mode every pair really does
+    depend on that single fetch.
     """
     managed_store = engine._resolve(store)  # validates the store name
     schema = managed_store.store.dataset.schema
@@ -111,6 +122,11 @@ def screen_fleet(
         for i, a in enumerate(values)
         for b in values[i + 1:]
     ]
+    if batch:
+        return _screen_fleet_batch(
+            engine, managed_store.name, pivot_attribute, target_class,
+            pairs, attributes, min_gap, store,
+        )
     futures = []
     failures: List[PairFailure] = []
     for a, b in pairs:
@@ -158,6 +174,66 @@ def screen_fleet(
     return FleetScreenOutcome(
         report=PairwiseReport(pivot_attribute, target_class, results),
         failures=tuple(failures),
+        attempted=len(pairs),
+        skipped=skipped,
+    )
+
+
+def _screen_fleet_batch(
+    engine: ComparisonEngine,
+    store_name: str,
+    pivot_attribute: str,
+    target_class: str,
+    pairs: List[Tuple[str, str]],
+    attributes: Optional[Sequence[str]],
+    min_gap: float,
+    store: Optional[str],
+) -> FleetScreenOutcome:
+    """The shared-slice batch path behind ``screen_fleet(batch=True)``.
+
+    One engine call screens every pair.  Pair-level domain errors
+    (empty sub-population) come back as skips, matching the fan-out
+    path; an infrastructure failure hits the shared cube fetch and so
+    fails every pair — each becomes a :class:`PairFailure`, keeping
+    the ``attempted == compared + skipped + failed`` ledger exact.
+    """
+    try:
+        outcome = engine.screen_pairs_batch(
+            pivot_attribute, pairs, target_class,
+            attributes=attributes, store=store,
+        )
+    except (EngineError, ComparatorError):
+        raise  # invalid request: would fail every pair identically
+    except Exception as exc:
+        failures = tuple(
+            PairFailure(a, b, type(exc).__name__, str(exc))
+            for a, b in pairs
+        )
+        if failures:
+            engine.metrics.fleet_pair_failures.inc(
+                len(failures), store=store_name
+            )
+        return FleetScreenOutcome(
+            report=PairwiseReport(pivot_attribute, target_class, {}),
+            failures=failures,
+            attempted=len(pairs),
+            skipped=0,
+        )
+    results: Dict[Tuple[str, str], ComparisonResult] = {}
+    skipped = 0
+    for _, pair_outcome in outcome.screen.outcomes:
+        if isinstance(pair_outcome, ComparatorError):
+            skipped += 1  # empty sub-population etc., as in the sweep
+            continue
+        if pair_outcome.cf_bad - pair_outcome.cf_good < min_gap:
+            skipped += 1
+            continue
+        results[
+            (pair_outcome.value_good, pair_outcome.value_bad)
+        ] = pair_outcome
+    return FleetScreenOutcome(
+        report=PairwiseReport(pivot_attribute, target_class, results),
+        failures=(),
         attempted=len(pairs),
         skipped=skipped,
     )

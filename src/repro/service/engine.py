@@ -55,7 +55,7 @@ from typing import (
     Union,
 )
 
-from ..core.comparator import Comparator
+from ..core.comparator import Comparator, PairScreenOutcome
 from ..core.results import ComparisonResult
 from ..cube.persist import archive_schema, load_store_cubes
 from ..cube.store import CubeStore
@@ -67,6 +67,7 @@ from .metrics import ServiceMetrics, service_metrics
 __all__ = [
     "ComparisonEngine",
     "CompareOutcome",
+    "BatchScreenOutcome",
     "IngestOutcome",
     "EngineError",
     "UnknownStoreError",
@@ -241,6 +242,14 @@ class CompareOutcome(NamedTuple):
     store: str
     generation: int
     cache_hit: bool
+
+
+class BatchScreenOutcome(NamedTuple):
+    """A shared-slice batch screen plus its serving provenance."""
+
+    screen: PairScreenOutcome
+    store: str
+    generation: int
 
 
 class IngestOutcome(NamedTuple):
@@ -646,6 +655,79 @@ class ComparisonEngine:
         managed.breaker.record_success()
         self._cache.put(key, generation, result)
         return CompareOutcome(result, managed.name, generation, False)
+
+    def screen_pairs_batch(
+        self,
+        pivot_attribute: str,
+        value_pairs: Sequence[Tuple[str, str]],
+        target_class: str,
+        attributes: Optional[Sequence[str]] = None,
+        store: Optional[str] = None,
+    ) -> BatchScreenOutcome:
+        """Score many pivot value pairs in one shared-slice pass.
+
+        Runs :meth:`~repro.core.Comparator.compare_value_pairs` under
+        the store's read lock: every ``(pivot, A_i)`` cube is fetched
+        and sliced once for the whole batch and all pairs go through
+        the vectorized kernel, instead of one full comparison per pair
+        across the worker pool.  Breaker bookkeeping matches
+        :meth:`compare` — an infrastructure failure during the shared
+        fetch counts one failure (it would have failed every pair) —
+        and each successful pair lands in the result cache under the
+        same key :meth:`compare_async` uses, so later point lookups
+        and non-batch screens are warmed by a batch screen.
+
+        Kernel-vs-plumbing wall-clock lands in the
+        ``repro_fleet_kernel_seconds`` / ``repro_fleet_plumbing_seconds``
+        histograms.
+        """
+        managed = self._resolve(store)
+        try:
+            managed.breaker.allow()
+        except StoreUnavailable:
+            self._metrics.breaker_rejections.inc(store=managed.name)
+            raise
+        try:
+            trip(
+                SITE_ENGINE_COMPARE,
+                store=managed.name,
+                pivot=pivot_attribute,
+                pairs=len(value_pairs),
+            )
+            with managed.rwlock.read_locked():
+                generation = managed.generation
+                screen = managed.comparator.compare_value_pairs(
+                    pivot_attribute, value_pairs, target_class,
+                    attributes=attributes,
+                )
+        except (ValueError, KeyError):
+            # The request's fault; the store itself is healthy.
+            managed.breaker.record_success()
+            raise
+        except Exception as exc:
+            managed.breaker.record_failure()
+            self._metrics.compare_failures.inc(
+                store=managed.name, error=type(exc).__name__
+            )
+            raise
+        managed.breaker.record_success()
+        attrs_key = (
+            tuple(attributes) if attributes is not None else None
+        )
+        for (value_a, value_b), outcome in screen.outcomes:
+            if isinstance(outcome, ComparisonResult):
+                key = (
+                    managed.name, pivot_attribute, value_a, value_b,
+                    target_class, attrs_key,
+                )
+                self._cache.put(key, generation, outcome)
+        self._metrics.fleet_kernel_seconds.observe(
+            screen.timings.kernel_seconds, store=managed.name
+        )
+        self._metrics.fleet_plumbing_seconds.observe(
+            screen.timings.plumbing_seconds, store=managed.name
+        )
+        return BatchScreenOutcome(screen, managed.name, generation)
 
     # ------------------------------------------------------------------
     # Ingest (the single writer)

@@ -303,6 +303,16 @@ class ServiceMetrics:
             "Fleet-screen pairs that failed and were reported as "
             "structured errors instead of aborting the screen.",
         )
+        self.fleet_kernel_seconds = self.registry.histogram(
+            "repro_fleet_kernel_seconds",
+            "Batch fleet-screen time spent inside the vectorized "
+            "scoring kernel, by store, seconds.",
+        )
+        self.fleet_plumbing_seconds = self.registry.histogram(
+            "repro_fleet_plumbing_seconds",
+            "Batch fleet-screen time spent outside the kernel (cube "
+            "reads, slicing, result assembly), by store, seconds.",
+        )
 
     def render(self) -> str:
         return self.registry.render()

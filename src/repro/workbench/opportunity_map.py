@@ -132,9 +132,19 @@ class OpportunityMap:
     # Pipeline stages
     # ------------------------------------------------------------------
 
-    def precompute_cubes(self, include_pairs: bool = True) -> int:
-        """The off-line cube generation phase; returns cubes built."""
-        return self._store.precompute(include_pairs=include_pairs)
+    def precompute_cubes(
+        self,
+        include_pairs: bool = True,
+        workers: Optional[int] = None,
+    ) -> int:
+        """The off-line cube generation phase; returns cubes built.
+
+        ``workers`` fans the pair-cube sweep across a thread pool with
+        shared column codes (see
+        :meth:`repro.cube.CubeStore.precompute`)."""
+        return self._store.precompute(
+            include_pairs=include_pairs, workers=workers
+        )
 
     def cube(self, attributes: Sequence[str]) -> RuleCube:
         """Any rule cube over the managed attributes."""

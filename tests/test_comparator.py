@@ -209,6 +209,54 @@ class TestConfigurations:
         assert result.attribute("TimeOfCall").score < 3.0
 
 
+class TestNoTransposeOnHotPath:
+    """Regression: the comparator used to request ``(pivot, name)``
+    cubes in pivot-first order, so any pivot sorting after a candidate
+    transposed (and copied) the cached cube on *every* comparison.
+    Both back ends must now read canonical keys and index the pivot
+    axis directly."""
+
+    @pytest.fixture()
+    def no_transpose(self, monkeypatch):
+        from repro.cube.rulecube import RuleCube
+
+        def boom(self, order):
+            raise AssertionError(
+                f"hot path transposed a cube to {order!r}"
+            )
+
+        monkeypatch.setattr(RuleCube, "transpose", boom)
+
+    @pytest.mark.parametrize("scoring", ["batched", "reference"])
+    def test_compare_never_transposes(
+        self, dataset, no_transpose, scoring
+    ):
+        comp = Comparator(CubeStore(dataset), scoring=scoring)
+        # TimeOfCall sorts after Noise and PhoneModel but before
+        # Version, so both axis orders occur among the pair cubes.
+        result = comp.compare("TimeOfCall", "morning", "evening", "drop")
+        assert len(result.ranked) + len(result.property_attributes) == 3
+
+    @pytest.mark.parametrize("scoring", ["batched", "reference"])
+    def test_compare_vs_rest_never_transposes(
+        self, dataset, no_transpose, scoring
+    ):
+        comp = Comparator(CubeStore(dataset), scoring=scoring)
+        result = comp.compare_vs_rest("TimeOfCall", "morning", "drop")
+        assert len(result.ranked) + len(result.property_attributes) == 3
+
+    def test_compare_value_pairs_never_transposes(
+        self, dataset, no_transpose
+    ):
+        comp = Comparator(CubeStore(dataset))
+        outcome = comp.compare_value_pairs(
+            "TimeOfCall",
+            [("morning", "evening"), ("morning", "afternoon")],
+            "drop",
+        )
+        assert len(outcome.results()) == 2
+
+
 class TestCompareFromData:
     def test_matches_cube_backed_comparator(self, dataset, comparator):
         via_cubes = comparator.compare(

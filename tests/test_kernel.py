@@ -1,0 +1,420 @@
+"""Differential and property tests for the batched scoring kernel.
+
+The batched back end (:mod:`repro.core.kernel`) promises *bit-exact*
+agreement with the per-attribute reference path: same scores, same
+property flags, same per-value details once materialised.  This suite
+pins that contract three ways:
+
+* a 50-dataset differential (the idiom of ``test_differential.py``)
+  comparing ``scoring="batched"`` against ``scoring="reference"`` over
+  one shared cube store per data set, on ``==`` of the full
+  ``to_dict()`` structure plus the revised confidences the dict omits;
+* hypothesis properties over the kernel primitives — grouping is a
+  partition, zero-row padding is neutral, grouped scoring equals
+  one-plane-at-a-time scoring — including the arity-1 and
+  single-class edge shapes;
+* equivalence of :meth:`Comparator.compare_value_pairs` (the
+  shared-slice fleet screen) with a loop of :meth:`Comparator.compare`
+  calls, bad pairs degrading to structured errors.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import Comparator, ComparatorError
+from repro.core.kernel import (
+    KernelClock,
+    group_planes,
+    score_planes,
+    stack_planes,
+)
+from repro.core.results import ComparisonResult
+from repro.cube.store import CubeStore
+from repro.testing.datagen import random_dataset
+
+BASE_SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
+N_DATASETS = 50
+TAU = 0.9
+
+
+def _strip_timing(result) -> dict:
+    d = result.to_dict()
+    d.pop("elapsed_seconds")
+    return d
+
+
+def _comparators(data, **kwargs):
+    """Both scoring back ends over one shared, fully warmed store."""
+    store = CubeStore(data)
+    store.precompute()
+    batched = Comparator(store, scoring="batched", **kwargs)
+    reference = Comparator(store, scoring="reference", **kwargs)
+    return batched, reference
+
+
+def _entries(result):
+    return list(result.ranked) + list(result.property_attributes)
+
+
+def _assert_identical(batched, reference, context):
+    """Exact equality, including the revised confidences that
+    ``to_dict`` does not carry."""
+    assert _strip_timing(batched) == _strip_timing(reference), context
+    for b_entry, r_entry in zip(_entries(batched), _entries(reference)):
+        assert b_entry.attribute == r_entry.attribute, context
+        assert b_entry.is_property == r_entry.is_property, context
+        for b_val, r_val in zip(
+            b_entry.contributions, r_entry.contributions
+        ):
+            assert b_val.rcf1 == r_val.rcf1, context
+            assert b_val.rcf2 == r_val.rcf2, context
+
+
+class TestBatchedEqualsReference:
+    """The 50-dataset differential: batched vs per-attribute path."""
+
+    def test_agreement_over_seeded_datasets(self):
+        planted_checked = 0
+        for i in range(N_DATASETS):
+            seed = BASE_SEED * 1_000_000 + i
+            plant = i % 2 == 0
+            data = random_dataset(seed, plant_property=plant)
+            batched, reference = _comparators(data, property_tau=TAU)
+
+            b = batched.compare("A0", "v0", "v1", "c0")
+            r = reference.compare("A0", "v0", "v1", "c0")
+            assert b.detail_level == "lazy"
+            assert r.detail_level == "eager"
+            # The batched path defers detail objects until someone
+            # looks; _assert_identical below is that someone.
+            assert all(
+                not e.details_materialized for e in _entries(b)
+            ), seed
+            _assert_identical(b, r, seed)
+            assert all(e.details_materialized for e in _entries(b))
+
+            if plant:
+                flagged = [
+                    p.attribute for p in b.property_attributes
+                ]
+                assert "Prop" in flagged, (seed, flagged)
+                planted_checked += 1
+        assert planted_checked == N_DATASETS // 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(interval_method="wilson"),
+            dict(confidence_level=None, property_tau=None),
+            dict(weight_by_count=False),
+            dict(confidence_level=0.99, property_tau=0.5),
+        ],
+        ids=["wilson", "no-guard-no-tau", "unweighted", "strict"],
+    )
+    def test_configuration_ablations_agree(self, kwargs):
+        for i in range(8):
+            seed = BASE_SEED * 1_000_000 + 700 + i
+            data = random_dataset(seed, plant_property=(i % 2 == 0))
+            batched, reference = _comparators(data, **kwargs)
+            _assert_identical(
+                batched.compare("A0", "v0", "v1", "c0"),
+                reference.compare("A0", "v0", "v1", "c0"),
+                (seed, kwargs),
+            )
+
+    def test_compare_vs_rest_agrees(self):
+        for i in range(10):
+            seed = BASE_SEED * 1_000_000 + 800 + i
+            data = random_dataset(seed, plant_property=(i % 2 == 0))
+            batched, reference = _comparators(data, property_tau=TAU)
+            _assert_identical(
+                batched.compare_vs_rest("A0", "v0", "c0"),
+                reference.compare_vs_rest("A0", "v0", "c0"),
+                seed,
+            )
+
+    def test_lazy_details_materialize_once_and_cache(self):
+        data = random_dataset(BASE_SEED * 1_000_000 + 901)
+        batched, _ = _comparators(data)
+        result = batched.compare("A0", "v0", "v1", "c0")
+        entry = result.ranked[0]
+        assert not entry.details_materialized
+        first = entry.contributions
+        assert entry.details_materialized
+        assert entry.contributions is first  # cached, not rebuilt
+        # materialize_details touches every entry and chains.
+        assert result.materialize_details() is result
+        assert all(e.details_materialized for e in _entries(result))
+
+
+# ----------------------------------------------------------------------
+# Kernel primitives: hypothesis properties
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def plane_pair_lists(draw, n_classes=None, max_arity=5, max_planes=6):
+    """Aligned (counts_good, counts_bad) lists with mixed arities.
+
+    Small element bounds keep plenty of zero cells in play, so the
+    property statistic's has1/has2 votes actually vary.
+    """
+    k = (
+        n_classes
+        if n_classes is not None
+        else draw(st.integers(min_value=2, max_value=4))
+    )
+    n = draw(st.integers(min_value=1, max_value=max_planes))
+    goods, bads = [], []
+    for _ in range(n):
+        arity = draw(st.integers(min_value=1, max_value=max_arity))
+        shape = (arity, k)
+        elements = st.integers(min_value=0, max_value=6)
+        goods.append(draw(arrays(np.int64, shape, elements=elements)))
+        bads.append(draw(arrays(np.int64, shape, elements=elements)))
+    return goods, bads, k
+
+
+class TestGroupPlanes:
+    @given(plane_pair_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_grouping_is_a_partition_in_first_seen_order(self, planes):
+        goods, _, _ = planes
+        shapes = [g.shape for g in goods]
+        groups = group_planes(shapes)
+        flat = [i for indices in groups.values() for i in indices]
+        assert sorted(flat) == list(range(len(shapes)))
+        for shape, indices in groups.items():
+            assert indices == sorted(indices)
+            assert all(shapes[i] == shape for i in indices)
+        # Keys appear in order of each shape's first occurrence.
+        first_seen = []
+        for s in shapes:
+            if tuple(s) not in first_seen:
+                first_seen.append(tuple(s))
+        assert list(groups) == first_seen
+
+
+class TestStackPlanes:
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            stack_planes([])
+
+    def test_non_matrix_rejected(self):
+        with pytest.raises(ValueError, match="matrix"):
+            stack_planes([np.zeros(3, dtype=np.int64)])
+
+    def test_pad_to_below_widest_rejected(self):
+        planes = [np.ones((4, 2), dtype=np.int64)]
+        with pytest.raises(ValueError, match="widest"):
+            stack_planes(planes, pad_to=3)
+
+    def test_padding_appends_zero_rows(self):
+        plane = np.arange(6, dtype=np.int64).reshape(3, 2)
+        stacked = stack_planes([plane], pad_to=5)
+        assert stacked.shape == (1, 5, 2)
+        assert np.array_equal(stacked[0, :3], plane)
+        assert not stacked[0, 3:].any()
+
+
+class TestScorePlanesProperties:
+    @given(plane_pair_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_grouped_equals_one_plane_at_a_time(self, planes):
+        """Scoring a mixed-shape batch must be bit-equal to scoring
+        each plane alone — grouping is an implementation detail."""
+        goods, bads, k = planes
+        together = score_planes(goods, bads, 0, 0.2, 0.6)
+        for i, (g, b) in enumerate(zip(goods, bads)):
+            alone = score_planes([g], [b], 0, 0.2, 0.6)[0]
+            assert together[i].score == alone.score
+            assert np.array_equal(together[i].contribution,
+                                  alone.contribution)
+            assert np.array_equal(together[i].rcf2, alone.rcf2)
+            assert together[i].property_ratio == alone.property_ratio
+
+    @given(plane_pair_lists(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_zero_row_padding_is_neutral(self, planes, data):
+        """An all-zero value row (an unobserved value) contributes
+        nothing: same score, same property votes, and the original
+        rows' per-value numbers are untouched — at every arity,
+        including 1."""
+        goods, bads, k = planes
+        widest = max(g.shape[0] for g in goods)
+        pad_to = widest + data.draw(st.integers(0, 3))
+        padded_g = list(stack_planes(goods, pad_to=pad_to))
+        padded_b = list(stack_planes(bads, pad_to=pad_to))
+        plain = score_planes(goods, bads, 0, 0.2, 0.6)
+        padded = score_planes(padded_g, padded_b, 0, 0.2, 0.6)
+        for orig, wide, g in zip(plain, padded, goods):
+            arity = g.shape[0]
+            assert wide.score == orig.score
+            assert wide.property_p == orig.property_p
+            assert wide.property_t == orig.property_t
+            assert wide.property_ratio == orig.property_ratio
+            assert np.array_equal(wide.n1[:arity], orig.n1)
+            assert np.array_equal(wide.contribution[:arity],
+                                  orig.contribution)
+            # The synthetic rows really are inert.
+            assert not wide.n1[arity:].any()
+            assert not wide.contribution[arity:].any()
+
+    @given(plane_pair_lists(n_classes=1))
+    @settings(max_examples=40, deadline=None)
+    def test_single_class_edge_case(self, planes):
+        """n_classes=1: every observed value has confidence 1, so the
+        kernel must stay finite and agree with itself under padding."""
+        goods, bads, _ = planes
+        scores = score_planes(goods, bads, 0, 1.0, 1.0)
+        for ps, g in zip(scores, goods):
+            assert np.isfinite(ps.score)
+            observed = np.asarray(g).sum(axis=1) > 0
+            assert np.array_equal(ps.cf1 == 1.0, observed)
+        widest = max(g.shape[0] for g in goods)
+        padded = score_planes(
+            list(stack_planes(goods, pad_to=widest + 1)),
+            list(stack_planes(bads, pad_to=widest + 1)),
+            0, 1.0, 1.0,
+        )
+        for ps, wide in zip(scores, padded):
+            assert wide.score == ps.score
+
+    @given(plane_pair_lists(max_arity=1))
+    @settings(max_examples=40, deadline=None)
+    def test_arity_one_planes(self, planes):
+        """Degenerate single-value attributes score like everyone
+        else (and identically alone or batched)."""
+        goods, bads, _ = planes
+        batch = score_planes(goods, bads, 0, 0.1, 0.4)
+        for i, (g, b) in enumerate(zip(goods, bads)):
+            assert g.shape[0] == 1
+            alone = score_planes([g], [b], 0, 0.1, 0.4)[0]
+            assert batch[i].score == alone.score
+
+    def test_wilson_and_wald_both_supported(self):
+        g = [np.array([[5, 3], [0, 2]], dtype=np.int64)]
+        b = [np.array([[1, 7], [4, 0]], dtype=np.int64)]
+        for method in ("wald", "wilson"):
+            (ps,) = score_planes(
+                g, b, 1, 0.3, 0.7, interval_method=method
+            )
+            assert np.isfinite(ps.score)
+        with pytest.raises(ValueError, match="interval method"):
+            score_planes(g, b, 1, 0.3, 0.7, interval_method="exact")
+
+    def test_misaligned_lists_rejected(self):
+        g = [np.zeros((2, 2), dtype=np.int64)]
+        with pytest.raises(ValueError, match="aligned"):
+            score_planes(g, [], 0, 0.1, 0.2)
+
+    def test_mismatched_pair_shapes_rejected(self):
+        g = [np.zeros((2, 2), dtype=np.int64)]
+        b = [np.zeros((3, 2), dtype=np.int64)]
+        with pytest.raises(ValueError, match="shape"):
+            score_planes(g, b, 0, 0.1, 0.2)
+
+    def test_target_class_out_of_range_rejected(self):
+        g = [np.zeros((2, 2), dtype=np.int64)]
+        with pytest.raises(ValueError, match="out of range"):
+            score_planes(g, list(g), 2, 0.1, 0.2)
+
+    def test_empty_input_scores_nothing(self):
+        assert score_planes([], [], 0, 0.1, 0.2) == []
+
+
+class TestKernelClock:
+    def test_clock_accumulates_and_splits(self):
+        clock = KernelClock()
+        g = [np.array([[5, 3], [0, 2]], dtype=np.int64)]
+        clock.score_planes(g, list(g), 0, 0.1, 0.2)
+        clock.score_planes(g, list(g), 0, 0.1, 0.2)
+        assert clock.kernel_seconds > 0.0
+        timings = clock.timings(clock.kernel_seconds + 1.0)
+        assert timings.kernel_seconds == clock.kernel_seconds
+        assert timings.plumbing_seconds == pytest.approx(1.0)
+        # Never reports more kernel time than total wall clock.
+        clamped = clock.timings(clock.kernel_seconds / 2)
+        assert clamped.kernel_seconds <= clock.kernel_seconds / 2
+        assert clamped.plumbing_seconds == 0.0
+
+
+# ----------------------------------------------------------------------
+# compare_value_pairs: the shared-slice screen
+# ----------------------------------------------------------------------
+
+
+class TestCompareValuePairs:
+    @pytest.fixture(scope="class")
+    def screen_setup(self):
+        data = random_dataset(BASE_SEED * 1_000_000 + 77)
+        store = CubeStore(data)
+        store.precompute()
+        return data, Comparator(store)
+
+    def test_matches_per_pair_compare(self, screen_setup):
+        data, comp = screen_setup
+        values = list(data.schema["A0"].values)
+        pairs = [
+            (a, b)
+            for i, a in enumerate(values)
+            for b in values[i + 1:]
+        ]
+        outcome = comp.compare_value_pairs("A0", pairs, "c0")
+        assert [p for p, _ in outcome.outcomes] == pairs
+        compared = 0
+        for (a, b), res in outcome.outcomes:
+            if isinstance(res, ComparatorError):
+                with pytest.raises(ComparatorError):
+                    comp.compare("A0", a, b, "c0")
+                continue
+            single = comp.compare("A0", a, b, "c0")
+            assert _strip_timing(res) == _strip_timing(single)
+            compared += 1
+        assert compared >= 1  # v0/v1 are always populated
+        assert outcome.results() == [
+            (pair, res)
+            for pair, res in outcome.outcomes
+            if isinstance(res, ComparisonResult)
+        ]
+
+    def test_bad_pairs_degrade_without_aborting(self, screen_setup):
+        _, comp = screen_setup
+        outcome = comp.compare_value_pairs(
+            "A0", [("v0", "v0"), ("v0", "v1")], "c0"
+        )
+        (same_pair, same_err), (good_pair, good_res) = outcome.outcomes
+        assert isinstance(same_err, ComparatorError)
+        assert "different" in str(same_err)
+        assert isinstance(good_res, ComparisonResult)
+
+    def test_timings_are_sane(self, screen_setup):
+        _, comp = screen_setup
+        outcome = comp.compare_value_pairs("A0", [("v0", "v1")], "c0")
+        timings = outcome.timings
+        assert timings.kernel_seconds >= 0.0
+        assert timings.plumbing_seconds >= 0.0
+        assert timings.kernel_seconds > 0.0  # the kernel really ran
+
+    def test_requires_batched_backend(self, screen_setup):
+        data, _ = screen_setup
+        reference = Comparator(CubeStore(data), scoring="reference")
+        with pytest.raises(ComparatorError, match="batched"):
+            reference.compare_value_pairs("A0", [("v0", "v1")], "c0")
+
+    def test_invalid_request_raises_up_front(self, screen_setup):
+        _, comp = screen_setup
+        with pytest.raises(ComparatorError, match="class attribute"):
+            comp.compare_value_pairs("C", [("c0", "c1")], "c0")
+
+    def test_unknown_scoring_backend_rejected(self, screen_setup):
+        data, _ = screen_setup
+        with pytest.raises(ComparatorError, match="scoring"):
+            Comparator(CubeStore(data), scoring="gpu")

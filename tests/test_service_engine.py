@@ -182,6 +182,93 @@ class TestCorrectness:
             )
 
 
+class TestBatchScreen:
+    """screen_fleet(batch=True): one shared-slice engine call."""
+
+    def test_batch_matches_fanout_and_sequential(self, engine, store):
+        batch = screen_fleet(
+            engine, "PhoneModel", "dropped", min_gap=0.0, batch=True
+        )
+        fanout = screen_fleet(
+            engine, "PhoneModel", "dropped", min_gap=0.0
+        )
+        assert batch.complete and batch.failures == ()
+        assert batch.attempted == fanout.attempted == 6
+        assert batch.skipped == fanout.skipped
+        assert sorted(batch.report.pairs) == sorted(fanout.report.pairs)
+        assert (
+            batch.report.most_different(3)
+            == fanout.report.most_different(3)
+        )
+        sequential = compare_all_pairs(
+            Comparator(store), "PhoneModel", "dropped", min_gap=0.0
+        )
+        assert sorted(batch.report.pairs) == sorted(sequential.pairs)
+        assert (
+            batch.report.explaining_attributes()
+            == sequential.explaining_attributes()
+        )
+
+    def test_batch_respects_min_gap(self, engine):
+        wide_open = screen_fleet(
+            engine, "PhoneModel", "dropped", min_gap=0.0, batch=True
+        )
+        strict = screen_fleet(
+            engine, "PhoneModel", "dropped", min_gap=10.0, batch=True
+        )
+        assert strict.attempted == wide_open.attempted
+        assert len(strict.report.pairs) == 0
+        assert strict.skipped == strict.attempted
+
+    def test_batch_screen_warms_the_point_cache(self, store):
+        with ComparisonEngine(
+            ServiceConfig(workers=2, cache_size=64)
+        ) as eng:
+            eng.add_store(store)
+            screen_fleet(eng, "PhoneModel", "dropped", batch=True)
+            hit = eng.compare("PhoneModel", "ph1", "ph2", "dropped")
+            assert hit.cache_hit
+
+    def test_batch_observes_kernel_timers(self, store):
+        with ComparisonEngine(
+            ServiceConfig(workers=2, cache_size=8)
+        ) as eng:
+            eng.add_store(store)
+            screen_fleet(eng, "PhoneModel", "dropped", batch=True)
+            metrics = eng.metrics
+            assert metrics.fleet_kernel_seconds.count(
+                store="default"
+            ) == 1
+            assert metrics.fleet_plumbing_seconds.count(
+                store="default"
+            ) == 1
+            rendered = metrics.registry.render()
+            assert "repro_fleet_kernel_seconds" in rendered
+            assert "repro_fleet_plumbing_seconds" in rendered
+
+    def test_batch_rejects_bad_input(self, engine):
+        with pytest.raises(EngineError):
+            screen_fleet(
+                engine, "PhoneModel", "dropped",
+                values=["ph1", "ph1"], batch=True,
+            )
+
+    def test_batch_rejects_reference_scoring_store(self, store):
+        """An engine whose comparator lacks the batched back end gets
+        a request-level error, not a silent all-pairs failure."""
+        from repro.core.comparator import ComparatorError
+
+        with ComparisonEngine(
+            ServiceConfig(workers=2, cache_size=8)
+        ) as eng:
+            eng.add_store(store, name="ref", scoring="reference")
+            with pytest.raises(ComparatorError, match="batched"):
+                screen_fleet(
+                    eng, "PhoneModel", "dropped",
+                    batch=True, store="ref",
+                )
+
+
 class TestGenerations:
     def test_ingest_bumps_generation_and_invalidates(self, engine, store):
         before = engine.compare("PhoneModel", "ph1", "ph2", "dropped")

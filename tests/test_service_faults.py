@@ -480,3 +480,84 @@ class TestFleetScreenUnderFaults:
             chaotic.metrics.fleet_pair_failures.value(store="default")
             == len(outcome.failures)
         )
+
+
+class TestBatchScreenUnderFaults:
+    """batch=True trades per-pair failure granularity for one shared
+    fetch: an infrastructure fault fails the whole screen's pairs, but
+    still as structured data, never a raised exception."""
+
+    def test_engine_fault_fails_every_pair_structured(self):
+        data = make_data(seed=23, n_models=5)
+        store = CubeStore(data)
+        engine = ComparisonEngine(
+            ServiceConfig(workers=2, cache_size=64, breaker_failures=0)
+        )
+        engine.add_store(store)
+        plan = FaultPlan(
+            [FaultRule(SITE_ENGINE_COMPARE, probability=1.0)], seed=7
+        )
+        with engine, plan.installed():
+            outcome = screen_fleet(
+                engine, "PhoneModel", "dropped", batch=True
+            )
+            assert outcome.attempted == 10  # C(5, 2)
+            assert not outcome.complete
+            # One trip — the shared batch call — took out all pairs.
+            assert plan.triggers(SITE_ENGINE_COMPARE) == 1
+            assert len(outcome.failures) == 10
+            for failure in outcome.failures:
+                assert failure.error == "FaultInjected"
+                assert "engine.compare" in failure.message
+            assert len(outcome.report.pairs) == 0
+            assert (
+                engine.metrics.fleet_pair_failures.value(
+                    store="default"
+                ) == 10
+            )
+
+    def test_fault_free_batch_equals_faulted_fanout_survivors(self):
+        """A batch screen after the chaos plan is gone matches the
+        clean fan-out screen exactly."""
+        data = make_data(seed=23, n_models=5)
+        store = CubeStore(data)
+        engine = ComparisonEngine(
+            ServiceConfig(workers=2, cache_size=0, breaker_failures=0)
+        )
+        engine.add_store(store)
+        with engine:
+            fanout = screen_fleet(engine, "PhoneModel", "dropped")
+            batch = screen_fleet(
+                engine, "PhoneModel", "dropped", batch=True
+            )
+        assert batch.complete and fanout.complete
+        assert sorted(batch.report.pairs) == sorted(fanout.report.pairs)
+        for good, bad in batch.report.pairs:
+            a = batch.report.result(good, bad).to_dict()
+            b = fanout.report.result(good, bad).to_dict()
+            a.pop("elapsed_seconds")
+            b.pop("elapsed_seconds")
+            assert a == b
+
+    def test_store_fault_during_shared_fetch_degrades(self):
+        data = make_data(seed=31, n_models=4)
+        store = CubeStore(data)
+        store.precompute()
+        engine = ComparisonEngine(
+            ServiceConfig(workers=2, cache_size=0, breaker_failures=0)
+        )
+        engine.add_store(store)
+        plan = FaultPlan(
+            [FaultRule(SITE_STORE_CUBE, probability=1.0,
+                       max_triggers=1)],
+            seed=13,
+        )
+        with engine, plan.installed():
+            outcome = screen_fleet(
+                engine, "PhoneModel", "dropped", batch=True
+            )
+        assert not outcome.complete
+        assert len(outcome.failures) == 6  # C(4, 2)
+        assert all(
+            f.error == "FaultInjected" for f in outcome.failures
+        )

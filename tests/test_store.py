@@ -115,6 +115,183 @@ class TestCubeStore:
         assert "4 attributes" in repr(store)
 
 
+class TestPlanesBulkRead:
+    """The kernel's bulk cube read: canonical order, cache in one
+    pass, unchanged fault-site contract."""
+
+    def test_returns_canonical_cubes_in_request_order(self):
+        ds = make_dataset()
+        store = CubeStore(ds)
+        keys = [("A1", "A0"), ("A0", "A2"), ("A3",)]
+        cubes = store.planes(keys)
+        assert [c.names for c in cubes] == [
+            ("A0", "A1"), ("A0", "A2"), ("A3",)
+        ]
+        for cube in cubes:
+            assert cube == build_cube(ds, cube.names)
+
+    def test_warm_store_serves_without_rebuilding(self):
+        store = CubeStore(make_dataset())
+        store.precompute()
+        cached = store.n_cached
+        cubes = store.planes([("A0", "A1"), ("A2",)])
+        assert store.n_cached == cached
+        assert cubes[0] is store.cube(("A0", "A1"))  # same object
+
+    def test_validation_matches_cube(self):
+        store = CubeStore(make_dataset(), attributes=["A0", "A1"])
+        with pytest.raises(CubeError, match="not managed"):
+            store.planes([("A0", "A2")])
+        with pytest.raises(CubeError, match="duplicate"):
+            store.planes([("A0", "A0")])
+
+    def test_trips_fault_site_once_per_key_in_request_order(self):
+        from repro.testing import FaultPlan, FaultRule
+        from repro.testing.sites import SITE_STORE_CUBE
+
+        store = CubeStore(make_dataset())
+        keys = [("A1", "A0"), ("A2",), ("A0", "A3")]
+        # A probability-0 rule never fires but counts every visit.
+        plan = FaultPlan(
+            [FaultRule(SITE_STORE_CUBE, probability=0.0)], seed=5
+        )
+        with plan.installed():
+            store.planes(keys)
+        assert plan.stats()[SITE_STORE_CUBE]["visits"] == len(keys)
+        # And the loop-of-cube() path produces the same visit count.
+        plan.reset()
+        with plan.installed():
+            for key in keys:
+                store.cube(key)
+        assert plan.stats()[SITE_STORE_CUBE]["visits"] == len(keys)
+
+    def test_injected_fault_surfaces(self):
+        from repro.testing import FaultInjected, FaultPlan, FaultRule
+        from repro.testing.sites import SITE_STORE_CUBE
+
+        store = CubeStore(make_dataset())
+        plan = FaultPlan(
+            [FaultRule(SITE_STORE_CUBE, probability=1.0)], seed=5
+        )
+        with plan.installed():
+            with pytest.raises(FaultInjected):
+                store.planes([("A0", "A1")])
+
+
+class TestClassDistributionUnified:
+    """``class_distribution_cube`` now routes through ``cube(())`` —
+    the fault site and the cell budget apply to it."""
+
+    def test_trips_store_cube_site(self):
+        from repro.testing import FaultInjected, FaultPlan, FaultRule
+        from repro.testing.sites import SITE_STORE_CUBE
+
+        store = CubeStore(make_dataset())
+        plan = FaultPlan(
+            [FaultRule(SITE_STORE_CUBE, probability=1.0)], seed=3
+        )
+        with plan.installed():
+            with pytest.raises(FaultInjected):
+                store.class_distribution_cube()
+
+    def test_respects_cell_budget(self):
+        store = CubeStore(make_dataset(), max_cells=1)
+        with pytest.raises(CubeError, match="budget"):
+            store.class_distribution_cube()  # 2 class cells > 1
+
+    def test_cached_like_any_cube(self):
+        store = CubeStore(make_dataset())
+        first = store.class_distribution_cube()
+        assert store.n_cached == 1
+        assert store.class_distribution_cube() is first
+
+
+class TestParallelPrecompute:
+    def test_workers_match_serial_exactly(self):
+        ds = make_dataset(n_attrs=5, n=300)
+        serial = CubeStore(ds)
+        parallel = CubeStore(ds)
+        n_serial = serial.precompute()
+        n_parallel = parallel.precompute(workers=4)
+        assert n_parallel == n_serial == 5 + 10
+        for key, cube in serial.cached_items().items():
+            assert parallel.cube(key) == cube
+
+    def test_workers_idempotent_and_partial(self):
+        ds = make_dataset(n_attrs=4)
+        store = CubeStore(ds)
+        store.cube(("A0", "A1"))  # pre-existing cube is not recounted
+        built = store.precompute(workers=2)
+        assert built == 4 + 6 - 1
+        assert store.precompute(workers=2) == 0
+
+    def test_workers_one_is_the_serial_path(self):
+        store = CubeStore(make_dataset(n_attrs=3))
+        assert store.precompute(workers=1) == 3 + 3
+        assert store.n_cached == 6
+
+
+class TestSingleflight:
+    def test_concurrent_misses_build_once(self, monkeypatch):
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        import repro.cube.store as store_mod
+
+        ds = make_dataset()
+        store = CubeStore(ds)
+        builds = []
+        build_lock = threading.Lock()
+        real_build = store_mod.build_cube
+
+        def counting_build(dataset, key):
+            with build_lock:
+                builds.append(tuple(key))
+            return real_build(dataset, key)
+
+        monkeypatch.setattr(store_mod, "build_cube", counting_build)
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            cubes = list(
+                pool.map(store.cube, [("A0", "A1")] * 16)
+            )
+        assert builds.count(("A0", "A1")) == 1
+        for cube in cubes:
+            assert cube == real_build(ds, ("A0", "A1"))
+
+    def test_slow_build_does_not_block_cached_reads(self, monkeypatch):
+        import threading
+
+        import repro.cube.store as store_mod
+
+        ds = make_dataset()
+        store = CubeStore(ds)
+        store.cube(("A2",))  # warm the cube the reader will want
+        release = threading.Event()
+        entered = threading.Event()
+        real_build = store_mod.build_cube
+
+        def gated_build(dataset, key):
+            if tuple(key) == ("A0", "A1"):
+                entered.set()
+                assert release.wait(timeout=10)
+            return real_build(dataset, key)
+
+        monkeypatch.setattr(store_mod, "build_cube", gated_build)
+        builder = threading.Thread(
+            target=store.cube, args=(("A0", "A1"),)
+        )
+        builder.start()
+        try:
+            assert entered.wait(timeout=10)
+            # The build is parked mid-flight; a cached read must not
+            # queue behind it on the store lock.
+            assert store.cube(("A2",)) == real_build(ds, ("A2",))
+        finally:
+            release.set()
+            builder.join(timeout=10)
+        assert store.cube(("A0", "A1")) == real_build(ds, ("A0", "A1"))
+
+
 class TestThreadSafety:
     """Regression tests for the store's internal lock: the comparison
     service hammers one store's lazy ``cube()`` fill from a whole
