@@ -182,6 +182,29 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--trace-log", default=None, dest="trace_log", metavar="PATH",
+        help=(
+            "append every finished request trace to this file as one "
+            "JSON line (JSONL)"
+        ),
+    )
+    serve.add_argument(
+        "--slow-request-ms", type=float, default=1000.0,
+        dest="slow_request_ms", metavar="MS",
+        help=(
+            "log a one-line span summary for requests at least this "
+            "slow; 0 disables (default 1000)"
+        ),
+    )
+    serve.add_argument(
+        "--trace-buffer", type=int, default=32, dest="trace_buffer",
+        metavar="N",
+        help=(
+            "per-list capacity of the GET /debug/traces buffer "
+            "(N most recent + N slowest); 0 disables (default 32)"
+        ),
+    )
+    serve.add_argument(
         "--no-precompute", action="store_true",
         help="skip materialising pair cubes from a CSV before serving",
     )
@@ -302,6 +325,9 @@ def _build_serve_engine(args: argparse.Namespace):
         breaker_reset_seconds=getattr(
             args, "breaker_reset_seconds", 30.0
         ),
+        trace_buffer_size=getattr(args, "trace_buffer", 32),
+        slow_request_ms=getattr(args, "slow_request_ms", 1000.0) or None,
+        trace_log_path=getattr(args, "trace_log", None),
     )
     engine = ComparisonEngine(config)
     if args.csv:

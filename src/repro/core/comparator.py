@@ -52,6 +52,7 @@ import numpy as np
 from ..cube.rulecube import RuleCube
 from ..cube.store import CubeStore
 from ..dataset.table import Dataset
+from ..service.tracing import span
 from .interestingness import (
     contributions,
     excess_confidences,
@@ -412,6 +413,39 @@ class Comparator:
         outcomes: List[
             Tuple[Tuple[str, str], Union[ComparisonResult, ComparatorError]]
         ] = []
+        with span(
+            "kernel.screen", pairs=len(value_pairs)
+        ) as screen_span:
+            self._screen_pairs(
+                outcomes, value_pairs, pivot, pivot_attribute, counts,
+                cubes, attributes, target_class, target_code, schema,
+                clock,
+            )
+        timings = clock.timings(time.perf_counter() - started)
+        screen_span.annotate(
+            kernel_seconds=round(timings.kernel_seconds, 6),
+            plumbing_seconds=round(timings.plumbing_seconds, 6),
+        )
+        return PairScreenOutcome(outcomes=tuple(outcomes), timings=timings)
+
+    def _screen_pairs(
+        self,
+        outcomes: List[
+            Tuple[Tuple[str, str], Union[ComparisonResult, ComparatorError]]
+        ],
+        value_pairs: Sequence[Tuple[str, str]],
+        pivot,
+        pivot_attribute: str,
+        counts: np.ndarray,
+        cubes: List[RuleCube],
+        attributes: Sequence[str],
+        target_class: str,
+        target_code: int,
+        schema,
+        clock: KernelClock,
+    ) -> None:
+        """Score each pair of :meth:`compare_value_pairs` from the
+        shared planes, appending per-pair outcomes."""
         for value_a, value_b in value_pairs:
             pair_started = time.perf_counter()
             try:
@@ -474,10 +508,6 @@ class Comparator:
                 outcomes.append(((value_a, value_b), exc))
                 continue
             outcomes.append(((value_a, value_b), result))
-        return PairScreenOutcome(
-            outcomes=tuple(outcomes),
-            timings=clock.timings(time.perf_counter() - started),
-        )
 
     # ------------------------------------------------------------------
     # Plumbing shared by the scoring back ends
@@ -519,7 +549,8 @@ class Comparator:
         ]
         if self._scoring == "batched":
             return self._store.planes(keys)
-        return [self._store.cube(key) for key in keys]
+        with span("store.cubes", cubes=len(keys)):
+            return [self._store.cube(key) for key in keys]
 
     @staticmethod
     def _pivot_slices(
@@ -566,16 +597,17 @@ class Comparator:
             score = (
                 clock.score_planes if clock is not None else score_planes
             )
-            plane_scores = score(
-                [p[0] for p in pairs],
-                [p[1] for p in pairs],
-                target_code,
-                cf_good,
-                cf_bad,
-                self._confidence_level,
-                self._interval_method,
-                self._weight_by_count,
-            )
+            with span("kernel.score", candidates=len(names)):
+                plane_scores = score(
+                    [p[0] for p in pairs],
+                    [p[1] for p in pairs],
+                    target_code,
+                    cf_good,
+                    cf_bad,
+                    self._confidence_level,
+                    self._interval_method,
+                    self._weight_by_count,
+                )
             for name, plane_score in zip(names, plane_scores):
                 entry = self._entry_from_plane_score(
                     name, plane_score, schema[name].values

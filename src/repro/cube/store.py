@@ -40,6 +40,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..dataset.table import Dataset
+from ..service.tracing import span
 from ..testing.sites import SITE_STORE_CUBE, trip
 from .builder import PairCubeBuilder, build_cube
 from .rulecube import CubeError, RuleCube
@@ -181,7 +182,8 @@ class CubeStore:
                     break
             latch.wait()
         try:
-            cube = build_cube(dataset, canonical)
+            with span("cube.build", key=list(canonical)):
+                cube = build_cube(dataset, canonical)
             with self._lock:
                 if generation == self._data_gen:
                     self._cache[canonical] = cube
@@ -230,17 +232,21 @@ class CubeStore:
         of :meth:`cube` calls would produce, so chaos plans and their
         seeded PRNG streams behave identically on both paths.
         """
-        canonicals: List[Tuple[str, ...]] = []
-        for key in keys:
-            trip(SITE_STORE_CUBE, attributes=tuple(key))
-            requested = self._validate_key(key)
-            canonicals.append(tuple(sorted(requested)))
-        with self._lock:
-            cached = [self._cache.get(c) for c in canonicals]
-        return [
-            cube if cube is not None else self._get_or_build(canonical)
-            for canonical, cube in zip(canonicals, cached)
-        ]
+        with span("store.planes", cubes=len(keys)) as planes_span:
+            canonicals: List[Tuple[str, ...]] = []
+            for key in keys:
+                trip(SITE_STORE_CUBE, attributes=tuple(key))
+                requested = self._validate_key(key)
+                canonicals.append(tuple(sorted(requested)))
+            with self._lock:
+                cached = [self._cache.get(c) for c in canonicals]
+            planes_span.annotate(
+                misses=sum(1 for cube in cached if cube is None)
+            )
+            return [
+                cube if cube is not None else self._get_or_build(canonical)
+                for canonical, cube in zip(canonicals, cached)
+            ]
 
     def pair_cube(self, a: str, b: str) -> RuleCube:
         """Convenience for the 3-dimensional cube over ``(a, b, class)``."""

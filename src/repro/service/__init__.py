@@ -17,11 +17,23 @@ layer:
   failures into a structured ledger instead of aborting;
 * :mod:`repro.service.http` — a stdlib ``ThreadingHTTPServer`` with
   JSON endpoints (``/compare``, ``/rank``, ``/ingest``, ``/cubes``,
-  ``/healthz``, ``/metrics``) and a no-tracebacks error contract;
+  ``/healthz``, ``/metrics``, ``/debug/traces``) and a no-tracebacks
+  error contract;
 * :mod:`repro.service.client` — a retrying client with exponential
   backoff + jitter and per-call deadline budgets;
 * :mod:`repro.service.metrics` — counters and latency histograms in
-  Prometheus text format.
+  Prometheus text format;
+* :mod:`repro.service.tracing` — per-request span trees with a
+  propagated request id, an in-memory slow/recent trace buffer and a
+  JSONL exporter.
+
+This ``__init__`` resolves its exports lazily (PEP 562): the tracing
+primitives are called from lower layers (``repro.cube.store``,
+``repro.core.comparator``), and an eager ``from .engine import …``
+here would close an import cycle through those modules.  Lazy
+resolution keeps ``import repro.service.tracing`` free of the engine
+and the HTTP server while the public ``from repro.service import
+ComparisonEngine`` surface stays exactly as it was.
 
 Quickstart::
 
@@ -36,60 +48,99 @@ Quickstart::
     print(server.url)   # POST /compare here
 """
 
-from .config import ConfigError, ServiceConfig
-from .engine import (
-    BatchScreenOutcome,
-    CircuitBreaker,
-    CompareOutcome,
-    ComparisonEngine,
-    DeadlineExceeded,
-    EngineError,
-    IngestOutcome,
-    StoreUnavailable,
-    UnknownStoreError,
-)
-from .batch import FleetScreenOutcome, PairFailure, screen_fleet
-from .client import (
-    BudgetExhausted,
-    ClientError,
-    RetryPolicy,
-    ServerError,
-    ServiceClient,
-)
-from .http import ComparisonHTTPServer, serve
-from .metrics import (
-    Counter,
-    Histogram,
-    MetricsRegistry,
-    ServiceMetrics,
-    service_metrics,
-)
+from importlib import import_module
+from typing import TYPE_CHECKING
 
-__all__ = [
-    "ServiceConfig",
-    "ConfigError",
-    "ComparisonEngine",
-    "CompareOutcome",
-    "BatchScreenOutcome",
-    "IngestOutcome",
-    "EngineError",
-    "UnknownStoreError",
-    "DeadlineExceeded",
-    "StoreUnavailable",
-    "CircuitBreaker",
-    "screen_fleet",
-    "FleetScreenOutcome",
-    "PairFailure",
-    "ServiceClient",
-    "RetryPolicy",
-    "ClientError",
-    "ServerError",
-    "BudgetExhausted",
-    "ComparisonHTTPServer",
-    "serve",
-    "Counter",
-    "Histogram",
-    "MetricsRegistry",
-    "ServiceMetrics",
-    "service_metrics",
-]
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from .batch import FleetScreenOutcome, PairFailure, screen_fleet
+    from .client import (
+        BudgetExhausted,
+        ClientError,
+        RetryPolicy,
+        ServerError,
+        ServiceClient,
+    )
+    from .config import ConfigError, ServiceConfig
+    from .engine import (
+        BatchScreenOutcome,
+        CircuitBreaker,
+        CompareOutcome,
+        ComparisonEngine,
+        DeadlineExceeded,
+        EngineError,
+        IngestOutcome,
+        StoreUnavailable,
+        UnknownStoreError,
+    )
+    from .http import ComparisonHTTPServer, serve
+    from .metrics import (
+        Counter,
+        Histogram,
+        MetricsRegistry,
+        ServiceMetrics,
+        service_metrics,
+    )
+    from .tracing import (
+        Span,
+        Trace,
+        TraceBuffer,
+        TraceLogWriter,
+        current_trace,
+        span,
+        start_trace,
+    )
+
+#: Public name -> defining submodule, resolved on first attribute access.
+_EXPORTS = {
+    "ServiceConfig": "config",
+    "ConfigError": "config",
+    "ComparisonEngine": "engine",
+    "CompareOutcome": "engine",
+    "BatchScreenOutcome": "engine",
+    "IngestOutcome": "engine",
+    "EngineError": "engine",
+    "UnknownStoreError": "engine",
+    "DeadlineExceeded": "engine",
+    "StoreUnavailable": "engine",
+    "CircuitBreaker": "engine",
+    "screen_fleet": "batch",
+    "FleetScreenOutcome": "batch",
+    "PairFailure": "batch",
+    "ServiceClient": "client",
+    "RetryPolicy": "client",
+    "ClientError": "client",
+    "ServerError": "client",
+    "BudgetExhausted": "client",
+    "ComparisonHTTPServer": "http",
+    "serve": "http",
+    "Counter": "metrics",
+    "Histogram": "metrics",
+    "MetricsRegistry": "metrics",
+    "ServiceMetrics": "metrics",
+    "service_metrics": "metrics",
+    "Trace": "tracing",
+    "Span": "tracing",
+    "TraceBuffer": "tracing",
+    "TraceLogWriter": "tracing",
+    "span": "tracing",
+    "start_trace": "tracing",
+    "current_trace": "tracing",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(import_module(f".{module_name}", __name__), name)
+    globals()[name] = value  # cache: next access skips this hook
+    return value
+
+
+def __dir__():
+    return sorted(set(__all__) | set(globals()))

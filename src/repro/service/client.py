@@ -170,6 +170,10 @@ class ServiceClient:
         #: deadline_ms the server last reported in a 503 body; used to
         #: decide whether a retry can still fit in the budget.
         self.last_server_deadline_ms: Optional[float] = None
+        #: request_id of the last response body seen (success or error),
+        #: so a caller can quote it when filing a slow/failed request
+        #: against the server's ``/debug/traces`` buffer or trace log.
+        self.last_request_id: Optional[str] = None
 
     # -- core retry loop ------------------------------------------------
 
@@ -221,6 +225,8 @@ class ServiceClient:
                 )
                 continue
             parsed = self._parse(raw)
+            if isinstance(parsed.get("request_id"), str):
+                self.last_request_id = parsed["request_id"]
             if status < 400:
                 return parsed
             if status in RETRYABLE_STATUSES:
@@ -366,6 +372,12 @@ class ServiceClient:
 
     def cubes(self, budget_ms: Optional[float] = None) -> Dict[str, Any]:
         return self.request("GET", "/cubes", budget_ms=budget_ms)
+
+    def debug_traces(
+        self, budget_ms: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """The server's retained trace buffer (recent + slowest)."""
+        return self.request("GET", "/debug/traces", budget_ms=budget_ms)
 
     def __repr__(self) -> str:
         return (

@@ -50,6 +50,18 @@ class ServiceConfig:
         How long an open breaker waits before letting one half-open
         probe through; a successful probe closes the breaker, a failed
         one re-opens it for another full window.
+    trace_buffer_size:
+        How many traces ``GET /debug/traces`` retains in each of its
+        two lists (most recent and slowest).  ``0`` disables
+        retention; per-request tracing (``?trace=1``) still works.
+    slow_request_ms:
+        Requests whose total handling time reaches this threshold log
+        a structured one-line span summary at ``WARNING``.  ``None``
+        disables the slow log.
+    trace_log_path:
+        When set, every finished request trace is appended to this
+        file as one JSON line (``repro serve --trace-log``).  ``None``
+        disables the export.
     """
 
     host: str = "127.0.0.1"
@@ -60,6 +72,9 @@ class ServiceConfig:
     default_store: str = "default"
     breaker_failures: int = 5
     breaker_reset_seconds: float = 30.0
+    trace_buffer_size: int = 32
+    slow_request_ms: Optional[float] = 1_000.0
+    trace_log_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -78,6 +93,14 @@ class ServiceConfig:
             )
         if self.breaker_reset_seconds <= 0:
             raise ConfigError("breaker_reset_seconds must be positive")
+        if self.trace_buffer_size < 0:
+            raise ConfigError(
+                "trace_buffer_size must be non-negative (0 disables)"
+            )
+        if self.slow_request_ms is not None and self.slow_request_ms <= 0:
+            raise ConfigError(
+                "slow_request_ms must be positive or None"
+            )
 
     @property
     def deadline_seconds(self) -> Optional[float]:

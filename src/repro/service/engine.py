@@ -63,6 +63,7 @@ from ..dataset.table import Dataset
 from ..testing.sites import SITE_ENGINE_COMPARE, trip
 from .config import ServiceConfig
 from .metrics import ServiceMetrics, service_metrics
+from .tracing import annotate, current_span, current_trace, resume_trace, span
 
 __all__ = [
     "ComparisonEngine",
@@ -561,6 +562,7 @@ class ComparisonEngine:
             return future.result(timeout=timeout)
         except FutureTimeoutError:
             self._metrics.deadline_exceeded.inc()
+            annotate(outcome="deadline_exceeded", deadline_ms=effective_ms)
             raise DeadlineExceeded(
                 f"comparison did not finish within {effective_ms} ms",
                 deadline_ms=effective_ms,
@@ -596,7 +598,9 @@ class ComparisonEngine:
             tuple(attributes) if attributes is not None else None,
         )
         generation = managed.generation
-        entry = self._cache.get(key, generation)
+        with span("cache.get", store=managed.name) as cache_span:
+            entry = self._cache.get(key, generation)
+            cache_span.annotate(hit=entry is not None)
         if entry is not None:
             self._metrics.cache_hits.inc(store=managed.name)
             done: "Future[CompareOutcome]" = Future()
@@ -610,11 +614,19 @@ class ComparisonEngine:
             managed.breaker.allow()
         except StoreUnavailable:
             self._metrics.breaker_rejections.inc(store=managed.name)
+            annotate(breaker="open", store=managed.name)
             raise
         self._metrics.cache_misses.inc(store=managed.name)
+        # ThreadPoolExecutor.submit does not copy contextvars; carry
+        # the trace (and the span to nest under) to the worker thread
+        # explicitly, with the submit timestamp so the worker can
+        # reconstruct its queue wait.
+        trace = current_trace()
         return self._pool.submit(
             self._compute, managed, key, pivot_attribute, value_a,
             value_b, target_class, attributes,
+            trace, current_span() if trace is not None else None,
+            trace.now() if trace is not None else None,
         )
 
     def _compute(
@@ -626,35 +638,61 @@ class ComparisonEngine:
         value_b: str,
         target_class: str,
         attributes: Optional[Sequence[str]],
+        trace=None,
+        parent_span=None,
+        submitted: Optional[float] = None,
     ) -> CompareOutcome:
-        try:
-            trip(
-                SITE_ENGINE_COMPARE,
-                store=managed.name,
-                pivot=pivot_attribute,
-                values=(value_a, value_b),
-            )
-            with managed.rwlock.read_locked():
-                generation = managed.generation
-                result = managed.comparator.compare(
-                    pivot_attribute, value_a, value_b, target_class,
-                    attributes=attributes,
+        with resume_trace(trace, parent_span):
+            if trace is not None and submitted is not None:
+                # Queue wait: from pool submit to this thread running.
+                trace.span(
+                    "engine.queue_wait",
+                    parent=parent_span,
+                    start=submitted,
+                    store=managed.name,
+                ).finish()
+            with span("engine.compare", store=managed.name) as compute:
+                try:
+                    trip(
+                        SITE_ENGINE_COMPARE,
+                        store=managed.name,
+                        pivot=pivot_attribute,
+                        values=(value_a, value_b),
+                    )
+                    with managed.rwlock.read_locked():
+                        generation = managed.generation
+                        result = managed.comparator.compare(
+                            pivot_attribute, value_a, value_b,
+                            target_class, attributes=attributes,
+                        )
+                except (ValueError, KeyError) as exc:
+                    # The client's fault (unknown attribute/value,
+                    # empty sub-population): the store itself answered
+                    # fine, so the failure streak resets.
+                    managed.breaker.record_success()
+                    compute.annotate(error=type(exc).__name__)
+                    raise
+                except Exception as exc:
+                    managed.breaker.record_failure()
+                    self._metrics.compare_failures.inc(
+                        store=managed.name, error=type(exc).__name__
+                    )
+                    # Traces are client-visible (?trace=1 and
+                    # /debug/traces), so an unexpected failure stays as
+                    # generic here as in the 500 body; the class name
+                    # lives in the server log and /metrics.
+                    compute.annotate(
+                        error="internal",
+                        breaker=managed.breaker.state,
+                    )
+                    raise
+                managed.breaker.record_success()
+                with span("cache.put", store=managed.name):
+                    self._cache.put(key, generation, result)
+                compute.annotate(generation=generation)
+                return CompareOutcome(
+                    result, managed.name, generation, False
                 )
-        except (ValueError, KeyError):
-            # The client's fault (unknown attribute/value, empty
-            # sub-population): the store itself answered fine, so the
-            # failure streak resets.
-            managed.breaker.record_success()
-            raise
-        except Exception as exc:
-            managed.breaker.record_failure()
-            self._metrics.compare_failures.inc(
-                store=managed.name, error=type(exc).__name__
-            )
-            raise
-        managed.breaker.record_success()
-        self._cache.put(key, generation, result)
-        return CompareOutcome(result, managed.name, generation, False)
 
     def screen_pairs_batch(
         self,
@@ -686,30 +724,41 @@ class ComparisonEngine:
             managed.breaker.allow()
         except StoreUnavailable:
             self._metrics.breaker_rejections.inc(store=managed.name)
+            annotate(breaker="open", store=managed.name)
             raise
-        try:
-            trip(
-                SITE_ENGINE_COMPARE,
-                store=managed.name,
-                pivot=pivot_attribute,
-                pairs=len(value_pairs),
-            )
-            with managed.rwlock.read_locked():
-                generation = managed.generation
-                screen = managed.comparator.compare_value_pairs(
-                    pivot_attribute, value_pairs, target_class,
-                    attributes=attributes,
+        with span(
+            "engine.screen_batch",
+            store=managed.name,
+            pairs=len(value_pairs),
+        ) as batch_span:
+            try:
+                trip(
+                    SITE_ENGINE_COMPARE,
+                    store=managed.name,
+                    pivot=pivot_attribute,
+                    pairs=len(value_pairs),
                 )
-        except (ValueError, KeyError):
-            # The request's fault; the store itself is healthy.
-            managed.breaker.record_success()
-            raise
-        except Exception as exc:
-            managed.breaker.record_failure()
-            self._metrics.compare_failures.inc(
-                store=managed.name, error=type(exc).__name__
-            )
-            raise
+                with managed.rwlock.read_locked():
+                    generation = managed.generation
+                    screen = managed.comparator.compare_value_pairs(
+                        pivot_attribute, value_pairs, target_class,
+                        attributes=attributes,
+                    )
+            except (ValueError, KeyError) as exc:
+                # The request's fault; the store itself is healthy.
+                managed.breaker.record_success()
+                batch_span.annotate(error=type(exc).__name__)
+                raise
+            except Exception as exc:
+                managed.breaker.record_failure()
+                self._metrics.compare_failures.inc(
+                    store=managed.name, error=type(exc).__name__
+                )
+                batch_span.annotate(
+                    error="internal",
+                    breaker=managed.breaker.state,
+                )
+                raise
         managed.breaker.record_success()
         attrs_key = (
             tuple(attributes) if attributes is not None else None

@@ -3,16 +3,20 @@
 A :class:`ThreadingHTTPServer` exposing the engine as small JSON
 endpoints:
 
-========  =============  ==================================================
-method    path           purpose
-========  =============  ==================================================
-POST      ``/compare``   one comparison; full result (``top`` truncates)
-POST      ``/rank``      the full attribute ranking, scores only
-POST      ``/ingest``    absorb a record batch (bumps the generation)
-GET       ``/cubes``     registered stores and their cube inventories
-GET       ``/healthz``   liveness probe
-GET       ``/metrics``   Prometheus text exposition
-========  =============  ==================================================
+==========  ==================  ==========================================
+method      path                purpose
+==========  ==================  ==========================================
+POST        ``/compare``        one comparison; full result (``top``
+                                truncates)
+POST        ``/rank``           the full attribute ranking, scores only
+POST        ``/ingest``         absorb a record batch (bumps the
+                                generation)
+GET         ``/cubes``          registered stores and their cube
+                                inventories
+GET         ``/healthz``        liveness probe
+GET         ``/metrics``        Prometheus text exposition
+GET         ``/debug/traces``   recent + slowest request traces
+==========  ==================  ==========================================
 
 Error contract: clients never see a traceback.  Malformed requests and
 unknown attributes/values/stores return ``400`` with a JSON error
@@ -22,6 +26,23 @@ Overload surfaces as ``503``: a deadline overrun carries the applied
 ``deadline_ms`` in the body (so a retrying client can budget), and an
 open circuit breaker carries ``retry_after`` in the body plus a
 ``Retry-After`` header.
+
+Observability contract: every request is traced.  The handler accepts
+a client ``X-Request-Id`` header (or mints one), echoes it as a
+response header, and includes ``request_id`` in every JSON body —
+errors included — so a client log line can always be joined with the
+server's.  ``?trace=1`` (or ``"trace": true`` in a JSON body) returns
+the request's span tree inline; finished traces also land in a
+bounded in-memory buffer served at ``GET /debug/traces``, optionally
+in a ``--trace-log`` JSONL file, and — past the configured
+``slow_request_ms`` threshold — as a one-line ``WARNING`` span
+summary.  Probe endpoints (``/healthz``, ``/metrics``,
+``/debug/traces`` itself) are traced for their own response but not
+retained, so a scraper cannot wash real traffic out of the buffer.
+
+Unrouted paths are clamped to the single metrics label
+``endpoint="unknown"`` before anything is observed — a port scanner
+sweeping random paths must not mint one counter series per probe.
 """
 
 from __future__ import annotations
@@ -33,10 +54,19 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Mapping, Optional, Tuple
+from urllib.parse import parse_qs
 
 from ..testing.sites import SITE_HTTP_HANDLER, trip
 from .config import ServiceConfig
 from .engine import ComparisonEngine, DeadlineExceeded, StoreUnavailable
+from .tracing import (
+    Trace,
+    TraceBuffer,
+    TraceLogWriter,
+    sanitize_request_id,
+    slow_summary,
+    start_trace,
+)
 
 __all__ = ["ComparisonHTTPServer", "serve"]
 
@@ -76,9 +106,25 @@ def _optional_deadline(payload: Mapping[str, Any]) -> Any:
     value = payload["deadline_ms"]
     if value is None:
         return None
-    if not isinstance(value, (int, float)) or value <= 0:
+    # bool is an int subclass: "deadline_ms": true must not pass as 1.
+    if (
+        isinstance(value, bool)
+        or not isinstance(value, (int, float))
+        or value <= 0
+    ):
         raise _BadRequest("'deadline_ms' must be a positive number")
     return value
+
+
+def _query_flag(query: str, name: str) -> bool:
+    """True when ``name`` appears in the query string as a truthy flag
+    (``trace=1``, ``trace=true``, bare ``trace``)."""
+    if not query:
+        return False
+    values = parse_qs(query, keep_blank_values=True).get(name)
+    if values is None:
+        return False
+    return values[-1].lower() in ("", "1", "true", "yes")
 
 
 _UNSET = object()
@@ -102,10 +148,27 @@ class _Handler(BaseHTTPRequestHandler):
         payload: Dict[str, Any],
         headers: Optional[Dict[str, str]] = None,
     ) -> None:
+        request_id = getattr(self, "_request_id", None)
+        if request_id is not None and "request_id" not in payload:
+            payload = {**payload, "request_id": request_id}
+        trace = getattr(self, "_trace", None)
+        if (
+            trace is not None
+            and getattr(self, "_want_trace", False)
+            and "trace" not in payload
+        ):
+            # The inline tree is a live snapshot taken while the root
+            # span is still open; stamp the status now so the client
+            # sees it (the dispatch loop re-stamps it at the end for
+            # the retained copy).
+            trace.root.annotate(status=status)
+            payload = {**payload, "trace": trace.to_dict()}
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if request_id is not None:
+            self.send_header("X-Request-Id", request_id)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -133,82 +196,120 @@ class _Handler(BaseHTTPRequestHandler):
                 f"request body must be 0..{MAX_BODY_BYTES} bytes"
             )
         raw = self.rfile.read(length)
+        if len(raw) < length:
+            # A stalled or disconnected client delivered less than it
+            # promised; say so instead of blaming the JSON parser.
+            raise _BadRequest(
+                f"truncated request body: received {len(raw)} of the "
+                f"{length} bytes announced in Content-Length"
+            )
         try:
             payload = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise _BadRequest(f"invalid JSON body: {exc}") from None
         if not isinstance(payload, dict):
             raise _BadRequest("the JSON body must be an object")
+        trace_flag = payload.get("trace")
+        if trace_flag is not None:
+            if not isinstance(trace_flag, bool):
+                raise _BadRequest("'trace' must be a boolean")
+            if trace_flag:
+                self._want_trace = True
         return payload
 
     def _dispatch(self, method: str) -> None:
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        endpoint = path.lstrip("/") or "root"
+        head, _, query = self.path.partition("?")
+        path = head.rstrip("/") or "/"
         routes = _ROUTES.get(path)
+        # Unrouted paths share one label: a port scanner sweeping
+        # random paths must not grow unbounded metric cardinality.
+        if routes is None:
+            endpoint = "unknown"
+        else:
+            endpoint = path.lstrip("/") or "root"
+        self._request_id = sanitize_request_id(
+            self.headers.get("X-Request-Id")
+        )
+        self._want_trace = _query_flag(query, "trace")
+        self._trace = None
         status = 500
         started = time.perf_counter()
-        try:
-            trip(SITE_HTTP_HANDLER, method=method, path=path)
-            if routes is None:
-                status = 404
-                self._send_json(
-                    status, {"error": f"unknown path {path!r}"}
-                )
-                return
-            handler_name = routes.get(method)
-            if handler_name is None:
-                status = 405
+        with start_trace(self._request_id, name="http.dispatch") as trace:
+            self._trace = trace
+            trace.root.annotate(
+                method=method, path=path, endpoint=endpoint
+            )
+            try:
+                trip(SITE_HTTP_HANDLER, method=method, path=path)
+                if routes is None:
+                    status = 404
+                    self._send_json(
+                        status, {"error": f"unknown path {path!r}"}
+                    )
+                elif routes.get(method) is None:
+                    status = 405
+                    self._send_json(
+                        status,
+                        {
+                            "error": (
+                                f"{method} not allowed on {path}; use "
+                                f"{', '.join(sorted(routes))}"
+                            )
+                        },
+                    )
+                else:
+                    status = getattr(self, routes[method])()
+            except _BadRequest as exc:
+                status = 400
+                self._send_json(status, {"error": str(exc)})
+            except DeadlineExceeded as exc:
+                status = 503
+                body: Dict[str, Any] = {"error": str(exc)}
+                if exc.deadline_ms is not None:
+                    body["deadline_ms"] = exc.deadline_ms
+                self._send_json(status, body)
+            except StoreUnavailable as exc:
+                status = 503
+                retry_after = max(1, math.ceil(exc.retry_after))
                 self._send_json(
                     status,
                     {
-                        "error": (
-                            f"{method} not allowed on {path}; use "
-                            f"{', '.join(sorted(routes))}"
-                        )
+                        "error": str(exc),
+                        "store": exc.store,
+                        "retry_after": exc.retry_after,
                     },
+                    headers={"Retry-After": str(retry_after)},
                 )
-                return
-            status = getattr(self, handler_name)()
-        except _BadRequest as exc:
-            status = 400
-            self._send_json(status, {"error": str(exc)})
-        except DeadlineExceeded as exc:
-            status = 503
-            body: Dict[str, Any] = {"error": str(exc)}
-            if exc.deadline_ms is not None:
-                body["deadline_ms"] = exc.deadline_ms
-            self._send_json(status, body)
-        except StoreUnavailable as exc:
-            status = 503
-            retry_after = max(1, math.ceil(exc.retry_after))
-            self._send_json(
-                status,
-                {
-                    "error": str(exc),
-                    "store": exc.store,
-                    "retry_after": exc.retry_after,
-                },
-                headers={"Retry-After": str(retry_after)},
-            )
-        except (ValueError, KeyError) as exc:
-            # Domain errors (ComparatorError, CubeError, SchemaError,
-            # EngineError, bad lookups) all derive from these.
-            status = 400
-            message = str(exc) or exc.__class__.__name__
-            if isinstance(exc, KeyError) and exc.args:
-                message = str(exc.args[0])
-            self._send_json(status, {"error": message})
-        except (BrokenPipeError, ConnectionResetError):
-            status = 499  # client went away; nothing to send
-        except Exception:
-            status = 500
-            logger.exception("internal error handling %s %s", method, path)
-            self._send_json(status, {"error": "internal server error"})
-        finally:
-            elapsed = time.perf_counter() - started
-            metrics = self.server.engine.metrics
-            metrics.requests.inc(endpoint=endpoint, status=str(status))
-            metrics.latency.observe(elapsed, endpoint=endpoint)
+            except (ValueError, KeyError) as exc:
+                # Domain errors (ComparatorError, CubeError,
+                # SchemaError, EngineError, bad lookups) all derive
+                # from these.
+                status = 400
+                message = str(exc) or exc.__class__.__name__
+                if isinstance(exc, KeyError) and exc.args:
+                    message = str(exc.args[0])
+                self._send_json(status, {"error": message})
+            except (BrokenPipeError, ConnectionResetError):
+                status = 499  # client went away; nothing to send
+            except Exception:
+                status = 500
+                logger.exception(
+                    "internal error handling %s %s", method, path
+                )
+                self._send_json(status, {"error": "internal server error"})
+            finally:
+                trace.root.annotate(status=status)
+        # The root span is finished here; retention sees final timings.
+        elapsed = time.perf_counter() - started
+        metrics = self.server.engine.metrics
+        metrics.requests.inc(endpoint=endpoint, status=str(status))
+        metrics.latency.observe(elapsed, endpoint=endpoint)
+        try:
+            self.server.record_trace(trace, endpoint=endpoint,
+                                     status=status)
+        except Exception:  # never let bookkeeping break a response
+            logger.exception("failed to record trace %s",
+                             trace.request_id)
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         self._dispatch("GET")
@@ -232,6 +333,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _handle_metrics(self) -> int:
         self._send_text(200, self.server.engine.metrics.render())
+        return 200
+
+    def _handle_debug_traces(self) -> int:
+        self._send_json(200, self.server.traces.snapshot())
         return 200
 
     def _handle_cubes(self) -> int:
@@ -268,8 +373,9 @@ class _Handler(BaseHTTPRequestHandler):
     def _handle_compare(self) -> int:
         payload = self._read_json()
         top = payload.get("top")
+        # bool is an int subclass: "top": true must not pass as top=1.
         if top is not None and (
-            not isinstance(top, int) or top < 0
+            isinstance(top, bool) or not isinstance(top, int) or top < 0
         ):
             raise _BadRequest("'top' must be a non-negative integer")
         outcome = self._compare_outcome(payload)
@@ -344,7 +450,13 @@ _ROUTES: Dict[str, Dict[str, str]] = {
     "/compare": {"POST": "_handle_compare"},
     "/rank": {"POST": "_handle_rank"},
     "/ingest": {"POST": "_handle_ingest"},
+    "/debug/traces": {"GET": "_handle_debug_traces"},
 }
+
+#: Endpoints whose traces are not retained (buffer / JSONL / slow log):
+#: probes and the trace endpoints themselves, which would otherwise
+#: wash real traffic out of the bounded buffer.
+_UNRETAINED_ENDPOINTS = frozenset({"healthz", "metrics", "debug/traces"})
 
 
 class ComparisonHTTPServer(ThreadingHTTPServer):
@@ -374,11 +486,55 @@ class ComparisonHTTPServer(ThreadingHTTPServer):
         super().__init__(address, _Handler)
         self.engine = engine
         self._thread: Optional[threading.Thread] = None
+        self.traces = TraceBuffer(config.trace_buffer_size)
+        self.trace_writer: Optional[TraceLogWriter] = (
+            TraceLogWriter(config.trace_log_path)
+            if config.trace_log_path
+            else None
+        )
+
+    def record_trace(
+        self, trace: "Trace", endpoint: str, status: int
+    ) -> None:
+        """Retain one finished request trace.
+
+        Feeds the ``/debug/traces`` buffer, the optional JSONL export
+        and the slow-request log; probe endpoints (see
+        ``_UNRETAINED_ENDPOINTS``) are skipped everywhere.
+        """
+        if endpoint in _UNRETAINED_ENDPOINTS:
+            return
+        payload = trace.to_dict()
+        payload["endpoint"] = endpoint
+        payload["status"] = status
+        self.traces.record(payload)
+        metrics = self.engine.metrics
+        metrics.traces_recorded.inc(endpoint=endpoint)
+        if self.trace_writer is not None:
+            self.trace_writer.write(payload)
+        threshold = self.engine.config.slow_request_ms
+        if threshold is not None and (
+            payload["duration_ms"] >= threshold
+        ):
+            metrics.slow_requests.inc(endpoint=endpoint)
+            logger.warning("%s", slow_summary(payload))
 
     @property
     def url(self) -> str:
-        """Base URL of the bound socket (real port after bind)."""
+        """Base URL of the bound socket (real port after bind).
+
+        A wildcard bind (``0.0.0.0``, ``::`` or an empty host) is
+        mapped to the loopback address — "connect to 0.0.0.0" is not
+        reliably dialable off-box and breaks copy-paste from the
+        ``repro serve`` banner.  IPv6 hosts are bracketed.
+        """
         host, port = self.server_address[:2]
+        if host in ("", "0.0.0.0"):
+            host = "127.0.0.1"
+        elif host in ("::", "::0"):
+            host = "::1"
+        if ":" in host:
+            host = f"[{host}]"
         return f"http://{host}:{port}"
 
     def start_background(self) -> "ComparisonHTTPServer":
@@ -401,6 +557,8 @@ class ComparisonHTTPServer(ThreadingHTTPServer):
             self._thread.join(timeout=5)
             self._thread = None
         self.server_close()
+        if self.trace_writer is not None:
+            self.trace_writer.close()
 
 
 def serve(
@@ -412,10 +570,22 @@ def serve(
     server = ComparisonHTTPServer(engine, config.host, config.port)
     logger.info("serving on %s", server.url)
     print(f"repro service listening on {server.url}")
+    print(
+        f"traces: GET {server.url}/debug/traces "
+        f"(buffer {config.trace_buffer_size}"
+        + (
+            f", JSONL -> {config.trace_log_path}"
+            if config.trace_log_path
+            else ""
+        )
+        + ")"
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.server_close()
+        if server.trace_writer is not None:
+            server.trace_writer.close()
         engine.shutdown()

@@ -313,6 +313,16 @@ class ServiceMetrics:
             "Batch fleet-screen time spent outside the kernel (cube "
             "reads, slicing, result assembly), by store, seconds.",
         )
+        self.traces_recorded = self.registry.counter(
+            "repro_traces_recorded_total",
+            "Request traces recorded into the debug buffer / trace "
+            "log, by endpoint.",
+        )
+        self.slow_requests = self.registry.counter(
+            "repro_slow_requests_total",
+            "Requests whose handling time reached the slow-request "
+            "threshold, by endpoint.",
+        )
 
     def render(self) -> str:
         return self.registry.render()

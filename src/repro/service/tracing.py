@@ -1,0 +1,482 @@
+"""Per-request tracing: where did this comparison spend its time?
+
+The paper sells Opportunity Map on *interactivity* — an engineer sits
+at a console iterating on comparisons, so every slow or failed request
+deserves an explanation, not just a latency-histogram bucket.  This
+module supplies that explanation as a per-request **trace**: a tree of
+named, monotonic-clock-timed spans (``http.dispatch`` →
+``engine.compare`` → ``store.planes``/``cube.build`` →
+``kernel.score`` → cache get/put) carried across threads by
+``contextvars`` and recorded thread-safely, because one request's
+spans are opened on the HTTP handler thread *and* on the engine's
+worker pool.
+
+Three consumers, all wired in :mod:`repro.service.http`:
+
+* a ``?trace=1`` / ``"trace": true`` request option returns the span
+  tree inline with the response;
+* a bounded in-memory :class:`TraceBuffer` keeps the N most recent and
+  N slowest traces for ``GET /debug/traces`` (plus a slow-request
+  threshold that logs a structured one-line summary);
+* a :class:`TraceLogWriter` appends every finished trace as one JSON
+  line (``repro serve --trace-log PATH``).
+
+Design constraints:
+
+* **stdlib only, no intra-package imports** — the cube store and the
+  comparator (lower layers) call :func:`span` directly, so this module
+  must be importable without dragging in the engine or the HTTP
+  server (``repro/service/__init__.py`` is lazy for the same reason);
+* **zero cost when idle** — with no active trace, :func:`span` is one
+  ``ContextVar`` read and yields a shared null span, cheap enough to
+  leave in every hot path (the same contract as
+  :mod:`repro.testing.sites`);
+* **safe to snapshot live** — a deadline overrun sends the response
+  while the worker thread is still appending spans; every tree walk
+  and mutation takes the trace's lock, and open spans serialise with
+  their duration so far.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import heapq
+import threading
+import time
+import uuid
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Span",
+    "Trace",
+    "TraceBuffer",
+    "TraceLogWriter",
+    "span",
+    "annotate",
+    "current_trace",
+    "current_span",
+    "start_trace",
+    "resume_trace",
+    "new_request_id",
+    "sanitize_request_id",
+    "slow_summary",
+]
+
+#: Request ids beyond this length are replaced, not truncated — a
+#: truncated id would silently collide with another client's.
+MAX_REQUEST_ID_LENGTH = 128
+
+
+def new_request_id() -> str:
+    """A fresh opaque request id (32 hex chars)."""
+    return uuid.uuid4().hex
+
+
+def sanitize_request_id(raw: object) -> str:
+    """A client-supplied ``X-Request-Id``, or a fresh id if unusable.
+
+    Only printable ASCII without spaces is accepted: the id is echoed
+    back as a response *header*, so anything that could smuggle a CR/LF
+    (header injection) or control bytes is discarded wholesale rather
+    than repaired.
+    """
+    if isinstance(raw, str):
+        candidate = raw.strip()
+        if 0 < len(candidate) <= MAX_REQUEST_ID_LENGTH and all(
+            33 <= ord(ch) <= 126 for ch in candidate
+        ):
+            return candidate
+    return new_request_id()
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce an annotation value into something ``json.dumps`` takes."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return str(value)
+
+
+class Span:
+    """One timed operation inside a trace.
+
+    Spans are created through :meth:`Trace.span` (or the module-level
+    :func:`span` context manager) and never outlive their trace.
+    ``started``/``ended`` are monotonic-clock readings; an unfinished
+    span reports its duration so far.
+    """
+
+    __slots__ = ("name", "started", "ended", "annotations", "children",
+                 "_trace")
+
+    def __init__(
+        self,
+        name: str,
+        trace: "Trace",
+        started: float,
+        annotations: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self._trace = trace
+        self.started = started
+        self.ended: Optional[float] = None
+        self.annotations: Dict[str, Any] = dict(annotations or {})
+        self.children: List["Span"] = []
+
+    def annotate(self, **annotations: Any) -> "Span":
+        """Attach key/value context to the span (merged, last wins)."""
+        with self._trace._lock:
+            self.annotations.update(annotations)
+        return self
+
+    def finish(self) -> "Span":
+        """Close the span at the trace clock's current reading.
+
+        Idempotent: the first call wins, so a span cannot shrink or
+        grow after it has been reported.
+        """
+        with self._trace._lock:
+            if self.ended is None:
+                self.ended = self._trace.now()
+        return self
+
+    @property
+    def duration_ms(self) -> float:
+        """Span duration in milliseconds (so-far when still open)."""
+        end = self.ended if self.ended is not None else self._trace.now()
+        return (end - self.started) * 1000.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe nested rendering of the span subtree."""
+        with self._trace._lock:
+            return self._to_dict(self._trace.root.started)
+
+    def _to_dict(self, origin: float) -> Dict[str, Any]:
+        # Caller holds the trace lock.
+        end = self.ended if self.ended is not None else self._trace.now()
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "start_ms": round((self.started - origin) * 1000.0, 3),
+            "duration_ms": round((end - self.started) * 1000.0, 3),
+        }
+        if self.ended is None:
+            out["in_flight"] = True
+        if self.annotations:
+            out["annotations"] = {
+                str(k): _json_safe(v)
+                for k, v in self.annotations.items()
+            }
+        if self.children:
+            out["children"] = [c._to_dict(origin) for c in self.children]
+        return out
+
+
+class _NullSpan:
+    """The shared do-nothing span yielded when no trace is active."""
+
+    __slots__ = ()
+
+    def annotate(self, **annotations: Any) -> "_NullSpan":
+        return self
+
+    def finish(self) -> "_NullSpan":
+        return self
+
+    @property
+    def duration_ms(self) -> float:
+        return 0.0
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Trace:
+    """One request's span tree, shared safely across threads.
+
+    Parameters
+    ----------
+    request_id:
+        Propagated id of the request (default: a fresh one).
+    name:
+        Name of the root span (the HTTP layer uses ``http.dispatch``).
+    clock:
+        Monotonic clock; injectable so tests drive timings
+        deterministically.
+    """
+
+    def __init__(
+        self,
+        request_id: Optional[str] = None,
+        name: str = "request",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.request_id = request_id or new_request_id()
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: Wall-clock start, for log/export correlation only — span
+        #: arithmetic never touches it.
+        self.started_at = time.time()
+        self.root = Span(name, self, clock())
+
+    def now(self) -> float:
+        return self._clock()
+
+    def span(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        start: Optional[float] = None,
+        **annotations: Any,
+    ) -> Span:
+        """Open a child span under ``parent`` (default: the root).
+
+        ``start`` back-dates the span to an earlier clock reading —
+        the engine uses it to reconstruct queue wait from the submit
+        timestamp once the worker thread finally runs.
+        """
+        parent = parent if parent is not None else self.root
+        child = Span(
+            name,
+            self,
+            start if start is not None else self._clock(),
+            annotations,
+        )
+        with self._lock:
+            parent.children.append(child)
+        return child
+
+    def finish(self) -> "Trace":
+        """Close the root span (child spans close individually)."""
+        self.root.finish()
+        return self
+
+    @property
+    def duration_ms(self) -> float:
+        return self.root.duration_ms
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe rendering of the whole trace."""
+        with self._lock:
+            return {
+                "request_id": self.request_id,
+                "started_at": self.started_at,
+                "duration_ms": round(self.root.duration_ms, 3),
+                "root": self.root._to_dict(self.root.started),
+            }
+
+
+_TRACE: "contextvars.ContextVar[Optional[Trace]]" = contextvars.ContextVar(
+    "repro_trace", default=None
+)
+_SPAN: "contextvars.ContextVar[Optional[Span]]" = contextvars.ContextVar(
+    "repro_span", default=None
+)
+
+
+def current_trace() -> Optional[Trace]:
+    """The trace active in this context, or ``None``."""
+    return _TRACE.get()
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span in this context, or ``None``."""
+    return _SPAN.get()
+
+
+@contextmanager
+def start_trace(
+    request_id: Optional[str] = None,
+    name: str = "request",
+    clock: Callable[[], float] = time.monotonic,
+) -> Iterator[Trace]:
+    """Activate a fresh trace for the duration of the block.
+
+    The root span opens on entry and finishes on exit; nested
+    :func:`span` calls (on this thread or any thread that resumed the
+    trace) attach beneath it.
+    """
+    trace = Trace(request_id, name=name, clock=clock)
+    trace_token = _TRACE.set(trace)
+    span_token = _SPAN.set(trace.root)
+    try:
+        yield trace
+    finally:
+        _SPAN.reset(span_token)
+        _TRACE.reset(trace_token)
+        trace.finish()
+
+
+@contextmanager
+def resume_trace(
+    trace: Optional[Trace], parent: Optional[Span] = None
+) -> Iterator[None]:
+    """Re-activate ``trace`` on another thread.
+
+    ``ThreadPoolExecutor.submit`` does not copy contextvars, so the
+    engine captures ``(current_trace(), current_span())`` at submit
+    time and wraps the worker body in this context manager; spans the
+    worker opens then nest under the submitting request's ``parent``.
+    A ``None`` trace makes the whole block a no-op, so callers never
+    branch.
+    """
+    if trace is None:
+        yield
+        return
+    trace_token = _TRACE.set(trace)
+    span_token = _SPAN.set(parent if parent is not None else trace.root)
+    try:
+        yield
+    finally:
+        _SPAN.reset(span_token)
+        _TRACE.reset(trace_token)
+
+
+@contextmanager
+def span(name: str, **annotations: Any):
+    """Open a span under the current one — or do nothing.
+
+    The production hot paths (cube reads, kernel scoring, cache
+    lookups) call this unconditionally; with no active trace the cost
+    is one ``ContextVar`` read and the shared :data:`NULL_SPAN` is
+    yielded, so instrumented code never checks for tracing itself.
+    """
+    trace = _TRACE.get()
+    if trace is None:
+        yield NULL_SPAN
+        return
+    child = trace.span(name, parent=_SPAN.get(), **annotations)
+    token = _SPAN.set(child)
+    try:
+        yield child
+    finally:
+        _SPAN.reset(token)
+        child.finish()
+
+
+def annotate(**annotations: Any) -> None:
+    """Attach context to the innermost open span, if any."""
+    current = _SPAN.get()
+    if current is not None:
+        current.annotate(**annotations)
+
+
+class TraceBuffer:
+    """Bounded in-memory retention: N most recent + N slowest traces.
+
+    Stores finished-trace *payloads* (plain dicts from
+    :meth:`Trace.to_dict`, plus whatever summary fields the recorder
+    merged in), never live traces, so a buffered entry can not mutate
+    after the fact.  ``capacity`` bounds each list independently;
+    ``0`` disables retention entirely.  Thread-safe.
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._recent: "deque[Dict[str, Any]]" = deque(
+            maxlen=capacity if capacity else 1
+        )
+        # Min-heap of (duration_ms, seq, payload): the fastest of the
+        # retained slow set sits on top and is evicted first.
+        self._slowest: List[Tuple[float, int, Dict[str, Any]]] = []
+        self._seq = 0
+        self._recorded = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._recent)
+
+    def record(self, payload: Dict[str, Any]) -> None:
+        """Retain one finished trace payload (``duration_ms`` keyed)."""
+        if self._capacity == 0:
+            return
+        duration = float(payload.get("duration_ms", 0.0))
+        with self._lock:
+            self._seq += 1
+            self._recorded += 1
+            self._recent.append(payload)
+            heapq.heappush(self._slowest, (duration, self._seq, payload))
+            while len(self._slowest) > self._capacity:
+                heapq.heappop(self._slowest)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe view: recent newest-first, slowest slowest-first."""
+        with self._lock:
+            recent = list(self._recent)
+            slowest = sorted(
+                self._slowest, key=lambda item: (-item[0], item[1])
+            )
+            recorded = self._recorded
+        return {
+            "capacity": self._capacity,
+            "recorded": recorded,
+            "recent": list(reversed(recent)),
+            "slowest": [payload for _, _, payload in slowest],
+        }
+
+
+class TraceLogWriter:
+    """Append-only JSONL exporter (``repro serve --trace-log PATH``).
+
+    One finished trace per line, flushed immediately so a tailing
+    process sees requests as they complete.  Writes after
+    :meth:`close` are silently dropped — the server's shutdown path
+    races its last in-flight handlers.
+    """
+
+    def __init__(self, path: object) -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def write(self, payload: Dict[str, Any]) -> None:
+        line = json.dumps(payload, separators=(",", ":"))
+        with self._lock:
+            if self._handle is None:
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "TraceLogWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def slow_summary(payload: Dict[str, Any]) -> str:
+    """One structured log line summarising a slow request.
+
+    ``key=value`` pairs plus the top-level span breakdown, newline-free
+    by construction so it stays one grep-able record.
+    """
+    root = payload.get("root") or {}
+    parts = [
+        "slow request",
+        f"request_id={payload.get('request_id', '-')}",
+        f"endpoint={payload.get('endpoint', '-')}",
+        f"status={payload.get('status', '-')}",
+        f"duration_ms={payload.get('duration_ms', 0.0):.1f}",
+    ]
+    for child in root.get("children", ()):
+        name = str(child.get("name", "?")).replace(" ", "_")
+        parts.append(f"{name}={child.get('duration_ms', 0.0):.1f}ms")
+    return " ".join(parts).replace("\n", " ")

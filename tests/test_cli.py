@@ -90,6 +90,26 @@ class TestParser:
         assert args.breaker_reset_seconds == 30.0
         assert args.fault_plan is None
 
+    def test_serve_tracing_args(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "data.csv",
+                "--class-attribute", "C",
+                "--trace-log", "traces.jsonl",
+                "--slow-request-ms", "250",
+                "--trace-buffer", "8",
+            ]
+        )
+        assert args.trace_log == "traces.jsonl"
+        assert args.slow_request_ms == 250.0
+        assert args.trace_buffer == 8
+        args = build_parser().parse_args(
+            ["serve", "data.csv", "--class-attribute", "C"]
+        )
+        assert args.trace_log is None
+        assert args.slow_request_ms == 1000.0
+        assert args.trace_buffer == 32
+
 
 class TestCommands:
     def test_demo(self, capsys):
@@ -238,6 +258,30 @@ class TestCommands:
             assert config.breaker_failures == 2
             assert config.breaker_reset_seconds == 0.5
             assert engine.breaker_state("default") == "closed"
+        finally:
+            engine.shutdown()
+
+    def test_build_serve_engine_wires_tracing_config(
+        self, csv_path, tmp_path
+    ):
+        from repro.cli import _build_serve_engine
+
+        log_path = tmp_path / "traces.jsonl"
+        args = build_parser().parse_args(
+            [
+                "serve", str(csv_path),
+                "--class-attribute", "C",
+                "--trace-log", str(log_path),
+                "--slow-request-ms", "0",
+                "--trace-buffer", "4",
+                "--no-precompute",
+            ]
+        )
+        engine, config, _ = _build_serve_engine(args)
+        try:
+            assert config.trace_log_path == str(log_path)
+            assert config.slow_request_ms is None  # 0 disables
+            assert config.trace_buffer_size == 4
         finally:
             engine.shutdown()
 

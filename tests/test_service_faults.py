@@ -290,8 +290,10 @@ class TestHTTPUnderChaos:
                 if status != 200:
                     assert set(payload) <= {
                         "error", "store", "retry_after", "deadline_ms",
+                        "request_id",
                     }
                     assert payload["error"]
+                    assert payload["request_id"]
         # The chaos actually happened, and service survived some of it.
         assert plan.triggers() > 0
         assert statuses.count(500) > 0
@@ -329,6 +331,51 @@ class TestHTTPUnderChaos:
                 assert outcome.generation == 1
         assert served > 0
         assert plan.triggers() > 0
+
+    def test_trace_buffer_stays_bounded_and_clean_under_chaos(
+        self, chaos_service
+    ):
+        """Traced requests under injected faults: the /debug/traces
+        buffer stays bounded, every retained payload is well-formed,
+        and no span annotation leaks a traceback."""
+        url, _ = chaos_service
+        plan = FaultPlan(
+            [
+                FaultRule(SITE_STORE_CUBE, probability=0.15),
+                FaultRule(SITE_ENGINE_COMPARE, probability=0.1),
+            ],
+            seed=13,
+        )
+        with plan.installed():
+            for i in range(30):
+                payload = COMPARE
+                if i % 3 == 0:
+                    payload = {**COMPARE, "trace": True}
+                status, _, text = http_call(url + "/compare", payload)
+                assert status in (200, 500, 503), text
+                assert "Traceback" not in text
+                assert "FaultInjected" not in text
+            status, _, text = http_call(url + "/debug/traces")
+        assert plan.triggers() > 0
+        assert status == 200
+        assert "Traceback" not in text
+        assert "FaultInjected" not in text
+        snap = json.loads(text)
+        capacity = snap["capacity"]
+        assert len(snap["recent"]) <= capacity
+        assert len(snap["slowest"]) <= capacity
+        assert snap["recorded"] >= len(snap["recent"])
+        for entry in snap["recent"] + snap["slowest"]:
+            assert entry["endpoint"] == "compare"
+            assert entry["status"] in (200, 500, 503)
+            assert entry["request_id"]
+            assert entry["root"]["name"] == "http.dispatch"
+            # The retained tree is fully finished — nothing in flight.
+            stack = [entry["root"]]
+            while stack:
+                node = stack.pop()
+                assert "in_flight" not in node
+                stack.extend(node.get("children", ()))
 
 
 class TestBreakerOverHTTP:

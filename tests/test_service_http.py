@@ -309,3 +309,398 @@ class TestMetricsExposition:
                 buckets.append(float(line.rsplit(" ", 1)[1]))
         assert buckets == sorted(buckets)
         assert buckets[-1] == 3.0  # +Inf bucket holds every sample
+
+
+def http_post_full(url: str, payload, headers=None):
+    """POST returning (status, response headers, parsed body)."""
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return (
+                response.status,
+                dict(response.headers),
+                json.loads(response.read()),
+            )
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers or {}), json.loads(exc.read())
+
+
+def span_names(node, out=None):
+    if out is None:
+        out = []
+    out.append(node["name"])
+    for child in node.get("children", ()):
+        span_names(child, out)
+    return out
+
+
+class TestMetricsCardinalityClamp:
+    def test_unrouted_paths_share_one_endpoint_label(self, service):
+        """Regression: a path sweep must not mint one counter series
+        per probed path."""
+        url, engine, _ = service
+        for probe in ("/nope", "/admin.php", "/%2e%2e/etc/passwd", "/x"):
+            status, _ = http_get(url + probe)
+            assert status == 404
+        _, text = http_get(url + "/metrics")
+        request_lines = [
+            line for line in text.splitlines()
+            if line.startswith("repro_requests_total")
+        ]
+        unknown = [
+            line for line in request_lines
+            if 'endpoint="unknown"' in line
+        ]
+        assert len(unknown) == 1
+        assert unknown[0].endswith(" 4")
+        for leaked in ("nope", "admin", "passwd", 'endpoint="x"'):
+            assert all(leaked not in line for line in request_lines)
+        assert engine.metrics.requests.value(
+            endpoint="unknown", status="404"
+        ) == 4.0
+
+    def test_latency_histogram_is_clamped_too(self, service):
+        url, engine, _ = service
+        http_get(url + "/whatever")
+        assert engine.metrics.latency.count(endpoint="unknown") == 1
+
+
+class TestBooleanValidationHoles:
+    """Regression: bool is an int subclass, so "top": true used to
+    pass isinstance(top, int) and truncate to one entry."""
+
+    def test_top_true_is_400(self, service):
+        url, _, _ = service
+        status, body = http_post(
+            url + "/compare", {**COMPARE, "top": True}
+        )
+        assert status == 400
+        assert "top" in body["error"]
+
+    def test_top_false_is_400(self, service):
+        url, _, _ = service
+        status, body = http_post(
+            url + "/compare", {**COMPARE, "top": False}
+        )
+        assert status == 400
+
+    def test_deadline_true_is_400(self, service):
+        url, _, _ = service
+        status, body = http_post(
+            url + "/compare", {**COMPARE, "deadline_ms": True}
+        )
+        assert status == 400
+        assert "deadline_ms" in body["error"]
+
+    def test_integer_top_still_works(self, service):
+        url, _, _ = service
+        status, body = http_post(url + "/compare", {**COMPARE, "top": 1})
+        assert status == 200
+        assert len(body["ranked"]) == 1
+
+
+class TestUrlProperty:
+    """Regression: server.url used to echo the wildcard bind address,
+    which is not dialable ("connect to http://0.0.0.0:...")."""
+
+    def test_wildcard_bind_maps_to_loopback(self):
+        engine = ComparisonEngine(ServiceConfig(workers=1))
+        engine.add_store(CubeStore(make_data(n_records=500)))
+        server = ComparisonHTTPServer(engine, host="0.0.0.0", port=0)
+        try:
+            assert server.url.startswith("http://127.0.0.1:")
+            server.start_background()
+            status, body = http_get(server.url + "/healthz")
+            assert status == 200  # the rewritten URL actually dials
+        finally:
+            server.stop()
+            engine.shutdown()
+
+    def test_ipv6_hosts_are_bracketed(self):
+        engine = ComparisonEngine(ServiceConfig(workers=1))
+        engine.add_store(CubeStore(make_data(n_records=500)))
+        server = ComparisonHTTPServer(engine, port=0)
+        try:
+            port = server.server_address[1]
+            server.server_address = ("::", port)
+            assert server.url == f"http://[::1]:{port}"
+            server.server_address = ("fe80::1", port)
+            assert server.url == f"http://[fe80::1]:{port}"
+        finally:
+            server.server_close()
+            engine.shutdown()
+
+
+class TestTruncatedBody:
+    """Regression: a body shorter than its Content-Length used to read
+    as garbage JSON (or hang); it must be a distinct, clean 400."""
+
+    @staticmethod
+    def raw_request(url: str, body: bytes, content_length: int):
+        import socket
+        from urllib.parse import urlparse
+
+        parsed = urlparse(url)
+        with socket.create_connection(
+            (parsed.hostname, parsed.port), timeout=5
+        ) as sock:
+            sock.sendall(
+                (
+                    "POST /compare HTTP/1.1\r\n"
+                    f"Host: {parsed.hostname}\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {content_length}\r\n"
+                    "Connection: close\r\n"
+                    "\r\n"
+                ).encode()
+                + body
+            )
+            sock.shutdown(socket.SHUT_WR)  # client dies mid-upload
+            response = b""
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                response += chunk
+        head, _, payload = response.partition(b"\r\n\r\n")
+        status = int(head.split()[1])
+        # Connection: close → the body is everything after the headers.
+        return status, payload.decode("utf-8", "replace")
+
+    def test_short_body_is_a_clean_400(self, service):
+        url, _, _ = service
+        full = json.dumps(COMPARE).encode()
+        status, text = self.raw_request(
+            url, full[: len(full) // 2], content_length=len(full)
+        )
+        assert status == 400
+        body = json.loads(text)
+        assert "truncated" in body["error"]
+        assert str(len(full)) in body["error"]
+        assert "Traceback" not in text
+
+    def test_exact_body_still_parses(self, service):
+        url, _, _ = service
+        full = json.dumps(COMPARE).encode()
+        status, text = self.raw_request(url, full, content_length=len(full))
+        assert status == 200
+
+
+class TestRequestIds:
+    def test_every_body_and_header_carries_a_request_id(self, service):
+        url, _, _ = service
+        status, headers, body = http_post_full(url + "/compare", COMPARE)
+        assert status == 200
+        assert body["request_id"] == headers["X-Request-Id"]
+        # Errors carry one too.
+        status, headers, body = http_post_full(
+            url + "/compare", {"pivot": "PhoneModel"}
+        )
+        assert status == 400
+        assert body["request_id"] == headers["X-Request-Id"]
+
+    def test_client_supplied_id_is_propagated(self, service):
+        url, _, _ = service
+        _, headers, body = http_post_full(
+            url + "/compare", COMPARE,
+            headers={"X-Request-Id": "my-trace-42"},
+        )
+        assert body["request_id"] == "my-trace-42"
+        assert headers["X-Request-Id"] == "my-trace-42"
+
+    def test_unusable_client_id_is_replaced(self, service):
+        url, _, _ = service
+        _, headers, _ = http_post_full(
+            url + "/compare", COMPARE,
+            headers={"X-Request-Id": "a" * 500},
+        )
+        assert headers["X-Request-Id"] != "a" * 500
+        int(headers["X-Request-Id"], 16)
+
+
+class TestInlineTrace:
+    def test_trace_true_returns_the_span_tree(self, service):
+        url, _, _ = service
+        status, body = http_post(
+            url + "/compare", {**COMPARE, "trace": True}
+        )
+        assert status == 200
+        trace = body["trace"]
+        assert trace["request_id"] == body["request_id"]
+        assert trace["duration_ms"] > 0
+        names = span_names(trace["root"])
+        assert trace["root"]["name"] == "http.dispatch"
+        for expected in (
+            "cache.get", "engine.compare", "store.planes", "kernel.score",
+        ):
+            assert expected in names, names
+        annotations = trace["root"]["annotations"]
+        assert annotations["endpoint"] == "compare"
+        assert annotations["status"] == 200
+
+    def test_trace_false_and_absent_omit_the_tree(self, service):
+        url, _, _ = service
+        _, body = http_post(url + "/compare", {**COMPARE, "trace": False})
+        assert "trace" not in body
+        _, body = http_post(url + "/compare", COMPARE)
+        assert "trace" not in body
+
+    def test_non_bool_trace_is_400(self, service):
+        url, _, _ = service
+        status, body = http_post(
+            url + "/compare", {**COMPARE, "trace": "yes"}
+        )
+        assert status == 400
+        assert "trace" in body["error"]
+
+    def test_query_flag_traces_get_endpoints(self, service):
+        url, _, _ = service
+        status, body = http_get(url + "/cubes?trace=1")
+        assert status == 200
+        parsed = json.loads(body)
+        assert parsed["trace"]["root"]["name"] == "http.dispatch"
+        # And errors on unknown paths still trace cleanly.
+        status, body = http_get(url + "/nope?trace=true")
+        assert status == 404
+        assert json.loads(body)["trace"]["root"]["annotations"][
+            "endpoint"
+        ] == "unknown"
+
+
+def traces_snapshot(url: str, recorded_at_least: int):
+    """GET /debug/traces, waiting out the tiny window between a
+    response hitting the wire and its trace landing in the buffer."""
+    deadline = time.monotonic() + 5.0
+    while True:
+        snap = json.loads(http_get(url + "/debug/traces")[1])
+        if snap["recorded"] >= recorded_at_least or (
+            time.monotonic() > deadline
+        ):
+            return snap
+        time.sleep(0.01)
+
+
+class TestDebugTraces:
+    @pytest.fixture()
+    def small_buffer_service(self):
+        store = CubeStore(make_data())
+        engine = ComparisonEngine(
+            ServiceConfig(workers=2, cache_size=32, trace_buffer_size=2)
+        )
+        engine.add_store(store)
+        server = ComparisonHTTPServer(engine, port=0).start_background()
+        try:
+            yield server.url, engine, server
+        finally:
+            server.stop()
+            engine.shutdown()
+
+    def test_buffer_is_bounded_and_newest_first(self, small_buffer_service):
+        url, _, _ = small_buffer_service
+        ids = []
+        for i in range(5):
+            _, _, body = http_post_full(
+                url + "/compare", COMPARE,
+                headers={"X-Request-Id": f"req-{i}"},
+            )
+            ids.append(body["request_id"])
+        snap = traces_snapshot(url, recorded_at_least=5)
+        assert snap["capacity"] == 2
+        assert snap["recorded"] == 5
+        assert len(snap["recent"]) == 2
+        assert len(snap["slowest"]) <= 2
+        assert [t["request_id"] for t in snap["recent"]] == [
+            "req-4", "req-3"
+        ]
+        entry = snap["recent"][0]
+        assert entry["endpoint"] == "compare"
+        assert entry["status"] == 200
+        assert entry["root"]["name"] == "http.dispatch"
+
+    def test_probe_endpoints_are_not_retained(self, small_buffer_service):
+        url, _, _ = small_buffer_service
+        for _ in range(10):
+            http_get(url + "/healthz")
+            http_get(url + "/debug/traces")
+            http_get(url + "/metrics")
+        snap = json.loads(http_get(url + "/debug/traces")[1])
+        assert snap["recorded"] == 0
+        http_post(url + "/compare", COMPARE)
+        snap = traces_snapshot(url, recorded_at_least=1)
+        assert snap["recorded"] == 1
+
+    def test_traces_recorded_metric_counts(self, small_buffer_service):
+        url, engine, _ = small_buffer_service
+        http_post(url + "/compare", COMPARE)
+        http_post(url + "/compare", COMPARE)
+        traces_snapshot(url, recorded_at_least=2)
+        assert engine.metrics.traces_recorded.value(
+            endpoint="compare"
+        ) == 2.0
+
+
+class TestTraceLogExport:
+    def test_server_appends_one_json_line_per_request(self, tmp_path):
+        log_path = tmp_path / "traces.jsonl"
+        store = CubeStore(make_data())
+        engine = ComparisonEngine(
+            ServiceConfig(
+                workers=2, cache_size=32,
+                trace_log_path=str(log_path),
+            )
+        )
+        engine.add_store(store)
+        server = ComparisonHTTPServer(engine, port=0).start_background()
+        try:
+            http_post(server.url + "/compare", COMPARE)
+            http_get(server.url + "/healthz")  # probe: not exported
+            http_post(server.url + "/compare", {"pivot": "PhoneModel"})
+            # Exports trail the response by a hair; wait them out
+            # before shutdown closes the writer.
+            deadline = time.monotonic() + 5.0
+            while (
+                len(log_path.read_text().splitlines()) < 2
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+        finally:
+            server.stop()
+            engine.shutdown()
+        lines = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+        ]
+        assert len(lines) == 2
+        assert lines[0]["endpoint"] == "compare"
+        assert lines[0]["status"] == 200
+        assert lines[1]["status"] == 400
+        assert all("root" in entry for entry in lines)
+
+
+class TestSlowRequestLog:
+    def test_slow_requests_log_one_warning_line(self, caplog):
+        store = CubeStore(make_data())
+        engine = ComparisonEngine(
+            ServiceConfig(workers=2, cache_size=0, slow_request_ms=0.001)
+        )
+        engine.add_store(store)
+        server = ComparisonHTTPServer(engine, port=0).start_background()
+        try:
+            with caplog.at_level("WARNING", logger="repro.service"):
+                _, _, body = http_post_full(server.url + "/compare", COMPARE)
+        finally:
+            server.stop()
+            engine.shutdown()
+        slow_lines = [
+            r.message for r in caplog.records
+            if r.message.startswith("slow request")
+        ]
+        assert len(slow_lines) == 1
+        assert f"request_id={body['request_id']}" in slow_lines[0]
+        assert "endpoint=compare" in slow_lines[0]
+        assert "\n" not in slow_lines[0]
+        assert engine.metrics.slow_requests.value(endpoint="compare") == 1.0

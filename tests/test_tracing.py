@@ -1,0 +1,417 @@
+"""Unit tests for repro.service.tracing: span trees, contextvar
+propagation (including across worker threads), the bounded trace
+buffer, the JSONL exporter, request-id hygiene, and the span tree an
+engine-level comparison actually produces."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.cube import CubeStore
+from repro.service import ComparisonEngine, ServiceConfig
+from repro.service.tracing import (
+    MAX_REQUEST_ID_LENGTH,
+    NULL_SPAN,
+    TraceBuffer,
+    TraceLogWriter,
+    annotate,
+    current_span,
+    current_trace,
+    new_request_id,
+    resume_trace,
+    sanitize_request_id,
+    slow_summary,
+    span,
+    start_trace,
+)
+from repro.synth import CallLogConfig, PlantedEffect, generate_call_logs
+
+
+class FakeClock:
+    """A monotonic clock advanced by hand."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, seconds: float) -> None:
+        self.t += seconds
+
+
+def span_names(node, out=None):
+    """Every span name in a rendered trace dict, preorder."""
+    if out is None:
+        out = []
+    out.append(node["name"])
+    for child in node.get("children", ()):
+        span_names(child, out)
+    return out
+
+
+def find_span(node, name):
+    """First span dict called ``name`` in a rendered tree, or None."""
+    if node["name"] == name:
+        return node
+    for child in node.get("children", ()):
+        found = find_span(child, name)
+        if found is not None:
+            return found
+    return None
+
+
+class TestSpanTree:
+    def test_nested_spans_time_with_the_injected_clock(self):
+        clock = FakeClock()
+        with start_trace("req-1", clock=clock) as trace:
+            clock.advance(0.010)
+            with span("outer", kind="test"):
+                clock.advance(0.020)
+                with span("inner"):
+                    clock.advance(0.005)
+                clock.advance(0.001)
+        rendered = trace.to_dict()
+        assert rendered["request_id"] == "req-1"
+        assert rendered["duration_ms"] == pytest.approx(36.0)
+        root = rendered["root"]
+        assert root["name"] == "request"
+        (outer,) = root["children"]
+        assert outer["name"] == "outer"
+        assert outer["start_ms"] == pytest.approx(10.0)
+        assert outer["duration_ms"] == pytest.approx(26.0)
+        assert outer["annotations"] == {"kind": "test"}
+        (inner,) = outer["children"]
+        assert inner["name"] == "inner"
+        assert inner["duration_ms"] == pytest.approx(5.0)
+        assert "in_flight" not in inner
+
+    def test_open_spans_serialize_as_in_flight(self):
+        clock = FakeClock()
+        with start_trace(clock=clock) as trace:
+            open_span = trace.span("slow")
+            clock.advance(0.050)
+            rendered = trace.to_dict()
+        (slow,) = rendered["root"]["children"]
+        assert slow["in_flight"] is True
+        assert slow["duration_ms"] == pytest.approx(50.0)
+        open_span.finish()
+        assert "in_flight" not in trace.to_dict()["root"]["children"][0]
+
+    def test_finish_is_idempotent(self):
+        clock = FakeClock()
+        with start_trace(clock=clock) as trace:
+            child = trace.span("once")
+            clock.advance(0.010)
+            child.finish()
+            clock.advance(0.030)
+            child.finish()  # must not stretch the span
+        assert trace.to_dict()["root"]["children"][0][
+            "duration_ms"
+        ] == pytest.approx(10.0)
+
+    def test_annotate_helper_hits_the_innermost_span(self):
+        with start_trace() as trace:
+            with span("outer"):
+                with span("inner"):
+                    annotate(hit=True)
+        inner = find_span(trace.to_dict()["root"], "inner")
+        assert inner["annotations"] == {"hit": True}
+
+    def test_annotations_are_coerced_json_safe(self):
+        with start_trace() as trace:
+            with span("s", key=("a", "b"), obj=object()):
+                pass
+        rendered = find_span(trace.to_dict()["root"], "s")
+        json.dumps(rendered)  # must not raise
+        assert rendered["annotations"]["key"] == ["a", "b"]
+        assert isinstance(rendered["annotations"]["obj"], str)
+
+
+class TestContextPropagation:
+    def test_no_active_trace_yields_the_null_span(self):
+        assert current_trace() is None
+        with span("anything", note=1) as s:
+            assert s is NULL_SPAN
+            annotate(ignored=True)  # must be a no-op, not an error
+        assert current_trace() is None
+
+    def test_trace_context_is_restored_on_exit(self):
+        with start_trace() as trace:
+            assert current_trace() is trace
+            assert current_span() is trace.root
+        assert current_trace() is None
+        assert current_span() is None
+
+    def test_resume_trace_nests_worker_spans_under_the_parent(self):
+        with start_trace() as trace:
+            with span("submit") as parent:
+                captured = (current_trace(), current_span())
+
+            def worker():
+                # A pool thread starts with no trace context at all.
+                assert current_trace() is None
+                with resume_trace(*captured):
+                    with span("work"):
+                        pass
+                assert current_trace() is None
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        submit = find_span(trace.to_dict()["root"], "submit")
+        assert [c["name"] for c in submit["children"]] == ["work"]
+
+    def test_resume_trace_with_none_is_a_no_op(self):
+        with resume_trace(None):
+            assert current_trace() is None
+            with span("ignored") as s:
+                assert s is NULL_SPAN
+
+    def test_backdated_span_reconstructs_queue_wait(self):
+        clock = FakeClock()
+        with start_trace(clock=clock) as trace:
+            submitted = trace.now()
+            clock.advance(0.200)  # sat in the queue
+            trace.span("engine.queue_wait", start=submitted).finish()
+        wait = find_span(trace.to_dict()["root"], "engine.queue_wait")
+        assert wait["start_ms"] == pytest.approx(0.0)
+        assert wait["duration_ms"] == pytest.approx(200.0)
+
+
+class TestRequestIds:
+    def test_valid_client_id_is_kept(self):
+        assert sanitize_request_id("abc-123_X") == "abc-123_X"
+        assert sanitize_request_id("  padded  ") == "padded"
+
+    def test_header_injection_characters_are_rejected(self):
+        for bad in (
+            "evil\r\nX-Other: 1",
+            "tab\tid",
+            "space id",
+            "nul\x00id",
+            "",
+            None,
+            42,
+        ):
+            replaced = sanitize_request_id(bad)
+            assert replaced != bad
+            assert len(replaced) == 32
+            int(replaced, 16)  # a fresh uuid4 hex
+
+    def test_overlong_id_is_replaced_not_truncated(self):
+        long_id = "a" * (MAX_REQUEST_ID_LENGTH + 1)
+        replaced = sanitize_request_id(long_id)
+        assert replaced != long_id
+        assert not replaced.startswith("aaa")
+
+    def test_new_request_ids_are_unique(self):
+        assert new_request_id() != new_request_id()
+
+
+class TestTraceBuffer:
+    @staticmethod
+    def payload(i, duration):
+        return {"request_id": f"r{i}", "duration_ms": duration}
+
+    def test_recent_is_bounded_and_newest_first(self):
+        buffer = TraceBuffer(capacity=3)
+        for i in range(10):
+            buffer.record(self.payload(i, duration=float(i)))
+        snap = buffer.snapshot()
+        assert snap["capacity"] == 3
+        assert snap["recorded"] == 10
+        assert [p["request_id"] for p in snap["recent"]] == [
+            "r9", "r8", "r7"
+        ]
+
+    def test_slowest_retains_the_slowest_in_order(self):
+        buffer = TraceBuffer(capacity=3)
+        durations = [5.0, 50.0, 1.0, 30.0, 20.0, 40.0]
+        for i, d in enumerate(durations):
+            buffer.record(self.payload(i, duration=d))
+        slowest = buffer.snapshot()["slowest"]
+        assert [p["duration_ms"] for p in slowest] == [50.0, 40.0, 30.0]
+
+    def test_capacity_zero_disables_retention(self):
+        buffer = TraceBuffer(capacity=0)
+        buffer.record(self.payload(0, duration=1.0))
+        snap = buffer.snapshot()
+        assert snap["recent"] == []
+        assert snap["slowest"] == []
+        assert len(buffer) == 0
+
+    def test_negative_capacity_is_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(capacity=-1)
+
+    def test_concurrent_records_are_not_lost(self):
+        buffer = TraceBuffer(capacity=8)
+
+        def hammer(base):
+            for i in range(50):
+                buffer.record(self.payload(base + i, duration=1.0))
+
+        threads = [
+            threading.Thread(target=hammer, args=(t * 100,))
+            for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = buffer.snapshot()
+        assert snap["recorded"] == 200
+        assert len(snap["recent"]) == 8
+        assert len(snap["slowest"]) == 8
+
+
+class TestTraceLogWriter:
+    def test_writes_one_json_line_per_trace(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        writer = TraceLogWriter(path)
+        writer.write({"request_id": "a", "duration_ms": 1.5})
+        writer.write({"request_id": "b", "duration_ms": 2.5})
+        writer.close()
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["request_id"] for line in lines] == [
+            "a", "b"
+        ]
+
+    def test_appends_to_an_existing_file(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        path.write_text('{"request_id":"old"}\n')
+        with TraceLogWriter(path) as writer:
+            writer.write({"request_id": "new"})
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_writes_after_close_are_dropped(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        writer = TraceLogWriter(path)
+        writer.close()
+        writer.close()  # idempotent
+        writer.write({"request_id": "late"})  # silently dropped
+        assert path.read_text() == ""
+
+
+class TestSlowSummary:
+    def test_one_line_with_span_breakdown(self):
+        line = slow_summary(
+            {
+                "request_id": "req-9",
+                "endpoint": "compare",
+                "status": 200,
+                "duration_ms": 1234.5678,
+                "root": {
+                    "name": "http.dispatch",
+                    "children": [
+                        {"name": "engine compare", "duration_ms": 1200.0},
+                        {"name": "cache.get", "duration_ms": 0.5},
+                    ],
+                },
+            }
+        )
+        assert "\n" not in line
+        assert "request_id=req-9" in line
+        assert "endpoint=compare" in line
+        assert "duration_ms=1234.6" in line
+        assert "engine_compare=1200.0ms" in line
+        assert "cache.get=0.5ms" in line
+
+    def test_tolerates_missing_fields(self):
+        line = slow_summary({})
+        assert "request_id=-" in line
+
+
+def make_data(seed: int = 11, n_records: int = 3000):
+    return generate_call_logs(
+        CallLogConfig(
+            n_records=n_records,
+            n_phone_models=3,
+            n_noise_attributes=2,
+            include_signal_strength=False,
+            effects=[
+                PlantedEffect(
+                    {"PhoneModel": "ph2", "TimeOfCall": "morning"},
+                    "dropped",
+                    6.0,
+                )
+            ],
+            seed=seed,
+        )
+    )
+
+
+class TestEngineSpanTree:
+    """The spans an actual engine comparison produces."""
+
+    @pytest.fixture()
+    def engine(self):
+        engine = ComparisonEngine(
+            ServiceConfig(workers=2, cache_size=32)
+        )
+        engine.add_store(CubeStore(make_data()))
+        try:
+            yield engine
+        finally:
+            engine.shutdown()
+
+    def test_cold_compare_spans_cover_the_pipeline(self, engine):
+        with start_trace("req-cold") as trace:
+            outcome = engine.compare(
+                "PhoneModel", "ph1", "ph2", "dropped"
+            )
+        assert outcome.cache_hit is False
+        names = span_names(trace.to_dict()["root"])
+        for expected in (
+            "cache.get",
+            "engine.queue_wait",
+            "engine.compare",
+            "store.planes",
+            "kernel.score",
+            "cache.put",
+        ):
+            assert expected in names, names
+        root = trace.to_dict()["root"]
+        assert find_span(root, "cache.get")["annotations"]["hit"] is False
+        # The worker's spans nest under the request, not beside it.
+        compute = find_span(root, "engine.compare")
+        assert find_span(compute, "kernel.score") is not None
+
+    def test_cache_hit_spans_skip_the_compute(self, engine):
+        engine.compare("PhoneModel", "ph1", "ph2", "dropped")
+        with start_trace("req-warm") as trace:
+            outcome = engine.compare(
+                "PhoneModel", "ph1", "ph2", "dropped"
+            )
+        assert outcome.cache_hit is True
+        names = span_names(trace.to_dict()["root"])
+        assert "cache.get" in names
+        assert "engine.compare" not in names
+        hit = find_span(trace.to_dict()["root"], "cache.get")
+        assert hit["annotations"]["hit"] is True
+
+    def test_batch_screen_spans_report_kernel_split(self, engine):
+        with start_trace("req-batch") as trace:
+            engine.screen_pairs_batch(
+                "PhoneModel",
+                [("ph1", "ph2"), ("ph1", "ph3")],
+                "dropped",
+            )
+        root = trace.to_dict()["root"]
+        batch = find_span(root, "engine.screen_batch")
+        assert batch["annotations"]["pairs"] == 2
+        screen = find_span(root, "kernel.screen")
+        assert screen["annotations"]["pairs"] == 2
+        assert screen["annotations"]["kernel_seconds"] >= 0.0
+        assert screen["annotations"]["plumbing_seconds"] >= 0.0
+
+    def test_untraced_compare_is_unaffected(self, engine):
+        # No active trace: the instrumented paths must not blow up or
+        # leak spans anywhere.
+        outcome = engine.compare("PhoneModel", "ph1", "ph2", "dropped")
+        assert outcome.result.ranked
+        assert current_trace() is None
