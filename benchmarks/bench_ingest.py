@@ -1,0 +1,214 @@
+"""Ingest path — copy-on-write absorb vs the locked rebuild baseline.
+
+The paper refreshes its cubes with a monthly off-line rebuild; the
+serving engine instead absorbs record batches on-line.  Two properties
+must hold for that to be viable:
+
+* **Throughput** — absorbing a batch into a wide cache (120 cubes
+  here, the paper's pair-cube layout at 15 attributes) must not pay
+  the old per-cube rebuild plus the O(history) dataset concat that the
+  original locked ``absorb`` performed on every batch.  The new path
+  counts the batch once through the shared ``PairCubeBuilder``, folds
+  the one delta into every cube, and lands rows in an amortised
+  ``AppendBuffer``.
+* **Read tail** — a reader must never queue behind a writer.  The
+  copy-on-write snapshot swap keeps the reader-visible critical
+  section to a pointer assignment, so the read p99 under sustained
+  ingest stays within ``MAX_READ_P99_RATIO`` of the idle p99.
+
+Both measurements land in ``BENCH_ingest.json`` under ``--json DIR``.
+"""
+
+import itertools
+import sys
+import threading
+import time
+
+from repro.cube import CubeStore, build_cube
+from repro.service import ComparisonEngine, ServiceConfig
+from repro.synth import synthetic_dataset
+
+from _helpers import (
+    percentile,
+    print_series,
+    summarize,
+    write_bench_json,
+)
+
+#: Required advantage of the snapshot absorb over the locked rebuild.
+INGEST_SPEEDUP_FLOOR = 3.0
+
+#: Read p99 under sustained ingest may exceed the idle p99 by at most
+#: this factor (1.0 would demand ingest be entirely free).
+MAX_READ_P99_RATIO = 1.2
+
+#: History size: large enough that the old path's per-batch
+#: ``concat`` of the full history is visible, as it would be in the
+#: paper's 2M-record store.
+HISTORY_ROWS = 100_000
+
+N_ATTRIBUTES = 15  # 15 singles + C(15,2) pairs = 120 cached cubes
+BATCH_ROWS = 400
+N_BATCHES = 12
+
+
+def make_history():
+    return synthetic_dataset(
+        n_records=HISTORY_ROWS,
+        n_attributes=N_ATTRIBUTES,
+        arity=4,
+        seed=11,
+    )
+
+
+def make_batches(n, rows):
+    return [
+        synthetic_dataset(
+            n_records=rows,
+            n_attributes=N_ATTRIBUTES,
+            arity=4,
+            seed=500 + i,
+        )
+        for i in range(n)
+    ]
+
+
+def locked_absorb(cache, dataset, batch, lock):
+    """The pre-snapshot absorb, verbatim: per-cube rebuild of the
+    batch and a full-history concat, all inside one lock."""
+    with lock:
+        for key in list(cache):
+            cache[key] = cache[key].merge(build_cube(batch, key))
+        dataset = dataset.concat(batch)
+    return dataset
+
+
+def test_ingest_throughput_and_read_tail(json_dir):
+    """Old vs new absorb at 120 cached cubes, then the read tail of a
+    fleet screen while a writer sustains that ingest stream."""
+    history = make_history()
+    batches = make_batches(N_BATCHES, BATCH_ROWS)
+
+    # --- Old: locked per-cube rebuild + full-history concat. -------
+    baseline = CubeStore(history)
+    baseline.precompute(include_pairs=True)
+    cache = dict(baseline.cached_items())
+    assert len(cache) >= 100
+    dataset = history
+    lock = threading.Lock()
+    old = []
+    for batch in batches:
+        start = time.perf_counter()
+        dataset = locked_absorb(cache, dataset, batch, lock)
+        old.append(time.perf_counter() - start)
+    old.sort()
+
+    # --- New: one shared counting pass + snapshot swap. ------------
+    store = CubeStore(history)
+    store.precompute(include_pairs=True)
+    new = []
+    for batch in batches:
+        start = time.perf_counter()
+        store.absorb(batch)
+        new.append(time.perf_counter() - start)
+    new.sort()
+
+    speedup = percentile(old, 0.50) / percentile(new, 0.50)
+    print_series(
+        f"Ingest absorb at {len(cache)} cubes, "
+        f"{HISTORY_ROWS} history rows",
+        ("locked_p50_ms", "snapshot_p50_ms", "speedup"),
+        (
+            percentile(old, 0.50) * 1000,
+            percentile(new, 0.50) * 1000,
+            speedup,
+        ),
+        unit="",
+    )
+
+    # --- Read tail under sustained ingest. -------------------------
+    # A fleet screen across every pivot is the serving read; the
+    # writer keeps absorbing batches at a steady cadence.  Shorter
+    # GIL slices keep the single-core interleaving fair.
+    interval = sys.getswitchinterval()
+    sys.setswitchinterval(0.001)
+    engine = ComparisonEngine(ServiceConfig(workers=2, cache_size=0))
+    engine.add_store(store)
+    pairs = [
+        ("v1", "v2"), ("v1", "v3"), ("v1", "v4"),
+        ("v2", "v3"), ("v2", "v4"), ("v3", "v4"),
+    ]
+    pivots = [f"A{i:03d}" for i in range(1, N_ATTRIBUTES + 1)]
+
+    def read_once():
+        for pivot in pivots:
+            engine.screen_pairs_batch(pivot, pairs, "c2")
+
+    def sample_reads(n=40):
+        samples = []
+        for _ in range(n):
+            start = time.perf_counter()
+            read_once()
+            samples.append(time.perf_counter() - start)
+        return sorted(samples)
+
+    try:
+        for _ in range(5):
+            read_once()  # warm every cube and code path
+        idle = sample_reads()
+
+        stop = threading.Event()
+        absorbs = [0]
+
+        def writer():
+            for batch in itertools.cycle(batches):
+                if stop.is_set():
+                    return
+                store.absorb(batch)
+                absorbs[0] += 1
+                time.sleep(0.15)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        loaded = sample_reads()
+        stop.set()
+        thread.join()
+    finally:
+        engine.shutdown()
+        sys.setswitchinterval(interval)
+
+    idle_p99 = percentile(idle, 0.99)
+    loaded_p99 = percentile(loaded, 0.99)
+    ratio = loaded_p99 / idle_p99
+    print_series(
+        "Fleet-screen read p99, idle vs under sustained ingest",
+        ("idle_p99_ms", "loaded_p99_ms", "ratio", "absorbs"),
+        (idle_p99 * 1000, loaded_p99 * 1000, ratio, absorbs[0]),
+        unit="",
+    )
+
+    write_bench_json(json_dir, "BENCH_ingest.json", {
+        "benchmark": "ingest absorb: locked per-cube rebuild vs "
+                     "copy-on-write snapshot absorb",
+        "n_attributes": N_ATTRIBUTES,
+        "n_cached_cubes": len(cache),
+        "history_rows": HISTORY_ROWS,
+        "batch_rows": BATCH_ROWS,
+        "n_batches": N_BATCHES,
+        "old": summarize(old, "locked rebuild + full concat"),
+        "new": summarize(new, "shared-pass snapshot absorb"),
+        "speedup_p50": round(speedup, 2),
+        "required_speedup": INGEST_SPEEDUP_FLOOR,
+        "read_tail": {
+            "read": "fleet screen, all pivots x 6 value pairs",
+            "idle_p99_ms": round(idle_p99 * 1000, 3),
+            "under_ingest_p99_ms": round(loaded_p99 * 1000, 3),
+            "ratio": round(ratio, 3),
+            "max_ratio": MAX_READ_P99_RATIO,
+            "sustained_absorbs": absorbs[0],
+        },
+    })
+
+    assert speedup >= INGEST_SPEEDUP_FLOOR
+    assert absorbs[0] >= 3, "writer never sustained the ingest stream"
+    assert ratio <= MAX_READ_P99_RATIO

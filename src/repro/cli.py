@@ -205,6 +205,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--ingest-coalesce-ms", type=float, default=None,
+        dest="ingest_coalesce_ms", metavar="MS",
+        help=(
+            "merge concurrent /ingest batches arriving within this "
+            "window into one absorb (adds up to one window of ingest "
+            "latency; default: absorb each batch individually)"
+        ),
+    )
+    serve.add_argument(
         "--no-precompute", action="store_true",
         help="skip materialising pair cubes from a CSV before serving",
     )
@@ -328,6 +337,7 @@ def _build_serve_engine(args: argparse.Namespace):
         trace_buffer_size=getattr(args, "trace_buffer", 32),
         slow_request_ms=getattr(args, "slow_request_ms", 1000.0) or None,
         trace_log_path=getattr(args, "trace_log", None),
+        ingest_coalesce_ms=getattr(args, "ingest_coalesce_ms", None),
     )
     engine = ComparisonEngine(config)
     if args.csv:

@@ -20,6 +20,7 @@ always the class attribute."
 
 from __future__ import annotations
 
+from concurrent.futures import Executor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -215,6 +216,25 @@ class PairCubeBuilder:
         if len(key) == 2:
             return self.pair_cube(key[0], key[1])
         return build_cube(self._dataset, key)
+
+    def build_many(
+        self,
+        keys: Sequence[Sequence[str]],
+        executor: Optional["Executor"] = None,
+    ) -> List[RuleCube]:
+        """Build one cube per key, optionally fanned over an executor.
+
+        The store's absorb path uses this for the single-pass delta
+        sweep: the per-attribute ``safe``/``tail`` arrays are counted
+        once in :meth:`__init__`, then every cached cube's delta is a
+        single add + ``bincount`` here — thread-safe because the shared
+        state is read-only after construction (the lazy ``head`` fill
+        is idempotent).
+        """
+        canonical = [tuple(k) for k in keys]
+        if executor is None:
+            return [self.build(k) for k in canonical]
+        return list(executor.map(self.build, canonical))
 
 
 def build_all_2d(

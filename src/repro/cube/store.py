@@ -14,38 +14,78 @@ For each cube, one of the dimensions is always the class attribute"
   the visualizer) never touch the raw records — which is why the
   comparison time in Fig. 9 is independent of the data-set size.
 
-Thread-safety: every access to the cube cache — the lazy fill in
-:meth:`CubeStore.cube`, :meth:`CubeStore.precompute`,
-:meth:`CubeStore.absorb`, :meth:`CubeStore.inject` — is guarded by an
-internal re-entrant lock, so concurrent readers (the comparison
-service's worker pool) can hammer one store safely.  Cube *counting*
-itself happens outside the lock behind per-key singleflight build
-latches: the first requester of a missing cube becomes its builder,
-concurrent requesters of the same key wait on its latch, and readers
-of other (cached) cubes are never blocked by someone else's slow lazy
-build.  A data-set generation counter makes builds that raced an
-:meth:`absorb` harmless — the stale cube is returned to its requester
-(it is correct for the snapshot that requester saw) but not cached.
+Concurrency model — copy-on-write snapshots
+-------------------------------------------
 
-The lock makes individual operations atomic; *sequences* spanning a
-data-set swap (absorb + subsequent reads that must see the new counts)
-are the caller's responsibility — the service engine enforces
-single-writer semantics with a readers–writer lock on top.
+The store's entire visible state lives in one immutable
+:class:`_Snapshot` object ``{cache, dataset, generation}``; readers
+load ``self._snapshot`` (one atomic reference read under the GIL) and
+never take a lock on the hot path.  :meth:`absorb` builds every delta
+cube *outside* any lock against the snapshot it started from, then
+publishes a brand-new snapshot in a single pointer swap — the paper's
+"monthly re-generation" collapses to a reader-invisible instant.
+Writers serialise on a dedicated write lock; the internal ``_lock``
+only guards cache-dict inserts, the singleflight latch table and the
+swap itself, and is never held across cube counting.
+
+Lazy builds stay singleflight: the first requester of a missing cube
+becomes its builder, concurrent requesters of the same key wait on its
+latch, and readers of other (cached) cubes are never blocked by
+someone else's slow build.  A build that raced an :meth:`absorb` is
+returned to its requester (it is correct for the snapshot that
+requester saw) but not cached — snapshot identity, not a counter, is
+the staleness test.
+
+Multi-read consistency: a single cube read is always self-consistent,
+but a *sequence* of reads (the comparator touches several cubes plus
+the class distribution per comparison) could straddle a swap.
+:meth:`pinned` pins the calling thread to one snapshot for a ``with``
+block, so the whole sequence sees one frozen world — this replaces the
+readers–writer lock the service engine used to wrap around every
+compute.
 """
 
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import Executor, ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..dataset.table import Dataset
+import numpy as np
+
+from ..dataset.schema import MISSING
+from ..dataset.table import AppendBuffer, Dataset
 from ..service.tracing import span
-from ..testing.sites import SITE_STORE_CUBE, trip
+from ..testing.sites import SITE_STORE_ABSORB, SITE_STORE_CUBE, trip
 from .builder import PairCubeBuilder, build_cube
 from .rulecube import CubeError, RuleCube
 
 __all__ = ["CubeStore"]
+
+
+class _Snapshot:
+    """One immutable, internally consistent view of the store.
+
+    ``cache`` maps canonical (sorted) attribute tuples to cubes counted
+    from exactly ``dataset``'s rows.  The dict itself gains entries as
+    lazy builds complete (always cubes counted from the same
+    ``dataset``, so consistency is preserved), but existing entries are
+    never mutated and the dataset/generation never change — an absorb
+    publishes a *new* snapshot instead.
+    """
+
+    __slots__ = ("cache", "dataset", "generation")
+
+    def __init__(
+        self,
+        cache: Dict[Tuple[str, ...], RuleCube],
+        dataset: Dataset,
+        generation: int,
+    ) -> None:
+        self.cache = cache
+        self.dataset = dataset
+        self.generation = generation
 
 
 class CubeStore:
@@ -71,6 +111,11 @@ class CubeStore:
     #: Default per-cube cell budget (~80 MB of int64 counts).
     DEFAULT_MAX_CELLS = 10_000_000
 
+    #: Cached-cube count above which :meth:`absorb` fans the delta
+    #: sweep over a worker pool (below it, thread dispatch overhead
+    #: beats the per-cube bincount).
+    ABSORB_FAN_THRESHOLD = 32
+
     def __init__(
         self,
         dataset: Dataset,
@@ -95,26 +140,76 @@ class CubeStore:
                     )
         if max_cells is not None and max_cells < 1:
             raise CubeError("max_cells must be positive or None")
-        self._dataset = dataset
+        self._schema = schema
         self._attributes: Tuple[str, ...] = tuple(attributes)
         self._max_cells = max_cells
-        self._cache: Dict[Tuple[str, ...], RuleCube] = {}
-        # Guards _cache, _building and the _dataset swap in absorb();
-        # re-entrant because absorb -> merge happens under the same
-        # lock.  Never held across build_cube — builds run behind the
-        # per-key latches in _building.
+        self._append = AppendBuffer(dataset)
+        self._snapshot = _Snapshot({}, dataset, 0)
+        # Guards cache inserts, the _building latch table and the
+        # snapshot swap.  Never held across cube counting.
         self._lock = threading.RLock()
+        # Serialises absorb/invalidate; readers never touch it.
+        self._write_lock = threading.Lock()
         self._building: Dict[Tuple[str, ...], threading.Event] = {}
-        # Bumped whenever the backing data set changes; a build that
-        # started against an older generation must not enter the cache.
-        self._data_gen = 0
+        # Per-thread pinned snapshot (see pinned()).
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Snapshot access
+    # ------------------------------------------------------------------
+
+    def _current(self) -> _Snapshot:
+        """The thread's pinned snapshot, or the live one."""
+        pinned = getattr(self._local, "snapshot", None)
+        return pinned if pinned is not None else self._snapshot
+
+    @contextmanager
+    def pinned(self) -> Iterator[_Snapshot]:
+        """Pin the calling thread to one snapshot for a ``with`` block.
+
+        Every store read on this thread inside the block — ``cube``,
+        ``planes``, ``dataset``, ``generation`` — resolves against the
+        same frozen snapshot, even if absorbs land concurrently.
+        Nested pins keep the outermost snapshot.  Yields the snapshot
+        so callers can tag results with its ``generation``.
+        """
+        previous = getattr(self._local, "snapshot", None)
+        snapshot = previous if previous is not None else self._snapshot
+        self._local.snapshot = snapshot
+        try:
+            yield snapshot
+        finally:
+            self._local.snapshot = previous
+
+    @property
+    def dataset(self) -> Dataset:
+        """The backing data set (of the current snapshot)."""
+        return self._current().dataset
+
+    @property
+    def generation(self) -> int:
+        """Data generation: bumped once per absorbed (non-empty) batch."""
+        return self._current().generation
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """Condition attributes the store manages."""
+        return self._attributes
+
+    @property
+    def n_cached(self) -> int:
+        """Number of cubes currently materialised."""
+        return len(self._current().cache)
+
+    # ------------------------------------------------------------------
+    # Budget / validation
+    # ------------------------------------------------------------------
 
     def cube_cells(self, attributes: Sequence[str]) -> int:
         """Cell count of the (hypothetical) cube over ``attributes``."""
-        schema = self._dataset.schema
-        cells = schema.n_classes
+        cells = self._schema.n_classes
         for name in attributes:
-            cells *= schema[name].arity
+            cells *= self._schema[name].arity
         return cells
 
     def _check_budget(self, attributes: Sequence[str]) -> None:
@@ -129,22 +224,6 @@ class CubeStore:
                 "(repro.dataset.reduce_arity) or raise max_cells"
             )
 
-    @property
-    def dataset(self) -> Dataset:
-        """The backing data set."""
-        return self._dataset
-
-    @property
-    def attributes(self) -> Tuple[str, ...]:
-        """Condition attributes the store manages."""
-        return self._attributes
-
-    @property
-    def n_cached(self) -> int:
-        """Number of cubes currently materialised."""
-        with self._lock:
-            return len(self._cache)
-
     def _validate_key(self, attributes: Sequence[str]) -> Tuple[str, ...]:
         requested = tuple(attributes)
         for name in requested:
@@ -156,37 +235,55 @@ class CubeStore:
             raise CubeError(f"duplicate attributes: {requested}")
         return requested
 
-    def _get_or_build(self, canonical: Tuple[str, ...]) -> RuleCube:
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def _get_or_build(
+        self, snapshot: _Snapshot, canonical: Tuple[str, ...]
+    ) -> RuleCube:
         """Fetch a canonical-key cube, building it *outside* the lock.
 
         Singleflight: the first thread to miss on a key registers a
         build latch and counts the cube; every concurrent requester of
         the same key waits on the latch instead of duplicating the
-        work (or blocking on the store lock, as the old
-        build-under-lock path did).  Waiters loop rather than sharing
-        the builder's result directly, so a failed build surfaces its
-        error in whichever thread retries, not a borrowed exception.
+        work.  Waiters loop rather than sharing the builder's result
+        directly, so a failed build surfaces its error in whichever
+        thread retries, not a borrowed exception.
+
+        If ``snapshot`` is no longer the live one (the reader is pinned
+        across an absorb, or lost the race to one), the cube is counted
+        privately from the snapshot's own dataset and *not* cached —
+        correct for that reader, invisible to everyone else.
         """
         while True:
+            cube = snapshot.cache.get(canonical)
+            if cube is not None:
+                return cube
             with self._lock:
-                cube = self._cache.get(canonical)
+                cube = snapshot.cache.get(canonical)
                 if cube is not None:
                     return cube
-                latch = self._building.get(canonical)
-                if latch is None:
+                stale = snapshot is not self._snapshot
+                if stale:
                     self._check_budget(canonical)
-                    latch = threading.Event()
-                    self._building[canonical] = latch
-                    dataset = self._dataset
-                    generation = self._data_gen
-                    break
+                else:
+                    latch = self._building.get(canonical)
+                    if latch is None:
+                        self._check_budget(canonical)
+                        latch = threading.Event()
+                        self._building[canonical] = latch
+                        break
+            if stale:
+                with span("cube.build", key=list(canonical)):
+                    return build_cube(snapshot.dataset, canonical)
             latch.wait()
         try:
             with span("cube.build", key=list(canonical)):
-                cube = build_cube(dataset, canonical)
+                cube = build_cube(snapshot.dataset, canonical)
             with self._lock:
-                if generation == self._data_gen:
-                    self._cache[canonical] = cube
+                if snapshot is self._snapshot:
+                    snapshot.cache[canonical] = cube
             return cube
         finally:
             with self._lock:
@@ -202,6 +299,9 @@ class CubeStore:
         request the canonical sorted order (or use :meth:`planes`) and
         index the axis they need directly — the transpose allocates.
 
+        Cache hits are lock-free: one snapshot-reference read plus one
+        dict lookup.
+
         This is a declared fault site (``store.cube``): a chaos run
         can make any cube read slow or fail here, standing in for a
         sick disk or remote store (see :mod:`repro.testing`).
@@ -209,7 +309,10 @@ class CubeStore:
         trip(SITE_STORE_CUBE, attributes=tuple(attributes))
         requested = self._validate_key(attributes)
         canonical = tuple(sorted(requested))
-        cube = self._get_or_build(canonical)
+        snapshot = self._current()
+        cube = snapshot.cache.get(canonical)
+        if cube is None:
+            cube = self._get_or_build(snapshot, canonical)
         if requested != canonical:
             cube = cube.transpose(requested)
         return cube
@@ -222,9 +325,9 @@ class CubeStore:
         Returns the cubes in **canonical (sorted) axis order**, one per
         requested key, without transposing — batch consumers (the
         comparison kernel) index the axis they need directly.  The
-        cached-cube lookup is a single lock acquisition for the whole
-        batch, rather than one per cube; only keys that miss fall back
-        to the singleflight build path.
+        whole batch resolves against one snapshot, so the returned
+        cubes are mutually consistent even when absorbs land mid-call;
+        cache hits take no lock at all.
 
         Fault-site contract: trips ``store.cube`` once per requested
         key, in request order, with the requested (pre-canonical)
@@ -238,13 +341,16 @@ class CubeStore:
                 trip(SITE_STORE_CUBE, attributes=tuple(key))
                 requested = self._validate_key(key)
                 canonicals.append(tuple(sorted(requested)))
-            with self._lock:
-                cached = [self._cache.get(c) for c in canonicals]
+            snapshot = self._current()
+            cache = snapshot.cache
+            cached = [cache.get(c) for c in canonicals]
             planes_span.annotate(
                 misses=sum(1 for cube in cached if cube is None)
             )
             return [
-                cube if cube is not None else self._get_or_build(canonical)
+                cube
+                if cube is not None
+                else self._get_or_build(snapshot, canonical)
                 for canonical, cube in zip(canonicals, cached)
             ]
 
@@ -265,6 +371,10 @@ class CubeStore:
         """
         return self.cube(())
 
+    # ------------------------------------------------------------------
+    # Precompute
+    # ------------------------------------------------------------------
+
     def _missing_keys(
         self, include_pairs: bool
     ) -> List[Tuple[str, ...]]:
@@ -275,8 +385,8 @@ class CubeStore:
             for i, a in enumerate(self._attributes):
                 for b in self._attributes[i + 1:]:
                     keys.append(tuple(sorted((a, b))))
-        with self._lock:
-            return [k for k in keys if k not in self._cache]
+        cache = self._current().cache
+        return [k for k in keys if k not in cache]
 
     def precompute(
         self,
@@ -303,64 +413,134 @@ class CubeStore:
         if workers is None or workers <= 1:
             built = 0
             for key in missing:
-                with self._lock:
-                    if key in self._cache:
-                        continue
-                self._get_or_build(key)
+                snapshot = self._current()
+                if key in snapshot.cache:
+                    continue
+                self._get_or_build(snapshot, key)
                 built += 1
             return built
 
-        with self._lock:
-            dataset = self._dataset
-            generation = self._data_gen
-        shared = PairCubeBuilder(dataset, self._attributes)
+        snapshot = self._current()
+        shared = PairCubeBuilder(snapshot.dataset, self._attributes)
 
         def _build(key: Tuple[str, ...]) -> int:
-            with self._lock:
-                if key in self._cache:
-                    return 0
+            if key in snapshot.cache:
+                return 0
             cube = shared.build(key)
             with self._lock:
-                if generation == self._data_gen and (
-                    key not in self._cache
+                if self._snapshot is snapshot and (
+                    key not in snapshot.cache
                 ):
-                    self._cache[key] = cube
+                    snapshot.cache[key] = cube
                     return 1
             return 0
 
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return sum(pool.map(_build, missing))
 
-    def absorb(self, batch: Dataset) -> int:
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def _validate_batch(self, batch: Dataset) -> None:
+        if batch.schema != self._schema:
+            raise CubeError(
+                "batch schema does not match the store's data set"
+            )
+        class_codes = batch.class_codes
+        if class_codes.size:
+            n_classes = self._schema.n_classes
+            invalid = (class_codes < MISSING) | (class_codes >= n_classes)
+            if invalid.any():
+                row = int(np.argmax(invalid))
+                code = int(class_codes[row])
+                labels = self._schema.class_attribute.values
+                raise CubeError(
+                    f"batch class column contains code {code} (row "
+                    f"{row}), outside the schema's class labels "
+                    f"{labels!r}"
+                )
+
+    def absorb(
+        self,
+        batch: Dataset,
+        workers: Optional[int] = None,
+        executor: Optional[Executor] = None,
+    ) -> int:
         """Fold a new batch of records into every materialised cube.
 
         The paper's data arrives monthly; because cubes are count
         tensors, absorbing a batch is one counting pass over the batch
         plus a tensor addition per cached cube — the historical records
-        are never rescanned.  The store's backing data set becomes the
-        concatenation (so lazily built cubes stay consistent).
+        are never rescanned.  The batch is counted *once* into shared
+        per-attribute code columns (:class:`PairCubeBuilder`); each
+        cached cube's delta is then a single ``bincount``, fanned over
+        ``executor`` (or a transient ``workers``-wide pool) when the
+        cache is large.
+
+        All counting happens outside any reader-visible lock, against
+        the snapshot current at entry; the only shared mutation is the
+        final snapshot swap.  Readers concurrently see either the old
+        world or the new one, never a mix, and never wait.  A failure
+        anywhere in the delta sweep (including the ``store.absorb``
+        fault site) leaves the store exactly as it was.
+
+        A zero-row batch is a no-op: no generation bump, no cube
+        touched, returns 0.
 
         Returns the number of cubes updated.
         """
-        if batch.schema != self._dataset.schema:
-            raise CubeError(
-                "batch schema does not match the store's data set"
+        self._validate_batch(batch)
+        if batch.n_rows == 0:
+            return 0
+        with self._write_lock:
+            snapshot = self._snapshot
+            keys = list(snapshot.cache)
+            trip(
+                SITE_STORE_ABSORB,
+                rows=batch.n_rows,
+                cubes=len(keys),
             )
-        updated = 0
-        with self._lock:
-            for key in list(self._cache):
-                delta = build_cube(batch, key)
-                self._cache[key] = self._cache[key].merge(delta)
-                updated += 1
-            self._dataset = self._dataset.concat(batch)
-            self._data_gen += 1
-        return updated
+            merged: Dict[Tuple[str, ...], RuleCube] = {}
+            if keys:
+                names = sorted({name for key in keys for name in key})
+                shared = PairCubeBuilder(batch, names)
+
+                def _merge(
+                    key: Tuple[str, ...]
+                ) -> Tuple[Tuple[str, ...], RuleCube]:
+                    return key, snapshot.cache[key].merge(
+                        shared.build(key)
+                    )
+
+                fan = len(keys) >= self.ABSORB_FAN_THRESHOLD
+                if executor is not None and fan:
+                    merged = dict(executor.map(_merge, keys))
+                elif workers is not None and workers > 1 and fan:
+                    with ThreadPoolExecutor(max_workers=workers) as pool:
+                        merged = dict(pool.map(_merge, keys))
+                else:
+                    merged = dict(map(_merge, keys))
+            new_dataset = self._append.append(batch)
+            with self._lock:
+                with span(
+                    "ingest.swap",
+                    rows=batch.n_rows,
+                    cubes=len(merged),
+                ):
+                    # Keys lazily built after the keys-list copy above
+                    # are dropped here (they lack the batch's counts);
+                    # the next reader rebuilds them from the new
+                    # dataset.
+                    self._snapshot = _Snapshot(
+                        merged, new_dataset, snapshot.generation + 1
+                    )
+        return len(merged)
 
     def cached_items(self) -> Dict[Tuple[str, ...], RuleCube]:
         """Snapshot of the materialised cubes, keyed by the canonical
         (sorted) attribute tuple.  Used by persistence."""
-        with self._lock:
-            return dict(self._cache)
+        return dict(self._current().cache)
 
     def inject(self, attributes: Tuple[str, ...], cube: RuleCube) -> None:
         """Place an externally built cube into the cache.
@@ -373,7 +553,7 @@ class CubeStore:
             raise CubeError(
                 "injection key must be the sorted attribute tuple"
             )
-        schema = self._dataset.schema
+        schema = self._schema
         if cube.class_attribute != schema.class_attribute:
             raise CubeError(
                 "cube class attribute does not match the store's "
@@ -393,16 +573,21 @@ class CubeStore:
         if cube.names != tuple(attributes):
             raise CubeError("cube axes do not match the injection key")
         with self._lock:
-            self._cache[tuple(attributes)] = cube
+            self._snapshot.cache[tuple(attributes)] = cube
 
     def invalidate(self) -> None:
         """Drop every cached cube (e.g. after swapping the data set)."""
-        with self._lock:
-            self._cache.clear()
-            self._data_gen += 1
+        with self._write_lock:
+            with self._lock:
+                old = self._snapshot
+                self._snapshot = _Snapshot(
+                    {}, old.dataset, old.generation + 1
+                )
 
     def __repr__(self) -> str:
+        snapshot = self._current()
         return (
             f"CubeStore({len(self._attributes)} attributes, "
-            f"{len(self._cache)} cubes cached)"
+            f"{len(snapshot.cache)} cubes cached, "
+            f"generation {snapshot.generation})"
         )

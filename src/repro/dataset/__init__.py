@@ -15,7 +15,7 @@ from .schema import (
     Schema,
     SchemaError,
 )
-from .table import Dataset, DatasetError
+from .table import AppendBuffer, Dataset, DatasetError
 from .discretize import (
     ChiMergeDiscretizer,
     Discretizer,
@@ -38,6 +38,7 @@ __all__ = [
     "Attribute",
     "Schema",
     "SchemaError",
+    "AppendBuffer",
     "Dataset",
     "DatasetError",
     "Discretizer",

@@ -10,6 +10,12 @@ attribute is one float array awaiting discretisation.
 :class:`Dataset` is deliberately small: selection (boolean masks),
 projection, stacking and per-column access.  Mining logic lives in the
 packages layered on top (``repro.rules``, ``repro.cube``).
+
+For write-heavy callers (the cube store's ingest path) the module also
+provides :class:`AppendBuffer`, an amortised-growth appender whose
+snapshots are read-only prefix views over shared over-allocated
+buffers — N small appends cost O(total rows) in copies instead of the
+O(total_rows·N) that repeated :meth:`Dataset.concat` calls would.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ import numpy as np
 
 from .schema import MISSING, Attribute, Schema
 
-__all__ = ["Dataset", "DatasetError"]
+__all__ = ["AppendBuffer", "Dataset", "DatasetError"]
 
 
 class DatasetError(ValueError):
@@ -122,32 +128,76 @@ class Dataset:
         Categorical entries are looked up in the attribute domain;
         ``missing_token`` (default ``"?"``) codes as missing.  Continuous
         entries are parsed as floats (``missing_token`` becomes NaN).
+
+        Encoding is columnar, not row-by-row: each categorical column is
+        deduplicated with :func:`numpy.unique` and
+        :meth:`Attribute.code_of` runs once per *distinct* value, so a
+        million-row batch over low-arity attributes costs a handful of
+        domain lookups instead of a Python-level call per field.
         """
         attrs = schema.attributes
-        buffers: List[List[float]] = [[] for _ in attrs]
-        for row_number, row in enumerate(rows):
-            row = tuple(row)
+        materialised = [tuple(row) for row in rows]
+        for row_number, row in enumerate(materialised):
             if len(row) != len(attrs):
                 raise DatasetError(
                     f"row {row_number} has {len(row)} fields; "
                     f"expected {len(attrs)}"
                 )
-            for buf, attr, raw in zip(buffers, attrs, row):
-                if attr.is_categorical:
-                    if raw is None or str(raw) == missing_token:
-                        buf.append(MISSING)
-                    else:
-                        buf.append(attr.code_of(str(raw)))
-                else:
-                    if raw is None or str(raw) == missing_token:
-                        buf.append(float("nan"))
-                    else:
-                        buf.append(float(raw))
-        columns = {}
-        for attr, buf in zip(attrs, buffers):
-            dtype = np.int64 if attr.is_categorical else np.float64
-            columns[attr.name] = np.asarray(buf, dtype=dtype)
+        columns: Dict[str, np.ndarray] = {}
+        raw_columns = (
+            zip(*materialised) if materialised else [() for _ in attrs]
+        )
+        for attr, raw in zip(attrs, raw_columns):
+            if attr.is_categorical:
+                columns[attr.name] = cls._encode_categorical(
+                    attr, raw, missing_token
+                )
+            else:
+                columns[attr.name] = cls._encode_continuous(
+                    raw, missing_token
+                )
         return cls(schema, columns)
+
+    @staticmethod
+    def _encode_categorical(
+        attr: Attribute, raw: Sequence[object], missing_token: str
+    ) -> np.ndarray:
+        """Vectorised domain encoding of one symbolic column."""
+        strings = np.asarray(
+            [missing_token if v is None else str(v) for v in raw],
+            dtype="U",
+        )
+        if strings.size == 0:
+            return np.empty(0, dtype=np.int64)
+        unique, inverse = np.unique(strings, return_inverse=True)
+        lut = np.empty(unique.shape[0], dtype=np.int64)
+        for j, value in enumerate(unique):
+            token = str(value)
+            if token == missing_token:
+                lut[j] = MISSING
+            else:
+                lut[j] = attr.code_of(token)
+        return lut[inverse]
+
+    @staticmethod
+    def _encode_continuous(
+        raw: Sequence[object], missing_token: str
+    ) -> np.ndarray:
+        """Float parsing of one column; NaN marks missing entries."""
+        try:
+            # Fast path: numpy parses numbers, numeric strings and
+            # None (-> NaN) in one C pass; the token or junk raises.
+            return np.asarray(raw, dtype=np.float64)
+        except (TypeError, ValueError):
+            return np.asarray(
+                [
+                    float("nan")
+                    if v is None or str(v) == missing_token
+                    else float(v)
+                    for v in raw
+                ],
+                dtype=np.float64,
+            )
 
     @classmethod
     def empty(cls, schema: Schema) -> "Dataset":
@@ -157,6 +207,28 @@ class Dataset:
             dtype = np.int64 if attr.is_categorical else np.float64
             columns[attr.name] = np.empty(0, dtype=dtype)
         return cls(schema, columns)
+
+    @classmethod
+    def _trusted(
+        cls,
+        schema: Schema,
+        columns: Dict[str, np.ndarray],
+        n_rows: int,
+    ) -> "Dataset":
+        """Wrap pre-validated columns without the per-column code scan.
+
+        Internal constructor for callers that *guarantee* the columns
+        are read-only, correctly typed, equally sized and code-valid —
+        today only :class:`AppendBuffer`, whose buffers only ever hold
+        data that already passed a public constructor.  Skipping the
+        O(rows) min/max validation here is what makes snapshotting
+        after an append O(attributes) instead of O(rows).
+        """
+        dataset = cls.__new__(cls)
+        dataset._schema = schema
+        dataset._columns = columns
+        dataset._n_rows = int(n_rows)
+        return dataset
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -326,3 +398,89 @@ class Dataset:
             f"{len(self._schema)} attributes, "
             f"class={self._schema.class_name!r})"
         )
+
+
+class AppendBuffer:
+    """Amortised-growth appender over one schema.
+
+    Repeatedly calling :meth:`Dataset.concat` for a stream of small
+    batches copies the whole history every time — N batches over T
+    total rows cost O(T·N).  This buffer over-allocates each column
+    (capacity doubling, like a ``list``) so the same stream costs
+    amortised O(T): an append usually just writes the batch into the
+    tail of the existing buffers.
+
+    :meth:`append` returns an immutable :class:`Dataset` that is a
+    read-only *prefix view* ``buffer[:n]`` of the shared columns.
+    Later appends write strictly beyond ``n``, so every previously
+    returned snapshot keeps seeing exactly the rows it saw at creation
+    — the copy-on-write contract the cube store's snapshot swap relies
+    on.
+
+    Single-writer: concurrent :meth:`append` calls must be serialised
+    by the caller (the cube store holds its write lock around absorb).
+    Snapshots may be read from any thread.
+    """
+
+    __slots__ = ("_schema", "_buffers", "_n", "_capacity", "_dataset")
+
+    #: Floor for the first over-allocation, so a trickle of tiny
+    #: batches does not reallocate until it has somewhere to grow.
+    MIN_CAPACITY = 1024
+
+    def __init__(self, dataset: Dataset) -> None:
+        self._schema = dataset.schema
+        # The seed dataset's (read-only) columns serve as the initial
+        # zero-slack buffers; the first append reallocates with room.
+        self._buffers: Dict[str, np.ndarray] = {
+            attr.name: dataset.column(attr.name) for attr in self._schema
+        }
+        self._n = dataset.n_rows
+        self._capacity = dataset.n_rows
+        self._dataset = dataset
+
+    @property
+    def schema(self) -> Schema:
+        """The schema every appended batch must match."""
+        return self._schema
+
+    @property
+    def dataset(self) -> Dataset:
+        """The current snapshot (all rows appended so far)."""
+        return self._dataset
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _grow(self, needed: int) -> None:
+        new_capacity = max(2 * needed, self.MIN_CAPACITY)
+        for name, buf in self._buffers.items():
+            grown = np.empty(new_capacity, dtype=buf.dtype)
+            grown[: self._n] = buf[: self._n]
+            self._buffers[name] = grown
+        self._capacity = new_capacity
+
+    def append(self, batch: Dataset) -> Dataset:
+        """Add ``batch``'s rows; return the new snapshot.
+
+        A zero-row batch returns the current snapshot unchanged.
+        """
+        if batch.schema != self._schema:
+            raise DatasetError(
+                "cannot append a batch with a different schema"
+            )
+        m = batch.n_rows
+        if m == 0:
+            return self._dataset
+        if self._n + m > self._capacity:
+            self._grow(self._n + m)
+        columns: Dict[str, np.ndarray] = {}
+        for attr in self._schema:
+            buf = self._buffers[attr.name]
+            buf[self._n : self._n + m] = batch.column(attr.name)
+            view = buf[: self._n + m]
+            view.setflags(write=False)
+            columns[attr.name] = view
+        self._n += m
+        self._dataset = Dataset._trusted(self._schema, columns, self._n)
+        return self._dataset

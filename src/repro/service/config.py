@@ -62,6 +62,13 @@ class ServiceConfig:
         When set, every finished request trace is appended to this
         file as one JSON line (``repro serve --trace-log``).  ``None``
         disables the export.
+    ingest_coalesce_ms:
+        Opt-in ingest micro-batching window in milliseconds.  When
+        set, concurrent small ``/ingest`` batches arriving within the
+        window are merged into one store absorb (one counting pass,
+        one snapshot swap, one generation bump) at the cost of up to
+        one window of added ingest latency.  ``None`` (the default)
+        absorbs every batch individually.
     """
 
     host: str = "127.0.0.1"
@@ -75,6 +82,7 @@ class ServiceConfig:
     trace_buffer_size: int = 32
     slow_request_ms: Optional[float] = 1_000.0
     trace_log_path: Optional[str] = None
+    ingest_coalesce_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -100,6 +108,13 @@ class ServiceConfig:
         if self.slow_request_ms is not None and self.slow_request_ms <= 0:
             raise ConfigError(
                 "slow_request_ms must be positive or None"
+            )
+        if (
+            self.ingest_coalesce_ms is not None
+            and self.ingest_coalesce_ms <= 0
+        ):
+            raise ConfigError(
+                "ingest_coalesce_ms must be positive or None"
             )
 
     @property

@@ -18,10 +18,16 @@ ThreadPoolExecutor` with a per-request deadline — an overrun surfaces
   lookup instead of being served.
 
 Concurrency contract: comparisons are readers, ingest is the single
-writer.  A readers–writer lock per store lets any number of
-comparisons overlap while an ``absorb`` waits for the store to go
-quiet and then runs exclusively — a comparison can never observe a
-half-merged store.
+writer — but readers never wait on the writer.  The store publishes
+immutable copy-on-write snapshots (see :mod:`repro.cube.store`); a
+comparison pins the snapshot current at its start and computes against
+that frozen world while ``absorb`` builds the next snapshot off to the
+side and installs it with one pointer swap.  A comparison can never
+observe a half-merged store, and an ingest of any size adds no
+read-path latency beyond the swap itself.  Ingests serialise on a
+per-store lock; the optional coalescer
+(``ServiceConfig.ingest_coalesce_ms``) merges concurrent small
+batches into one absorb before that lock is taken.
 
 Resilience contract: every store carries a :class:`CircuitBreaker`.
 Compute failures that are *not* the client's fault (anything other
@@ -42,10 +48,8 @@ import time
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from contextlib import contextmanager
 from typing import (
     Dict,
-    Iterator,
     List,
     Mapping,
     NamedTuple,
@@ -254,49 +258,85 @@ class BatchScreenOutcome(NamedTuple):
 
 
 class IngestOutcome(NamedTuple):
-    """Outcome of absorbing one record batch."""
+    """Outcome of absorbing one record batch.
+
+    ``records`` counts the caller's own rows even when the coalescer
+    merged them with other requests' rows into one absorb
+    (``coalesced`` is then true and ``cubes_updated``/``generation``
+    describe the shared absorb).
+    """
 
     store: str
     records: int
     cubes_updated: int
     generation: int
+    coalesced: bool = False
 
 
-class _RWLock:
-    """Readers–writer lock: many concurrent readers, one exclusive
-    writer.  Comparisons read, ``ingest`` writes."""
+class _IngestCoalescer:
+    """Leader/follower micro-batcher in front of one store's absorb.
 
-    def __init__(self) -> None:
-        self._cond = threading.Condition()
-        self._readers = 0
-        self._writing = False
+    The first batch to arrive opens a window and becomes the leader;
+    batches arriving while the window is open pile into the same slot.
+    When the window closes the leader concatenates the slot's batches
+    and runs one absorb; followers block on the slot's event and share
+    its outcome (or its exception).  Worst-case added ingest latency
+    is one window; the payoff is one counting pass, one snapshot swap
+    and one generation bump for the whole burst — cached comparison
+    results are invalidated once instead of once per batch.
+    """
 
-    @contextmanager
-    def read_locked(self) -> Iterator[None]:
-        with self._cond:
-            while self._writing:
-                self._cond.wait()
-            self._readers += 1
+    class _Slot:
+        __slots__ = (
+            "batches", "event", "updated", "generation", "error",
+            "n_merged",
+        )
+
+        def __init__(self) -> None:
+            self.batches: List[Dataset] = []
+            self.event = threading.Event()
+            self.updated = 0
+            self.generation = 0
+            self.error: Optional[BaseException] = None
+            self.n_merged = 0
+
+    def __init__(self, window_seconds: float, absorb) -> None:
+        self._window = window_seconds
+        self._absorb = absorb  # callable(Dataset) -> (updated, generation)
+        self._lock = threading.Lock()
+        self._slot: Optional["_IngestCoalescer._Slot"] = None
+
+    def ingest(self, batch: Dataset) -> Tuple[int, int, int]:
+        """Enqueue one batch; returns ``(updated, generation,
+        n_merged)`` of the absorb that carried it."""
+        with self._lock:
+            slot = self._slot
+            leader = slot is None
+            if leader:
+                slot = self._Slot()
+                self._slot = slot
+            slot.batches.append(batch)
+        if not leader:
+            slot.event.wait()
+            if slot.error is not None:
+                raise slot.error
+            return slot.updated, slot.generation, slot.n_merged
+        time.sleep(self._window)
+        with self._lock:
+            self._slot = None
         try:
-            yield
+            merged = slot.batches[0]
+            for extra in slot.batches[1:]:
+                merged = merged.concat(extra)
+            with span("ingest.coalesce", batches=len(slot.batches)):
+                slot.updated, slot.generation = self._absorb(merged)
+            slot.n_merged = len(slot.batches)
+        except BaseException as exc:
+            slot.error = exc
+            raise
         finally:
-            with self._cond:
-                self._readers -= 1
-                if self._readers == 0:
-                    self._cond.notify_all()
-
-    @contextmanager
-    def write_locked(self) -> Iterator[None]:
-        with self._cond:
-            while self._writing or self._readers:
-                self._cond.wait()
-            self._writing = True
-        try:
-            yield
-        finally:
-            with self._cond:
-                self._writing = False
-                self._cond.notify_all()
+            slot.event.set()
+        return slot.updated, slot.generation, slot.n_merged
 
 
 class _CacheEntry(NamedTuple):
@@ -352,11 +392,12 @@ class _LRUCache:
 
 
 class _ManagedStore:
-    """A named store with its comparator, generation, write lock and
-    circuit breaker."""
+    """A named store with its comparator, ingest lock, optional
+    coalescer and circuit breaker."""
 
     __slots__ = (
-        "name", "store", "comparator", "generation", "rwlock", "breaker"
+        "name", "store", "comparator", "breaker", "ingest_lock",
+        "coalescer",
     )
 
     def __init__(
@@ -369,9 +410,14 @@ class _ManagedStore:
         self.name = name
         self.store = store
         self.comparator = comparator
-        self.generation = 0
-        self.rwlock = _RWLock()
         self.breaker = breaker
+        self.ingest_lock = threading.Lock()
+        self.coalescer: Optional[_IngestCoalescer] = None
+
+    @property
+    def generation(self) -> int:
+        """The store's data generation (one bump per absorbed batch)."""
+        return self.store.generation
 
 
 Row = Union[Sequence[object], Mapping[str, object]]
@@ -442,12 +488,16 @@ class ComparisonEngine:
                 )
             ),
         )
+        managed = _ManagedStore(name, store, comparator, breaker)
+        if self._config.ingest_coalesce_ms is not None:
+            managed.coalescer = _IngestCoalescer(
+                self._config.ingest_coalesce_ms / 1000.0,
+                lambda batch, _m=managed: self._absorb(_m, batch),
+            )
         with self._stores_lock:
             if name in self._stores:
                 raise EngineError(f"store {name!r} already registered")
-            self._stores[name] = _ManagedStore(
-                name, store, comparator, breaker
-            )
+            self._stores[name] = managed
         return name
 
     def load_archive(
@@ -659,8 +709,13 @@ class ComparisonEngine:
                         pivot=pivot_attribute,
                         values=(value_a, value_b),
                     )
-                    with managed.rwlock.read_locked():
-                        generation = managed.generation
+                    # Pin one snapshot for the whole comparison: every
+                    # cube/dataset read the comparator makes sees the
+                    # same frozen world even if an absorb lands
+                    # mid-compute, and the generation the result is
+                    # cached under is exactly that snapshot's.
+                    with managed.store.pinned() as snapshot:
+                        generation = snapshot.generation
                         result = managed.comparator.compare(
                             pivot_attribute, value_a, value_b,
                             target_class, attributes=attributes,
@@ -704,11 +759,11 @@ class ComparisonEngine:
     ) -> BatchScreenOutcome:
         """Score many pivot value pairs in one shared-slice pass.
 
-        Runs :meth:`~repro.core.Comparator.compare_value_pairs` under
-        the store's read lock: every ``(pivot, A_i)`` cube is fetched
-        and sliced once for the whole batch and all pairs go through
-        the vectorized kernel, instead of one full comparison per pair
-        across the worker pool.  Breaker bookkeeping matches
+        Runs :meth:`~repro.core.Comparator.compare_value_pairs`
+        against one pinned store snapshot: every ``(pivot, A_i)`` cube
+        is fetched and sliced once for the whole batch and all pairs
+        go through the vectorized kernel, instead of one full
+        comparison per pair across the worker pool.  Breaker bookkeeping matches
         :meth:`compare` — an infrastructure failure during the shared
         fetch counts one failure (it would have failed every pair) —
         and each successful pair lands in the result cache under the
@@ -738,8 +793,8 @@ class ComparisonEngine:
                     pivot=pivot_attribute,
                     pairs=len(value_pairs),
                 )
-                with managed.rwlock.read_locked():
-                    generation = managed.generation
+                with managed.store.pinned() as snapshot:
+                    generation = snapshot.generation
                     screen = managed.comparator.compare_value_pairs(
                         pivot_attribute, value_pairs, target_class,
                         attributes=attributes,
@@ -790,24 +845,72 @@ class ComparisonEngine:
         ``rows`` are either sequences in schema column order or
         mappings keyed by attribute name (missing attributes code as
         missing values).  The batch merges into every materialised
-        cube via :meth:`~repro.cube.CubeStore.absorb` while the store
-        is write-locked, then the generation counter bumps — from that
-        point every cached result computed against the old counts is
-        stale and will be recomputed on demand.
+        cube via :meth:`~repro.cube.CubeStore.absorb` — all delta
+        counting runs outside any reader-visible lock, then the new
+        snapshot installs atomically and the generation bumps: from
+        that point every cached result computed against the old counts
+        is stale and will be recomputed on demand.
+
+        A zero-row batch is a complete no-op — no absorb, no
+        generation bump, no cache invalidation — so health-check-style
+        empty posts cannot evict a warm cache.
+
+        When the engine was configured with ``ingest_coalesce_ms``,
+        concurrent batches within the window are merged into one
+        absorb; the outcome's ``coalesced`` flag reports whether that
+        happened.
         """
         managed = self._resolve(store)
         schema = managed.store.dataset.schema
-        batch = self._rows_to_dataset(schema, rows)
-        with managed.rwlock.write_locked():
-            updated = managed.store.absorb(batch)
-            managed.generation += 1
-            generation = managed.generation
+        with span(
+            "ingest.encode", store=managed.name
+        ) as encode_span:
+            batch = self._rows_to_dataset(schema, rows)
+            encode_span.annotate(rows=batch.n_rows)
+        if batch.n_rows == 0:
+            return IngestOutcome(
+                managed.name, 0, 0, managed.generation, False
+            )
+        if managed.coalescer is not None:
+            updated, generation, n_merged = managed.coalescer.ingest(
+                batch
+            )
+            return IngestOutcome(
+                managed.name, batch.n_rows, updated, generation,
+                n_merged > 1,
+            )
+        updated, generation = self._absorb(managed, batch)
+        return IngestOutcome(
+            managed.name, batch.n_rows, updated, generation, False
+        )
+
+    def _absorb(
+        self, managed: _ManagedStore, batch: Dataset
+    ) -> Tuple[int, int]:
+        """One serialized store absorb, with spans and metrics."""
+        with managed.ingest_lock:
+            with span(
+                "ingest.absorb",
+                store=managed.name,
+                rows=batch.n_rows,
+            ) as absorb_span:
+                started = time.perf_counter()
+                updated = managed.store.absorb(
+                    batch, executor=self._pool
+                )
+                elapsed = time.perf_counter() - started
+                absorb_span.annotate(cubes=updated)
+            generation = managed.store.generation
+        self._metrics.ingest_batch_rows.observe(
+            batch.n_rows, store=managed.name
+        )
+        self._metrics.ingest_absorb_seconds.observe(
+            elapsed, store=managed.name
+        )
         self._metrics.ingested_records.inc(
             batch.n_rows, store=managed.name
         )
-        return IngestOutcome(
-            managed.name, batch.n_rows, updated, generation
-        )
+        return updated, generation
 
     @staticmethod
     def _rows_to_dataset(schema, rows: Sequence[Row]) -> Dataset:

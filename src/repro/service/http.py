@@ -438,6 +438,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "records": outcome.records,
                 "cubes_updated": outcome.cubes_updated,
                 "generation": outcome.generation,
+                "coalesced": outcome.coalesced,
             },
         )
         return 200

@@ -285,6 +285,17 @@ class ServiceMetrics:
             "repro_ingested_records_total",
             "Records absorbed through /ingest, by store.",
         )
+        self.ingest_batch_rows = self.registry.histogram(
+            "repro_ingest_batch_rows",
+            "Row count of absorbed ingest batches (post-coalescing), "
+            "by store.",
+            buckets=(1, 10, 100, 1_000, 10_000, 100_000, 1_000_000),
+        )
+        self.ingest_absorb_seconds = self.registry.histogram(
+            "repro_ingest_absorb_seconds",
+            "Wall-clock time of one store absorb (delta counting + "
+            "snapshot swap), by store, seconds.",
+        )
         self.compare_failures = self.registry.counter(
             "repro_compare_failures_total",
             "Comparison computes that failed, by store and error type "

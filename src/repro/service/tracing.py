@@ -6,7 +6,9 @@ deserves an explanation, not just a latency-histogram bucket.  This
 module supplies that explanation as a per-request **trace**: a tree of
 named, monotonic-clock-timed spans (``http.dispatch`` →
 ``engine.compare`` → ``store.planes``/``cube.build`` →
-``kernel.score`` → cache get/put) carried across threads by
+``kernel.score`` → cache get/put; on the write path
+``ingest.encode`` → ``ingest.coalesce`` → ``ingest.absorb`` →
+``ingest.swap``) carried across threads by
 ``contextvars`` and recorded thread-safely, because one request's
 spans are opened on the HTTP handler thread *and* on the engine's
 worker pool.

@@ -30,6 +30,7 @@ from typing import Iterator, List, Tuple
 __all__ = [
     "SITES",
     "SITE_STORE_CUBE",
+    "SITE_STORE_ABSORB",
     "SITE_ENGINE_COMPARE",
     "SITE_HTTP_HANDLER",
     "SITE_PERSIST_LOAD",
@@ -41,6 +42,7 @@ __all__ = [
 ]
 
 SITE_STORE_CUBE = "store.cube"
+SITE_STORE_ABSORB = "store.absorb"
 SITE_ENGINE_COMPARE = "engine.compare"
 SITE_HTTP_HANDLER = "http.handler"
 SITE_PERSIST_LOAD = "persist.load"
@@ -48,6 +50,7 @@ SITE_PERSIST_LOAD = "persist.load"
 #: Every site the production code declares, for validation and docs.
 SITES: Tuple[str, ...] = (
     SITE_STORE_CUBE,
+    SITE_STORE_ABSORB,
     SITE_ENGINE_COMPARE,
     SITE_HTTP_HANDLER,
     SITE_PERSIST_LOAD,

@@ -120,6 +120,34 @@ class TestStoreAbsorb:
         with pytest.raises(CubeError, match="schema"):
             store.absorb(bad)
 
+    def test_zero_row_absorb_is_noop(self):
+        store = CubeStore(make_dataset(1))
+        store.precompute()
+        before = store.cached_items()
+        generation = store.generation
+        empty = Dataset.empty(store.dataset.schema)
+        assert store.absorb(empty) == 0
+        assert store.generation == generation
+        assert store.cached_items() == before
+
+    def test_invalid_class_codes_rejected_with_value(self):
+        store = CubeStore(make_dataset(1))
+        store.precompute()
+        batch = make_dataset(2, n=10)
+        # Forge a batch whose class column escaped encoding: the
+        # public constructors validate codes, so go through the
+        # trusted path the way a buggy caller could.
+        columns = {
+            name: batch.column(name).copy() for name in ("A", "B", "C")
+        }
+        columns["C"][3] = 7  # outside ("no", "yes")
+        forged = Dataset._trusted(batch.schema, columns, 10)
+        with pytest.raises(CubeError, match=r"code 7.*row 3"):
+            store.absorb(forged)
+        # The failed absorb left the store untouched.
+        assert store.generation == 0
+        assert store.dataset.n_rows == 800
+
     def test_repeated_absorption(self):
         """Three months of batches equal one combined build."""
         months = [make_dataset(seed) for seed in (1, 2, 3)]

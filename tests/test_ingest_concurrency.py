@@ -1,0 +1,394 @@
+"""Concurrency contract of the non-blocking ingest path.
+
+The cube store publishes immutable copy-on-write snapshots; ``absorb``
+counts its deltas off-lock and installs the next snapshot with one
+pointer swap.  These tests pin down the two halves of that contract:
+
+* **liveness** — readers (store reads and engine comparisons) never
+  wait on a writer, even when the absorb itself is made pathologically
+  slow via the ``store.absorb`` fault site;
+* **consistency** — every reader sees either the old snapshot or the
+  new one, never a torn mix (generation always consistent with the
+  counts), and snapshot-absorb is bit-exact against a full rebuild
+  from the concatenated data across 50 random schemas/batches.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.cube import CubeStore, build_cube
+from repro.dataset import Attribute, Dataset, Schema
+from repro.service import ComparisonEngine, ServiceConfig
+from repro.testing import FaultPlan, FaultRule
+from repro.testing.sites import SITE_STORE_ABSORB
+
+#: Injected absorb latency (seconds); the liveness bound asserts reads
+#: stay well under it.
+ABSORB_LATENCY = 0.15
+READ_BOUND = ABSORB_LATENCY / 2
+
+
+def full_schema(n_attrs: int, arity: int = 3) -> Schema:
+    attrs = [
+        Attribute(f"A{i}", values=tuple(f"v{j}" for j in range(arity)))
+        for i in range(n_attrs)
+    ]
+    attrs.append(Attribute("C", values=("no", "yes")))
+    return Schema(attrs, class_attribute="C")
+
+
+def dense_dataset(schema: Schema, seed: int, n: int) -> Dataset:
+    """A batch with *no* missing values, so every cube's total equals
+    the row count — the invariant the torn-mix check leans on."""
+    rng = np.random.default_rng(seed)
+    columns = {
+        attr.name: rng.integers(0, attr.arity, n)
+        for attr in schema
+    }
+    return Dataset.from_columns(schema, columns)
+
+
+def slow_absorb_plan() -> FaultPlan:
+    return FaultPlan(
+        [
+            FaultRule(
+                SITE_STORE_ABSORB,
+                probability=1.0,
+                fail=False,
+                latency=ABSORB_LATENCY,
+            )
+        ],
+        seed=7,
+    )
+
+
+class TestHammer:
+    """One slow writer, N readers: nobody waits, nobody sees a tear."""
+
+    N_READERS = 4
+    N_BATCHES = 8
+    BATCH_ROWS = 200
+    BASE_ROWS = 2000
+
+    def _run_hammer(self, read_once):
+        """Drive the writer and ``N_READERS`` reader threads; returns
+        (per-read latencies, reader errors, generations seen)."""
+        done = threading.Event()
+        latencies, errors, generations = [], [], set()
+        lock = threading.Lock()
+
+        def reader():
+            while not done.is_set():
+                started = time.perf_counter()
+                try:
+                    generation = read_once()
+                except Exception as exc:  # pragma: no cover
+                    with lock:
+                        errors.append(exc)
+                    return
+                elapsed = time.perf_counter() - started
+                with lock:
+                    latencies.append(elapsed)
+                    generations.add(generation)
+
+        threads = [
+            threading.Thread(target=reader)
+            for _ in range(self.N_READERS)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            yield_writer = self._writer_steps
+            for _ in yield_writer():
+                pass
+        finally:
+            done.set()
+            for t in threads:
+                t.join()
+        return latencies, errors, generations
+
+    def _writer_steps(self):
+        raise NotImplementedError
+
+    def test_store_reads_never_block_past_bound(self):
+        schema = full_schema(6)
+        store = CubeStore(dense_dataset(schema, 0, self.BASE_ROWS))
+        store.precompute()
+        batches = [
+            dense_dataset(schema, 100 + i, self.BATCH_ROWS)
+            for i in range(self.N_BATCHES)
+        ]
+
+        def writer_steps():
+            with slow_absorb_plan().installed():
+                for batch in batches:
+                    store.absorb(batch)
+                    yield
+
+        self._writer_steps = writer_steps
+
+        def read_once():
+            # Pin one snapshot for the whole multi-read sequence; the
+            # generation must match the counts *and* the row count.
+            with store.pinned() as snapshot:
+                generation = snapshot.generation
+                total = int(store.cube(("A0",)).counts.sum())
+                n_rows = store.dataset.n_rows
+            expected = self.BASE_ROWS + generation * self.BATCH_ROWS
+            assert total == expected, (
+                f"torn read: generation {generation} but cube total "
+                f"{total} (expected {expected})"
+            )
+            assert n_rows == expected
+            return generation
+
+        latencies, errors, generations = self._run_hammer(read_once)
+        assert not errors, errors[:3]
+        assert store.generation == self.N_BATCHES
+        # Liveness: every absorb slept >= ABSORB_LATENCY inside the
+        # write path, yet no read came close to that.
+        assert len(latencies) > 50
+        assert max(latencies) < READ_BOUND, (
+            f"reader blocked {max(latencies) * 1000:.1f} ms during a "
+            f"{ABSORB_LATENCY * 1000:.0f} ms absorb"
+        )
+        # The readers genuinely overlapped the writer (saw >1 world).
+        assert len(generations) > 1
+
+    def test_planes_are_mutually_consistent_without_pinning(self):
+        """A single planes() call resolves against one snapshot even
+        with no explicit pin — all returned cubes agree."""
+        schema = full_schema(5)
+        store = CubeStore(dense_dataset(schema, 1, self.BASE_ROWS))
+        store.precompute()
+        batches = [
+            dense_dataset(schema, 200 + i, self.BATCH_ROWS)
+            for i in range(self.N_BATCHES)
+        ]
+
+        def writer_steps():
+            for batch in batches:
+                store.absorb(batch)
+                time.sleep(0.01)  # let readers interleave the swaps
+                yield
+
+        self._writer_steps = writer_steps
+
+        keys = [("A0",), ("A1",), ("A0", "A1"), ("A2", "A3")]
+
+        def read_once():
+            cubes = store.planes(keys)
+            totals = {int(c.counts.sum()) for c in cubes}
+            assert len(totals) == 1, f"torn planes batch: {totals}"
+            total = totals.pop()
+            generation = (
+                total - self.BASE_ROWS
+            ) // self.BATCH_ROWS
+            assert total == self.BASE_ROWS + generation * self.BATCH_ROWS
+            return generation
+
+        latencies, errors, generations = self._run_hammer(read_once)
+        assert not errors, errors[:3]
+        assert len(generations) > 1
+
+    def test_engine_compares_never_wait_on_ingest(self):
+        """The engine read path has no write lock left: comparisons
+        keep their latency while a latency-faulted absorb runs."""
+        schema = full_schema(6)
+        base = dense_dataset(schema, 2, self.BASE_ROWS)
+        store = CubeStore(base)
+        store.precompute()
+        batches = [
+            dense_dataset(schema, 300 + i, self.BATCH_ROWS)
+            for i in range(self.N_BATCHES)
+        ]
+        rows = [
+            [list(b.row(i)) for i in range(b.n_rows)] for b in batches
+        ]
+        # cache_size=0: every compare recomputes, so reads exercise
+        # the full pinned-snapshot compute path, not the LRU.
+        with ComparisonEngine(
+            ServiceConfig(workers=2, cache_size=0)
+        ) as engine:
+            engine.add_store(store)
+
+            def writer_steps():
+                with slow_absorb_plan().installed():
+                    for batch_rows in rows:
+                        engine.ingest(batch_rows)
+                        yield
+
+            self._writer_steps = writer_steps
+
+            def read_once():
+                outcome = engine.compare(
+                    "A0", "v0", "v1", "yes", deadline_ms=None
+                )
+                return outcome.generation
+
+            latencies, errors, generations = self._run_hammer(
+                read_once
+            )
+        assert not errors, errors[:3]
+        assert engine.generation() == self.N_BATCHES
+        assert len(latencies) > 20
+        assert max(latencies) < READ_BOUND, (
+            f"comparison blocked {max(latencies) * 1000:.1f} ms "
+            f"behind a {ABSORB_LATENCY * 1000:.0f} ms absorb"
+        )
+        assert len(generations) > 1
+
+
+class TestDifferential:
+    """Snapshot-absorb == rebuild-from-concatenated-data, bit-exact,
+    across 50 random schemas, batch sizes and missing-value patterns."""
+
+    @staticmethod
+    def random_batch(rng, schema, n) -> Dataset:
+        # Codes start at -1: missing values land in both condition
+        # and class columns, stressing the overflow-bin delta path.
+        columns = {
+            attr.name: rng.integers(-1, attr.arity, n)
+            for attr in schema
+        }
+        return Dataset.from_columns(schema, columns)
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_absorb_equals_full_rebuild(self, seed):
+        rng = np.random.default_rng(seed)
+        n_attrs = int(rng.integers(2, 5))
+        attrs = [
+            Attribute(
+                f"A{i}",
+                values=tuple(
+                    f"v{j}" for j in range(int(rng.integers(2, 5)))
+                ),
+            )
+            for i in range(n_attrs)
+        ]
+        attrs.append(
+            Attribute(
+                "C",
+                values=tuple(
+                    f"c{j}" for j in range(int(rng.integers(2, 4)))
+                ),
+            )
+        )
+        schema = Schema(attrs, class_attribute="C")
+
+        base = self.random_batch(rng, schema, 150)
+        store = CubeStore(base)
+        store.precompute()
+        store.cube(())  # the class cube rides along too
+
+        batches = [
+            self.random_batch(rng, schema, int(rng.integers(1, 60)))
+            for _ in range(3)
+        ]
+        combined = base
+        for batch in batches:
+            store.absorb(batch)
+            combined = combined.concat(batch)
+
+        fresh = CubeStore(combined)
+        fresh.precompute()
+        fresh.cube(())
+
+        absorbed = store.cached_items()
+        rebuilt = fresh.cached_items()
+        assert absorbed.keys() == rebuilt.keys()
+        for key, cube in rebuilt.items():
+            counts = absorbed[key].counts
+            assert counts.dtype == cube.counts.dtype
+            assert np.array_equal(counts, cube.counts), (
+                f"seed {seed}: cube {key} diverged after absorb"
+            )
+        assert store.generation == len(batches)
+        assert store.dataset.n_rows == combined.n_rows
+        # A cube built lazily *after* the absorbs is also exact.
+        lazy_key = tuple(f"A{i}" for i in range(min(n_attrs, 3)))
+        assert np.array_equal(
+            store.cube(lazy_key).counts,
+            build_cube(combined, lazy_key).counts,
+        )
+
+    def test_fanned_absorb_is_bit_exact(self):
+        """A cache big enough to cross the fan threshold produces the
+        same counts absorbed serially, via workers, and via a shared
+        executor."""
+        schema = full_schema(9)  # 9 singles + 36 pairs = 45 cubes
+        base = dense_dataset(schema, 5, 1500)
+        batch = dense_dataset(schema, 6, 400)
+
+        stores = [CubeStore(base) for _ in range(3)]
+        for s in stores:
+            s.precompute()
+            assert s.n_cached >= CubeStore.ABSORB_FAN_THRESHOLD
+
+        serial, with_workers, with_executor = stores
+        assert serial.absorb(batch) == 45
+        assert with_workers.absorb(batch, workers=4) == 45
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            assert with_executor.absorb(batch, executor=pool) == 45
+
+        reference = serial.cached_items()
+        for other in (with_workers, with_executor):
+            items = other.cached_items()
+            assert items.keys() == reference.keys()
+            for key, cube in reference.items():
+                assert np.array_equal(
+                    items[key].counts, cube.counts
+                )
+
+
+class TestCoalescer:
+    def test_concurrent_ingests_merge_into_one_absorb(self):
+        schema = full_schema(4)
+        store = CubeStore(dense_dataset(schema, 3, 1000))
+        store.precompute()
+        with ComparisonEngine(
+            ServiceConfig(workers=2, ingest_coalesce_ms=250.0)
+        ) as engine:
+            engine.add_store(store)
+            batch_rows = [
+                [list(b.row(i)) for i in range(b.n_rows)]
+                for b in (
+                    dense_dataset(schema, 400, 50),
+                    dense_dataset(schema, 401, 70),
+                    dense_dataset(schema, 402, 30),
+                )
+            ]
+            with ThreadPoolExecutor(max_workers=3) as pool:
+                outcomes = list(
+                    pool.map(engine.ingest, batch_rows)
+                )
+        # One window, one absorb, one generation bump for the burst.
+        assert {o.generation for o in outcomes} == {1}
+        assert all(o.coalesced for o in outcomes)
+        assert sorted(o.records for o in outcomes) == [30, 50, 70]
+        assert store.generation == 1
+        assert store.dataset.n_rows == 1000 + 150
+        # Counts equal the three batches' rows folded in exactly once.
+        total = int(store.cube(("A0",)).counts.sum())
+        assert total == 1150
+
+    def test_lone_ingest_is_not_marked_coalesced(self):
+        schema = full_schema(3)
+        store = CubeStore(dense_dataset(schema, 4, 500))
+        store.precompute()
+        with ComparisonEngine(
+            ServiceConfig(workers=2, ingest_coalesce_ms=10.0)
+        ) as engine:
+            engine.add_store(store)
+            batch = dense_dataset(schema, 500, 20)
+            rows = [list(batch.row(i)) for i in range(batch.n_rows)]
+            outcome = engine.ingest(rows)
+        assert outcome.coalesced is False
+        assert outcome.generation == 1
+        assert outcome.records == 20

@@ -18,6 +18,7 @@ against live engines and HTTP servers:
 from __future__ import annotations
 
 import json
+import threading
 import time
 import urllib.error
 import urllib.request
@@ -38,6 +39,7 @@ from repro.testing import FaultInjected, FaultPlan, FaultRule
 from repro.testing.sites import (
     SITE_ENGINE_COMPARE,
     SITE_HTTP_HANDLER,
+    SITE_STORE_ABSORB,
     SITE_STORE_CUBE,
     active_plans,
 )
@@ -608,3 +610,135 @@ class TestBatchScreenUnderFaults:
         assert all(
             f.error == "FaultInjected" for f in outcome.failures
         )
+
+
+class TestIngestUnderFaults:
+    """Faults inside the off-lock absorb path: because the store is
+    copy-on-write, a failed absorb must leave the serving state —
+    snapshot, generation, cached results — exactly as it was."""
+
+    def make_rows(self, seed: int, n: int):
+        batch = make_data(seed=seed, n_records=n)
+        return [list(batch.row(i)) for i in range(batch.n_rows)]
+
+    def test_absorb_fault_leaves_store_untouched(self):
+        store = CubeStore(make_data())
+        store.precompute()
+        engine = ComparisonEngine(
+            ServiceConfig(workers=2, cache_size=32)
+        )
+        engine.add_store(store)
+        plan = FaultPlan(
+            [FaultRule(SITE_STORE_ABSORB, probability=1.0,
+                       max_triggers=1)],
+            seed=3,
+        )
+        with engine:
+            before = engine.compare(
+                "PhoneModel", "ph1", "ph2", "dropped"
+            )
+            cubes_before = store.cached_items()
+            rows = self.make_rows(99, 400)
+            with plan.installed():
+                with pytest.raises(FaultInjected):
+                    engine.ingest(rows)
+                assert plan.triggers(SITE_STORE_ABSORB) == 1
+                # Nothing moved: same generation, same cubes, and the
+                # cached result is still served.
+                assert store.generation == 0
+                assert store.dataset.n_rows == 6000
+                assert store.cached_items() == cubes_before
+                after = engine.compare(
+                    "PhoneModel", "ph1", "ph2", "dropped"
+                )
+                assert after.cache_hit is True
+                assert after.generation == 0
+                # The fault window has passed (max_triggers=1): the
+                # retry succeeds and lands the whole batch.
+                outcome = engine.ingest(rows)
+            assert outcome.generation == 1
+            assert store.dataset.n_rows == 6400
+            retried = engine.compare(
+                "PhoneModel", "ph1", "ph2", "dropped"
+            )
+            assert retried.cache_hit is False
+            assert retried.result.sup_good >= before.result.sup_good
+
+    def test_absorb_fault_over_http_keeps_error_contract(self):
+        store = CubeStore(make_data())
+        store.precompute()
+        engine = ComparisonEngine(
+            ServiceConfig(workers=2, cache_size=0)
+        )
+        engine.add_store(store)
+        server = ComparisonHTTPServer(engine, port=0).start_background()
+        plan = FaultPlan(
+            [FaultRule(SITE_STORE_ABSORB, probability=1.0)], seed=5
+        )
+        try:
+            rows = self.make_rows(7, 50)
+            with plan.installed():
+                status, _, text = http_call(
+                    server.url + "/ingest", {"rows": rows}
+                )
+            assert status == 500
+            assert "Traceback" not in text
+            assert "FaultInjected" not in text
+            payload = json.loads(text)
+            assert payload["error"]
+            # The store still serves and is still at generation 0.
+            status, _, text = http_call(
+                server.url + "/compare", COMPARE
+            )
+            assert status == 200
+            assert json.loads(text)["generation"] == 0
+        finally:
+            server.stop()
+            engine.shutdown()
+
+    def test_readers_survive_concurrent_faulted_absorbs(self):
+        """A 30%-failure absorb stream never perturbs concurrent
+        reads: every comparison succeeds and every surviving absorb
+        lands exactly once."""
+        store = CubeStore(make_data())
+        store.precompute()
+        engine = ComparisonEngine(
+            ServiceConfig(workers=2, cache_size=0)
+        )
+        engine.add_store(store)
+        plan = FaultPlan(
+            [FaultRule(SITE_STORE_ABSORB, probability=0.3)], seed=17
+        )
+        batches = [self.make_rows(40 + i, 100) for i in range(10)]
+        landed = []
+        errors = []
+
+        def writer():
+            for rows in batches:
+                try:
+                    landed.append(engine.ingest(rows).generation)
+                except FaultInjected:
+                    pass
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+        with engine, plan.installed():
+            thread = threading.Thread(target=writer)
+            thread.start()
+            compare_errors = []
+            while thread.is_alive():
+                try:
+                    engine.compare(
+                        "PhoneModel", "ph1", "ph2", "dropped"
+                    )
+                except Exception as exc:  # pragma: no cover
+                    compare_errors.append(exc)
+            thread.join()
+        assert not errors
+        assert not compare_errors
+        survived = len(landed)
+        assert plan.triggers(SITE_STORE_ABSORB) == 10 - survived
+        assert 0 < survived < 10  # the chaos actually bit
+        assert store.generation == survived
+        assert landed == list(range(1, survived + 1))
+        assert store.dataset.n_rows == 6000 + 100 * survived

@@ -158,6 +158,26 @@ class TestEndpoints:
         assert after["generation"] == 1
         assert after["sup_good"] > before["sup_good"]
 
+    def test_zero_row_ingest_is_a_noop(self, service):
+        """An empty batch must not bump the generation or evict the
+        warm result cache."""
+        url, _, _ = service
+        _, before = http_post(url + "/compare", COMPARE)
+        status, outcome = http_post(url + "/ingest", {"rows": []})
+        assert status == 200
+        assert outcome.pop("request_id")
+        assert outcome == {
+            "store": "default",
+            "records": 0,
+            "cubes_updated": 0,
+            "generation": 0,
+            "coalesced": False,
+        }
+        _, after = http_post(url + "/compare", COMPARE)
+        assert after["cached"] is True
+        assert after["generation"] == 0
+        assert after["sup_good"] == before["sup_good"]
+
 
 class TestErrorContract:
     def test_unknown_attribute_is_400(self, service):

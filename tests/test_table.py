@@ -4,11 +4,13 @@ import numpy as np
 import pytest
 
 from repro.dataset import (
+    AppendBuffer,
     Attribute,
     Dataset,
     DatasetError,
     MISSING,
     Schema,
+    SchemaError,
 )
 
 
@@ -243,3 +245,126 @@ class TestStatistics:
 
     def test_repr(self):
         assert "5 rows" in repr(make_dataset())
+
+
+class TestFromRowsVectorised:
+    """Edge cases of the columnar (vectorised) row encoder."""
+
+    def test_none_is_missing_everywhere(self):
+        schema = make_schema()
+        ds = Dataset.from_rows(
+            schema, [(None, None, "yes"), ("x", 1.0, "no")]
+        )
+        assert ds.column("A").tolist() == [MISSING, 0]
+        assert np.isnan(ds.column("B")[0])
+        assert ds.column("B")[1] == 1.0
+
+    def test_unknown_categorical_value_rejected(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError, match="not in the domain"):
+            Dataset.from_rows(schema, [("zebra", 1.0, "yes")])
+
+    def test_non_numeric_continuous_rejected(self):
+        schema = make_schema()
+        with pytest.raises(ValueError, match="tall"):
+            Dataset.from_rows(schema, [("x", "tall", "yes")])
+
+    def test_generator_input(self):
+        schema = make_schema()
+        rows = (("x", float(i), "yes") for i in range(4))
+        ds = Dataset.from_rows(schema, rows)
+        assert ds.n_rows == 4
+        assert ds.column("B").tolist() == [0.0, 1.0, 2.0, 3.0]
+
+    def test_matches_row_by_row_round_trip(self):
+        original = make_dataset()
+        rows = list(original.iter_rows())
+        again = Dataset.from_rows(original.schema, rows)
+        for name in ("A", "C"):
+            assert np.array_equal(
+                again.column(name), original.column(name)
+            )
+        assert np.array_equal(
+            np.isnan(again.column("B")), np.isnan(original.column("B"))
+        )
+
+
+class TestAppendBuffer:
+    def batch(self, values):
+        schema = make_schema()
+        return Dataset.from_columns(
+            schema,
+            {
+                "A": np.array([v % 2 for v in values]),
+                "B": np.array([float(v) for v in values]),
+                "C": np.array([v % 2 for v in values]),
+            },
+        )
+
+    def test_starts_as_the_seed_dataset(self):
+        seed = make_dataset()
+        buf = AppendBuffer(seed)
+        assert len(buf) == 5
+        assert buf.dataset is seed  # no copy until the first append
+
+    def test_append_extends_and_preserves_order(self):
+        buf = AppendBuffer(make_dataset())
+        ds = buf.append(self.batch([7, 8, 9]))
+        assert ds.n_rows == 8
+        assert ds.column("B").tolist()[-3:] == [7.0, 8.0, 9.0]
+
+    def test_snapshots_are_isolated(self):
+        """Earlier returned datasets never see later appends."""
+        buf = AppendBuffer(make_dataset())
+        first = buf.append(self.batch([1]))
+        second = buf.append(self.batch([2, 3]))
+        assert first.n_rows == 6
+        assert second.n_rows == 8
+        assert first.column("B").tolist()[-1] == 1.0
+        assert second.column("B").tolist()[-2:] == [2.0, 3.0]
+
+    def test_snapshot_columns_are_read_only(self):
+        buf = AppendBuffer(make_dataset())
+        ds = buf.append(self.batch([1, 2]))
+        with pytest.raises(ValueError):
+            ds.column("A")[0] = 1
+
+    def test_zero_row_append_is_identity(self):
+        buf = AppendBuffer(make_dataset())
+        before = buf.dataset
+        after = buf.append(Dataset.empty(make_schema()))
+        assert after.n_rows == before.n_rows
+        assert np.array_equal(after.column("A"), before.column("A"))
+
+    def test_schema_mismatch_rejected(self):
+        buf = AppendBuffer(make_dataset())
+        other = Schema(
+            [
+                Attribute("A", values=("x", "y", "z")),
+                Attribute("B", kind="continuous"),
+                Attribute("C", values=("no", "yes")),
+            ],
+            class_attribute="C",
+        )
+        bad = Dataset.from_columns(
+            other,
+            {
+                "A": np.array([0]),
+                "B": np.array([1.0]),
+                "C": np.array([0]),
+            },
+        )
+        with pytest.raises(DatasetError, match="different schema"):
+            buf.append(bad)
+
+    def test_many_small_appends_stay_consistent(self):
+        """Growth doubling never drops or reorders rows."""
+        buf = AppendBuffer(make_dataset())
+        expected = [1.0, 2.0, 4.0, 5.0]  # non-NaN seed values
+        ds = buf.dataset
+        for i in range(200):
+            ds = buf.append(self.batch([i]))
+            expected.append(float(i))
+        assert ds.n_rows == 5 + 200
+        got = [v for v in ds.column("B").tolist() if not np.isnan(v)]
+        assert got == expected
