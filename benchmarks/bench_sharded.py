@@ -1,0 +1,175 @@
+"""Sharded serving: what does the scatter-gather merge cost?
+
+The sharded store answers every read by scattering to its shards and
+cell-wise summing the gathered count tensors — correctness is pinned
+by the differential suite; this benchmark prices it.  The fleet-screen
+path (one bulk ``planes`` read, one vectorized kernel pass) runs over
+a single :class:`CubeStore` and over 1/2/4/8-shard
+:class:`ShardedCubeStore` partitions of the same records.  Two things
+must hold:
+
+* the merge overhead is bounded — the 4-shard screen's p50 stays
+  within 1.4x the single-store p50 (the merge is numpy adds over
+  already-cached per-shard cubes; only the scatter and the sum are
+  new work);
+* the kernel time itself is unchanged — sharding reshapes where
+  counts come *from*, not what the scorer does with them.
+
+Rows land in ``BENCH_sharded.json`` via ``--json DIR``.
+"""
+
+import pytest
+
+from repro.cube import CubeStore, ShardedCubeStore
+from repro.service import ComparisonEngine, ServiceConfig, screen_fleet
+from repro.synth import CallLogConfig, generate_call_logs
+
+from _helpers import (
+    percentile,
+    print_series,
+    sample_times,
+    summarize,
+    write_bench_json,
+)
+
+SHARD_COUNTS = (1, 2, 4, 8)
+N_RECORDS = 30_000
+N_MODELS = 8
+REPEATS = 9
+
+
+def make_fleet():
+    return generate_call_logs(
+        CallLogConfig(
+            n_records=N_RECORDS,
+            n_phone_models=N_MODELS,
+            n_noise_attributes=16,
+            include_signal_strength=False,
+            seed=41,
+        )
+    )
+
+
+def make_engine(store, name):
+    # cache_size=0: repeated screens must re-read (and re-merge), so
+    # the samples price the scatter-gather path, not the result LRU.
+    engine = ComparisonEngine(ServiceConfig(workers=4, cache_size=0))
+    engine.add_store(store, name=name)
+    return engine
+
+
+def screen(engine, name):
+    return screen_fleet(
+        engine, "PhoneModel", "dropped", store=name, batch=True
+    )
+
+
+def report_dict(outcome):
+    out = {}
+    for good, bad in outcome.report.pairs:
+        d = outcome.report.result(good, bad).to_dict()
+        d.pop("elapsed_seconds")
+        out[(good, bad)] = d
+    return out
+
+
+def kernel_ms_per_screen(engine, name):
+    hist = engine.metrics.fleet_kernel_seconds
+    n = hist.count(store=name)
+    return 1000.0 * hist.sum(store=name) / n if n else 0.0
+
+
+def test_sharded_screen_overhead(json_dir):
+    """1/2/4/8 shards vs a single store on the batch fleet screen."""
+    fleet = make_fleet()
+
+    single = CubeStore(fleet)
+    single.precompute(include_pairs=True)
+    single_engine = make_engine(single, "single")
+
+    sharded_engines = {}
+    for n in SHARD_COUNTS:
+        store = ShardedCubeStore.from_dataset(fleet, n)
+        store.precompute(include_pairs=True)
+        sharded_engines[n] = make_engine(store, f"x{n}")
+
+    try:
+        reference = screen(single_engine, "single")
+        assert reference.complete
+        reference_pairs = report_dict(reference)
+
+        # Partitioning is invisible in the results at every width.
+        for n, engine in sharded_engines.items():
+            outcome = screen(engine, f"x{n}")
+            assert outcome.complete, n
+            assert report_dict(outcome) == reference_pairs, n
+
+        single_times = sample_times(
+            lambda: screen(single_engine, "single"), repeats=REPEATS
+        )
+        shard_times = {
+            n: sample_times(
+                lambda e=engine, n=n: screen(e, f"x{n}"),
+                repeats=REPEATS,
+            )
+            for n, engine in sharded_engines.items()
+        }
+
+        p50_single = percentile(single_times, 0.50)
+        p50 = {n: percentile(t, 0.50) for n, t in shard_times.items()}
+        print_series(
+            "Batch fleet screen p50 by shard count (single first)",
+            ("single",) + SHARD_COUNTS,
+            (p50_single,) + tuple(p50[n] for n in SHARD_COUNTS),
+        )
+
+        overhead = p50[4] / p50_single
+        kernel_single = kernel_ms_per_screen(single_engine, "single")
+        kernel_sharded = {
+            n: kernel_ms_per_screen(sharded_engines[n], f"x{n}")
+            for n in SHARD_COUNTS
+        }
+
+        payload = {
+            "benchmark": "batch fleet screen: single store vs "
+                         "scatter-gather sharded store",
+            "n_records": N_RECORDS,
+            "pivot_values": N_MODELS,
+            "pairs": len(reference.report.pairs),
+            "single": summarize(single_times, "single CubeStore"),
+            "sharded": {
+                str(n): summarize(shard_times[n], f"{n}-shard store")
+                for n in SHARD_COUNTS
+            },
+            "overhead_p50_4_shards": round(overhead, 3),
+            "kernel_ms_per_screen": {
+                "single": round(kernel_single, 3),
+                **{
+                    str(n): round(kernel_sharded[n], 3)
+                    for n in SHARD_COUNTS
+                },
+            },
+        }
+        path = write_bench_json(
+            json_dir, "BENCH_sharded.json", payload
+        )
+        if path:
+            print(f"wrote {path}")
+
+        # The acceptance bound: 4-way scatter-gather merges cost at
+        # most 40% over reading one store's cached cubes.
+        assert overhead <= 1.4, (
+            f"4-shard merge overhead {overhead:.2f}x exceeds 1.4x "
+            f"(single p50 {p50_single * 1000:.1f} ms, 4-shard p50 "
+            f"{p50[4] * 1000:.1f} ms)"
+        )
+        # Sharding must not change what the kernel does: its share of
+        # the screen stays in the same band.
+        assert kernel_single > 0 and kernel_sharded[4] > 0
+        assert 0.5 <= kernel_sharded[4] / kernel_single <= 2.0, (
+            kernel_single, kernel_sharded,
+        )
+    finally:
+        single_engine.shutdown()
+        for engine in sharded_engines.values():
+            engine.shutdown()

@@ -214,6 +214,21 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help=(
+            "serve the CSV through a sharded cube store with N "
+            "partitions (scatter-gather reads; default 1 = unsharded)"
+        ),
+    )
+    serve.add_argument(
+        "--shard-by", default=None, dest="shard_by", metavar="COL",
+        help=(
+            "partition (and route ingest) by this categorical "
+            "column's value instead of round-robin rows; needs "
+            "--shards > 1"
+        ),
+    )
+    serve.add_argument(
         "--no-precompute", action="store_true",
         help="skip materialising pair cubes from a CSV before serving",
     )
@@ -340,6 +355,42 @@ def _build_serve_engine(args: argparse.Namespace):
         ingest_coalesce_ms=getattr(args, "ingest_coalesce_ms", None),
     )
     engine = ComparisonEngine(config)
+    n_shards = getattr(args, "shards", 1)
+    if n_shards is None:
+        n_shards = 1
+    shard_by = getattr(args, "shard_by", None)
+    if n_shards < 1:
+        raise ValueError("--shards must be a positive integer")
+    if shard_by is not None and n_shards <= 1:
+        raise ValueError("--shard-by needs --shards > 1")
+    if n_shards > 1:
+        if not args.csv:
+            raise ValueError(
+                "--shards needs a CSV (a cube archive cannot be "
+                "re-partitioned)"
+            )
+        if args.store:
+            raise ValueError(
+                "--shards and --store are mutually exclusive (the "
+                "archive's cubes belong to one unsharded store)"
+            )
+        if not args.class_attribute:
+            raise ValueError("--class-attribute is required with a CSV")
+        from .cube.sharded import ShardedCubeStore
+
+        data = read_csv(args.csv, class_attribute=args.class_attribute)
+        store = ShardedCubeStore.from_dataset(
+            data, n_shards, shard_by=shard_by
+        )
+        if not args.no_precompute:
+            built = store.precompute(
+                workers=getattr(args, "precompute_workers", None)
+            )
+            print(
+                f"Precomputed {built} cubes across {n_shards} shards"
+            )
+        engine.add_store(store, name=args.name)
+        return engine, config, serve
     if args.csv:
         if not args.class_attribute:
             raise ValueError("--class-attribute is required with a CSV")

@@ -268,6 +268,118 @@ class Comparator:
             detail_level=detail_level,
         )
 
+    def compare_across(
+        self,
+        other_store: CubeStore,
+        pivot_attribute: str,
+        value_a: str,
+        value_b: str,
+        target_class: str,
+        attributes: Optional[Sequence[str]] = None,
+    ) -> ComparisonResult:
+        """Compare a sub-population of this store against one of another.
+
+        The paper's §V.C scenario: the two compared sub-populations
+        live in *different data sets* — this month's fleet vs last
+        month's.  ``D_a`` is this store's rows with
+        ``pivot = value_a``; ``D_b`` is ``other_store``'s rows with
+        ``pivot = value_b``.  Because both stores' cubes count the
+        same schema, the result is bit-identical to
+        :func:`compare_from_data` run on the concatenation of the two
+        slices (the differential suite asserts it) — the cube path
+        just never materialises that concatenation.
+
+        ``value_a == value_b`` is *allowed* when the stores differ
+        (the month-over-month question is "same phone, did it get
+        worse?"); it stays an error against a single store, where the
+        two sides would be the same population.  Orientation follows
+        :meth:`compare`: whichever (store, value) side shows the
+        higher target-class confidence plays the bad population, so
+        ``swapped`` records when ``other_store`` holds the good side.
+
+        Either store may be a
+        :class:`~repro.cube.sharded.ShardedCubeStore` — its planes
+        arrive pre-merged through the same overflow-checked
+        :func:`~repro.cube.sharded.merge_count_tensors` path the
+        shard gather uses.
+        """
+        started = time.perf_counter()
+        schema = self._store.dataset.schema
+        if other_store.dataset.schema != schema:
+            raise ComparatorError(
+                "cross-store comparison requires both stores to share "
+                "one schema"
+            )
+        pivot = schema[pivot_attribute]
+        if pivot_attribute == schema.class_name:
+            raise ComparatorError(
+                "the class attribute cannot be the comparison pivot"
+            )
+        if value_a == value_b and other_store is self._store:
+            raise ComparatorError(
+                "the two compared values must be different when both "
+                "sides read the same store"
+            )
+        class_attr = schema.class_attribute
+        target_code = class_attr.code_of(target_class)
+        code_a = pivot.code_of(value_a)
+        code_b = pivot.code_of(value_b)
+
+        counts_a = self._store.single_cube(pivot_attribute).counts
+        counts_b = other_store.single_cube(pivot_attribute).counts
+        n_a = int(counts_a[code_a].sum())
+        n_b = int(counts_b[code_b].sum())
+        if n_a < self._min_support_count or n_b < self._min_support_count:
+            raise ComparatorError(
+                f"pivot sub-populations too small for meaningful "
+                f"analysis ({value_a}: {n_a} records, {value_b}: {n_b} "
+                f"records; minimum {self._min_support_count})"
+            )
+        cf_a = counts_a[code_a, target_code] / n_a
+        cf_b = counts_b[code_b, target_code] / n_b
+
+        swapped = cf_a > cf_b
+        if swapped:
+            value_good, value_bad = value_b, value_a
+            cf_good, cf_bad = cf_b, cf_a
+            sup_good, sup_bad = n_b, n_a
+        else:
+            value_good, value_bad = value_a, value_b
+            cf_good, cf_bad = cf_a, cf_b
+            sup_good, sup_bad = n_a, n_b
+
+        attributes = self._candidates(pivot_attribute, attributes)
+        cubes_a = self._fetch_cubes(pivot_attribute, attributes)
+        cubes_b = self._fetch_cubes(
+            pivot_attribute, attributes, store=other_store
+        )
+        pairs = []
+        for cube_a, cube_b in zip(cubes_a, cubes_b):
+            plane_a = self._pivot_slice(cube_a, pivot_attribute, code_a)
+            plane_b = self._pivot_slice(cube_b, pivot_attribute, code_b)
+            pairs.append(
+                (plane_b, plane_a) if swapped else (plane_a, plane_b)
+            )
+        ranked, properties, detail_level = self._rank_pairs(
+            attributes, pairs, schema, target_code,
+            float(cf_good), float(cf_bad),
+        )
+        return ComparisonResult(
+            pivot_attribute=pivot_attribute,
+            value_good=value_good,
+            value_bad=value_bad,
+            swapped=swapped,
+            target_class=target_class,
+            cf_good=float(cf_good),
+            cf_bad=float(cf_bad),
+            sup_good=sup_good,
+            sup_bad=sup_bad,
+            ranked=ranked,
+            property_attributes=properties,
+            elapsed_seconds=time.perf_counter() - started,
+            detail_level=detail_level,
+        )
+
     def compare_vs_rest(
         self,
         pivot_attribute: str,
@@ -531,7 +643,10 @@ class Comparator:
         return list(attributes)
 
     def _fetch_cubes(
-        self, pivot_attribute: str, attributes: Sequence[str]
+        self,
+        pivot_attribute: str,
+        attributes: Sequence[str],
+        store: Optional[CubeStore] = None,
     ) -> List[RuleCube]:
         """All ``(pivot, A_i)`` cubes, in canonical axis order.
 
@@ -542,30 +657,48 @@ class Comparator:
         acquisition when warm); the reference back end keeps the
         historical cube-by-cube reads.  Both produce the same
         ``store.cube`` fault-site trip sequence.
+
+        ``store`` overrides the comparator's own store — this is how
+        :meth:`compare_across` reads the second side's cubes through
+        the identical fetch path (and trip sequence).
         """
+        if store is None:
+            store = self._store
         keys = [
             tuple(sorted((pivot_attribute, name)))
             for name in attributes
         ]
         if self._scoring == "batched":
-            return self._store.planes(keys)
+            return store.planes(keys)
         with span("store.cubes", cubes=len(keys)):
-            return [self._store.cube(key) for key in keys]
+            return [store.cube(key) for key in keys]
 
     @staticmethod
+    def _pivot_slice(
+        cube: RuleCube, pivot_attribute: str, code: int
+    ) -> np.ndarray:
+        """One ``(|A_i|, |C|)`` count plane at a pivot code, indexed
+        directly on whichever axis the pivot occupies — no transpose,
+        no copy."""
+        counts = cube.counts
+        if cube.axis_of(pivot_attribute) == 0:
+            return counts[code]
+        return counts[:, code]
+
+    @classmethod
     def _pivot_slices(
+        cls,
         cube: RuleCube,
         pivot_attribute: str,
         code_good: int,
         code_bad: int,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """The two ``(|A_i|, |C|)`` count planes at the pivot codes,
-        indexed directly on whichever axis the pivot occupies — no
-        transpose, no copy."""
-        counts = cube.counts
-        if cube.axis_of(pivot_attribute) == 0:
-            return counts[code_good], counts[code_bad]
-        return counts[:, code_good], counts[:, code_bad]
+        """The good and bad count planes of one cube (see
+        :meth:`_pivot_slice`)."""
+        return (
+            cls._pivot_slice(cube, pivot_attribute, code_good),
+            cls._pivot_slice(cube, pivot_attribute, code_bad),
+        )
 
     def _rank_pairs(
         self,

@@ -17,6 +17,14 @@ from .builder import (
 )
 from .olap import dice_cube, drill_down, rollup, slice_cube
 from .store import CubeStore
+from .sharded import (
+    ShardReadError,
+    ShardedCubeStore,
+    merge_count_tensors,
+    merge_cubes,
+    shard_by_column,
+    shard_rows,
+)
 from .persist import load_cubes, load_store_cubes, save_cubes
 
 __all__ = [
@@ -32,6 +40,12 @@ __all__ = [
     "rollup",
     "drill_down",
     "CubeStore",
+    "ShardedCubeStore",
+    "ShardReadError",
+    "merge_count_tensors",
+    "merge_cubes",
+    "shard_rows",
+    "shard_by_column",
     "save_cubes",
     "load_cubes",
     "load_store_cubes",

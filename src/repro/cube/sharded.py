@@ -1,0 +1,674 @@
+"""Sharded cube store: scatter-gather reads over partitioned counts.
+
+The paper's deployment target is 200 GB of call logs *per month* —
+no single in-memory :class:`~repro.cube.store.CubeStore` holds a year
+of that.  But rule-cube cells are additive ``GROUP BY`` counts, so a
+cube over the whole fleet is exactly the cell-wise sum of the same
+cube over any partition of the rows:
+
+    ``count_D(cell) = sum_s count_{D_s}(cell)``    for D = ⊎ D_s.
+
+:class:`ShardedCubeStore` exploits that identity.  It implements the
+store *read* API (``cube``, ``planes``, ``class_distribution_cube``,
+``pinned``, ``generation``) over N inner :class:`CubeStore` shards by
+scattering each read across a worker pool, gathering the per-shard
+count tensors, and merging them — dtype-widened and overflow-checked
+(:func:`merge_count_tensors`) — before anything downstream scores
+them.  The comparator, the batched kernel and the fleet screen consume
+it unchanged: they only ever see ordinary :class:`RuleCube` objects.
+
+Consistency model — vector-clock snapshots
+------------------------------------------
+
+Each shard keeps its own copy-on-write snapshot discipline; the
+sharded store's unit of consistency is a :class:`_ShardedSnapshot`, a
+tuple holding *one immutable snapshot per shard*, captured in shard
+order on the reading thread.  ``generation`` is therefore a **vector
+clock** ``(g_0, ..., g_{n-1})``, one component per shard; an absorb
+routed to shard *k* bumps only ``g_k``.  Because scatter tasks re-pin
+each worker-pool thread to the captured per-shard snapshot
+(:meth:`CubeStore.pinned_to`), a read that straddles a concurrent
+absorb still resolves every shard against the snapshot captured at
+entry: the generation vector a ``pinned()`` block reports can never be
+torn, by construction rather than by locking.
+
+Pool ownership — the scatter pool is the store's *own*
+``ThreadPoolExecutor`` (one thread per shard), not the engine's
+compare pool.  Comparisons already run *on* the engine pool; if shard
+reads queued behind them on the same bounded pool, a pool-full moment
+would deadlock (every worker blocked gathering reads that can never be
+scheduled).  A dedicated pool bounded by the shard count keeps the
+fan-out fixed and the two layers composable.
+
+Failure model — a shard read that dies with an infrastructure error
+(injected via the ``shard.read`` fault site, or a real failure inside
+the inner store) surfaces as a typed :class:`ShardReadError` naming
+the shard, which the service layer maps to a 503 partial-failure
+response and a breaker trip — never a traceback, and never a silently
+merged partial count.  Domain errors (unknown attribute, budget
+exceeded) propagate unchanged: they would fail identically on every
+shard and are the *caller's* fault, not a shard's.
+
+Cross-store comparison (paper §V.C, "this month vs last month")
+reuses :func:`merge_count_tensors` deliberately: whether counts are
+merged across shards of one store or compared across two stores, it
+is the same widen-check-sum code path, tested once.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Executor, Future, ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from ..dataset.schema import Schema
+from ..dataset.table import Dataset
+from ..service.tracing import current_span, current_trace, resume_trace, span
+from ..testing.sites import SITE_SHARD_READ, trip
+from .rulecube import CubeError, RuleCube
+from .store import CubeStore, _Snapshot
+
+__all__ = [
+    "ShardedCubeStore",
+    "ShardReadError",
+    "merge_count_tensors",
+    "merge_cubes",
+    "shard_rows",
+    "shard_by_column",
+]
+
+
+class ShardReadError(RuntimeError):
+    """One shard's scatter read failed; the merged result would lie.
+
+    Carries the failing shard's index so the service layer can report
+    *which* shard is sick (and chaos tests can assert it).  Derives
+    from :class:`RuntimeError`, not :class:`ValueError`: this is an
+    infrastructure failure — the request was fine — so it takes the
+    503/breaker path, not the 400 one.
+    """
+
+    def __init__(self, message: str, shard: int) -> None:
+        super().__init__(message)
+        self.shard = shard
+
+
+def merge_count_tensors(arrays: Iterable[np.ndarray]) -> np.ndarray:
+    """Sum count tensors cell-wise, widened to int64, overflow-checked.
+
+    The single merge kernel behind both shard gathers and cross-store
+    comparison.  Every input is widened to ``int64`` *before* the sum
+    — narrower planted counts (e.g. ``int32`` near its max) merge
+    exactly instead of wrapping in their native dtype — and each
+    accumulation step is checked: two non-negative ``int64`` addends
+    whose true sum exceeds the type wrap to a *negative* value (the
+    true sum is below 2^64, so the wrapped bit pattern has the sign
+    bit set), which a single ``min() < 0`` scan detects.  Overflow
+    raises a typed :class:`CubeError` instead of silently corrupting
+    counts.
+    """
+    it = iter(arrays)
+    try:
+        first = next(it)
+    except StopIteration:
+        raise CubeError("cannot merge zero count tensors") from None
+    acc = np.asarray(first).astype(np.int64)  # always copy: inputs are
+    # read-only cube tensors and the accumulator is mutated in place.
+    if acc.size and acc.min() < 0:
+        raise CubeError("count tensors must be non-negative")
+    for arr in it:
+        arr = np.asarray(arr)
+        if arr.shape != acc.shape:
+            raise CubeError(
+                f"count tensor shape {arr.shape} does not match "
+                f"{acc.shape}"
+            )
+        widened = arr.astype(np.int64, copy=False)
+        if widened.size and widened.min() < 0:
+            raise CubeError("count tensors must be non-negative")
+        acc += widened
+        if acc.size and acc.min() < 0:
+            raise CubeError(
+                "count merge overflowed int64; the merged population "
+                "is too large to count exactly"
+            )
+    return acc
+
+
+def merge_cubes(cubes: Sequence[RuleCube]) -> RuleCube:
+    """Merge same-structure cubes through :func:`merge_count_tensors`.
+
+    Unlike chained :meth:`RuleCube.merge` this widens and
+    overflow-checks (and allocates one accumulator instead of one
+    tensor per addition).  A single cube merges to itself unchanged.
+    """
+    if not cubes:
+        raise CubeError("cannot merge zero cubes")
+    head = cubes[0]
+    if len(cubes) == 1:
+        return head
+    for other in cubes[1:]:
+        if (
+            other.attributes != head.attributes
+            or other.class_attribute != head.class_attribute
+        ):
+            raise CubeError("cannot merge cubes with different structure")
+    counts = merge_count_tensors(c.counts for c in cubes)
+    return RuleCube(head.attributes, head.class_attribute, counts)
+
+
+def shard_rows(dataset: Dataset, n_shards: int) -> Tuple[Dataset, ...]:
+    """Partition rows round-robin into ``n_shards`` datasets.
+
+    Shard *i* takes rows ``i, i + n, i + 2n, ...`` — a deterministic,
+    order-preserving deal that balances shard sizes to within one row
+    whatever the input distribution looks like.
+    """
+    if n_shards < 1:
+        raise CubeError("n_shards must be positive")
+    return tuple(
+        dataset.take(np.arange(i, dataset.n_rows, n_shards))
+        for i in range(n_shards)
+    )
+
+
+def shard_by_column(
+    dataset: Dataset, column: str, n_shards: int
+) -> Tuple[Dataset, ...]:
+    """Partition rows by a categorical column's code, mod ``n_shards``.
+
+    Rows with the same value of ``column`` always land on the same
+    shard — the routing function future ingest batches use — so a
+    per-value workload (one phone model, one month) touches one shard.
+    Missing values (code −1) land on shard ``n_shards − 1``: numpy's
+    floor-mod maps −1 to ``n − 1``, deterministically.
+    """
+    if n_shards < 1:
+        raise CubeError("n_shards must be positive")
+    attr = dataset.schema[column]  # raises on unknown names
+    if not attr.is_categorical:
+        raise CubeError(
+            f"shard column {column!r} is continuous; discretise first"
+        )
+    owners = dataset.column(column) % n_shards
+    return tuple(
+        dataset.take(np.flatnonzero(owners == i)) for i in range(n_shards)
+    )
+
+
+class _ShardedSnapshot:
+    """One immutable per-shard snapshot vector.
+
+    The sharded store's unit of consistency: every read inside one
+    ``pinned()`` block resolves each shard against the same captured
+    :class:`~repro.cube.store._Snapshot`, so the generation vector and
+    every merged cube describe one frozen world.
+    """
+
+    __slots__ = ("snapshots",)
+
+    def __init__(self, snapshots: Tuple[_Snapshot, ...]) -> None:
+        self.snapshots = snapshots
+
+    @property
+    def generation(self) -> Tuple[int, ...]:
+        return tuple(s.generation for s in self.snapshots)
+
+    @property
+    def n_rows(self) -> int:
+        return sum(s.dataset.n_rows for s in self.snapshots)
+
+
+class _DatasetFacade:
+    """The slice of the ``Dataset`` API store consumers actually use.
+
+    The comparator needs ``.schema`` (to resolve pivots and candidate
+    attributes) and the service layer needs ``.n_rows``; materialising
+    a concatenated dataset would defeat the point of sharding, so the
+    facade answers both from the snapshot vector without copying a
+    row.  Anything needing the raw rows must go to the shards.
+    """
+
+    __slots__ = ("schema", "n_rows")
+
+    def __init__(self, schema: Schema, n_rows: int) -> None:
+        self.schema = schema
+        self.n_rows = n_rows
+
+
+class ShardedCubeStore:
+    """N cube stores behind the one-store read API.
+
+    Parameters
+    ----------
+    shards:
+        The inner :class:`CubeStore` objects.  All must share one
+        schema and one condition-attribute tuple.
+    shard_by:
+        The routing column for :meth:`absorb`, or ``None`` for
+        row-balanced routing (each batch lands whole on the currently
+        smallest shard).  Must match how the data was partitioned
+        (:func:`shard_by_column` / :func:`shard_rows`) or per-value
+        locality is lost — correctness never depends on it, because
+        counts are additive under *any* partition.
+    executor:
+        Scatter pool override; defaults to a dedicated pool with one
+        thread per shard (see the module docstring for why the engine
+        pool is not reused).
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[CubeStore],
+        shard_by: Optional[str] = None,
+        executor: Optional[Executor] = None,
+    ) -> None:
+        if not shards:
+            raise CubeError("a sharded store needs at least one shard")
+        shards = tuple(shards)
+        schema = shards[0].dataset.schema
+        attributes = shards[0].attributes
+        for i, shard in enumerate(shards[1:], start=1):
+            if shard.dataset.schema != schema:
+                raise CubeError(
+                    f"shard {i} schema does not match shard 0"
+                )
+            if shard.attributes != attributes:
+                raise CubeError(
+                    f"shard {i} attributes do not match shard 0"
+                )
+        self._shards = shards
+        self._schema = schema
+        if shard_by is not None:
+            attr = schema[shard_by]
+            if not attr.is_categorical:
+                raise CubeError(
+                    f"shard column {shard_by!r} is continuous"
+                )
+        self._shard_by = shard_by
+        self._pool = executor or ThreadPoolExecutor(
+            max_workers=len(shards), thread_name_prefix="repro-shard"
+        )
+        self._owns_pool = executor is None
+        # Serialises absorbs: least-loaded routing reads shard sizes
+        # and must not race another routing decision.
+        self._write_lock = threading.Lock()
+        # Per-thread pinned snapshot vector (mirrors CubeStore).
+        self._local = threading.local()
+        self._metrics = None
+        self._metrics_store = ""
+
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset: Dataset,
+        n_shards: int,
+        shard_by: Optional[str] = None,
+        attributes: Optional[Sequence[str]] = None,
+        max_cells: Optional[int] = CubeStore.DEFAULT_MAX_CELLS,
+        executor: Optional[Executor] = None,
+    ) -> "ShardedCubeStore":
+        """Partition ``dataset`` and build one :class:`CubeStore` each.
+
+        Row-partitioned (round-robin) by default; with ``shard_by``
+        the named column's code routes rows (and future ingest) to
+        shards.
+        """
+        if shard_by is None:
+            parts = shard_rows(dataset, n_shards)
+        else:
+            parts = shard_by_column(dataset, shard_by, n_shards)
+        stores = tuple(
+            CubeStore(part, attributes=attributes, max_cells=max_cells)
+            for part in parts
+        )
+        return cls(stores, shard_by=shard_by, executor=executor)
+
+    # ------------------------------------------------------------------
+    # Snapshot access
+    # ------------------------------------------------------------------
+
+    def _capture(self) -> _ShardedSnapshot:
+        """The thread's pinned snapshot vector, or a fresh capture.
+
+        A fresh capture reads each shard's live snapshot reference in
+        shard order — each component is internally consistent; the
+        vector as a whole is the consistency unit only under
+        :meth:`pinned` (exactly the single-store contract, where one
+        unpinned read is self-consistent but a *sequence* needs the
+        pin).
+        """
+        pinned = getattr(self._local, "snapshot", None)
+        if pinned is not None:
+            return pinned
+        return _ShardedSnapshot(
+            tuple(s.current_snapshot() for s in self._shards)
+        )
+
+    @contextmanager
+    def pinned(self) -> Iterator[_ShardedSnapshot]:
+        """Pin the calling thread to one snapshot vector.
+
+        Every read inside the block — including its scattered parts on
+        the pool threads — resolves against the same per-shard
+        snapshots, so concurrent absorbs on any shard are invisible
+        and the generation vector cannot be torn.  Nested pins keep
+        the outermost vector.
+        """
+        previous = getattr(self._local, "snapshot", None)
+        snapshot = previous if previous is not None else self._capture()
+        self._local.snapshot = snapshot
+        try:
+            yield snapshot
+        finally:
+            self._local.snapshot = previous
+
+    @property
+    def dataset(self) -> _DatasetFacade:
+        """Schema and total row count of the current snapshot vector.
+
+        A facade, not a :class:`Dataset`: consumers of the store read
+        API only use ``.schema`` and ``.n_rows``, and concatenating
+        shard rows to answer those would defeat the sharding.
+        """
+        snapshot = self._capture()
+        return _DatasetFacade(self._schema, snapshot.n_rows)
+
+    @property
+    def generation(self) -> Tuple[int, ...]:
+        """Vector clock: one generation component per shard."""
+        return self._capture().generation
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """Condition attributes (identical across shards)."""
+        return self._shards[0].attributes
+
+    @property
+    def shards(self) -> Tuple[CubeStore, ...]:
+        """The inner stores, in shard order."""
+        return self._shards
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def n_cached(self) -> int:
+        """Total cubes materialised across shards."""
+        return sum(s.n_cached for s in self._shards)
+
+    @property
+    def shard_by(self) -> Optional[str]:
+        """The ingest-routing column, or ``None`` for row balancing."""
+        return self._shard_by
+
+    def bind_metrics(self, metrics: object, store_name: str) -> None:
+        """Attach a metrics panel so reads record fan-out and merge time.
+
+        Called by the engine when the store is registered; duck-typed
+        (the cube layer must stay importable without the service
+        stack), so ``metrics`` only needs ``shard_fanout`` /
+        ``shard_merge_seconds`` histogram attributes.
+        """
+        self._metrics = metrics
+        self._metrics_store = store_name
+
+    # ------------------------------------------------------------------
+    # Scatter-gather reads
+    # ------------------------------------------------------------------
+
+    def _shard_planes(
+        self,
+        index: int,
+        snapshot: _Snapshot,
+        keys: Sequence[Tuple[str, ...]],
+        trace: object,
+        parent_span: object,
+    ) -> List[RuleCube]:
+        """One shard's slice of a scatter: runs on a pool thread.
+
+        Re-pins the worker thread to the snapshot captured on the
+        calling thread (``pinned()`` is per-thread and does not
+        propagate into pools) and resumes the caller's trace so the
+        shard's cube builds nest under the scatter span.  Declared
+        fault site ``shard.read``: a chaos plan can slow or kill any
+        single shard's read here.
+        """
+        shard = self._shards[index]
+        with resume_trace(trace, parent_span):
+            trip(
+                SITE_SHARD_READ,
+                shard=index,
+                n_shards=len(self._shards),
+                cubes=len(keys),
+            )
+            with shard.pinned_to(snapshot):
+                return shard.planes(keys)
+
+    def _scatter(
+        self, keys: Sequence[Tuple[str, ...]]
+    ) -> List[List[RuleCube]]:
+        """Scatter ``planes(keys)`` to every shard and gather in order.
+
+        Failures gather deterministically: shards are awaited in shard
+        order and the first infrastructure failure wraps into
+        :class:`ShardReadError` naming its shard.  Domain errors
+        (:class:`ValueError` / :class:`KeyError`, e.g. an unknown
+        attribute) re-raise unchanged — every shard shares the schema,
+        so these are request faults, not shard faults.
+        """
+        snapshot = self._capture()
+        trace = current_trace()
+        parent = current_span() if trace is not None else None
+        with span(
+            "shard.scatter", shards=len(self._shards), cubes=len(keys)
+        ):
+            futures: List[Future] = [
+                self._pool.submit(
+                    self._shard_planes, i, snap, keys, trace, parent
+                )
+                for i, snap in enumerate(snapshot.snapshots)
+            ]
+            gathered: List[List[RuleCube]] = []
+            first_error: Optional[BaseException] = None
+            error_shard = -1
+            for i, future in enumerate(futures):
+                try:
+                    gathered.append(future.result())
+                except (ValueError, KeyError):
+                    raise
+                except Exception as exc:
+                    if first_error is None:
+                        first_error = exc
+                        error_shard = i
+            if first_error is not None:
+                raise ShardReadError(
+                    f"shard {error_shard}/{len(self._shards)} read "
+                    f"failed ({type(first_error).__name__}): "
+                    f"{first_error}",
+                    shard=error_shard,
+                ) from first_error
+        if self._metrics is not None:
+            self._metrics.shard_fanout.observe(
+                len(self._shards), store=self._metrics_store
+            )
+        return gathered
+
+    def planes(self, keys: Sequence[Sequence[str]]) -> List[RuleCube]:
+        """Bulk cube read, scatter-gathered and merged per key.
+
+        Same contract as :meth:`CubeStore.planes`: cubes come back in
+        canonical (sorted) axis order, one per requested key, all
+        resolved against one snapshot vector.  Merged cubes are not
+        cached here — each shard caches its own partial, the merge is
+        the price of a sharded read (measured by
+        ``repro_shard_merge_seconds`` and bounded by the bench), and
+        the engine's result LRU already absorbs repeat requests.
+        """
+        key_tuples = [tuple(key) for key in keys]
+        gathered = self._scatter(key_tuples)
+        if len(self._shards) == 1:
+            return gathered[0]
+        started = time.perf_counter()
+        with span(
+            "shard.merge", shards=len(gathered), cubes=len(key_tuples)
+        ):
+            merged = [
+                merge_cubes([per_shard[k] for per_shard in gathered])
+                for k in range(len(key_tuples))
+            ]
+        if self._metrics is not None:
+            self._metrics.shard_merge_seconds.observe(
+                time.perf_counter() - started, store=self._metrics_store
+            )
+        return merged
+
+    def cube(self, attributes: Sequence[str]) -> RuleCube:
+        """The merged rule cube over ``attributes`` (+ class).
+
+        Served through :meth:`planes`; a request in non-canonical axis
+        order is transposed after the merge, matching
+        :meth:`CubeStore.cube`.
+        """
+        requested = tuple(attributes)
+        merged = self.planes([requested])[0]
+        if requested != merged.names:
+            merged = merged.transpose(requested)
+        return merged
+
+    def pair_cube(self, a: str, b: str) -> RuleCube:
+        """The merged 3-dimensional cube over ``(a, b, class)``."""
+        return self.cube((a, b))
+
+    def single_cube(self, a: str) -> RuleCube:
+        """The merged 2-dimensional cube over ``(a, class)``."""
+        return self.cube((a,))
+
+    def class_distribution_cube(self) -> RuleCube:
+        """The merged class-only cube."""
+        return self.cube(())
+
+    # ------------------------------------------------------------------
+    # Precompute
+    # ------------------------------------------------------------------
+
+    def precompute(
+        self,
+        include_pairs: bool = True,
+        workers: Optional[int] = None,
+    ) -> int:
+        """Materialise every shard's cube set; returns cubes built.
+
+        Shards precompute concurrently on the scatter pool — the
+        off-line phase parallelises trivially across partitions.
+        ``workers`` is the *per-shard* build fan-out, passed through.
+        """
+        futures = [
+            self._pool.submit(
+                shard.precompute, include_pairs, workers
+            )
+            for shard in self._shards
+        ]
+        return sum(f.result() for f in futures)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def _route(self, batch: Dataset) -> List[Tuple[int, Dataset]]:
+        """Split a batch into (shard index, sub-batch) assignments.
+
+        With a routing column, rows go to ``code % n_shards`` — the
+        same function :func:`shard_by_column` used to cut the initial
+        partition, so a value's counts stay on one shard.  Without
+        one, the whole batch lands on the currently smallest shard
+        (ties to the lowest index): deterministic, and keeps
+        round-robin partitions balanced under steady ingest.
+        """
+        if self._shard_by is None:
+            sizes = [s.dataset.n_rows for s in self._shards]
+            target = sizes.index(min(sizes))
+            return [(target, batch)]
+        owners = batch.column(self._shard_by) % len(self._shards)
+        return [
+            (i, batch.select(owners == i))
+            for i in range(len(self._shards))
+            if bool((owners == i).any())
+        ]
+
+    def absorb(
+        self,
+        batch: Dataset,
+        workers: Optional[int] = None,
+        executor: Optional[Executor] = None,
+    ) -> int:
+        """Fold a batch into the owning shard(s) without blocking reads.
+
+        Routing picks the owner(s) (:meth:`_route`); each sub-batch is
+        absorbed by its shard's own copy-on-write absorb, so only the
+        owning shard's generation component bumps and readers of the
+        other shards are never touched.  Readers of the owning shard
+        see either its old snapshot or its new one — the single-store
+        guarantee, per component.
+
+        Returns the total number of cubes updated across shards.
+        """
+        if batch.n_rows == 0:
+            # Validate against shard 0 for the usual schema errors,
+            # then no-op exactly like the single store.
+            self._shards[0]._validate_batch(batch)
+            return 0
+        with self._write_lock:
+            assignments = self._route(batch)
+            updated = 0
+            for index, sub in assignments:
+                updated += self._shards[index].absorb(
+                    sub, workers=workers, executor=executor
+                )
+            return updated
+
+    def invalidate(self) -> None:
+        """Drop every shard's cached cubes."""
+        for shard in self._shards:
+            shard.invalidate()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def shard_info(self) -> List[Dict[str, object]]:
+        """Per-shard breakdown for ``GET /cubes``: one dict per shard
+        with its ``generation``, ``rows`` and ``cubes`` cached."""
+        snapshot = self._capture()
+        return [
+            {
+                "shard": i,
+                "generation": snap.generation,
+                "rows": snap.dataset.n_rows,
+                "cubes": len(snap.cache),
+            }
+            for i, snap in enumerate(snapshot.snapshots)
+        ]
+
+    def __repr__(self) -> str:
+        snapshot = self._capture()
+        routing = (
+            f"by {self._shard_by!r}" if self._shard_by else "row-balanced"
+        )
+        return (
+            f"ShardedCubeStore({len(self._shards)} shards {routing}, "
+            f"{snapshot.n_rows} rows, generation {snapshot.generation})"
+        )

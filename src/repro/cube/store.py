@@ -181,6 +181,35 @@ class CubeStore:
         finally:
             self._local.snapshot = previous
 
+    def current_snapshot(self) -> _Snapshot:
+        """The snapshot reads on this thread resolve against right now.
+
+        Respects an active :meth:`pinned` block.  The returned object
+        is immutable (dataset/generation never change; the cache only
+        gains same-dataset entries), so it can be handed to *another*
+        thread and re-pinned there with :meth:`pinned_to` — the shard
+        store's scatter phase captures one snapshot per shard on the
+        calling thread and pins each worker-pool read to it.
+        """
+        return self._current()
+
+    @contextmanager
+    def pinned_to(self, snapshot: _Snapshot) -> Iterator[_Snapshot]:
+        """Pin the calling thread to an explicitly captured snapshot.
+
+        Unlike :meth:`pinned`, which freezes whatever is current, this
+        installs a snapshot captured earlier — possibly on a different
+        thread via :meth:`current_snapshot`.  ``pinned()`` pins are
+        per-thread (``threading.local``), so they do not propagate to
+        worker-pool threads; this is the propagation mechanism.
+        """
+        previous = getattr(self._local, "snapshot", None)
+        self._local.snapshot = snapshot
+        try:
+            yield snapshot
+        finally:
+            self._local.snapshot = previous
+
     @property
     def dataset(self) -> Dataset:
         """The backing data set (of the current snapshot)."""

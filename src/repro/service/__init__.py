@@ -66,6 +66,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         CircuitBreaker,
         CompareOutcome,
         ComparisonEngine,
+        CrossCompareOutcome,
         DeadlineExceeded,
         EngineError,
         IngestOutcome,
@@ -96,6 +97,7 @@ _EXPORTS = {
     "ConfigError": "config",
     "ComparisonEngine": "engine",
     "CompareOutcome": "engine",
+    "CrossCompareOutcome": "engine",
     "BatchScreenOutcome": "engine",
     "IngestOutcome": "engine",
     "EngineError": "engine",

@@ -314,14 +314,15 @@ class ServiceClient:
 
     # -- endpoint wrappers ----------------------------------------------
 
-    def compare(
-        self,
+    @staticmethod
+    def _compare_payload(
         pivot: str,
         value_a: str,
         value_b: str,
         target_class: str,
-        budget_ms: Optional[float] = None,
-        **extra: Any,
+        store_a: Optional[str],
+        store_b: Optional[str],
+        extra: Dict[str, Any],
     ) -> Dict[str, Any]:
         payload = {
             "pivot": pivot,
@@ -330,6 +331,31 @@ class ServiceClient:
             "target_class": target_class,
             **extra,
         }
+        if store_a is not None:
+            payload["store_a"] = store_a
+        if store_b is not None:
+            payload["store_b"] = store_b
+        return payload
+
+    def compare(
+        self,
+        pivot: str,
+        value_a: str,
+        value_b: str,
+        target_class: str,
+        budget_ms: Optional[float] = None,
+        store_a: Optional[str] = None,
+        store_b: Optional[str] = None,
+        **extra: Any,
+    ) -> Dict[str, Any]:
+        """One comparison; pass ``store_a=``/``store_b=`` (both, per
+        the server contract) for a cross-store request.  Retry and
+        ``Retry-After`` semantics are :meth:`request`'s, cross-store
+        or not."""
+        payload = self._compare_payload(
+            pivot, value_a, value_b, target_class, store_a, store_b,
+            extra,
+        )
         return self.request(
             "POST", "/compare", payload, budget_ms=budget_ms
         )
@@ -341,15 +367,14 @@ class ServiceClient:
         value_b: str,
         target_class: str,
         budget_ms: Optional[float] = None,
+        store_a: Optional[str] = None,
+        store_b: Optional[str] = None,
         **extra: Any,
     ) -> Dict[str, Any]:
-        payload = {
-            "pivot": pivot,
-            "value_a": value_a,
-            "value_b": value_b,
-            "target_class": target_class,
-            **extra,
-        }
+        payload = self._compare_payload(
+            pivot, value_a, value_b, target_class, store_a, store_b,
+            extra,
+        )
         return self.request(
             "POST", "/rank", payload, budget_ms=budget_ms
         )

@@ -72,6 +72,7 @@ from .tracing import annotate, current_span, current_trace, resume_trace, span
 __all__ = [
     "ComparisonEngine",
     "CompareOutcome",
+    "CrossCompareOutcome",
     "BatchScreenOutcome",
     "IngestOutcome",
     "EngineError",
@@ -241,11 +242,32 @@ class CircuitBreaker:
 
 
 class CompareOutcome(NamedTuple):
-    """A comparison result plus its serving provenance."""
+    """A comparison result plus its serving provenance.
+
+    ``generation`` is an ``int`` for a plain store and a per-shard
+    tuple (vector clock) for a
+    :class:`~repro.cube.sharded.ShardedCubeStore`.
+    """
 
     result: ComparisonResult
     store: str
-    generation: int
+    generation: object
+    cache_hit: bool
+
+
+class CrossCompareOutcome(NamedTuple):
+    """A cross-store comparison result plus both sides' provenance.
+
+    ``value_a`` was read from ``store_a`` at ``generation_a`` and
+    ``value_b`` from ``store_b`` at ``generation_b`` — the §V.C
+    month-vs-month answer names both worlds it was computed against.
+    """
+
+    result: ComparisonResult
+    store_a: str
+    store_b: str
+    generation_a: object
+    generation_b: object
     cache_hit: bool
 
 
@@ -476,6 +498,11 @@ class ComparisonEngine:
         :class:`~repro.core.Comparator`."""
         name = name or self._config.default_store
         comparator = Comparator(store, **comparator_options)  # type: ignore[arg-type]
+        # Sharded stores record their scatter fan-out and merge time;
+        # duck-typed so the cube layer stays service-free.
+        bind = getattr(store, "bind_metrics", None)
+        if callable(bind):
+            bind(self._metrics, name)
         breaker = CircuitBreaker(
             name,
             self._config.breaker_failures,
@@ -533,18 +560,28 @@ class ComparisonEngine:
         out = []
         for m in sorted(managed, key=lambda m: m.name):
             schema = m.store.dataset.schema
-            out.append(
-                {
-                    "name": m.name,
-                    "generation": m.generation,
-                    "breaker": m.breaker.state,
-                    "n_cached_cubes": m.store.n_cached,
-                    "n_rows": m.store.dataset.n_rows,
-                    "class_attribute": schema.class_name,
-                    "classes": list(schema.class_attribute.values),
-                    "attributes": list(m.store.attributes),
-                }
-            )
+            generation = m.generation
+            entry: Dict[str, object] = {
+                "name": m.name,
+                "generation": (
+                    list(generation)
+                    if isinstance(generation, tuple)
+                    else generation
+                ),
+                "breaker": m.breaker.state,
+                "n_cached_cubes": m.store.n_cached,
+                "n_rows": m.store.dataset.n_rows,
+                "rows": m.store.dataset.n_rows,
+                "class_attribute": schema.class_name,
+                "classes": list(schema.class_attribute.values),
+                "attributes": list(m.store.attributes),
+            }
+            # Sharded stores add their per-shard breakdown; duck-typed
+            # so the engine never imports the sharding module.
+            shard_info = getattr(m.store, "shard_info", None)
+            if callable(shard_info):
+                entry["shards"] = shard_info()
+            out.append(entry)
         return out
 
     def generation(self, store: Optional[str] = None) -> int:
@@ -597,6 +634,17 @@ class ComparisonEngine:
             pivot_attribute, value_a, value_b, target_class,
             attributes=attributes, store=store,
         )
+        return self._await_with_deadline(future, deadline_ms)
+
+    def _await_with_deadline(self, future: Future, deadline_ms: object):
+        """Await a compute future under the effective deadline.
+
+        Shared by the single-store and cross-store serving paths: the
+        per-request override (``deadline_ms``) beats the engine
+        config's default; an overrun surfaces as the typed
+        :class:`DeadlineExceeded` and the underlying computation is
+        left to finish into the cache.
+        """
         if deadline_ms is _UNSET:
             effective_ms: Optional[float] = (
                 None
@@ -747,6 +795,179 @@ class ComparisonEngine:
                 compute.annotate(generation=generation)
                 return CompareOutcome(
                     result, managed.name, generation, False
+                )
+
+    def compare_across(
+        self,
+        store_a: str,
+        store_b: str,
+        pivot_attribute: str,
+        value_a: str,
+        value_b: str,
+        target_class: str,
+        attributes: Optional[Sequence[str]] = None,
+        deadline_ms: object = _UNSET,
+    ) -> CrossCompareOutcome:
+        """Compare ``value_a`` in one store against ``value_b`` in
+        another, under a deadline.
+
+        The §V.C workload: good-slice counts come from
+        ``store_a``'s world, bad-slice counts from ``store_b``'s (the
+        comparator may swap which side plays which role).  Deadline
+        and caching semantics match :meth:`compare`.
+        """
+        future = self.compare_across_async(
+            store_a, store_b, pivot_attribute, value_a, value_b,
+            target_class, attributes=attributes,
+        )
+        return self._await_with_deadline(future, deadline_ms)
+
+    def compare_across_async(
+        self,
+        store_a: str,
+        store_b: str,
+        pivot_attribute: str,
+        value_a: str,
+        value_b: str,
+        target_class: str,
+        attributes: Optional[Sequence[str]] = None,
+    ) -> "Future[CrossCompareOutcome]":
+        """Submit a cross-store comparison; returns immediately.
+
+        Results are cached under both stores' generations — an absorb
+        into *either* store invalidates the entry.  Both circuit
+        breakers must admit the request (a cache hit is still served
+        with breakers open, as in :meth:`compare_async`).
+        """
+        managed_a = self._resolve(store_a)
+        managed_b = self._resolve(store_b)
+        key = (
+            "cross",
+            managed_a.name,
+            managed_b.name,
+            pivot_attribute,
+            value_a,
+            value_b,
+            target_class,
+            tuple(attributes) if attributes is not None else None,
+        )
+        generation = (managed_a.generation, managed_b.generation)
+        with span(
+            "cache.get", store=managed_a.name, store_b=managed_b.name
+        ) as cache_span:
+            entry = self._cache.get(key, generation)
+            cache_span.annotate(hit=entry is not None)
+        if entry is not None:
+            self._metrics.cache_hits.inc(store=managed_a.name)
+            done: "Future[CrossCompareOutcome]" = Future()
+            done.set_result(
+                CrossCompareOutcome(
+                    entry.result, managed_a.name, managed_b.name,
+                    entry.generation[0], entry.generation[1], True,
+                )
+            )
+            return done
+        for managed in (managed_a, managed_b):
+            try:
+                managed.breaker.allow()
+            except StoreUnavailable:
+                self._metrics.breaker_rejections.inc(store=managed.name)
+                annotate(breaker="open", store=managed.name)
+                raise
+        self._metrics.cache_misses.inc(store=managed_a.name)
+        trace = current_trace()
+        return self._pool.submit(
+            self._compute_across, managed_a, managed_b, key,
+            pivot_attribute, value_a, value_b, target_class, attributes,
+            trace, current_span() if trace is not None else None,
+            trace.now() if trace is not None else None,
+        )
+
+    def _compute_across(
+        self,
+        managed_a: _ManagedStore,
+        managed_b: _ManagedStore,
+        key: tuple,
+        pivot_attribute: str,
+        value_a: str,
+        value_b: str,
+        target_class: str,
+        attributes: Optional[Sequence[str]],
+        trace=None,
+        parent_span=None,
+        submitted: Optional[float] = None,
+    ) -> CrossCompareOutcome:
+        with resume_trace(trace, parent_span):
+            if trace is not None and submitted is not None:
+                trace.span(
+                    "engine.queue_wait",
+                    parent=parent_span,
+                    start=submitted,
+                    store=managed_a.name,
+                ).finish()
+            with span(
+                "engine.compare_across",
+                store_a=managed_a.name,
+                store_b=managed_b.name,
+            ) as compute:
+                try:
+                    trip(
+                        SITE_ENGINE_COMPARE,
+                        store=managed_a.name,
+                        store_b=managed_b.name,
+                        pivot=pivot_attribute,
+                        values=(value_a, value_b),
+                    )
+                    # Pin both worlds: each side's reads resolve
+                    # against one frozen snapshot, and the pair of
+                    # generations the result is cached under is
+                    # exactly what it was computed from.
+                    with managed_a.store.pinned() as snap_a:
+                        with managed_b.store.pinned() as snap_b:
+                            generation = (
+                                snap_a.generation, snap_b.generation
+                            )
+                            result = (
+                                managed_a.comparator.compare_across(
+                                    managed_b.store, pivot_attribute,
+                                    value_a, value_b, target_class,
+                                    attributes=attributes,
+                                )
+                            )
+                except (ValueError, KeyError) as exc:
+                    # The request's fault; both stores answered fine.
+                    managed_a.breaker.record_success()
+                    managed_b.breaker.record_success()
+                    compute.annotate(error=type(exc).__name__)
+                    raise
+                except Exception as exc:
+                    # An infrastructure failure mid-compare cannot
+                    # always be attributed to one side (a shard read
+                    # error names its shard but not its store), so
+                    # both breakers count it — conservative, and a
+                    # healthy store's breaker closes again on its
+                    # next success.
+                    managed_a.breaker.record_failure()
+                    managed_b.breaker.record_failure()
+                    self._metrics.compare_failures.inc(
+                        store=managed_a.name, error=type(exc).__name__
+                    )
+                    compute.annotate(
+                        error="internal",
+                        breaker=managed_a.breaker.state,
+                    )
+                    raise
+                managed_a.breaker.record_success()
+                managed_b.breaker.record_success()
+                with span("cache.put", store=managed_a.name):
+                    self._cache.put(key, generation, result)
+                compute.annotate(
+                    generation_a=generation[0],
+                    generation_b=generation[1],
+                )
+                return CrossCompareOutcome(
+                    result, managed_a.name, managed_b.name,
+                    generation[0], generation[1], False,
                 )
 
     def screen_pairs_batch(

@@ -56,9 +56,15 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Mapping, Optional, Tuple
 from urllib.parse import parse_qs
 
+from ..cube.sharded import ShardReadError
 from ..testing.sites import SITE_HTTP_HANDLER, trip
 from .config import ServiceConfig
-from .engine import ComparisonEngine, DeadlineExceeded, StoreUnavailable
+from .engine import (
+    ComparisonEngine,
+    CrossCompareOutcome,
+    DeadlineExceeded,
+    StoreUnavailable,
+)
 from .tracing import (
     Trace,
     TraceBuffer,
@@ -280,6 +286,16 @@ class _Handler(BaseHTTPRequestHandler):
                     },
                     headers={"Retry-After": str(retry_after)},
                 )
+            except ShardReadError as exc:
+                # One shard of a scatter-gather read failed: a typed
+                # partial-failure 503 naming the shard, never a
+                # traceback, and retryable (the shard may heal or its
+                # breaker will shed the load).
+                status = 503
+                self._send_json(
+                    status,
+                    {"error": str(exc), "shard": exc.shard},
+                )
             except (ValueError, KeyError) as exc:
                 # Domain errors (ComparatorError, CubeError,
                 # SchemaError, EngineError, bad lookups) all derive
@@ -358,17 +374,58 @@ class _Handler(BaseHTTPRequestHandler):
             if not isinstance(value, str):
                 raise _BadRequest(f"{name!r} must be a string")
         attributes = _optional_str_list(payload, "attributes")
+        for name in ("store", "store_a", "store_b"):
+            value = payload.get(name)
+            if value is not None and not isinstance(value, str):
+                raise _BadRequest(f"{name!r} must be a string")
         store = payload.get("store")
-        if store is not None and not isinstance(store, str):
-            raise _BadRequest("'store' must be a string")
+        store_a = payload.get("store_a")
+        store_b = payload.get("store_b")
+        if (store_a is None) != (store_b is None):
+            raise _BadRequest(
+                "cross-store requests need both 'store_a' and "
+                "'store_b'"
+            )
+        if store_a is not None and store is not None:
+            raise _BadRequest(
+                "'store' and 'store_a'/'store_b' are mutually "
+                "exclusive"
+            )
         deadline = _optional_deadline(payload)
         kwargs: Dict[str, Any] = {}
         if deadline is not _UNSET:
             kwargs["deadline_ms"] = deadline
+        if store_a is not None:
+            return self.server.engine.compare_across(
+                store_a, store_b, pivot, value_a, value_b, target,
+                attributes=attributes, **kwargs,
+            )
         return self.server.engine.compare(
             pivot, value_a, value_b, target,
             attributes=attributes, store=store, **kwargs,
         )
+
+    @staticmethod
+    def _provenance(outcome: Any) -> Dict[str, Any]:
+        """The serving-provenance fields of a compare/rank body.
+
+        Single-store outcomes report ``store``/``generation``;
+        cross-store outcomes report both sides (and both
+        generations, each an int or a shard vector).
+        """
+        if isinstance(outcome, CrossCompareOutcome):
+            return {
+                "store_a": outcome.store_a,
+                "store_b": outcome.store_b,
+                "generation_a": outcome.generation_a,
+                "generation_b": outcome.generation_b,
+                "cached": outcome.cache_hit,
+            }
+        return {
+            "store": outcome.store,
+            "generation": outcome.generation,
+            "cached": outcome.cache_hit,
+        }
 
     def _handle_compare(self) -> int:
         payload = self._read_json()
@@ -380,13 +437,7 @@ class _Handler(BaseHTTPRequestHandler):
             raise _BadRequest("'top' must be a non-negative integer")
         outcome = self._compare_outcome(payload)
         body = outcome.result.to_dict(top=top)
-        body.update(
-            {
-                "store": outcome.store,
-                "generation": outcome.generation,
-                "cached": outcome.cache_hit,
-            }
-        )
+        body.update(self._provenance(outcome))
         self._send_json(200, body)
         return 200
 
@@ -397,9 +448,7 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(
             200,
             {
-                "store": outcome.store,
-                "generation": outcome.generation,
-                "cached": outcome.cache_hit,
+                **self._provenance(outcome),
                 "pivot_attribute": result.pivot_attribute,
                 "value_good": result.value_good,
                 "value_bad": result.value_bad,

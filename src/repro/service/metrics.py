@@ -157,6 +157,12 @@ class Histogram:
             series = self._series.get(_label_key(labels))
             return series.count if series else 0
 
+    def sum(self, **labels: str) -> float:
+        """Sum of all samples in one labelled series (0 when unseen)."""
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series.total if series else 0.0
+
     def quantile(self, q: float, **labels: str) -> Optional[float]:
         """Bucket-resolution quantile estimate (upper bound of the
         bucket holding the q-th sample); ``None`` with no samples."""
@@ -323,6 +329,16 @@ class ServiceMetrics:
             "repro_fleet_plumbing_seconds",
             "Batch fleet-screen time spent outside the kernel (cube "
             "reads, slicing, result assembly), by store, seconds.",
+        )
+        self.shard_fanout = self.registry.histogram(
+            "repro_shard_fanout",
+            "Shards scattered to per sharded-store read, by store.",
+            buckets=(1, 2, 4, 8, 16, 32, 64),
+        )
+        self.shard_merge_seconds = self.registry.histogram(
+            "repro_shard_merge_seconds",
+            "Wall-clock time merging per-shard count tensors after a "
+            "scatter-gather read, by store, seconds.",
         )
         self.traces_recorded = self.registry.counter(
             "repro_traces_recorded_total",

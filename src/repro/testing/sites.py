@@ -31,6 +31,7 @@ __all__ = [
     "SITES",
     "SITE_STORE_CUBE",
     "SITE_STORE_ABSORB",
+    "SITE_SHARD_READ",
     "SITE_ENGINE_COMPARE",
     "SITE_HTTP_HANDLER",
     "SITE_PERSIST_LOAD",
@@ -43,6 +44,7 @@ __all__ = [
 
 SITE_STORE_CUBE = "store.cube"
 SITE_STORE_ABSORB = "store.absorb"
+SITE_SHARD_READ = "shard.read"
 SITE_ENGINE_COMPARE = "engine.compare"
 SITE_HTTP_HANDLER = "http.handler"
 SITE_PERSIST_LOAD = "persist.load"
@@ -51,6 +53,7 @@ SITE_PERSIST_LOAD = "persist.load"
 SITES: Tuple[str, ...] = (
     SITE_STORE_CUBE,
     SITE_STORE_ABSORB,
+    SITE_SHARD_READ,
     SITE_ENGINE_COMPARE,
     SITE_HTTP_HANDLER,
     SITE_PERSIST_LOAD,

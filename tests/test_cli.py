@@ -327,3 +327,97 @@ class TestCommands:
             ]
         )
         assert status == 1
+
+
+class TestServeSharded:
+    def test_shard_args_parse_with_defaults(self):
+        args = build_parser().parse_args(
+            ["serve", "data.csv", "--class-attribute", "C"]
+        )
+        assert args.shards == 1
+        assert args.shard_by is None
+        args = build_parser().parse_args(
+            [
+                "serve", "data.csv",
+                "--class-attribute", "C",
+                "--shards", "4",
+                "--shard-by", "Phone",
+            ]
+        )
+        assert args.shards == 4
+        assert args.shard_by == "Phone"
+
+    def test_build_serve_engine_builds_sharded_store(self, csv_path):
+        from repro.cli import _build_serve_engine
+
+        args = build_parser().parse_args(
+            [
+                "serve", str(csv_path),
+                "--class-attribute", "C",
+                "--shards", "3",
+                "--no-precompute",
+            ]
+        )
+        engine, _, _ = _build_serve_engine(args)
+        try:
+            described = engine.describe_stores()[0]
+            assert described["generation"] == [0, 0, 0]
+            assert len(described["shards"]) == 3
+            outcome = engine.compare("Phone", "ph1", "ph2", "drop")
+            assert outcome.generation == (0, 0, 0)
+        finally:
+            engine.shutdown()
+
+    def test_build_serve_engine_routes_by_column(self, csv_path):
+        from repro.cli import _build_serve_engine
+
+        args = build_parser().parse_args(
+            [
+                "serve", str(csv_path),
+                "--class-attribute", "C",
+                "--shards", "2",
+                "--shard-by", "Phone",
+                "--no-precompute",
+            ]
+        )
+        engine, _, _ = _build_serve_engine(args)
+        try:
+            store = engine.describe_stores()[0]
+            # Two phone values, one per shard: both shards hold rows.
+            assert all(s["rows"] > 0 for s in store["shards"])
+        finally:
+            engine.shutdown()
+
+    def test_shard_flag_validation(self, csv_path):
+        from repro.cli import _build_serve_engine
+
+        args = build_parser().parse_args(
+            [
+                "serve", str(csv_path),
+                "--class-attribute", "C",
+                "--shards", "0",
+            ]
+        )
+        with pytest.raises(ValueError, match="positive"):
+            _build_serve_engine(args)
+
+        args = build_parser().parse_args(
+            [
+                "serve", str(csv_path),
+                "--class-attribute", "C",
+                "--shard-by", "Phone",
+            ]
+        )
+        with pytest.raises(ValueError, match="--shards > 1"):
+            _build_serve_engine(args)
+
+        args = build_parser().parse_args(
+            [
+                "serve", str(csv_path),
+                "--class-attribute", "C",
+                "--shards", "2",
+                "--store", "cubes.npz",
+            ]
+        )
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            _build_serve_engine(args)

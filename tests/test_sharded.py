@@ -1,0 +1,866 @@
+"""The sharded cube store and cross-store comparison.
+
+Rule-cube cells are additive GROUP BY counts, so a cube over a whole
+data set is the cell-wise sum of the same cube over any partition of
+its rows.  :class:`ShardedCubeStore` bets the serving path on that
+identity; this suite pins the bet from the kernel outward:
+
+* the merge kernel (:func:`merge_count_tensors`) widens, checks and
+  sums exactly — int32 inputs near their max merge exactly, int64
+  overflow raises a typed :class:`CubeError` instead of wrapping;
+* 50-seed differentials: a 4-shard row-partitioned store ranks
+  bit-identically to a single :class:`CubeStore`, and
+  ``compare_across(A, B)`` equals :func:`compare_from_data` on the
+  concatenation of the two slices;
+* the snapshot vector is never torn: a ``pinned()`` block holds one
+  generation vector and one world while absorbs land concurrently;
+* routed absorbs bump only the owning shard's generation component;
+* the service layer maps a faulted shard read to a typed 503 naming
+  the shard (never a traceback), and a fleet screen over a sick
+  sharded store degrades into its structured failure ledger.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.comparator import (
+    Comparator,
+    ComparatorError,
+    compare_from_data,
+)
+from repro.cube import (
+    CubeStore,
+    ShardedCubeStore,
+    ShardReadError,
+    merge_count_tensors,
+    merge_cubes,
+    shard_by_column,
+    shard_rows,
+)
+from repro.cube.rulecube import CubeError, RuleCube
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Dataset
+from repro.service import (
+    ComparisonEngine,
+    ComparisonHTTPServer,
+    ServiceClient,
+    ServiceConfig,
+    StoreUnavailable,
+    screen_fleet,
+)
+from repro.testing import FaultInjected, FaultPlan, FaultRule
+from repro.testing.datagen import random_dataset
+from repro.testing.sites import SITE_SHARD_READ
+
+BASE_SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
+N_DATASETS = 50
+
+
+def _strip_timing(result) -> dict:
+    d = result.to_dict()
+    d.pop("elapsed_seconds")
+    return d
+
+
+def _split_rows(data: Dataset):
+    """Two same-schema data sets: the even rows and the odd rows."""
+    even = data.take(np.arange(0, data.n_rows, 2))
+    odd = data.take(np.arange(1, data.n_rows, 2))
+    return even, odd
+
+
+def http_call(url: str, payload=None):
+    """GET/POST returning ``(status, parsed_json, raw_text)``."""
+    body = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            text = response.read().decode("utf-8")
+            return response.status, json.loads(text), text
+    except urllib.error.HTTPError as exc:
+        text = exc.read().decode("utf-8")
+        return exc.code, json.loads(text), text
+
+
+# ----------------------------------------------------------------------
+# Partitioners
+# ----------------------------------------------------------------------
+
+
+class TestPartitioners:
+    def test_shard_rows_balances_and_covers(self):
+        data = random_dataset(BASE_SEED + 1, n_rows=103)
+        parts = shard_rows(data, 4)
+        sizes = [p.n_rows for p in parts]
+        assert sum(sizes) == 103
+        assert max(sizes) - min(sizes) <= 1
+        # Round-robin deal: shard i holds rows i, i+4, i+8, ...
+        for i, part in enumerate(parts):
+            expected = data.take(np.arange(i, 103, 4))
+            for name in data.schema.names:
+                assert np.array_equal(
+                    part.column(name), expected.column(name)
+                )
+
+    def test_shard_rows_rejects_bad_counts(self):
+        data = random_dataset(BASE_SEED + 1, n_rows=10)
+        with pytest.raises(CubeError, match="positive"):
+            shard_rows(data, 0)
+
+    def test_shard_by_column_keeps_values_together(self):
+        data = random_dataset(BASE_SEED + 2, n_rows=200)
+        parts = shard_by_column(data, "A1", 3)
+        assert sum(p.n_rows for p in parts) == 200
+        arity = data.schema["A1"].arity
+        for i, part in enumerate(parts):
+            codes = set(np.unique(part.column("A1")).tolist())
+            assert codes <= {
+                c for c in range(arity) if c % 3 == i
+            }
+
+    def test_shard_by_column_routes_missing_to_last_shard(self):
+        schema = Schema(
+            [
+                Attribute("K", values=("k0", "k1")),
+                Attribute("C", values=("c0", "c1")),
+            ],
+            class_attribute="C",
+        )
+        data = Dataset.from_columns(
+            schema,
+            {
+                "K": np.array([0, 1, -1, -1], dtype=np.int64),
+                "C": np.array([0, 1, 0, 1], dtype=np.int64),
+            },
+        )
+        parts = shard_by_column(data, "K", 3)
+        assert [p.n_rows for p in parts] == [1, 1, 2]
+        assert set(parts[2].column("K").tolist()) == {-1}
+
+    def test_shard_by_column_rejects_continuous_and_unknown(self):
+        schema = Schema(
+            [
+                Attribute("X", kind="continuous"),
+                Attribute("C", values=("c0", "c1")),
+            ],
+            class_attribute="C",
+        )
+        data = Dataset.from_columns(
+            schema,
+            {
+                "X": np.array([0.1, 0.9]),
+                "C": np.array([0, 1], dtype=np.int64),
+            },
+        )
+        with pytest.raises(CubeError, match="continuous"):
+            shard_by_column(data, "X", 2)
+        with pytest.raises(ValueError, match="no attribute"):
+            shard_by_column(data, "Nope", 2)
+
+
+# ----------------------------------------------------------------------
+# The merge kernel
+# ----------------------------------------------------------------------
+
+
+class TestMergeCountTensors:
+    def test_sums_cell_wise(self):
+        a = np.array([[1, 2], [3, 4]], dtype=np.int64)
+        b = np.array([[10, 20], [30, 40]], dtype=np.int64)
+        merged = merge_count_tensors([a, b])
+        assert merged.dtype == np.int64
+        assert np.array_equal(merged, a + b)
+
+    def test_zero_inputs_is_typed_error(self):
+        with pytest.raises(CubeError, match="zero count tensors"):
+            merge_count_tensors([])
+
+    def test_shape_mismatch_is_typed_error(self):
+        a = np.zeros((2, 2), dtype=np.int64)
+        b = np.zeros((2, 3), dtype=np.int64)
+        with pytest.raises(CubeError, match="does not match"):
+            merge_count_tensors([a, b])
+
+    def test_negative_counts_rejected(self):
+        good = np.ones((2, 2), dtype=np.int64)
+        bad = np.array([[1, -1], [0, 0]], dtype=np.int64)
+        with pytest.raises(CubeError, match="non-negative"):
+            merge_count_tensors([bad, good])
+        with pytest.raises(CubeError, match="non-negative"):
+            merge_count_tensors([good, bad])
+
+    def test_int32_near_max_widens_exactly(self):
+        # Each input is fine in int32; their sum is not.  The merge
+        # must widen *before* adding, so the exact int64 sum comes out.
+        near = np.int32(2**31 - 10)
+        a = np.full((2, 3), near, dtype=np.int32)
+        b = np.full((2, 3), near, dtype=np.int32)
+        merged = merge_count_tensors([a, b])
+        assert merged.dtype == np.int64
+        assert int(merged[0, 0]) == 2 * (2**31 - 10)
+        assert np.all(merged > 0)
+
+    def test_int64_overflow_is_typed_error_not_wraparound(self):
+        huge = np.full((2, 2), 2**62, dtype=np.int64)
+        with pytest.raises(CubeError, match="overflowed int64"):
+            merge_count_tensors([huge, huge])
+
+    def test_does_not_mutate_inputs(self):
+        a = np.array([[5, 6]], dtype=np.int64)
+        b = np.array([[7, 8]], dtype=np.int64)
+        merge_count_tensors([a, b])
+        assert np.array_equal(a, [[5, 6]])
+        assert np.array_equal(b, [[7, 8]])
+
+
+class TestMergeCubes:
+    def _cube(self, counts):
+        return RuleCube(
+            (Attribute("A", values=("a0", "a1")),),
+            Attribute("C", values=("c0", "c1")),
+            np.asarray(counts, dtype=np.int64),
+        )
+
+    def test_single_cube_is_identity(self):
+        cube = self._cube([[1, 2], [3, 4]])
+        assert merge_cubes([cube]) is cube
+
+    def test_merges_counts(self):
+        a = self._cube([[1, 2], [3, 4]])
+        b = self._cube([[5, 6], [7, 8]])
+        merged = merge_cubes([a, b])
+        assert np.array_equal(merged.counts, [[6, 8], [10, 12]])
+        assert merged.attributes == a.attributes
+
+    def test_structure_mismatch_is_typed_error(self):
+        a = self._cube([[1, 2], [3, 4]])
+        other = RuleCube(
+            (Attribute("B", values=("b0", "b1")),),
+            Attribute("C", values=("c0", "c1")),
+            np.zeros((2, 2), dtype=np.int64),
+        )
+        with pytest.raises(CubeError, match="different structure"):
+            merge_cubes([a, other])
+
+    def test_zero_cubes_is_typed_error(self):
+        with pytest.raises(CubeError, match="zero cubes"):
+            merge_cubes([])
+
+
+# ----------------------------------------------------------------------
+# Store equivalence
+# ----------------------------------------------------------------------
+
+
+class TestShardedStoreReads:
+    def test_cube_reads_match_single_store(self):
+        data = random_dataset(BASE_SEED + 3)
+        single = CubeStore(data)
+        sharded = ShardedCubeStore.from_dataset(data, 4)
+        names = [a.name for a in data.schema.condition_attributes]
+        assert np.array_equal(
+            sharded.class_distribution_cube().counts,
+            single.class_distribution_cube().counts,
+        )
+        for name in names:
+            assert np.array_equal(
+                sharded.single_cube(name).counts,
+                single.single_cube(name).counts,
+            )
+        pair = (names[1], names[0])  # non-canonical order on purpose
+        mine = sharded.cube(pair)
+        theirs = single.cube(pair)
+        assert mine.names == theirs.names == pair
+        assert np.array_equal(mine.counts, theirs.counts)
+
+    def test_planes_bulk_read_matches(self):
+        data = random_dataset(BASE_SEED + 4)
+        single = CubeStore(data)
+        sharded = ShardedCubeStore.from_dataset(data, 3)
+        names = [a.name for a in data.schema.condition_attributes]
+        keys = [(), (names[0],), (names[0], names[1])]
+        for mine, theirs in zip(
+            sharded.planes(keys), single.planes(keys)
+        ):
+            assert mine.names == theirs.names
+            assert np.array_equal(mine.counts, theirs.counts)
+
+    def test_domain_errors_pass_through_unwrapped(self):
+        data = random_dataset(BASE_SEED + 5)
+        sharded = ShardedCubeStore.from_dataset(data, 2)
+        with pytest.raises((ValueError, KeyError)) as info:
+            sharded.cube(("NoSuchAttr",))
+        assert not isinstance(info.value, ShardReadError)
+
+    def test_mismatched_shard_schemas_rejected(self):
+        a, b = _split_rows(random_dataset(BASE_SEED + 6))
+        other = random_dataset(BASE_SEED + 7, n_rows=40)
+        if other.schema == a.schema:  # pragma: no cover - seed luck
+            pytest.skip("seeds produced identical schemas")
+        with pytest.raises(CubeError, match="schema"):
+            ShardedCubeStore([CubeStore(a), CubeStore(other)])
+
+    def test_precompute_builds_every_shard(self):
+        data = random_dataset(BASE_SEED + 8)
+        single = CubeStore(data)
+        sharded = ShardedCubeStore.from_dataset(data, 3)
+        built = sharded.precompute()
+        assert built == 3 * single.precompute()
+        assert sharded.n_cached == built
+
+
+class TestDifferentialShardedVsSingle:
+    """Acceptance: 4-shard row-partitioned reads are bit-exact."""
+
+    def test_50_seeds_rank_identically(self):
+        for i in range(N_DATASETS):
+            seed = BASE_SEED * 1_000_000 + 9_000 + i
+            data = random_dataset(seed, plant_property=(i % 2 == 0))
+            reference = Comparator(CubeStore(data)).compare(
+                "A0", "v0", "v1", "c0"
+            )
+            sharded = ShardedCubeStore.from_dataset(data, 4)
+            result = Comparator(sharded).compare("A0", "v0", "v1", "c0")
+            assert _strip_timing(result) == _strip_timing(reference), (
+                f"sharded path diverged from single store at seed "
+                f"{seed}"
+            )
+
+    def test_partition_choice_is_invisible(self):
+        """Counts are additive under *any* partition: routing by a
+        column must give the same answers as round-robin rows."""
+        for i in range(10):
+            seed = BASE_SEED * 1_000_000 + 9_500 + i
+            data = random_dataset(seed)
+            by_rows = ShardedCubeStore.from_dataset(data, 3)
+            by_value = ShardedCubeStore.from_dataset(
+                data, 3, shard_by="A1"
+            )
+            a = Comparator(by_rows).compare("A0", "v0", "v1", "c0")
+            b = Comparator(by_value).compare("A0", "v0", "v1", "c0")
+            assert _strip_timing(a) == _strip_timing(b), seed
+
+
+class TestCompareAcrossDifferential:
+    """Acceptance: compare_across(A, B) == compare_from_data on the
+    concatenation of the two pivot slices."""
+
+    def test_50_seeds_match_concatenated_reference(self):
+        for i in range(N_DATASETS):
+            seed = BASE_SEED * 1_000_000 + 11_000 + i
+            data_a, data_b = _split_rows(random_dataset(seed))
+            reference = compare_from_data(
+                data_a.where("A0", "v0").concat(
+                    data_b.where("A0", "v1")
+                ),
+                "A0", "v0", "v1", "c0",
+            )
+            comparator = Comparator(CubeStore(data_a))
+            other = (
+                ShardedCubeStore.from_dataset(data_b, 3)
+                if i % 2 == 0
+                else CubeStore(data_b)
+            )
+            result = comparator.compare_across(
+                other, "A0", "v0", "v1", "c0"
+            )
+            assert _strip_timing(result) == _strip_timing(reference), (
+                f"cross-store path diverged from concatenated "
+                f"reference at seed {seed}"
+            )
+
+    def test_same_value_across_stores_is_allowed(self):
+        data_a, data_b = _split_rows(
+            random_dataset(BASE_SEED + 12, n_rows=300)
+        )
+        comparator = Comparator(CubeStore(data_a))
+        result = comparator.compare_across(
+            CubeStore(data_b), "A0", "v0", "v0", "c0"
+        )
+        concat = data_a.where("A0", "v0").concat(
+            data_b.where("A0", "v0")
+        )
+        assert result.sup_good + result.sup_bad == concat.n_rows
+
+    def test_same_value_same_store_stays_an_error(self):
+        store = CubeStore(random_dataset(BASE_SEED + 13, n_rows=200))
+        comparator = Comparator(store)
+        with pytest.raises(ComparatorError, match="must be different"):
+            comparator.compare_across(store, "A0", "v0", "v0", "c0")
+
+    def test_schema_mismatch_is_a_domain_error(self):
+        data = random_dataset(BASE_SEED + 14, n_rows=200)
+        other = random_dataset(BASE_SEED + 15, n_rows=200)
+        if other.schema == data.schema:  # pragma: no cover - seed luck
+            pytest.skip("seeds produced identical schemas")
+        comparator = Comparator(CubeStore(data))
+        with pytest.raises(ComparatorError, match="share"):
+            comparator.compare_across(
+                CubeStore(other), "A0", "v0", "v1", "c0"
+            )
+
+
+# ----------------------------------------------------------------------
+# Snapshot vector consistency
+# ----------------------------------------------------------------------
+
+
+class TestSnapshotVector:
+    def test_generation_is_one_component_per_shard(self):
+        data = random_dataset(BASE_SEED + 16, n_rows=200)
+        sharded = ShardedCubeStore.from_dataset(data, 4)
+        assert sharded.generation == (0, 0, 0, 0)
+        assert sharded.dataset.n_rows == 200
+        assert sharded.dataset.schema == data.schema
+
+    def test_pinned_block_never_sees_a_torn_vector(self):
+        """Absorbs land while a reader holds a pin: the reader's
+        generation vector and merged counts stay frozen; the new world
+        is visible only after the pin is released."""
+        data = random_dataset(BASE_SEED + 17, n_rows=240)
+        sharded = ShardedCubeStore.from_dataset(data, 4)
+        batch = data.take(np.arange(30))
+
+        with sharded.pinned() as snapshot:
+            before = sharded.class_distribution_cube().counts.copy()
+            assert snapshot.generation == (0, 0, 0, 0)
+
+            absorbed = threading.Event()
+
+            def writer():
+                sharded.absorb(batch)
+                absorbed.set()
+
+            thread = threading.Thread(target=writer)
+            thread.start()
+            thread.join()
+            assert absorbed.is_set()
+
+            # Still the pinned world: same vector, same counts, same
+            # row total — the absorb is invisible inside the block.
+            assert sharded.generation == (0, 0, 0, 0)
+            assert sharded.dataset.n_rows == 240
+            assert np.array_equal(
+                sharded.class_distribution_cube().counts, before
+            )
+
+        # Pin released: exactly one shard's component advanced.
+        after = sharded.generation
+        assert sorted(after) == [0, 0, 0, 1]
+        assert sharded.dataset.n_rows == 270
+
+    def test_concurrent_absorbs_never_tear_reads(self):
+        """Hammer-lite: while a writer streams batches, every pinned
+        read's merged class counts total exactly its own snapshot's
+        row count — scatter never mixes worlds."""
+        data = random_dataset(BASE_SEED + 18, n_rows=200)
+        sharded = ShardedCubeStore.from_dataset(data, 3)
+        batches = [
+            data.take(np.arange(i * 10, (i + 1) * 10))
+            for i in range(12)
+        ]
+        errors = []
+
+        def writer():
+            try:
+                for chunk in batches:
+                    sharded.absorb(chunk)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        seen = []
+        while thread.is_alive():
+            with sharded.pinned() as snapshot:
+                total = int(
+                    sharded.class_distribution_cube().counts.sum()
+                )
+                assert total == snapshot.n_rows
+                seen.append(snapshot.generation)
+        thread.join()
+        assert not errors
+        # Component-wise monotone: later captures never rewind a shard.
+        for earlier, later in zip(seen, seen[1:]):
+            assert all(a <= b for a, b in zip(earlier, later))
+        with sharded.pinned() as snapshot:
+            assert snapshot.n_rows == 200 + 120
+            assert (
+                int(sharded.class_distribution_cube().counts.sum())
+                == 320
+            )
+
+
+# ----------------------------------------------------------------------
+# Routed absorbs
+# ----------------------------------------------------------------------
+
+
+class TestRoutedAbsorb:
+    def test_row_mode_fills_the_smallest_shard(self):
+        data = random_dataset(BASE_SEED + 19, n_rows=7)
+        sharded = ShardedCubeStore.from_dataset(data, 3)
+        # Round-robin on 7 rows: sizes (3, 2, 2).
+        assert [s.dataset.n_rows for s in sharded.shards] == [3, 2, 2]
+        batch = data.take(np.arange(1))
+        sharded.absorb(batch)
+        assert sharded.generation == (0, 1, 0)  # ties -> lowest index
+        sharded.absorb(batch)
+        assert sharded.generation == (0, 1, 1)
+        assert [s.dataset.n_rows for s in sharded.shards] == [3, 3, 3]
+
+    def test_column_mode_routes_to_the_owning_shard(self):
+        data = random_dataset(BASE_SEED + 20, n_rows=300)
+        sharded = ShardedCubeStore.from_dataset(data, 2, shard_by="A1")
+        batch = data.where("A1", "v1")
+        assert batch.n_rows > 0
+        sharded.absorb(batch)
+        # Code 1 % 2 == 1: only shard 1's component bumps, and every
+        # absorbed row landed there.
+        assert sharded.generation == (0, 1)
+        assert sharded.shards[1].dataset.n_rows > 0
+        codes = set(
+            np.unique(sharded.shards[1].dataset.column("A1")).tolist()
+        )
+        assert codes <= {1, 3, 5}
+
+    def test_mixed_batch_splits_across_owners(self):
+        data = random_dataset(BASE_SEED + 21, n_rows=300)
+        sharded = ShardedCubeStore.from_dataset(data, 2, shard_by="A1")
+        rows_before = [s.dataset.n_rows for s in sharded.shards]
+        batch = data.take(np.arange(50))
+        sharded.absorb(batch)
+        rows_after = [s.dataset.n_rows for s in sharded.shards]
+        assert sum(rows_after) - sum(rows_before) == 50
+        owners = batch.column("A1") % 2
+        assert rows_after[0] - rows_before[0] == int((owners == 0).sum())
+        assert rows_after[1] - rows_before[1] == int((owners == 1).sum())
+
+    def test_zero_row_batch_is_a_validated_no_op(self):
+        data = random_dataset(BASE_SEED + 22, n_rows=100)
+        sharded = ShardedCubeStore.from_dataset(data, 3)
+        empty = data.take(np.arange(0))
+        assert sharded.absorb(empty) == 0
+        assert sharded.generation == (0, 0, 0)
+
+    def test_reads_after_absorb_match_a_rebuilt_single_store(self):
+        data = random_dataset(BASE_SEED + 23, n_rows=200)
+        extra = data.take(np.arange(60))
+        sharded = ShardedCubeStore.from_dataset(data, 3)
+        sharded.precompute()
+        sharded.absorb(extra)
+        rebuilt = CubeStore(data.concat(extra))
+        result = Comparator(sharded).compare("A0", "v0", "v1", "c0")
+        reference = Comparator(rebuilt).compare("A0", "v0", "v1", "c0")
+        assert _strip_timing(result) == _strip_timing(reference)
+
+
+# ----------------------------------------------------------------------
+# Engine + HTTP + client
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def cross_service():
+    """A live server with a 3-shard 'jan' store and a plain 'feb'."""
+    data = random_dataset(BASE_SEED + 24, n_rows=400)
+    jan, feb = _split_rows(data)
+    engine = ComparisonEngine(
+        ServiceConfig(workers=2, cache_size=64, breaker_failures=0)
+    )
+    engine.add_store(ShardedCubeStore.from_dataset(jan, 3), name="jan")
+    engine.add_store(CubeStore(feb), name="feb")
+    server = ComparisonHTTPServer(engine, port=0).start_background()
+    try:
+        yield server.url, engine
+    finally:
+        server.stop()
+        engine.shutdown()
+
+
+COMPARE = {
+    "pivot": "A0",
+    "value_a": "v0",
+    "value_b": "v1",
+    "target_class": "c0",
+}
+
+
+class TestEngineCrossStore:
+    def test_cache_keyed_on_both_generations(self, cross_service):
+        _, engine = cross_service
+        first = engine.compare_across("jan", "feb", "A0", "v0", "v1", "c0")
+        assert not first.cache_hit
+        assert first.store_a == "jan" and first.store_b == "feb"
+        assert first.generation_a == (0, 0, 0)
+        assert first.generation_b == 0
+
+        second = engine.compare_across(
+            "jan", "feb", "A0", "v0", "v1", "c0"
+        )
+        assert second.cache_hit
+        assert _strip_timing(second.result) == _strip_timing(first.result)
+
+        # Ingest into *one* side invalidates the cross entry.
+        batch = random_dataset(BASE_SEED + 24, n_rows=400).take(
+            np.arange(20)
+        )
+        rows = [list(batch.row(i)) for i in range(batch.n_rows)]
+        engine.ingest(rows, store="jan")
+        third = engine.compare_across(
+            "jan", "feb", "A0", "v0", "v1", "c0"
+        )
+        assert not third.cache_hit
+        assert sum(third.generation_a) == 1
+        assert third.generation_b == 0
+
+    def test_cross_equals_comparator_direct(self, cross_service):
+        _, engine = cross_service
+        outcome = engine.compare_across(
+            "jan", "feb", "A0", "v0", "v1", "c0"
+        )
+        data = random_dataset(BASE_SEED + 24, n_rows=400)
+        jan, feb = _split_rows(data)
+        reference = Comparator(CubeStore(jan)).compare_across(
+            CubeStore(feb), "A0", "v0", "v1", "c0"
+        )
+        assert _strip_timing(outcome.result) == _strip_timing(reference)
+
+    def test_domain_error_leaves_breakers_closed(self, cross_service):
+        _, engine = cross_service
+        with pytest.raises((ValueError, KeyError)):
+            engine.compare_across(
+                "jan", "feb", "NoSuch", "v0", "v1", "c0"
+            )
+        assert engine.breaker_state("jan") == "closed"
+        assert engine.breaker_state("feb") == "closed"
+
+
+class TestHTTPCrossStore:
+    def test_cross_body_reports_both_sides(self, cross_service):
+        url, _ = cross_service
+        payload = {**COMPARE, "store_a": "jan", "store_b": "feb"}
+        status, body, _ = http_call(url + "/compare", payload)
+        assert status == 200
+        assert body["store_a"] == "jan"
+        assert body["store_b"] == "feb"
+        assert body["generation_a"] == [0, 0, 0]
+        assert body["generation_b"] == 0
+        assert body["cached"] is False
+        assert "store" not in body
+
+        status, body, _ = http_call(url + "/compare", payload)
+        assert status == 200 and body["cached"] is True
+
+        status, body, _ = http_call(url + "/rank", payload)
+        assert status == 200
+        assert body["store_a"] == "jan" and body["store_b"] == "feb"
+
+    def test_half_a_pair_is_a_400(self, cross_service):
+        url, _ = cross_service
+        status, body, _ = http_call(
+            url + "/compare", {**COMPARE, "store_a": "jan"}
+        )
+        assert status == 400
+        assert "both 'store_a' and 'store_b'" in body["error"]
+        status, body, _ = http_call(
+            url + "/compare", {**COMPARE, "store_b": "feb"}
+        )
+        assert status == 400
+
+    def test_store_and_pair_are_mutually_exclusive(self, cross_service):
+        url, _ = cross_service
+        status, body, _ = http_call(
+            url + "/compare",
+            {**COMPARE, "store": "jan", "store_a": "jan",
+             "store_b": "feb"},
+        )
+        assert status == 400
+        assert "mutually" in body["error"]
+
+    def test_single_store_body_still_works(self, cross_service):
+        url, _ = cross_service
+        status, body, _ = http_call(
+            url + "/compare", {**COMPARE, "store": "jan"}
+        )
+        assert status == 200
+        assert body["store"] == "jan"
+        assert body["generation"] == [0, 0, 0]
+        assert "store_a" not in body
+
+    def test_cubes_endpoint_breaks_out_shards(self, cross_service):
+        url, _ = cross_service
+        status, body, _ = http_call(url + "/cubes")
+        assert status == 200
+        by_name = {s["name"]: s for s in body["stores"]}
+        jan = by_name["jan"]
+        assert jan["generation"] == [0, 0, 0]
+        assert len(jan["shards"]) == 3
+        for i, shard in enumerate(jan["shards"]):
+            assert shard["shard"] == i
+            assert shard["generation"] == 0
+            assert shard["rows"] > 0
+        assert jan["rows"] == sum(s["rows"] for s in jan["shards"])
+        assert "shards" not in by_name["feb"]
+
+    def test_client_kwargs_drive_the_cross_path(self, cross_service):
+        url, _ = cross_service
+        client = ServiceClient(url)
+        body = client.compare(
+            "A0", "v0", "v0", "c0", store_a="jan", store_b="feb"
+        )
+        assert body["store_a"] == "jan"
+        assert body["store_b"] == "feb"
+        ranked = client.rank(
+            "A0", "v0", "v1", "c0", store_a="jan", store_b="feb"
+        )
+        assert ranked["store_a"] == "jan"
+
+
+# ----------------------------------------------------------------------
+# Chaos: the shard.read fault site
+# ----------------------------------------------------------------------
+
+
+class TestShardChaos:
+    def make_sharded_engine(self, breaker_failures=0):
+        data = random_dataset(BASE_SEED + 25, n_rows=400)
+        engine = ComparisonEngine(
+            ServiceConfig(
+                workers=2,
+                cache_size=0,
+                breaker_failures=breaker_failures,
+                breaker_reset_seconds=60.0,
+            )
+        )
+        engine.add_store(
+            ShardedCubeStore.from_dataset(data, 4), name="fleet"
+        )
+        return engine
+
+    def test_faulted_shard_is_a_typed_503_naming_the_shard(self):
+        engine = self.make_sharded_engine()
+        server = ComparisonHTTPServer(engine, port=0).start_background()
+        plan = FaultPlan(
+            [FaultRule(SITE_SHARD_READ, probability=1.0)], seed=2
+        )
+        try:
+            with plan.installed():
+                status, body, text = http_call(
+                    server.url + "/compare",
+                    {**COMPARE, "store": "fleet"},
+                )
+            assert status == 503
+            assert "Traceback" not in text
+            assert isinstance(body["shard"], int)
+            assert 0 <= body["shard"] < 4
+            assert f"shard {body['shard']}/4" in body["error"]
+            assert body["request_id"]
+            # Healthy again the moment the plan is gone.
+            status, body, _ = http_call(
+                server.url + "/compare", {**COMPARE, "store": "fleet"}
+            )
+            assert status == 200
+        finally:
+            server.stop()
+            engine.shutdown()
+
+    def test_shard_failures_trip_the_breaker(self):
+        engine = self.make_sharded_engine(breaker_failures=2)
+        plan = FaultPlan(
+            [FaultRule(SITE_SHARD_READ, probability=1.0)], seed=4
+        )
+        with engine, plan.installed():
+            for _ in range(2):
+                with pytest.raises(ShardReadError) as info:
+                    engine.compare("A0", "v0", "v1", "c0")
+                assert info.value.shard >= 0
+            assert engine.breaker_state("fleet") == "open"
+            with pytest.raises(StoreUnavailable):
+                engine.compare("A0", "v0", "v1", "c0")
+
+    def test_cross_store_fault_counts_against_both_breakers(self):
+        data = random_dataset(BASE_SEED + 26, n_rows=400)
+        jan, feb = _split_rows(data)
+        engine = ComparisonEngine(
+            ServiceConfig(
+                workers=2, cache_size=0, breaker_failures=1,
+                breaker_reset_seconds=60.0,
+            )
+        )
+        engine.add_store(
+            ShardedCubeStore.from_dataset(jan, 2), name="jan"
+        )
+        engine.add_store(CubeStore(feb), name="feb")
+        plan = FaultPlan(
+            [FaultRule(SITE_SHARD_READ, probability=1.0)], seed=6
+        )
+        with engine, plan.installed():
+            with pytest.raises(ShardReadError):
+                engine.compare_across(
+                    "jan", "feb", "A0", "v0", "v1", "c0"
+                )
+            # The fault cannot be attributed to one side, so both
+            # breakers opened (threshold 1).
+            assert engine.breaker_state("jan") == "open"
+            assert engine.breaker_state("feb") == "open"
+
+    def test_fleet_screen_degrades_to_structured_failures(self):
+        engine = self.make_sharded_engine()
+        plan = FaultPlan(
+            [FaultRule(SITE_SHARD_READ, probability=1.0)], seed=8
+        )
+        with engine, plan.installed():
+            outcome = screen_fleet(engine, "A0", "c0", store="fleet")
+        assert outcome.attempted > 0
+        assert not outcome.complete
+        assert len(outcome.report.pairs) == 0
+        for failure in outcome.failures:
+            assert failure.error == "ShardReadError"
+            assert "read failed" in failure.message
+
+    def test_latency_injection_slows_but_never_corrupts(self):
+        data = random_dataset(BASE_SEED + 27, n_rows=300)
+        sharded = ShardedCubeStore.from_dataset(data, 3)
+        reference = Comparator(CubeStore(data)).compare(
+            "A0", "v0", "v1", "c0"
+        )
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    SITE_SHARD_READ,
+                    probability=1.0,
+                    fail=False,
+                    latency=0.01,
+                )
+            ],
+            seed=10,
+        )
+        with plan.installed():
+            result = Comparator(sharded).compare("A0", "v0", "v1", "c0")
+        assert plan.triggers(SITE_SHARD_READ) > 0
+        assert _strip_timing(result) == _strip_timing(reference)
+
+    def test_direct_scatter_error_names_the_first_shard_in_order(self):
+        data = random_dataset(BASE_SEED + 28, n_rows=200)
+        sharded = ShardedCubeStore.from_dataset(data, 4)
+        plan = FaultPlan(
+            [FaultRule(SITE_SHARD_READ, probability=1.0)], seed=12
+        )
+        with plan.installed():
+            with pytest.raises(ShardReadError) as info:
+                sharded.class_distribution_cube()
+        # Every shard faulted; gathering in shard order pins the
+        # report to shard 0, deterministically.
+        assert info.value.shard == 0
+        assert isinstance(info.value.__cause__, FaultInjected)
