@@ -15,16 +15,21 @@ must hold for that to be viable:
   copy-on-write snapshot swap keeps the reader-visible critical
   section to a pointer assignment, so the read p99 under sustained
   ingest stays within ``MAX_READ_P99_RATIO`` of the idle p99.
+* **Durability tax** — logging every batch to the write-ahead log
+  before counting it (``repro serve --wal-dir``) must cost at most
+  ``MAX_WAL_OVERHEAD_RATIO`` of the WAL-off absorb at the default
+  ``fsync=batch`` policy (override with ``--wal-fsync``).
 
-Both measurements land in ``BENCH_ingest.json`` under ``--json DIR``.
+All measurements land in ``BENCH_ingest.json`` under ``--json DIR``.
 """
 
 import itertools
 import sys
+import tempfile
 import threading
 import time
 
-from repro.cube import CubeStore, build_cube
+from repro.cube import CubeStore, WriteAheadLog, build_cube
 from repro.service import ComparisonEngine, ServiceConfig
 from repro.synth import synthetic_dataset
 
@@ -41,6 +46,10 @@ INGEST_SPEEDUP_FLOOR = 3.0
 #: Read p99 under sustained ingest may exceed the idle p99 by at most
 #: this factor (1.0 would demand ingest be entirely free).
 MAX_READ_P99_RATIO = 1.2
+
+#: WAL-on absorb p50 may exceed WAL-off by at most this factor at the
+#: default fsync=batch policy.
+MAX_WAL_OVERHEAD_RATIO = 2.0
 
 #: History size: large enough that the old path's per-batch
 #: ``concat`` of the full history is visible, as it would be in the
@@ -83,9 +92,10 @@ def locked_absorb(cache, dataset, batch, lock):
     return dataset
 
 
-def test_ingest_throughput_and_read_tail(json_dir):
-    """Old vs new absorb at 120 cached cubes, then the read tail of a
-    fleet screen while a writer sustains that ingest stream."""
+def test_ingest_throughput_and_read_tail(json_dir, wal_fsync):
+    """Old vs new absorb at 120 cached cubes, the WAL-on durability
+    tax, then the read tail of a fleet screen while a writer sustains
+    that ingest stream."""
     history = make_history()
     batches = make_batches(N_BATCHES, BATCH_ROWS)
 
@@ -122,6 +132,32 @@ def test_ingest_throughput_and_read_tail(json_dir):
             percentile(old, 0.50) * 1000,
             percentile(new, 0.50) * 1000,
             speedup,
+        ),
+        unit="",
+    )
+
+    # --- WAL on: same absorb with every batch logged first. --------
+    with tempfile.TemporaryDirectory() as wal_dir:
+        durable = CubeStore(history)
+        durable.precompute(include_pairs=True)
+        wal = WriteAheadLog(wal_dir, fsync=wal_fsync)
+        durable.bind_wal(wal)
+        walled = []
+        for batch in batches:
+            start = time.perf_counter()
+            durable.absorb(batch)
+            walled.append(time.perf_counter() - start)
+        wal_bytes = wal.size_bytes()
+        wal.close()
+    walled.sort()
+    wal_ratio = percentile(walled, 0.50) / percentile(new, 0.50)
+    print_series(
+        f"Durability tax: WAL-on (fsync={wal_fsync}) vs WAL-off absorb",
+        ("wal_off_p50_ms", "wal_on_p50_ms", "ratio"),
+        (
+            percentile(new, 0.50) * 1000,
+            percentile(walled, 0.50) * 1000,
+            wal_ratio,
         ),
         unit="",
     )
@@ -199,6 +235,15 @@ def test_ingest_throughput_and_read_tail(json_dir):
         "new": summarize(new, "shared-pass snapshot absorb"),
         "speedup_p50": round(speedup, 2),
         "required_speedup": INGEST_SPEEDUP_FLOOR,
+        "wal": {
+            **summarize(
+                walled, f"snapshot absorb + WAL (fsync={wal_fsync})"
+            ),
+            "fsync": wal_fsync,
+            "log_bytes": wal_bytes,
+            "overhead_ratio": round(wal_ratio, 3),
+            "max_overhead_ratio": MAX_WAL_OVERHEAD_RATIO,
+        },
         "read_tail": {
             "read": "fleet screen, all pivots x 6 value pairs",
             "idle_p99_ms": round(idle_p99 * 1000, 3),
@@ -210,5 +255,10 @@ def test_ingest_throughput_and_read_tail(json_dir):
     })
 
     assert speedup >= INGEST_SPEEDUP_FLOOR
+    assert wal_ratio <= MAX_WAL_OVERHEAD_RATIO, (
+        f"WAL-on absorb is {wal_ratio:.2f}x WAL-off "
+        f"(fsync={wal_fsync}); the durability tax bound is "
+        f"{MAX_WAL_OVERHEAD_RATIO}x"
+    )
     assert absorbs[0] >= 3, "writer never sustained the ingest stream"
     assert ratio <= MAX_READ_P99_RATIO

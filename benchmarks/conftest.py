@@ -35,12 +35,28 @@ def pytest_addoption(parser):
             "(comparator kernel, parallel precompute, batch screen)"
         ),
     )
+    parser.addoption(
+        "--wal-fsync",
+        action="store",
+        default="batch",
+        choices=("always", "batch", "off"),
+        help=(
+            "durability policy for the WAL-on ingest measurement in "
+            "bench_ingest.py (default: batch, the serving default)"
+        ),
+    )
 
 
 @pytest.fixture(scope="session")
 def json_dir(request):
     """Target directory of ``--json``, or ``None`` to skip emission."""
     return request.config.getoption("--json")
+
+
+@pytest.fixture(scope="session")
+def wal_fsync(request):
+    """Durability policy for the WAL-on absorb measurement."""
+    return request.config.getoption("--wal-fsync")
 
 
 @pytest.fixture(scope="session")

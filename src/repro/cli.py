@@ -214,6 +214,39 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--wal-dir", default=None, dest="wal_dir", metavar="DIR",
+        help=(
+            "write-ahead log directory: every accepted ingest batch "
+            "is logged before absorb acknowledges, and startup "
+            "replays the log tail into the store before accepting "
+            "traffic (default: no durability)"
+        ),
+    )
+    serve.add_argument(
+        "--wal-fsync", default="batch", dest="wal_fsync",
+        choices=("always", "batch", "off"), metavar="POLICY",
+        help=(
+            "WAL durability policy: 'always' fsyncs every append "
+            "(power-loss durable), 'batch' flushes every append "
+            "(process-crash durable; default), 'off' leaves flushing "
+            "to buffering and rotation"
+        ),
+    )
+    serve.add_argument(
+        "--wal-segment-bytes", type=int, default=16 * 1024 * 1024,
+        dest="wal_segment_bytes", metavar="BYTES",
+        help="WAL segment rotation threshold (default 16 MiB)",
+    )
+    serve.add_argument(
+        "--ingest-high-watermark", type=int, default=64,
+        dest="ingest_high_watermark", metavar="N",
+        help=(
+            "reject /ingest with HTTP 429 + Retry-After once N "
+            "batches are admitted but not yet absorbed; 0 disables "
+            "admission control (default 64)"
+        ),
+    )
+    serve.add_argument(
         "--shards", type=int, default=1, metavar="N",
         help=(
             "serve the CSV through a sharded cube store with N "
@@ -334,6 +367,45 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_serve_wal(config, n_shards: int):
+    """Open the ``--wal-dir`` log(s), or ``None`` when durability is off."""
+    if not config.wal_dir:
+        return None
+    from .cube.wal import ShardedWal, WriteAheadLog
+
+    if n_shards > 1:
+        return ShardedWal.open(
+            config.wal_dir,
+            n_shards,
+            fsync=config.wal_fsync,
+            segment_bytes=config.wal_segment_bytes,
+        )
+    return WriteAheadLog(
+        config.wal_dir,
+        fsync=config.wal_fsync,
+        segment_bytes=config.wal_segment_bytes,
+    )
+
+
+def _replay_serve_wal(store, wal, start_after: int = 0) -> None:
+    """Replay the WAL tail into ``store``, printing a summary."""
+    from .cube.wal import replay_into
+
+    report = replay_into(store, wal, start_after=start_after)
+    if report.records or report.torn_bytes or report.skipped:
+        parts = [
+            f"WAL replay: {report.records} records "
+            f"({report.rows} rows) restored"
+        ]
+        if report.skipped:
+            parts.append(f"{report.skipped} already archived")
+        if report.torn_bytes:
+            parts.append(
+                f"torn final record dropped ({report.torn_bytes} bytes)"
+            )
+        print("; ".join(parts))
+
+
 def _build_serve_engine(args: argparse.Namespace):
     """Engine construction for ``repro serve`` (exposed for tests)."""
     from .service import ComparisonEngine, ServiceConfig, serve
@@ -353,6 +425,14 @@ def _build_serve_engine(args: argparse.Namespace):
         slow_request_ms=getattr(args, "slow_request_ms", 1000.0) or None,
         trace_log_path=getattr(args, "trace_log", None),
         ingest_coalesce_ms=getattr(args, "ingest_coalesce_ms", None),
+        ingest_high_watermark=(
+            getattr(args, "ingest_high_watermark", 64) or None
+        ),
+        wal_dir=getattr(args, "wal_dir", None),
+        wal_fsync=getattr(args, "wal_fsync", "batch"),
+        wal_segment_bytes=getattr(
+            args, "wal_segment_bytes", 16 * 1024 * 1024
+        ),
     )
     engine = ComparisonEngine(config)
     n_shards = getattr(args, "shards", 1)
@@ -382,6 +462,9 @@ def _build_serve_engine(args: argparse.Namespace):
         store = ShardedCubeStore.from_dataset(
             data, n_shards, shard_by=shard_by
         )
+        wal = _open_serve_wal(config, n_shards)
+        if wal is not None:
+            _replay_serve_wal(store, wal)
         if not args.no_precompute:
             built = store.precompute(
                 workers=getattr(args, "precompute_workers", None)
@@ -389,25 +472,31 @@ def _build_serve_engine(args: argparse.Namespace):
             print(
                 f"Precomputed {built} cubes across {n_shards} shards"
             )
-        engine.add_store(store, name=args.name)
+        engine.add_store(store, name=args.name, wal=wal)
         return engine, config, serve
+    wal = _open_serve_wal(config, 1)
     if args.csv:
         if not args.class_attribute:
             raise ValueError("--class-attribute is required with a CSV")
         om = _load_workbench(args)
+        start_after = 0
         if args.store:
-            from .cube.persist import load_store_cubes
+            from .cube.persist import archive_wal_seq, load_store_cubes
 
             injected = load_store_cubes(om.store, args.store)
             print(f"Warm-started {injected} cubes from {args.store}")
+            if wal is not None:
+                start_after = archive_wal_seq(args.store)
         elif not args.no_precompute:
             built = om.precompute_cubes(
                 workers=getattr(args, "precompute_workers", None)
             )
             print(f"Precomputed {built} cubes")
-        engine.add_store(om.store, name=args.name)
+        if wal is not None:
+            _replay_serve_wal(om.store, wal, start_after=start_after)
+        engine.add_store(om.store, name=args.name, wal=wal)
     elif args.store:
-        engine.load_archive(args.store, name=args.name)
+        engine.load_archive(args.store, name=args.name, wal=wal)
         print(f"Serving cube archive {args.store} as {args.name!r}")
     else:
         raise ValueError(

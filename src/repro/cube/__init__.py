@@ -25,7 +25,21 @@ from .sharded import (
     shard_by_column,
     shard_rows,
 )
-from .persist import load_cubes, load_store_cubes, save_cubes
+from .persist import (
+    archive_wal_seq,
+    load_cubes,
+    load_store_cubes,
+    save_cubes,
+)
+from .wal import (
+    ReplayReport,
+    ShardedWal,
+    WalCorruptionError,
+    WalError,
+    WriteAheadLog,
+    open_sharded_wals,
+    replay_into,
+)
 
 __all__ = [
     "RuleCube",
@@ -49,4 +63,12 @@ __all__ = [
     "save_cubes",
     "load_cubes",
     "load_store_cubes",
+    "archive_wal_seq",
+    "WriteAheadLog",
+    "ShardedWal",
+    "WalError",
+    "WalCorruptionError",
+    "ReplayReport",
+    "open_sharded_wals",
+    "replay_into",
 ]

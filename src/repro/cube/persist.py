@@ -37,6 +37,7 @@ __all__ = [
     "load_cubes",
     "load_store_cubes",
     "archive_schema",
+    "archive_wal_seq",
 ]
 
 PathLike = Union[str, Path]
@@ -44,12 +45,24 @@ PathLike = Union[str, Path]
 _META_KEY = "__meta__"
 
 
-def save_cubes(store: CubeStore, path: PathLike) -> int:
+def save_cubes(
+    store: CubeStore,
+    path: PathLike,
+    wal_seq: int = 0,
+) -> int:
     """Write every cube materialised in ``store`` to ``path``.
 
     Returns the number of cubes written.  Call
     :meth:`CubeStore.precompute` first to persist the full 2-D/3-D
     inventory.
+
+    ``wal_seq`` records the highest write-ahead-log sequence number
+    whose batch the persisted counts already contain.  A warm start
+    from this archive passes it as ``start_after`` to WAL replay
+    (:func:`archive_wal_seq` reads it back), so a batch is never
+    counted twice — once from the archive and once from the log.
+    Callers must quiesce absorbs while capturing ``wal_seq`` and the
+    cubes, or the pair can disagree.
     """
     path = Path(path)
     schema = store.dataset.schema
@@ -71,6 +84,8 @@ def save_cubes(store: CubeStore, path: PathLike) -> int:
         "keys": keys,
         "format": 1,
     }
+    if wal_seq:
+        meta["wal_seq"] = int(wal_seq)
     arrays = dict(cubes)
     arrays[_META_KEY] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
@@ -126,6 +141,22 @@ def archive_schema(path: PathLike) -> "Schema":
         for name, values in meta["domains"].items()
     ]
     return Schema(attrs, class_attribute=meta["class_attribute"])
+
+
+def archive_wal_seq(path: PathLike) -> int:
+    """The ``wal_seq`` an archive was persisted at (0 if absent).
+
+    Archives written before the WAL existed (or without one bound)
+    carry no ``wal_seq``; replaying a log from 0 into them is only
+    correct if the log was compacted at persist time — the serve path
+    warns when it finds a non-empty log behind a wal_seq-less archive.
+    """
+    path = Path(path)
+    with np.load(path) as archive:
+        if _META_KEY not in archive:
+            raise CubeError(f"{path} is not a rule-cube archive")
+        meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+    return int(meta.get("wal_seq", 0))
 
 
 def load_store_cubes(store: CubeStore, path: PathLike) -> int:

@@ -309,6 +309,11 @@ class ShardedCubeStore:
         self._local = threading.local()
         self._metrics = None
         self._metrics_store = ""
+        self._wal = None
+        # Outermost sharded-level pins per generation vector; the
+        # shards track their own component pins separately.
+        self._pins: Dict[Tuple[int, ...], int] = {}
+        self._pins_lock = threading.Lock()
 
     @classmethod
     def from_dataset(
@@ -370,10 +375,22 @@ class ShardedCubeStore:
         previous = getattr(self._local, "snapshot", None)
         snapshot = previous if previous is not None else self._capture()
         self._local.snapshot = snapshot
+        if previous is None:
+            with self._pins_lock:
+                gen = snapshot.generation
+                self._pins[gen] = self._pins.get(gen, 0) + 1
         try:
             yield snapshot
         finally:
             self._local.snapshot = previous
+            if previous is None:
+                with self._pins_lock:
+                    gen = snapshot.generation
+                    remaining = self._pins.get(gen, 0) - 1
+                    if remaining <= 0:
+                        self._pins.pop(gen, None)
+                    else:
+                        self._pins[gen] = remaining
 
     @property
     def dataset(self) -> _DatasetFacade:
@@ -425,6 +442,64 @@ class ShardedCubeStore:
         """
         self._metrics = metrics
         self._metrics_store = store_name
+
+    def bind_wal(self, wal: object) -> None:
+        """Bind one write-ahead log per shard (one WAL per shard).
+
+        ``wal`` must expose ``logs`` — one log per shard, in shard
+        order (see :class:`repro.cube.wal.ShardedWal`).  Each inner
+        store appends its routed sub-batch to its *own* log inside its
+        own absorb, tagged with the shard index, so the durable record
+        and the in-memory mutation stay under the same write lock.
+        Bind after replay, exactly like the single-store contract.
+        """
+        logs = getattr(wal, "logs", None)
+        if logs is None or len(logs) != len(self._shards):
+            raise CubeError(
+                f"a sharded store with {len(self._shards)} shards "
+                "needs a per-shard WAL with a matching number of logs"
+            )
+        with self._write_lock:
+            self._wal = wal
+            for index, (shard, log) in enumerate(
+                zip(self._shards, logs)
+            ):
+                shard.bind_wal(log, shard=index)
+
+    @property
+    def wal(self) -> Optional[object]:
+        """The bound per-shard write-ahead log, if any."""
+        return self._wal
+
+    def retention_info(self) -> Dict[str, int]:
+        """Aggregate snapshot-retention accounting across shards.
+
+        Counts both shard-level pins (scatter reads pinning individual
+        components) and sharded-level pins (a ``with store.pinned():``
+        block holding a whole snapshot vector — and every shard's
+        ``AppendBuffer`` prefix inside it — alive).
+        """
+        infos = [shard.retention_info() for shard in self._shards]
+        current = tuple(
+            shard._snapshot.generation for shard in self._shards
+        )
+        with self._pins_lock:
+            vector_pins = dict(self._pins)
+        return {
+            "current_generation": max(
+                info["current_generation"] for info in infos
+            ),
+            "active_pins": sum(info["active_pins"] for info in infos)
+            + sum(vector_pins.values()),
+            "pinned_generations": sum(
+                info["pinned_generations"] for info in infos
+            )
+            + len(vector_pins),
+            "stale_pinned_generations": sum(
+                info["stale_pinned_generations"] for info in infos
+            )
+            + sum(1 for gen in vector_pins if gen != current),
+        }
 
     # ------------------------------------------------------------------
     # Scatter-gather reads

@@ -153,6 +153,11 @@ class CubeStore:
         self._building: Dict[Tuple[str, ...], threading.Event] = {}
         # Per-thread pinned snapshot (see pinned()).
         self._local = threading.local()
+        # Outermost active pins per generation (see retention_info()).
+        self._pins: Dict[int, int] = {}
+        # Optional write-ahead log (see bind_wal()).
+        self._wal = None
+        self._wal_shard: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Snapshot access
@@ -176,10 +181,14 @@ class CubeStore:
         previous = getattr(self._local, "snapshot", None)
         snapshot = previous if previous is not None else self._snapshot
         self._local.snapshot = snapshot
+        if previous is None:
+            self._track_pin(snapshot)
         try:
             yield snapshot
         finally:
             self._local.snapshot = previous
+            if previous is None:
+                self._untrack_pin(snapshot)
 
     def current_snapshot(self) -> _Snapshot:
         """The snapshot reads on this thread resolve against right now.
@@ -205,10 +214,53 @@ class CubeStore:
         """
         previous = getattr(self._local, "snapshot", None)
         self._local.snapshot = snapshot
+        if previous is None:
+            self._track_pin(snapshot)
         try:
             yield snapshot
         finally:
             self._local.snapshot = previous
+            if previous is None:
+                self._untrack_pin(snapshot)
+
+    def _track_pin(self, snapshot: _Snapshot) -> None:
+        """Count an outermost pin against its snapshot's generation."""
+        with self._lock:
+            gen = snapshot.generation
+            self._pins[gen] = self._pins.get(gen, 0) + 1
+
+    def _untrack_pin(self, snapshot: _Snapshot) -> None:
+        with self._lock:
+            gen = snapshot.generation
+            remaining = self._pins.get(gen, 0) - 1
+            if remaining <= 0:
+                self._pins.pop(gen, None)
+            else:
+                self._pins[gen] = remaining
+
+    def retention_info(self) -> Dict[str, int]:
+        """Snapshot-retention accounting for long-pinned readers.
+
+        Every outermost :meth:`pinned` / :meth:`pinned_to` block keeps
+        one whole :class:`_Snapshot` — and, transitively, the
+        ``AppendBuffer`` prefix views its dataset wraps — alive for its
+        duration.  ``pinned_generations`` counts the distinct
+        generations currently held; ``stale_pinned_generations`` the
+        subset older than the live snapshot, i.e. memory that only the
+        pinning readers keep resident.  The engine exports this as the
+        ``repro_snapshot_pinned_generations`` gauge.
+        """
+        with self._lock:
+            pins = dict(self._pins)
+            current = self._snapshot.generation
+        return {
+            "current_generation": current,
+            "active_pins": sum(pins.values()),
+            "pinned_generations": len(pins),
+            "stale_pinned_generations": sum(
+                1 for gen in pins if gen < current
+            ),
+        }
 
     @property
     def dataset(self) -> Dataset:
@@ -530,6 +582,14 @@ class CubeStore:
                 rows=batch.n_rows,
                 cubes=len(keys),
             )
+            if self._wal is not None:
+                # Write-ahead: the batch is durable before anything is
+                # mutated.  An append failure aborts the absorb with
+                # the old snapshot still serving; a failure *after*
+                # this point leaves a logged-but-unapplied record that
+                # replay applies on restart (at-least-once for batches
+                # whose acknowledgement was lost).
+                self._wal.append(batch, shard=self._wal_shard)
             merged: Dict[Tuple[str, ...], RuleCube] = {}
             if keys:
                 names = sorted({name for key in keys for name in key})
@@ -565,6 +625,30 @@ class CubeStore:
                         merged, new_dataset, snapshot.generation + 1
                     )
         return len(merged)
+
+    def bind_wal(self, wal: object, shard: Optional[int] = None) -> None:
+        """Log every subsequently absorbed batch to ``wal`` first.
+
+        ``wal`` is duck-typed (``append(batch, shard=...)``), normally
+        a :class:`~repro.cube.wal.WriteAheadLog`.  ``shard`` tags each
+        record when this store is one shard of a
+        :class:`~repro.cube.sharded.ShardedCubeStore`.  Bind *after*
+        replaying the log (:func:`repro.cube.wal.replay_into`), or the
+        replayed batches would be re-appended to the log they came
+        from.
+        """
+        if wal is not None and not callable(getattr(wal, "append", None)):
+            raise CubeError(
+                "a write-ahead log must expose append(batch, shard=...)"
+            )
+        with self._write_lock:
+            self._wal = wal
+            self._wal_shard = shard
+
+    @property
+    def wal(self) -> Optional[object]:
+        """The bound write-ahead log, if any."""
+        return self._wal
 
     def cached_items(self) -> Dict[Tuple[str, ...], RuleCube]:
         """Snapshot of the materialised cubes, keyed by the canonical

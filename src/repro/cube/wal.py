@@ -1,0 +1,855 @@
+"""Write-ahead log for the cube store's ingest path.
+
+The paper's cubes were rebuilt from a month of raw call logs, so a
+crash between rebuilds lost nothing that could not be re-derived.  Our
+serving tier absorbs `/ingest` batches incrementally (PR 5) — until
+the next explicit archive persist those acknowledged rows exist only
+in process memory.  This module closes that gap: every accepted batch
+is appended to an on-disk log *before* :meth:`CubeStore.absorb`
+mutates anything, and ``repro serve --wal-dir`` replays the log into
+the store on startup before accepting traffic.
+
+Record format
+-------------
+
+One record per absorbed batch, framed for torn-write detection::
+
+    W <seq:12x> <length:8x> <crc:8x> <payload bytes>\\n
+
+* The 33-byte ASCII header carries the record sequence number, the
+  payload length and the CRC-32 of the payload bytes; fixed width so a
+  frame scan never needs to parse JSON.
+* The payload is one JSON object holding the batch in *coded* columnar
+  form — ``int64`` category codes (``MISSING`` = ``-1``) and floats
+  with ``NaN`` as ``null`` — plus a schema fingerprint so a log can
+  never be replayed into a store with a different schema.
+* The trailing newline keeps segments greppable as JSONL (offset the
+  header) and gives the frame a terminator to validate.
+
+A *torn* record — the file ends before the frame completes, the only
+damage truncation can cause — is silently dropped by replay: the batch
+it held was never acknowledged as durable.  A *complete* frame whose
+checksum or structure is wrong is real corruption and raises
+:class:`WalCorruptionError` instead of guessing.
+
+Durability knobs
+----------------
+
+``fsync="always"``   fsync after every append — survives power loss.
+``fsync="batch"``    flush after every append (default) — the record
+                     is in the OS page cache before absorb
+                     acknowledges, surviving process crashes.
+``fsync="off"``      library buffering only; flushed on rotation and
+                     close.  For bulk loads where the source data
+                     still exists.
+
+Segments rotate at ``segment_bytes``; :meth:`WriteAheadLog.compact`
+deletes sealed segments fully covered by an archive persist (see
+:func:`repro.cube.persist.save_cubes`'s ``wal_seq``).
+
+Sharded stores get one WAL per shard (:func:`open_sharded_wals`):
+each routed sub-batch is appended to its owner shard's own log by that
+shard's :class:`CubeStore`, and replay restores each shard
+independently — cross-shard ordering carries no information because
+cube counts are additive under any partition.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from typing import (
+    IO,
+    Dict,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from ..dataset.schema import Schema
+from ..dataset.table import Dataset
+from ..testing.sites import SITE_WAL_APPEND, SITE_WAL_REPLAY, trip
+
+__all__ = [
+    "WalError",
+    "WalCorruptionError",
+    "WalRecord",
+    "ReplayReport",
+    "WriteAheadLog",
+    "open_sharded_wals",
+    "replay_into",
+    "encode_batch",
+    "decode_batch",
+    "encode_record",
+    "schema_fingerprint",
+    "FSYNC_MODES",
+]
+
+#: Accepted fsync policies, weakest-to-strongest guarantees last.
+FSYNC_MODES = ("off", "batch", "always")
+
+_MAGIC = b"W "
+_HEADER_LEN = 33  # b"W " + 12x seq + b" " + 8x len + b" " + 8x crc + b" "
+_TERMINATOR = b"\n"
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".log"
+
+
+class WalError(RuntimeError):
+    """Raised for write-ahead-log failures (I/O, misuse, bad replay)."""
+
+
+class WalCorruptionError(WalError):
+    """A complete record failed its checksum or structural validation.
+
+    Distinct from a torn tail: truncation can only remove bytes from
+    the end of the final segment, which replay tolerates.  A full-size
+    frame that does not verify means the bytes were altered, and the
+    log refuses to guess what they meant.
+    """
+
+
+class WalRecord(NamedTuple):
+    """One decoded log record."""
+
+    seq: int
+    shard: Optional[int]
+    batch: Dataset
+    n_bytes: int
+
+
+class ReplayReport:
+    """Mutable tally filled in by :meth:`WriteAheadLog.replay`."""
+
+    __slots__ = (
+        "records",
+        "rows",
+        "skipped",
+        "torn_bytes",
+        "segments",
+        "last_seq",
+    )
+
+    def __init__(self) -> None:
+        self.records = 0
+        self.rows = 0
+        self.skipped = 0
+        self.torn_bytes = 0
+        self.segments = 0
+        self.last_seq = 0
+
+    def merge(self, other: "ReplayReport") -> None:
+        self.records += other.records
+        self.rows += other.rows
+        self.skipped += other.skipped
+        self.torn_bytes += other.torn_bytes
+        self.segments += other.segments
+        self.last_seq = max(self.last_seq, other.last_seq)
+
+    def describe(self) -> Dict[str, int]:
+        return {
+            "records": self.records,
+            "rows": self.rows,
+            "skipped": self.skipped,
+            "torn_bytes": self.torn_bytes,
+            "segments": self.segments,
+            "last_seq": self.last_seq,
+        }
+
+    def __repr__(self) -> str:
+        return f"ReplayReport({self.describe()})"
+
+
+# ----------------------------------------------------------------------
+# Record encode / decode
+# ----------------------------------------------------------------------
+
+
+def schema_fingerprint(schema: Schema) -> int:
+    """A 32-bit fingerprint of the schema's structure.
+
+    Covers attribute names, domains and the class designation — the
+    parts replay depends on to reinterpret coded columns.  Stored in
+    every record so a log directory can never silently replay into a
+    store built over different data.
+    """
+    spec = {
+        "class": schema.class_name,
+        "attrs": [
+            [
+                attr.name,
+                list(attr.values) if attr.is_categorical else None,
+            ]
+            for attr in schema
+        ],
+    }
+    blob = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(blob.encode("utf-8")) & 0xFFFFFFFF
+
+
+def encode_batch(
+    batch: Dataset, shard: Optional[int] = None
+) -> Dict[str, object]:
+    """Serialise a batch to the JSON payload structure.
+
+    Categorical columns travel as their integer codes (``MISSING`` =
+    ``-1``), continuous ones as floats with ``NaN`` mapped to ``null``
+    — JSON has no NaN literal and ``float("nan")`` would emit the
+    non-standard ``NaN`` token.
+    """
+    schema = batch.schema
+    columns: Dict[str, List[object]] = {}
+    for attr in schema:
+        col = batch.column(attr.name)
+        # ndarray.tolist() converts in C; the per-element NaN -> null
+        # rewrite only runs when a NaN is actually present.
+        values = col.tolist()
+        if not attr.is_categorical and np.isnan(col).any():
+            values = [None if v != v else v for v in values]
+        columns[attr.name] = values
+    return {
+        "schema": schema_fingerprint(schema),
+        "shard": shard,
+        "rows": batch.n_rows,
+        "columns": columns,
+    }
+
+
+def decode_batch(
+    schema: Schema, payload: Dict[str, object]
+) -> Tuple[Dataset, Optional[int]]:
+    """Rebuild the batch a payload holds; inverse of :func:`encode_batch`."""
+    recorded = payload.get("schema")
+    expected = schema_fingerprint(schema)
+    if recorded != expected:
+        raise WalError(
+            f"record schema fingerprint {recorded!r} does not match "
+            f"the store's schema ({expected}); this log belongs to a "
+            "different store"
+        )
+    raw_columns = payload.get("columns")
+    if not isinstance(raw_columns, dict):
+        raise WalCorruptionError("record payload has no columns object")
+    columns: Dict[str, np.ndarray] = {}
+    for attr in schema:
+        try:
+            raw = raw_columns[attr.name]
+        except KeyError:
+            raise WalCorruptionError(
+                f"record payload is missing column {attr.name!r}"
+            ) from None
+        if attr.is_categorical:
+            columns[attr.name] = np.asarray(raw, dtype=np.int64)
+        else:
+            columns[attr.name] = np.asarray(
+                [float("nan") if v is None else float(v) for v in raw],
+                dtype=np.float64,
+            )
+    batch = Dataset.from_columns(schema, columns)
+    if batch.n_rows != payload.get("rows"):
+        raise WalCorruptionError(
+            "record row count does not match its columns"
+        )
+    shard = payload.get("shard")
+    if shard is not None and not isinstance(shard, int):
+        raise WalCorruptionError("record shard tag must be an integer")
+    return batch, shard
+
+
+def encode_record(seq: int, payload: bytes) -> bytes:
+    """Frame a payload: fixed-width header, payload, newline."""
+    if seq < 0 or seq > 0xFFFFFFFFFFFF:
+        raise WalError(f"sequence number {seq} out of range")
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    header = b"%s%012x %08x %08x " % (_MAGIC, seq, len(payload), crc)
+    assert len(header) == _HEADER_LEN
+    return header + payload + _TERMINATOR
+
+
+class _Frame(NamedTuple):
+    seq: int
+    payload: bytes
+    end_offset: int
+
+
+def _read_frames(
+    handle: IO[bytes], path: str
+) -> Tuple[List[_Frame], int]:
+    """Scan one segment; return its complete frames and torn-tail size.
+
+    Only frame structure is verified here (header shape, length, CRC,
+    terminator) — payload JSON is decoded lazily by replay.  A file
+    that simply ends mid-frame yields the frames before the tear plus
+    the count of dangling bytes; anything else raises
+    :class:`WalCorruptionError` naming the offset.
+    """
+    frames: List[_Frame] = []
+    offset = 0
+    while True:
+        header = handle.read(_HEADER_LEN)
+        if not header:
+            return frames, 0
+        if len(header) < _HEADER_LEN:
+            return frames, len(header)
+        if header[:2] != _MAGIC or header[-1:] != b" ":
+            raise WalCorruptionError(
+                f"{path}: bad record header at offset {offset}"
+            )
+        try:
+            seq = int(header[2:14], 16)
+            length = int(header[15:23], 16)
+            crc = int(header[24:32], 16)
+        except ValueError:
+            raise WalCorruptionError(
+                f"{path}: unparsable record header at offset {offset}"
+            ) from None
+        body = handle.read(length + 1)
+        if len(body) < length + 1:
+            return frames, _HEADER_LEN + len(body)
+        payload, terminator = body[:length], body[length:]
+        if terminator != _TERMINATOR:
+            raise WalCorruptionError(
+                f"{path}: record at offset {offset} has no terminator"
+            )
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            raise WalCorruptionError(
+                f"{path}: checksum mismatch for record seq {seq} at "
+                f"offset {offset}"
+            )
+        offset += _HEADER_LEN + length + 1
+        frames.append(_Frame(seq, payload, offset))
+
+
+class _Segment(NamedTuple):
+    path: str
+    index: int
+    first_seq: int  # 0 when the segment holds no complete record
+    last_seq: int
+
+
+class WriteAheadLog:
+    """Append-only, segment-rotated batch log for one store (or shard).
+
+    Thread safety: :meth:`append` is internally locked, though in
+    practice the owning store's write lock already serialises callers.
+    :meth:`replay` must run before the first append (the startup
+    sequence) or while appends are quiescent.
+    """
+
+    #: Default rotation threshold (16 MB of frames per segment).
+    DEFAULT_SEGMENT_BYTES = 16 * 1024 * 1024
+
+    def __init__(
+        self,
+        directory: str,
+        fsync: str = "batch",
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    ) -> None:
+        if fsync not in FSYNC_MODES:
+            raise WalError(
+                f"fsync must be one of {FSYNC_MODES}, got {fsync!r}"
+            )
+        if segment_bytes < 1024:
+            raise WalError("segment_bytes must be at least 1024")
+        self._directory = os.path.abspath(directory)
+        os.makedirs(self._directory, exist_ok=True)
+        self._fsync = fsync
+        self._segment_bytes = segment_bytes
+        self._lock = threading.Lock()
+        self._handle: Optional[IO[bytes]] = None
+        self._handle_size = 0
+        self._closed = False
+        self._metrics: Optional[object] = None
+        self._metric_labels: Dict[str, str] = {}
+        self._segments: List[_Segment] = []
+        self._next_seq = 1
+        self._scan_existing()
+
+    # -- startup scan ---------------------------------------------------
+
+    def _segment_path(self, index: int) -> str:
+        return os.path.join(
+            self._directory, f"{_SEGMENT_PREFIX}{index:08d}{_SEGMENT_SUFFIX}"
+        )
+
+    def _scan_existing(self) -> None:
+        """Index the segments already on disk and find the next seq.
+
+        Only frames are scanned (no JSON decode); the torn tail of the
+        *final* segment, if any, is truncated away here so appends
+        never land after garbage.  A torn frame in a non-final segment
+        means bytes vanished from the middle of the log — corruption.
+        """
+        indices = []
+        for name in os.listdir(self._directory):
+            if not (
+                name.startswith(_SEGMENT_PREFIX)
+                and name.endswith(_SEGMENT_SUFFIX)
+            ):
+                continue
+            stem = name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+            try:
+                indices.append(int(stem))
+            except ValueError:
+                raise WalError(
+                    f"unrecognised file in WAL directory: {name!r}"
+                ) from None
+        indices.sort()
+        last_seq = 0
+        for position, index in enumerate(indices):
+            path = self._segment_path(index)
+            with open(path, "rb") as handle:
+                frames, torn = _read_frames(handle, path)
+            if torn and position != len(indices) - 1:
+                raise WalCorruptionError(
+                    f"{path}: torn record in a non-final segment"
+                )
+            for frame in frames:
+                if frame.seq <= last_seq:
+                    raise WalCorruptionError(
+                        f"{path}: sequence number {frame.seq} is not "
+                        f"monotonic (previous {last_seq})"
+                    )
+                last_seq = frame.seq
+            if torn:
+                valid_end = frames[-1].end_offset if frames else 0
+                with open(path, "r+b") as handle:
+                    handle.truncate(valid_end)
+            self._segments.append(
+                _Segment(
+                    path,
+                    index,
+                    frames[0].seq if frames else 0,
+                    frames[-1].seq if frames else 0,
+                )
+            )
+        self._next_seq = last_seq + 1
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def directory(self) -> str:
+        """The directory segments live in."""
+        return self._directory
+
+    @property
+    def fsync_mode(self) -> str:
+        """The configured durability policy."""
+        return self._fsync
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recently appended record."""
+        return self._next_seq - 1
+
+    def segment_count(self) -> int:
+        """Number of segment files currently on disk."""
+        with self._lock:
+            return len(self._segments)
+
+    def size_bytes(self) -> int:
+        """Total bytes across all segments."""
+        with self._lock:
+            paths = [seg.path for seg in self._segments]
+        total = 0
+        for path in paths:
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                pass
+        return total
+
+    def describe(self) -> Dict[str, object]:
+        """Summary used by ``GET /cubes`` and replay logging."""
+        return {
+            "directory": self._directory,
+            "fsync": self._fsync,
+            "segments": self.segment_count(),
+            "bytes": self.size_bytes(),
+            "last_seq": self.last_seq,
+        }
+
+    # -- metrics --------------------------------------------------------
+
+    def bind_metrics(
+        self, metrics: object, store_name: str, shard: Optional[int] = None
+    ) -> None:
+        """Attach a :class:`~repro.service.metrics.ServiceMetrics` panel.
+
+        Duck-typed like the stores' ``bind_metrics`` so the cube layer
+        stays importable without the service package.
+        """
+        self._metrics = metrics
+        labels = {"store": store_name}
+        if shard is not None:
+            labels["shard"] = str(shard)
+        self._metric_labels = labels
+
+    def _record_append(self, n_bytes: int, seconds: float) -> None:
+        metrics = self._metrics
+        if metrics is None:
+            return
+        labels = self._metric_labels
+        metrics.wal_appends.inc(**labels)
+        metrics.wal_append_bytes.inc(n_bytes, **labels)
+        metrics.wal_append_seconds.observe(seconds, **labels)
+        if self._fsync == "always":
+            metrics.wal_fsyncs.inc(**labels)
+
+    # -- append ---------------------------------------------------------
+
+    def _open_segment(self) -> IO[bytes]:
+        if self._segments:
+            tail = self._segments[-1]
+            size = (
+                os.path.getsize(tail.path)
+                if os.path.exists(tail.path)
+                else 0
+            )
+            if size < self._segment_bytes:
+                handle = open(tail.path, "ab")
+                self._handle_size = size
+                return handle
+            next_index = tail.index + 1
+        else:
+            next_index = 1
+        path = self._segment_path(next_index)
+        handle = open(path, "ab")
+        self._handle_size = 0
+        self._segments.append(_Segment(path, next_index, 0, 0))
+        return handle
+
+    def _rotate_locked(self) -> None:
+        assert self._handle is not None
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
+        tail = self._segments[-1]
+        next_index = tail.index + 1
+        path = self._segment_path(next_index)
+        self._handle = open(path, "ab")
+        self._handle_size = 0
+        self._segments.append(_Segment(path, next_index, 0, 0))
+
+    def append(self, batch: Dataset, shard: Optional[int] = None) -> int:
+        """Durably record one accepted batch; returns its sequence number.
+
+        Called by the store *inside* its write lock, before any
+        in-memory mutation: if this raises, absorb aborts and the old
+        snapshot keeps serving — the batch is neither logged nor
+        counted.  This is a declared fault site (``wal.append``), the
+        stand-in for a full disk or failing device.
+        """
+        import time
+
+        trip(SITE_WAL_APPEND, rows=batch.n_rows, shard=shard)
+        with self._lock:
+            if self._closed:
+                raise WalError("write-ahead log is closed")
+            started = time.perf_counter()
+            seq = self._next_seq
+            payload = json.dumps(
+                encode_batch(batch, shard),
+                ensure_ascii=False,
+                separators=(",", ":"),
+            ).encode("utf-8")
+            frame = encode_record(seq, payload)
+            if self._handle is None:
+                self._handle = self._open_segment()
+            try:
+                self._handle.write(frame)
+                if self._fsync == "always":
+                    self._handle.flush()
+                    os.fsync(self._handle.fileno())
+                elif self._fsync == "batch":
+                    self._handle.flush()
+            except OSError as exc:
+                raise WalError(f"WAL append failed: {exc}") from exc
+            self._handle_size += len(frame)
+            tail = self._segments[-1]
+            self._segments[-1] = _Segment(
+                tail.path,
+                tail.index,
+                tail.first_seq or seq,
+                seq,
+            )
+            self._next_seq = seq + 1
+            if self._handle_size >= self._segment_bytes:
+                self._rotate_locked()
+            elapsed = time.perf_counter() - started
+        self._record_append(len(frame), elapsed)
+        return seq
+
+    def sync(self) -> None:
+        """Force an fsync of the open segment (any policy)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Flush and close the open segment; further appends fail."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                self._handle.close()
+                self._handle = None
+            self._closed = True
+
+    # -- replay ---------------------------------------------------------
+
+    def replay(
+        self,
+        schema: Schema,
+        start_after: int = 0,
+        report: Optional[ReplayReport] = None,
+    ) -> Iterator[WalRecord]:
+        """Yield every durable record with ``seq > start_after`` in order.
+
+        ``start_after`` is the archive's recorded ``wal_seq`` on a warm
+        start — records the persisted cubes already contain are
+        skipped, never double-counted.  A torn final record is dropped
+        (its batch was never durable); its size lands in
+        ``report.torn_bytes``.  Trips the ``wal.replay`` fault site
+        once per yielded record so chaos runs can wound recovery
+        itself.
+        """
+        if report is None:
+            report = ReplayReport()
+        with self._lock:
+            segments = list(self._segments)
+        last_seq = 0
+        for position, segment in enumerate(segments):
+            try:
+                with open(segment.path, "rb") as handle:
+                    frames, torn = _read_frames(handle, segment.path)
+            except FileNotFoundError:
+                continue
+            report.segments += 1
+            if torn:
+                if position != len(segments) - 1:
+                    raise WalCorruptionError(
+                        f"{segment.path}: torn record in a non-final "
+                        "segment"
+                    )
+                report.torn_bytes += torn
+            for frame in frames:
+                if frame.seq <= last_seq:
+                    raise WalCorruptionError(
+                        f"{segment.path}: sequence number {frame.seq} "
+                        f"is not monotonic (previous {last_seq})"
+                    )
+                last_seq = frame.seq
+                report.last_seq = frame.seq
+                if frame.seq <= start_after:
+                    report.skipped += 1
+                    continue
+                trip(
+                    SITE_WAL_REPLAY,
+                    seq=frame.seq,
+                    segment=segment.index,
+                )
+                try:
+                    payload = json.loads(frame.payload.decode("utf-8"))
+                except ValueError:
+                    raise WalCorruptionError(
+                        f"{segment.path}: record seq {frame.seq} holds "
+                        "unparsable JSON"
+                    ) from None
+                batch, shard = decode_batch(schema, payload)
+                report.records += 1
+                report.rows += batch.n_rows
+                yield WalRecord(
+                    frame.seq, shard, batch, len(frame.payload)
+                )
+
+    # -- compaction -----------------------------------------------------
+
+    def compact(self, through_seq: int) -> int:
+        """Delete sealed segments whose records are all ``<= through_seq``.
+
+        Called after an archive persist recorded ``wal_seq =
+        through_seq``: those records are now redundant with the
+        archive.  The open (tail) segment is never deleted, so the log
+        always has somewhere to append.  Returns the number of
+        segments removed.
+        """
+        removed = 0
+        with self._lock:
+            keep: List[_Segment] = []
+            for position, segment in enumerate(self._segments):
+                is_tail = position == len(self._segments) - 1
+                sealed_and_covered = (
+                    not is_tail
+                    and segment.last_seq != 0
+                    and segment.last_seq <= through_seq
+                )
+                if sealed_and_covered:
+                    try:
+                        os.remove(segment.path)
+                    except OSError as exc:
+                        raise WalError(
+                            f"compaction failed to remove "
+                            f"{segment.path}: {exc}"
+                        ) from exc
+                    removed += 1
+                else:
+                    keep.append(segment)
+            self._segments = keep
+        return removed
+
+
+# ----------------------------------------------------------------------
+# Sharded stores: one log per shard
+# ----------------------------------------------------------------------
+
+
+def open_sharded_wals(
+    directory: str,
+    n_shards: int,
+    fsync: str = "batch",
+    segment_bytes: int = WriteAheadLog.DEFAULT_SEGMENT_BYTES,
+) -> List[WriteAheadLog]:
+    """One :class:`WriteAheadLog` per shard under ``directory``.
+
+    Shard ``k`` logs to ``directory/shard-kk/``; an existing layout is
+    validated against ``n_shards`` so a 4-shard store can never
+    silently adopt (and partially replay) an 8-shard log directory.
+    """
+    if n_shards < 1:
+        raise WalError("n_shards must be positive")
+    root = os.path.abspath(directory)
+    os.makedirs(root, exist_ok=True)
+    existing = sorted(
+        name
+        for name in os.listdir(root)
+        if name.startswith("shard-")
+        and os.path.isdir(os.path.join(root, name))
+    )
+    expected = [f"shard-{k:02d}" for k in range(n_shards)]
+    if existing and existing != expected:
+        raise WalError(
+            f"WAL directory {root} holds shard logs {existing}, but "
+            f"this store has {n_shards} shards ({expected})"
+        )
+    return [
+        WriteAheadLog(
+            os.path.join(root, name),
+            fsync=fsync,
+            segment_bytes=segment_bytes,
+        )
+        for name in expected
+    ]
+
+
+def replay_into(
+    store: object,
+    wal: object,
+    start_after: int = 0,
+) -> ReplayReport:
+    """Replay a log (or per-shard logs) into a store before traffic.
+
+    ``store`` is duck-typed: anything with ``shards`` (the sharded
+    store) gets each shard's own log replayed into that shard;
+    otherwise every record is absorbed into the store directly.  Must
+    run *before* :meth:`bind_wal` — replayed batches would otherwise
+    be re-appended to the very log they came from.
+    """
+    logs = getattr(wal, "logs", None)
+    if logs is not None:
+        shards = getattr(store, "shards", None)
+        if shards is None or len(shards) != len(logs):
+            raise WalError(
+                "per-shard logs require a sharded store with a "
+                "matching shard count"
+            )
+        total = ReplayReport()
+        for shard_store, shard_log in zip(shards, logs):
+            total.merge(
+                replay_into(shard_store, shard_log, start_after)
+            )
+        return total
+    report = ReplayReport()
+    schema = store.dataset.schema  # type: ignore[attr-defined]
+    for record in wal.replay(  # type: ignore[attr-defined]
+        schema, start_after=start_after, report=report
+    ):
+        store.absorb(record.batch)  # type: ignore[attr-defined]
+    return report
+
+
+class ShardedWal:
+    """Per-shard logs plus the aggregate surface the service layer sees.
+
+    Holds one :class:`WriteAheadLog` per shard (``logs``);
+    :meth:`ShardedCubeStore.bind_wal` hands each inner store its own
+    log, so the routed sub-batch append happens exactly where the
+    single-store path appends — inside :meth:`CubeStore.absorb`, under
+    that shard's write lock, before any mutation.
+    """
+
+    def __init__(self, logs: Sequence[WriteAheadLog]) -> None:
+        if not logs:
+            raise WalError("a sharded WAL needs at least one log")
+        self.logs: Tuple[WriteAheadLog, ...] = tuple(logs)
+
+    @classmethod
+    def open(
+        cls,
+        directory: str,
+        n_shards: int,
+        fsync: str = "batch",
+        segment_bytes: int = WriteAheadLog.DEFAULT_SEGMENT_BYTES,
+    ) -> "ShardedWal":
+        return cls(
+            open_sharded_wals(
+                directory, n_shards, fsync=fsync,
+                segment_bytes=segment_bytes,
+            )
+        )
+
+    @property
+    def fsync_mode(self) -> str:
+        return self.logs[0].fsync_mode
+
+    @property
+    def last_seq(self) -> int:
+        return max(log.last_seq for log in self.logs)
+
+    def segment_count(self) -> int:
+        return sum(log.segment_count() for log in self.logs)
+
+    def size_bytes(self) -> int:
+        return sum(log.size_bytes() for log in self.logs)
+
+    def bind_metrics(self, metrics: object, store_name: str) -> None:
+        for k, log in enumerate(self.logs):
+            log.bind_metrics(metrics, store_name, shard=k)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "fsync": self.fsync_mode,
+            "segments": self.segment_count(),
+            "bytes": self.size_bytes(),
+            "last_seq": self.last_seq,
+            "shards": [log.describe() for log in self.logs],
+        }
+
+    def sync(self) -> None:
+        for log in self.logs:
+            log.sync()
+
+    def close(self) -> None:
+        for log in self.logs:
+            log.close()
+
+    def compact(self, through_seq: int) -> int:
+        return sum(log.compact(through_seq) for log in self.logs)

@@ -43,8 +43,10 @@ __all__ = [
     "ServiceClient",
 ]
 
-#: Status codes worth retrying: overload/unavailability, never 4xx.
-RETRYABLE_STATUSES = frozenset({502, 503, 504})
+#: Status codes worth retrying: overload/unavailability — including
+#: 429 (ingest admission control), whose Retry-After hint says when
+#: the backlog should have drained — never other 4xx.
+RETRYABLE_STATUSES = frozenset({429, 502, 503, 504})
 
 
 class ClientError(RuntimeError):

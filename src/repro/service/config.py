@@ -69,6 +69,27 @@ class ServiceConfig:
         one snapshot swap, one generation bump) at the cost of up to
         one window of added ingest latency.  ``None`` (the default)
         absorbs every batch individually.
+    ingest_high_watermark:
+        Admission-control ceiling: the number of ingest batches a
+        store may have admitted-but-not-yet-absorbed before further
+        ``/ingest`` requests are rejected with HTTP 429 and a
+        ``Retry-After`` hint (sized from the store's recent absorb
+        latency).  Bounds both memory growth and absorb queueing when
+        sustained ingest outruns the store.  ``None`` disables
+        admission control.
+    wal_dir:
+        Directory of the write-ahead log (``repro serve --wal-dir``).
+        When set, every accepted ingest batch is logged before absorb
+        acknowledges, and startup replays the log into the store
+        before traffic is accepted.  Sharded stores keep one log per
+        shard under this directory.  ``None`` disables durability.
+    wal_fsync:
+        WAL durability policy: ``"always"`` fsyncs every append
+        (power-loss durable), ``"batch"`` (default) flushes every
+        append to the OS (process-crash durable), ``"off"`` leaves
+        flushing to buffering and rotation.
+    wal_segment_bytes:
+        WAL segment rotation threshold in bytes.
     """
 
     host: str = "127.0.0.1"
@@ -83,6 +104,10 @@ class ServiceConfig:
     slow_request_ms: Optional[float] = 1_000.0
     trace_log_path: Optional[str] = None
     ingest_coalesce_ms: Optional[float] = None
+    ingest_high_watermark: Optional[int] = 64
+    wal_dir: Optional[str] = None
+    wal_fsync: str = "batch"
+    wal_segment_bytes: int = 16 * 1024 * 1024
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -115,6 +140,21 @@ class ServiceConfig:
         ):
             raise ConfigError(
                 "ingest_coalesce_ms must be positive or None"
+            )
+        if (
+            self.ingest_high_watermark is not None
+            and self.ingest_high_watermark < 1
+        ):
+            raise ConfigError(
+                "ingest_high_watermark must be positive or None"
+            )
+        if self.wal_fsync not in ("always", "batch", "off"):
+            raise ConfigError(
+                "wal_fsync must be one of 'always', 'batch', 'off'"
+            )
+        if self.wal_segment_bytes < 1024:
+            raise ConfigError(
+                "wal_segment_bytes must be at least 1024"
             )
 
     @property

@@ -79,6 +79,7 @@ __all__ = [
     "UnknownStoreError",
     "DeadlineExceeded",
     "StoreUnavailable",
+    "IngestOverloaded",
     "CircuitBreaker",
 ]
 
@@ -124,6 +125,31 @@ class StoreUnavailable(RuntimeError):
         )
         self.store = store
         self.retry_after = retry_after
+
+
+class IngestOverloaded(RuntimeError):
+    """Raised when a store's ingest backlog hits the high watermark
+    (HTTP 429 with a ``Retry-After`` hint).
+
+    Admission control, not failure: the store is healthy but absorb is
+    not keeping up with arrivals, and queueing more batches would only
+    grow memory and latency without bound.  ``retry_after`` is sized
+    from the store's recent absorb latency times the backlog — roughly
+    when the queue will have drained enough to admit the retry.  The
+    retrying :class:`~repro.service.client.ServiceClient` honors it.
+    """
+
+    def __init__(
+        self, store: str, retry_after: float, backlog: int
+    ) -> None:
+        retry_after = max(float(retry_after), 0.0)
+        super().__init__(
+            f"store {store!r} ingest backlog is at {backlog} batches "
+            f"(high watermark); retry in {retry_after:.1f}s"
+        )
+        self.store = store
+        self.retry_after = retry_after
+        self.backlog = backlog
 
 
 class CircuitBreaker:
@@ -419,7 +445,7 @@ class _ManagedStore:
 
     __slots__ = (
         "name", "store", "comparator", "breaker", "ingest_lock",
-        "coalescer",
+        "coalescer", "pending", "pending_lock", "absorb_ewma", "wal",
     )
 
     def __init__(
@@ -435,6 +461,13 @@ class _ManagedStore:
         self.breaker = breaker
         self.ingest_lock = threading.Lock()
         self.coalescer: Optional[_IngestCoalescer] = None
+        # Admission control: batches admitted but not yet absorbed.
+        self.pending = 0
+        self.pending_lock = threading.Lock()
+        # Exponentially weighted recent absorb latency, seconds; sizes
+        # the Retry-After hint of an overload rejection.
+        self.absorb_ewma = 0.0
+        self.wal: Optional[object] = None
 
     @property
     def generation(self) -> int:
@@ -491,11 +524,20 @@ class ComparisonEngine:
         self,
         store: CubeStore,
         name: Optional[str] = None,
+        wal: Optional[object] = None,
         **comparator_options: object,
     ) -> str:
         """Register a store under ``name`` (default: the config's
         default store name).  ``comparator_options`` are forwarded to
-        :class:`~repro.core.Comparator`."""
+        :class:`~repro.core.Comparator`.
+
+        ``wal`` binds a write-ahead log to the store: every absorbed
+        batch is logged before it is counted, and the log's metrics
+        join this engine's panel.  The caller must have *replayed* the
+        log into the store first (:func:`repro.cube.replay_into`) —
+        binding happens after replay by construction, so replayed
+        batches are never re-appended.
+        """
         name = name or self._config.default_store
         comparator = Comparator(store, **comparator_options)  # type: ignore[arg-type]
         # Sharded stores record their scatter fan-out and merge time;
@@ -503,6 +545,11 @@ class ComparisonEngine:
         bind = getattr(store, "bind_metrics", None)
         if callable(bind):
             bind(self._metrics, name)
+        if wal is not None:
+            wal_bind = getattr(wal, "bind_metrics", None)
+            if callable(wal_bind):
+                wal_bind(self._metrics, name)
+            store.bind_wal(wal)
         breaker = CircuitBreaker(
             name,
             self._config.breaker_failures,
@@ -516,6 +563,7 @@ class ComparisonEngine:
             ),
         )
         managed = _ManagedStore(name, store, comparator, breaker)
+        managed.wal = wal
         if self._config.ingest_coalesce_ms is not None:
             managed.coalescer = _IngestCoalescer(
                 self._config.ingest_coalesce_ms / 1000.0,
@@ -531,6 +579,7 @@ class ComparisonEngine:
         self,
         path: object,
         name: Optional[str] = None,
+        wal: Optional[object] = None,
         **comparator_options: object,
     ) -> str:
         """Warm-start a store from a cube archive written by
@@ -542,12 +591,30 @@ class ComparisonEngine:
         III.B across a process boundary.  Cubes absent from the archive
         would lazily count from the empty backing set (all zeros), so
         persist with ``precompute(include_pairs=True)``.
+
+        With ``wal``, the log's tail is replayed into the warmed store
+        before registration, skipping every record the archive's
+        recorded ``wal_seq`` already covers — a batch is counted from
+        the archive or from the log, never both.
         """
         schema = archive_schema(path)
         dataset = Dataset.empty(schema)
         store = CubeStore(dataset)
         load_store_cubes(store, path)
-        return self.add_store(store, name=name, **comparator_options)
+        if wal is not None:
+            from ..cube.persist import archive_wal_seq
+            from ..cube.wal import replay_into
+
+            report = replay_into(
+                store, wal, start_after=archive_wal_seq(path)
+            )
+            self._metrics.wal_replayed_records.inc(
+                report.records,
+                store=name or self._config.default_store,
+            )
+        return self.add_store(
+            store, name=name, wal=wal, **comparator_options
+        )
 
     def store_names(self) -> List[str]:
         with self._stores_lock:
@@ -581,6 +648,15 @@ class ComparisonEngine:
             shard_info = getattr(m.store, "shard_info", None)
             if callable(shard_info):
                 entry["shards"] = shard_info()
+            retention = getattr(m.store, "retention_info", None)
+            if callable(retention):
+                entry["retention"] = retention()
+            with m.pending_lock:
+                entry["ingest_backlog"] = m.pending
+            if m.wal is not None:
+                describe = getattr(m.wal, "describe", None)
+                if callable(describe):
+                    entry["wal"] = describe()
             out.append(entry)
         return out
 
@@ -1092,18 +1168,64 @@ class ComparisonEngine:
             return IngestOutcome(
                 managed.name, 0, 0, managed.generation, False
             )
-        if managed.coalescer is not None:
-            updated, generation, n_merged = managed.coalescer.ingest(
-                batch
-            )
+        self._admit_ingest(managed)
+        try:
+            if managed.coalescer is not None:
+                updated, generation, n_merged = (
+                    managed.coalescer.ingest(batch)
+                )
+                return IngestOutcome(
+                    managed.name, batch.n_rows, updated, generation,
+                    n_merged > 1,
+                )
+            updated, generation = self._absorb(managed, batch)
             return IngestOutcome(
-                managed.name, batch.n_rows, updated, generation,
-                n_merged > 1,
+                managed.name, batch.n_rows, updated, generation, False
             )
-        updated, generation = self._absorb(managed, batch)
-        return IngestOutcome(
-            managed.name, batch.n_rows, updated, generation, False
-        )
+        finally:
+            self._release_ingest(managed)
+
+    def ingest_backlog(self, store: Optional[str] = None) -> int:
+        """Batches admitted but not yet absorbed for a store."""
+        managed = self._resolve(store)
+        with managed.pending_lock:
+            return managed.pending
+
+    def _admit_ingest(self, managed: _ManagedStore) -> None:
+        """Count this batch against the store's backlog, or reject.
+
+        The watermark (``ServiceConfig.ingest_high_watermark``) bounds
+        batches that are admitted but not yet absorbed — requests
+        queueing on the ingest lock, piling into a coalescer window,
+        or mid-absorb.  At the watermark the request is rejected with
+        :class:`IngestOverloaded` *before* it holds any memory or lock,
+        carrying a ``Retry-After`` sized from the recent absorb EWMA
+        times the backlog depth: approximately when the current queue
+        will have drained.
+        """
+        watermark = self._config.ingest_high_watermark
+        with managed.pending_lock:
+            if watermark is not None and managed.pending >= watermark:
+                backlog = managed.pending
+                ewma = managed.absorb_ewma
+                self._metrics.ingest_rejections.inc(store=managed.name)
+                annotate(
+                    outcome="ingest_overloaded", backlog=backlog
+                )
+                raise IngestOverloaded(
+                    managed.name,
+                    retry_after=max(0.1, backlog * max(ewma, 0.05)),
+                    backlog=backlog,
+                )
+            managed.pending += 1
+            pending = managed.pending
+        self._metrics.ingest_backlog.set(pending, store=managed.name)
+
+    def _release_ingest(self, managed: _ManagedStore) -> None:
+        with managed.pending_lock:
+            managed.pending = max(0, managed.pending - 1)
+            pending = managed.pending
+        self._metrics.ingest_backlog.set(pending, store=managed.name)
 
     def _absorb(
         self, managed: _ManagedStore, batch: Dataset
@@ -1131,6 +1253,20 @@ class ComparisonEngine:
         self._metrics.ingested_records.inc(
             batch.n_rows, store=managed.name
         )
+        # Recent absorb latency (EWMA) sizes overload Retry-After
+        # hints; no lock needed beyond pending_lock — absorbs already
+        # serialise on the ingest lock.
+        with managed.pending_lock:
+            managed.absorb_ewma = (
+                elapsed
+                if managed.absorb_ewma == 0.0
+                else 0.7 * managed.absorb_ewma + 0.3 * elapsed
+            )
+        retention = getattr(managed.store, "retention_info", None)
+        if callable(retention):
+            self._metrics.snapshot_pinned_generations.set(
+                retention()["pinned_generations"], store=managed.name
+            )
         return updated, generation
 
     @staticmethod

@@ -57,12 +57,14 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 from urllib.parse import parse_qs
 
 from ..cube.sharded import ShardReadError
+from ..cube.wal import WalError
 from ..testing.sites import SITE_HTTP_HANDLER, trip
 from .config import ServiceConfig
 from .engine import (
     ComparisonEngine,
     CrossCompareOutcome,
     DeadlineExceeded,
+    IngestOverloaded,
     StoreUnavailable,
 )
 from .tracing import (
@@ -286,6 +288,29 @@ class _Handler(BaseHTTPRequestHandler):
                     },
                     headers={"Retry-After": str(retry_after)},
                 )
+            except IngestOverloaded as exc:
+                # Admission control, not failure: the backlog crossed
+                # the high watermark, so the batch is rejected before
+                # it queues.  429 + Retry-After rather than unbounded
+                # queueing; the retrying client honors the hint.
+                status = 429
+                retry_after = max(1, math.ceil(exc.retry_after))
+                self._send_json(
+                    status,
+                    {
+                        "error": str(exc),
+                        "store": exc.store,
+                        "retry_after": exc.retry_after,
+                        "backlog": exc.backlog,
+                    },
+                    headers={"Retry-After": str(retry_after)},
+                )
+            except WalError as exc:
+                # The durable write path failed (disk full, bad
+                # device): the batch was NOT accepted — absorbing it
+                # would acknowledge data that cannot survive a crash.
+                status = 503
+                self._send_json(status, {"error": str(exc)})
             except ShardReadError as exc:
                 # One shard of a scatter-gather read failed: a typed
                 # partial-failure 503 naming the shard, never a

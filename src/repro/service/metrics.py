@@ -17,6 +17,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "ServiceMetrics",
@@ -89,6 +90,49 @@ class Counter:
         lines = [
             f"# HELP {self.name} {self.help_text}",
             f"# TYPE {self.name} counter",
+        ]
+        with self._lock:
+            items = sorted(self._values.items())
+        for key, value in items:
+            lines.append(
+                f"{self.name}{_render_labels(key)} {_format_value(value)}"
+            )
+        return lines
+
+
+class Gauge:
+    """A labelled value that can go up and down (backlog, pins, ...)."""
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help_text = help_text
+        self._values: Dict[_LabelKey, float] = {}
+        self._lock = threading.Lock()
+
+    def set(self, value: float, **labels: str) -> None:
+        """Set the labelled series to ``value``."""
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (default 1, may be negative) to the series."""
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        """Subtract ``amount`` (default 1) from the labelled series."""
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        """Current value of one labelled series (0 when unseen)."""
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def render(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} gauge",
         ]
         with self._lock:
             items = sorted(self._values.items())
@@ -228,6 +272,17 @@ class MetricsRegistry:
                 raise ValueError(f"{name!r} is already a non-counter")
             return metric
 
+    def gauge(self, name: str, help_text: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = Gauge(name, help_text)
+                self._metrics[name] = metric
+            elif not isinstance(metric, Gauge):
+                raise ValueError(f"{name!r} is already a non-gauge")
+            return metric
+
     def histogram(
         self,
         name: str,
@@ -339,6 +394,45 @@ class ServiceMetrics:
             "repro_shard_merge_seconds",
             "Wall-clock time merging per-shard count tensors after a "
             "scatter-gather read, by store, seconds.",
+        )
+        self.wal_appends = self.registry.counter(
+            "repro_wal_appends_total",
+            "Batches durably appended to the write-ahead log, by "
+            "store (and shard for sharded stores).",
+        )
+        self.wal_append_bytes = self.registry.counter(
+            "repro_wal_append_bytes_total",
+            "Framed bytes written to the write-ahead log, by store.",
+        )
+        self.wal_fsyncs = self.registry.counter(
+            "repro_wal_fsyncs_total",
+            "fsync calls issued by the write-ahead log (fsync=always "
+            "only; batch mode flushes without syncing), by store.",
+        )
+        self.wal_append_seconds = self.registry.histogram(
+            "repro_wal_append_seconds",
+            "Wall-clock time of one WAL append (encode + write + "
+            "flush/fsync), by store, seconds.",
+        )
+        self.wal_replayed_records = self.registry.counter(
+            "repro_wal_replayed_records_total",
+            "WAL records replayed into a store at startup, by store.",
+        )
+        self.ingest_backlog = self.registry.gauge(
+            "repro_ingest_backlog",
+            "Ingest batches admitted but not yet absorbed, by store; "
+            "admission control rejects at the high watermark.",
+        )
+        self.ingest_rejections = self.registry.counter(
+            "repro_ingest_rejections_total",
+            "Ingest batches rejected with 429 because the backlog "
+            "crossed the high watermark, by store.",
+        )
+        self.snapshot_pinned_generations = self.registry.gauge(
+            "repro_snapshot_pinned_generations",
+            "Distinct store generations currently pinned by readers; "
+            "pinned snapshots keep their AppendBuffer prefixes "
+            "resident, by store.",
         )
         self.traces_recorded = self.registry.counter(
             "repro_traces_recorded_total",

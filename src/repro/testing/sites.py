@@ -35,6 +35,8 @@ __all__ = [
     "SITE_ENGINE_COMPARE",
     "SITE_HTTP_HANDLER",
     "SITE_PERSIST_LOAD",
+    "SITE_WAL_APPEND",
+    "SITE_WAL_REPLAY",
     "trip",
     "install",
     "uninstall",
@@ -48,6 +50,8 @@ SITE_SHARD_READ = "shard.read"
 SITE_ENGINE_COMPARE = "engine.compare"
 SITE_HTTP_HANDLER = "http.handler"
 SITE_PERSIST_LOAD = "persist.load"
+SITE_WAL_APPEND = "wal.append"
+SITE_WAL_REPLAY = "wal.replay"
 
 #: Every site the production code declares, for validation and docs.
 SITES: Tuple[str, ...] = (
@@ -57,6 +61,8 @@ SITES: Tuple[str, ...] = (
     SITE_ENGINE_COMPARE,
     SITE_HTTP_HANDLER,
     SITE_PERSIST_LOAD,
+    SITE_WAL_APPEND,
+    SITE_WAL_REPLAY,
 )
 
 _lock = threading.Lock()

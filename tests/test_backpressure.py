@@ -1,0 +1,203 @@
+"""Ingest admission control end to end over a live HTTP server.
+
+The watermark contract: once a store's admitted-but-unabsorbed backlog
+reaches ``ingest_high_watermark``, further ``POST /ingest`` requests
+get HTTP 429 with a ``Retry-After`` hint — never unbounded queueing —
+while reads stay serviceable and a retrying :class:`ServiceClient`
+lands the batch once the backlog drains.  Absorb is slowed through the
+``store.absorb`` fault site so the backlog forms deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cube import CubeStore
+from repro.service import (
+    ComparisonEngine,
+    ComparisonHTTPServer,
+    ServiceConfig,
+)
+from repro.service.client import RetryPolicy, ServiceClient
+from repro.service.engine import IngestOverloaded
+from repro.synth import synthetic_dataset
+from repro.testing import FaultPlan, FaultRule
+from repro.testing.sites import SITE_STORE_ABSORB
+
+ABSORB_LATENCY = 0.25
+
+
+def slow_absorb_plan(seed=11):
+    return FaultPlan(
+        [
+            FaultRule(
+                SITE_STORE_ABSORB,
+                probability=1.0,
+                fail=False,
+                latency=ABSORB_LATENCY,
+            )
+        ],
+        seed=seed,
+    )
+
+
+def make_rows(seed, n=8):
+    batch = synthetic_dataset(
+        n_records=n, n_attributes=4, arity=4, seed=seed
+    )
+    return [list(batch.row(i)) for i in range(batch.n_rows)]
+
+
+def post_ingest(url, rows):
+    """Raw single-shot POST; returns (status, headers, body dict)."""
+    request = urllib.request.Request(
+        url + "/ingest",
+        data=json.dumps({"rows": rows}).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return (
+                response.status,
+                dict(response.headers),
+                json.loads(response.read()),
+            )
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), json.loads(exc.read())
+
+
+@pytest.fixture()
+def service():
+    store = CubeStore(
+        synthetic_dataset(
+            n_records=2_000, n_attributes=4, arity=4, seed=5
+        )
+    )
+    store.precompute(include_pairs=True)
+    engine = ComparisonEngine(
+        ServiceConfig(
+            workers=4, cache_size=32, ingest_high_watermark=1
+        )
+    )
+    engine.add_store(store)
+    server = ComparisonHTTPServer(engine, port=0).start_background()
+    try:
+        yield server.url, engine
+    finally:
+        server.stop()
+        engine.shutdown()
+
+
+class TestBackpressureHTTP:
+    def test_flood_past_watermark_gets_429_with_retry_after(
+        self, service
+    ):
+        url, engine = service
+        results = []
+        barrier = threading.Barrier(6)
+
+        def worker(seed):
+            barrier.wait()
+            results.append(post_ingest(url, make_rows(seed)))
+
+        with slow_absorb_plan().installed():
+            threads = [
+                threading.Thread(target=worker, args=(100 + i,))
+                for i in range(6)
+            ]
+            for t in threads:
+                t.start()
+            # Reads stay serviceable while ingest is saturated.
+            with urllib.request.urlopen(url + "/healthz") as resp:
+                assert resp.status == 200
+            for t in threads:
+                t.join()
+
+        statuses = sorted(s for s, _, _ in results)
+        assert statuses[0] == 200, "at least one batch must land"
+        rejected = [r for r in results if r[0] == 429]
+        assert rejected, (
+            f"watermark 1 under a 6-way flood must reject: {statuses}"
+        )
+        for _, headers, body in rejected:
+            assert float(headers["Retry-After"]) >= 1
+            assert body["retry_after"] > 0
+            assert body["backlog"] >= 1
+            assert "backlog" in body["error"]
+
+        rendered = engine.metrics.registry.render()
+        assert "repro_ingest_rejections_total" in rendered
+        assert "repro_ingest_backlog" in rendered
+        assert engine.ingest_backlog() == 0
+
+    def test_service_client_retries_to_success(self, service):
+        url, engine = service
+        occupier = threading.Thread(
+            target=post_ingest, args=(url, make_rows(7))
+        )
+        client = ServiceClient(
+            url,
+            policy=RetryPolicy(
+                max_attempts=8, base_delay=0.05, seed=3
+            ),
+        )
+        with slow_absorb_plan().installed():
+            occupier.start()
+            # Give the occupier the single admission slot, then the
+            # client's first attempt is rejected with 429 and its
+            # retries (honoring the server's Retry-After) land the
+            # batch.
+            import time
+
+            time.sleep(0.05)
+            outcome = client.ingest(
+                make_rows(8), budget_ms=10_000
+            )
+            occupier.join()
+        assert outcome["records"] == 8
+        assert outcome["generation"] >= 1
+
+    def test_direct_engine_rejection_is_typed(self, service):
+        _, engine = service
+        batch = synthetic_dataset(
+            n_records=4, n_attributes=4, arity=4, seed=9
+        )
+        rows = [list(batch.row(i)) for i in range(batch.n_rows)]
+        release = threading.Event()
+        started = threading.Event()
+
+        def occupy():
+            plan = FaultPlan(
+                [
+                    FaultRule(
+                        SITE_STORE_ABSORB,
+                        probability=1.0,
+                        fail=False,
+                        latency=0.4,
+                    )
+                ],
+                seed=1,
+            )
+            with plan.installed():
+                started.set()
+                engine.ingest(rows)
+                release.set()
+
+        thread = threading.Thread(target=occupy)
+        thread.start()
+        started.wait()
+        import time
+
+        time.sleep(0.05)
+        with pytest.raises(IngestOverloaded) as excinfo:
+            engine.ingest(rows)
+        assert excinfo.value.backlog >= 1
+        assert excinfo.value.retry_after > 0
+        thread.join()
+        assert release.is_set()
+        assert engine.ingest_backlog() == 0

@@ -1,0 +1,162 @@
+"""Snapshot-retention regression tests.
+
+A reader pinned to a snapshot across many ingests holds that
+generation's dataset — and transitively its ``AppendBuffer`` prefix
+views — resident.  That is by design (the reader's consistency), but
+it must be *observable* and it must *end*: releasing the pin releases
+the memory, and the store's retention accounting (exported as the
+``repro_snapshot_pinned_generations`` gauge) reports exactly how many
+generations pinned readers keep alive.
+"""
+
+from __future__ import annotations
+
+import gc
+import weakref
+
+import numpy as np
+
+from repro.cube import CubeStore
+from repro.cube.sharded import ShardedCubeStore
+from repro.dataset import Attribute, Dataset, Schema
+from repro.service import ComparisonEngine, ServiceConfig
+
+SCHEMA = Schema(
+    [
+        Attribute("A", values=("a0", "a1", "a2", "a3")),
+        Attribute("B", values=("b0", "b1")),
+        Attribute("C", values=("no", "yes")),
+    ],
+    class_attribute="C",
+)
+
+
+def make_batch(seed, rows=50):
+    rng = np.random.default_rng(seed)
+    return Dataset.from_columns(
+        SCHEMA,
+        {
+            "A": rng.integers(0, 4, rows),
+            "B": rng.integers(0, 2, rows),
+            "C": rng.integers(0, 2, rows),
+        },
+    )
+
+
+class TestStoreRetention:
+    def test_unpinned_store_reports_nothing_held(self):
+        store = CubeStore(make_batch(0))
+        info = store.retention_info()
+        assert info == {
+            "current_generation": 0,
+            "active_pins": 0,
+            "pinned_generations": 0,
+            "stale_pinned_generations": 0,
+        }
+
+    def test_pinned_reader_is_counted_until_released(self):
+        store = CubeStore(make_batch(0))
+        store.precompute(include_pairs=True)
+        with store.pinned():
+            for i in range(1, 6):
+                store.absorb(make_batch(i, rows=20))
+            info = store.retention_info()
+            assert info["current_generation"] == 5
+            assert info["active_pins"] == 1
+            assert info["pinned_generations"] == 1
+            # The pinned generation predates every absorb: it is
+            # memory only this reader keeps resident.
+            assert info["stale_pinned_generations"] == 1
+        info = store.retention_info()
+        assert info["active_pins"] == 0
+        assert info["pinned_generations"] == 0
+        assert info["stale_pinned_generations"] == 0
+
+    def test_nested_pins_count_once(self):
+        store = CubeStore(make_batch(0))
+        with store.pinned() as snap:
+            with store.pinned_to(snap):
+                assert store.retention_info()["active_pins"] == 1
+            assert store.retention_info()["active_pins"] == 1
+        assert store.retention_info()["active_pins"] == 0
+
+    def test_released_snapshot_memory_is_collectable(self):
+        """M ingests against a pinned reader must not grow resident
+        prefixes unboundedly once the pin is released: the old
+        snapshot's column views die with the pin."""
+        store = CubeStore(make_batch(0))
+        with store.pinned() as snap:
+            column_ref = weakref.ref(snap.dataset.column("A"))
+            for i in range(1, 8):
+                store.absorb(make_batch(i, rows=30))
+            assert column_ref() is not None
+            del snap
+        gc.collect()
+        assert column_ref() is None, (
+            "the released snapshot's prefix view is still resident"
+        )
+
+    def test_two_readers_on_different_generations(self):
+        """Pins are per-thread, so a second reader needs its own
+        thread to pin the post-absorb generation."""
+        import threading
+
+        store = CubeStore(make_batch(0))
+        inner_info = {}
+        pinned_inner = threading.Event()
+        release_inner = threading.Event()
+
+        def late_reader():
+            with store.pinned():
+                inner_info.update(store.retention_info())
+                pinned_inner.set()
+                release_inner.wait()
+
+        with store.pinned():
+            store.absorb(make_batch(1, rows=20))
+            thread = threading.Thread(target=late_reader)
+            thread.start()
+            pinned_inner.wait()
+            assert inner_info["active_pins"] == 2
+            assert inner_info["pinned_generations"] == 2
+            assert inner_info["stale_pinned_generations"] == 1
+            release_inner.set()
+            thread.join()
+        assert store.retention_info()["active_pins"] == 0
+
+
+class TestShardedRetention:
+    def test_vector_pins_are_tracked(self):
+        store = ShardedCubeStore.from_dataset(
+            make_batch(0, rows=64), 4, shard_by="A"
+        )
+        assert store.retention_info()["active_pins"] == 0
+        with store.pinned():
+            store.absorb(make_batch(1, rows=32))
+            info = store.retention_info()
+            assert info["active_pins"] >= 1
+            assert info["pinned_generations"] >= 1
+            assert info["stale_pinned_generations"] >= 1
+        info = store.retention_info()
+        assert info["active_pins"] == 0
+        assert info["pinned_generations"] == 0
+
+
+class TestEngineRetentionGauge:
+    def test_absorb_exports_pinned_generation_count(self):
+        store = CubeStore(make_batch(0))
+        engine = ComparisonEngine(ServiceConfig(workers=2))
+        engine.add_store(store)
+        batch = make_batch(1, rows=10)
+        rows = [list(batch.row(i)) for i in range(batch.n_rows)]
+        try:
+            with store.pinned():
+                engine.ingest(rows)
+                gauge = engine.metrics.snapshot_pinned_generations
+                assert gauge.value(store="default") == 1
+            engine.ingest(rows)
+            assert gauge.value(store="default") == 0
+            rendered = engine.metrics.registry.render()
+            assert "repro_snapshot_pinned_generations" in rendered
+        finally:
+            engine.shutdown()
