@@ -77,6 +77,38 @@ def write_bench_json(
     return path
 
 
+def merge_bench_json(
+    json_dir: Optional[str],
+    filename: str,
+    section: str,
+    payload: Dict[str, object],
+) -> Optional[str]:
+    """Set one named section of a bench JSON, keeping the others.
+
+    Benchmarks that share an output file (e.g. ``BENCH_service.json``
+    holding both the fleet-screen and the multi-process rows) each own
+    one top-level key; whichever runs last must not clobber the rest.
+    """
+    if not json_dir:
+        return None
+    os.makedirs(json_dir, exist_ok=True)
+    path = os.path.join(json_dir, filename)
+    merged: Dict[str, object] = {}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                existing = json.load(handle)
+            except ValueError:
+                existing = None
+        if isinstance(existing, dict):
+            merged = existing
+    merged[section] = payload
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
 def growth_ratios(times: Sequence[float]) -> List[float]:
     """Consecutive ratios t[i+1]/t[i] of a timing series."""
     return [

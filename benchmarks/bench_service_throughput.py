@@ -19,6 +19,10 @@ uncached path slower (no lock convoy around the store).
 from __future__ import annotations
 
 import json
+import os
+import signal
+import subprocess
+import sys
 import threading
 import time
 import urllib.request
@@ -35,11 +39,11 @@ from repro.service import (
 from repro.synth import CallLogConfig, generate_call_logs
 
 from _helpers import (
+    merge_bench_json,
     percentile,
     print_series,
     sample_times,
     summarize,
-    write_bench_json,
 )
 
 WORKER_SWEEP = (1, 4, 8)
@@ -187,6 +191,131 @@ def test_cache_beats_recompute_shape(benchmark, service_dataset):
     benchmark(lambda: None)
 
 
+PROCS_SWEEP = (1, 2, 4, 8)
+MP_REQUESTS = 200
+MP_CLIENTS = 16
+
+
+def _boot_prefork(csv_path, procs: int):
+    """Boot one ``repro serve`` subprocess; returns (proc, url)."""
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "src",
+    )
+    args = [
+        sys.executable, "-u", "-m", "repro", "serve", str(csv_path),
+        "--class-attribute", "Disposition",
+        "--port", "0",
+        "--cache-size", "0",  # uncached: measure compute scaling
+    ]
+    if procs > 1:
+        args += ["--worker-procs", str(procs)]
+    handle = subprocess.Popen(
+        args,
+        env=dict(os.environ, PYTHONPATH=src),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        line = handle.stdout.readline()
+        if not line:
+            break
+        if "listening on" in line:
+            parts = line.split()
+            return handle, parts[parts.index("on") + 1]
+    handle.kill()
+    raise RuntimeError(f"serve --worker-procs {procs} never came up")
+
+
+def test_multiprocess_scaling(json_dir, service_dataset, tmp_path):
+    """The tentpole claim: pre-forked workers over one shared-memory
+    snapshot scale uncached /compare throughput with cores, and a cold
+    worker warm-starts by attaching (not rebuilding) the cube set.
+
+    Single-box honesty: on a 1-2 core container the sweep cannot
+    show real scaling, so the >= 2.5x floor at 4 procs only asserts
+    when the box has >= 4 cores; ``cpu_cores`` is recorded either way
+    so the JSON is interpretable wherever it was produced.
+    """
+    if not hasattr(os, "fork"):
+        pytest.skip("pre-fork serving needs os.fork")
+    from repro.dataset import write_csv
+
+    csv_path = tmp_path / "service.csv"
+    write_csv(service_dataset, csv_path)
+
+    rows = {}
+    for procs in PROCS_SWEEP:
+        handle, url = _boot_prefork(csv_path, procs)
+        try:
+            drive(url, 8, 2)  # warm: sockets, code paths
+            elapsed, latencies = drive(url, MP_REQUESTS, MP_CLIENTS)
+            rows[procs] = {
+                "rps": round(MP_REQUESTS / elapsed, 1),
+                "p50_ms": round(
+                    percentile(latencies, 0.50) * 1000, 3
+                ),
+                "p99_ms": round(
+                    percentile(latencies, 0.99) * 1000, 3
+                ),
+            }
+        finally:
+            handle.send_signal(signal.SIGTERM)
+            handle.wait(timeout=30)
+    print_series(
+        f"/compare uncached, procs sweep ({MP_CLIENTS} clients)",
+        tuple(f"{procs}p_rps" for procs in PROCS_SWEEP),
+        tuple(rows[procs]["rps"] for procs in PROCS_SWEEP),
+        unit="",
+    )
+
+    # Cold-worker warm start: attach the published snapshot instead of
+    # rebuilding it.  Measured in-process — the subscriber's
+    # connect+refresh is exactly what a forked worker runs first.
+    from repro.cube import CubeStore as _Store
+    from repro.cube import SnapshotPublisher, SnapshotSubscriber
+
+    store = _Store(service_dataset)
+    store.precompute(include_pairs=True)
+    n_cubes = store.n_cached
+    publisher = SnapshotPublisher(slots=1)
+    try:
+        publisher.publish({"default": store})
+        started = time.perf_counter()
+        subscriber = SnapshotSubscriber(publisher.token)
+        subscriber.connect(timeout=5.0)
+        subscriber.refresh()
+        warm_start_ms = (time.perf_counter() - started) * 1000
+        subscriber.close()
+    finally:
+        publisher.close()
+
+    cpu_cores = os.cpu_count() or 1
+    merge_bench_json(json_dir, "BENCH_service.json", "multiprocess", {
+        "benchmark": "pre-fork procs sweep, uncached /compare",
+        "clients": MP_CLIENTS,
+        "requests": MP_REQUESTS,
+        "n_records": 30_000,
+        "cpu_cores": cpu_cores,
+        "procs": {str(procs): row for procs, row in rows.items()},
+        "scaling_4p_vs_1p": round(
+            rows[4]["rps"] / rows[1]["rps"], 2
+        ),
+        "warm_start": {
+            "n_cubes": n_cubes,
+            "attach_ms": round(warm_start_ms, 3),
+        },
+    })
+    # Attach is a map + header parse: far under the 100ms budget even
+    # on a busy box.
+    assert n_cubes >= 120
+    assert warm_start_ms < 100
+    if cpu_cores >= 4:
+        assert rows[4]["rps"] >= 2.5 * rows[1]["rps"]
+
+
 def test_fleet_screen_batch_vs_fanout(json_dir):
     """Old vs new: per-pair fan-out screening against the shared-slice
     batch path on the same engine and pre-built store.
@@ -241,7 +370,7 @@ def test_fleet_screen_batch_vs_fanout(json_dir):
             (percentile(old, 0.50), percentile(new, 0.50)),
             unit="",
         )
-        write_bench_json(json_dir, "BENCH_service.json", {
+        merge_bench_json(json_dir, "BENCH_service.json", "fleet_screen", {
             "benchmark": "fleet screen: per-pair fan-out vs "
                          "shared-slice batch",
             "pivot_values": 8,

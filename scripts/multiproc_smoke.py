@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""CI smoke for the pre-fork serving tier.
+
+Boots ``repro serve --worker-procs 4`` on a synthetic call-log CSV,
+hammers /compare, /rank and /ingest concurrently, then checks the two
+properties that matter operationally:
+
+* **freshness** — after the ingest storm settles, every worker serves
+  the final publish generation (the last ingest reply's store
+  generation shows up on a fresh connection);
+* **hygiene** — SIGTERM exits 0 and leaves zero ``repro_*`` segments
+  in ``/dev/shm``.
+
+Exit code 0 on success; prints a one-line verdict per check.  Run
+from the repo root::
+
+    python scripts/multiproc_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = str(REPO_ROOT / "src")
+
+PROCS = 4
+HAMMER_SECONDS = 8.0
+CLIENTS = 8
+
+MODELS = ["ph1", "ph2", "ph3", "ph4"]
+AREAS = ["a1", "a2", "a3"]
+PLANS = ["basic", "plus", "pro"]
+
+
+def write_csv(path: Path, seed: int = 0, n: int = 2000) -> None:
+    rng = random.Random(seed)
+    lines = ["PhoneModel,Area,Plan,Outcome"]
+    for _ in range(n):
+        model = rng.choice(MODELS)
+        drop = 0.3 if model == "ph1" else 0.1
+        lines.append(
+            f"{model},{rng.choice(AREAS)},{rng.choice(PLANS)},"
+            f"{'dropped' if rng.random() < drop else 'ok'}"
+        )
+    path.write_text("\n".join(lines) + "\n")
+
+
+def request(url: str, path: str, payload=None, timeout=15.0):
+    data = None if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(
+        url + path,
+        data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+def compare_payload(rng: random.Random):
+    pivots = {"PhoneModel": MODELS, "Area": AREAS, "Plan": PLANS}
+    pivot, values = rng.choice(sorted(pivots.items()))
+    a, b = rng.sample(values, 2)
+    return {
+        "pivot": pivot,
+        "value_a": a,
+        "value_b": b,
+        "target_class": "dropped",
+    }
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="repro-smoke-"))
+    csv = tmp / "calls.csv"
+    write_csv(csv)
+
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-u", "-m", "repro", "serve", str(csv),
+            "--class-attribute", "Outcome",
+            "--port", "0",
+            "--worker-procs", str(PROCS),
+        ],
+        env=dict(os.environ, PYTHONPATH=SRC),
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    url = token = None
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        if "listening on" in line:
+            parts = line.split()
+            url = parts[parts.index("on") + 1]
+            token = line.rsplit("shm token ", 1)[1].rstrip(")\n")
+            break
+    if url is None:
+        proc.kill()
+        print("FAIL: server never printed its banner")
+        return 1
+    print(f"booted {PROCS}-proc fleet at {url} (shm token {token})")
+
+    failures = []
+    last_ingest_generation = [0]
+    stop = time.monotonic() + HAMMER_SECONDS
+    counts = {"compare": 0, "rank": 0, "ingest": 0}
+    lock = threading.Lock()
+
+    def hammer(slot: int) -> None:
+        rng = random.Random(slot)
+        while time.monotonic() < stop:
+            roll = rng.random()
+            try:
+                if roll < 0.1:
+                    rows = [
+                        {
+                            "PhoneModel": rng.choice(MODELS),
+                            "Area": rng.choice(AREAS),
+                            "Plan": rng.choice(PLANS),
+                            "Outcome": rng.choice(["ok", "dropped"]),
+                        }
+                        for _ in range(5)
+                    ]
+                    status, body = request(
+                        url, "/ingest", {"rows": rows}
+                    )
+                    kind = "ingest"
+                else:
+                    kind = "rank" if roll < 0.55 else "compare"
+                    status, body = request(
+                        url, f"/{kind}", compare_payload(rng)
+                    )
+            except (urllib.error.URLError, OSError) as exc:
+                failures.append(f"{kind}: {exc}")
+                continue
+            if status != 200:
+                failures.append(f"{kind}: HTTP {status}: {body}")
+                continue
+            with lock:
+                counts[kind] += 1
+                if kind == "ingest":
+                    last_ingest_generation[0] = max(
+                        last_ingest_generation[0], body["generation"]
+                    )
+
+    threads = [
+        threading.Thread(target=hammer, args=(i,))
+        for i in range(CLIENTS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    print(f"hammer done: {counts}, {len(failures)} failures")
+    if failures:
+        for line in failures[:10]:
+            print(f"FAIL: {line}")
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=30)
+        return 1
+
+    # Freshness: a fresh connection must see the last acknowledged
+    # ingest's generation within a few stamp-poll ticks.
+    target = last_ingest_generation[0]
+    fresh = None
+    deadline = time.monotonic() + 5
+    while time.monotonic() < deadline:
+        _, body = request(
+            url,
+            "/compare",
+            {
+                "pivot": "PhoneModel",
+                "value_a": "ph1",
+                "value_b": "ph2",
+                "target_class": "dropped",
+            },
+        )
+        fresh = body["generation"]
+        if fresh >= target:
+            break
+        time.sleep(0.05)
+    if fresh < target:
+        print(f"FAIL: generation {fresh} < last ingest {target}")
+        return 1
+    print(f"freshness ok: serving generation {fresh} >= {target}")
+
+    proc.send_signal(signal.SIGTERM)
+    code = proc.wait(timeout=30)
+    if code != 0:
+        print(f"FAIL: exit code {code}")
+        return 1
+    leaked = sorted(
+        p.name for p in Path("/dev/shm").glob(f"repro_{token}_*")
+    )
+    if leaked:
+        print(f"FAIL: leaked shm segments: {leaked}")
+        return 1
+    print("shutdown ok: exit 0, zero leaked shm segments")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

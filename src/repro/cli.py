@@ -152,6 +152,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="comparison thread-pool size (default 4)",
     )
     serve.add_argument(
+        "--worker-procs", type=int, default=1, dest="worker_procs",
+        metavar="N",
+        help=(
+            "pre-fork N serving processes attaching the parent's "
+            "shared-memory snapshots read-only; ingest routes to the "
+            "parent (single writer).  POSIX only; needs precomputed "
+            "cubes (default 1 = single process)"
+        ),
+    )
+    serve.add_argument(
+        "--reuse-port", action="store_true", dest="reuse_port",
+        help=(
+            "with --worker-procs > 1: one SO_REUSEPORT listen socket "
+            "per worker (kernel load balancing) instead of a shared "
+            "inherited socket"
+        ),
+    )
+    serve.add_argument(
         "--cache-size", type=int, default=256, dest="cache_size",
         help="LRU result-cache capacity; 0 disables (default 256)",
     )
@@ -410,10 +428,27 @@ def _build_serve_engine(args: argparse.Namespace):
     """Engine construction for ``repro serve`` (exposed for tests)."""
     from .service import ComparisonEngine, ServiceConfig, serve
 
+    worker_procs = getattr(args, "worker_procs", 1) or 1
+    if worker_procs > 1:
+        import os
+
+        if not hasattr(os, "fork"):
+            raise ValueError(
+                "--worker-procs needs os.fork (POSIX); this platform "
+                "cannot pre-fork"
+            )
+        if getattr(args, "no_precompute", False):
+            raise ValueError(
+                "--worker-procs is incompatible with --no-precompute: "
+                "forked workers attach published cubes read-only and "
+                "cannot count missing ones from raw rows"
+            )
     config = ServiceConfig(
         host=args.host,
         port=args.port,
         workers=args.workers,
+        worker_procs=worker_procs,
+        reuse_port=getattr(args, "reuse_port", False),
         cache_size=args.cache_size,
         deadline_ms=args.deadline_ms or None,
         default_store=args.name,

@@ -26,10 +26,17 @@ from .sharded import (
     shard_rows,
 )
 from .persist import (
+    archive_generation,
     archive_wal_seq,
     load_cubes,
     load_store_cubes,
     save_cubes,
+)
+from .shm import (
+    ShmError,
+    SnapshotPublisher,
+    SnapshotSubscriber,
+    list_segments,
 )
 from .wal import (
     ReplayReport,
@@ -64,6 +71,11 @@ __all__ = [
     "load_cubes",
     "load_store_cubes",
     "archive_wal_seq",
+    "archive_generation",
+    "ShmError",
+    "SnapshotPublisher",
+    "SnapshotSubscriber",
+    "list_segments",
     "WriteAheadLog",
     "ShardedWal",
     "WalError",

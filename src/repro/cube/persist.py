@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -38,6 +38,7 @@ __all__ = [
     "load_store_cubes",
     "archive_schema",
     "archive_wal_seq",
+    "archive_generation",
 ]
 
 PathLike = Union[str, Path]
@@ -49,6 +50,7 @@ def save_cubes(
     store: CubeStore,
     path: PathLike,
     wal_seq: int = 0,
+    generation: Optional[int] = None,
 ) -> int:
     """Write every cube materialised in ``store`` to ``path``.
 
@@ -63,9 +65,18 @@ def save_cubes(
     counted twice — once from the archive and once from the log.
     Callers must quiesce absorbs while capturing ``wal_seq`` and the
     cubes, or the pair can disagree.
+
+    ``generation`` stamps the store generation the counts belong to
+    (defaults to the store's current one).  A multi-process parent
+    persisting while workers serve records the generation its
+    shared-memory manifest published, so an archive and a publish of
+    the same counts carry the same stamp
+    (:func:`archive_generation` reads it back).
     """
     path = Path(path)
     schema = store.dataset.schema
+    if generation is None:
+        generation = store.generation
     cubes: Dict[str, np.ndarray] = {}
     keys = []
     for i, (key_tuple, cube) in enumerate(
@@ -83,6 +94,7 @@ def save_cubes(
         "domains": domains,
         "keys": keys,
         "format": 1,
+        "generation": int(generation),
     }
     if wal_seq:
         meta["wal_seq"] = int(wal_seq)
@@ -157,6 +169,21 @@ def archive_wal_seq(path: PathLike) -> int:
             raise CubeError(f"{path} is not a rule-cube archive")
         meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
     return int(meta.get("wal_seq", 0))
+
+
+def archive_generation(path: PathLike) -> int:
+    """The store generation an archive was persisted at (0 if absent).
+
+    Archives written before the stamp existed read as generation 0 —
+    the generation every fresh store starts from, so warm starts from
+    legacy archives behave exactly as before.
+    """
+    path = Path(path)
+    with np.load(path) as archive:
+        if _META_KEY not in archive:
+            raise CubeError(f"{path} is not a rule-cube archive")
+        meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+    return int(meta.get("generation", 0))
 
 
 def load_store_cubes(store: CubeStore, path: PathLike) -> int:

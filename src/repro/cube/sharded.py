@@ -715,6 +715,39 @@ class ShardedCubeStore:
                 )
             return updated
 
+    def install_shard_caches(
+        self,
+        shard_cubes: Sequence[Dict[Tuple[str, ...], RuleCube]],
+        generations: Sequence[int],
+        retain: object = None,
+        datasets: Optional[Sequence[object]] = None,
+    ) -> None:
+        """Swap every shard to an externally published cube set.
+
+        The sharded face of :meth:`CubeStore.install_cache`: one
+        cube-dict + generation per shard, installed under the write
+        lock so no routed absorb interleaves.  Each shard's swap is
+        individually atomic; a ``pinned()`` reader sees a torn-free
+        vector exactly as it would across a concurrent absorb.
+        """
+        if len(shard_cubes) != len(self._shards) or len(
+            generations
+        ) != len(self._shards):
+            raise CubeError(
+                f"expected {len(self._shards)} shard cube sets and "
+                "generations"
+            )
+        if datasets is not None and len(datasets) != len(self._shards):
+            raise CubeError("datasets must match the shard count")
+        with self._write_lock:
+            for i, shard in enumerate(self._shards):
+                shard.install_cache(
+                    shard_cubes[i],
+                    generations[i],
+                    retain=retain,
+                    dataset=datasets[i] if datasets is not None else None,
+                )
+
     def invalidate(self) -> None:
         """Drop every shard's cached cubes."""
         for shard in self._shards:

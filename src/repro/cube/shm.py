@@ -1,0 +1,740 @@
+"""Shared-memory snapshot publication: one writer, N reader processes.
+
+The in-process serving tier scales reads with threads, but the GIL
+caps a ``ThreadingHTTPServer`` at roughly one core of kernel work.
+The pre-fork tier (:mod:`repro.service.prefork`) scales across cores
+instead: a **parent** process owns the mutable stores (and the WAL —
+the single-writer discipline is unchanged) and *publishes* each
+snapshot's count tensors into a POSIX shared-memory segment; **worker**
+processes attach read-only views and rebuild the cube cache without
+recounting a single record — warm start is O(manifest), and all
+workers share one physical copy of the counts through the page cache.
+
+Wire format (one segment per published generation)
+--------------------------------------------------
+
+::
+
+    repro_<token>_g<gen>:
+        [8-byte magic "RPSHMv1\\0"]
+        [u64 manifest length]
+        [manifest JSON, utf-8]
+        [64-byte-aligned count tensors, back to back]
+
+The manifest carries, per store: its name, kind (``single`` /
+``sharded``), the categorical schema (class attribute + value
+domains, the same shape :mod:`repro.cube.persist` archives), the
+condition-attribute tuple, the store generation (an int, or the
+vector clock for a sharded store), the WAL sequence the counts
+contain, and per shard the cube directory — canonical key, byte
+offset, shape and dtype of each count tensor.
+
+A tiny control segment ``repro_<token>_ctl`` holds the **publish
+stamp** (a u64 generation counter, bumped after the segment for that
+generation is fully written) plus one u64 ack slot per worker.
+Readers poll the stamp — one 8-byte read — at the top of every
+request; on a change they attach the new segment, rebuild the cube
+views (zero-copy ``np.ndarray`` over the mapped buffer) and install
+them into their local stores with
+:meth:`~repro.cube.store.CubeStore.install_cache`, which preserves
+the engine's generation-invalidation and the store's ``pinned()``
+torn-free semantics exactly as an in-process absorb would.
+
+Publish/retire handshake
+------------------------
+
+* ``publish`` writes the *new* segment completely, then bumps the
+  stamp, then unlinks segments older than the previous generation.
+  The previous generation's segment is kept linked for one cycle so a
+  reader that loaded the stamp just before the bump can still open it;
+  a reader that loses even that race sees ``FileNotFoundError``,
+  re-reads the stamp and retries — it can only ever end up *newer*.
+* Readers never ``close()`` a segment that still backs live cube
+  views: an unlinked POSIX segment stays mapped until the last opener
+  unmaps it, so a long-pinned reader on an old snapshot keeps exactly
+  the torn-free view it pinned.  Liveness is tracked explicitly — a
+  per-segment anchor object is retained by every snapshot built from
+  the segment, and a ``weakref.finalize`` on the anchor closes the
+  mapping only once the last such snapshot is garbage.  (Relying on
+  ``close()`` raising ``BufferError`` under live views does not work:
+  numpy re-acquires the buffer from the underlying ``mmap`` and drops
+  the export count, so ``close()`` *succeeds* and the next cube read
+  is a use-after-unmap segfault.)
+* All unlinking is pid-guarded: a forked worker inherits the parent's
+  publisher object, and its exit must never tear down segments the
+  parent still serves.
+
+Subscribers must be fork children of the publisher (the pre-fork tier
+guarantees this): they then share the publisher's resource-tracker
+process, so 3.11's attach-side tracker registration is harmless — see
+:func:`_attach`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import struct
+import threading
+import time
+import weakref
+from multiprocessing import shared_memory
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..dataset.schema import Attribute, Schema
+from ..dataset.table import Dataset
+from .rulecube import RuleCube
+from .sharded import ShardedCubeStore, _DatasetFacade
+from .store import CubeStore
+
+__all__ = [
+    "ShmError",
+    "SnapshotPublisher",
+    "SnapshotSubscriber",
+    "segment_name",
+    "control_name",
+    "list_segments",
+]
+
+_MAGIC = b"RPSHMv1\0"
+_HEADER = struct.Struct("<8sQ")  # magic, manifest length
+_ALIGN = 64
+
+_CTL_MAGIC = b"RPSHMCTL"
+#: magic, publish stamp, slot count
+_CTL_HEADER = struct.Struct("<8sQQ")
+_CTL_SLOT = struct.Struct("<Q")
+
+
+class ShmError(RuntimeError):
+    """Raised for malformed segments or a torn publish protocol."""
+
+
+def segment_name(token: str, generation: int) -> str:
+    """The shm name of one published generation."""
+    return f"repro_{token}_g{generation}"
+
+
+def control_name(token: str) -> str:
+    """The shm name of the control (stamp + acks) segment."""
+    return f"repro_{token}_ctl"
+
+
+def list_segments(token: str) -> List[str]:
+    """Names of this token's segments currently linked in ``/dev/shm``.
+
+    Linux-only introspection for tests and the shutdown leak check;
+    returns ``[]`` where ``/dev/shm`` does not exist.
+    """
+    prefix = f"repro_{token}_"
+    try:
+        entries = os.listdir("/dev/shm")
+    except OSError:
+        return []
+    return sorted(e for e in entries if e.startswith(prefix))
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment by name.
+
+    3.11's ``SharedMemory`` registers attaches with the resource
+    tracker exactly like creates (3.12 grew ``track=False`` for this).
+    That is safe *here* because subscribers are fork children of the
+    publisher and share its tracker process: the tracker's cache is a
+    set, so the attach-side register is an idempotent no-op against
+    the creator's entry, and the shared tracker still unlinks leaked
+    segments if the whole family crashes.  A subscriber in an
+    unrelated process (its own tracker) would instead have its tracker
+    unlink the live segment at exit — do not attach from one.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+# ----------------------------------------------------------------------
+# Manifest capture (parent side)
+# ----------------------------------------------------------------------
+
+
+def _schema_meta(schema: Schema) -> Dict[str, object]:
+    # Continuous columns have no reconstructible domain and can never
+    # appear on a cube axis; a worker's attach-only schema keeps the
+    # categorical columns only (the same shape persist.py archives).
+    names = [attr.name for attr in schema if attr.is_categorical]
+    domains = {name: list(schema[name].values) for name in names}
+    return {
+        "class_attribute": schema.class_name,
+        "domains": domains,
+        "names": names,
+    }
+
+
+def _schema_from_meta(meta: Mapping[str, object]) -> Schema:
+    domains = meta["domains"]
+    attrs = [
+        Attribute(name, values=tuple(domains[name]))
+        for name in meta["names"]
+    ]
+    return Schema(attrs, class_attribute=meta["class_attribute"])
+
+
+def _capture_shard(snapshot) -> Tuple[List[Dict[str, object]], List[np.ndarray]]:
+    """One shard snapshot's cube directory + tensors, offsets unset."""
+    entries: List[Dict[str, object]] = []
+    tensors: List[np.ndarray] = []
+    for key in sorted(snapshot.cache):
+        counts = snapshot.cache[key].counts
+        entries.append(
+            {
+                "key": list(key),
+                "shape": list(counts.shape),
+                "dtype": str(counts.dtype),
+                "nbytes": int(counts.nbytes),
+            }
+        )
+        tensors.append(counts)
+    return entries, tensors
+
+
+def _capture_store(
+    name: str, store: object, wal_seq: object
+) -> Tuple[Dict[str, object], List[np.ndarray]]:
+    """One store's manifest entry + tensors (pinned, torn-free)."""
+    # The class-distribution cube is built lazily on first comparison;
+    # a worker cannot build it (its backing dataset is empty), so make
+    # sure it is materialised — and therefore published — up front.
+    store.class_distribution_cube()
+    tensors: List[np.ndarray] = []
+    if isinstance(store, ShardedCubeStore):
+        with store.pinned() as snapshot:
+            shards = []
+            for snap in snapshot.snapshots:
+                entries, shard_tensors = _capture_shard(snap)
+                shards.append(
+                    {
+                        "cubes": entries,
+                        "generation": snap.generation,
+                        "n_rows": snap.dataset.n_rows,
+                    }
+                )
+                tensors.extend(shard_tensors)
+            entry: Dict[str, object] = {
+                "name": name,
+                "kind": "sharded",
+                "shard_by": store.shard_by,
+                "generation": list(snapshot.generation),
+                "n_rows": snapshot.n_rows,
+                "schema": _schema_meta(store.dataset.schema),
+                "attributes": list(store.attributes),
+                "shards": shards,
+            }
+    else:
+        with store.pinned() as snapshot:
+            entries, tensors = _capture_shard(snapshot)
+            entry = {
+                "name": name,
+                "kind": "single",
+                "generation": snapshot.generation,
+                "n_rows": snapshot.dataset.n_rows,
+                "schema": _schema_meta(snapshot.dataset.schema),
+                "attributes": list(store.attributes),
+                "shards": [
+                    {
+                        "cubes": entries,
+                        "generation": snapshot.generation,
+                        "n_rows": snapshot.dataset.n_rows,
+                    }
+                ],
+            }
+    if wal_seq is not None:
+        entry["wal_seq"] = wal_seq
+    return entry, tensors
+
+
+def _layout(manifest: Dict[str, object], tensor_count: int) -> Tuple[bytes, List[int], int]:
+    """Assign aligned offsets; returns (manifest bytes, offsets, total).
+
+    Offsets are patched into the manifest before encoding, so the
+    encode runs twice: once to size the header region, once final.
+    """
+    # First pass with zero offsets to find the manifest's encoded size.
+    flat: List[Dict[str, object]] = []
+    for store in manifest["stores"]:
+        for shard in store["shards"]:
+            flat.extend(shard["cubes"])
+    if len(flat) != tensor_count:
+        raise ShmError("manifest/tensor count mismatch")
+
+    def encode() -> bytes:
+        return json.dumps(manifest, separators=(",", ":")).encode("utf-8")
+
+    # Offsets shift the manifest length (more digits), which shifts the
+    # offsets; iterate until stable (two passes suffice in practice,
+    # bounded defensively).
+    for entry in flat:
+        entry["offset"] = 0
+    for _ in range(5):
+        blob = encode()
+        base = _HEADER.size + len(blob)
+        offset = (base + _ALIGN - 1) // _ALIGN * _ALIGN
+        offsets: List[int] = []
+        for entry in flat:
+            offsets.append(offset)
+            entry["offset"] = offset
+            offset += int(entry["nbytes"])
+            offset = (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+        new_blob = encode()
+        if len(new_blob) == len(blob):
+            return new_blob, offsets, max(offset, _HEADER.size + len(new_blob))
+    raise ShmError("manifest layout did not converge")
+
+
+class SnapshotPublisher:
+    """Parent-side publication of store snapshots into shared memory.
+
+    Parameters
+    ----------
+    token:
+        Short hex string naming this publisher's segment family; a
+        fresh one is derived from the pid and a counter when omitted.
+    slots:
+        Number of worker ack slots in the control segment.
+    """
+
+    _counter = 0
+    _counter_lock = threading.Lock()
+
+    def __init__(self, token: Optional[str] = None, slots: int = 8) -> None:
+        if slots < 1:
+            raise ShmError("slots must be positive")
+        if token is None:
+            with SnapshotPublisher._counter_lock:
+                SnapshotPublisher._counter += 1
+                n = SnapshotPublisher._counter
+            token = f"{os.getpid():x}{n:x}"
+        self._token = token
+        self._slots = slots
+        self._owner_pid = os.getpid()
+        self._lock = threading.Lock()
+        self._generation = 0
+        #: generation -> SharedMemory we created (linked until retired)
+        self._segments: Dict[int, shared_memory.SharedMemory] = {}
+        size = _CTL_HEADER.size + slots * _CTL_SLOT.size
+        self._control = shared_memory.SharedMemory(
+            name=control_name(token), create=True, size=size
+        )
+        _CTL_HEADER.pack_into(
+            self._control.buf, 0, _CTL_MAGIC, 0, slots
+        )
+        for i in range(slots):
+            _CTL_SLOT.pack_into(
+                self._control.buf,
+                _CTL_HEADER.size + i * _CTL_SLOT.size,
+                0,
+            )
+        self._closed = False
+        atexit.register(self.close)
+
+    @property
+    def token(self) -> str:
+        return self._token
+
+    @property
+    def generation(self) -> int:
+        """The last published generation (0 before the first publish)."""
+        with self._lock:
+            return self._generation
+
+    def publish(
+        self,
+        stores: Mapping[str, object],
+        wal_seqs: Optional[Mapping[str, object]] = None,
+    ) -> int:
+        """Publish one consistent snapshot of every store.
+
+        Captures each store under its own ``pinned()`` block (each
+        capture is torn-free per store; the set as a whole is as
+        consistent as any multi-store read), writes the segment, bumps
+        the stamp, retires old segments.  Returns the new publish
+        generation.
+        """
+        if os.getpid() != self._owner_pid:
+            raise ShmError("publish() called from a non-owner process")
+        wal_seqs = wal_seqs or {}
+        with self._lock:
+            if self._closed:
+                raise ShmError("publisher is closed")
+            generation = self._generation + 1
+            entries: List[Dict[str, object]] = []
+            tensors: List[np.ndarray] = []
+            for name in sorted(stores):
+                entry, store_tensors = _capture_store(
+                    name, stores[name], wal_seqs.get(name)
+                )
+                entries.append(entry)
+                tensors.extend(store_tensors)
+            manifest: Dict[str, object] = {
+                "format": 1,
+                "generation": generation,
+                "stores": entries,
+            }
+            blob, offsets, total = _layout(manifest, len(tensors))
+            segment = shared_memory.SharedMemory(
+                name=segment_name(self._token, generation),
+                create=True,
+                size=max(total, 1),
+            )
+            _HEADER.pack_into(segment.buf, 0, _MAGIC, len(blob))
+            segment.buf[_HEADER.size:_HEADER.size + len(blob)] = blob
+            for offset, tensor in zip(offsets, tensors):
+                view = np.ndarray(
+                    tensor.shape,
+                    dtype=tensor.dtype,
+                    buffer=segment.buf,
+                    offset=offset,
+                )
+                np.copyto(view, tensor)
+                del view
+            # The segment is complete: land the stamp, then retire
+            # everything older than the previous generation.
+            _CTL_HEADER.pack_into(
+                self._control.buf, 0, _CTL_MAGIC, generation, self._slots
+            )
+            self._generation = generation
+            self._segments[generation] = segment
+            for old in [g for g in self._segments if g < generation - 1]:
+                self._retire(old)
+            return generation
+
+    def _retire(self, generation: int) -> None:
+        # Caller holds the lock.  Unlink removes the name; readers that
+        # already mapped the segment keep their views.
+        segment = self._segments.pop(generation, None)
+        if segment is None:
+            return
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+        try:
+            segment.close()
+        except BufferError:  # a same-process view is still alive
+            pass
+
+    def stamp(self) -> int:
+        """The publish stamp as a reader would see it."""
+        return _CTL_HEADER.unpack_from(self._control.buf, 0)[1]
+
+    def acks(self) -> List[int]:
+        """Per-slot generations workers last acknowledged."""
+        out = []
+        for i in range(self._slots):
+            (value,) = _CTL_SLOT.unpack_from(
+                self._control.buf, _CTL_HEADER.size + i * _CTL_SLOT.size
+            )
+            out.append(value)
+        return out
+
+    def close(self) -> None:
+        """Unlink every live segment and the control block.
+
+        Safe to call repeatedly; a no-op in forked children (they
+        inherit this object but must never tear down the parent's
+        segments).
+        """
+        if os.getpid() != self._owner_pid:
+            return
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for generation in list(self._segments):
+                self._retire(generation)
+            try:
+                self._control.unlink()
+            except FileNotFoundError:
+                pass
+            try:
+                self._control.close()
+            except BufferError:
+                pass
+
+    def __enter__(self) -> "SnapshotPublisher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def _close_quietly(segment: shared_memory.SharedMemory) -> None:
+    try:
+        segment.close()
+    except Exception:
+        pass
+
+
+class _SegmentAnchor:
+    """Keeps one attached segment mapped while any snapshot needs it.
+
+    Every :class:`~repro.cube.store._Snapshot` built from a segment
+    retains the same anchor; a ``weakref.finalize`` registered by the
+    subscriber closes the mapping when the last retainer is collected.
+    The anchor — not the ``SharedMemory`` object — is the liveness
+    token because ``SharedMemory.close()`` cannot detect numpy views
+    (see the module docstring) and must therefore never run while one
+    exists.
+    """
+
+    __slots__ = ("segment", "__weakref__")
+
+    def __init__(self, segment: shared_memory.SharedMemory) -> None:
+        self.segment = segment
+        weakref.finalize(self, _close_quietly, segment)
+
+
+def _cubes_from_shard(
+    shard_meta: Mapping[str, object],
+    schema: Schema,
+    buf: memoryview,
+) -> Dict[Tuple[str, ...], RuleCube]:
+    class_attr = schema.class_attribute
+    cubes: Dict[Tuple[str, ...], RuleCube] = {}
+    for entry in shard_meta["cubes"]:
+        key = tuple(entry["key"])
+        shape = tuple(entry["shape"])
+        offset = int(entry["offset"])
+        # Zero-copy: the ndarray addresses the shared mapping directly
+        # (whole-buffer + offset, no slice).  Nothing here protects the
+        # mapping's lifetime — that is the retaining anchor's job.
+        counts = np.ndarray(
+            shape,
+            dtype=np.dtype(entry["dtype"]),
+            buffer=buf,
+            offset=offset,
+        )
+        counts.setflags(write=False)
+        attrs = [schema[name] for name in key]
+        cubes[key] = RuleCube(attrs, class_attr, counts)
+    return cubes
+
+
+class SnapshotSubscriber:
+    """Worker-side attach/refresh of published snapshots.
+
+    The first :meth:`refresh` builds attach-only store objects
+    (:class:`CubeStore` / :class:`ShardedCubeStore` over empty backing
+    datasets — workers hold counts, never rows); every later refresh
+    installs the new generation's cube views into the *same* store
+    objects, so the engine above notices nothing but a generation
+    bump, exactly as if an in-process absorb had landed.
+    """
+
+    def __init__(
+        self,
+        token: str,
+        slot: Optional[int] = None,
+        attach_retries: int = 50,
+        retry_sleep: float = 0.02,
+    ) -> None:
+        self._token = token
+        self._slot = slot
+        self._attach_retries = attach_retries
+        self._retry_sleep = retry_sleep
+        self._lock = threading.Lock()
+        self._control: Optional[shared_memory.SharedMemory] = None
+        #: The current generation's anchor; replaced on refresh.  Old
+        #: anchors live exactly as long as the snapshots retaining
+        #: them, and their finalizers close the retired mappings.
+        self._anchor: Optional[_SegmentAnchor] = None
+        self._generation = 0
+        self._stores: Dict[str, object] = {}
+
+    # -- control ---------------------------------------------------------
+
+    def connect(self, timeout: float = 10.0) -> None:
+        """Attach the control segment (waits for the publisher)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                control = _attach(control_name(self._token))
+                break
+            except FileNotFoundError:
+                if time.monotonic() >= deadline:
+                    raise ShmError(
+                        f"no publisher control segment for token "
+                        f"{self._token!r} after {timeout}s"
+                    ) from None
+                time.sleep(self._retry_sleep)
+        magic, _, slots = _CTL_HEADER.unpack_from(control.buf, 0)
+        if magic != _CTL_MAGIC:
+            raise ShmError("control segment has a bad magic")
+        if self._slot is not None and self._slot >= slots:
+            raise ShmError(
+                f"slot {self._slot} out of range (control has {slots})"
+            )
+        self._control = control
+
+    def stamp(self) -> int:
+        """The current publish stamp (one shared 8-byte read)."""
+        if self._control is None:
+            raise ShmError("subscriber is not connected")
+        return _CTL_HEADER.unpack_from(self._control.buf, 0)[1]
+
+    @property
+    def generation(self) -> int:
+        """The publish generation currently installed locally."""
+        return self._generation
+
+    def stale(self) -> bool:
+        """True when a newer generation has been published."""
+        return self.stamp() != self._generation
+
+    def _ack(self, generation: int) -> None:
+        if self._slot is None or self._control is None:
+            return
+        _CTL_SLOT.pack_into(
+            self._control.buf,
+            _CTL_HEADER.size + self._slot * _CTL_SLOT.size,
+            generation,
+        )
+
+    # -- attach / install ------------------------------------------------
+
+    def stores(self) -> Dict[str, object]:
+        """The attach-only stores (empty before the first refresh)."""
+        return dict(self._stores)
+
+    def refresh(self) -> bool:
+        """Attach and install the latest generation if newer.
+
+        Returns ``True`` when a swap happened.  Thread-safe: handler
+        threads may race; one installs, the rest see ``stale() ==
+        False`` afterwards.  Losing the attach race to an even newer
+        publish retries against the fresh stamp — a reader only ever
+        moves forward.
+        """
+        if not self.stale():
+            return False
+        with self._lock:
+            target = self.stamp()
+            if target == self._generation:
+                return False
+            for _ in range(self._attach_retries):
+                try:
+                    segment = _attach(segment_name(self._token, target))
+                    break
+                except FileNotFoundError:
+                    # Retired under us: a newer publish landed between
+                    # the stamp read and the attach.  Follow the stamp.
+                    newer = self.stamp()
+                    if newer == target:
+                        time.sleep(self._retry_sleep)
+                    target = newer
+            else:
+                raise ShmError(
+                    f"could not attach generation {target} for token "
+                    f"{self._token!r}"
+                )
+            anchor = _SegmentAnchor(segment)
+            manifest = self._parse(segment)
+            self._install(manifest, anchor)
+            # Dropping our reference to the previous anchor hands its
+            # lifetime entirely to the snapshots that retain it; the
+            # finalizer closes the old mapping once they are gone.
+            self._anchor = anchor
+            self._generation = int(manifest["generation"])
+            self._ack(self._generation)
+            return True
+
+    @staticmethod
+    def _parse(segment: shared_memory.SharedMemory) -> Dict[str, object]:
+        magic, length = _HEADER.unpack_from(segment.buf, 0)
+        if magic != _MAGIC:
+            raise ShmError("segment has a bad magic")
+        raw = bytes(segment.buf[_HEADER.size:_HEADER.size + length])
+        return json.loads(raw.decode("utf-8"))
+
+    def _install(
+        self,
+        manifest: Mapping[str, object],
+        anchor: _SegmentAnchor,
+    ) -> None:
+        buf = anchor.segment.buf
+        for entry in manifest["stores"]:
+            name = entry["name"]
+            schema = _schema_from_meta(entry["schema"])
+            attributes = tuple(entry["attributes"])
+            shard_cubes = [
+                _cubes_from_shard(shard, schema, buf)
+                for shard in entry["shards"]
+            ]
+            generations = [
+                int(shard["generation"]) for shard in entry["shards"]
+            ]
+            datasets = [
+                _DatasetFacade(schema, int(shard["n_rows"]))
+                for shard in entry["shards"]
+            ]
+            store = self._stores.get(name)
+            if store is None:
+                store = self._build_store(entry, schema, attributes)
+                self._stores[name] = store
+            if isinstance(store, ShardedCubeStore):
+                store.install_shard_caches(
+                    shard_cubes,
+                    generations,
+                    retain=anchor,
+                    datasets=datasets,
+                )
+            else:
+                store.install_cache(
+                    shard_cubes[0],
+                    generations[0],
+                    retain=anchor,
+                    dataset=datasets[0],
+                )
+
+    @staticmethod
+    def _build_store(
+        entry: Mapping[str, object],
+        schema: Schema,
+        attributes: Tuple[str, ...],
+    ) -> object:
+        def make_shard() -> CubeStore:
+            return CubeStore(Dataset.empty(schema), attributes=attributes)
+
+        if entry["kind"] == "sharded":
+            return ShardedCubeStore(
+                [make_shard() for _ in entry["shards"]],
+                shard_by=entry.get("shard_by"),
+            )
+        if entry["kind"] != "single":
+            raise ShmError(f"unknown store kind {entry['kind']!r}")
+        return make_shard()
+
+    def close(self) -> None:
+        """Detach this subscriber (never unlinks).
+
+        Drops the store and anchor references; each segment's mapping
+        closes via its anchor's finalizer once the last snapshot built
+        from it — anywhere in this process — is collected.
+        """
+        with self._lock:
+            self._stores = {}
+            self._anchor = None
+            if self._control is not None:
+                _close_quietly(self._control)
+                self._control = None
+
+    def __enter__(self) -> "SnapshotSubscriber":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -73,19 +73,29 @@ class _Snapshot:
     ``dataset``, so consistency is preserved), but existing entries are
     never mutated and the dataset/generation never change — an absorb
     publishes a *new* snapshot instead.
+
+    ``retain`` anchors whatever external resource backs the cube
+    tensors — a worker process's attached shared-memory segment, whose
+    mapping must outlive every view into it.  It rides on the snapshot
+    because the snapshot's lifetime *is* the views' lifetime: a pinned
+    reader keeps the snapshot (and therefore the mapping) alive, and
+    when the last reference to a replaced snapshot drops, the segment
+    becomes closeable.  ``None`` for ordinary in-process snapshots.
     """
 
-    __slots__ = ("cache", "dataset", "generation")
+    __slots__ = ("cache", "dataset", "generation", "retain")
 
     def __init__(
         self,
         cache: Dict[Tuple[str, ...], RuleCube],
         dataset: Dataset,
         generation: int,
+        retain: object = None,
     ) -> None:
         self.cache = cache
         self.dataset = dataset
         self.generation = generation
+        self.retain = retain
 
 
 class CubeStore:
@@ -158,6 +168,10 @@ class CubeStore:
         # Optional write-ahead log (see bind_wal()).
         self._wal = None
         self._wal_shard: Optional[int] = None
+        # Attach-only mode (see install_cache()): the store serves
+        # externally published cubes and holds no rows, so a lazy
+        # build would silently count zeros — forbid it instead.
+        self._remote = False
 
     # ------------------------------------------------------------------
     # Snapshot access
@@ -341,6 +355,13 @@ class CubeStore:
             cube = snapshot.cache.get(canonical)
             if cube is not None:
                 return cube
+            if self._remote:
+                raise CubeError(
+                    f"cube {canonical!r} is not in the published "
+                    "snapshot and this attach-only store holds no "
+                    "rows to count it from; publish it from the "
+                    "owning process (precompute before serving)"
+                )
             with self._lock:
                 cube = snapshot.cache.get(canonical)
                 if cube is not None:
@@ -687,6 +708,51 @@ class CubeStore:
             raise CubeError("cube axes do not match the injection key")
         with self._lock:
             self._snapshot.cache[tuple(attributes)] = cube
+
+    def install_cache(
+        self,
+        cubes: Dict[Tuple[str, ...], RuleCube],
+        generation: int,
+        retain: object = None,
+        dataset: object = None,
+    ) -> None:
+        """Swap in an externally published cube set as a new snapshot.
+
+        The worker side of the shared-memory publish protocol
+        (:mod:`repro.cube.shm`): the whole cache is replaced in one
+        pointer swap — concurrent readers see the old world or the new
+        one, never a mix, exactly like :meth:`absorb` — and
+        ``generation`` mirrors the *publisher's* store generation, so
+        the engine's generation-keyed result cache invalidates on the
+        worker exactly when it would have on the publisher.
+
+        ``retain`` (typically the attached ``SharedMemory`` segment)
+        is anchored on the snapshot so the mapping behind the
+        zero-copy cube views outlives every pinned reader.
+        ``dataset`` optionally replaces the snapshot's dataset with a
+        facade carrying the publisher's real schema/row count (the
+        worker holds no rows).  The store becomes **attach-only**:
+        lazy builds raise :class:`CubeError` instead of silently
+        counting zeros from the empty local dataset.
+        """
+        for key, cube in cubes.items():
+            if tuple(sorted(key)) != tuple(key):
+                raise CubeError(
+                    "installed keys must be sorted attribute tuples"
+                )
+            if cube.names != tuple(key):
+                raise CubeError(
+                    f"cube axes {cube.names!r} do not match key {key!r}"
+                )
+        with self._write_lock:
+            with self._lock:
+                self._remote = True
+                self._snapshot = _Snapshot(
+                    dict(cubes),
+                    dataset if dataset is not None else self._snapshot.dataset,
+                    generation,
+                    retain,
+                )
 
     def invalidate(self) -> None:
         """Drop every cached cube (e.g. after swapping the data set)."""

@@ -113,13 +113,17 @@ _EXPORTS = {
     "ClientError": "client",
     "ServerError": "client",
     "BudgetExhausted": "client",
+    "KeepAliveTransport": "client",
     "ComparisonHTTPServer": "http",
     "serve": "http",
+    "serve_prefork": "prefork",
+    "PreforkError": "prefork",
     "Counter": "metrics",
     "Histogram": "metrics",
     "MetricsRegistry": "metrics",
     "ServiceMetrics": "metrics",
     "service_metrics": "metrics",
+    "merge_dumps": "metrics",
     "Trace": "tracing",
     "Span": "tracing",
     "TraceBuffer": "tracing",

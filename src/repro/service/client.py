@@ -26,13 +26,16 @@ stdlib ``urllib`` against a live server.
 
 from __future__ import annotations
 
+import http.client
 import json
 import random
+import threading
 import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, NamedTuple, Optional
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Tuple
+from urllib.parse import urlsplit
 
 __all__ = [
     "RetryPolicy",
@@ -41,6 +44,7 @@ __all__ = [
     "ServerError",
     "BudgetExhausted",
     "ServiceClient",
+    "KeepAliveTransport",
 ]
 
 #: Status codes worth retrying: overload/unavailability — including
@@ -118,7 +122,12 @@ class RetryPolicy:
 def _urllib_transport(
     method: str, url: str, body: Optional[bytes], timeout: float
 ):
-    """Default transport: returns ``(status, headers, raw_body)``."""
+    """One-shot transport: a fresh socket per request.
+
+    Kept for callers that must not hold connections (and as the
+    reference implementation of the transport contract); the default
+    is :class:`KeepAliveTransport`.
+    """
     request = urllib.request.Request(
         url,
         data=body,
@@ -130,6 +139,88 @@ def _urllib_transport(
             return resp.status, dict(resp.headers), resp.read()
     except urllib.error.HTTPError as exc:
         return exc.code, dict(exc.headers or {}), exc.read()
+
+
+class KeepAliveTransport:
+    """The default transport: persistent HTTP/1.1 connections.
+
+    One ``http.client.HTTPConnection`` per ``(host, port)`` *per
+    thread* (thread-local, so handler threads in a load generator
+    never share a socket).  A fresh socket per request was dominating
+    client-side latency in the throughput bench — connect + slow-start
+    cost more than the small JSON exchange it carried — and, against
+    the pre-fork server, re-dialling also hops between worker
+    processes, losing read-your-writes after an ingest.
+
+    A request that fails on a *reused* connection is retried once on a
+    fresh one: the server (or an idle timeout) closed the connection
+    between requests, which a keep-alive client cannot distinguish
+    from a request-in-flight failure until it re-dials.  Failures on a
+    fresh connection propagate as ``OSError`` per the transport
+    contract, feeding the :class:`ServiceClient` retry loop.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+
+    def _connections(
+        self,
+    ) -> Dict[Tuple[str, int], http.client.HTTPConnection]:
+        conns = getattr(self._local, "conns", None)
+        if conns is None:
+            conns = self._local.conns = {}
+        return conns
+
+    def _drop(self, key: Tuple[str, int]) -> None:
+        conn = self._connections().pop(key, None)
+        if conn is not None:
+            conn.close()
+
+    def close(self) -> None:
+        """Close this thread's pooled connections."""
+        conns = self._connections()
+        for conn in conns.values():
+            conn.close()
+        conns.clear()
+
+    def __call__(
+        self, method: str, url: str, body: Optional[bytes],
+        timeout: float,
+    ):
+        parts = urlsplit(url)
+        host = parts.hostname or "127.0.0.1"
+        port = parts.port or 80
+        path = parts.path or "/"
+        if parts.query:
+            path = f"{path}?{parts.query}"
+        key = (host, port)
+        headers = {"Content-Type": "application/json"}
+        conns = self._connections()
+        for attempt in (0, 1):
+            conn = conns.get(key)
+            reused = conn is not None
+            if conn is None:
+                conn = http.client.HTTPConnection(
+                    host, port, timeout=timeout
+                )
+                conns[key] = conn
+            else:
+                conn.timeout = timeout
+                if conn.sock is not None:
+                    conn.sock.settimeout(timeout)
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                return response.status, dict(response.headers), raw
+            except (http.client.HTTPException, OSError) as exc:
+                self._drop(key)
+                if reused and attempt == 0:
+                    continue  # stale keep-alive socket; re-dial once
+                if isinstance(exc, OSError):
+                    raise
+                raise OSError(str(exc) or type(exc).__name__) from exc
+        raise OSError("unreachable")  # pragma: no cover
 
 
 class ServiceClient:
@@ -150,7 +241,9 @@ class ServiceClient:
         Injection points for tests.  ``transport(method, url, body,
         timeout)`` must return ``(status, headers, raw_body)`` or
         raise ``OSError``/``urllib.error.URLError`` for transport
-        failures (which are retryable).
+        failures (which are retryable).  The default is a fresh
+        :class:`KeepAliveTransport` — persistent connections, reused
+        across calls, thread-local per pooled socket.
     """
 
     def __init__(
@@ -158,14 +251,16 @@ class ServiceClient:
         base_url: str,
         policy: Optional[RetryPolicy] = None,
         budget_ms: Optional[float] = None,
-        transport: Callable = _urllib_transport,
+        transport: Optional[Callable] = None,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.policy = policy or RetryPolicy()
         self.budget_ms = budget_ms
-        self._transport = transport
+        self._transport = (
+            transport if transport is not None else KeepAliveTransport()
+        )
         self._sleep = sleep
         self._clock = clock
         self._rng = random.Random(self.policy.seed)
@@ -405,6 +500,18 @@ class ServiceClient:
     ) -> Dict[str, Any]:
         """The server's retained trace buffer (recent + slowest)."""
         return self.request("GET", "/debug/traces", budget_ms=budget_ms)
+
+    def close(self) -> None:
+        """Close pooled transport connections (no-op for one-shots)."""
+        closer = getattr(self._transport, "close", None)
+        if callable(closer):
+            closer()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         return (

@@ -31,6 +31,20 @@ class ServiceConfig:
         Size of the engine's thread pool.  Comparisons are
         numpy-dominated and release the GIL in the counting kernels,
         so a few workers genuinely overlap.
+    worker_procs:
+        Number of serving *processes*.  ``1`` (default) keeps the
+        classic single-process ``ThreadingHTTPServer``.  Above 1,
+        ``repro serve`` pre-forks that many workers, each attaching
+        the parent's shared-memory snapshot publication read-only and
+        running its own thread pool of ``workers`` threads; ingest is
+        forwarded to the parent (single writer).  Requires ``os.fork``
+        (POSIX) and pre-materialised cubes — see
+        :mod:`repro.service.prefork`.
+    reuse_port:
+        With ``worker_procs > 1``: bind one ``SO_REUSEPORT`` listen
+        socket per worker (kernel-level load balancing) instead of
+        sharing the parent's inherited socket.  Falls back to the
+        shared socket where the platform lacks ``SO_REUSEPORT``.
     cache_size:
         Capacity (entry count) of the LRU result cache.  ``0``
         disables caching entirely — every request recomputes.
@@ -95,6 +109,8 @@ class ServiceConfig:
     host: str = "127.0.0.1"
     port: int = 8023
     workers: int = 4
+    worker_procs: int = 1
+    reuse_port: bool = False
     cache_size: int = 256
     deadline_ms: Optional[int] = 5_000
     default_store: str = "default"
@@ -112,6 +128,10 @@ class ServiceConfig:
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ConfigError("workers must be at least 1")
+        if self.worker_procs < 1:
+            raise ConfigError("worker_procs must be at least 1")
+        if self.reuse_port and self.worker_procs < 2:
+            raise ConfigError("reuse_port needs worker_procs > 1")
         if self.cache_size < 0:
             raise ConfigError("cache_size must be non-negative")
         if self.deadline_ms is not None and self.deadline_ms <= 0:

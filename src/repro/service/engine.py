@@ -49,6 +49,7 @@ from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import (
+    Callable,
     Dict,
     List,
     Mapping,
@@ -507,6 +508,12 @@ class ComparisonEngine:
             max_workers=self._config.workers,
             thread_name_prefix="repro-compare",
         )
+        #: Pre-fork worker hook: when set, :meth:`ingest` hands the
+        #: raw batch to this callable (which forwards it to the
+        #: single-writer parent) instead of absorbing locally.
+        self._ingest_forwarder: Optional[
+            Callable[[Sequence[Row], Optional[str]], IngestOutcome]
+        ] = None
 
     # ------------------------------------------------------------------
     # Store management
@@ -619,6 +626,37 @@ class ComparisonEngine:
     def store_names(self) -> List[str]:
         with self._stores_lock:
             return sorted(self._stores)
+
+    def stores(self) -> Dict[str, CubeStore]:
+        """Name → registered store object (a shallow copy).
+
+        The pre-fork publisher captures every store's pinned snapshot
+        from this mapping; handing out the store objects (not copies)
+        is deliberate — publication must see the same objects ingest
+        mutates.
+        """
+        with self._stores_lock:
+            return {name: m.store for name, m in self._stores.items()}
+
+    def wal_seqs(self) -> Dict[str, int]:
+        """Name → highest WAL sequence bound to each store (0 without
+        a WAL, or when the log does not expose one)."""
+        out: Dict[str, int] = {}
+        with self._stores_lock:
+            managed = list(self._stores.values())
+        for m in managed:
+            seq = 0
+            if m.wal is not None:
+                last = getattr(m.wal, "last_seq", None)
+                if callable(last):
+                    try:
+                        seq = int(last())
+                    except (OSError, ValueError):
+                        seq = 0
+                elif isinstance(last, int):
+                    seq = last
+            out[m.name] = seq
+        return out
 
     def describe_stores(self) -> List[Dict[str, object]]:
         """JSON-safe description of every registered store."""
@@ -1156,7 +1194,15 @@ class ComparisonEngine:
         concurrent batches within the window are merged into one
         absorb; the outcome's ``coalesced`` flag reports whether that
         happened.
+
+        In a pre-fork worker process an installed forwarder
+        (:meth:`set_ingest_forwarder`) routes the raw batch to the
+        parent — the single writer — and returns (or raises) whatever
+        the parent decided, so the HTTP error contract is identical in
+        both serving modes.
         """
+        if self._ingest_forwarder is not None:
+            return self._ingest_forwarder(rows, store)
         managed = self._resolve(store)
         schema = managed.store.dataset.schema
         with span(
@@ -1312,6 +1358,41 @@ class ComparisonEngine:
 
     def clear_cache(self) -> None:
         self._cache.clear()
+
+    def set_ingest_forwarder(
+        self,
+        forwarder: Optional[
+            Callable[[Sequence[Row], Optional[str]], IngestOutcome]
+        ],
+    ) -> None:
+        """Route :meth:`ingest` through ``forwarder`` (``None`` clears).
+
+        Installed in pre-fork workers, whose stores are read-only
+        shared-memory attachments: the forwarder ships the batch to
+        the parent process and blocks until the parent has absorbed
+        *and republished*, then returns the parent's
+        :class:`IngestOutcome` or re-raises its typed error.
+        """
+        self._ingest_forwarder = forwarder
+
+    def close_wals(self) -> None:
+        """Close every store's write-ahead log (idempotent).
+
+        Part of graceful shutdown: after the HTTP server has drained
+        and the pool has stopped, closing the logs flushes their
+        buffers so a SIGTERM never leaves a torn final record behind.
+        """
+        with self._stores_lock:
+            managed = list(self._stores.values())
+        for m in managed:
+            if m.wal is None:
+                continue
+            close = getattr(m.wal, "close", None)
+            if callable(close):
+                try:
+                    close()
+                except OSError:
+                    pass  # already closed / fs went away mid-shutdown
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the worker pool.  The engine is unusable afterwards."""

@@ -50,10 +50,12 @@ from __future__ import annotations
 import json
 import logging
 import math
+import signal
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 from urllib.parse import parse_qs
 
 from ..cube.sharded import ShardReadError
@@ -74,6 +76,7 @@ from .tracing import (
     sanitize_request_id,
     slow_summary,
     start_trace,
+    worker_id,
 )
 
 __all__ = ["ComparisonHTTPServer", "serve"]
@@ -362,18 +365,34 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _handle_healthz(self) -> int:
         engine = self.server.engine
-        self._send_json(
-            200,
-            {
-                "status": "ok",
-                "stores": engine.store_names(),
-                "workers": engine.config.workers,
-            },
-        )
+        body: Dict[str, Any] = {
+            "status": "ok",
+            "stores": engine.store_names(),
+            "workers": engine.config.workers,
+        }
+        extra = self.server.health_extra
+        if extra is not None:
+            try:
+                body.update(extra())
+            except Exception:  # the probe must answer regardless
+                logger.exception("health_extra hook failed")
+        self._send_json(200, body)
         return 200
 
     def _handle_metrics(self) -> int:
-        self._send_text(200, self.server.engine.metrics.render())
+        provider = self.server.metrics_text_provider
+        text: Optional[str] = None
+        if provider is not None:
+            try:
+                text = provider()
+            except Exception:
+                # The aggregator (the pre-fork parent) may be mid-
+                # restart; serve this process's own counters rather
+                # than failing the scrape.
+                logger.exception("metrics aggregation failed")
+        if text is None:
+            text = self.server.engine.metrics.render()
+        self._send_text(200, text)
         return 200
 
     def _handle_debug_traces(self) -> int:
@@ -543,6 +562,13 @@ class ComparisonHTTPServer(ThreadingHTTPServer):
 
     Binding ``port=0`` (the test/example default path) picks a free
     ephemeral port; read the actual address back from :attr:`url`.
+
+    ``sock`` adopts an already-bound, already-listening socket instead
+    of binding a fresh one — the pre-fork tier binds once in the
+    parent and every forked worker accepts on the inherited socket.
+    ``reuse_port`` requests ``SO_REUSEPORT`` on a fresh bind (several
+    processes then each bind the same address and the kernel load-
+    balances accepted connections between them).
     """
 
     daemon_threads = True
@@ -552,13 +578,29 @@ class ComparisonHTTPServer(ThreadingHTTPServer):
         engine: ComparisonEngine,
         host: Optional[str] = None,
         port: Optional[int] = None,
+        sock: Optional[socket.socket] = None,
+        reuse_port: bool = False,
     ) -> None:
         config = engine.config
         address = (
             host if host is not None else config.host,
             port if port is not None else config.port,
         )
-        super().__init__(address, _Handler)
+        if reuse_port and not hasattr(socket, "SO_REUSEPORT"):
+            raise OSError(
+                "SO_REUSEPORT is not available on this platform"
+            )
+        self.allow_reuse_port = bool(reuse_port)
+        if sock is not None:
+            super().__init__(address, _Handler, bind_and_activate=False)
+            # Replace the fresh unbound socket with the adopted one;
+            # it is already bound and listening, so neither
+            # server_bind nor server_activate runs again.
+            self.socket.close()
+            self.socket = sock
+            self.server_address = sock.getsockname()
+        else:
+            super().__init__(address, _Handler)
         self.engine = engine
         self._thread: Optional[threading.Thread] = None
         self.traces = TraceBuffer(config.trace_buffer_size)
@@ -567,6 +609,16 @@ class ComparisonHTTPServer(ThreadingHTTPServer):
             if config.trace_log_path
             else None
         )
+        #: Pre-fork hooks.  ``metrics_text_provider`` replaces the
+        #: local ``/metrics`` rendering (workers ask the parent for
+        #: the fleet-wide aggregation); ``health_extra`` merges extra
+        #: fields (worker slot, pid, snapshot generation) into the
+        #: ``/healthz`` body.  Both stay ``None`` in single-process
+        #: serving.
+        self.metrics_text_provider: Optional[Callable[[], str]] = None
+        self.health_extra: Optional[
+            Callable[[], Dict[str, Any]]
+        ] = None
 
     def record_trace(
         self, trace: "Trace", endpoint: str, status: int
@@ -582,6 +634,9 @@ class ComparisonHTTPServer(ThreadingHTTPServer):
         payload = trace.to_dict()
         payload["endpoint"] = endpoint
         payload["status"] = status
+        worker = worker_id()
+        if worker is not None:
+            payload["worker"] = worker
         self.traces.record(payload)
         metrics = self.engine.metrics
         metrics.traces_recorded.inc(endpoint=endpoint)
@@ -640,11 +695,27 @@ def serve(
     engine: ComparisonEngine,
     config: Optional[ServiceConfig] = None,
 ) -> None:
-    """Blocking entry point used by ``repro serve``."""
+    """Blocking entry point used by ``repro serve``.
+
+    With ``config.worker_procs > 1`` this delegates to the pre-fork
+    tier (:func:`repro.service.prefork.serve_prefork`): the parent
+    publishes shared-memory snapshots and N forked workers serve.
+
+    Either way, SIGTERM and SIGINT shut down *gracefully*: the accept
+    loop stops, in-flight requests drain (``server_close`` joins the
+    handler threads), the trace log closes on a record boundary, and
+    every bound WAL is closed — no torn trailing JSONL line, no
+    leaked shared-memory segments.
+    """
     config = config or engine.config
+    if getattr(config, "worker_procs", 1) > 1:
+        from .prefork import serve_prefork
+
+        serve_prefork(engine, config)
+        return
     server = ComparisonHTTPServer(engine, config.host, config.port)
     logger.info("serving on %s", server.url)
-    print(f"repro service listening on {server.url}")
+    print(f"repro service listening on {server.url}", flush=True)
     print(
         f"traces: GET {server.url}/debug/traces "
         f"(buffer {config.trace_buffer_size}"
@@ -655,12 +726,33 @@ def serve(
         )
         + ")"
     )
+    stopping = threading.Event()
+
+    def _request_stop(signum: int, frame: object) -> None:
+        # Runs on the main thread — the one inside serve_forever —
+        # so the shutdown rendezvous must happen on another thread
+        # (shutdown() waits for the serve loop to notice).
+        if stopping.is_set():
+            return
+        stopping.set()
+        logger.info("signal %d: draining and shutting down", signum)
+        threading.Thread(
+            target=server.shutdown, name="repro-shutdown", daemon=True
+        ).start()
+
+    previous: Dict[int, object] = {}
+    if threading.current_thread() is threading.main_thread():
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            previous[sig] = signal.signal(sig, _request_stop)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
-        server.server_close()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)  # type: ignore[arg-type]
+        server.server_close()  # joins in-flight handler threads
         if server.trace_writer is not None:
             server.trace_writer.close()
         engine.shutdown()
+        engine.close_wals()

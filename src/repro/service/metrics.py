@@ -23,6 +23,7 @@ __all__ = [
     "ServiceMetrics",
     "DEFAULT_LATENCY_BUCKETS",
     "service_metrics",
+    "merge_dumps",
 ]
 
 #: Latency buckets in seconds — spans sub-millisecond cache hits up to
@@ -99,6 +100,29 @@ class Counter:
             )
         return lines
 
+    def dump(self) -> Dict[str, object]:
+        """A JSON/pickle-safe snapshot for cross-process aggregation."""
+        with self._lock:
+            values = [
+                [list(map(list, key)), value]
+                for key, value in self._values.items()
+            ]
+        return {
+            "kind": "counter",
+            "name": self.name,
+            "help": self.help_text,
+            "values": values,
+        }
+
+    def load(self, dump: Mapping[str, object]) -> None:
+        """Merge a :meth:`dump` into this counter (values add)."""
+        with self._lock:
+            for raw_key, value in dump["values"]:  # type: ignore[index]
+                key = tuple(tuple(pair) for pair in raw_key)
+                self._values[key] = (
+                    self._values.get(key, 0.0) + float(value)
+                )
+
 
 class Gauge:
     """A labelled value that can go up and down (backlog, pins, ...)."""
@@ -141,6 +165,34 @@ class Gauge:
                 f"{self.name}{_render_labels(key)} {_format_value(value)}"
             )
         return lines
+
+    def dump(self) -> Dict[str, object]:
+        """A JSON/pickle-safe snapshot for cross-process aggregation."""
+        with self._lock:
+            values = [
+                [list(map(list, key)), value]
+                for key, value in self._values.items()
+            ]
+        return {
+            "kind": "gauge",
+            "name": self.name,
+            "help": self.help_text,
+            "values": values,
+        }
+
+    def load(self, dump: Mapping[str, object]) -> None:
+        """Merge a :meth:`dump` into this gauge.
+
+        Gauges *add* on merge: the fleet-wide backlog (or pin count)
+        is the sum of every process's, and a process that never set a
+        series contributes zero.
+        """
+        with self._lock:
+            for raw_key, value in dump["values"]:  # type: ignore[index]
+                key = tuple(tuple(pair) for pair in raw_key)
+                self._values[key] = (
+                    self._values.get(key, 0.0) + float(value)
+                )
 
 
 class _HistogramSeries:
@@ -253,6 +305,47 @@ class Histogram:
             lines.append(f"{self.name}_count{labels} {count}")
         return lines
 
+    def dump(self) -> Dict[str, object]:
+        """A JSON/pickle-safe snapshot for cross-process aggregation."""
+        with self._lock:
+            series = [
+                [list(map(list, key)), list(s.bucket_counts),
+                 s.total, s.count]
+                for key, s in self._series.items()
+            ]
+        return {
+            "kind": "histogram",
+            "name": self.name,
+            "help": self.help_text,
+            "buckets": list(self.buckets),
+            "series": series,
+        }
+
+    def load(self, dump: Mapping[str, object]) -> None:
+        """Merge a :meth:`dump` into this histogram (bucket-wise add).
+
+        The dumped bucket bounds must match this histogram's — two
+        processes built from the same :class:`ServiceMetrics` always
+        agree, and anything else would silently mis-bin samples.
+        """
+        bounds = tuple(float(b) for b in dump["buckets"])  # type: ignore[index]
+        if bounds != self.buckets:
+            raise ValueError(
+                f"histogram {self.name!r}: bucket bounds differ "
+                "between processes; refusing to merge"
+            )
+        with self._lock:
+            for raw_key, bucket_counts, total, count in dump["series"]:  # type: ignore[index]
+                key = tuple(tuple(pair) for pair in raw_key)
+                series = self._series.get(key)
+                if series is None:
+                    series = _HistogramSeries(len(self.buckets) + 1)
+                    self._series[key] = series
+                for i, n in enumerate(bucket_counts):
+                    series.bucket_counts[i] += int(n)
+                series.total += float(total)
+                series.count += int(count)
+
 
 class MetricsRegistry:
     """A named collection of metrics with one text exposition."""
@@ -311,6 +404,46 @@ class MetricsRegistry:
         for metric in metrics:
             lines.extend(metric.render())  # type: ignore[attr-defined]
         return "\n".join(lines) + "\n"
+
+    def dump(self) -> List[Dict[str, object]]:
+        """Every metric's :meth:`dump`, for shipping across processes.
+
+        The pre-fork serving tier sends worker dumps over a pipe to
+        the parent, which folds them together with
+        :func:`merge_dumps` so ``GET /metrics`` shows fleet totals.
+        """
+        with self._lock:
+            metrics = [self._metrics[n] for n in sorted(self._metrics)]
+        return [m.dump() for m in metrics]  # type: ignore[attr-defined]
+
+
+def merge_dumps(
+    dumps: Iterable[List[Dict[str, object]]],
+) -> MetricsRegistry:
+    """Fold per-process registry dumps into one fresh registry.
+
+    Counters and histograms add sample-wise; gauges add series-wise
+    (a fleet backlog is the sum of per-process backlogs).  Metrics
+    absent from some processes merge from the ones that have them.
+    """
+    merged = MetricsRegistry()
+    for registry_dump in dumps:
+        for metric_dump in registry_dump:
+            kind = metric_dump["kind"]
+            name = str(metric_dump["name"])
+            help_text = str(metric_dump["help"])
+            if kind == "counter":
+                merged.counter(name, help_text).load(metric_dump)
+            elif kind == "gauge":
+                merged.gauge(name, help_text).load(metric_dump)
+            elif kind == "histogram":
+                merged.histogram(
+                    name, help_text,
+                    buckets=metric_dump["buckets"],  # type: ignore[arg-type]
+                ).load(metric_dump)
+            else:
+                raise ValueError(f"unknown metric kind {kind!r}")
+    return merged
 
 
 class ServiceMetrics:

@@ -1,0 +1,641 @@
+"""Pre-fork multi-process serving tier.
+
+The single-process server tops out at roughly one core: handler
+threads and the comparison pool share one GIL, so once the numpy
+kernels stop dominating, adding threads adds contention, not
+throughput.  This module scales the *read* path across cores the
+classic pre-fork way while keeping the write path exactly as the
+in-process copy-on-write design demands — one writer, atomic snapshot
+swaps, readers never blocked:
+
+* the **parent** owns every mutable store, the WAL, and ingest.  It
+  publishes each store's immutable snapshot count tensors into
+  ``multiprocessing.shared_memory`` via
+  :class:`repro.cube.shm.SnapshotPublisher` — one generation-stamped
+  segment per publish, current + previous kept linked so a reader can
+  never lose the attach race backwards;
+* **N workers** are forked after publication.  Each attaches the
+  segments read-only (:class:`repro.cube.shm.SnapshotSubscriber` —
+  O(1) warm start: ``mmap`` + header parse, no counting), builds its
+  own :class:`~repro.service.engine.ComparisonEngine` over the
+  attach-only stores, and serves HTTP with its own thread pool.  The
+  count tensors live in the page cache once, mapped by everyone;
+* ``/ingest`` hitting a worker is **forwarded** over a pipe to the
+  parent — the single writer — which absorbs (WAL semantics
+  unchanged), republishes the new generation, and only then replies.
+  The forwarding worker refreshes before acknowledging, so a client
+  that ingests and immediately compares *on the same connection*
+  reads its own write; other workers swap within one stamp-poll tick
+  (eventual, like any replicated read tier);
+* ``/metrics`` on any worker asks the parent, which collects every
+  process's registry dump over the command pipes and renders one
+  fleet-wide exposition (:func:`repro.service.metrics.merge_dumps`).
+
+Two accept strategies: by default the parent binds one listening
+socket before forking and every worker accepts on the inherited
+descriptor (one shared queue).  With ``ServiceConfig.reuse_port``
+each worker binds its own ``SO_REUSEPORT`` socket instead and the
+kernel hash-balances connections across them; where the platform
+lacks ``SO_REUSEPORT`` the shared socket is the fallback.
+
+The parent also monitors its children: a worker that dies (OOM, bug,
+``kill -9``) is reaped and respawned into the same slot — its
+replacement attaches the current generation in milliseconds, so one
+crash costs the connections that were on that worker, never a 5xx
+storm.  Shutdown (SIGTERM/SIGINT) is graceful end to end: workers
+drain in-flight requests and exit; the parent reaps them, unlinks
+every shared-memory segment, closes the WAL, and leaves ``/dev/shm``
+exactly as it found it.
+
+POSIX only (``os.fork``); the CLI refuses ``--worker-procs`` > 1
+elsewhere.  Workers hold attach-only stores, so cubes must be
+materialised before serving — ``repro serve`` precomputes by default
+and refuses ``--no-precompute`` in this mode.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import signal
+import socket
+import threading
+import time
+from dataclasses import replace
+from multiprocessing.connection import Connection, Pipe
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..cube.shm import ShmError, SnapshotPublisher, SnapshotSubscriber
+from ..cube.wal import WalError
+from .config import ServiceConfig
+from .engine import (
+    ComparisonEngine,
+    DeadlineExceeded,
+    IngestOutcome,
+    IngestOverloaded,
+    StoreUnavailable,
+    UnknownStoreError,
+)
+from .http import ComparisonHTTPServer
+from .metrics import merge_dumps
+from .tracing import set_worker_id
+
+__all__ = ["serve_prefork", "PreforkError"]
+
+logger = logging.getLogger("repro.service.prefork")
+
+#: How often a worker polls the publish stamp (one shared 8-byte
+#: read) for a new generation to swap in.
+STAMP_POLL_SECONDS = 0.02
+
+#: How long the parent waits for SIGTERMed workers before SIGKILL.
+DRAIN_TIMEOUT_SECONDS = 10.0
+
+
+class PreforkError(RuntimeError):
+    """Raised when the pre-fork tier cannot start."""
+
+
+def _reconstruct_error(kind: str, args: Tuple[Any, ...]) -> Exception:
+    """Rebuild the parent's typed ingest error in the worker.
+
+    The typed exceptions take multiple constructor arguments, which
+    plain pickling through a pipe mangles (``Exception.__reduce__``
+    replays ``args`` into ``__init__``), so errors cross the pipe as
+    ``(kind, ctor_args)`` tuples instead of exception objects.
+    """
+    if kind == "overloaded":
+        return IngestOverloaded(*args)
+    if kind == "unavailable":
+        return StoreUnavailable(*args)
+    if kind == "deadline":
+        return DeadlineExceeded(*args)
+    if kind == "unknown_store":
+        return UnknownStoreError(*args)
+    if kind == "wal":
+        return WalError(*args)
+    if kind == "bad_request":
+        return ValueError(*args)
+    return RuntimeError(*args)
+
+
+class _ParentProxy:
+    """A worker's half of the request pipe to the parent.
+
+    One duplex connection, strictly serialised round trips: handler
+    threads take the lock, send one request, read its one reply.
+    Ingest replies of ``("ok", outcome)`` trigger a subscriber refresh
+    before returning, so the acknowledging worker serves the new
+    generation to the very next request on the same connection.
+    """
+
+    def __init__(
+        self, conn: Connection, subscriber: SnapshotSubscriber
+    ) -> None:
+        self._conn = conn
+        self._subscriber = subscriber
+        self._lock = threading.Lock()
+
+    def _round_trip(self, message: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        with self._lock:
+            try:
+                self._conn.send(message)
+                return self._conn.recv()
+            except (EOFError, OSError) as exc:
+                raise StoreUnavailable("parent", 1.0) from exc
+
+    def ingest(
+        self, rows: Sequence[Any], store: Optional[str]
+    ) -> IngestOutcome:
+        reply = self._round_trip(("ingest", list(rows), store))
+        if reply[0] == "ok":
+            try:
+                self._subscriber.refresh()
+            except ShmError:
+                # The stamp watcher will catch up; the ingest itself
+                # is already durable in the parent.
+                logger.exception("post-ingest refresh failed")
+            return reply[1]
+        raise _reconstruct_error(reply[1], reply[2])
+
+    def metrics_text(self) -> str:
+        reply = self._round_trip(("metrics",))
+        if reply[0] == "ok":
+            return reply[1]
+        raise _reconstruct_error(reply[1], reply[2])
+
+
+def _bind_listen_socket(
+    host: str, port: int, reuse_port: bool
+) -> socket.socket:
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if reuse_port:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+        sock.listen(128)
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+def _worker_main(
+    slot: int,
+    token: str,
+    config: ServiceConfig,
+    lsock: Optional[socket.socket],
+    bind_address: Optional[Tuple[str, int]],
+    req_conn: Connection,
+    cmd_conn: Connection,
+) -> None:
+    """Body of one forked worker; never returns (``os._exit``).
+
+    Exits 0 on a graceful drain, non-zero on a startup failure so the
+    parent's monitor can tell a crash from a clean shutdown.
+    """
+    code = 1
+    try:
+        set_worker_id(slot)
+        subscriber = SnapshotSubscriber(token, slot=slot)
+        subscriber.connect(timeout=30.0)
+        subscriber.refresh()
+        stores = subscriber.stores()
+        trace_path = (
+            f"{config.trace_log_path}.w{slot}"
+            if config.trace_log_path
+            else None
+        )
+        worker_config = replace(
+            config, wal_dir=None, trace_log_path=trace_path
+        )
+        engine = ComparisonEngine(worker_config)
+        for name in sorted(stores):
+            engine.add_store(stores[name], name=name)
+        proxy = _ParentProxy(req_conn, subscriber)
+        engine.set_ingest_forwarder(proxy.ingest)
+
+        if bind_address is not None:
+            if lsock is not None:
+                lsock.close()
+            sock = _bind_listen_socket(*bind_address, reuse_port=True)
+        else:
+            assert lsock is not None
+            sock = lsock
+        server = ComparisonHTTPServer(engine, sock=sock)
+        server.metrics_text_provider = proxy.metrics_text
+        server.health_extra = lambda: {
+            "worker": slot,
+            "pid": os.getpid(),
+            "worker_procs": config.worker_procs,
+            "snapshot_generation": subscriber.generation,
+        }
+
+        stopping = threading.Event()
+
+        def _on_signal(signum: int, frame: object) -> None:
+            if stopping.is_set():
+                return
+            stopping.set()
+            threading.Thread(
+                target=server.shutdown,
+                name="repro-worker-shutdown",
+                daemon=True,
+            ).start()
+
+        signal.signal(signal.SIGTERM, _on_signal)
+        signal.signal(signal.SIGINT, _on_signal)
+
+        def _watch_stamp() -> None:
+            while not stopping.wait(STAMP_POLL_SECONDS):
+                try:
+                    if subscriber.stale():
+                        subscriber.refresh()
+                except ShmError:
+                    # Publisher gone (parent shutting down) — the
+                    # worker keeps serving its installed generation
+                    # until its own SIGTERM arrives.
+                    return
+
+        def _serve_commands() -> None:
+            while True:
+                try:
+                    message = cmd_conn.recv()
+                except (EOFError, OSError):
+                    return
+                if message[0] == "dump":
+                    try:
+                        cmd_conn.send(
+                            ("dump", message[1],
+                             engine.metrics.registry.dump())
+                        )
+                    except (EOFError, OSError):
+                        return
+
+        threading.Thread(
+            target=_watch_stamp, name="repro-stamp-watch", daemon=True
+        ).start()
+        threading.Thread(
+            target=_serve_commands, name="repro-cmd", daemon=True
+        ).start()
+
+        server.serve_forever()
+        # Graceful drain: joins in-flight handler threads
+        # (block_on_close), then flush the trace log on a record
+        # boundary.
+        server.server_close()
+        if server.trace_writer is not None:
+            server.trace_writer.close()
+        engine.shutdown(wait=True)
+        subscriber.close()
+        code = 0
+    except Exception:
+        logger.exception("worker %d failed", slot)
+        code = 70  # EX_SOFTWARE
+    finally:
+        # _exit, not sys.exit: the child inherited the parent's WAL
+        # and trace-log descriptors, and flushing their buffers here
+        # would duplicate the parent's writes.
+        os._exit(code)
+
+
+class _WorkerHandle:
+    """Parent-side bookkeeping for one worker slot."""
+
+    __slots__ = ("slot", "pid", "req_conn", "cmd_conn", "cmd_lock",
+                 "cmd_seq", "thread")
+
+    def __init__(
+        self,
+        slot: int,
+        pid: int,
+        req_conn: Connection,
+        cmd_conn: Connection,
+    ) -> None:
+        self.slot = slot
+        self.pid = pid
+        self.req_conn = req_conn
+        self.cmd_conn = cmd_conn
+        self.cmd_lock = threading.Lock()
+        self.cmd_seq = 0
+        self.thread: Optional[threading.Thread] = None
+
+    def close(self) -> None:
+        for conn in (self.req_conn, self.cmd_conn):
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def request_dump(self, timeout: float) -> Optional[List[dict]]:
+        """One metrics-dump round trip (``None`` on a dead worker)."""
+        with self.cmd_lock:
+            self.cmd_seq += 1
+            seq = self.cmd_seq
+            try:
+                # Drain any reply a previously timed-out request left
+                # behind so sequence numbers stay aligned.
+                while self.cmd_conn.poll(0):
+                    self.cmd_conn.recv()
+                self.cmd_conn.send(("dump", seq))
+                deadline = time.monotonic() + timeout
+                while time.monotonic() < deadline:
+                    if not self.cmd_conn.poll(0.05):
+                        continue
+                    reply = self.cmd_conn.recv()
+                    if reply[0] == "dump" and reply[1] == seq:
+                        return reply[2]
+            except (EOFError, OSError):
+                return None
+        return None
+
+
+class _PreforkSupervisor:
+    """The parent process: publisher, single writer, and babysitter."""
+
+    def __init__(
+        self, engine: ComparisonEngine, config: ServiceConfig
+    ) -> None:
+        if not hasattr(os, "fork"):
+            raise PreforkError(
+                "worker_procs > 1 needs os.fork (POSIX); this "
+                "platform cannot pre-fork"
+            )
+        if not engine.store_names():
+            raise PreforkError(
+                "no stores registered; nothing to publish to workers"
+            )
+        self._engine = engine
+        self._config = config
+        self._publisher = SnapshotPublisher(slots=config.worker_procs)
+        self._publish_lock = threading.Lock()
+        self._published_sig: Optional[Tuple] = None
+        self._stop = threading.Event()
+        self._handles: Dict[int, _WorkerHandle] = {}
+        self._handles_lock = threading.Lock()
+        self._reuse_port = bool(
+            config.reuse_port and hasattr(socket, "SO_REUSEPORT")
+        )
+        if config.reuse_port and not self._reuse_port:
+            print(
+                "note: SO_REUSEPORT unavailable; workers share the "
+                "parent's listen socket"
+            )
+        self._lsock: Optional[socket.socket] = _bind_listen_socket(
+            config.host, config.port, reuse_port=self._reuse_port
+        )
+        self._address = self._lsock.getsockname()[:2]
+
+    # -- publication ----------------------------------------------------
+
+    def _generation_signature(self) -> Tuple:
+        stores = self._engine.stores()
+        out = []
+        for name in sorted(stores):
+            generation = stores[name].generation
+            if isinstance(generation, (list, tuple)):
+                generation = tuple(generation)
+            out.append((name, generation))
+        return tuple(out)
+
+    def publish(self) -> None:
+        """Publish the stores unless nothing changed since last time."""
+        with self._publish_lock:
+            signature = self._generation_signature()
+            if signature == self._published_sig:
+                return
+            self._publisher.publish(
+                self._engine.stores(), wal_seqs=self._engine.wal_seqs()
+            )
+            self._published_sig = signature
+
+    # -- the single writer ----------------------------------------------
+
+    def _handle_ingest(
+        self, rows: Sequence[Any], store: Optional[str]
+    ) -> Tuple[Any, ...]:
+        try:
+            outcome = self._engine.ingest(rows, store=store)
+        except IngestOverloaded as exc:
+            return ("err", "overloaded",
+                    (exc.store, exc.retry_after, exc.backlog))
+        except StoreUnavailable as exc:
+            return ("err", "unavailable", (exc.store, exc.retry_after))
+        except DeadlineExceeded as exc:
+            return ("err", "deadline", (str(exc), exc.deadline_ms))
+        except UnknownStoreError as exc:
+            return ("err", "unknown_store", (str(exc),))
+        except WalError as exc:
+            return ("err", "wal", (str(exc),))
+        except (ValueError, KeyError) as exc:
+            message = str(exc) or exc.__class__.__name__
+            if isinstance(exc, KeyError) and exc.args:
+                message = str(exc.args[0])
+            return ("err", "bad_request", (message,))
+        except Exception:
+            logger.exception("forwarded ingest failed")
+            return ("err", "internal", ("internal server error",))
+        # Republish before acknowledging: when the worker sees "ok",
+        # the new generation is already attachable.
+        try:
+            self.publish()
+        except ShmError:
+            logger.exception("republish after ingest failed")
+        return ("ok", outcome)
+
+    def _merged_metrics_text(self) -> Tuple[Any, ...]:
+        dumps = [self._engine.metrics.registry.dump()]
+        with self._handles_lock:
+            handles = list(self._handles.values())
+        for handle in handles:
+            dump = handle.request_dump(timeout=2.0)
+            if dump is not None:
+                dumps.append(dump)
+        try:
+            return ("ok", merge_dumps(dumps).render())
+        except ValueError as exc:
+            return ("err", "internal", (str(exc),))
+
+    def _serve_requests(self, handle: _WorkerHandle) -> None:
+        """Dedicated parent thread draining one worker's request pipe."""
+        conn = handle.req_conn
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return
+            if message[0] == "ingest":
+                reply = self._handle_ingest(message[1], message[2])
+            elif message[0] == "metrics":
+                reply = self._merged_metrics_text()
+            else:
+                reply = ("err", "bad_request",
+                         (f"unknown request {message[0]!r}",))
+            try:
+                conn.send(reply)
+            except (EOFError, OSError, BrokenPipeError):
+                return
+
+    # -- process management ---------------------------------------------
+
+    def _spawn(self, slot: int) -> None:
+        req_parent, req_child = Pipe(duplex=True)
+        cmd_parent, cmd_child = Pipe(duplex=True)
+        with self._handles_lock:
+            inherited = list(self._handles.values())
+        pid = os.fork()
+        if pid == 0:
+            # Child: drop every descriptor that belongs to the parent
+            # or to sibling workers, then serve.
+            req_parent.close()
+            cmd_parent.close()
+            for sibling in inherited:
+                sibling.close()
+            _worker_main(
+                slot,
+                self._publisher.token,
+                self._config,
+                self._lsock,
+                self._address if self._reuse_port else None,
+                req_child,
+                cmd_child,
+            )
+            os._exit(70)  # unreachable; _worker_main never returns
+        req_child.close()
+        cmd_child.close()
+        handle = _WorkerHandle(slot, pid, req_parent, cmd_parent)
+        handle.thread = threading.Thread(
+            target=self._serve_requests,
+            args=(handle,),
+            name=f"repro-worker-{slot}-req",
+            daemon=True,
+        )
+        handle.thread.start()
+        with self._handles_lock:
+            self._handles[slot] = handle
+
+    def _reap_and_respawn(self) -> None:
+        with self._handles_lock:
+            handles = list(self._handles.values())
+        for handle in handles:
+            try:
+                pid, status = os.waitpid(handle.pid, os.WNOHANG)
+            except ChildProcessError:
+                pid, status = handle.pid, -1
+            if pid == 0:
+                continue
+            if self._stop.is_set():
+                continue
+            logger.warning(
+                "worker %d (pid %d) died (status %s); respawning",
+                handle.slot, handle.pid, status,
+            )
+            handle.close()
+            with self._handles_lock:
+                self._handles.pop(handle.slot, None)
+            self._spawn(handle.slot)
+
+    def _terminate_workers(self) -> None:
+        with self._handles_lock:
+            handles = list(self._handles.values())
+        for handle in handles:
+            try:
+                os.kill(handle.pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+        deadline = time.monotonic() + DRAIN_TIMEOUT_SECONDS
+        pending = {h.pid: h for h in handles}
+        while pending and time.monotonic() < deadline:
+            for pid in list(pending):
+                try:
+                    reaped, _ = os.waitpid(pid, os.WNOHANG)
+                except ChildProcessError:
+                    reaped = pid
+                if reaped:
+                    pending.pop(pid, None)
+            if pending:
+                time.sleep(0.05)
+        for pid, handle in pending.items():
+            logger.warning(
+                "worker %d (pid %d) did not drain in %.0fs; killing",
+                handle.slot, pid, DRAIN_TIMEOUT_SECONDS,
+            )
+            try:
+                os.kill(pid, signal.SIGKILL)
+                os.waitpid(pid, 0)
+            except (ProcessLookupError, ChildProcessError):
+                pass
+        for handle in handles:
+            handle.close()
+        with self._handles_lock:
+            self._handles.clear()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def run(self) -> None:
+        """Publish, fork, babysit; returns after graceful shutdown."""
+        config = self._config
+        self.publish()
+        url_host = self._address[0]
+        if url_host in ("", "0.0.0.0"):
+            url_host = "127.0.0.1"
+        url = f"http://{url_host}:{self._address[1]}"
+        for slot in range(config.worker_procs):
+            self._spawn(slot)
+        if self._reuse_port:
+            # Every worker bound its own SO_REUSEPORT socket; keeping
+            # the parent's open would park connections in a queue
+            # nobody accepts from.
+            assert self._lsock is not None
+            self._lsock.close()
+            self._lsock = None
+        logger.info(
+            "pre-fork serving on %s with %d workers (shm token %s)",
+            url, config.worker_procs, self._publisher.token,
+        )
+        print(
+            f"repro service listening on {url} "
+            f"({config.worker_procs} worker processes, "
+            f"{'SO_REUSEPORT' if self._reuse_port else 'shared socket'}"
+            f", shm token {self._publisher.token})",
+            flush=True,
+        )
+
+        def _request_stop(signum: int, frame: object) -> None:
+            self._stop.set()
+
+        previous: Dict[int, object] = {}
+        if threading.current_thread() is threading.main_thread():
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                previous[sig] = signal.signal(sig, _request_stop)
+        try:
+            while not self._stop.is_set():
+                self._reap_and_respawn()
+                self._stop.wait(0.2)
+        except KeyboardInterrupt:
+            self._stop.set()
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)  # type: ignore[arg-type]
+            self._terminate_workers()
+            if self._lsock is not None:
+                self._lsock.close()
+                self._lsock = None
+            self._publisher.close()
+            self._engine.shutdown()
+            self._engine.close_wals()
+            logger.info("pre-fork supervisor stopped")
+
+
+def serve_prefork(
+    engine: ComparisonEngine, config: Optional[ServiceConfig] = None
+) -> None:
+    """Blocking pre-fork entry point (``repro serve --worker-procs N``).
+
+    ``engine`` must hold fully materialised stores (precomputed cubes
+    plus the class-distribution cube, which the publisher force-builds
+    itself); workers never count from raw rows.
+    """
+    config = config or engine.config
+    _PreforkSupervisor(engine, config).run()

@@ -65,11 +65,34 @@ __all__ = [
     "new_request_id",
     "sanitize_request_id",
     "slow_summary",
+    "set_worker_id",
+    "worker_id",
 ]
 
 #: Request ids beyond this length are replaced, not truncated — a
 #: truncated id would silently collide with another client's.
 MAX_REQUEST_ID_LENGTH = 128
+
+#: Pre-fork worker slot of this process, or ``None`` in the classic
+#: single-process server.  Process-wide on purpose: one worker process
+#: serves exactly one slot for its whole life.
+_WORKER_ID: Optional[int] = None
+
+
+def set_worker_id(slot: Optional[int]) -> None:
+    """Tag this process as pre-fork worker ``slot``.
+
+    Called once right after fork; every trace recorded afterwards
+    carries a ``worker`` field so a slow request in an aggregated
+    trace log can be attributed to the process that served it.
+    """
+    global _WORKER_ID
+    _WORKER_ID = None if slot is None else int(slot)
+
+
+def worker_id() -> Optional[int]:
+    """This process's pre-fork worker slot (``None`` when not forked)."""
+    return _WORKER_ID
 
 
 def new_request_id() -> str:

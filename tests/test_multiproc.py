@@ -1,0 +1,366 @@
+"""End-to-end tests for the pre-fork serving tier.
+
+Boots real ``repro serve`` subprocesses (shared-socket mode, the
+default) and checks the properties the tier promises:
+
+* **differential** — a multi-process fleet answers /compare and /rank
+  bit-identically to a single process over the same CSV, including
+  after the same /ingest batch lands on both;
+* **read-your-writes** — an /ingest reply is only sent after the
+  parent republished, so a follow-up query sees the new generation;
+* **chaos** — SIGKILLing a worker never produces a 5xx storm: the
+  surviving worker keeps answering and the parent respawns the slot;
+* **hygiene** — SIGTERM shuts the whole tree down with exit code 0
+  and zero orphaned ``/dev/shm`` segments.
+
+Process discovery uses the pids reported by ``/healthz`` (the
+pre-fork tier annotates it with worker slot/pid), never ``pgrep`` —
+shell wrappers echo their own command lines and match themselves.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="pre-fork serving needs os.fork"
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = str(REPO_ROOT / "src")
+
+MODELS = ["ph1", "ph2", "ph3", "ph4"]
+AREAS = ["a1", "a2", "a3"]
+PLANS = ["basic", "plus", "pro"]
+OUTCOMES = ["ok", "dropped"]
+
+
+def write_csv(path: Path, seed: int = 0, n: int = 1200) -> None:
+    rng = random.Random(seed)
+    lines = ["PhoneModel,Area,Plan,Outcome"]
+    for _ in range(n):
+        model = rng.choice(MODELS)
+        drop_rate = 0.3 if model == "ph1" else 0.1
+        lines.append(
+            ",".join(
+                [
+                    model,
+                    rng.choice(AREAS),
+                    rng.choice(PLANS),
+                    "dropped" if rng.random() < drop_rate else "ok",
+                ]
+            )
+        )
+    path.write_text("\n".join(lines) + "\n")
+
+
+class Server:
+    """One booted ``repro serve`` subprocess."""
+
+    def __init__(self, csv: Path, *extra: str):
+        env = dict(os.environ, PYTHONPATH=SRC)
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-u",
+                "-m",
+                "repro",
+                "serve",
+                str(csv),
+                "--class-attribute",
+                "Outcome",
+                "--port",
+                "0",
+                *extra,
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        deadline = time.monotonic() + 30
+        self.url = None
+        self.token = None
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                break
+            if "listening on" in line:
+                parts = line.split()
+                self.url = parts[parts.index("on") + 1]
+                if "shm token" in line:
+                    self.token = line.rsplit("shm token ", 1)[1].rstrip(
+                        ")\n"
+                    )
+                break
+        if self.url is None:
+            self.proc.kill()
+            raise RuntimeError("server did not print its banner")
+
+    def request(self, path, payload=None, timeout=10.0):
+        """POST (dict payload) or GET (None); returns (status, body)."""
+        data = (
+            None
+            if payload is None
+            else json.dumps(payload).encode("utf-8")
+        )
+        req = urllib.request.Request(
+            self.url + path,
+            data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
+                return resp.status, json.loads(resp.read().decode())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read().decode())
+
+    def stop(self, timeout=20.0):
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+        try:
+            return self.proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            raise
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        try:
+            self.stop()
+        except subprocess.TimeoutExpired:
+            pass
+
+
+def shm_segments(token: str):
+    root = Path("/dev/shm")
+    if not root.exists():  # pragma: no cover - non-Linux
+        return []
+    return sorted(p.name for p in root.glob(f"repro_{token}_*"))
+
+
+@pytest.fixture(scope="module")
+def call_csv(tmp_path_factory):
+    path = tmp_path_factory.mktemp("multiproc") / "calls.csv"
+    write_csv(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def cluster(call_csv):
+    with Server(call_csv, "--worker-procs", "2") as server:
+        yield server
+
+
+@pytest.fixture(scope="module")
+def solo(call_csv):
+    with Server(call_csv) as server:
+        yield server
+
+
+def seeded_queries(n_seeds: int):
+    """Deterministic compare/rank payloads spanning pivots and values."""
+    pivots = {
+        "PhoneModel": MODELS,
+        "Area": AREAS,
+        "Plan": PLANS,
+    }
+    for seed in range(n_seeds):
+        rng = random.Random(1000 + seed)
+        pivot, values = rng.choice(sorted(pivots.items()))
+        value_a, value_b = rng.sample(values, 2)
+        yield {
+            "pivot": pivot,
+            "value_a": value_a,
+            "value_b": value_b,
+            "target_class": "dropped",
+        }
+
+
+VOLATILE = ("request_id", "cached", "elapsed_seconds")
+
+
+def strip(body):
+    return {k: v for k, v in body.items() if k not in VOLATILE}
+
+
+def fleet_snapshot_generation(cluster, above=0, n_workers=2, timeout=5.0):
+    """The publish generation once every worker reports one > ``above``.
+
+    Ingest replies only guarantee read-your-writes on the forwarding
+    worker's connection; the others swap within one stamp-poll tick.
+    Polling /healthz until all pids have moved past ``above`` makes
+    "the whole fleet is fresh" explicit instead of sleeping past the
+    tick.
+    """
+    deadline = time.monotonic() + timeout
+    seen = {}
+    while time.monotonic() < deadline:
+        _, body = cluster.request("/healthz")
+        seen[body["pid"]] = body["snapshot_generation"]
+        fresh = {g for g in seen.values() if g > above}
+        if len(seen) >= n_workers and len(fresh) == len(
+            set(seen.values())
+        ) == 1:
+            return next(iter(fresh))
+        time.sleep(0.02)
+    raise AssertionError(f"fleet never converged past {above}: {seen}")
+
+
+def assert_differential(cluster, solo, n_seeds):
+    for query in seeded_queries(n_seeds):
+        for path in ("/compare", "/rank"):
+            status_m, body_m = cluster.request(path, query)
+            status_s, body_s = solo.request(path, query)
+            assert status_m == status_s == 200, (query, body_m, body_s)
+            assert strip(body_m) == strip(body_s), (path, query)
+
+
+class TestDifferential:
+    def test_fleet_matches_single_process_across_seeds(
+        self, cluster, solo
+    ):
+        assert_differential(cluster, solo, n_seeds=50)
+
+    def test_still_identical_after_interleaved_ingest(
+        self, cluster, solo
+    ):
+        rng = random.Random(42)
+        rows = [
+            {
+                "PhoneModel": rng.choice(MODELS),
+                "Area": rng.choice(AREAS),
+                "Plan": rng.choice(PLANS),
+                "Outcome": rng.choice(OUTCOMES),
+            }
+            for _ in range(25)
+        ]
+        before = fleet_snapshot_generation(cluster)
+        status_m, body_m = cluster.request("/ingest", {"rows": rows})
+        status_s, body_s = solo.request("/ingest", {"rows": rows})
+        assert status_m == status_s == 200
+        assert body_m["records"] == body_s["records"] == 25
+        assert body_m["generation"] == body_s["generation"]
+        fleet_snapshot_generation(cluster, above=before)
+        assert_differential(cluster, solo, n_seeds=10)
+
+
+class TestFreshness:
+    def test_ingest_reply_implies_new_generation_visible(self, cluster):
+        _, before = cluster.request(
+            "/compare",
+            {
+                "pivot": "PhoneModel",
+                "value_a": "ph1",
+                "value_b": "ph2",
+                "target_class": "dropped",
+            },
+        )
+        rows = [
+            {
+                "PhoneModel": "ph1",
+                "Area": "a1",
+                "Plan": "basic",
+                "Outcome": "dropped",
+            }
+        ] * 5
+        _, outcome = cluster.request("/ingest", {"rows": rows})
+        assert outcome["generation"] > before["generation"]
+
+        # Workers poll the publish stamp; within a short window every
+        # route must serve the new generation.
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            _, after = cluster.request(
+                "/compare",
+                {
+                    "pivot": "PhoneModel",
+                    "value_a": "ph1",
+                    "value_b": "ph2",
+                    "target_class": "dropped",
+                },
+            )
+            if after["generation"] == outcome["generation"]:
+                break
+            time.sleep(0.05)
+        assert after["generation"] == outcome["generation"]
+
+    def test_healthz_reports_worker_and_snapshot_generation(
+        self, cluster
+    ):
+        _, body = cluster.request("/healthz")
+        assert body["status"] == "ok"
+        assert body["worker_procs"] == 2
+        assert body["worker"] in (0, 1)
+        assert body["pid"] != cluster.proc.pid
+        assert body["snapshot_generation"] >= 1
+
+
+class TestChaos:
+    def test_worker_kill_is_absorbed_without_5xx_storm(self, cluster):
+        # Learn the worker pids from /healthz (both eventually answer).
+        pids = set()
+        deadline = time.monotonic() + 10
+        while len(pids) < 2 and time.monotonic() < deadline:
+            _, body = cluster.request("/healthz")
+            pids.add(body["pid"])
+        assert len(pids) == 2, "expected two serving workers"
+
+        victim = sorted(pids)[0]
+        os.kill(victim, signal.SIGKILL)
+
+        # Hammer the service while the parent respawns the slot.  A
+        # request that was in flight on the killed worker may drop its
+        # connection (that is the client-retry layer's job); what must
+        # NOT happen is a 5xx storm or a dead service.
+        statuses = []
+        respawned = set()
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline:
+            try:
+                status, body = cluster.request("/healthz", timeout=5.0)
+            except (urllib.error.URLError, OSError):
+                time.sleep(0.05)
+                continue
+            statuses.append(status)
+            if body["pid"] not in pids:
+                respawned.add(body["pid"])
+            if respawned and len(statuses) >= 20:
+                break
+            time.sleep(0.02)
+        assert statuses, "service went dark after a worker kill"
+        assert all(s == 200 for s in statuses)
+        assert respawned, "killed worker slot was never respawned"
+        assert cluster.proc.poll() is None
+
+
+class TestShutdown:
+    def test_sigterm_exits_clean_with_zero_shm_leaks(self, call_csv):
+        server = Server(call_csv, "--worker-procs", "2")
+        token = server.token
+        assert token, "pre-fork banner must carry the shm token"
+        assert shm_segments(token), "expected live segments while up"
+
+        _, body = server.request("/healthz")
+        worker_pids = {body["pid"]}
+
+        code = server.stop()
+        assert code == 0
+        assert shm_segments(token) == []
+        # The worker processes are gone too.
+        for pid in worker_pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)

@@ -6,6 +6,10 @@ import pytest
 from repro.cube import (
     CubeError,
     CubeStore,
+    SnapshotPublisher,
+    SnapshotSubscriber,
+    archive_generation,
+    archive_wal_seq,
     load_cubes,
     load_store_cubes,
     save_cubes,
@@ -79,6 +83,82 @@ class TestRoundTrip:
         path = tmp_path / "empty.npz"
         assert save_cubes(store, path) == 0
         assert load_cubes(path) == {}
+
+
+class TestStamps:
+    def test_generation_defaults_to_store_generation(self, tmp_path):
+        ds = make_dataset()
+        store = CubeStore(ds)
+        store.precompute(include_pairs=False)
+        path = tmp_path / "cubes.npz"
+        save_cubes(store, path)
+        assert archive_generation(path) == store.generation
+
+    def test_explicit_generation_and_wal_seq_round_trip(self, tmp_path):
+        store = CubeStore(make_dataset())
+        store.precompute(include_pairs=False)
+        path = tmp_path / "cubes.npz"
+        save_cubes(store, path, wal_seq=17, generation=9)
+        assert archive_wal_seq(path) == 17
+        assert archive_generation(path) == 9
+
+    def test_legacy_archive_reads_as_generation_zero(self, tmp_path):
+        # Hand-write an archive without the generation stamp, the way
+        # pre-stamp builds did.
+        import json
+
+        store = CubeStore(make_dataset())
+        store.precompute(include_pairs=False)
+        path = tmp_path / "cubes.npz"
+        save_cubes(store, path)
+        with np.load(path) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        meta = json.loads(bytes(arrays["__meta__"]).decode())
+        meta.pop("generation")
+        arrays["__meta__"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        np.savez(path, **arrays)
+        assert archive_generation(path) == 0
+        # And warm starts from it still work.
+        warm = CubeStore(make_dataset())
+        assert load_store_cubes(warm, path) == store.n_cached
+
+    def test_multiprocess_parent_archive_handoff(self, tmp_path):
+        """A pre-fork parent persists while workers serve: the archive
+        must carry the generation the shm manifest published and the
+        wal_seq the counts contain, so a restart warms to exactly the
+        state the fleet was serving."""
+        store = CubeStore(make_dataset())
+        store.precompute()
+        pub = SnapshotPublisher(slots=1)
+        try:
+            published = pub.publish(
+                {"default": store}, wal_seqs={"default": 23}
+            )
+            path = tmp_path / "cubes.npz"
+            save_cubes(store, path, wal_seq=23, generation=published)
+
+            # Restart path: archive stamps drive both WAL replay
+            # (start_after) and the engine's initial generation.
+            assert archive_wal_seq(path) == 23
+            assert archive_generation(path) == published
+
+            # The warmed store serves the same counts a worker
+            # attached to the published snapshot sees.
+            warm = CubeStore(make_dataset())
+            load_store_cubes(warm, path)
+            sub = SnapshotSubscriber(pub.token)
+            sub.connect(timeout=2.0)
+            sub.refresh()
+            mirror = sub.stores()["default"]
+            for key, cube in mirror.cached_items().items():
+                np.testing.assert_array_equal(
+                    warm.cube(key).counts, cube.counts
+                )
+            sub.close()
+        finally:
+            pub.close()
 
 
 class TestValidation:

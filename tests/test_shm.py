@@ -1,0 +1,214 @@
+"""Unit tests for repro.cube.shm — the single-writer / N-reader
+shared-memory snapshot publication protocol behind the pre-fork
+serving tier.
+
+Everything here runs publisher and subscriber in one process: the
+protocol is plain shared memory plus a stamp word, so in-process
+attach exercises exactly the code paths a forked worker runs (fork
+merely makes the attach cross-process)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cube import (
+    CubeError,
+    CubeStore,
+    ShardedCubeStore,
+    ShmError,
+    SnapshotPublisher,
+    SnapshotSubscriber,
+    list_segments,
+    shard_rows,
+)
+from repro.dataset import Attribute, Dataset, Schema
+
+
+def make_dataset(seed=7, n=600):
+    rng = np.random.default_rng(seed)
+    schema = Schema(
+        [
+            Attribute("A", values=("x", "y")),
+            Attribute("B", values=("p", "q", "r")),
+            Attribute("C", values=("no", "yes")),
+        ],
+        class_attribute="C",
+    )
+    return Dataset.from_columns(
+        schema,
+        {
+            "A": rng.integers(0, 2, n),
+            "B": rng.integers(0, 3, n),
+            "C": rng.integers(0, 2, n),
+        },
+    )
+
+
+def make_store(seed=7, n=600):
+    store = CubeStore(make_dataset(seed, n))
+    store.precompute()
+    store.class_distribution_cube()
+    return store
+
+
+@pytest.fixture
+def publisher():
+    pub = SnapshotPublisher(slots=2)
+    yield pub
+    pub.close()
+    assert list_segments(pub.token) == []
+
+
+class TestPublishAttach:
+    def test_single_store_round_trips_bit_equal(self, publisher):
+        store = make_store()
+        generation = publisher.publish({"default": store})
+        assert generation == 1
+
+        sub = SnapshotSubscriber(publisher.token)
+        sub.connect(timeout=2.0)
+        assert sub.refresh() is True
+        assert sub.generation == 1
+
+        mirror = sub.stores()["default"]
+        assert isinstance(mirror, CubeStore)
+        original = store.cached_items()
+        attached = mirror.cached_items()
+        assert set(attached) == set(original)
+        for key, cube in original.items():
+            np.testing.assert_array_equal(
+                attached[key].counts, cube.counts
+            )
+        # The mirror reports the *publisher store's* generation, so a
+        # worker engine's generation-keyed cache keys line up with the
+        # parent's.
+        assert mirror.generation == store.generation
+        sub.close()
+
+    def test_sharded_store_round_trips(self, publisher):
+        ds = make_dataset()
+        sharded = ShardedCubeStore(
+            [CubeStore(part) for part in shard_rows(ds, 2)]
+        )
+        sharded.precompute()
+        sharded.class_distribution_cube()
+        publisher.publish({"fleet": sharded})
+
+        sub = SnapshotSubscriber(publisher.token)
+        sub.connect(timeout=2.0)
+        sub.refresh()
+        mirror = sub.stores()["fleet"]
+        assert isinstance(mirror, ShardedCubeStore)
+        for key in (("A", "B"), ()):
+            np.testing.assert_array_equal(
+                mirror.cube(key).counts, sharded.cube(key).counts
+            )
+        assert mirror.generation == sharded.generation
+        sub.close()
+
+    def test_wal_seqs_land_in_manifest(self, publisher):
+        store = make_store()
+        publisher.publish({"default": store}, wal_seqs={"default": 41})
+        sub = SnapshotSubscriber(publisher.token)
+        sub.connect(timeout=2.0)
+        manifest = sub._parse(
+            publisher._segments[publisher.generation]
+        )
+        (entry,) = manifest["stores"]
+        assert entry["wal_seq"] == 41
+        sub.close()
+
+
+class TestAttachOnly:
+    def test_lazy_build_refused(self, publisher):
+        store = CubeStore(make_dataset())
+        store.precompute(include_pairs=False)  # only 1-D cubes cached
+        publisher.publish({"default": store})
+
+        sub = SnapshotSubscriber(publisher.token)
+        sub.connect(timeout=2.0)
+        sub.refresh()
+        mirror = sub.stores()["default"]
+        # Cached cubes serve fine; a miss must refuse to count zeros
+        # from the rowless facade dataset.
+        mirror.cube(("A",))
+        with pytest.raises(CubeError, match="attach-only"):
+            mirror.cube(("A", "B"))
+        sub.close()
+
+
+class TestRefresh:
+    def test_refresh_is_noop_when_current(self, publisher):
+        publisher.publish({"default": make_store()})
+        sub = SnapshotSubscriber(publisher.token)
+        sub.connect(timeout=2.0)
+        assert sub.refresh() is True
+        assert sub.stale() is False
+        assert sub.refresh() is False
+        sub.close()
+
+    def test_republish_swaps_while_pinned_reader_stays_torn_free(
+        self, publisher
+    ):
+        store = make_store()
+        publisher.publish({"default": store})
+        sub = SnapshotSubscriber(publisher.token)
+        sub.connect(timeout=2.0)
+        sub.refresh()
+        mirror = sub.stores()["default"]
+        old_counts = mirror.cube(("A", "B")).counts.copy()
+
+        with mirror.pinned():
+            pinned_cube = mirror.cube(("A", "B"))
+            # Publisher absorbs a batch and republishes underneath.
+            batch = make_dataset(seed=99, n=50)
+            store.absorb(batch)
+            publisher.publish({"default": store})
+            assert sub.stale() is True
+            assert sub.refresh() is True
+            # The pinned view still reads the retired generation's
+            # counts, untouched — publish never mutates in place.
+            np.testing.assert_array_equal(pinned_cube.counts, old_counts)
+
+        fresh = sub.stores()["default"].cube(("A", "B"))
+        np.testing.assert_array_equal(
+            fresh.counts, store.cube(("A", "B")).counts
+        )
+        assert sub.generation == 2
+        sub.close()
+
+    def test_acks_track_slot_generations(self, publisher):
+        publisher.publish({"default": make_store()})
+        sub = SnapshotSubscriber(publisher.token, slot=1)
+        sub.connect(timeout=2.0)
+        sub.refresh()
+        assert publisher.acks() == [0, 1]
+        assert publisher.stamp() == 1
+        sub.close()
+
+
+class TestLifecycle:
+    def test_close_unlinks_every_segment(self):
+        pub = SnapshotPublisher(slots=1)
+        token = pub.token
+        store = make_store()
+        pub.publish({"default": store})
+        store.absorb(make_dataset(seed=5, n=20))
+        pub.publish({"default": store})
+        assert list_segments(token) != []
+        pub.close()
+        assert list_segments(token) == []
+        # Idempotent.
+        pub.close()
+
+    def test_connect_times_out_without_publisher(self):
+        sub = SnapshotSubscriber("feedfacedeadbeef")
+        with pytest.raises(ShmError, match="no publisher"):
+            sub.connect(timeout=0.1)
+
+    def test_publish_after_close_refused(self):
+        pub = SnapshotPublisher(slots=1)
+        pub.close()
+        with pytest.raises(ShmError, match="closed"):
+            pub.publish({"default": make_store()})
