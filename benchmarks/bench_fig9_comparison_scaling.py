@@ -26,11 +26,11 @@ from _helpers import (
     BASE_RECORDS,
     PAPER_ATTRIBUTE_SWEEP,
     measure,
+    merge_bench_json,
     percentile,
     print_series,
     sample_times,
     summarize,
-    write_bench_json,
 )
 
 #: Width of the old-vs-new kernel speedup check (past the paper's
@@ -124,7 +124,9 @@ def test_fig9_batched_kernel_vs_reference_speedup(json_dir):
         (percentile(old, 0.50), percentile(new, 0.50), speedup),
         unit="",
     )
-    write_bench_json(json_dir, "BENCH_comparator.json", {
+    # One section of BENCH_comparator.json — bench_measures.py owns
+    # the "measures" section of the same file.
+    merge_bench_json(json_dir, "BENCH_comparator.json", "fig9_kernel", {
         "benchmark": "comparator score-only: batched kernel vs "
                      "per-attribute reference scorer",
         "figure": "fig9",

@@ -1,0 +1,107 @@
+"""Per-measure kernel overhead: every plug-in stays near the paper's.
+
+The measure registry replaces the hard-wired ``F_k``/``W_k`` inner
+step of the batched kernel with a per-measure vectorized excess
+function.  The whole point of the plug-in seam is that swapping the
+measure must *not* surrender the kernel's batching advantage (the 6x
+envelope pinned by ``bench_fig9``'s ``fig9_kernel`` section): the
+grouped-plane stacking, interval revision and property vote are shared
+across measures, so the only added cost is the excess ufunc itself.
+
+This bench scores one realistic grouped-plane workload (mixed arities,
+the shape ``score_planes`` sees after a 200-attribute comparison)
+under every registered measure and bounds each non-default measure's
+p50 kernel time at ``MAX_OVERHEAD``x the paper measure's, recording
+the table as the ``measures`` section of ``BENCH_comparator.json``.
+"""
+
+import numpy as np
+
+from repro.core.kernel import score_planes
+from repro.core.measures import DEFAULT_MEASURE, measure_names
+
+from _helpers import (
+    merge_bench_json,
+    percentile,
+    print_series,
+    sample_times,
+    summarize,
+)
+
+#: Candidate-attribute planes per comparison (the fig9 speedup width).
+N_PLANES = 200
+
+#: Allowed p50 kernel-time ratio of any measure vs the paper default.
+MAX_OVERHEAD = 1.3
+
+#: Best-of-N samples per measure.
+REPEATS = 9
+
+
+def make_planes(seed: int = 7):
+    """Aligned count planes with the arity mix of a real schema."""
+    rng = np.random.default_rng(seed)
+    arities = [2, 3, 4, 4, 5, 8][: 6]
+    goods, bads = [], []
+    for i in range(N_PLANES):
+        arity = arities[i % len(arities)]
+        goods.append(rng.integers(0, 400, size=(arity, 3)))
+        bads.append(rng.integers(0, 400, size=(arity, 3)))
+    return goods, bads
+
+
+def test_measure_kernel_overhead(json_dir):
+    goods, bads = make_planes()
+
+    def run(name):
+        return score_planes(
+            goods, bads, 2, 0.05, 0.12, measure=name
+        )
+
+    names = measure_names()
+    for name in names:  # warm: group/stack layout, ufunc dispatch
+        run(name)
+    samples = {
+        name: sample_times(lambda n=name: run(n), repeats=REPEATS)
+        for name in names
+    }
+    baseline_p50 = percentile(samples[DEFAULT_MEASURE], 0.50)
+    ratios = {
+        name: percentile(samples[name], 0.50) / baseline_p50
+        for name in names
+    }
+
+    print_series(
+        f"measure kernel p50 over {N_PLANES} planes",
+        names,
+        [percentile(samples[n], 0.50) for n in names],
+    )
+    merge_bench_json(json_dir, "BENCH_comparator.json", "measures", {
+        "benchmark": "batched kernel time per interestingness "
+                     "measure (shared grouped planes)",
+        "n_planes": N_PLANES,
+        "max_overhead_vs_default": MAX_OVERHEAD,
+        "default_measure": DEFAULT_MEASURE,
+        "kernels": {
+            name: {
+                **summarize(samples[name], name),
+                "overhead_vs_default": round(ratios[name], 3),
+            }
+            for name in names
+        },
+    })
+    for name in names:
+        assert ratios[name] <= MAX_OVERHEAD, (
+            f"measure {name!r} costs {ratios[name]:.2f}x the "
+            f"default's kernel time (bound {MAX_OVERHEAD}x)"
+        )
+
+
+def test_measures_agree_on_the_shared_planes():
+    """Sanity alongside the timing: every measure scores the same
+    workload without NaN and the default matches the paper scorer."""
+    goods, bads = make_planes()
+    for name in measure_names():
+        scores = score_planes(goods, bads, 2, 0.05, 0.12, measure=name)
+        assert len(scores) == N_PLANES
+        assert not any(np.isnan(s.score) for s in scores)

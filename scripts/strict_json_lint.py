@@ -1,0 +1,93 @@
+"""Strict-JSON lint: no fixture may carry NaN/Infinity literals.
+
+Python's ``json`` round-trips the *invalid* literals ``NaN`` /
+``Infinity`` / ``-Infinity`` by default, so a golden fixture or a
+committed bench artifact written by an older tool could smuggle a
+non-strict body into the tree and the suite would never notice — while
+every spec-compliant parser (and the service's own
+:class:`~repro.service.client.ServiceClient`) rejects it.  This lint
+re-parses every tracked ``.json`` file and every ``.jsonl`` trace
+export with ``parse_constant`` set to reject, exactly the check the
+client applies to live response bodies.
+
+Usage::
+
+    python scripts/strict_json_lint.py [ROOT]
+
+Exits non-zero listing each offending file.  Run from CI after the
+test suite; runs in well under a second.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Iterator, List, Tuple
+
+#: Directory names never worth descending into.
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules",
+             ".hypothesis"}
+
+
+def _reject(literal: str) -> float:
+    raise ValueError(f"non-strict JSON literal {literal!r}")
+
+
+def iter_json_files(root: str) -> Iterator[str]:
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            d for d in dirnames if d not in SKIP_DIRS
+        )
+        for name in sorted(filenames):
+            if name.endswith((".json", ".jsonl")):
+                yield os.path.join(dirpath, name)
+
+
+def lint_file(path: str) -> List[str]:
+    """Problems found in one file (empty list = clean)."""
+    problems: List[str] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            if path.endswith(".jsonl"):
+                for lineno, line in enumerate(handle, start=1):
+                    if not line.strip():
+                        continue
+                    try:
+                        json.loads(line, parse_constant=_reject)
+                    except ValueError as exc:
+                        problems.append(f"line {lineno}: {exc}")
+            else:
+                try:
+                    json.load(handle, parse_constant=_reject)
+                except ValueError as exc:
+                    problems.append(str(exc))
+    except (OSError, UnicodeDecodeError) as exc:
+        problems.append(f"unreadable: {exc}")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    root = argv[1] if len(argv) > 1 else "."
+    checked = 0
+    failures: List[Tuple[str, List[str]]] = []
+    for path in iter_json_files(root):
+        checked += 1
+        problems = lint_file(path)
+        if problems:
+            failures.append((path, problems))
+    if failures:
+        for path, problems in failures:
+            for problem in problems:
+                print(f"STRICT-JSON FAIL {path}: {problem}")
+        print(
+            f"{len(failures)} of {checked} JSON file(s) are not "
+            f"strict JSON"
+        )
+        return 1
+    print(f"strict-json lint: {checked} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

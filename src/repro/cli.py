@@ -30,6 +30,7 @@ from .cube.persist import save_cubes
 from .dataset import read_csv
 from .synth import generate_call_logs, paper_example_config
 from .viz import comparison_svg
+from .core.measures import measure_names
 from .workbench import OpportunityMap
 
 __all__ = ["main", "build_parser"]
@@ -80,6 +81,11 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--interval", choices=("wald", "wilson"), default="wald",
         help="confidence-interval method (default: the paper's wald)",
+    )
+    compare.add_argument(
+        "--measure", choices=measure_names(), default="paper",
+        help="interestingness measure ranking the attributes "
+             "(default: the paper's M_i)",
     )
     compare.add_argument(
         "--cubes", default=None,
@@ -332,7 +338,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     om = _load_workbench(
-        args, confidence_level=0.95, interval_method=args.interval
+        args, confidence_level=0.95, interval_method=args.interval,
+        comparison_measure=args.measure,
     )
     if args.cubes:
         from .cube.persist import load_store_cubes

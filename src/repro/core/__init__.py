@@ -44,7 +44,20 @@ from .kernel import (
     score_planes,
     stack_planes,
 )
-from .results import AttributeInterest, ComparisonResult, ValueContribution
+from .measures import (
+    DEFAULT_MEASURE,
+    MeasureInputs,
+    MeasureSpec,
+    get_measure,
+    measure_names,
+    register_measure,
+)
+from .results import (
+    AttributeInterest,
+    ComparisonResult,
+    Explanation,
+    ValueContribution,
+)
 
 __all__ = [
     "Comparator",
@@ -76,7 +89,14 @@ __all__ = [
     "PropertyStats",
     "property_stats",
     "is_property_attribute",
+    "DEFAULT_MEASURE",
+    "MeasureInputs",
+    "MeasureSpec",
+    "get_measure",
+    "measure_names",
+    "register_measure",
     "AttributeInterest",
     "ComparisonResult",
+    "Explanation",
     "ValueContribution",
 ]

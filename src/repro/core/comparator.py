@@ -53,14 +53,21 @@ from ..cube.rulecube import RuleCube
 from ..cube.store import CubeStore
 from ..dataset.table import Dataset
 from ..service.tracing import span
-from .interestingness import (
-    contributions,
-    excess_confidences,
-    per_value_stats,
-)
+from .interestingness import per_value_stats
 from .kernel import KernelClock, KernelTimings, PlaneScore, score_planes
+from .measures import (
+    MeasureSpec,
+    get_measure,
+    reference_contributions,
+    reference_excess,
+)
 from .property_attrs import DEFAULT_TAU, property_stats
-from .results import AttributeInterest, ComparisonResult, ValueContribution
+from .results import (
+    AttributeInterest,
+    ComparisonResult,
+    Explanation,
+    ValueContribution,
+)
 
 __all__ = [
     "Comparator",
@@ -131,6 +138,10 @@ class Comparator:
         vectorized kernel with lazily materialised per-value details;
         ``"reference"`` is the original per-attribute path, kept as
         the differential baseline.  Results are bit-identical.
+    measure:
+        Default interestingness measure, a registered name from
+        :mod:`repro.core.measures` (``"paper"`` unless overridden).
+        Every compare method also takes a per-call ``measure=``.
     """
 
     def __init__(
@@ -142,6 +153,7 @@ class Comparator:
         min_support_count: int = 1,
         interval_method: str = "wald",
         scoring: str = "batched",
+        measure: str = "paper",
     ) -> None:
         if interval_method not in ("wald", "wilson"):
             raise ComparatorError(
@@ -153,6 +165,7 @@ class Comparator:
                 f"unknown scoring back end {scoring!r}; expected "
                 "'batched' or 'reference'"
             )
+        self._measure = self._resolve_measure(measure)
         self._store = store
         self._confidence_level = confidence_level
         self._property_tau = property_tau
@@ -166,6 +179,28 @@ class Comparator:
         """The cube store the comparator reads from."""
         return self._store
 
+    @property
+    def measure(self) -> str:
+        """Name of the comparator's default measure."""
+        return self._measure.name
+
+    @staticmethod
+    def _resolve_measure(
+        measure: Union[str, MeasureSpec, None],
+    ) -> MeasureSpec:
+        try:
+            return get_measure(measure)
+        except ValueError as exc:
+            raise ComparatorError(str(exc)) from None
+
+    def _request_measure(
+        self, measure: Union[str, MeasureSpec, None]
+    ) -> MeasureSpec:
+        """Per-call measure, falling back to the comparator default."""
+        if measure is None:
+            return self._measure
+        return self._resolve_measure(measure)
+
     def compare(
         self,
         pivot_attribute: str,
@@ -173,6 +208,7 @@ class Comparator:
         value_b: str,
         target_class: str,
         attributes: Optional[Sequence[str]] = None,
+        measure: Optional[str] = None,
     ) -> ComparisonResult:
         """Run the automated comparison.
 
@@ -190,6 +226,9 @@ class Comparator:
         attributes:
             Candidate attributes to rank (default: every store
             attribute except the pivot).
+        measure:
+            Registered interestingness measure to rank under
+            (default: the comparator's configured measure).
 
         Returns
         -------
@@ -251,6 +290,7 @@ class Comparator:
         ranked, properties, detail_level = self._rank_pairs(
             attributes, pairs, schema, target_code,
             float(cf_good), float(cf_bad),
+            measure=self._request_measure(measure),
         )
         return ComparisonResult(
             pivot_attribute=pivot_attribute,
@@ -276,6 +316,7 @@ class Comparator:
         value_b: str,
         target_class: str,
         attributes: Optional[Sequence[str]] = None,
+        measure: Optional[str] = None,
     ) -> ComparisonResult:
         """Compare a sub-population of this store against one of another.
 
@@ -363,6 +404,7 @@ class Comparator:
         ranked, properties, detail_level = self._rank_pairs(
             attributes, pairs, schema, target_code,
             float(cf_good), float(cf_bad),
+            measure=self._request_measure(measure),
         )
         return ComparisonResult(
             pivot_attribute=pivot_attribute,
@@ -387,6 +429,7 @@ class Comparator:
         target_class: str,
         attributes: Optional[Sequence[str]] = None,
         rest_label: Optional[str] = None,
+        measure: Optional[str] = None,
     ) -> ComparisonResult:
         """Compare one pivot value against all of its peers combined.
 
@@ -460,6 +503,7 @@ class Comparator:
         ranked, properties, detail_level = self._rank_pairs(
             attributes, pairs, schema, target_code,
             float(cf_good), float(cf_bad),
+            measure=self._request_measure(measure),
         )
         return ComparisonResult(
             pivot_attribute=pivot_attribute,
@@ -483,6 +527,7 @@ class Comparator:
         value_pairs: Sequence[Tuple[str, str]],
         target_class: str,
         attributes: Optional[Sequence[str]] = None,
+        measure: Optional[str] = None,
     ) -> PairScreenOutcome:
         """Score many value pairs of one pivot from shared cube slices.
 
@@ -525,13 +570,14 @@ class Comparator:
         outcomes: List[
             Tuple[Tuple[str, str], Union[ComparisonResult, ComparatorError]]
         ] = []
+        spec = self._request_measure(measure)
         with span(
-            "kernel.screen", pairs=len(value_pairs)
+            "kernel.screen", pairs=len(value_pairs), measure=spec.name
         ) as screen_span:
             self._screen_pairs(
                 outcomes, value_pairs, pivot, pivot_attribute, counts,
                 cubes, attributes, target_class, target_code, schema,
-                clock,
+                clock, spec,
             )
         timings = clock.timings(time.perf_counter() - started)
         screen_span.annotate(
@@ -555,6 +601,7 @@ class Comparator:
         target_code: int,
         schema,
         clock: KernelClock,
+        measure: MeasureSpec,
     ) -> None:
         """Score each pair of :meth:`compare_value_pairs` from the
         shared planes, appending per-pair outcomes."""
@@ -600,6 +647,7 @@ class Comparator:
                 ranked, properties, detail_level = self._rank_pairs(
                     attributes, pairs, schema, target_code,
                     float(cf_good), float(cf_bad), clock=clock,
+                    measure=measure,
                 )
                 result = ComparisonResult(
                     pivot_attribute=pivot_attribute,
@@ -620,6 +668,70 @@ class Comparator:
                 outcomes.append(((value_a, value_b), exc))
                 continue
             outcomes.append(((value_a, value_b), result))
+
+    def explain(
+        self,
+        pivot_attribute: str,
+        value_a: str,
+        value_b: str,
+        target_class: str,
+        attribute: str,
+        top: int = 3,
+        attributes: Optional[Sequence[str]] = None,
+        measure: Optional[str] = None,
+        result: Optional[ComparisonResult] = None,
+    ) -> Explanation:
+        """Why is ``attribute`` ranked where it is in this comparison?
+
+        Runs :meth:`compare` (or reuses a supplied ``result``) under
+        the chosen measure and drills into one attribute: its rank,
+        score and score share, plus the ``top`` values carrying that
+        score with their counts, confidence intervals, excess and
+        contribution share.  Raises :class:`KeyError` when the
+        attribute is not part of the comparison.
+        """
+        spec = self._request_measure(measure)
+        if result is None:
+            result = self.compare(
+                pivot_attribute, value_a, value_b, target_class,
+                attributes=attributes, measure=spec,
+            )
+        return self.explain_result(result, attribute, top, spec.name)
+
+    @staticmethod
+    def explain_result(
+        result: ComparisonResult,
+        attribute: str,
+        top: int = 3,
+        measure: str = "paper",
+    ) -> Explanation:
+        """Build an :class:`~repro.core.results.Explanation` from an
+        existing result (the engine calls this on cached comparisons,
+        so ``/explain`` after ``/compare`` costs one sort)."""
+        if top < 1:
+            raise ComparatorError("top must be at least 1")
+        entry = result.attribute(attribute)  # KeyError on no such attr
+        rank = None if entry.is_property else result.rank_of(attribute)
+        total = sum(e.score for e in result.ranked)
+        share = entry.score / total if total > 0 else 0.0
+        return Explanation(
+            attribute=entry.attribute,
+            measure=measure,
+            rank=rank,
+            out_of=len(result.ranked),
+            is_property=entry.is_property,
+            property_ratio=entry.property_ratio,
+            score=entry.score,
+            score_share=share,
+            pivot_attribute=result.pivot_attribute,
+            value_good=result.value_good,
+            value_bad=result.value_bad,
+            target_class=result.target_class,
+            cf_good=result.cf_good,
+            cf_bad=result.cf_bad,
+            top_values=entry.top_values(top),
+            n_values=len(entry.contributions),
+        )
 
     # ------------------------------------------------------------------
     # Plumbing shared by the scoring back ends
@@ -709,10 +821,13 @@ class Comparator:
         cf_good: float,
         cf_bad: float,
         clock: Optional[KernelClock] = None,
+        measure: Optional[MeasureSpec] = None,
     ) -> Tuple[List[AttributeInterest], List[AttributeInterest], str]:
         """Score aligned ``(counts_good, counts_bad)`` plane pairs and
         split the entries into the main ranking and the property list.
         Returns ``(ranked, properties, detail_level)``."""
+        if measure is None:
+            measure = self._measure
         ranked: List[AttributeInterest] = []
         properties: List[AttributeInterest] = []
         if self._scoring == "reference":
@@ -720,7 +835,7 @@ class Comparator:
             for name, (counts_good, counts_bad) in zip(names, pairs):
                 entry = self._score_attribute(
                     name, counts_good, counts_bad, target_code,
-                    cf_good, cf_bad, schema[name].values,
+                    cf_good, cf_bad, schema[name].values, measure,
                 )
                 (properties if entry.is_property else ranked).append(
                     entry
@@ -730,7 +845,11 @@ class Comparator:
             score = (
                 clock.score_planes if clock is not None else score_planes
             )
-            with span("kernel.score", candidates=len(names)):
+            with span(
+                "kernel.score",
+                candidates=len(names),
+                measure=measure.name,
+            ):
                 plane_scores = score(
                     [p[0] for p in pairs],
                     [p[1] for p in pairs],
@@ -740,6 +859,7 @@ class Comparator:
                     self._confidence_level,
                     self._interval_method,
                     self._weight_by_count,
+                    measure,
                 )
             for name, plane_score in zip(names, plane_scores):
                 entry = self._entry_from_plane_score(
@@ -805,7 +925,10 @@ class Comparator:
         cf_good: float,
         cf_bad: float,
         values: Tuple[str, ...],
+        measure: Optional[MeasureSpec] = None,
     ) -> AttributeInterest:
+        if measure is None:
+            measure = self._measure
         stats = per_value_stats(
             counts_good,
             counts_bad,
@@ -813,9 +936,10 @@ class Comparator:
             confidence_level=self._confidence_level,
             interval_method=self._interval_method,
         )
-        f = excess_confidences(stats, cf_good, cf_bad)
-        w = contributions(
-            stats, cf_good, cf_bad, weight_by_count=self._weight_by_count
+        f = reference_excess(measure, stats, cf_good, cf_bad)
+        w = reference_contributions(
+            measure, stats, cf_good, cf_bad,
+            weight_by_count=self._weight_by_count,
         )
         detail = [
             ValueContribution(

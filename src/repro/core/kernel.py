@@ -42,7 +42,15 @@ kernel launches and can tolerate re-associated float sums past arity
 from __future__ import annotations
 
 import time
-from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -52,7 +60,12 @@ from .confidence import (
     revise_low_side,
     wilson_bounds,
 )
-from .interestingness import expected_confidences
+from .measures import (
+    MeasureInputs,
+    MeasureSpec,
+    batched_contributions,
+    get_measure,
+)
 
 __all__ = [
     "PlaneScore",
@@ -156,6 +169,7 @@ def _group_stats(
     confidence_level: Optional[float],
     interval_method: str,
     weight_by_count: bool,
+    measure: MeasureSpec,
 ):
     """The measure over one stacked group: all arrays are (G, k)."""
     n1 = cg.sum(axis=2)
@@ -183,10 +197,11 @@ def _group_stats(
         rcf1 = revise_low_side(cf1, e1)
         rcf2 = revise_high_side(cf2, e2)
 
-    expected = expected_confidences(rcf1, cf_good, cf_bad)
-    f = rcf2 - expected
-    positive = np.maximum(f, 0.0)
-    w = positive * n2 if weight_by_count else positive
+    f, w = batched_contributions(
+        measure,
+        MeasureInputs(n1, n2, cf1, cf2, rcf1, rcf2, cf_good, cf_bad),
+        weight_by_count,
+    )
     scores = w.sum(axis=1)
 
     has1 = n1 > 0
@@ -208,6 +223,7 @@ def score_planes(
     confidence_level: Optional[float] = 0.95,
     interval_method: str = "wald",
     weight_by_count: bool = True,
+    measure: Union[str, MeasureSpec, None] = None,
 ) -> List[PlaneScore]:
     """Score every candidate attribute's plane pair in batch.
 
@@ -222,6 +238,9 @@ def score_planes(
         Overall confidences of the two pivot rules (``cf_1 < cf_2``).
     confidence_level / interval_method / weight_by_count:
         Exactly the knobs of the per-attribute reference path.
+    measure:
+        Registered measure name (or spec) from
+        :mod:`repro.core.measures`; ``None`` selects the paper's.
 
     Returns
     -------
@@ -234,6 +253,7 @@ def score_planes(
             f"unknown interval method {interval_method!r}; expected "
             "'wald' or 'wilson'"
         )
+    spec = get_measure(measure)
     if not planes_good:
         return []
     shapes = []
@@ -262,7 +282,7 @@ def score_planes(
             scores, p, t, ratio,
         ) = _group_stats(
             cg, cb, target_class, cf_good, cf_bad,
-            confidence_level, interval_method, weight_by_count,
+            confidence_level, interval_method, weight_by_count, spec,
         )
         for row, i in enumerate(indices):
             out[i] = PlaneScore(

@@ -1,0 +1,354 @@
+"""Pluggable interestingness measures — one registry, two code paths.
+
+The paper's measure (Section IV: ``F_k``/``W_k``/``M_i``) is one point
+in a large design space; Guillaume et al.'s categorization of ~60
+interestingness measures (PAPERS.md) shows how differently they rank
+the same contrast.  This module makes the measure a plug-in selectable
+per request: each :class:`MeasureSpec` supplies
+
+* ``excess`` — the *batched* kernel: elementwise numpy over the
+  ``(G, k)`` group tensors :func:`repro.core.kernel.score_planes`
+  builds (axis-agnostic ufuncs, reductions only over the trailing
+  value axis), and
+* ``reference_excess`` — the matching *per-attribute* scorer over a
+  1-D :class:`~repro.core.interestingness.PerValueStats`, kept as
+  separately-written code so ``scoring="reference"`` stays a true
+  differential oracle for the batched path.
+
+Both paths share one contribution pipeline
+(:func:`finalize_contributions`): per-value excess → NaN squashed to 0
+(a 0/0 cell carries no evidence) → clamped at 0 → optionally weighted
+by ``N_2k`` (skipped for measures that already carry a count factor,
+flagged ``count_scaled``) → NaN squashed again.  ``+inf`` survives into
+contributions and scores deliberately: an infinite lift on a supported
+value is a real, sortable signal, and the serving layer's sanitizing
+JSON encoder is responsible for emitting it safely.  Scores are never
+NaN.
+
+The ``paper`` measure routes through the exact ufunc sequence the
+kernel always used, so its scores remain bit-identical to the
+pre-registry code (the golden and BENCH baselines depend on that).
+
+Registered measures
+-------------------
+``paper``        rcf2 − rcf1·(cf_bad/cf_good) — the paper's F_k.
+``added_value``  rcf2 − rcf1 (centred confidence difference).
+``lift``         rcf2/rcf1 − 1 (ratio lift; +inf on zero-support rcf1).
+``conviction``   (1−rcf1)/(1−rcf2) − 1 (+inf when rcf2 = 1).
+``leverage``     (N_2k/ΣN_2)·(rcf2 − cf_bad) — already count-scaled.
+``chi_square``   signed per-value 2×2 χ² on raw confidences — already
+                 count-scaled; sign follows cf2 vs cf1 so only values
+                 over-represented in D_2 contribute.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, NamedTuple, Tuple, Union
+
+import numpy as np
+
+from .interestingness import PerValueStats, expected_confidences
+
+__all__ = [
+    "MeasureSpec",
+    "MeasureInputs",
+    "DEFAULT_MEASURE",
+    "get_measure",
+    "measure_names",
+    "register_measure",
+    "batched_contributions",
+    "reference_excess",
+    "reference_contributions",
+    "finalize_contributions",
+]
+
+#: Name of the measure every surface defaults to.
+DEFAULT_MEASURE = "paper"
+
+
+class MeasureInputs(NamedTuple):
+    """Aligned per-value statistics handed to a batched measure kernel.
+
+    Arrays may be ``(G, k)`` group tensors or 1-D ``(k,)`` vectors; a
+    kernel must treat them identically (elementwise ufuncs, reductions
+    only via ``axis=-1``) so grouping never changes the numerics.
+    """
+
+    n1: np.ndarray  #: per-value record counts in D_1
+    n2: np.ndarray  #: per-value record counts in D_2 (N_2k)
+    cf1: np.ndarray  #: raw per-value confidences in D_1
+    cf2: np.ndarray  #: raw per-value confidences in D_2
+    rcf1: np.ndarray  #: interval-revised cf1
+    rcf2: np.ndarray  #: interval-revised cf2
+    cf_good: float  #: overall confidence of the good pivot rule
+    cf_bad: float  #: overall confidence of the bad pivot rule
+
+
+class MeasureSpec(NamedTuple):
+    """One registered measure.
+
+    ``count_scaled`` marks measures whose excess already carries a
+    count factor (leverage's ``N_2k/ΣN_2`` share, χ²'s contingency
+    counts): the pipeline must not multiply them by ``N_2k`` again,
+    whatever ``weight_by_count`` says.
+    """
+
+    name: str
+    count_scaled: bool
+    doc: str
+    excess: Callable[[MeasureInputs], np.ndarray]
+    reference_excess: Callable[[PerValueStats, float, float], np.ndarray]
+
+
+# ---------------------------------------------------------------------------
+# Batched kernels: elementwise over (G, k) or (k,) alike.
+
+
+def _paper_excess(s: MeasureInputs) -> np.ndarray:
+    expected = expected_confidences(s.rcf1, s.cf_good, s.cf_bad)
+    return s.rcf2 - expected
+
+
+def _added_value_excess(s: MeasureInputs) -> np.ndarray:
+    return s.rcf2 - s.rcf1
+
+
+def _lift_excess(s: MeasureInputs) -> np.ndarray:
+    return s.rcf2 / s.rcf1 - 1.0
+
+
+def _conviction_excess(s: MeasureInputs) -> np.ndarray:
+    return (1.0 - s.rcf1) / (1.0 - s.rcf2) - 1.0
+
+
+def _leverage_excess(s: MeasureInputs) -> np.ndarray:
+    total2 = s.n2.sum(axis=-1, keepdims=True)
+    return (s.n2 / total2) * (s.rcf2 - s.cf_bad)
+
+
+def _chi_square_excess(s: MeasureInputs) -> np.ndarray:
+    # Per-value 2x2 table (population x target-vs-rest), on the raw
+    # confidences: the chi-square statistic has its own variance model,
+    # so the interval guard does not apply.
+    a = s.cf1 * s.n1  # target hits in D_1
+    b = s.n1 - a
+    c = s.cf2 * s.n2  # target hits in D_2
+    d = s.n2 - c
+    n = s.n1 + s.n2
+    chi = (n * (a * d - b * c) ** 2) / (s.n1 * s.n2 * (a + c) * (b + d))
+    return np.where(s.cf2 >= s.cf1, chi, -chi)
+
+
+# ---------------------------------------------------------------------------
+# Reference scorers: per-attribute 1-D, written independently of the
+# batched kernels above (same formulas, separate code) so the 50-seed
+# differential in tests/test_measures.py compares two implementations.
+
+
+def _paper_reference(
+    stats: PerValueStats, cf_good: float, cf_bad: float
+) -> np.ndarray:
+    # Delegates to the module the pre-registry reference path used, so
+    # scoring="reference" with measure="paper" is byte-for-byte the old
+    # eager scorer.
+    from .interestingness import excess_confidences
+
+    return excess_confidences(stats, cf_good, cf_bad)
+
+
+def _added_value_reference(
+    stats: PerValueStats, cf_good: float, cf_bad: float
+) -> np.ndarray:
+    return np.subtract(stats.rcf2, stats.rcf1)
+
+
+def _lift_reference(
+    stats: PerValueStats, cf_good: float, cf_bad: float
+) -> np.ndarray:
+    return np.divide(stats.rcf2, stats.rcf1) - 1.0
+
+
+def _conviction_reference(
+    stats: PerValueStats, cf_good: float, cf_bad: float
+) -> np.ndarray:
+    return np.divide(1.0 - stats.rcf1, 1.0 - stats.rcf2) - 1.0
+
+
+def _leverage_reference(
+    stats: PerValueStats, cf_good: float, cf_bad: float
+) -> np.ndarray:
+    total2 = stats.n2.sum(axis=-1, keepdims=True)
+    return np.multiply(stats.n2 / total2, stats.rcf2 - cf_bad)
+
+
+def _chi_square_reference(
+    stats: PerValueStats, cf_good: float, cf_bad: float
+) -> np.ndarray:
+    a = stats.cf1 * stats.n1
+    b = stats.n1 - a
+    c = stats.cf2 * stats.n2
+    d = stats.n2 - c
+    n = stats.n1 + stats.n2
+    chi = (n * (a * d - b * c) ** 2) / (
+        stats.n1 * stats.n2 * (a + c) * (b + d)
+    )
+    return np.where(stats.cf2 >= stats.cf1, chi, -chi)
+
+
+# ---------------------------------------------------------------------------
+# Registry.
+
+_REGISTRY: Dict[str, MeasureSpec] = {}
+
+
+def register_measure(spec: MeasureSpec) -> MeasureSpec:
+    """Add a measure to the registry.
+
+    Names are claimed once: a second registration under an existing
+    name raises instead of silently rebinding — a measure label in a
+    cache key, trace, or benchmark must never change meaning mid-run.
+    """
+    if not spec.name or not spec.name.replace("_", "").isalnum():
+        raise ValueError(f"invalid measure name {spec.name!r}")
+    if spec.name in _REGISTRY:
+        raise ValueError(
+            f"measure {spec.name!r} is already registered"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def measure_names() -> Tuple[str, ...]:
+    """Registered measure names, default first, then alphabetical."""
+    rest = sorted(n for n in _REGISTRY if n != DEFAULT_MEASURE)
+    return (DEFAULT_MEASURE, *rest)
+
+
+def get_measure(measure: Union[str, MeasureSpec, None]) -> MeasureSpec:
+    """Resolve a measure name (or pass a spec through).
+
+    ``None`` resolves to the default measure so every call site can
+    forward an optional parameter unconditionally.
+    """
+    if measure is None:
+        measure = DEFAULT_MEASURE
+    if isinstance(measure, MeasureSpec):
+        return measure
+    spec = _REGISTRY.get(measure)
+    if spec is None:
+        known = ", ".join(measure_names())
+        raise ValueError(
+            f"unknown measure {measure!r}; registered measures: {known}"
+        )
+    return spec
+
+
+for _spec in (
+    MeasureSpec(
+        name="paper",
+        count_scaled=False,
+        doc="The paper's F_k = rcf2 - rcf1*(cf_bad/cf_good); W_k = "
+        "max(F_k,0)*N_2k counts excess bad records (Section IV).",
+        excess=_paper_excess,
+        reference_excess=_paper_reference,
+    ),
+    MeasureSpec(
+        name="added_value",
+        count_scaled=False,
+        doc="rcf2 - rcf1: absolute confidence gain of the bad "
+        "population, ignoring the overall cf ratio.",
+        excess=_added_value_excess,
+        reference_excess=_added_value_reference,
+    ),
+    MeasureSpec(
+        name="lift",
+        count_scaled=False,
+        doc="rcf2/rcf1 - 1: relative confidence ratio; +inf when the "
+        "good population never exhibits the class.",
+        excess=_lift_excess,
+        reference_excess=_lift_reference,
+    ),
+    MeasureSpec(
+        name="conviction",
+        count_scaled=False,
+        doc="(1-rcf1)/(1-rcf2) - 1: odds of escaping the class, good "
+        "over bad; +inf when the bad population is certain.",
+        excess=_conviction_excess,
+        reference_excess=_conviction_reference,
+    ),
+    MeasureSpec(
+        name="leverage",
+        count_scaled=True,
+        doc="(N_2k/sum N_2)*(rcf2 - cf_bad): support-share-weighted "
+        "confidence excess over the bad population's base rate.",
+        excess=_leverage_excess,
+        reference_excess=_leverage_reference,
+    ),
+    MeasureSpec(
+        name="chi_square",
+        count_scaled=True,
+        doc="Signed per-value 2x2 chi-square of (population, target) "
+        "on raw confidences; negative (under-represented) values "
+        "are clamped out by the pipeline.",
+        excess=_chi_square_excess,
+        reference_excess=_chi_square_reference,
+    ),
+):
+    register_measure(_spec)
+del _spec
+
+
+# ---------------------------------------------------------------------------
+# Shared contribution pipeline.
+
+
+def finalize_contributions(
+    spec: MeasureSpec,
+    excess: np.ndarray,
+    n2: np.ndarray,
+    weight_by_count: bool,
+) -> np.ndarray:
+    """Excess → W_k: squash NaN, clamp at 0, optionally weight by N_2k.
+
+    NaN cells (0/0 on zero-support values) carry no evidence and
+    contribute 0; the squash runs both before and after the count
+    weighting so ``inf * 0`` can never leak a NaN into a score.  For
+    the ``paper`` measure (excess always finite) every extra step is an
+    identity, keeping the pipeline bit-identical to the original
+    ``max(F_k, 0) * N_2k``.
+    """
+    positive = np.where(np.isnan(excess), 0.0, np.maximum(excess, 0.0))
+    if weight_by_count and not spec.count_scaled:
+        positive = positive * n2
+    return np.where(np.isnan(positive), 0.0, positive)
+
+
+def batched_contributions(
+    spec: MeasureSpec, inputs: MeasureInputs, weight_by_count: bool
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(excess, W_k) for a stacked group under one measure."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        excess = spec.excess(inputs)
+        w = finalize_contributions(spec, excess, inputs.n2, weight_by_count)
+    return excess, w
+
+
+def reference_excess(
+    spec: MeasureSpec, stats: PerValueStats, cf_good: float, cf_bad: float
+) -> np.ndarray:
+    """Per-attribute excess under the measure's reference scorer."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return spec.reference_excess(stats, cf_good, cf_bad)
+
+
+def reference_contributions(
+    spec: MeasureSpec,
+    stats: PerValueStats,
+    cf_good: float,
+    cf_bad: float,
+    weight_by_count: bool = True,
+) -> np.ndarray:
+    """Per-attribute W_k under the measure's reference scorer."""
+    excess = reference_excess(spec, stats, cf_good, cf_bad)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return finalize_contributions(spec, excess, stats.n2, weight_by_count)

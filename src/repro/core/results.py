@@ -19,7 +19,12 @@ from typing import (
     Union,
 )
 
-__all__ = ["ValueContribution", "AttributeInterest", "ComparisonResult"]
+__all__ = [
+    "ValueContribution",
+    "AttributeInterest",
+    "ComparisonResult",
+    "Explanation",
+]
 
 
 class ValueContribution:
@@ -384,4 +389,124 @@ class ComparisonResult:
             f"{self.value_good!r} vs {self.value_bad!r} on "
             f"{self.target_class!r}, {len(self.ranked)} ranked, "
             f"{len(self.property_attributes)} property)"
+        )
+
+
+class Explanation:
+    """Why one attribute sits where it does in a comparison's ranking.
+
+    The SHARQ-style drill-down (PAPERS.md) behind ``/explain``: the
+    attribute's rank and score under the chosen measure, plus the
+    values that carry that score — each with its ``n_1k``/``n_2k``
+    counts, confidence intervals, excess ``F_k`` and contribution
+    ``W_k`` share.  Built from an existing
+    :class:`ComparisonResult` (see
+    :meth:`repro.core.comparator.Comparator.explain`), so serving it
+    costs one cached comparison plus a sort.
+    """
+
+    __slots__ = (
+        "attribute",
+        "measure",
+        "rank",
+        "out_of",
+        "is_property",
+        "property_ratio",
+        "score",
+        "score_share",
+        "pivot_attribute",
+        "value_good",
+        "value_bad",
+        "target_class",
+        "cf_good",
+        "cf_bad",
+        "top_values",
+        "n_values",
+    )
+
+    def __init__(
+        self,
+        attribute: str,
+        measure: str,
+        rank: Optional[int],
+        out_of: int,
+        is_property: bool,
+        property_ratio: float,
+        score: float,
+        score_share: float,
+        pivot_attribute: str,
+        value_good: str,
+        value_bad: str,
+        target_class: str,
+        cf_good: float,
+        cf_bad: float,
+        top_values: Sequence[ValueContribution],
+        n_values: int,
+    ) -> None:
+        self.attribute = attribute
+        self.measure = measure
+        self.rank = rank  #: 1-based main-list rank; None for properties
+        self.out_of = int(out_of)
+        self.is_property = bool(is_property)
+        self.property_ratio = float(property_ratio)
+        self.score = float(score)
+        self.score_share = float(score_share)
+        self.pivot_attribute = pivot_attribute
+        self.value_good = value_good
+        self.value_bad = value_bad
+        self.target_class = target_class
+        self.cf_good = float(cf_good)
+        self.cf_bad = float(cf_bad)
+        self.top_values = tuple(top_values)
+        self.n_values = int(n_values)
+
+    def to_dict(self) -> dict:
+        """JSON-safe dictionary (non-finite floats are the serving
+        layer's sanitizer problem, as with :class:`ComparisonResult`)."""
+
+        def value_dict(c: ValueContribution) -> dict:
+            share = (
+                c.contribution / self.score if self.score > 0 else 0.0
+            )
+            return {
+                "value": c.value,
+                "n1": c.n1,
+                "n2": c.n2,
+                "cf1": c.cf1,
+                "cf2": c.cf2,
+                "interval1": list(c.interval1),
+                "interval2": list(c.interval2),
+                "rcf1": c.rcf1,
+                "rcf2": c.rcf2,
+                "excess": c.excess,
+                "contribution": c.contribution,
+                "contribution_share": share,
+            }
+
+        return {
+            "attribute": self.attribute,
+            "measure": self.measure,
+            "rank": self.rank,
+            "out_of": self.out_of,
+            "is_property": self.is_property,
+            "property_ratio": self.property_ratio,
+            "score": self.score,
+            "score_share": self.score_share,
+            "pivot_attribute": self.pivot_attribute,
+            "value_good": self.value_good,
+            "value_bad": self.value_bad,
+            "target_class": self.target_class,
+            "cf_good": self.cf_good,
+            "cf_bad": self.cf_bad,
+            "n_values": self.n_values,
+            "top_values": [value_dict(c) for c in self.top_values],
+        }
+
+    def __repr__(self) -> str:
+        where = (
+            "property" if self.is_property else f"rank {self.rank}"
+        )
+        return (
+            f"Explanation({self.attribute!r}, {where}, "
+            f"measure={self.measure!r}, score={self.score:.2f})"
         )

@@ -56,6 +56,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from .client import (
         BudgetExhausted,
         ClientError,
+        NonFiniteResponse,
         RetryPolicy,
         ServerError,
         ServiceClient,
@@ -69,6 +70,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         CrossCompareOutcome,
         DeadlineExceeded,
         EngineError,
+        ExplainOutcome,
         IngestOutcome,
         StoreUnavailable,
         UnknownStoreError,
@@ -99,6 +101,7 @@ _EXPORTS = {
     "CompareOutcome": "engine",
     "CrossCompareOutcome": "engine",
     "BatchScreenOutcome": "engine",
+    "ExplainOutcome": "engine",
     "IngestOutcome": "engine",
     "EngineError": "engine",
     "UnknownStoreError": "engine",
@@ -111,6 +114,7 @@ _EXPORTS = {
     "ServiceClient": "client",
     "RetryPolicy": "client",
     "ClientError": "client",
+    "NonFiniteResponse": "client",
     "ServerError": "client",
     "BudgetExhausted": "client",
     "KeepAliveTransport": "client",

@@ -78,6 +78,7 @@ def screen_fleet(
     min_gap: float = 0.0,
     store: Optional[str] = None,
     batch: bool = False,
+    measure: Optional[str] = None,
 ) -> FleetScreenOutcome:
     """Compare every pair of pivot values concurrently.
 
@@ -86,6 +87,9 @@ def screen_fleet(
     below ``min_gap`` are dropped — but each comparison is one engine
     task, so k values cost k(k-1)/2 comparisons spread over the pool
     (and repeated screens hit the result cache pair by pair).
+    ``measure`` selects a registered interestingness measure for every
+    pair (``None`` = the store's default); it participates in each
+    pair's cache key, so per-measure screens never collide.
 
     Invalid *requests* (unknown pivot, duplicate values) still raise:
     they would fail every pair identically.  Per-pair infrastructure
@@ -125,7 +129,7 @@ def screen_fleet(
     if batch:
         return _screen_fleet_batch(
             engine, managed_store.name, pivot_attribute, target_class,
-            pairs, attributes, min_gap, store,
+            pairs, attributes, min_gap, store, measure,
         )
     futures = []
     failures: List[PairFailure] = []
@@ -137,6 +141,7 @@ def screen_fleet(
                     engine.compare_async(
                         pivot_attribute, a, b, target_class,
                         attributes=attributes, store=store,
+                        measure=measure,
                     ),
                 )
             )
@@ -188,6 +193,7 @@ def _screen_fleet_batch(
     attributes: Optional[Sequence[str]],
     min_gap: float,
     store: Optional[str],
+    measure: Optional[str],
 ) -> FleetScreenOutcome:
     """The shared-slice batch path behind ``screen_fleet(batch=True)``.
 
@@ -200,7 +206,7 @@ def _screen_fleet_batch(
     try:
         outcome = engine.screen_pairs_batch(
             pivot_attribute, pairs, target_class,
-            attributes=attributes, store=store,
+            attributes=attributes, store=store, measure=measure,
         )
     except (EngineError, ComparatorError):
         raise  # invalid request: would fail every pair identically

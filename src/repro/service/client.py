@@ -37,10 +37,13 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, NamedTuple, Optional, Tuple
 from urllib.parse import urlsplit
 
+from .coerce import as_number
+
 __all__ = [
     "RetryPolicy",
     "Attempt",
     "ClientError",
+    "NonFiniteResponse",
     "ServerError",
     "BudgetExhausted",
     "ServiceClient",
@@ -51,6 +54,24 @@ __all__ = [
 #: 429 (ingest admission control), whose Retry-After hint says when
 #: the backlog should have drained — never other 4xx.
 RETRYABLE_STATUSES = frozenset({429, 502, 503, 504})
+
+
+class NonFiniteResponse(ValueError):
+    """The server emitted ``NaN``/``Infinity``/``-Infinity`` literals.
+
+    Those are not JSON; a server with the sanitizing encoder never
+    produces them (non-finite values arrive as ``null`` plus a
+    ``"non_finite": true`` marker).  Seeing one means the peer is a
+    pre-fix server — surface it loudly instead of silently parsing
+    the invalid body the way bare ``json.loads`` would.
+    """
+
+
+def _reject_non_finite(literal: str) -> float:
+    raise NonFiniteResponse(
+        f"server response contains the invalid JSON literal "
+        f"{literal!r}; strict JSON has no non-finite numbers"
+    )
 
 
 class ClientError(RuntimeError):
@@ -327,10 +348,9 @@ class ServiceClient:
             if status < 400:
                 return parsed
             if status in RETRYABLE_STATUSES:
-                if "deadline_ms" in parsed:
-                    self.last_server_deadline_ms = float(
-                        parsed["deadline_ms"]
-                    )
+                deadline_hint = as_number(parsed.get("deadline_ms"))
+                if deadline_hint is not None:
+                    self.last_server_deadline_ms = deadline_hint
                 attempts.append(
                     Attempt(
                         status,
@@ -389,8 +409,12 @@ class ServiceClient:
     def _server_hint(
         headers: Optional[Dict[str, str]], parsed: Dict[str, Any]
     ) -> Optional[float]:
-        if isinstance(parsed.get("retry_after"), (int, float)):
-            return float(parsed["retry_after"])
+        # as_number, not isinstance(..., (int, float)): bool is an int
+        # subclass, so a body with "retry_after": true used to be read
+        # as a 1-second cool-down instead of being ignored.
+        hinted = as_number(parsed.get("retry_after"))
+        if hinted is not None:
+            return hinted
         for name, value in (headers or {}).items():
             if name.lower() == "retry-after":
                 try:
@@ -402,7 +426,11 @@ class ServiceClient:
     @staticmethod
     def _parse(raw: bytes) -> Dict[str, Any]:
         try:
-            parsed = json.loads(raw.decode("utf-8"))
+            parsed = json.loads(
+                raw.decode("utf-8"), parse_constant=_reject_non_finite
+            )
+        except NonFiniteResponse:
+            raise  # protocol violation, not a malformed-body shrug
         except (UnicodeDecodeError, json.JSONDecodeError):
             return {"error": raw[:200].decode("utf-8", "replace")}
         if not isinstance(parsed, dict):
@@ -474,6 +502,32 @@ class ServiceClient:
         )
         return self.request(
             "POST", "/rank", payload, budget_ms=budget_ms
+        )
+
+    def explain(
+        self,
+        pivot: str,
+        value_a: str,
+        value_b: str,
+        target_class: str,
+        attribute: str,
+        top: Optional[int] = None,
+        budget_ms: Optional[float] = None,
+        **extra: Any,
+    ) -> Dict[str, Any]:
+        """Why ``attribute`` ranks where it does for this comparison.
+
+        Pass ``measure=`` / ``store=`` / ``attributes=`` via ``extra``
+        exactly as for :meth:`compare`; ``top`` bounds the number of
+        contributing values returned (server default 3)."""
+        payload = self._compare_payload(
+            pivot, value_a, value_b, target_class, None, None, extra,
+        )
+        payload["attribute"] = attribute
+        if top is not None:
+            payload["top"] = top
+        return self.request(
+            "POST", "/explain", payload, budget_ms=budget_ms
         )
 
     def ingest(

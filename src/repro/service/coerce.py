@@ -1,0 +1,32 @@
+"""Strict numeric coercion for JSON-sourced values.
+
+``bool`` is an ``int`` subclass in Python, so the obvious
+``isinstance(value, (int, float))`` accepts ``true``/``false`` from a
+JSON body and silently treats them as ``1``/``0`` — the class of bug
+PR 4 fixed server-side for ``top``/``deadline_ms``.  Every place that
+reads "a number" out of parsed JSON (client retry hints, config
+validation, HTTP parameter checks) routes through these two helpers so
+the rejection happens once, identically, everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["is_number", "as_number"]
+
+
+def is_number(value: object) -> bool:
+    """True only for real JSON numbers: int/float, never bool."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def as_number(value: object) -> Optional[float]:
+    """``float(value)`` for a real number, ``None`` for anything else.
+
+    Non-finite floats pass through — callers that must exclude them
+    check ``math.isfinite`` on the result.
+    """
+    if not is_number(value):
+        return None
+    return float(value)

@@ -11,7 +11,29 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from .coerce import is_number
+
 __all__ = ["ServiceConfig", "ConfigError"]
+
+#: Fields that must hold real numbers when set.  ``bool`` is an ``int``
+#: subclass, so ``ServiceConfig(port=True)`` (e.g. from a mistyped JSON
+#: or YAML deployment file) used to slip through every range check as
+#: ``1`` — reject the type before any range comparison runs.
+#: ``reuse_port`` is excluded: it is a bool by design.
+_NUMERIC_FIELDS = (
+    "port",
+    "workers",
+    "worker_procs",
+    "cache_size",
+    "deadline_ms",
+    "breaker_failures",
+    "breaker_reset_seconds",
+    "trace_buffer_size",
+    "slow_request_ms",
+    "ingest_coalesce_ms",
+    "ingest_high_watermark",
+    "wal_segment_bytes",
+)
 
 
 class ConfigError(ValueError):
@@ -126,6 +148,12 @@ class ServiceConfig:
     wal_segment_bytes: int = 16 * 1024 * 1024
 
     def __post_init__(self) -> None:
+        for name in _NUMERIC_FIELDS:
+            value = getattr(self, name)
+            if value is not None and not is_number(value):
+                raise ConfigError(
+                    f"{name} must be a number, got {value!r}"
+                )
         if self.workers < 1:
             raise ConfigError("workers must be at least 1")
         if self.worker_procs < 1:

@@ -61,7 +61,8 @@ from typing import (
 )
 
 from ..core.comparator import Comparator, PairScreenOutcome
-from ..core.results import ComparisonResult
+from ..core.measures import get_measure
+from ..core.results import ComparisonResult, Explanation
 from ..cube.persist import archive_schema, load_store_cubes
 from ..cube.store import CubeStore
 from ..dataset.table import Dataset
@@ -304,6 +305,21 @@ class BatchScreenOutcome(NamedTuple):
     screen: PairScreenOutcome
     store: str
     generation: int
+
+
+class ExplainOutcome(NamedTuple):
+    """An attribute explanation plus its serving provenance.
+
+    ``cache_hit`` reports whether the underlying comparison was served
+    from the result cache — /explain after /compare on the same tuple
+    costs one sort.
+    """
+
+    explanation: Explanation
+    store: str
+    generation: object
+    cache_hit: bool
+    measure: str
 
 
 class IngestOutcome(NamedTuple):
@@ -736,6 +752,7 @@ class ComparisonEngine:
         attributes: Optional[Sequence[str]] = None,
         store: Optional[str] = None,
         deadline_ms: object = _UNSET,
+        measure: Optional[str] = None,
     ) -> CompareOutcome:
         """Run (or serve from cache) one comparison, under a deadline.
 
@@ -746,9 +763,27 @@ class ComparisonEngine:
         """
         future = self.compare_async(
             pivot_attribute, value_a, value_b, target_class,
-            attributes=attributes, store=store,
+            attributes=attributes, store=store, measure=measure,
         )
         return self._await_with_deadline(future, deadline_ms)
+
+    def default_measure(self, store: Optional[str] = None) -> str:
+        """The measure a request without ``measure=`` is served under
+        (the named store's comparator default)."""
+        return self._resolve(store).comparator.measure
+
+    def _measure_label(
+        self, managed: "_ManagedStore", measure: Optional[str]
+    ) -> str:
+        """Resolve the effective measure name for one request.
+
+        The label joins the cache key, so two requests differing only
+        in measure never alias; an unknown name raises ``ValueError``
+        here — before any pool submit — and maps to a 400.
+        """
+        if measure is None:
+            return managed.comparator.measure
+        return get_measure(measure).name
 
     def _await_with_deadline(self, future: Future, deadline_ms: object):
         """Await a compute future under the effective deadline.
@@ -788,6 +823,7 @@ class ComparisonEngine:
         target_class: str,
         attributes: Optional[Sequence[str]] = None,
         store: Optional[str] = None,
+        measure: Optional[str] = None,
     ) -> "Future[CompareOutcome]":
         """Submit a comparison to the pool; returns immediately.
 
@@ -801,6 +837,8 @@ class ComparisonEngine:
         out across the pool.
         """
         managed = self._resolve(store)
+        measure_label = self._measure_label(managed, measure)
+        self._metrics.measure_requests.inc(measure=measure_label)
         key = (
             managed.name,
             pivot_attribute,
@@ -808,9 +846,12 @@ class ComparisonEngine:
             value_b,
             target_class,
             tuple(attributes) if attributes is not None else None,
+            measure_label,
         )
         generation = managed.generation
-        with span("cache.get", store=managed.name) as cache_span:
+        with span(
+            "cache.get", store=managed.name, measure=measure_label
+        ) as cache_span:
             entry = self._cache.get(key, generation)
             cache_span.annotate(hit=entry is not None)
         if entry is not None:
@@ -836,7 +877,7 @@ class ComparisonEngine:
         trace = current_trace()
         return self._pool.submit(
             self._compute, managed, key, pivot_attribute, value_a,
-            value_b, target_class, attributes,
+            value_b, target_class, attributes, measure_label,
             trace, current_span() if trace is not None else None,
             trace.now() if trace is not None else None,
         )
@@ -850,6 +891,7 @@ class ComparisonEngine:
         value_b: str,
         target_class: str,
         attributes: Optional[Sequence[str]],
+        measure: str = "paper",
         trace=None,
         parent_span=None,
         submitted: Optional[float] = None,
@@ -863,7 +905,9 @@ class ComparisonEngine:
                     start=submitted,
                     store=managed.name,
                 ).finish()
-            with span("engine.compare", store=managed.name) as compute:
+            with span(
+                "engine.compare", store=managed.name, measure=measure
+            ) as compute:
                 try:
                     trip(
                         SITE_ENGINE_COMPARE,
@@ -881,6 +925,7 @@ class ComparisonEngine:
                         result = managed.comparator.compare(
                             pivot_attribute, value_a, value_b,
                             target_class, attributes=attributes,
+                            measure=measure,
                         )
                 except (ValueError, KeyError) as exc:
                     # The client's fault (unknown attribute/value,
@@ -921,6 +966,7 @@ class ComparisonEngine:
         target_class: str,
         attributes: Optional[Sequence[str]] = None,
         deadline_ms: object = _UNSET,
+        measure: Optional[str] = None,
     ) -> CrossCompareOutcome:
         """Compare ``value_a`` in one store against ``value_b`` in
         another, under a deadline.
@@ -932,7 +978,7 @@ class ComparisonEngine:
         """
         future = self.compare_across_async(
             store_a, store_b, pivot_attribute, value_a, value_b,
-            target_class, attributes=attributes,
+            target_class, attributes=attributes, measure=measure,
         )
         return self._await_with_deadline(future, deadline_ms)
 
@@ -945,6 +991,7 @@ class ComparisonEngine:
         value_b: str,
         target_class: str,
         attributes: Optional[Sequence[str]] = None,
+        measure: Optional[str] = None,
     ) -> "Future[CrossCompareOutcome]":
         """Submit a cross-store comparison; returns immediately.
 
@@ -955,6 +1002,8 @@ class ComparisonEngine:
         """
         managed_a = self._resolve(store_a)
         managed_b = self._resolve(store_b)
+        measure_label = self._measure_label(managed_a, measure)
+        self._metrics.measure_requests.inc(measure=measure_label)
         key = (
             "cross",
             managed_a.name,
@@ -964,10 +1013,14 @@ class ComparisonEngine:
             value_b,
             target_class,
             tuple(attributes) if attributes is not None else None,
+            measure_label,
         )
         generation = (managed_a.generation, managed_b.generation)
         with span(
-            "cache.get", store=managed_a.name, store_b=managed_b.name
+            "cache.get",
+            store=managed_a.name,
+            store_b=managed_b.name,
+            measure=measure_label,
         ) as cache_span:
             entry = self._cache.get(key, generation)
             cache_span.annotate(hit=entry is not None)
@@ -993,6 +1046,7 @@ class ComparisonEngine:
         return self._pool.submit(
             self._compute_across, managed_a, managed_b, key,
             pivot_attribute, value_a, value_b, target_class, attributes,
+            measure_label,
             trace, current_span() if trace is not None else None,
             trace.now() if trace is not None else None,
         )
@@ -1007,6 +1061,7 @@ class ComparisonEngine:
         value_b: str,
         target_class: str,
         attributes: Optional[Sequence[str]],
+        measure: str = "paper",
         trace=None,
         parent_span=None,
         submitted: Optional[float] = None,
@@ -1023,6 +1078,7 @@ class ComparisonEngine:
                 "engine.compare_across",
                 store_a=managed_a.name,
                 store_b=managed_b.name,
+                measure=measure,
             ) as compute:
                 try:
                     trip(
@@ -1046,6 +1102,7 @@ class ComparisonEngine:
                                     managed_b.store, pivot_attribute,
                                     value_a, value_b, target_class,
                                     attributes=attributes,
+                                    measure=measure,
                                 )
                             )
                 except (ValueError, KeyError) as exc:
@@ -1091,6 +1148,7 @@ class ComparisonEngine:
         target_class: str,
         attributes: Optional[Sequence[str]] = None,
         store: Optional[str] = None,
+        measure: Optional[str] = None,
     ) -> BatchScreenOutcome:
         """Score many pivot value pairs in one shared-slice pass.
 
@@ -1110,6 +1168,8 @@ class ComparisonEngine:
         histograms.
         """
         managed = self._resolve(store)
+        measure_label = self._measure_label(managed, measure)
+        self._metrics.measure_requests.inc(measure=measure_label)
         try:
             managed.breaker.allow()
         except StoreUnavailable:
@@ -1120,6 +1180,7 @@ class ComparisonEngine:
             "engine.screen_batch",
             store=managed.name,
             pairs=len(value_pairs),
+            measure=measure_label,
         ) as batch_span:
             try:
                 trip(
@@ -1132,7 +1193,7 @@ class ComparisonEngine:
                     generation = snapshot.generation
                     screen = managed.comparator.compare_value_pairs(
                         pivot_attribute, value_pairs, target_class,
-                        attributes=attributes,
+                        attributes=attributes, measure=measure_label,
                     )
             except (ValueError, KeyError) as exc:
                 # The request's fault; the store itself is healthy.
@@ -1157,7 +1218,7 @@ class ComparisonEngine:
             if isinstance(outcome, ComparisonResult):
                 key = (
                     managed.name, pivot_attribute, value_a, value_b,
-                    target_class, attrs_key,
+                    target_class, attrs_key, measure_label,
                 )
                 self._cache.put(key, generation, outcome)
         self._metrics.fleet_kernel_seconds.observe(
@@ -1167,6 +1228,55 @@ class ComparisonEngine:
             screen.timings.plumbing_seconds, store=managed.name
         )
         return BatchScreenOutcome(screen, managed.name, generation)
+
+    def explain(
+        self,
+        pivot_attribute: str,
+        value_a: str,
+        value_b: str,
+        target_class: str,
+        attribute: str,
+        top: int = 3,
+        attributes: Optional[Sequence[str]] = None,
+        store: Optional[str] = None,
+        deadline_ms: object = _UNSET,
+        measure: Optional[str] = None,
+    ) -> ExplainOutcome:
+        """Why is ``attribute`` ranked where it is? — served.
+
+        Rides the exact compare pipeline (same cache key, deadline,
+        breaker and trace treatment as :meth:`compare`), then drills
+        into one attribute via
+        :meth:`~repro.core.comparator.Comparator.explain_result`.  An
+        ``/explain`` following a ``/compare`` on the same request tuple
+        is therefore a cache hit plus one sort.  Unknown attributes
+        raise :class:`KeyError` (a 400 over HTTP).
+        """
+        managed = self._resolve(store)
+        measure_label = self._measure_label(managed, measure)
+        future = self.compare_async(
+            pivot_attribute, value_a, value_b, target_class,
+            attributes=attributes, store=store, measure=measure,
+        )
+        outcome = self._await_with_deadline(future, deadline_ms)
+        with span(
+            "engine.explain",
+            store=outcome.store,
+            attribute=attribute,
+            measure=measure_label,
+        ):
+            explanation = Comparator.explain_result(
+                outcome.result, attribute, top=top,
+                measure=measure_label,
+            )
+        self._metrics.explain_requests.inc(store=outcome.store)
+        return ExplainOutcome(
+            explanation=explanation,
+            store=outcome.store,
+            generation=outcome.generation,
+            cache_hit=outcome.cache_hit,
+            measure=measure_label,
+        )
 
     # ------------------------------------------------------------------
     # Ingest (the single writer)

@@ -58,9 +58,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 from urllib.parse import parse_qs
 
+from ..core.measures import measure_names
 from ..cube.sharded import ShardReadError
 from ..cube.wal import WalError
 from ..testing.sites import SITE_HTTP_HANDLER, trip
+from .coerce import is_number
 from .config import ServiceConfig
 from .engine import (
     ComparisonEngine,
@@ -79,12 +81,63 @@ from .tracing import (
     worker_id,
 )
 
-__all__ = ["ComparisonHTTPServer", "serve"]
+__all__ = ["ComparisonHTTPServer", "serve", "dumps_sanitized"]
 
 logger = logging.getLogger("repro.service")
 
 #: Reject request bodies beyond this many bytes (64 MB) outright.
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+def _sanitize(value: Any) -> Tuple[Any, bool]:
+    """Replace non-finite floats with ``None``, bottom-up.
+
+    Returns ``(sanitized, leaked)`` where ``leaked`` reports a
+    replaced non-finite below this node that no dict has claimed yet.
+    The nearest enclosing dict absorbs the leak by gaining a
+    ``"non_finite": true`` marker, so a client can tell "this entry
+    really was null" from "this entry was ±inf/NaN before encoding".
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None, True
+    if isinstance(value, (list, tuple)):
+        items = []
+        leaked = False
+        for item in value:
+            sanitized, leak = _sanitize(item)
+            items.append(sanitized)
+            leaked = leaked or leak
+        return items, leaked
+    if isinstance(value, dict):
+        out = {}
+        leaked = False
+        for key, item in value.items():
+            sanitized, leak = _sanitize(item)
+            out[key] = sanitized
+            leaked = leaked or leak
+        if leaked:
+            out["non_finite"] = True
+        return out, False
+    return value, False
+
+
+def dumps_sanitized(payload: Dict[str, Any]) -> bytes:
+    """Encode a response body as *strict* JSON, always.
+
+    Bare ``json.dumps`` emits the invalid literals ``NaN`` /
+    ``Infinity`` for non-finite floats (which several measures
+    legitimately produce on zero-support cells); strict parsers —
+    including :class:`~repro.service.client.ServiceClient` — reject
+    those bodies.  The fast path is one ``allow_nan=False`` encode;
+    only a body that actually contains a non-finite float pays the
+    sanitizing walk (non-finite → ``null`` + ``"non_finite": true`` on
+    the nearest enclosing object).
+    """
+    try:
+        return json.dumps(payload, allow_nan=False).encode("utf-8")
+    except ValueError:
+        sanitized, _ = _sanitize(payload)
+        return json.dumps(sanitized, allow_nan=False).encode("utf-8")
 
 
 class _BadRequest(ValueError):
@@ -118,12 +171,25 @@ def _optional_deadline(payload: Mapping[str, Any]) -> Any:
     if value is None:
         return None
     # bool is an int subclass: "deadline_ms": true must not pass as 1.
-    if (
-        isinstance(value, bool)
-        or not isinstance(value, (int, float))
-        or value <= 0
-    ):
+    if not is_number(value) or value <= 0:
         raise _BadRequest("'deadline_ms' must be a positive number")
+    return value
+
+
+def _optional_measure(payload: Mapping[str, Any]) -> Optional[str]:
+    """The request's ``measure`` field, validated against the registry
+    early so an unknown name 400s with the known names listed."""
+    value = payload.get("measure")
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise _BadRequest("'measure' must be a string")
+    known = measure_names()
+    if value not in known:
+        raise _BadRequest(
+            f"unknown measure {value!r}; registered measures: "
+            f"{', '.join(known)}"
+        )
     return value
 
 
@@ -174,7 +240,7 @@ class _Handler(BaseHTTPRequestHandler):
             # the retained copy).
             trace.root.annotate(status=status)
             payload = {**payload, "trace": trace.to_dict()}
-        body = json.dumps(payload).encode("utf-8")
+        body = dumps_sanitized(payload)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
@@ -406,6 +472,12 @@ class _Handler(BaseHTTPRequestHandler):
         return 200
 
     def _compare_outcome(self, payload: Mapping[str, Any]):
+        """Run the compare described by ``payload``.
+
+        Returns ``(outcome, measure_label)`` where the label is the
+        resolved measure name — the requested one, or the serving
+        store's default when the request leaves ``measure`` unset.
+        """
         pivot, value_a, value_b, target = _require(
             payload, "pivot", "value_a", "value_b", "target_class"
         )
@@ -435,19 +507,26 @@ class _Handler(BaseHTTPRequestHandler):
                 "'store' and 'store_a'/'store_b' are mutually "
                 "exclusive"
             )
+        measure = _optional_measure(payload)
         deadline = _optional_deadline(payload)
         kwargs: Dict[str, Any] = {}
         if deadline is not _UNSET:
             kwargs["deadline_ms"] = deadline
+        engine = self.server.engine
         if store_a is not None:
-            return self.server.engine.compare_across(
+            outcome = engine.compare_across(
                 store_a, store_b, pivot, value_a, value_b, target,
-                attributes=attributes, **kwargs,
+                attributes=attributes, measure=measure, **kwargs,
             )
-        return self.server.engine.compare(
+            label = measure or engine.default_measure(store_a)
+            return outcome, label
+        outcome = engine.compare(
             pivot, value_a, value_b, target,
-            attributes=attributes, store=store, **kwargs,
+            attributes=attributes, store=store, measure=measure,
+            **kwargs,
         )
+        label = measure or engine.default_measure(store)
+        return outcome, label
 
     @staticmethod
     def _provenance(outcome: Any) -> Dict[str, Any]:
@@ -479,20 +558,22 @@ class _Handler(BaseHTTPRequestHandler):
             isinstance(top, bool) or not isinstance(top, int) or top < 0
         ):
             raise _BadRequest("'top' must be a non-negative integer")
-        outcome = self._compare_outcome(payload)
+        outcome, measure_label = self._compare_outcome(payload)
         body = outcome.result.to_dict(top=top)
         body.update(self._provenance(outcome))
+        body["measure"] = measure_label
         self._send_json(200, body)
         return 200
 
     def _handle_rank(self) -> int:
         payload = self._read_json()
-        outcome = self._compare_outcome(payload)
+        outcome, measure_label = self._compare_outcome(payload)
         result = outcome.result
         self._send_json(
             200,
             {
                 **self._provenance(outcome),
+                "measure": measure_label,
                 "pivot_attribute": result.pivot_attribute,
                 "value_good": result.value_good,
                 "value_bad": result.value_bad,
@@ -513,6 +594,52 @@ class _Handler(BaseHTTPRequestHandler):
                 ],
             },
         )
+        return 200
+
+    def _handle_explain(self) -> int:
+        payload = self._read_json()
+        pivot, value_a, value_b, target, attribute = _require(
+            payload,
+            "pivot", "value_a", "value_b", "target_class", "attribute",
+        )
+        for name, value in (
+            ("pivot", pivot),
+            ("value_a", value_a),
+            ("value_b", value_b),
+            ("target_class", target),
+            ("attribute", attribute),
+        ):
+            if not isinstance(value, str):
+                raise _BadRequest(f"{name!r} must be a string")
+        top = payload.get("top")
+        if top is None:
+            top = 3
+        # bool is an int subclass: "top": true must not pass as top=1.
+        elif isinstance(top, bool) or not isinstance(top, int) or top < 1:
+            raise _BadRequest("'top' must be a positive integer")
+        attributes = _optional_str_list(payload, "attributes")
+        store = payload.get("store")
+        if store is not None and not isinstance(store, str):
+            raise _BadRequest("'store' must be a string")
+        measure = _optional_measure(payload)
+        deadline = _optional_deadline(payload)
+        kwargs: Dict[str, Any] = {}
+        if deadline is not _UNSET:
+            kwargs["deadline_ms"] = deadline
+        outcome = self.server.engine.explain(
+            pivot, value_a, value_b, target, attribute,
+            top=top, attributes=attributes, store=store,
+            measure=measure, **kwargs,
+        )
+        body = outcome.explanation.to_dict()
+        body.update(
+            {
+                "store": outcome.store,
+                "generation": outcome.generation,
+                "cached": outcome.cache_hit,
+            }
+        )
+        self._send_json(200, body)
         return 200
 
     def _handle_ingest(self) -> int:
@@ -543,6 +670,7 @@ _ROUTES: Dict[str, Dict[str, str]] = {
     "/cubes": {"GET": "_handle_cubes"},
     "/compare": {"POST": "_handle_compare"},
     "/rank": {"POST": "_handle_rank"},
+    "/explain": {"POST": "_handle_explain"},
     "/ingest": {"POST": "_handle_ingest"},
     "/debug/traces": {"GET": "_handle_debug_traces"},
 }

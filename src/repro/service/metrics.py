@@ -577,6 +577,16 @@ class ServiceMetrics:
             "Requests whose handling time reached the slow-request "
             "threshold, by endpoint.",
         )
+        self.explain_requests = self.registry.counter(
+            "repro_explain_requests_total",
+            "Attribute explanations served (/explain and "
+            "engine.explain), by store.",
+        )
+        self.measure_requests = self.registry.counter(
+            "repro_measure_requests_total",
+            "Comparison/screen requests by interestingness measure "
+            "(cache hits included).",
+        )
 
     def render(self) -> str:
         return self.registry.render()

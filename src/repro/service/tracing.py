@@ -244,13 +244,35 @@ class Trace:
         self.request_id = request_id or new_request_id()
         self._clock = clock
         self._lock = threading.Lock()
-        #: Wall-clock start, for log/export correlation only — span
-        #: arithmetic never touches it.
-        self.started_at = time.time()
-        self.root = Span(name, self, clock())
+        # Paired clock anchors, read back-to-back: the wall reading
+        # names the same instant the monotonic reading does, so every
+        # exported wall-clock timestamp is *derived* from monotonic
+        # span times via wall_time().  Previously started_at was an
+        # independent time.time() call while spans ran on the
+        # monotonic clock — the two could disagree by an NTP step (or
+        # by an injected test clock), skewing exported timestamps
+        # against span arithmetic.
+        self._wall_anchor = time.time()
+        self._monotonic_anchor = clock()
+        self.root = Span(name, self, self._monotonic_anchor)
 
     def now(self) -> float:
         return self._clock()
+
+    def wall_time(self, at: float) -> float:
+        """The wall-clock instant of monotonic reading ``at``.
+
+        Exact for any span recorded by this trace: offsets from the
+        monotonic anchor are translated onto the wall anchor captured
+        at the same moment, so derived timestamps stay consistent with
+        span durations even if the system clock steps mid-request.
+        """
+        return self._wall_anchor + (at - self._monotonic_anchor)
+
+    @property
+    def started_at(self) -> float:
+        """Wall-clock time of the root span's start (derived)."""
+        return self.wall_time(self.root.started)
 
     def span(
         self,

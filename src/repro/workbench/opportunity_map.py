@@ -59,8 +59,10 @@ class OpportunityMap:
         The condition attributes to manage (the analysts' curated
         ~200-of-600 subset); defaults to all.
     confidence_level / property_tau / weight_by_count /
-    interval_method:
-        Comparator settings (see :class:`repro.core.Comparator`).
+    interval_method / comparison_measure:
+        Comparator settings (see :class:`repro.core.Comparator`);
+        ``comparison_measure`` names the default interestingness
+        measure (``repro.core.measure_names()`` lists the registry).
     seed:
         Seed for the sampling stage.
     """
@@ -77,6 +79,7 @@ class OpportunityMap:
         property_tau: Optional[float] = DEFAULT_TAU,
         weight_by_count: bool = True,
         interval_method: str = "wald",
+        comparison_measure: str = "paper",
         seed: Optional[int] = 0,
     ) -> None:
         self._raw = dataset
@@ -102,6 +105,7 @@ class OpportunityMap:
             property_tau=property_tau,
             weight_by_count=weight_by_count,
             interval_method=interval_method,
+            measure=comparison_measure,
         )
 
     # ------------------------------------------------------------------
@@ -224,6 +228,7 @@ class OpportunityMap:
         value_b: str,
         target_class: str,
         attributes: Optional[Sequence[str]] = None,
+        measure: Optional[str] = None,
     ) -> ComparisonResult:
         """Automated comparison of two sub-populations.
 
@@ -231,7 +236,7 @@ class OpportunityMap:
         """
         return self._comparator.compare(
             pivot_attribute, value_a, value_b, target_class,
-            attributes=attributes,
+            attributes=attributes, measure=measure,
         )
 
     def compare_vs_rest(
@@ -240,13 +245,15 @@ class OpportunityMap:
         value: str,
         target_class: str,
         attributes: Optional[Sequence[str]] = None,
+        measure: Optional[str] = None,
     ) -> ComparisonResult:
         """One-vs-rest screening comparison.
 
         See :meth:`repro.core.Comparator.compare_vs_rest`.
         """
         return self._comparator.compare_vs_rest(
-            pivot_attribute, value, target_class, attributes=attributes
+            pivot_attribute, value, target_class,
+            attributes=attributes, measure=measure,
         )
 
     def compare_all_pairs(

@@ -1,0 +1,833 @@
+"""The pluggable-measure kernel and its serving surface.
+
+Four contracts pinned here:
+
+* **registry** — the measure registry's lookup/ordering/registration
+  semantics, paper first and unknown names listing the alternatives;
+* **differential** — for every registered measure, the batched kernel
+  and the per-attribute ``scoring="reference"`` path agree exactly
+  over 50 seeded datasets (the idiom of ``test_kernel.py``), and over
+  edge shapes (zero-support cells, single-class planes, all-MISSING
+  attributes) no measure ever lets a NaN reach a score;
+* **serving** — ``measure=`` is honoured end-to-end over HTTP on
+  ``/compare`` / ``/rank`` / ``/explain``, response bodies are always
+  *strict* JSON (non-finite floats arrive as ``null`` plus a
+  ``"non_finite": true`` marker), and the client refuses the old
+  broken ``NaN``/``Infinity`` wire form;
+* **coercion** — the bool-as-number fixes: client retry hints, config
+  numeric fields, and the shared ``repro.service.coerce`` helpers,
+  plus the trace clock-anchor fix.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import Comparator, ComparatorError
+from repro.core.interestingness import per_value_stats
+from repro.core.kernel import score_planes
+from repro.core.measures import (
+    DEFAULT_MEASURE,
+    MeasureSpec,
+    get_measure,
+    measure_names,
+    reference_contributions,
+    register_measure,
+)
+from repro.cube import CubeStore
+from repro.dataset import Attribute, Dataset, Schema
+from repro.service import (
+    ComparisonEngine,
+    ComparisonHTTPServer,
+    ConfigError,
+    ServiceConfig,
+)
+from repro.service.client import NonFiniteResponse, ServiceClient
+from repro.service.coerce import as_number, is_number
+from repro.service.http import dumps_sanitized
+from repro.service.tracing import Trace
+from repro.synth import CallLogConfig, PlantedEffect, generate_call_logs
+from repro.testing.datagen import random_dataset
+
+BASE_SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
+N_DATASETS = 50
+
+NON_DEFAULT = tuple(
+    name for name in measure_names() if name != DEFAULT_MEASURE
+)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_at_least_five_non_default_measures(self):
+        assert len(NON_DEFAULT) >= 5
+
+    def test_paper_listed_first_then_alphabetical(self):
+        names = measure_names()
+        assert names[0] == DEFAULT_MEASURE == "paper"
+        assert list(names[1:]) == sorted(names[1:])
+
+    def test_get_measure_resolves_none_to_paper(self):
+        assert get_measure(None).name == "paper"
+        assert get_measure("paper") is get_measure(None)
+
+    def test_get_measure_passes_spec_through(self):
+        spec = get_measure("lift")
+        assert get_measure(spec) is spec
+
+    def test_unknown_measure_lists_the_registry(self):
+        with pytest.raises(ValueError) as err:
+            get_measure("nope")
+        for name in measure_names():
+            assert name in str(err.value)
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_measure("lift")
+        with pytest.raises(ValueError, match="already registered"):
+            register_measure(spec)
+
+    def test_bad_name_rejected(self):
+        bad = get_measure("lift")._replace(name="no spaces allowed")
+        with pytest.raises(ValueError):
+            register_measure(bad)
+
+
+# ----------------------------------------------------------------------
+# Differential: batched kernel vs per-attribute reference, per measure
+# ----------------------------------------------------------------------
+
+
+def _strip_timing(result) -> dict:
+    d = result.to_dict()
+    d.pop("elapsed_seconds")
+    return d
+
+
+def _entries(result):
+    return list(result.ranked) + list(result.property_attributes)
+
+
+def _same(a, b) -> bool:
+    """``==`` except NaN equals NaN (zero-support cells legitimately
+    export NaN excess under some measures; identical NaN is identical)."""
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (math.isnan(a) and math.isnan(b))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(
+            _same(v, b[k]) for k, v in a.items()
+        )
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(
+            _same(x, y) for x, y in zip(a, b)
+        )
+    return a == b
+
+
+def _assert_identical(batched, reference, context):
+    assert _same(
+        _strip_timing(batched), _strip_timing(reference)
+    ), context
+    for b_entry, r_entry in zip(_entries(batched), _entries(reference)):
+        assert b_entry.attribute == r_entry.attribute, context
+        for b_val, r_val in zip(
+            b_entry.contributions, r_entry.contributions
+        ):
+            assert b_val.rcf1 == r_val.rcf1, context
+            assert b_val.rcf2 == r_val.rcf2, context
+
+
+class TestMeasureDifferential:
+    """Every measure: batched == reference, bit for bit, 50 seeds."""
+
+    def test_agreement_over_seeded_datasets(self):
+        for i in range(N_DATASETS):
+            seed = BASE_SEED * 1_000_000 + 40_000 + i
+            data = random_dataset(seed, plant_property=(i % 2 == 0))
+            store = CubeStore(data)
+            store.precompute()
+            for name in measure_names():
+                batched = Comparator(
+                    store, scoring="batched", measure=name
+                )
+                reference = Comparator(
+                    store, scoring="reference", measure=name
+                )
+                _assert_identical(
+                    batched.compare("A0", "v0", "v1", "c0"),
+                    reference.compare("A0", "v0", "v1", "c0"),
+                    (seed, name),
+                )
+
+    def test_per_request_override_equals_constructor_default(self):
+        data = random_dataset(BASE_SEED * 1_000_000 + 41_000)
+        store = CubeStore(data)
+        store.precompute()
+        plain = Comparator(store)
+        for name in NON_DEFAULT:
+            pinned = Comparator(store, measure=name)
+            _assert_identical(
+                plain.compare("A0", "v0", "v1", "c0", measure=name),
+                pinned.compare("A0", "v0", "v1", "c0"),
+                name,
+            )
+
+    def test_default_measure_is_the_paper_ranking(self):
+        """measure='paper' is the unchanged original scorer."""
+        data = random_dataset(BASE_SEED * 1_000_000 + 42_000)
+        store = CubeStore(data)
+        store.precompute()
+        _assert_identical(
+            Comparator(store).compare("A0", "v0", "v1", "c0"),
+            Comparator(store, measure="paper").compare(
+                "A0", "v0", "v1", "c0"
+            ),
+            "paper",
+        )
+
+    def test_unknown_measure_raises_comparator_error(self):
+        data = random_dataset(BASE_SEED * 1_000_000 + 43_000)
+        store = CubeStore(data)
+        with pytest.raises(ComparatorError, match="registered"):
+            Comparator(store, measure="nope")
+        with pytest.raises(ComparatorError, match="registered"):
+            Comparator(store).compare(
+                "A0", "v0", "v1", "c0", measure="nope"
+            )
+
+    def test_measures_rank_differently_on_skewed_data(self):
+        """The knob is real: at least one measure orders attributes
+        differently from the paper's on a deliberately skewed set."""
+        rng = np.random.default_rng(44_000)
+        n = 20_000
+        pivot = rng.integers(0, 2, n)
+        # Rel: large *relative* effect at tiny confidence (lift ~20).
+        rel = (rng.random(n) < 0.5).astype(np.int64)
+        # Add: large *additive* effect at high confidence (lift 1.5).
+        add = (rng.random(n) < 0.5).astype(np.int64)
+        pr = np.full(n, 0.02)
+        pr[(pivot == 0) & (rel == 1)] = 0.01
+        pr[(pivot == 1) & (rel == 1)] = 0.20
+        pr[(pivot == 0) & (add == 1)] = 0.50
+        pr[(pivot == 1) & (add == 1)] = 0.75
+        cls = (rng.random(n) < pr).astype(np.int64)
+        schema = Schema(
+            [
+                Attribute("P", values=("a", "b")),
+                Attribute("Rel", values=("no", "yes")),
+                Attribute("Add", values=("no", "yes")),
+                Attribute("C", values=("ok", "drop")),
+            ],
+            class_attribute="C",
+        )
+        ds = Dataset.from_columns(
+            schema, {"P": pivot, "Rel": rel, "Add": add, "C": cls}
+        )
+        comparator = Comparator(CubeStore(ds), confidence_level=None)
+        orders = {
+            name: tuple(
+                e.attribute
+                for e in comparator.compare(
+                    "P", "a", "b", "drop", measure=name
+                ).ranked
+            )
+            for name in measure_names()
+        }
+        assert len(set(orders.values())) > 1, orders
+        assert orders["added_value"] != orders["lift"]
+
+
+# ----------------------------------------------------------------------
+# Edge cases: zero support, single class, all-MISSING — every measure
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def plane_pair_lists(draw, max_arity=4, max_planes=4):
+    """Aligned count-plane pairs with plenty of zero cells."""
+    k = draw(st.integers(min_value=2, max_value=4))
+    n = draw(st.integers(min_value=1, max_value=max_planes))
+    goods, bads = [], []
+    for _ in range(n):
+        arity = draw(st.integers(min_value=1, max_value=max_arity))
+        elements = st.integers(min_value=0, max_value=5)
+        goods.append(draw(arrays(np.int64, (arity, k), elements=elements)))
+        bads.append(draw(arrays(np.int64, (arity, k), elements=elements)))
+    return goods, bads, k
+
+
+class TestMeasureEdgeCases:
+    @pytest.mark.parametrize("name", measure_names())
+    @pytest.mark.parametrize("interval", ["wald", "wilson"])
+    def test_all_zero_planes_score_zero(self, name, interval):
+        """An all-MISSING attribute (zero-count planes) is neutral
+        under every measure: score 0, no NaN anywhere."""
+        goods = [np.zeros((3, 2), dtype=np.int64)]
+        bads = [np.zeros((3, 2), dtype=np.int64)]
+        (score,) = score_planes(
+            goods, bads, 1, 0.2, 0.4,
+            interval_method=interval, measure=name,
+        )
+        assert score.score == 0.0
+        assert not np.isnan(score.contribution).any()
+        assert not np.isnan(score.excess[np.asarray(score.n2) > 0]).any()
+
+    @pytest.mark.parametrize("name", measure_names())
+    @given(planes=plane_pair_lists(), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_no_nan_reaches_scores(self, name, planes, data):
+        goods, bads, k = planes
+        target = data.draw(st.integers(min_value=0, max_value=k - 1))
+        cf_good = data.draw(
+            st.floats(min_value=0.0, max_value=0.49)
+        )
+        cf_bad = data.draw(
+            st.floats(min_value=cf_good, max_value=0.99)
+        )
+        for interval in ("wald", "wilson"):
+            scores = score_planes(
+                goods, bads, target, cf_good, cf_bad,
+                interval_method=interval, measure=name,
+            )
+            for s in scores:
+                assert not math.isnan(s.score), (name, interval)
+                assert not np.isnan(s.contribution).any(), (
+                    name, interval,
+                )
+
+    @pytest.mark.parametrize("name", measure_names())
+    @given(planes=plane_pair_lists())
+    @settings(max_examples=20, deadline=None)
+    def test_single_class_planes_score_zero(self, name, planes):
+        """All mass in the target class and cf_1 = cf_2 = 1: no
+        measure invents a difference between identical populations."""
+        goods, bads, k = planes
+        goods = [
+            np.concatenate(
+                [g.sum(axis=1, keepdims=True),
+                 np.zeros((g.shape[0], k - 1), dtype=np.int64)],
+                axis=1,
+            )
+            for g in goods
+        ]
+        bads = [
+            np.concatenate(
+                [b.sum(axis=1, keepdims=True),
+                 np.zeros((b.shape[0], k - 1), dtype=np.int64)],
+                axis=1,
+            )
+            for b in bads
+        ]
+        scores = score_planes(
+            goods, bads, 0, 1.0, 1.0,
+            confidence_level=None, measure=name,
+        )
+        for s in scores:
+            assert not math.isnan(s.score), name
+            assert s.score >= 0.0
+
+    @pytest.mark.parametrize("name", measure_names())
+    def test_all_missing_attribute_through_comparator(self, name):
+        schema = Schema(
+            [
+                Attribute("Phone", values=("ph1", "ph2")),
+                Attribute("Time", values=("am", "pm")),
+                Attribute("C", values=("ok", "drop")),
+            ],
+            class_attribute="C",
+        )
+        n = 200
+        ds = Dataset.from_columns(
+            schema,
+            {
+                "Phone": np.tile([0, 1], n // 2),
+                "Time": np.full(n, -1, dtype=np.int64),
+                "C": np.tile([0, 0, 0, 1], n // 4),
+            },
+        )
+        result = Comparator(CubeStore(ds), measure=name).compare(
+            "Phone", "ph1", "ph2", "drop"
+        )
+        entry = result.attribute("Time")
+        assert entry.score == 0.0
+        assert all(
+            c.n1 == 0 and c.n2 == 0 for c in entry.contributions
+        )
+
+    @pytest.mark.parametrize("name", measure_names())
+    def test_reference_contributions_never_nan(self, name):
+        """Zero-support cells in the reference path too."""
+        spec = get_measure(name)
+        counts1 = np.array([[5, 0], [0, 0], [0, 3]], dtype=np.int64)
+        counts2 = np.array([[0, 0], [4, 4], [2, 0]], dtype=np.int64)
+        stats = per_value_stats(counts1, counts2, 1)
+        w = reference_contributions(spec, stats, 0.0, 0.5)
+        assert not np.isnan(w).any()
+        assert (w >= 0.0).all()
+
+
+# ----------------------------------------------------------------------
+# Strict JSON: the sanitizing encoder and the strict client
+# ----------------------------------------------------------------------
+
+
+def _reject(literal):
+    raise AssertionError(f"non-strict literal {literal!r}")
+
+
+class TestDumpsSanitized:
+    def test_finite_payload_is_plain_json(self):
+        payload = {"a": 1.5, "b": [1, 2, {"c": "x"}], "d": None}
+        assert dumps_sanitized(payload) == json.dumps(payload).encode()
+
+    def test_non_finite_becomes_null_with_marker(self):
+        body = dumps_sanitized({"score": float("nan"), "ok": 1})
+        parsed = json.loads(body.decode(), parse_constant=_reject)
+        assert parsed == {"score": None, "ok": 1, "non_finite": True}
+
+    def test_marker_lands_on_nearest_enclosing_dict(self):
+        body = dumps_sanitized(
+            {
+                "ranked": [
+                    {"score": float("inf"), "interval": [0.1, 0.2]},
+                    {"score": 2.0},
+                ],
+                "cf": 0.5,
+            }
+        )
+        parsed = json.loads(body.decode(), parse_constant=_reject)
+        assert parsed["ranked"][0] == {
+            "score": None,
+            "interval": [0.1, 0.2],
+            "non_finite": True,
+        }
+        assert "non_finite" not in parsed["ranked"][1]
+        assert "non_finite" not in parsed  # absorbed below the root
+
+    def test_non_finite_in_bare_list_marks_the_parent_dict(self):
+        body = dumps_sanitized({"interval": [float("-inf"), 0.9]})
+        parsed = json.loads(body.decode(), parse_constant=_reject)
+        assert parsed == {
+            "interval": [None, 0.9],
+            "non_finite": True,
+        }
+
+
+class TestClientStrictness:
+    def _client(self, responses):
+        calls = iter(responses)
+
+        def transport(method, url, body, timeout):
+            return next(calls)
+
+        return ServiceClient(
+            "http://test", transport=transport, sleep=lambda s: None
+        )
+
+    def test_rejects_non_finite_wire_form(self):
+        client = self._client([(200, {}, b'{"score": NaN}')])
+        with pytest.raises(NonFiniteResponse, match="NaN"):
+            client.request("POST", "/compare", {})
+
+    def test_rejects_infinity_literals(self):
+        client = self._client([(200, {}, b'{"score": -Infinity}')])
+        with pytest.raises(NonFiniteResponse):
+            client.request("POST", "/compare", {})
+
+    def test_accepts_sanitized_form(self):
+        client = self._client(
+            [(200, {}, b'{"score": null, "non_finite": true}')]
+        )
+        body = client.request("POST", "/compare", {})
+        assert body == {"score": None, "non_finite": True}
+
+    def test_bool_retry_after_hint_is_ignored(self):
+        # "retry_after": true used to be read as a 1-second cool-down.
+        assert ServiceClient._server_hint(None, {"retry_after": True}) \
+            is None
+        assert ServiceClient._server_hint(
+            None, {"retry_after": 2.5}
+        ) == 2.5
+
+    def test_bool_deadline_hint_is_ignored(self):
+        client = self._client(
+            [
+                (503, {}, b'{"error": "x", "deadline_ms": true}'),
+                (200, {}, b'{"ok": true}'),
+            ]
+        )
+        assert client.request("POST", "/compare", {}) == {"ok": True}
+        assert client.last_server_deadline_ms is None
+
+
+# ----------------------------------------------------------------------
+# Bool-as-number coercion: shared helper and config validation
+# ----------------------------------------------------------------------
+
+
+class TestCoercion:
+    def test_is_number_rejects_bool(self):
+        assert is_number(1) and is_number(2.5) and is_number(-3)
+        assert not is_number(True)
+        assert not is_number(False)
+        assert not is_number("3")
+        assert not is_number(None)
+
+    def test_as_number(self):
+        assert as_number(3) == 3.0
+        assert as_number(True) is None
+        assert as_number("3") is None
+        assert math.isinf(as_number(float("inf")))
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "port", "workers", "worker_procs", "cache_size",
+            "deadline_ms", "breaker_failures",
+            "breaker_reset_seconds", "trace_buffer_size",
+            "slow_request_ms", "ingest_coalesce_ms",
+            "ingest_high_watermark", "wal_segment_bytes",
+        ],
+    )
+    def test_config_rejects_bool_in_numeric_field(self, field):
+        with pytest.raises(ConfigError, match="must be a number"):
+            ServiceConfig(**{field: True})
+
+    def test_config_still_accepts_real_numbers_and_none(self):
+        config = ServiceConfig(
+            port=0, deadline_ms=None, slow_request_ms=250.0
+        )
+        assert config.deadline_seconds is None
+
+
+# ----------------------------------------------------------------------
+# Trace clock anchors
+# ----------------------------------------------------------------------
+
+
+class TestTraceAnchors:
+    def test_started_at_is_derived_from_the_monotonic_anchor(self):
+        readings = iter([100.0, 107.5])
+        trace = Trace(clock=lambda: next(readings))
+        before = time.time()
+        # started_at names the instant of the root span's monotonic
+        # start, translated onto the wall anchor read alongside it.
+        assert abs(trace.started_at - before) < 5.0
+        assert trace.wall_time(trace.root.started) == trace.started_at
+        # A span 7.5 monotonic-seconds later maps 7.5 wall-seconds on.
+        child = trace.span("work")
+        assert child.started - trace.root.started == pytest.approx(7.5)
+        assert trace.wall_time(child.started) - trace.started_at == \
+            pytest.approx(7.5)
+
+    def test_to_dict_exports_the_derived_timestamp(self):
+        trace = Trace(clock=lambda: 42.0)
+        payload = trace.to_dict()
+        assert payload["started_at"] == pytest.approx(
+            trace.started_at
+        )
+
+
+# ----------------------------------------------------------------------
+# HTTP round trips
+# ----------------------------------------------------------------------
+
+
+def make_data(seed: int = 11, n_records: int = 6000):
+    return generate_call_logs(
+        CallLogConfig(
+            n_records=n_records,
+            n_phone_models=4,
+            n_noise_attributes=2,
+            include_signal_strength=False,
+            effects=[
+                PlantedEffect(
+                    {"PhoneModel": "ph2", "TimeOfCall": "morning"},
+                    "dropped",
+                    6.0,
+                )
+            ],
+            seed=seed,
+        )
+    )
+
+
+def http_post_raw(url: str, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+@pytest.fixture()
+def service():
+    store = CubeStore(make_data())
+    engine = ComparisonEngine(ServiceConfig(workers=2, cache_size=32))
+    engine.add_store(store)
+    server = ComparisonHTTPServer(engine, port=0).start_background()
+    try:
+        yield server.url, engine, store
+    finally:
+        server.stop()
+        engine.shutdown()
+
+
+COMPARE = {
+    "pivot": "PhoneModel",
+    "value_a": "ph1",
+    "value_b": "ph2",
+    "target_class": "dropped",
+}
+
+
+class TestMeasureOverHTTP:
+    @pytest.mark.parametrize("name", NON_DEFAULT)
+    def test_compare_body_is_strict_json_and_matches_direct(
+        self, service, name
+    ):
+        url, _, store = service
+        status, raw = http_post_raw(
+            url + "/compare", {**COMPARE, "measure": name}
+        )
+        assert status == 200
+        body = json.loads(raw.decode(), parse_constant=_reject)
+        assert body["measure"] == name
+        direct = Comparator(store, measure=name).compare(
+            "PhoneModel", "ph1", "ph2", "dropped"
+        )
+        assert [e["attribute"] for e in body["ranked"]] == [
+            e.attribute for e in direct.ranked
+        ]
+        for served, computed in zip(body["ranked"], direct.ranked):
+            expected = computed.score
+            if math.isfinite(expected):
+                assert served["score"] == pytest.approx(expected)
+            else:
+                assert served["score"] is None
+                assert served["non_finite"] is True
+
+    def test_default_measure_labelled_paper(self, service):
+        url, _, _ = service
+        status, raw = http_post_raw(url + "/compare", COMPARE)
+        assert status == 200
+        assert json.loads(raw)["measure"] == "paper"
+
+    def test_rank_carries_the_measure_label(self, service):
+        url, _, _ = service
+        status, raw = http_post_raw(
+            url + "/rank", {**COMPARE, "measure": "conviction"}
+        )
+        assert status == 200
+        body = json.loads(raw.decode(), parse_constant=_reject)
+        assert body["measure"] == "conviction"
+        assert body["ranking"]
+
+    def test_unknown_measure_is_a_400_listing_the_registry(
+        self, service
+    ):
+        url, _, _ = service
+        status, raw = http_post_raw(
+            url + "/compare", {**COMPARE, "measure": "nope"}
+        )
+        assert status == 400
+        message = json.loads(raw)["error"]
+        assert "conviction" in message and "paper" in message
+
+    def test_non_string_measure_is_a_400(self, service):
+        url, _, _ = service
+        status, raw = http_post_raw(
+            url + "/compare", {**COMPARE, "measure": 3}
+        )
+        assert status == 400
+
+    def test_measures_cache_separately(self, service):
+        url, engine, _ = service
+        for _ in range(2):
+            http_post_raw(url + "/compare", COMPARE)
+            http_post_raw(
+                url + "/compare", {**COMPARE, "measure": "lift"}
+            )
+        _, raw = http_post_raw(
+            url + "/compare", {**COMPARE, "measure": "lift"}
+        )
+        assert json.loads(raw)["cached"] is True
+        direct = engine.compare(
+            "PhoneModel", "ph1", "ph2", "dropped"
+        )
+        lifted = engine.compare(
+            "PhoneModel", "ph1", "ph2", "dropped", measure="lift"
+        )
+        assert direct.cache_hit and lifted.cache_hit
+        assert [e.attribute for e in direct.result.ranked] != [] \
+            and direct.result is not lifted.result
+
+
+class TestExplainOverHTTP:
+    def test_round_trip_under_a_selected_measure(self, service):
+        url, _, store = service
+        status, raw = http_post_raw(
+            url + "/explain",
+            {**COMPARE, "attribute": "TimeOfCall",
+             "measure": "conviction", "top": 2},
+        )
+        assert status == 200
+        body = json.loads(raw.decode(), parse_constant=_reject)
+        assert body["attribute"] == "TimeOfCall"
+        assert body["measure"] == "conviction"
+        assert body["rank"] >= 1 and body["out_of"] >= 1
+        assert len(body["top_values"]) == 2
+        direct = Comparator(store, measure="conviction").compare(
+            "PhoneModel", "ph1", "ph2", "dropped"
+        )
+        entry = direct.attribute("TimeOfCall")
+        assert body["score"] == pytest.approx(entry.score)
+        top = sorted(
+            entry.contributions,
+            key=lambda c: c.contribution,
+            reverse=True,
+        )[:2]
+        assert [v["value"] for v in body["top_values"]] == [
+            c.value for c in top
+        ]
+        for served, computed in zip(body["top_values"], top):
+            assert served["n1"] == computed.n1
+            assert served["n2"] == computed.n2
+            assert served["contribution"] == pytest.approx(
+                computed.contribution
+            )
+
+    def test_explain_defaults_and_provenance(self, service):
+        url, _, _ = service
+        payload = {**COMPARE, "attribute": "TimeOfCall"}
+        status, raw = http_post_raw(url + "/explain", payload)
+        body = json.loads(raw)
+        assert status == 200
+        assert body["measure"] == "paper"
+        assert len(body["top_values"]) <= 3
+        assert body["store"] == "default"
+        assert body["cached"] is False
+        # Rides the compare cache: same comparison again is a hit.
+        status, raw = http_post_raw(url + "/explain", payload)
+        assert json.loads(raw)["cached"] is True
+
+    def test_explain_counts_in_metrics(self, service):
+        url, engine, _ = service
+        http_post_raw(
+            url + "/explain", {**COMPARE, "attribute": "TimeOfCall"}
+        )
+        rendered = engine.metrics.render()
+        assert "repro_explain_requests_total" in rendered
+        assert "repro_measure_requests_total" in rendered
+
+    @pytest.mark.parametrize(
+        "mutation, expected_status",
+        [
+            ({"attribute": None}, 400),           # missing field
+            ({"attribute": 7}, 400),              # non-string
+            ({"attribute": "NoSuchAttr"}, 400),   # unknown attribute
+            ({"attribute": "TimeOfCall", "top": 0}, 400),
+            ({"attribute": "TimeOfCall", "top": True}, 400),
+            ({"attribute": "TimeOfCall", "measure": "nope"}, 400),
+        ],
+    )
+    def test_explain_validation(
+        self, service, mutation, expected_status
+    ):
+        url, _, _ = service
+        payload = {**COMPARE, **mutation}
+        if payload.get("attribute") is None:
+            payload.pop("attribute")
+        status, _ = http_post_raw(url + "/explain", payload)
+        assert status == expected_status
+
+    def test_client_explain_wrapper(self, service):
+        url, _, _ = service
+        with ServiceClient(url) as client:
+            body = client.explain(
+                "PhoneModel", "ph1", "ph2", "dropped", "TimeOfCall",
+                top=1, measure="lift",
+            )
+        assert body["measure"] == "lift"
+        assert len(body["top_values"]) == 1
+
+
+# ----------------------------------------------------------------------
+# Comparator.explain (the library surface under the endpoint)
+# ----------------------------------------------------------------------
+
+
+class TestComparatorExplain:
+    @pytest.fixture(scope="class")
+    def comparator(self):
+        store = CubeStore(make_data())
+        return Comparator(store)
+
+    def test_explain_matches_compare(self, comparator):
+        result = comparator.compare(
+            "PhoneModel", "ph1", "ph2", "dropped"
+        )
+        explanation = comparator.explain(
+            "PhoneModel", "ph1", "ph2", "dropped", "TimeOfCall"
+        )
+        entry = result.attribute("TimeOfCall")
+        assert explanation.score == entry.score
+        assert explanation.rank == result.rank_of("TimeOfCall")
+        assert explanation.out_of == len(result.ranked)
+        assert 0.0 <= explanation.score_share <= 1.0
+        assert explanation.n_values == len(entry.contributions)
+
+    def test_explain_reuses_a_supplied_result(self, comparator):
+        result = comparator.compare(
+            "PhoneModel", "ph1", "ph2", "dropped"
+        )
+        explanation = comparator.explain(
+            "PhoneModel", "ph1", "ph2", "dropped", "TimeOfCall",
+            result=result,
+        )
+        assert explanation.pivot_attribute == "PhoneModel"
+        assert explanation.top_values
+
+    def test_top_must_be_positive(self, comparator):
+        with pytest.raises(ComparatorError, match="top"):
+            comparator.explain(
+                "PhoneModel", "ph1", "ph2", "dropped", "TimeOfCall",
+                top=0,
+            )
+
+    def test_unknown_attribute_raises_key_error(self, comparator):
+        with pytest.raises(KeyError):
+            comparator.explain(
+                "PhoneModel", "ph1", "ph2", "dropped", "NoSuch"
+            )
+
+    def test_to_dict_is_json_safe_and_shares_sum(self, comparator):
+        explanation = comparator.explain(
+            "PhoneModel", "ph1", "ph2", "dropped", "TimeOfCall",
+            top=100,
+        )
+        payload = explanation.to_dict()
+        json.dumps(payload, allow_nan=False)
+        if payload["score"] > 0:
+            assert sum(
+                v["contribution_share"] for v in payload["top_values"]
+            ) == pytest.approx(1.0)
