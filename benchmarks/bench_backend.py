@@ -1,0 +1,170 @@
+"""Out-of-core counting: chunk-major spill sweep vs cube-major scans.
+
+The spill backend's bet (DESIGN.md §6j): when a store needs *many*
+cubes from on-disk rows, scanning chunk-major — one sequential pass
+over the spill, every requested cube's accumulator fed per chunk —
+beats the cube-major order (one full pass per cube) by a constant
+factor, because the per-chunk column loads, validity masks and code
+widening are paid once per chunk instead of once per cube per chunk.
+
+This benchmark builds a ~10M-row, 16-attribute columnar spill (the
+paper's 2M-record call-log month, scaled up) without ever holding the
+dataset in RAM, then prices a full pair-cube sweep (120 cubes) both
+ways at the same chunk size.  Three things must hold:
+
+* the chunk-major sweep's p50 is at least 3x faster than cube-major;
+* peak RSS stays under 25% of what the same rows cost as in-memory
+  int64 columns — the point of spilling at all;
+* both orders produce bit-identical counts (spot-checked here; the
+  full differential battery lives in tests/test_backend.py).
+
+Rows land in ``BENCH_backend.json`` via ``--json DIR``.
+"""
+
+import os
+import resource
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cube.backend import SpillBackend
+from repro.dataset import Attribute, Dataset, Schema
+
+from _helpers import (
+    percentile,
+    print_series,
+    summarize,
+    write_bench_json,
+)
+
+N_ROWS = int(os.environ.get("BENCH_BACKEND_ROWS", 10_000_000))
+N_ATTRS = 16
+ARITY = 8
+N_CLASSES = 2
+CHUNK_ROWS = 1 << 17
+ENCODE_BLOCK = 1 << 19
+SWEEP_REPEATS = 5
+CUBE_MAJOR_REPEATS = 3
+MIN_SPEEDUP = 3.0
+MAX_RSS_FRACTION = 0.25
+
+
+def make_schema():
+    attrs = [
+        Attribute(
+            f"A{i}", values=tuple(f"v{j}" for j in range(ARITY))
+        )
+        for i in range(N_ATTRS)
+    ]
+    attrs.append(
+        Attribute("C", values=tuple(f"c{j}" for j in range(N_CLASSES)))
+    )
+    return Schema(attrs, class_attribute="C")
+
+
+def encode_spill(directory: Path, schema: Schema) -> SpillBackend:
+    """Stream-encode the synthetic month block by block: peak memory
+    is one generation block of int64 columns, never the whole table."""
+    rng = np.random.default_rng(17)
+    backend = SpillBackend.create(
+        directory, schema, chunk_rows=CHUNK_ROWS
+    )
+    for start in range(0, N_ROWS, ENCODE_BLOCK):
+        m = min(ENCODE_BLOCK, N_ROWS - start)
+        columns = {
+            f"A{i}": rng.integers(0, ARITY, m)
+            for i in range(N_ATTRS)
+        }
+        columns["C"] = rng.integers(0, N_CLASSES, m)
+        backend.append(Dataset.from_columns(schema, columns))
+    return backend
+
+
+def pair_keys(schema: Schema):
+    names = [a.name for a in schema.condition_attributes]
+    return [
+        (a, b)
+        for i, a in enumerate(names)
+        for b in names[i + 1:]
+    ]
+
+
+def test_chunk_major_sweep_beats_cube_major(json_dir):
+    schema = make_schema()
+    with tempfile.TemporaryDirectory() as tmp:
+        backend = encode_spill(Path(tmp) / "spill", schema)
+        keys = pair_keys(schema)
+        in_memory_bytes = N_ROWS * (N_ATTRS + 1) * 8
+
+        chunk_major = []
+        for _ in range(SWEEP_REPEATS):
+            start = time.perf_counter()
+            swept = backend.sweep(keys)
+            chunk_major.append(time.perf_counter() - start)
+        chunk_major.sort()
+
+        cube_major = []
+        for _ in range(CUBE_MAJOR_REPEATS):
+            start = time.perf_counter()
+            singles = [backend.count(key) for key in keys]
+            cube_major.append(time.perf_counter() - start)
+        cube_major.sort()
+
+        # Bit-exactness spot check: both orders, identical tensors.
+        for key_i in (0, 17, 60, len(keys) - 1):
+            assert np.array_equal(
+                swept[key_i].counts, singles[key_i].counts
+            ), keys[key_i]
+
+        peak_rss = resource.getrusage(
+            resource.RUSAGE_SELF
+        ).ru_maxrss * 1024  # KiB on Linux
+        spill_bytes = backend.spill_bytes()
+        backend.close()
+
+    p50_chunk = percentile(chunk_major, 0.50)
+    p50_cube = percentile(cube_major, 0.50)
+    speedup = p50_cube / p50_chunk
+    rss_fraction = peak_rss / in_memory_bytes
+
+    print_series(
+        f"pair-cube sweep over {N_ROWS} rows x {N_ATTRS} attrs "
+        f"({len(keys)} cubes, chunk={CHUNK_ROWS})",
+        ["chunk-major p50", "cube-major p50"],
+        [p50_chunk, p50_cube],
+    )
+    print(
+        f"  speedup {speedup:.2f}x; peak RSS "
+        f"{peak_rss / 2**20:.0f} MiB = {rss_fraction:.1%} of "
+        f"{in_memory_bytes / 2**20:.0f} MiB in-memory"
+    )
+
+    payload = {
+        "benchmark": (
+            "chunk-major spill sweep vs cube-major per-cube scans"
+        ),
+        "n_rows": N_ROWS,
+        "n_attributes": N_ATTRS,
+        "n_pair_cubes": len(keys),
+        "chunk_rows": CHUNK_ROWS,
+        "spill_bytes": spill_bytes,
+        "in_memory_bytes": in_memory_bytes,
+        "peak_rss_bytes": peak_rss,
+        "peak_rss_fraction_of_in_memory": round(rss_fraction, 4),
+        "chunk_major": summarize(chunk_major, "chunk-major sweep"),
+        "cube_major": summarize(cube_major, "cube-major sweep"),
+        "speedup_p50": round(speedup, 3),
+    }
+    write_bench_json(json_dir, "BENCH_backend.json", payload)
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"chunk-major sweep p50 only {speedup:.2f}x over cube-major "
+        f"(need >= {MIN_SPEEDUP}x)"
+    )
+    assert rss_fraction <= MAX_RSS_FRACTION, (
+        f"peak RSS {peak_rss / 2**20:.0f} MiB is "
+        f"{rss_fraction:.1%} of the in-memory footprint "
+        f"(need <= {MAX_RSS_FRACTION:.0%})"
+    )

@@ -286,6 +286,35 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--backend", default="memory",
+        choices=("memory", "spill", "sqlite"),
+        help=(
+            "row-count backend: 'memory' keeps coded columns in RAM "
+            "(default); 'spill' serves a columnar on-disk spill with "
+            "a bounded-memory chunk-major scanner; 'sqlite' pushes "
+            "counting down as GROUP BY queries.  Both non-memory "
+            "kinds need --data-dir"
+        ),
+    )
+    serve.add_argument(
+        "--data-dir", default=None, dest="data_dir", metavar="PATH",
+        help=(
+            "spill/sqlite row storage directory: with a CSV the rows "
+            "are stream-encoded into it first (the raw text never "
+            "materialises whole); without one it is re-opened and "
+            "served as-is"
+        ),
+    )
+    serve.add_argument(
+        "--chunk-rows", type=int, default=None, dest="chunk_rows",
+        metavar="N",
+        help=(
+            "rows per streaming chunk for spill scans and CSV "
+            "encoding — bounds peak memory (default: backend "
+            "defaults; needs --backend spill or sqlite)"
+        ),
+    )
+    serve.add_argument(
         "--no-precompute", action="store_true",
         help="skip materialising pair cubes from a CSV before serving",
     )
@@ -431,6 +460,151 @@ def _replay_serve_wal(store, wal, start_after: int = 0) -> None:
         print("; ".join(parts))
 
 
+def _serve_backends(args: argparse.Namespace, kind, n_shards, shard_by):
+    """Build/open the ``--backend`` row storage, one backend per shard.
+
+    With a CSV the file streams through twice — once to infer the
+    schema (the raw rows never materialise whole), once to encode
+    chunks into the spill / sqlite storage.  Without one the existing
+    storage under ``--data-dir`` is re-opened as-is.
+    """
+    import csv as _csv
+    from pathlib import Path
+
+    from .cube.backend import (
+        DEFAULT_CHUNK_ROWS,
+        SpillBackend,
+        SqliteBackend,
+    )
+    from .dataset import DatasetError
+    from .dataset.io import (
+        DEFAULT_CSV_CHUNK_ROWS,
+        infer_schema,
+        iter_csv_chunks,
+    )
+
+    data_dir = Path(args.data_dir)
+    chunk_rows = getattr(args, "chunk_rows", None)
+    scan_rows = chunk_rows or DEFAULT_CHUNK_ROWS
+    csv_rows = chunk_rows or DEFAULT_CSV_CHUNK_ROWS
+    db_path = data_dir / "backend.sqlite"
+
+    if not args.csv:
+        if kind == "sqlite":
+            return [SqliteBackend.open(db_path)]
+        if n_shards > 1:
+            return [
+                SpillBackend.open(data_dir / f"shard-{i:02d}")
+                for i in range(n_shards)
+            ]
+        return [SpillBackend.open(data_dir)]
+
+    with open(args.csv, newline="") as handle:
+        reader = _csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DatasetError(f"{args.csv} is empty") from None
+        schema = infer_schema(header, reader, args.class_attribute)
+
+    if kind == "sqlite":
+        data_dir.mkdir(parents=True, exist_ok=True)
+        backends = [SqliteBackend.create(db_path, schema)]
+    elif n_shards > 1:
+        backends = [
+            SpillBackend.create(
+                data_dir / f"shard-{i:02d}", schema,
+                chunk_rows=scan_rows,
+            )
+            for i in range(n_shards)
+        ]
+    else:
+        backends = [
+            SpillBackend.create(data_dir, schema, chunk_rows=scan_rows)
+        ]
+    if n_shards > 1:
+        from .cube.sharded import shard_by_column, shard_rows
+    total = 0
+    for chunk in iter_csv_chunks(args.csv, schema, chunk_rows=csv_rows):
+        total += chunk.n_rows
+        if n_shards > 1:
+            if shard_by is not None:
+                parts = shard_by_column(chunk, shard_by, n_shards)
+            else:
+                parts = shard_rows(chunk, n_shards)
+            for backend, part in zip(backends, parts):
+                backend.append(part)
+        else:
+            backends[0].append(chunk)
+    print(f"Encoded {total} rows into {kind} backend at {data_dir}")
+    return backends
+
+
+def _build_backend_serve_engine(
+    args, config, engine, serve_fn, kind, n_shards, shard_by
+):
+    """``repro serve`` wiring for ``--backend spill|sqlite``."""
+    from .cube import CubeStore
+
+    if not getattr(args, "data_dir", None):
+        raise ValueError(f"--backend {kind} needs --data-dir")
+    if args.store:
+        raise ValueError(
+            "--store cube archives warm-start the in-memory backend "
+            "only; a spill/sqlite backend re-counts from its own rows"
+        )
+    if kind == "sqlite" and n_shards > 1:
+        raise ValueError(
+            "--backend sqlite cannot be sharded; use --backend spill"
+        )
+    if config.worker_procs > 1:
+        raise ValueError(
+            "--worker-procs needs the in-memory backend (forked "
+            "workers cannot share the parent's storage handles)"
+        )
+    if args.csv and not args.class_attribute:
+        raise ValueError("--class-attribute is required with a CSV")
+    chunk_rows = getattr(args, "chunk_rows", None)
+    if chunk_rows is not None and chunk_rows < 1:
+        raise ValueError("--chunk-rows must be a positive integer")
+
+    backends = _serve_backends(args, kind, n_shards, shard_by)
+    stores = [CubeStore.from_backend(b) for b in backends]
+    if n_shards > 1:
+        from .cube.sharded import ShardedCubeStore
+
+        store = ShardedCubeStore(stores, shard_by=shard_by)
+    else:
+        store = stores[0]
+    wal = _open_serve_wal(config, n_shards)
+    if wal is not None:
+        # Rows the durable backend already holds were stamped with
+        # their WAL sequence number at absorb time; replay only the
+        # tail past that stamp, so a crash between the log append and
+        # the backend append re-applies exactly the missing records
+        # (and a clean restart replays nothing).
+        if n_shards > 1:
+            for shard_store, shard_log in zip(store.shards, wal.logs):
+                _replay_serve_wal(
+                    shard_store, shard_log,
+                    start_after=shard_store.backend.wal_seq(),
+                )
+        else:
+            _replay_serve_wal(
+                store, wal, start_after=backends[0].wal_seq()
+            )
+    # Register (and bind metrics) before the precompute sweep so the
+    # big initial scan shows up in repro_backend_scan_seconds /
+    # repro_backend_rows_scanned_total rather than vanishing.
+    engine.add_store(store, name=args.name, wal=wal)
+    if not args.no_precompute:
+        built = store.precompute(
+            workers=getattr(args, "precompute_workers", None)
+        )
+        print(f"Precomputed {built} cubes ({kind} backend)")
+    return engine, config, serve_fn
+
+
 def _build_serve_engine(args: argparse.Namespace):
     """Engine construction for ``repro serve`` (exposed for tests)."""
     from .service import ComparisonEngine, ServiceConfig, serve
@@ -485,6 +659,16 @@ def _build_serve_engine(args: argparse.Namespace):
         raise ValueError("--shards must be a positive integer")
     if shard_by is not None and n_shards <= 1:
         raise ValueError("--shard-by needs --shards > 1")
+    backend_kind = getattr(args, "backend", "memory") or "memory"
+    if backend_kind != "memory":
+        return _build_backend_serve_engine(
+            args, config, engine, serve, backend_kind, n_shards,
+            shard_by,
+        )
+    if getattr(args, "data_dir", None):
+        raise ValueError("--data-dir needs --backend spill or sqlite")
+    if getattr(args, "chunk_rows", None):
+        raise ValueError("--chunk-rows needs --backend spill or sqlite")
     if n_shards > 1:
         if not args.csv:
             raise ValueError(

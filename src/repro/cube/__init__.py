@@ -14,6 +14,14 @@ from .builder import (
     build_all_3d,
     build_cube,
     class_cube,
+    minimal_code_dtype,
+)
+from .backend import (
+    BackendDataset,
+    CountingBackend,
+    InMemoryBackend,
+    SpillBackend,
+    SqliteBackend,
 )
 from .olap import dice_cube, drill_down, rollup, slice_cube
 from .store import CubeStore
@@ -56,6 +64,12 @@ __all__ = [
     "build_all_3d",
     "class_cube",
     "PairCubeBuilder",
+    "minimal_code_dtype",
+    "CountingBackend",
+    "InMemoryBackend",
+    "SpillBackend",
+    "SqliteBackend",
+    "BackendDataset",
     "slice_cube",
     "dice_cube",
     "rollup",

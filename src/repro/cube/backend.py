@@ -1,0 +1,975 @@
+"""Pluggable counting backends: where cube cells actually come from.
+
+The paper's deployment counted rule cubes over ~200 GB of call logs
+per month (Section V.C); this repo's original counting path is
+RAM-bound — :class:`~repro.dataset.table.Dataset` holds every column
+in memory and :class:`~repro.cube.builder.PairCubeBuilder` adds three
+full-length work arrays per attribute on top.  This module introduces
+a seam between the :class:`~repro.cube.store.CubeStore` (snapshots,
+caching, singleflight, absorb) and the machinery that turns rows into
+count tensors, with three interchangeable, bit-exact implementations:
+
+:class:`InMemoryBackend`
+    The existing in-RAM path behind the backend interface: rows live
+    in an :class:`~repro.dataset.table.AppendBuffer`, sweeps run
+    through :class:`~repro.cube.builder.PairCubeBuilder`.
+
+:class:`SpillBackend`
+    A columnar on-disk *code spill*: one little-endian binary file per
+    attribute in the smallest signed integer dtype that holds the
+    attribute's codes plus an overflow code (``arity``), described by
+    a JSON manifest.  Ingest appends to the column files in place
+    (positioned writes; the manifest's row count is only advanced
+    afterwards, so a torn append is invisible).  Sweeps are
+    **chunk-major**: the scanner streams ~1–4 M-row chunks through
+    ``np.memmap`` windows and, per chunk, accumulates the mixed-radix
+    ``bincount`` for *every* requested cube while the chunk's columns
+    are cache-hot — one sequential pass over the data per sweep
+    instead of one pass per cube, with peak memory bounded by the
+    chunk size rather than the row count (see DESIGN.md §6j).
+
+:class:`SqliteBackend`
+    Counts pushed down to stdlib ``sqlite3`` as
+    ``GROUP BY attr_i, attr_j, class`` — for data that already lives
+    in a relational store (SHARQ's setting), the database's own
+    executor does the scan and only the non-zero cells cross the
+    boundary.
+
+All three produce counts **bit-identical** to
+:func:`~repro.cube.builder.build_cube` (asserted cube-by-cube in the
+50-seed differential): for the spill scanner this holds because each
+chunk's widened histogram uses the same overflow-bin redirection as
+``PairCubeBuilder`` and integer addition over chunks is exact.
+
+Every scan passes through the declared fault site ``backend.scan``,
+so chaos runs can wound the storage layer underneath a store whose
+snapshot machinery is perfectly healthy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..dataset.schema import Attribute, Schema
+from ..dataset.table import AppendBuffer, Dataset
+from ..testing.sites import SITE_BACKEND_SCAN, trip
+from .builder import PairCubeBuilder, minimal_code_dtype
+from .rulecube import CubeError, RuleCube
+
+__all__ = [
+    "CountingBackend",
+    "InMemoryBackend",
+    "SpillBackend",
+    "SqliteBackend",
+    "BackendDataset",
+    "minimal_code_dtype",
+]
+
+PathLike = Union[str, Path]
+
+#: Default streaming chunk for the spill scanner (rows per window).
+#: Large enough that the per-chunk numpy fixed costs vanish, small
+#: enough that the combine scratch and the per-attribute tail arrays
+#: (a handful of int64 work arrays of this length, ~1 MiB each here)
+#: stay cache-resident — benchmarks show the sweep is *faster* at
+#: 128 Ki rows than at 1 Mi because the head+tail+bincount inner loop
+#: stops thrashing last-level cache (see bench_backend.py).
+DEFAULT_CHUNK_ROWS = 1 << 17
+
+
+class BackendDataset:
+    """The slice of the ``Dataset`` API out-of-core stores expose.
+
+    A spill- or sqlite-backed store holds no rows in memory, but the
+    comparator needs ``.schema`` and the service layer ``.n_rows``
+    (mirroring the sharded store's facade).  Anything that needs the
+    raw codes must go through the backend's scan.
+    """
+
+    __slots__ = ("schema", "n_rows")
+
+    def __init__(self, schema: Schema, n_rows: int) -> None:
+        self.schema = schema
+        self.n_rows = int(n_rows)
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def column(self, name: str) -> np.ndarray:
+        raise CubeError(
+            f"column {name!r} is not resident: this store's rows live "
+            "in an out-of-core counting backend; read cubes, not raw "
+            "columns"
+        )
+
+
+def _validate_backend_schema(schema: Schema) -> None:
+    """Out-of-core backends store coded columns only."""
+    for attr in schema:
+        if not attr.is_categorical:
+            raise CubeError(
+                f"attribute {attr.name!r} is continuous; out-of-core "
+                "backends hold coded categorical columns — discretise "
+                "the data set first"
+            )
+
+
+def _schema_to_meta(schema: Schema) -> Dict[str, object]:
+    domains = {attr.name: list(attr.values) for attr in schema}
+    return {
+        "class_attribute": schema.class_name,
+        "domains": domains,
+    }
+
+
+def _schema_from_meta(meta: Dict[str, object]) -> Schema:
+    domains = meta["domains"]
+    attrs = [
+        Attribute(name, values=values)
+        for name, values in domains.items()  # type: ignore[union-attr]
+    ]
+    return Schema(attrs, str(meta["class_attribute"]))
+
+
+def _zero_cube(schema: Schema, key: Tuple[str, ...]) -> RuleCube:
+    class_attr = schema.class_attribute
+    attrs = [schema[name] for name in key]
+    dims = tuple(a.arity for a in attrs) + (class_attr.arity,)
+    return RuleCube(attrs, class_attr, np.zeros(dims, dtype=np.int64))
+
+
+class CountingBackend:
+    """Interface between the cube store and its row storage.
+
+    A backend owns the rows and answers two questions: *how many rows
+    are durable* (``n_rows``) and *what are the counts of cube K over
+    the first N of them* (``count`` / ``sweep``).  The ``end_row``
+    bound is what keeps out-of-core reads snapshot-consistent: the
+    store's immutable snapshots cannot pin spilled rows the way they
+    pin an ``AppendBuffer`` prefix view, so every read is bounded by
+    the row count frozen in the snapshot it serves — appends only ever
+    write beyond any published bound.
+
+    ``count(key)`` must equal :func:`build_cube` bit-for-bit over the
+    same rows; ``sweep(keys)`` must equal ``[count(k) for k in keys]``
+    (implementations are free to answer it in one pass — that freedom
+    is the point of the seam).
+    """
+
+    #: Human-readable backend discriminator for /cubes and logs.
+    kind = "abstract"
+
+    @property
+    def schema(self) -> Schema:
+        raise NotImplementedError
+
+    def n_rows(self) -> int:
+        """Durable row count (appends move it forward, never back)."""
+        raise NotImplementedError
+
+    def dataset_view(self, end_row: Optional[int] = None) -> object:
+        """A dataset-like object (``schema``/``n_rows``) for snapshots."""
+        raise NotImplementedError
+
+    def count(
+        self, key: Sequence[str], end_row: Optional[int] = None
+    ) -> RuleCube:
+        """The cube over ``key`` (+ class) from rows ``[0, end_row)``."""
+        return self.sweep([key], end_row=end_row)[0]
+
+    def sweep(
+        self,
+        keys: Sequence[Sequence[str]],
+        end_row: Optional[int] = None,
+    ) -> List[RuleCube]:
+        """One cube per key, all counted from the same row prefix."""
+        raise NotImplementedError
+
+    def append(
+        self, batch: Dataset, wal_seq: Optional[int] = None
+    ) -> object:
+        """Durably add ``batch``'s rows; returns the new dataset view.
+
+        ``wal_seq`` stamps the highest write-ahead-log sequence number
+        this backend's rows now contain, so a restart can hand WAL
+        replay a ``start_after`` that skips records the durable spill
+        already holds (the archive's ``wal_seq`` handoff, applied to
+        rows instead of cubes).  ``None`` leaves the stamp unchanged.
+        """
+        raise NotImplementedError
+
+    def wal_seq(self) -> int:
+        """Highest WAL sequence number reflected in the stored rows."""
+        return 0
+
+    def describe(self) -> Dict[str, object]:
+        """Backend block for ``describe_stores`` / ``GET /cubes``."""
+        return {"kind": self.kind, "rows": self.n_rows()}
+
+    def bind_metrics(self, metrics: object, store_name: str) -> None:
+        """Attach a metrics panel (duck-typed; see ServiceMetrics)."""
+        self._metrics = metrics
+        self._metrics_store = store_name
+
+    def close(self) -> None:
+        """Release file handles / connections (idempotent)."""
+
+    # -- shared plumbing ------------------------------------------------
+
+    _metrics: Optional[object] = None
+    _metrics_store: str = ""
+
+    def _validate_keys(
+        self, keys: Sequence[Sequence[str]]
+    ) -> List[Tuple[str, ...]]:
+        schema = self.schema
+        out: List[Tuple[str, ...]] = []
+        for key in keys:
+            key = tuple(key)
+            for name in key:
+                attr = schema[name]  # raises on unknown names
+                if name == schema.class_name:
+                    raise CubeError(
+                        "the class attribute is always the final cube "
+                        "axis; do not list it as a condition attribute"
+                    )
+                if not attr.is_categorical:
+                    raise CubeError(
+                        f"cube attribute {name!r} is continuous; "
+                        "discretise first"
+                    )
+            if len(set(key)) != len(key):
+                raise CubeError(f"duplicate attributes: {key}")
+            out.append(key)
+        return out
+
+    def _bounded(self, end_row: Optional[int]) -> int:
+        rows = self.n_rows()
+        if end_row is None:
+            return rows
+        if end_row < 0:
+            raise CubeError("end_row must be non-negative")
+        return min(int(end_row), rows)
+
+    def _observe_scan(self, started: float, rows_scanned: int) -> None:
+        metrics = self._metrics
+        if metrics is None:
+            return
+        metrics.backend_scan_seconds.observe(  # type: ignore[attr-defined]
+            time.perf_counter() - started,
+            store=self._metrics_store,
+            backend=self.kind,
+        )
+        if rows_scanned:
+            metrics.backend_rows_scanned.inc(  # type: ignore[attr-defined]
+                rows_scanned,
+                store=self._metrics_store,
+                backend=self.kind,
+            )
+
+
+class InMemoryBackend(CountingBackend):
+    """The classic in-RAM path, behind the backend seam.
+
+    Rows live in an :class:`AppendBuffer`; a sweep builds every cube
+    through one shared :class:`PairCubeBuilder` over the bounded
+    prefix, so the per-attribute code prep is paid once per sweep,
+    exactly like the store's parallel precompute path.
+    """
+
+    kind = "memory"
+
+    def __init__(self, dataset: Dataset) -> None:
+        self._buffer = AppendBuffer(dataset)
+
+    @property
+    def schema(self) -> Schema:
+        return self._buffer.schema
+
+    def n_rows(self) -> int:
+        return len(self._buffer)
+
+    def dataset_view(self, end_row: Optional[int] = None) -> Dataset:
+        dataset = self._buffer.dataset
+        if end_row is None or end_row >= dataset.n_rows:
+            return dataset
+        return self._prefix(end_row)
+
+    def _prefix(self, rows: int) -> Dataset:
+        dataset = self._buffer.dataset
+        if rows >= dataset.n_rows:
+            return dataset
+        columns: Dict[str, np.ndarray] = {}
+        for attr in dataset.schema:
+            view = dataset.column(attr.name)[:rows]
+            view.setflags(write=False)
+            columns[attr.name] = view
+        return Dataset._trusted(dataset.schema, columns, rows)
+
+    def sweep(
+        self,
+        keys: Sequence[Sequence[str]],
+        end_row: Optional[int] = None,
+    ) -> List[RuleCube]:
+        canonical = self._validate_keys(keys)
+        rows = self._bounded(end_row)
+        trip(
+            SITE_BACKEND_SCAN,
+            backend=self.kind,
+            cubes=len(canonical),
+            rows=rows,
+        )
+        started = time.perf_counter()
+        prefix = self._prefix(rows)
+        names = sorted(
+            {name for key in canonical for name in key}
+        )
+        builder = PairCubeBuilder(prefix, names)
+        cubes = builder.build_many(canonical)
+        self._observe_scan(started, rows)
+        return cubes
+
+    def append(
+        self, batch: Dataset, wal_seq: Optional[int] = None
+    ) -> Dataset:
+        return self._buffer.append(batch)
+
+
+class SpillBackend(CountingBackend):
+    """Columnar on-disk code spill with a chunk-major streaming scanner.
+
+    Layout (one directory)::
+
+        manifest.json   rows, per-column dtypes, append segments,
+                        chunk_rows, the coded schema, wal_seq
+        col_<i>.bin     raw little-endian codes for schema column i,
+                        in the minimal signed dtype holding
+                        [-1, arity] (the +1 leaves room for the
+                        overflow code the scanner redirects invalid
+                        rows to, so chunks load without widening)
+
+    Appends are positioned writes at ``rows * itemsize`` — they
+    overwrite any orphan bytes a previously torn append left — and the
+    manifest is replaced atomically *after* the columns land, so the
+    durable row count never includes a partial batch and concurrent
+    bounded readers never see rows move under them.
+    """
+
+    kind = "spill"
+
+    MANIFEST = "manifest.json"
+
+    def __init__(
+        self,
+        directory: PathLike,
+        schema: Schema,
+        rows: int,
+        segments: List[int],
+        chunk_rows: int,
+        wal_seq: int = 0,
+    ) -> None:
+        if chunk_rows < 1:
+            raise CubeError("chunk_rows must be positive")
+        _validate_backend_schema(schema)
+        self._dir = Path(directory)
+        self._schema = schema
+        self._rows = int(rows)
+        self._segments = list(segments)
+        self._chunk_rows = int(chunk_rows)
+        self._wal_seq = int(wal_seq)
+        self._names = list(schema.names)
+        self._dtypes: Dict[str, np.dtype] = {
+            attr.name: minimal_code_dtype(attr.arity)
+            for attr in schema
+        }
+        self._paths: Dict[str, Path] = {
+            name: self._dir / f"col_{i:03d}.bin"
+            for i, name in enumerate(self._names)
+        }
+        # Serialises appends and manifest writes; scans are lock-free
+        # (they read a frozen row bound over append-only files).
+        self._write_lock = threading.Lock()
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        directory: PathLike,
+        schema: Schema,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    ) -> "SpillBackend":
+        """Initialise an empty spill directory for ``schema``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        if (directory / cls.MANIFEST).exists():
+            raise CubeError(
+                f"{directory} already holds a spill; open() it instead"
+            )
+        backend = cls(directory, schema, 0, [], chunk_rows)
+        for path in backend._paths.values():
+            path.touch()
+        backend._write_manifest()
+        return backend
+
+    @classmethod
+    def from_dataset(
+        cls,
+        directory: PathLike,
+        dataset: Dataset,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    ) -> "SpillBackend":
+        """Create a spill and encode ``dataset`` into it as one segment."""
+        backend = cls.create(directory, dataset.schema, chunk_rows)
+        backend.append(dataset)
+        return backend
+
+    @classmethod
+    def open(cls, directory: PathLike) -> "SpillBackend":
+        """Open an existing spill directory (validates the manifest)."""
+        directory = Path(directory)
+        manifest_path = directory / cls.MANIFEST
+        try:
+            with manifest_path.open("r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            raise CubeError(
+                f"{directory} is not a spill directory (no manifest)"
+            ) from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CubeError(
+                f"unreadable spill manifest at {manifest_path}: {exc}"
+            ) from exc
+        if manifest.get("format") != 1:
+            raise CubeError(
+                f"unsupported spill manifest format "
+                f"{manifest.get('format')!r}"
+            )
+        schema = _schema_from_meta(manifest)
+        backend = cls(
+            directory,
+            schema,
+            int(manifest["rows"]),
+            [int(s) for s in manifest["segments"]],
+            int(manifest["chunk_rows"]),
+            wal_seq=int(manifest.get("wal_seq", 0)),
+        )
+        for name, dtype_name in manifest["dtypes"].items():
+            if np.dtype(dtype_name) != backend._dtypes[name]:
+                raise CubeError(
+                    f"spill column {name!r} dtype {dtype_name} does "
+                    f"not match the schema-derived "
+                    f"{backend._dtypes[name].name}"
+                )
+        for name, path in backend._paths.items():
+            expected = backend._rows * backend._dtypes[name].itemsize
+            if not path.exists() or path.stat().st_size < expected:
+                raise CubeError(
+                    f"spill column file {path.name} is shorter than "
+                    f"the manifest's {backend._rows} rows"
+                )
+        return backend
+
+    def _write_manifest(self) -> None:
+        manifest = dict(_schema_to_meta(self._schema))
+        manifest.update(
+            {
+                "format": 1,
+                "rows": self._rows,
+                "segments": self._segments,
+                "chunk_rows": self._chunk_rows,
+                "dtypes": {
+                    name: dtype.name
+                    for name, dtype in self._dtypes.items()
+                },
+                "wal_seq": self._wal_seq,
+            }
+        )
+        tmp = self._dir / (self.MANIFEST + ".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self._dir / self.MANIFEST)
+
+    # -- backend interface ----------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    @property
+    def chunk_rows(self) -> int:
+        return self._chunk_rows
+
+    def n_rows(self) -> int:
+        return self._rows
+
+    def wal_seq(self) -> int:
+        return self._wal_seq
+
+    def dataset_view(
+        self, end_row: Optional[int] = None
+    ) -> BackendDataset:
+        return BackendDataset(self._schema, self._bounded(end_row))
+
+    def spill_bytes(self) -> int:
+        return self._rows * sum(
+            dtype.itemsize for dtype in self._dtypes.values()
+        )
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "rows": self._rows,
+            "spill_bytes": self.spill_bytes(),
+            "segments": len(self._segments),
+            "chunk_rows": self._chunk_rows,
+            "path": str(self._dir),
+        }
+
+    def append(
+        self, batch: Dataset, wal_seq: Optional[int] = None
+    ) -> BackendDataset:
+        if batch.schema != self._schema:
+            raise CubeError(
+                "batch schema does not match the spill's schema"
+            )
+        with self._write_lock:
+            m = batch.n_rows
+            if m:
+                for name in self._names:
+                    dtype = self._dtypes[name]
+                    codes = np.ascontiguousarray(
+                        batch.column(name).astype(dtype)
+                    )
+                    with self._paths[name].open("r+b") as handle:
+                        handle.seek(self._rows * dtype.itemsize)
+                        handle.write(codes.tobytes())
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                self._rows += m
+                self._segments.append(m)
+            if wal_seq is not None:
+                self._wal_seq = max(self._wal_seq, int(wal_seq))
+            if m or wal_seq is not None:
+                self._write_manifest()
+            return BackendDataset(self._schema, self._rows)
+
+    def _load(self, name: str, start: int, stop: int) -> np.ndarray:
+        """One column's codes for rows ``[start, stop)`` (memmapped).
+
+        The mapping is released when the returned array is collected
+        at the end of the chunk iteration, so the scanner's resident
+        set is one window per touched column, not the whole file.
+        """
+        dtype = self._dtypes[name]
+        return np.memmap(
+            self._paths[name],
+            dtype=dtype,
+            mode="r",
+            offset=start * dtype.itemsize,
+            shape=(stop - start,),
+        )
+
+    def sweep(
+        self,
+        keys: Sequence[Sequence[str]],
+        end_row: Optional[int] = None,
+    ) -> List[RuleCube]:
+        canonical = self._validate_keys(keys)
+        rows = self._bounded(end_row)
+        trip(
+            SITE_BACKEND_SCAN,
+            backend=self.kind,
+            cubes=len(canonical),
+            rows=rows,
+        )
+        started = time.perf_counter()
+        cubes = self._scan(canonical, rows)
+        self._observe_scan(started, rows if canonical else 0)
+        return cubes
+
+    def _scan(
+        self, keys: List[Tuple[str, ...]], rows: int
+    ) -> List[RuleCube]:
+        """Chunk-major streaming count of every requested cube.
+
+        Per chunk, the class column's validity/safe codes are computed
+        once; each participating attribute gets its overflow-redirected
+        ``safe`` codes (native dtype) and pre-multiplied int64 ``tail``
+        once; each *leading* attribute of a pair gets its int64 ``head``
+        once.  Every requested cube is then one ``bincount`` into a
+        widened per-key accumulator — the same overflow-bin algebra as
+        :class:`PairCubeBuilder`, applied per chunk and summed exactly.
+        """
+        schema = self._schema
+        class_attr = schema.class_attribute
+        n_classes = class_attr.arity
+        if not keys:
+            return []
+        if rows == 0:
+            return [_zero_cube(schema, key) for key in keys]
+
+        short_keys = [k for k in keys if len(k) <= 2]
+        long_keys = [k for k in keys if len(k) > 2]
+        pair_names = sorted({n for k in short_keys for n in k})
+        long_names = sorted({n for k in long_keys for n in k})
+        max_arity = max(
+            (schema[n].arity for n in pair_names), default=0
+        )
+        radix = (max_arity + 1) * n_classes
+
+        acc: Dict[Tuple[str, ...], np.ndarray] = {}
+        for key in keys:
+            if len(key) == 0:
+                size = n_classes
+            elif len(key) == 1:
+                size = (schema[key[0]].arity + 1) * n_classes
+            elif len(key) == 2:
+                size = (schema[key[0]].arity + 1) * radix
+            else:
+                size = n_classes
+                for name in key:
+                    size *= schema[name].arity
+            acc[key] = np.zeros(size, dtype=np.int64)
+
+        pairs_by_lead: Dict[str, List[Tuple[str, ...]]] = {}
+        for key in short_keys:
+            if len(key) == 2:
+                pairs_by_lead.setdefault(key[0], []).append(key)
+
+        # Reused int64 scratch for the head+tail combine, so the pair
+        # loop allocates nothing proportional to the chunk size.
+        flat_scratch = np.empty(
+            min(self._chunk_rows, rows), dtype=np.int64
+        )
+
+        for start in range(0, rows, self._chunk_rows):
+            stop = min(start + self._chunk_rows, rows)
+            n = stop - start
+            class_codes = np.asarray(
+                self._load(schema.class_name, start, stop)
+            )
+            class_valid = class_codes >= 0
+            class_safe = class_codes.astype(np.int64)
+            class_safe[~class_valid] = 0
+
+            safes: Dict[str, np.ndarray] = {}
+            tails: Dict[str, np.ndarray] = {}
+            for name in pair_names:
+                arity = schema[name].arity
+                col = np.asarray(self._load(name, start, stop))
+                safe = col.copy()
+                safe[(col < 0) | ~class_valid] = arity
+                safes[name] = safe
+                tails[name] = safe.astype(np.int64) * n_classes + class_safe
+
+            for key in short_keys:
+                if len(key) == 0:
+                    acc[key] += np.bincount(
+                        class_codes[class_valid].astype(np.int64),
+                        minlength=n_classes,
+                    )
+                elif len(key) == 1:
+                    acc[key] += np.bincount(
+                        tails[key[0]], minlength=acc[key].size
+                    )
+            for lead, lead_keys in pairs_by_lead.items():
+                head = safes[lead].astype(np.int64)
+                head *= radix
+                for key in lead_keys:
+                    flat = flat_scratch[:n]
+                    np.add(head, tails[key[1]], out=flat)
+                    acc[key] += np.bincount(
+                        flat, minlength=acc[key].size
+                    )
+
+            if long_keys:
+                long_cols = {
+                    name: np.asarray(self._load(name, start, stop))
+                    for name in long_names
+                }
+                for key in long_keys:
+                    mask = class_valid.copy()
+                    for name in key:
+                        mask &= long_cols[name] >= 0
+                    flat = np.zeros(n, dtype=np.int64)
+                    for name in key:
+                        flat *= schema[name].arity
+                        flat += long_cols[name]
+                    flat *= n_classes
+                    flat += class_safe
+                    acc[key] += np.bincount(
+                        flat[mask], minlength=acc[key].size
+                    )
+
+        out: List[RuleCube] = []
+        for key in keys:
+            attrs = [schema[name] for name in key]
+            class_dim = n_classes
+            counts = acc[key]
+            if len(key) == 0:
+                shaped = counts
+            elif len(key) == 1:
+                shaped = np.ascontiguousarray(
+                    counts.reshape(-1, class_dim)[: attrs[0].arity]
+                )
+            elif len(key) == 2:
+                shaped = np.ascontiguousarray(
+                    counts.reshape(
+                        attrs[0].arity + 1, -1, class_dim
+                    )[: attrs[0].arity, : attrs[1].arity]
+                )
+            else:
+                dims = tuple(a.arity for a in attrs) + (class_dim,)
+                shaped = counts.reshape(dims)
+            out.append(RuleCube(attrs, class_attr, shaped))
+        return out
+
+
+class SqliteBackend(CountingBackend):
+    """Counts pushed down to a stdlib ``sqlite3`` database.
+
+    Rows live in one wide integer table; a cube read becomes::
+
+        SELECT "a", "b", "<class>", COUNT(*) FROM data
+        WHERE rid < ? AND "a" >= 0 AND "b" >= 0 AND "<class>" >= 0
+        GROUP BY "a", "b", "<class>"
+
+    so only non-zero cells cross the SQL boundary and the database's
+    executor owns the scan (the SHARQ setting: association-rule
+    workloads over data already resident in a relational store).  One
+    pass per cube — cube-major by construction, which is exactly the
+    scan order the chunk-major spill scanner exists to beat on bulk
+    sweeps (DESIGN.md §6j); its niche is data already in SQL.
+    """
+
+    kind = "sqlite"
+
+    def __init__(self, path: PathLike, schema: Schema) -> None:
+        _validate_backend_schema(schema)
+        for name in schema.names:
+            if '"' in name:
+                raise CubeError(
+                    f"attribute name {name!r} contains a double "
+                    "quote; sqlite identifiers cannot be escaped "
+                    "safely — rename the attribute"
+                )
+        self._path = Path(path)
+        self._schema = schema
+        # One shared connection guarded by a lock: the store's read
+        # paths may scan from several threads, and sqlite objects must
+        # not be used concurrently from threads they were not made on.
+        self._conn = sqlite3.connect(
+            str(self._path), check_same_thread=False
+        )
+        self._lock = threading.Lock()
+        self._rows = 0
+        self._segments = 0
+        self._wal_seq = 0
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, path: PathLike, schema: Schema
+    ) -> "SqliteBackend":
+        path = Path(path)
+        if path.exists() and path.stat().st_size > 0:
+            raise CubeError(
+                f"{path} already exists; open() it instead"
+            )
+        backend = cls(path, schema)
+        cols = ", ".join(
+            f'"{name}" INTEGER NOT NULL' for name in schema.names
+        )
+        with backend._lock:
+            cur = backend._conn.cursor()
+            cur.execute(
+                "CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT)"
+            )
+            cur.execute(
+                f"CREATE TABLE data (rid INTEGER PRIMARY KEY, {cols})"
+            )
+            cur.execute(
+                "INSERT INTO meta VALUES ('schema', ?)",
+                (json.dumps(_schema_to_meta(schema)),),
+            )
+            cur.execute("INSERT INTO meta VALUES ('rows', '0')")
+            cur.execute("INSERT INTO meta VALUES ('segments', '0')")
+            cur.execute("INSERT INTO meta VALUES ('wal_seq', '0')")
+            backend._conn.commit()
+        return backend
+
+    @classmethod
+    def from_dataset(
+        cls, path: PathLike, dataset: Dataset
+    ) -> "SqliteBackend":
+        backend = cls.create(path, dataset.schema)
+        backend.append(dataset)
+        return backend
+
+    @classmethod
+    def open(cls, path: PathLike) -> "SqliteBackend":
+        path = Path(path)
+        if not path.exists():
+            raise CubeError(f"{path} does not exist")
+        conn = sqlite3.connect(str(path))
+        try:
+            try:
+                rows = conn.execute(
+                    "SELECT key, value FROM meta"
+                ).fetchall()
+            except sqlite3.Error as exc:
+                raise CubeError(
+                    f"{path} is not a cube backend database: {exc}"
+                ) from exc
+        finally:
+            conn.close()
+        meta = dict(rows)
+        schema = _schema_from_meta(json.loads(meta["schema"]))
+        backend = cls(path, schema)
+        backend._rows = int(meta["rows"])
+        backend._segments = int(meta.get("segments", "0"))
+        backend._wal_seq = int(meta.get("wal_seq", "0"))
+        return backend
+
+    # -- backend interface ----------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def n_rows(self) -> int:
+        return self._rows
+
+    def wal_seq(self) -> int:
+        return self._wal_seq
+
+    def dataset_view(
+        self, end_row: Optional[int] = None
+    ) -> BackendDataset:
+        return BackendDataset(self._schema, self._bounded(end_row))
+
+    def describe(self) -> Dict[str, object]:
+        try:
+            db_bytes = self._path.stat().st_size
+        except OSError:
+            db_bytes = 0
+        return {
+            "kind": self.kind,
+            "rows": self._rows,
+            "spill_bytes": db_bytes,
+            "segments": self._segments,
+            "path": str(self._path),
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def append(
+        self, batch: Dataset, wal_seq: Optional[int] = None
+    ) -> BackendDataset:
+        if batch.schema != self._schema:
+            raise CubeError(
+                "batch schema does not match the database's schema"
+            )
+        m = batch.n_rows
+        with self._lock:
+            new_rows = self._rows + m
+            new_segments = self._segments + (1 if m else 0)
+            new_wal_seq = self._wal_seq
+            if wal_seq is not None:
+                new_wal_seq = max(new_wal_seq, int(wal_seq))
+            cur = self._conn.cursor()
+            try:
+                if m:
+                    names = list(self._schema.names)
+                    cols = ", ".join(f'"{n}"' for n in names)
+                    marks = ", ".join("?" for _ in range(len(names) + 1))
+                    rids = range(self._rows, new_rows)
+                    columns = [
+                        batch.column(n).tolist() for n in names
+                    ]
+                    cur.executemany(
+                        f"INSERT INTO data (rid, {cols}) "
+                        f"VALUES ({marks})",
+                        zip(rids, *columns),
+                    )
+                cur.execute(
+                    "UPDATE meta SET value = ? WHERE key = 'rows'",
+                    (str(new_rows),),
+                )
+                cur.execute(
+                    "UPDATE meta SET value = ? WHERE key = 'segments'",
+                    (str(new_segments),),
+                )
+                cur.execute(
+                    "UPDATE meta SET value = ? WHERE key = 'wal_seq'",
+                    (str(new_wal_seq),),
+                )
+                self._conn.commit()
+            except BaseException:
+                self._conn.rollback()
+                raise
+            self._rows = new_rows
+            self._segments = new_segments
+            self._wal_seq = new_wal_seq
+            return BackendDataset(self._schema, self._rows)
+
+    def sweep(
+        self,
+        keys: Sequence[Sequence[str]],
+        end_row: Optional[int] = None,
+    ) -> List[RuleCube]:
+        canonical = self._validate_keys(keys)
+        rows = self._bounded(end_row)
+        trip(
+            SITE_BACKEND_SCAN,
+            backend=self.kind,
+            cubes=len(canonical),
+            rows=rows,
+        )
+        started = time.perf_counter()
+        cubes = [self._group_by(key, rows) for key in canonical]
+        # One full pass per cube: the honest cost of cube-major SQL.
+        self._observe_scan(started, rows * len(canonical))
+        return cubes
+
+    def _group_by(self, key: Tuple[str, ...], rows: int) -> RuleCube:
+        schema = self._schema
+        class_attr = schema.class_attribute
+        attrs = [schema[name] for name in key]
+        dims = tuple(a.arity for a in attrs) + (class_attr.arity,)
+        counts = np.zeros(dims, dtype=np.int64)
+        if rows:
+            names = list(key) + [schema.class_name]
+            cols = ", ".join(f'"{n}"' for n in names)
+            valid = " AND ".join(f'"{n}" >= 0' for n in names)
+            sql = (
+                f"SELECT {cols}, COUNT(*) FROM data "
+                f"WHERE rid < ? AND {valid} GROUP BY {cols}"
+            )
+            with self._lock:
+                fetched = self._conn.execute(sql, (rows,)).fetchall()
+            for row in fetched:
+                counts[tuple(row[:-1])] = row[-1]
+        return RuleCube(attrs, class_attr, counts)

@@ -35,7 +35,22 @@ __all__ = [
     "build_all_3d",
     "class_cube",
     "PairCubeBuilder",
+    "minimal_code_dtype",
 ]
+
+
+def minimal_code_dtype(max_code: int) -> np.dtype:
+    """Smallest *signed* integer dtype holding ``[-1, max_code]``.
+
+    Signed on purpose: ``MISSING`` is −1, and mixing unsigned arrays
+    with signed int64 promotes to float64 in numpy, which would
+    silently turn exact counts into rounded ones.  Callers widen to
+    int64 only inside the mixed-radix combine.
+    """
+    for dtype in (np.int8, np.int16, np.int32):
+        if max_code <= np.iinfo(dtype).max:
+            return np.dtype(dtype)
+    return np.dtype(np.int64)
 
 
 def build_cube(dataset: Dataset, attributes: Sequence[str]) -> RuleCube:
@@ -153,11 +168,22 @@ class PairCubeBuilder:
                 )
             col = dataset.column(name)
             self._attrs[name] = attr
+            # Resident in the minimal signed dtype holding the codes
+            # plus the overflow code ``arity`` — int16 covers every
+            # shipped schema, roughly halving builder memory at high
+            # attribute counts.  The int64 intermediates below are
+            # transient; only the narrow arrays survive __init__.
+            safe_dtype = minimal_code_dtype(attr.arity)
+            tail_dtype = minimal_code_dtype(
+                (attr.arity + 1) * self._n_classes - 1
+            )
             safe = np.where(
                 (col >= 0) & class_valid, col, attr.arity
             )
-            self._safe[name] = safe
-            self._tail[name] = safe * self._n_classes + class_safe
+            self._safe[name] = safe.astype(safe_dtype)
+            self._tail[name] = (
+                safe * self._n_classes + class_safe
+            ).astype(tail_dtype)
             max_arity = max(max_arity, attr.arity)
         #: Shared trailing radix: room for any attribute's codes plus
         #: its overflow bin, so one pre-multiplied head per attribute
@@ -167,12 +193,17 @@ class PairCubeBuilder:
     def _head_of(self, name: str) -> np.ndarray:
         """``safe * radix``, built on first use as the leading axis.
 
+        This is where the narrow ``safe`` codes widen to int64: the
+        pre-multiplied head can exceed the storage dtype, and the
+        ``head + tail`` combine in :meth:`pair_cube` then promotes the
+        narrow tail to int64 for free.
+
         Benign under concurrency: two threads may both compute it, the
         results are identical and dict assignment is atomic.
         """
         head = self._head.get(name)
         if head is None:
-            head = self._safe[name] * self._radix
+            head = self._safe[name].astype(np.int64) * self._radix
             self._head[name] = head
         return head
 

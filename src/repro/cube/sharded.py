@@ -438,10 +438,13 @@ class ShardedCubeStore:
         Called by the engine when the store is registered; duck-typed
         (the cube layer must stay importable without the service
         stack), so ``metrics`` only needs ``shard_fanout`` /
-        ``shard_merge_seconds`` histogram attributes.
+        ``shard_merge_seconds`` histogram attributes.  Forwarded to
+        every shard so backend-backed shards time their scans too.
         """
         self._metrics = metrics
         self._metrics_store = store_name
+        for shard in self._shards:
+            shard.bind_metrics(metrics, store_name)
 
     def bind_wal(self, wal: object) -> None:
         """Bind one write-ahead log per shard (one WAL per shard).
@@ -689,6 +692,7 @@ class ShardedCubeStore:
         batch: Dataset,
         workers: Optional[int] = None,
         executor: Optional[Executor] = None,
+        wal_seq: Optional[int] = None,
     ) -> int:
         """Fold a batch into the owning shard(s) without blocking reads.
 
@@ -711,7 +715,10 @@ class ShardedCubeStore:
             updated = 0
             for index, sub in assignments:
                 updated += self._shards[index].absorb(
-                    sub, workers=workers, executor=executor
+                    sub,
+                    workers=workers,
+                    executor=executor,
+                    wal_seq=wal_seq,
                 )
             return updated
 
@@ -756,6 +763,36 @@ class ShardedCubeStore:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    def backend_info(self) -> Dict[str, object]:
+        """Aggregate counting-backend block across shards.
+
+        One spill directory (or database, or append buffer) per shard;
+        the aggregate reports the common kind, total rows, summed
+        spill bytes and segments, and the shard count.  Heterogeneous
+        shard kinds report ``kind: "mixed"`` (nothing constructs that
+        today, but the report must not lie if someone does).
+        """
+        infos = [shard.backend_info() for shard in self._shards]
+        kinds = {str(info.get("kind", "memory")) for info in infos}
+        out: Dict[str, object] = {
+            "kind": kinds.pop() if len(kinds) == 1 else "mixed",
+            "rows": sum(int(info.get("rows", 0)) for info in infos),
+            "shards": len(infos),
+        }
+        for summed in ("spill_bytes", "segments"):
+            if any(summed in info for info in infos):
+                out[summed] = sum(
+                    int(info.get(summed, 0)) for info in infos
+                )
+        chunks = {
+            info["chunk_rows"]
+            for info in infos
+            if "chunk_rows" in info
+        }
+        if len(chunks) == 1:
+            out["chunk_rows"] = chunks.pop()
+        return out
 
     def shard_info(self) -> List[Dict[str, object]]:
         """Per-shard breakdown for ``GET /cubes``: one dict per shard

@@ -128,11 +128,23 @@ class CubeStore:
 
     def __init__(
         self,
-        dataset: Dataset,
+        dataset: Optional[Dataset] = None,
         attributes: Optional[Sequence[str]] = None,
         max_cells: Optional[int] = DEFAULT_MAX_CELLS,
+        backend: Optional[object] = None,
     ) -> None:
-        schema = dataset.schema
+        if backend is not None:
+            if dataset is not None:
+                raise CubeError(
+                    "pass either a dataset or a counting backend, "
+                    "not both (the backend owns the rows)"
+                )
+            dataset = backend.dataset_view()  # type: ignore[attr-defined]
+            schema = backend.schema  # type: ignore[attr-defined]
+        elif dataset is None:
+            raise CubeError("a store needs a dataset or a backend")
+        else:
+            schema = dataset.schema
         if attributes is None:
             attributes = [a.name for a in schema.condition_attributes]
         else:
@@ -153,7 +165,12 @@ class CubeStore:
         self._schema = schema
         self._attributes: Tuple[str, ...] = tuple(attributes)
         self._max_cells = max_cells
-        self._append = AppendBuffer(dataset)
+        # Row ownership: a backend store's rows live in the backend
+        # (possibly on disk); snapshots then carry a dataset *view*
+        # (schema + frozen row count) and every count is bounded by
+        # it.  A plain store keeps the classic AppendBuffer.
+        self._backend = backend
+        self._append = None if backend is not None else AppendBuffer(dataset)
         self._snapshot = _Snapshot({}, dataset, 0)
         # Guards cache inserts, the _building latch table and the
         # snapshot swap.  Never held across cube counting.
@@ -172,6 +189,51 @@ class CubeStore:
         # externally published cubes and holds no rows, so a lazy
         # build would silently count zeros — forbid it instead.
         self._remote = False
+
+    @classmethod
+    def from_backend(
+        cls,
+        backend: object,
+        attributes: Optional[Sequence[str]] = None,
+        max_cells: Optional[int] = DEFAULT_MAX_CELLS,
+    ) -> "CubeStore":
+        """A store whose rows live in a counting backend.
+
+        ``backend`` is any :class:`~repro.cube.backend.CountingBackend`
+        — the in-memory one for the classic behaviour, the columnar
+        spill for out-of-core data, or the sqlite push-down.  The
+        store's snapshot/caching/absorb machinery is identical either
+        way; only the counting pass changes.
+        """
+        return cls(
+            attributes=attributes, max_cells=max_cells, backend=backend
+        )
+
+    @property
+    def backend(self) -> Optional[object]:
+        """The counting backend, or ``None`` for a plain store."""
+        return self._backend
+
+    def backend_info(self) -> Dict[str, object]:
+        """Backend block for ``describe_stores`` / ``GET /cubes``."""
+        if self._backend is None:
+            return {
+                "kind": "memory",
+                "rows": self._current().dataset.n_rows,
+            }
+        return self._backend.describe()  # type: ignore[attr-defined]
+
+    def bind_metrics(self, metrics: object, store_name: str) -> None:
+        """Attach a metrics panel; forwarded to the backend's scans.
+
+        Called by the engine when the store is registered; duck-typed
+        so the cube layer stays importable without the service stack.
+        A plain store has no backend scans to time — no-op.
+        """
+        if self._backend is not None:
+            self._backend.bind_metrics(  # type: ignore[attr-defined]
+                metrics, store_name
+            )
 
     # ------------------------------------------------------------------
     # Snapshot access
@@ -334,6 +396,22 @@ class CubeStore:
     # Reads
     # ------------------------------------------------------------------
 
+    def _count_cube(
+        self, snapshot: _Snapshot, canonical: Tuple[str, ...]
+    ) -> RuleCube:
+        """Count one cube from exactly the snapshot's rows.
+
+        Plain store: the snapshot's dataset prefix view.  Backend
+        store: the backend, bounded by the snapshot's frozen row count
+        — appends only ever write beyond any published bound, so the
+        read is consistent without the snapshot pinning a single row.
+        """
+        if self._backend is None:
+            return build_cube(snapshot.dataset, canonical)
+        return self._backend.count(  # type: ignore[attr-defined]
+            canonical, end_row=snapshot.dataset.n_rows
+        )
+
     def _get_or_build(
         self, snapshot: _Snapshot, canonical: Tuple[str, ...]
     ) -> RuleCube:
@@ -378,11 +456,11 @@ class CubeStore:
                         break
             if stale:
                 with span("cube.build", key=list(canonical)):
-                    return build_cube(snapshot.dataset, canonical)
+                    return self._count_cube(snapshot, canonical)
             latch.wait()
         try:
             with span("cube.build", key=list(canonical)):
-                cube = build_cube(snapshot.dataset, canonical)
+                cube = self._count_cube(snapshot, canonical)
             with self._lock:
                 if snapshot is self._snapshot:
                     snapshot.cache[canonical] = cube
@@ -512,6 +590,26 @@ class CubeStore:
         missing = self._missing_keys(include_pairs)
         if not missing:
             return 0
+        if self._backend is not None:
+            # One chunk-major sweep counts every missing cube in a
+            # single pass over the rows — the whole point of the
+            # backend seam; ``workers`` is irrelevant (the scan is one
+            # sequential read, not a per-cube fan-out).
+            snapshot = self._current()
+            missing = [k for k in missing if k not in snapshot.cache]
+            for key in missing:
+                self._check_budget(key)
+            cubes = self._backend.sweep(  # type: ignore[attr-defined]
+                missing, end_row=snapshot.dataset.n_rows
+            )
+            built = 0
+            with self._lock:
+                if self._snapshot is snapshot:
+                    for key, cube in zip(missing, cubes):
+                        if key not in snapshot.cache:
+                            snapshot.cache[key] = cube
+                            built += 1
+            return built
         if workers is None or workers <= 1:
             built = 0
             for key in missing:
@@ -568,6 +666,7 @@ class CubeStore:
         batch: Dataset,
         workers: Optional[int] = None,
         executor: Optional[Executor] = None,
+        wal_seq: Optional[int] = None,
     ) -> int:
         """Fold a new batch of records into every materialised cube.
 
@@ -590,6 +689,13 @@ class CubeStore:
         A zero-row batch is a no-op: no generation bump, no cube
         touched, returns 0.
 
+        ``wal_seq`` is the batch's already-known log sequence number
+        when it arrives *from* WAL replay (no log is bound then);
+        backend stores stamp it into their durable row storage so the
+        next restart's replay can skip records the rows already
+        contain.  Live absorbs leave it ``None`` — the bound WAL's
+        append assigns the number.
+
         Returns the number of cubes updated.
         """
         self._validate_batch(batch)
@@ -610,7 +716,9 @@ class CubeStore:
                 # this point leaves a logged-but-unapplied record that
                 # replay applies on restart (at-least-once for batches
                 # whose acknowledgement was lost).
-                self._wal.append(batch, shard=self._wal_shard)
+                seq = self._wal.append(batch, shard=self._wal_shard)
+                if isinstance(seq, int):
+                    wal_seq = seq
             merged: Dict[Tuple[str, ...], RuleCube] = {}
             if keys:
                 names = sorted({name for key in keys for name in key})
@@ -631,7 +739,18 @@ class CubeStore:
                         merged = dict(pool.map(_merge, keys))
                 else:
                     merged = dict(map(_merge, keys))
-            new_dataset = self._append.append(batch)
+            if self._backend is not None:
+                # The rows become durable (spill/sqlite) or buffered
+                # (memory) here, stamped with the batch's WAL sequence
+                # number; a failure leaves the old snapshot serving
+                # and — for durable backends — a torn append that the
+                # manifest never advanced over.  The returned view
+                # carries the new frozen row bound.
+                new_dataset = self._backend.append(  # type: ignore[attr-defined]
+                    batch, wal_seq=wal_seq
+                )
+            else:
+                new_dataset = self._append.append(batch)
             with self._lock:
                 with span(
                     "ingest.swap",

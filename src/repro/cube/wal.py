@@ -782,7 +782,14 @@ def replay_into(
     for record in wal.replay(  # type: ignore[attr-defined]
         schema, start_after=start_after, report=report
     ):
-        store.absorb(record.batch)  # type: ignore[attr-defined]
+        # Hand the record's own sequence number to absorb: a store
+        # whose rows are durable (spill/sqlite backends) stamps it
+        # into the row storage, so the *next* restart's replay skips
+        # records the rows already contain instead of appending them
+        # twice.
+        store.absorb(  # type: ignore[attr-defined]
+            record.batch, wal_seq=record.seq
+        )
     return report
 
 

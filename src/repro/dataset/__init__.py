@@ -27,7 +27,7 @@ from .discretize import (
     interval_labels,
 )
 from .sampling import random_sample, stratified_sample, unbalanced_sample
-from .io import infer_schema, read_csv, write_csv
+from .io import infer_schema, iter_csv_chunks, read_csv, write_csv
 from .arff import read_arff, write_arff
 from .ops import drop_attributes, merge_values, reduce_arity
 
@@ -53,6 +53,7 @@ __all__ = [
     "random_sample",
     "stratified_sample",
     "infer_schema",
+    "iter_csv_chunks",
     "read_csv",
     "write_csv",
     "read_arff",

@@ -14,14 +14,22 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+import numpy as np
 
 from .schema import Attribute, CATEGORICAL, CONTINUOUS, Schema
 from .table import Dataset, DatasetError
 
-__all__ = ["read_csv", "write_csv", "infer_schema"]
+__all__ = ["read_csv", "write_csv", "infer_schema", "iter_csv_chunks"]
 
 PathLike = Union[str, Path]
+
+#: Default rows per yielded chunk for streaming ingestion.  Large
+#: enough that the vectorised per-chunk encode dominates the Python
+#: row loop, small enough that the transient decoded-string block
+#: stays tens of megabytes even for wide files.
+DEFAULT_CSV_CHUNK_ROWS = 262_144
 
 
 def _is_float(token: str) -> bool:
@@ -91,19 +99,28 @@ def infer_schema(
     return Schema(attributes, class_attribute)
 
 
-def read_csv(
+def iter_csv_chunks(
     path: PathLike,
-    class_attribute: str,
-    schema: Optional[Schema] = None,
+    schema: Schema,
+    chunk_rows: int = DEFAULT_CSV_CHUNK_ROWS,
     missing_token: str = "?",
     delimiter: str = ",",
-    max_categorical_arity: int = 64,
-) -> Dataset:
-    """Load a delimited text file into a :class:`Dataset`.
+) -> Iterator[Dataset]:
+    """Stream a CSV file as encoded :class:`Dataset` chunks.
 
-    When ``schema`` is omitted the file is scanned once to infer one
-    (see :func:`infer_schema`) and once more to code the rows.
+    The streaming face of :func:`read_csv`: at most ``chunk_rows`` raw
+    rows are resident at a time, each chunk is encoded with the same
+    vectorised per-column LUT pass :meth:`Dataset.from_rows` uses, and
+    the file is read exactly once front to back.  This is what lets
+    the spill encoder and ``repro serve`` warm-start from files larger
+    than memory — the raw text never materialises whole.
+
+    ``schema`` is required (streaming cannot infer domains it has not
+    seen yet); the file's header must match the schema's column order.
+    A header-only file yields no chunks.
     """
+    if chunk_rows < 1:
+        raise DatasetError("chunk_rows must be positive")
     path = Path(path)
     with path.open(newline="") as handle:
         reader = csv.reader(handle, delimiter=delimiter)
@@ -111,30 +128,85 @@ def read_csv(
             header = next(reader)
         except StopIteration:
             raise DatasetError(f"{path} is empty") from None
-        rows = [tuple(r) for r in reader]
-
-    if schema is None:
-        schema = infer_schema(
-            header,
-            rows,
-            class_attribute,
-            missing_token=missing_token,
-            max_categorical_arity=max_categorical_arity,
-        )
-    else:
         if list(header) != list(schema.names):
             raise DatasetError(
                 "file header does not match the provided schema"
             )
+        block: List[tuple] = []
+        for row in reader:
+            block.append(tuple(row))
+            if len(block) >= chunk_rows:
+                yield Dataset.from_rows(
+                    schema, block, missing_token=missing_token
+                )
+                block = []
+        if block:
+            yield Dataset.from_rows(
+                schema, block, missing_token=missing_token
+            )
+
+
+def read_csv(
+    path: PathLike,
+    class_attribute: str,
+    schema: Optional[Schema] = None,
+    missing_token: str = "?",
+    delimiter: str = ",",
+    max_categorical_arity: int = 64,
+    chunk_rows: int = DEFAULT_CSV_CHUNK_ROWS,
+) -> Dataset:
+    """Load a delimited text file into a :class:`Dataset`.
+
+    With a ``schema``, the file streams through
+    :func:`iter_csv_chunks` in one pass — the raw text is never whole
+    in memory, only the final coded columns are.  Without one, a
+    single materialised pass is shared between :func:`infer_schema`
+    and the encode (the file is read once either way).
+    """
+    path = Path(path)
+    if schema is not None:
         if schema.class_name != class_attribute:
             raise DatasetError(
                 "class_attribute disagrees with the provided schema"
             )
+        chunks = list(
+            iter_csv_chunks(
+                path,
+                schema,
+                chunk_rows=chunk_rows,
+                missing_token=missing_token,
+                delimiter=delimiter,
+            )
+        )
+        if not chunks:
+            return Dataset.empty(schema)
+        if len(chunks) == 1:
+            return chunks[0]
+        columns = {
+            name: np.concatenate(
+                [chunk.column(name) for chunk in chunks]
+            )
+            for name in schema.names
+        }
+        return Dataset.from_columns(schema, columns)
 
-    # Reorder row fields to schema order (they match header order here).
-    order = [header.index(name) for name in schema.names]
-    reordered = ([row[i] for i in order] for row in rows)
-    return Dataset.from_rows(schema, reordered, missing_token=missing_token)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DatasetError(f"{path} is empty") from None
+        rows = [tuple(r) for r in reader]
+    # One materialised pass, shared: inference walks ``rows`` and the
+    # encode below reuses the same list instead of re-reading the file.
+    schema = infer_schema(
+        header,
+        rows,
+        class_attribute,
+        missing_token=missing_token,
+        max_categorical_arity=max_categorical_arity,
+    )
+    return Dataset.from_rows(schema, rows, missing_token=missing_token)
 
 
 def write_csv(

@@ -702,6 +702,11 @@ class ComparisonEngine:
             shard_info = getattr(m.store, "shard_info", None)
             if callable(shard_info):
                 entry["shards"] = shard_info()
+            # Counting-backend block (kind, rows, spill bytes, chunk
+            # config) — duck-typed like the rest.
+            backend_info = getattr(m.store, "backend_info", None)
+            if callable(backend_info):
+                entry["backend"] = backend_info()
             retention = getattr(m.store, "retention_info", None)
             if callable(retention):
                 entry["retention"] = retention()

@@ -551,6 +551,18 @@ class ServiceMetrics:
             "repro_wal_replayed_records_total",
             "WAL records replayed into a store at startup, by store.",
         )
+        self.backend_scan_seconds = self.registry.histogram(
+            "repro_backend_scan_seconds",
+            "Wall-clock time of one counting-backend scan (a lazy "
+            "cube count or a precompute sweep), by store and backend "
+            "kind, seconds.",
+        )
+        self.backend_rows_scanned = self.registry.counter(
+            "repro_backend_rows_scanned_total",
+            "Rows read by counting-backend scans, by store and "
+            "backend kind; chunk-major sweeps count the row prefix "
+            "once per sweep, cube-major backends once per cube.",
+        )
         self.ingest_backlog = self.registry.gauge(
             "repro_ingest_backlog",
             "Ingest batches admitted but not yet absorbed, by store; "

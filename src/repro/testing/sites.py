@@ -37,6 +37,7 @@ __all__ = [
     "SITE_PERSIST_LOAD",
     "SITE_WAL_APPEND",
     "SITE_WAL_REPLAY",
+    "SITE_BACKEND_SCAN",
     "trip",
     "install",
     "uninstall",
@@ -52,6 +53,7 @@ SITE_HTTP_HANDLER = "http.handler"
 SITE_PERSIST_LOAD = "persist.load"
 SITE_WAL_APPEND = "wal.append"
 SITE_WAL_REPLAY = "wal.replay"
+SITE_BACKEND_SCAN = "backend.scan"
 
 #: Every site the production code declares, for validation and docs.
 SITES: Tuple[str, ...] = (
@@ -63,6 +65,7 @@ SITES: Tuple[str, ...] = (
     SITE_PERSIST_LOAD,
     SITE_WAL_APPEND,
     SITE_WAL_REPLAY,
+    SITE_BACKEND_SCAN,
 )
 
 _lock = threading.Lock()

@@ -1,0 +1,551 @@
+"""Out-of-core counting backends vs the in-memory reference.
+
+The tentpole claim: the spill (columnar on-disk, chunk-major scan) and
+sqlite (GROUP-BY push-down) backends are *bit-exact* substitutes for
+counting in RAM.  This battery pins that over 50 seeded random data
+sets, adversarial chunk boundaries (1, 7, n-1, past-the-end), MISSING
+codes, zero-row tables, and the ingest path (absorb after a spill
+append).  It also covers the operational surface: the ``backend.scan``
+fault site degrades to the typed 503 / breaker contract, cached cubes
+keep serving while scans fail, ``describe_stores`` reports the backend
+block, and the scan metrics appear in the exposition.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.cube import CubeStore, build_cube
+from repro.cube.backend import (
+    InMemoryBackend,
+    SpillBackend,
+    SqliteBackend,
+)
+from repro.cube.rulecube import CubeError
+from repro.cube.wal import WriteAheadLog, replay_into
+from repro.dataset import Attribute, Dataset, Schema, SchemaError
+from repro.service import (
+    ComparisonEngine,
+    ComparisonHTTPServer,
+    ServiceConfig,
+)
+from repro.testing import FaultInjected, FaultPlan, FaultRule
+from repro.testing.datagen import random_dataset
+from repro.testing.sites import SITE_BACKEND_SCAN
+from repro.synth import CallLogConfig, generate_call_logs
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the image
+    HAVE_HYPOTHESIS = False
+
+BASE_SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
+N_DATASETS = 50
+
+
+def _with_missing(data: Dataset, seed: int, frac: float = 0.08):
+    """Flip a fraction of condition-attribute cells to MISSING (-1)."""
+    rng = np.random.default_rng(seed)
+    columns = {}
+    for name in data.schema.names:
+        col = data.column(name).copy()
+        if name != data.schema.class_name and data.n_rows:
+            hit = rng.random(data.n_rows) < frac
+            col[hit] = -1
+        columns[name] = col
+    return Dataset.from_columns(data.schema, columns)
+
+
+def _all_keys(schema: Schema):
+    """(), every single, every pair, and one 3-attribute key."""
+    names = [a.name for a in schema.condition_attributes]
+    keys = [()]
+    keys += [(n,) for n in names]
+    keys += [
+        (a, b)
+        for i, a in enumerate(names)
+        for b in names[i + 1:]
+    ]
+    if len(names) >= 3:
+        keys.append(tuple(names[:3]))
+    return keys
+
+
+def _assert_exact(backend, data: Dataset, keys):
+    got = backend.sweep(keys)
+    for key, cube in zip(keys, got):
+        want = build_cube(data, key)
+        assert cube.counts.dtype == np.int64
+        assert np.array_equal(cube.counts, want.counts), (
+            backend.kind,
+            key,
+        )
+
+
+def make_service_data(seed: int = 11, n_records: int = 4000):
+    return generate_call_logs(
+        CallLogConfig(
+            n_records=n_records,
+            n_phone_models=3,
+            n_noise_attributes=2,
+            include_signal_strength=False,
+            seed=seed,
+        )
+    )
+
+
+COMPARE = {
+    "pivot": "PhoneModel",
+    "value_a": "ph1",
+    "value_b": "ph2",
+    "target_class": "dropped",
+}
+
+
+def http_call(url: str, payload=None):
+    body = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return (
+                response.status,
+                dict(response.headers),
+                response.read().decode("utf-8"),
+            )
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers or {}), exc.read().decode(
+            "utf-8"
+        )
+
+
+# ----------------------------------------------------------------------
+# 50-seed differentials: spill and sqlite vs the raw reference
+# ----------------------------------------------------------------------
+
+
+class TestBackendDifferentials:
+    def test_spill_and_sqlite_match_reference_over_seeds(
+        self, tmp_path
+    ):
+        chunk_cycle = (7, 64, 1000)
+        for i in range(N_DATASETS):
+            seed = BASE_SEED * 1_000_000 + i
+            data = _with_missing(random_dataset(seed), seed)
+            keys = _all_keys(data.schema)
+            spill = SpillBackend.from_dataset(
+                tmp_path / f"sp{i}",
+                data,
+                chunk_rows=chunk_cycle[i % len(chunk_cycle)],
+            )
+            _assert_exact(spill, data, keys)
+            spill.close()
+            lite = SqliteBackend.from_dataset(
+                tmp_path / f"db{i}.sqlite", data
+            )
+            _assert_exact(lite, data, keys)
+            lite.close()
+
+    def test_memory_backend_matches_reference(self, tmp_path):
+        for i in range(10):
+            seed = BASE_SEED * 1_000_000 + i
+            data = _with_missing(random_dataset(seed), seed)
+            _assert_exact(
+                InMemoryBackend(data), data, _all_keys(data.schema)
+            )
+
+    def test_reopened_spill_recounts_identically(self, tmp_path):
+        data = _with_missing(random_dataset(BASE_SEED + 3), 3)
+        keys = _all_keys(data.schema)
+        SpillBackend.from_dataset(tmp_path / "sp", data).close()
+        _assert_exact(SpillBackend.open(tmp_path / "sp"), data, keys)
+        SqliteBackend.from_dataset(
+            tmp_path / "db.sqlite", data
+        ).close()
+        _assert_exact(
+            SqliteBackend.open(tmp_path / "db.sqlite"), data, keys
+        )
+
+
+class TestChunkBoundaries:
+    """The scanner must be exact at every adversarial chunk size."""
+
+    def test_chunk_sizes_do_not_change_counts(self, tmp_path):
+        data = _with_missing(random_dataset(BASE_SEED + 7), 7)
+        n = data.n_rows
+        keys = _all_keys(data.schema)
+        for chunk_rows in (1, 7, n - 1, n, n + 10):
+            backend = SpillBackend.from_dataset(
+                tmp_path / f"c{chunk_rows}", data,
+                chunk_rows=chunk_rows,
+            )
+            _assert_exact(backend, data, keys)
+            backend.close()
+
+    def test_end_row_bound_freezes_the_prefix(self, tmp_path):
+        data = random_dataset(BASE_SEED + 9, n_rows=300)
+        backend = SpillBackend.from_dataset(
+            tmp_path / "sp", data, chunk_rows=64
+        )
+        prefix = data.take(np.arange(150))
+        key = ("A0", "A1")
+        got = backend.count(key, end_row=150)
+        assert np.array_equal(
+            got.counts, build_cube(prefix, key).counts
+        )
+
+
+class TestEdgeShapes:
+    def test_zero_row_dataset(self, tmp_path):
+        schema = Schema(
+            [
+                Attribute("A", values=("x", "y")),
+                Attribute("C", values=("n", "p")),
+            ],
+            class_attribute="C",
+        )
+        empty = Dataset.empty(schema)
+        for backend in (
+            SpillBackend.from_dataset(tmp_path / "sp", empty),
+            SqliteBackend.from_dataset(tmp_path / "db.sqlite", empty),
+            InMemoryBackend(empty),
+        ):
+            cube = backend.count(("A",))
+            assert cube.counts.shape == (2, 2)
+            assert cube.counts.sum() == 0
+
+    def test_absorb_after_spill_append(self, tmp_path):
+        data = _with_missing(random_dataset(BASE_SEED + 21), 21)
+        cut = data.n_rows // 3
+        first = data.take(np.arange(cut))
+        backend = SpillBackend.from_dataset(
+            tmp_path / "sp", first, chunk_rows=32
+        )
+        store = CubeStore.from_backend(backend)
+        store.precompute()
+        for start in range(cut, data.n_rows, 57):
+            stop = min(start + 57, data.n_rows)
+            store.absorb(data.take(np.arange(start, stop)))
+        for key in _all_keys(data.schema):
+            got = store.cube(key) if key else store.cube(())
+            assert np.array_equal(
+                got.counts, build_cube(data, key).counts
+            ), key
+        info = store.backend_info()
+        assert info["kind"] == "spill"
+        assert info["rows"] == data.n_rows
+        assert info["segments"] >= 2
+
+    def test_key_validation(self, tmp_path):
+        data = random_dataset(BASE_SEED + 2, n_rows=50)
+        backend = SpillBackend.from_dataset(tmp_path / "sp", data)
+        with pytest.raises(SchemaError):
+            backend.count(("NoSuch",))
+        with pytest.raises(CubeError):
+            backend.count(("C",))  # class attribute
+        with pytest.raises(CubeError):
+            backend.count(("A0", "A0"))  # duplicate
+
+
+@pytest.mark.skipif(
+    not HAVE_HYPOTHESIS, reason="hypothesis not installed"
+)
+class TestPropertyExactness:
+    @staticmethod
+    def _dataset(draw):
+        n_rows = draw(st.integers(min_value=0, max_value=40))
+        arities = draw(
+            st.lists(
+                st.integers(min_value=1, max_value=4),
+                min_size=2,
+                max_size=3,
+            )
+        )
+        n_classes = draw(st.integers(min_value=1, max_value=3))
+        attrs = [
+            Attribute(
+                f"A{i}", values=tuple(f"v{j}" for j in range(k))
+            )
+            for i, k in enumerate(arities)
+        ]
+        attrs.append(
+            Attribute(
+                "C", values=tuple(f"c{j}" for j in range(n_classes))
+            )
+        )
+        schema = Schema(attrs, class_attribute="C")
+        columns = {}
+        for i, k in enumerate(arities):
+            columns[f"A{i}"] = np.array(
+                draw(
+                    st.lists(
+                        st.integers(min_value=-1, max_value=k - 1),
+                        min_size=n_rows,
+                        max_size=n_rows,
+                    )
+                ),
+                dtype=np.int64,
+            )
+        columns["C"] = np.array(
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=n_classes - 1),
+                    min_size=n_rows,
+                    max_size=n_rows,
+                )
+            ),
+            dtype=np.int64,
+        )
+        return Dataset.from_columns(schema, columns)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_spill_scan_equals_build_cube(self, data):
+        import tempfile
+        from pathlib import Path
+
+        table = self._dataset(data.draw)
+        chunk_rows = data.draw(
+            st.integers(min_value=1, max_value=50)
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            backend = SpillBackend.from_dataset(
+                Path(tmp) / "sp", table, chunk_rows=chunk_rows
+            )
+            try:
+                _assert_exact(
+                    backend, table, _all_keys(table.schema)
+                )
+            finally:
+                backend.close()
+
+
+# ----------------------------------------------------------------------
+# WAL interop: durable rows + the log replay exactly once
+# ----------------------------------------------------------------------
+
+
+class TestWalInterop:
+    def test_clean_restart_replays_nothing(self, tmp_path):
+        data = random_dataset(BASE_SEED + 31, n_rows=200)
+        backend = SpillBackend.from_dataset(tmp_path / "sp", data)
+        store = CubeStore.from_backend(backend)
+        wal = WriteAheadLog(tmp_path / "wal")
+        store.bind_wal(wal)
+        batch = data.take(np.arange(40))
+        store.absorb(batch)
+        assert backend.wal_seq() == 1
+        wal.close()
+
+        reopened = SpillBackend.open(tmp_path / "sp")
+        assert reopened.n_rows() == 240
+        store2 = CubeStore.from_backend(reopened)
+        report = replay_into(
+            store2,
+            WriteAheadLog(tmp_path / "wal"),
+            start_after=reopened.wal_seq(),
+        )
+        assert report.records == 0
+        assert store2.dataset.n_rows == 240
+
+    def test_torn_ingest_replays_exactly_once(self, tmp_path):
+        data = random_dataset(BASE_SEED + 32, n_rows=200)
+        SpillBackend.from_dataset(tmp_path / "sp", data).close()
+        # The crash window: the WAL holds a record the spill never saw.
+        wal = WriteAheadLog(tmp_path / "wal")
+        batch = data.take(np.arange(30))
+        seq = wal.append(batch)
+        wal.close()
+
+        backend = SpillBackend.open(tmp_path / "sp")
+        store = CubeStore.from_backend(backend)
+        report = replay_into(
+            store,
+            WriteAheadLog(tmp_path / "wal"),
+            start_after=backend.wal_seq(),
+        )
+        assert report.records == 1
+        assert backend.n_rows() == 230
+        assert backend.wal_seq() == seq
+        # A second restart must skip it.
+        backend2 = SpillBackend.open(tmp_path / "sp")
+        report2 = replay_into(
+            CubeStore.from_backend(backend2),
+            WriteAheadLog(tmp_path / "wal"),
+            start_after=backend2.wal_seq(),
+        )
+        assert report2.records == 0
+        assert backend2.n_rows() == 230
+
+    def test_sqlite_stamps_wal_seq(self, tmp_path):
+        data = random_dataset(BASE_SEED + 33, n_rows=120)
+        backend = SqliteBackend.from_dataset(
+            tmp_path / "db.sqlite", data
+        )
+        store = CubeStore.from_backend(backend)
+        wal = WriteAheadLog(tmp_path / "wal")
+        store.bind_wal(wal)
+        store.absorb(data.take(np.arange(10)))
+        assert backend.wal_seq() == 1
+        backend.close()
+        wal.close()
+        reopened = SqliteBackend.open(tmp_path / "db.sqlite")
+        assert reopened.wal_seq() == 1
+        assert reopened.n_rows() == 130
+
+
+# ----------------------------------------------------------------------
+# Chaos: the backend.scan fault site
+# ----------------------------------------------------------------------
+
+
+class TestScanFaults:
+    def test_typed_503_breaker_and_recovery(self, tmp_path):
+        data = make_service_data()
+        backend = SpillBackend.from_dataset(
+            tmp_path / "sp", data, chunk_rows=1024
+        )
+        store = CubeStore.from_backend(backend)
+        engine = ComparisonEngine(
+            ServiceConfig(
+                workers=2,
+                cache_size=0,
+                breaker_failures=3,
+                breaker_reset_seconds=0.2,
+            )
+        )
+        engine.add_store(store)
+        server = ComparisonHTTPServer(
+            engine, port=0
+        ).start_background()
+        url = server.url
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    SITE_BACKEND_SCAN,
+                    probability=1.0,
+                    max_triggers=3,
+                )
+            ],
+            seed=3,
+        )
+        try:
+            with plan.installed():
+                for _ in range(3):
+                    status, _, text = http_call(
+                        url + "/compare", COMPARE
+                    )
+                    assert status == 500
+                    assert "Traceback" not in text
+                assert engine.breaker_state() == "open"
+
+                status, headers, text = http_call(
+                    url + "/compare", COMPARE
+                )
+                assert status == 503
+                payload = json.loads(text)
+                assert payload["store"] == "default"
+                assert payload["retry_after"] > 0
+
+                time.sleep(0.3)
+                status, _, _ = http_call(url + "/compare", COMPARE)
+                assert status == 200
+                assert engine.breaker_state() == "closed"
+        finally:
+            server.stop()
+            engine.shutdown()
+
+    def test_cached_cubes_keep_serving_while_scans_fail(
+        self, tmp_path
+    ):
+        data = make_service_data()
+        backend = SpillBackend.from_dataset(
+            tmp_path / "sp", data, chunk_rows=1024
+        )
+        store = CubeStore.from_backend(backend)
+        store.precompute()  # every pair cube is materialised
+        engine = ComparisonEngine(
+            ServiceConfig(workers=2, cache_size=16)
+        )
+        engine.add_store(store)
+        plan = FaultPlan(
+            [FaultRule(SITE_BACKEND_SCAN, probability=1.0)], seed=1
+        )
+        with engine:
+            with plan.installed():
+                # Pair comparisons read materialised cubes — no scan,
+                # no fault: the old snapshot keeps serving.
+                outcome = engine.compare(
+                    "PhoneModel", "ph1", "ph2", "dropped"
+                )
+                assert outcome.result.sup_good >= 0
+                assert outcome.generation == 0
+                # A cube miss does hit the scanner and fails typed.
+                with pytest.raises(FaultInjected):
+                    store.cube(
+                        ("PhoneModel", "Region", "TimeOfCall")
+                    )
+
+
+# ----------------------------------------------------------------------
+# Operational wiring: describe_stores, metrics
+# ----------------------------------------------------------------------
+
+
+class TestOperationalSurface:
+    def test_describe_stores_reports_backend_block(self, tmp_path):
+        data = make_service_data(n_records=2000)
+        backend = SpillBackend.from_dataset(
+            tmp_path / "sp", data, chunk_rows=512
+        )
+        engine = ComparisonEngine(ServiceConfig(workers=1))
+        engine.add_store(
+            CubeStore.from_backend(backend), name="cold"
+        )
+        engine.add_store(CubeStore(data), name="hot")
+        with engine:
+            byname = {
+                e["name"]: e for e in engine.describe_stores()
+            }
+            cold = byname["cold"]["backend"]
+            assert cold["kind"] == "spill"
+            assert cold["rows"] == 2000
+            assert cold["spill_bytes"] > 0
+            assert cold["segments"] == 1
+            assert cold["chunk_rows"] == 512
+            hot = byname["hot"]["backend"]
+            assert hot == {"kind": "memory", "rows": 2000}
+
+    def test_scan_metrics_reach_the_exposition(self, tmp_path):
+        data = make_service_data(n_records=2000)
+        backend = SpillBackend.from_dataset(
+            tmp_path / "sp", data, chunk_rows=512
+        )
+        store = CubeStore.from_backend(backend)
+        engine = ComparisonEngine(ServiceConfig(workers=1))
+        engine.add_store(store)
+        server = ComparisonHTTPServer(
+            engine, port=0
+        ).start_background()
+        try:
+            status, _, _ = http_call(server.url + "/compare", COMPARE)
+            assert status == 200
+            _, _, metrics = http_call(server.url + "/metrics")
+            assert "repro_backend_scan_seconds" in metrics
+            assert "repro_backend_rows_scanned_total" in metrics
+            assert 'backend="spill"' in metrics
+            assert 'store="default"' in metrics
+        finally:
+            server.stop()
+            engine.shutdown()

@@ -149,3 +149,60 @@ class TestBuildAll:
         singles = build_all_2d(ds)
         assert rollup(pair, "B") == singles["A"]
         assert rollup(pair, "A") == singles["B"]
+
+
+class TestMinimalDtypes:
+    """The shared-code builder keeps per-attribute codes in the
+    smallest signed dtype that holds [-1, arity] — the memory side of
+    the out-of-core spill format — and widens to int64 only inside
+    the mixed-radix combine."""
+
+    def test_minimal_code_dtype_ladder(self):
+        from repro.cube import minimal_code_dtype
+
+        assert minimal_code_dtype(0) == np.int8
+        assert minimal_code_dtype(127) == np.int8
+        assert minimal_code_dtype(128) == np.int16
+        assert minimal_code_dtype(2 ** 15 - 1) == np.int16
+        assert minimal_code_dtype(2 ** 15) == np.int32
+        assert minimal_code_dtype(2 ** 31 - 1) == np.int32
+        assert minimal_code_dtype(2 ** 31) == np.int64
+
+    def test_pair_builder_keeps_codes_narrow(self):
+        from repro.cube import PairCubeBuilder
+
+        ds = make_dataset()
+        builder = PairCubeBuilder(ds, ["A", "B"])
+        for name in ("A", "B"):
+            assert builder._safe[name].dtype == np.int8
+            assert builder._tail[name].dtype == np.int8
+
+    def test_narrow_codes_count_bit_exact(self):
+        from repro.cube import PairCubeBuilder
+
+        rng = np.random.default_rng(5)
+        n = 2000
+        schema = Schema(
+            [
+                Attribute("Wide",
+                          values=tuple(f"w{i}" for i in range(200))),
+                Attribute("Slim", values=("a", "b", "c")),
+                Attribute("C", values=("no", "yes")),
+            ],
+            class_attribute="C",
+        )
+        cols = {
+            "Wide": rng.integers(-1, 200, n),
+            "Slim": rng.integers(-1, 3, n),
+            "C": rng.integers(0, 2, n),
+        }
+        ds = Dataset.from_columns(schema, cols)
+        builder = PairCubeBuilder(ds, ["Wide", "Slim"])
+        # 200 values forces int16 for Wide; Slim stays int8.
+        assert builder._safe["Wide"].dtype == np.int16
+        assert builder._safe["Slim"].dtype == np.int8
+        for key in (("Wide",), ("Slim",), ("Wide", "Slim")):
+            got = builder.build(key)
+            want = build_cube(ds, key)
+            assert got.counts.dtype == np.int64
+            assert np.array_equal(got.counts, want.counts), key

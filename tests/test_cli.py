@@ -525,3 +525,123 @@ class TestServeWal:
             assert described["wal"]["last_seq"] == 1
         finally:
             engine.shutdown()
+
+
+class TestServeBackend:
+    """``repro serve --backend spill|sqlite --data-dir`` wiring."""
+
+    def _engine(self, argv):
+        from repro.cli import _build_serve_engine
+
+        return _build_serve_engine(build_parser().parse_args(argv))
+
+    def test_spill_encode_serve_and_reopen(self, csv_path, tmp_path):
+        from repro.cube import build_cube
+        from repro.dataset import read_csv
+
+        ref = read_csv(csv_path, class_attribute="C")
+        want = build_cube(ref, ("Phone", "Time")).counts
+        data_dir = tmp_path / "spill"
+        engine, _, _ = self._engine(
+            ["serve", str(csv_path), "--class-attribute", "C",
+             "--backend", "spill", "--data-dir", str(data_dir),
+             "--chunk-rows", "512"]
+        )
+        store = engine._stores["default"].store
+        assert store.backend_info()["kind"] == "spill"
+        assert store.backend_info()["chunk_rows"] == 512
+        assert np.array_equal(
+            store.pair_cube("Phone", "Time").counts, want
+        )
+        engine.shutdown()
+        # Re-open the same storage without the CSV.
+        engine2, _, _ = self._engine(
+            ["serve", "--backend", "spill", "--data-dir",
+             str(data_dir)]
+        )
+        store2 = engine2._stores["default"].store
+        assert np.array_equal(
+            store2.pair_cube("Phone", "Time").counts, want
+        )
+        engine2.shutdown()
+
+    def test_sqlite_and_sharded_spill(self, csv_path, tmp_path):
+        from repro.cube import build_cube
+        from repro.dataset import read_csv
+
+        ref = read_csv(csv_path, class_attribute="C")
+        want = build_cube(ref, ("Phone", "Time")).counts
+        engine, _, _ = self._engine(
+            ["serve", str(csv_path), "--class-attribute", "C",
+             "--backend", "sqlite", "--data-dir",
+             str(tmp_path / "sq")]
+        )
+        store = engine._stores["default"].store
+        assert store.backend_info()["kind"] == "sqlite"
+        assert np.array_equal(
+            store.pair_cube("Phone", "Time").counts, want
+        )
+        engine.shutdown()
+
+        engine2, _, _ = self._engine(
+            ["serve", str(csv_path), "--class-attribute", "C",
+             "--backend", "spill", "--data-dir",
+             str(tmp_path / "sh"), "--shards", "3"]
+        )
+        store2 = engine2._stores["default"].store
+        info = store2.backend_info()
+        assert info["kind"] == "spill"
+        assert info["shards"] == 3
+        assert info["rows"] == ref.n_rows
+        assert np.array_equal(
+            store2.pair_cube("Phone", "Time").counts, want
+        )
+        assert (tmp_path / "sh" / "shard-00" / "manifest.json").exists()
+        engine2.shutdown()
+
+    def test_backend_flag_validation(self, csv_path, tmp_path):
+        base = ["serve", str(csv_path), "--class-attribute", "C"]
+        cases = [
+            (base + ["--backend", "spill"], "needs --data-dir"),
+            (base + ["--backend", "sqlite", "--data-dir",
+                     str(tmp_path / "a"), "--shards", "2"],
+             "cannot be sharded"),
+            (base + ["--data-dir", str(tmp_path / "b")],
+             "--data-dir needs --backend"),
+            (base + ["--chunk-rows", "64"],
+             "--chunk-rows needs --backend"),
+            (base + ["--backend", "spill", "--data-dir",
+                     str(tmp_path / "c"), "--store", "x.npz"],
+             "in-memory backend"),
+            (base + ["--backend", "spill", "--data-dir",
+                     str(tmp_path / "d"), "--worker-procs", "2"],
+             "in-memory backend"),
+        ]
+        for argv, fragment in cases:
+            with pytest.raises(ValueError, match=fragment):
+                self._engine(argv)
+
+    def test_spill_wal_restart_does_not_double_apply(
+        self, csv_path, tmp_path
+    ):
+        from repro.dataset import read_csv
+
+        ref = read_csv(csv_path, class_attribute="C")
+        argv = ["serve", str(csv_path), "--class-attribute", "C",
+                "--backend", "spill", "--data-dir",
+                str(tmp_path / "sp"), "--wal-dir",
+                str(tmp_path / "wal")]
+        engine, _, _ = self._engine(argv)
+        store = engine._stores["default"].store
+        batch = ref.take(np.arange(25))
+        store.absorb(batch)
+        assert store.backend.wal_seq() == 1
+        engine.shutdown()
+
+        reopen = ["serve", "--backend", "spill", "--data-dir",
+                  str(tmp_path / "sp"), "--wal-dir",
+                  str(tmp_path / "wal")]
+        engine2, _, _ = self._engine(reopen)
+        store2 = engine2._stores["default"].store
+        assert store2.dataset.n_rows == ref.n_rows + 25
+        engine2.shutdown()
